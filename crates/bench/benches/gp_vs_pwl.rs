@@ -1,0 +1,32 @@
+//! Ablation bench for paper §III-B: "Gaussian process is notorious for
+//! its long inference time, which is unacceptable for a runtime
+//! predictor" — hence the piecewise-linear compression. This bench
+//! quantifies the gap on confidence-curve-sized GPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eugene_gp::{GpParams, GpRegressor, PiecewiseLinear};
+use std::hint::black_box;
+
+fn fit_gp(n: usize) -> GpRegressor {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 0.3 + 0.6 * x - 0.1 * (6.0 * x).sin()).collect();
+    GpRegressor::fit(&xs, &ys, GpParams::default()).expect("fit")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confidence_curve_prediction");
+    for n in [100usize, 400] {
+        let gp = fit_gp(n);
+        let pwl = PiecewiseLinear::profile(|x| gp.predict_mean(x), 10);
+        group.bench_with_input(BenchmarkId::new("exact_gp", n), &gp, |b, gp| {
+            b.iter(|| black_box(gp.predict_mean(black_box(0.37))));
+        });
+        group.bench_with_input(BenchmarkId::new("pwl_compressed", n), &pwl, |b, pwl| {
+            b.iter(|| black_box(pwl.eval(black_box(0.37))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

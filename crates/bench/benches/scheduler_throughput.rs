@@ -1,0 +1,69 @@
+//! Scheduling-decision throughput: one `assign` call of each policy over
+//! a contended task set — the per-quantum overhead the user-space
+//! scheduler adds to the serving loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eugene_sched::{
+    Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, TaskView,
+};
+use std::hint::black_box;
+
+fn predictor() -> PwlCurvePredictor {
+    let curves: Vec<Vec<f32>> = (0..100)
+        .map(|i| {
+            let start = 0.2 + 0.6 * (i as f32 / 100.0);
+            let mid = start + 0.5 * (1.0 - start);
+            vec![start, mid, mid + 0.5 * (1.0 - mid)]
+        })
+        .collect();
+    PwlCurvePredictor::fit(&curves, 10).expect("fit")
+}
+
+fn views(n: usize, observed: &[Vec<f32>]) -> Vec<TaskView<'_>> {
+    (0..n)
+        .map(|i| TaskView {
+            id: i,
+            stages_done: observed[i].len(),
+            num_stages: 3,
+            observed: &observed[i],
+            admitted_at: 0,
+            deadline_at: 10,
+            remaining_quanta: 10,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign");
+    for &n in &[8usize, 32, 128] {
+        let observed: Vec<Vec<f32>> = (0..n)
+            .map(|i| match i % 3 {
+                0 => vec![],
+                1 => vec![0.4 + (i % 10) as f32 * 0.05],
+                _ => vec![0.4, 0.7],
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rtdeepiot_k1", n), &n, |b, &n| {
+            let mut sched = RtDeepIot::new(predictor(), 1, 0.1);
+            let v = views(n, &observed);
+            b.iter(|| {
+                sched.reset();
+                black_box(sched.assign(black_box(&v), 4))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &n, |b, &n| {
+            let mut sched = RoundRobin::new();
+            let v = views(n, &observed);
+            b.iter(|| black_box(sched.assign(black_box(&v), 4)));
+        });
+        group.bench_with_input(BenchmarkId::new("fifo", n), &n, |b, &n| {
+            let mut sched = Fifo::new();
+            let v = views(n, &observed);
+            b.iter(|| black_box(sched.assign(black_box(&v), 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Quantifies the §II-B claim that sparse-matrix savings "do not scale
+//! proportionally to the fraction of zero entries": CSR vs dense
+//! matrix-vector products across densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eugene_compress::CsrMatrix;
+use eugene_tensor::{seeded_rng, xavier_uniform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = seeded_rng(5);
+    let dense = xavier_uniform(256, 256, &mut rng);
+    let v: Vec<f32> = (0..256).map(|i| (i as f32).sin()).collect();
+
+    let mut group = c.benchmark_group("matvec_256");
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(dense.matvec(black_box(&v))));
+    });
+    for keep in [0.5f32, 0.25, 0.1, 0.02] {
+        // Threshold chosen to retain roughly `keep` of the entries.
+        let mut magnitudes: Vec<f32> = dense.as_slice().iter().map(|x| x.abs()).collect();
+        magnitudes.sort_by(f32::total_cmp);
+        let cut = ((1.0 - keep) * magnitudes.len() as f32) as usize;
+        let csr = CsrMatrix::from_dense(&dense, magnitudes[cut.min(magnitudes.len() - 1)]);
+        group.bench_with_input(
+            BenchmarkId::new("csr", format!("{:.0}%", csr.density() * 100.0)),
+            &csr,
+            |b, csr| {
+                b.iter(|| black_box(csr.matvec(black_box(&v))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Per-stage inference cost of the experiment network — the unit of work
+//! the RTDeepIoT scheduler allocates, and the early-exit saving: running
+//! one stage costs about a third of running all three.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eugene_nn::{StagedNetwork, StagedNetworkConfig};
+use eugene_tensor::seeded_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = StagedNetworkConfig::three_stage(32, 10);
+    let network = StagedNetwork::new(&config, &mut seeded_rng(3));
+    let sample: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
+
+    c.bench_function("one_stage", |b| {
+        b.iter(|| {
+            let mut session = network.begin_inference(black_box(&sample));
+            black_box(session.next_stage())
+        });
+    });
+    c.bench_function("all_three_stages", |b| {
+        b.iter(|| black_box(network.classify(black_box(&sample))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmarks of the dense-linear-algebra substrate: matmul shapes
+//! representative of the staged networks (batch x 64 hidden layers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eugene_tensor::{seeded_rng, xavier_uniform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(1usize, 32usize, 64usize), (32, 64, 64), (128, 64, 10)] {
+        let a = xavier_uniform(m, k, &mut rng);
+        let b = xavier_uniform(k, n, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bencher, (a, b)| {
+                bencher.iter(|| black_box(a.matmul(black_box(b))));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matvec");
+    for &dim in &[64usize, 256] {
+        let a = xavier_uniform(dim, dim, &mut rng);
+        let v: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &(a, v), |bencher, (a, v)| {
+            bencher.iter(|| black_box(a.matvec(black_box(v))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Ablation for paper §II-B: node pruning (dense, DeepIoT-style) versus
+//! edge pruning (sparse) at matched compression ratios, plus the
+//! reduced-model caching loop.
+//!
+//! The paper's claims under test:
+//!
+//! 1. sparse-matrix savings "do not scale proportionally to the fraction
+//!    of zero entries" — we time dense vs CSR matrix-vector products;
+//! 2. node pruning produces smaller *dense* models that keep accuracy
+//!    after fine-tuning;
+//! 3. a cached frequent-classes model answers most skewed traffic locally
+//!    and escalates the rest.
+//!
+//! Run: `cargo run --release -p eugene-bench --bin compress_ablation`
+
+use eugene_bench::{print_table, write_json, Workload, WorkloadConfig};
+use eugene_compress::{
+    evaluate_cache, prune_edges, prune_nodes, skewed_stream, CachedModel, CachedModelConfig,
+    CsrMatrix, ModelCache,
+};
+use eugene_nn::{evaluate_staged, Linear, TrainConfig, Trainer};
+use eugene_tensor::{seeded_rng, xavier_uniform, Matrix};
+use serde::Serialize;
+use std::time::Instant;
+
+fn main() {
+    sparse_vs_dense_timing();
+    node_vs_edge_accuracy();
+    caching_loop();
+}
+
+/// Claim 1: sparse algebra underperforms dense algebra until extreme
+/// sparsity.
+fn sparse_vs_dense_timing() {
+    #[derive(Serialize)]
+    struct TimingRow {
+        density: f64,
+        dense_ns: f64,
+        sparse_ns: f64,
+        speedup: f64,
+    }
+    let mut rng = seeded_rng(1);
+    let dense = xavier_uniform(256, 256, &mut rng);
+    let v: Vec<f32> = (0..256).map(|i| (i as f32).sin()).collect();
+    let reps = 2000;
+    let time_dense = {
+        let start = Instant::now();
+        let mut sink = 0.0;
+        for _ in 0..reps {
+            sink += dense.matvec(&v)[0];
+        }
+        std::hint::black_box(sink);
+        start.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for prune in [0.0, 0.5, 0.7, 0.9, 0.95, 0.99] {
+        let layer = Linear::from_parts(dense.clone(), Matrix::zeros(1, 256));
+        let pruned = prune_edges(&layer, prune);
+        let csr: &CsrMatrix = pruned.weights();
+        let start = Instant::now();
+        let mut sink = 0.0;
+        for _ in 0..reps {
+            sink += csr.vecmat(&v)[0];
+        }
+        std::hint::black_box(sink);
+        let time_sparse = start.elapsed().as_nanos() as f64 / reps as f64;
+        rows.push(vec![
+            format!("{:.0}%", csr.density() * 100.0),
+            format!("{time_dense:.0}"),
+            format!("{time_sparse:.0}"),
+            format!("{:.2}x", time_dense / time_sparse),
+        ]);
+        json.push(TimingRow {
+            density: csr.density(),
+            dense_ns: time_dense,
+            sparse_ns: time_sparse,
+            speedup: time_dense / time_sparse,
+        });
+    }
+    print_table(
+        "Sparse vs dense matvec (256x256): savings lag the zero fraction",
+        &["density", "dense ns", "sparse ns", "speedup"],
+        &rows,
+    );
+    write_json("compress_sparse_timing", &json);
+}
+
+/// Claim 2: node pruning keeps accuracy at matched parameter budgets.
+fn node_vs_edge_accuracy() {
+    #[derive(Serialize)]
+    struct PruneRow {
+        keep_fraction: f64,
+        param_ratio: f64,
+        accuracy_before_finetune: f64,
+        accuracy_after_finetune: f64,
+    }
+    println!("\ntraining workload for the pruning ablation...");
+    let workload = Workload::standard(WorkloadConfig {
+        train_size: 1500,
+        test_size: 1000,
+        epochs: 40,
+        seed: 5,
+    });
+    let base_acc = workload.test_evals().last().unwrap().accuracy;
+    let base_params = workload.network.param_count();
+    println!("baseline: accuracy {base_acc:.3}, {base_params} params");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for keep in [0.75, 0.5, 0.3] {
+        let mut pruned = prune_nodes(&workload.network, keep);
+        let before = evaluate_staged(&pruned, &workload.test)
+            .last()
+            .unwrap()
+            .accuracy;
+        Trainer::new(TrainConfig {
+            epochs: 10,
+            learning_rate: 5e-4,
+            ..TrainConfig::default()
+        })
+        .fit(&mut pruned, &workload.train, &mut seeded_rng(6));
+        let after = evaluate_staged(&pruned, &workload.test)
+            .last()
+            .unwrap()
+            .accuracy;
+        let ratio = pruned.param_count() as f64 / base_params as f64;
+        rows.push(vec![
+            format!("{keep:.2}"),
+            format!("{:.0}%", ratio * 100.0),
+            format!("{before:.3}"),
+            format!("{after:.3}"),
+        ]);
+        json.push(PruneRow {
+            keep_fraction: keep,
+            param_ratio: ratio,
+            accuracy_before_finetune: before,
+            accuracy_after_finetune: after,
+        });
+    }
+    print_table(
+        "Node pruning: accuracy vs compression (final stage head)",
+        &["keep", "params", "acc (raw)", "acc (fine-tuned)"],
+        &rows,
+    );
+    write_json("compress_node_pruning", &json);
+}
+
+/// Claim 3: the smart-refrigerator caching loop.
+fn caching_loop() {
+    #[derive(Serialize)]
+    struct CacheResult {
+        hot_classes: Vec<usize>,
+        hit_rate: f64,
+        hit_accuracy: f64,
+        reduced_params: usize,
+        device_latency_share: f64,
+    }
+    println!("\nrunning the reduced-model caching loop...");
+    let workload = Workload::standard(WorkloadConfig {
+        train_size: 1500,
+        test_size: 500,
+        epochs: 40,
+        seed: 9,
+    });
+    let mut rng = seeded_rng(10);
+    // Skewed device traffic: classes 2 and 7 dominate (beer and pop).
+    let hot = vec![2usize, 7];
+    let stream = skewed_stream(&workload.test, &hot, 0.8, 600, &mut rng);
+    let mut cache = ModelCache::new(10, 0.999, 0.25, 50);
+    // Warm-up: server classifies, device tracks frequencies.
+    for i in 0..200 {
+        cache.record(stream.label(i));
+    }
+    assert!(cache.should_rebuild(), "hot classes should trigger a build");
+    let candidates = cache.cache_candidates();
+    let model = CachedModel::build(
+        &workload.train,
+        &candidates,
+        &CachedModelConfig::default(),
+        &mut rng,
+    );
+    let reduced_params = model.param_count();
+    cache.install(model);
+    let (hit_rate, hit_acc) = evaluate_cache(&mut cache, &stream);
+    print_table(
+        "Reduced-model caching (80% traffic on 2 hot classes)",
+        &["metric", "value"],
+        &[
+            vec!["cached classes".into(), format!("{candidates:?}")],
+            vec!["reduced model params".into(), reduced_params.to_string()],
+            vec![
+                "full model params".into(),
+                workload.network.param_count().to_string(),
+            ],
+            vec!["device hit rate".into(), format!("{:.1}%", hit_rate * 100.0)],
+            vec!["hit accuracy".into(), format!("{:.1}%", hit_acc * 100.0)],
+        ],
+    );
+    println!(
+        "\nShape checks: cache answers most traffic locally: {}; reduced model is <25% of full: {}",
+        hit_rate > 0.5,
+        reduced_params * 4 < workload.network.param_count(),
+    );
+    write_json(
+        "compress_caching",
+        &CacheResult {
+            hot_classes: candidates,
+            hit_rate,
+            hit_accuracy: hit_acc,
+            reduced_params,
+            device_latency_share: hit_rate,
+        },
+    );
+}

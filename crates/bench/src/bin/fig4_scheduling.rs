@@ -1,0 +1,186 @@
+//! Reproduces **Fig. 4**: the scheduler scalability test — mean (4a, 4b)
+//! and standard deviation (4c) of service classification accuracy versus
+//! the number of concurrent tasks, for:
+//!
+//! - RTDeepIoT-k (k = 1, 2, 3): greedy utility maximization with GP-fit
+//!   piecewise-linear confidence-curve prediction;
+//! - RTDeepIoT-DC-k: the constant-slope confidence-update ablation;
+//! - RR: stage-level round robin;
+//! - FIFO: run-to-completion in arrival order.
+//!
+//! Shape to match: accuracy declines with concurrency for every policy;
+//! RTDeepIoT stays on top (4a: above RR; 4b: above DC and FIFO); the
+//! accuracy standard deviation splits the utility-aware policies (low,
+//! fair) from FIFO/DC (high) in 4c.
+//!
+//! Run: `cargo run --release -p eugene-bench --bin fig4_scheduling`
+
+use eugene_bench::{print_table, write_json, Workload, WorkloadConfig};
+use eugene_nn::evaluate_staged;
+use eugene_sched::{
+    DcPredictor, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig,
+    Simulation, TaskProfile,
+};
+use eugene_tensor::{seeded_rng, std_dev};
+use rand::seq::SliceRandom;
+use serde::Serialize;
+
+const CONCURRENCY: [usize; 4] = [2, 5, 10, 20];
+const TRIALS: u64 = 6;
+const NUM_WORKERS: usize = 4;
+const DEADLINE_QUANTA: u64 = 6;
+
+#[derive(Serialize)]
+struct Series {
+    policy: String,
+    concurrency: Vec<usize>,
+    mean_accuracy: Vec<f64>,
+    std_accuracy: Vec<f64>,
+    mean_stages: Vec<f64>,
+}
+
+fn main() {
+    println!("training and calibrating the three-stage workload...");
+    let workload = Workload::standard(WorkloadConfig::default());
+    let network = workload.calibrated_network(8);
+
+    // Pre-compute per-task stage outcomes from the *calibrated* network on
+    // the test split (the stream the service will classify).
+    let evals = evaluate_staged(&network, &workload.test);
+    let profiles: Vec<TaskProfile> = (0..workload.test.len())
+        .map(|i| {
+            TaskProfile::new(
+                evals.iter().map(|e| e.confidences[i]).collect(),
+                evals.iter().map(|e| e.correct[i]).collect(),
+            )
+        })
+        .collect();
+
+    // Confidence predictors are fit on held-out calibration curves (the
+    // overfit network's training-split confidences are saturated).
+    let train_curves = Workload::confidence_curves(&network, &workload.calib);
+    let priors: Vec<f32> = (0..3)
+        .map(|s| train_curves.iter().map(|c| c[s]).sum::<f32>() / train_curves.len() as f32)
+        .collect();
+    let num_classes = workload.test.num_classes();
+    let baseline = 1.0 / num_classes as f32;
+
+    type Maker<'a> = Box<dyn Fn() -> Box<dyn Scheduler> + 'a>;
+    let policies: Vec<(String, Maker<'_>)> = {
+        let mut v: Vec<(String, Maker<'_>)> = Vec::new();
+        for k in 1..=3usize {
+            let curves = train_curves.clone();
+            v.push((
+                format!("RTDeepIoT-{k}"),
+                Box::new(move || {
+                    let predictor =
+                        PwlCurvePredictor::fit(&curves, 10).expect("fit predictor");
+                    Box::new(RtDeepIot::new(predictor, k, baseline))
+                }),
+            ));
+        }
+        for k in 1..=3usize {
+            let priors = priors.clone();
+            v.push((
+                format!("RTDeepIoT-DC-{k}"),
+                Box::new(move || {
+                    Box::new(
+                        RtDeepIot::new(DcPredictor::new(priors.clone()), k, baseline)
+                            .with_name(format!("RTDeepIoT-DC-{k}")),
+                    )
+                }),
+            ));
+        }
+        v.push(("RR".to_string(), Box::new(|| Box::new(RoundRobin::new()))));
+        v.push(("FIFO".to_string(), Box::new(|| Box::new(Fifo::new()))));
+        v
+    };
+
+    let mut all_series = Vec::new();
+    for (name, make) in &policies {
+        let mut mean_acc = Vec::new();
+        let mut std_acc = Vec::new();
+        let mut mean_stages = Vec::new();
+        for &n in &CONCURRENCY {
+            let config = SimConfig {
+                num_workers: NUM_WORKERS,
+                concurrency: n,
+                deadline_quanta: DEADLINE_QUANTA,
+                num_classes,
+            };
+            let mut accs = Vec::new();
+            let mut stages = Vec::new();
+            for trial in 0..TRIALS {
+                let mut rng = seeded_rng(1000 + trial);
+                let mut tasks = profiles.clone();
+                tasks.shuffle(&mut rng);
+                let mut scheduler = make();
+                let outcome = Simulation::new(config).run(scheduler.as_mut(), tasks, &mut rng);
+                accs.push(outcome.service_accuracy() as f32);
+                stages.push(outcome.mean_stages());
+            }
+            mean_acc.push(accs.iter().map(|&a| a as f64).sum::<f64>() / accs.len() as f64);
+            std_acc.push(std_dev(&accs) as f64);
+            mean_stages.push(stages.iter().sum::<f64>() / stages.len() as f64);
+        }
+        all_series.push(Series {
+            policy: name.clone(),
+            concurrency: CONCURRENCY.to_vec(),
+            mean_accuracy: mean_acc,
+            std_accuracy: std_acc,
+            mean_stages,
+        });
+    }
+
+    let table = |title: &str, selector: &dyn Fn(&Series) -> &Vec<f64>, as_pct: bool| {
+        let mut rows = Vec::new();
+        for s in &all_series {
+            let mut row = vec![s.policy.clone()];
+            for v in selector(s) {
+                row.push(if as_pct {
+                    format!("{:.1}", v * 100.0)
+                } else {
+                    format!("{v:.2}")
+                });
+            }
+            rows.push(row);
+        }
+        print_table(title, &["policy", "N=2", "N=5", "N=10", "N=20"], &rows);
+    };
+    table(
+        "Fig. 4a/4b: mean service accuracy (%) vs concurrent tasks",
+        &|s| &s.mean_accuracy,
+        true,
+    );
+    table(
+        "Fig. 4c: service accuracy std (%) vs concurrent tasks",
+        &|s| &s.std_accuracy,
+        true,
+    );
+    table(
+        "Telemetry: mean stages executed per task",
+        &|s| &s.mean_stages,
+        false,
+    );
+
+    // Shape checks at the contended end (N = 20).
+    let at20 = |name: &str| -> f64 {
+        all_series
+            .iter()
+            .find(|s| s.policy == name)
+            .map(|s| s.mean_accuracy[3])
+            .expect("policy present")
+    };
+    println!(
+        "\nShape checks at N=20: RTDeepIoT-1 {:.3} > RR {:.3}: {}; RTDeepIoT-1 > FIFO {:.3}: {}; \
+         RTDeepIoT-1 >= DC-1 {:.3}: {}",
+        at20("RTDeepIoT-1"),
+        at20("RR"),
+        at20("RTDeepIoT-1") > at20("RR"),
+        at20("FIFO"),
+        at20("RTDeepIoT-1") > at20("FIFO"),
+        at20("RTDeepIoT-DC-1"),
+        at20("RTDeepIoT-1") >= at20("RTDeepIoT-DC-1") - 0.01,
+    );
+    write_json("fig4_scheduling", &all_series);
+}

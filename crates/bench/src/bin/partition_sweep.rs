@@ -1,0 +1,157 @@
+//! Extension experiment for paper §IV-A: optimal client/server split of
+//! the staged model as a function of link bandwidth, with and without
+//! early-exit awareness.
+//!
+//! The paper poses the question ("how should the inference model be
+//! partitioned among nodes?") without an evaluation; this bench supplies
+//! one on the reproduction's workload. Expected shape: at high bandwidth
+//! everything offloads (split 0); as bandwidth collapses the split moves
+//! deviceward until the device runs everything; and early-exit
+//! probability shifts every crossover toward the device, because locally
+//! answered requests never pay for the link.
+//!
+//! Run: `cargo run --release -p eugene-bench --bin partition_sweep`
+
+use eugene_bench::{print_table, write_json, Workload, WorkloadConfig};
+use eugene_partition::{AdaptivePartitioner, EarlyExitProfile, PartitionPlanner, StageCost};
+use eugene_profiler::{ConvSpec, DeviceModel};
+use serde::Serialize;
+
+const RTT_MS: f64 = 20.0;
+const EXIT_THRESHOLD: f32 = 0.9;
+
+#[derive(Serialize)]
+struct SweepRow {
+    bandwidth_bytes_per_sec: f64,
+    split_no_exits: usize,
+    latency_no_exits_ms: f64,
+    split_with_exits: usize,
+    latency_with_exits_ms: f64,
+    local_fraction_with_exits: f64,
+}
+
+fn main() {
+    println!("training and calibrating the three-stage workload...");
+    let workload = Workload::standard(WorkloadConfig::default());
+    let network = workload.calibrated_network(8);
+
+    // Stage compute priced on the Table I device machinery: a three-stage
+    // conv trunk (paper Fig. 3 geometry) on a Nexus-5-class client versus
+    // an edge-accelerator server; boundary activations shrink with depth.
+    // Exit probabilities come from the trained staged workload above —
+    // the statistical interface is the same.
+    let device = DeviceModel::nexus5_class();
+    let server = DeviceModel::edge_accelerator_class();
+    let conv_stages: [(&[ConvSpec], u64); 3] = [
+        (
+            &[
+                ConvSpec::same_padding(3, 16, 3, 112),
+                ConvSpec::same_padding(16, 16, 3, 112),
+            ],
+            16 * 28 * 28 * 4, // pooled activation crossing the link
+        ),
+        (
+            &[
+                ConvSpec::same_padding(16, 48, 3, 56),
+                ConvSpec::same_padding(48, 48, 3, 56),
+                ConvSpec::same_padding(48, 48, 3, 56),
+            ],
+            48 * 14 * 14 * 4,
+        ),
+        (
+            &[
+                ConvSpec::same_padding(48, 96, 3, 28),
+                ConvSpec::same_padding(96, 96, 3, 28),
+                ConvSpec::same_padding(96, 96, 3, 28),
+            ],
+            10 * 4, // final logits
+        ),
+    ];
+    let stages: Vec<StageCost> = conv_stages
+        .iter()
+        .map(|(layers, boundary)| StageCost::from_conv_stage(&device, &server, layers, *boundary))
+        .collect();
+    println!(
+        "stage costs (device ms / server ms / boundary B): {:?}",
+        stages
+            .iter()
+            .map(|s| (
+                (s.device_ms * 100.0).round() / 100.0,
+                (s.server_ms * 1000.0).round() / 1000.0,
+                s.boundary_bytes
+            ))
+            .collect::<Vec<_>>()
+    );
+    let input_bytes = 3 * 112 * 112 * 4; // raw RGB frame
+    let planner = PartitionPlanner::new(stages, input_bytes).expect("stages exist");
+
+    let curves = Workload::confidence_curves(&network, &workload.calib);
+    let exits = EarlyExitProfile::from_confidence_curves(&curves, EXIT_THRESHOLD)
+        .expect("curves exist");
+    let no_exits = EarlyExitProfile::new(vec![0.0, 0.0, 1.0]).expect("static profile");
+    println!(
+        "measured early exits at threshold {EXIT_THRESHOLD}: by stage {:?}",
+        (0..3)
+            .map(|s| ((exits.exit_by(s) * 100.0).round()) / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    let bandwidths = [
+        100.0e6, 10.0e6, 3.0e6, 1.5e6, 1.0e6, 700.0e3, 400.0e3, 200.0e3, 100.0e3, 30.0e3, 3.0e3,
+    ];
+    let with_exits = AdaptivePartitioner::sweep_bandwidths(&planner, &exits, RTT_MS, &bandwidths);
+    let without = AdaptivePartitioner::sweep_bandwidths(&planner, &no_exits, RTT_MS, &bandwidths);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ((b, plan_exit), (_, plan_plain)) in with_exits.iter().zip(&without) {
+        rows.push(vec![
+            format!("{:.0} KB/s", b / 1e3),
+            plan_plain.split.to_string(),
+            format!("{:.1}", plan_plain.expected_latency_ms),
+            plan_exit.split.to_string(),
+            format!("{:.1}", plan_exit.expected_latency_ms),
+            format!("{:.0}%", plan_exit.local_answer_fraction * 100.0),
+        ]);
+        json.push(SweepRow {
+            bandwidth_bytes_per_sec: *b,
+            split_no_exits: plan_plain.split,
+            latency_no_exits_ms: plan_plain.expected_latency_ms,
+            split_with_exits: plan_exit.split,
+            latency_with_exits_ms: plan_exit.expected_latency_ms,
+            local_fraction_with_exits: plan_exit.local_answer_fraction,
+        });
+    }
+    print_table(
+        "Partitioning sweep (paper SIV-A): split point vs bandwidth",
+        &[
+            "bandwidth",
+            "split (no exits)",
+            "E[lat] ms",
+            "split (exits)",
+            "E[lat] ms",
+            "answered locally",
+        ],
+        &rows,
+    );
+
+    // Shape checks.
+    let first = json.first().expect("rows");
+    let last = json.last().expect("rows");
+    let exit_leq_plain_everywhere = json
+        .iter()
+        .all(|r| r.latency_with_exits_ms <= r.latency_no_exits_ms + 1e-9);
+    let exit_split_geq = json.iter().all(|r| r.split_with_exits >= r.split_no_exits);
+    println!(
+        "\nShape checks: fast link offloads fully (split {}): {}; dead link runs on device \
+         (split {}): {}; early exits never hurt latency: {}; early exits never move the split \
+         serverward: {}",
+        first.split_no_exits,
+        first.split_no_exits == 0,
+        last.split_with_exits,
+        last.split_with_exits == planner.num_stages(),
+        exit_leq_plain_everywhere,
+        exit_split_geq,
+    );
+    write_json("partition_sweep", &json);
+}

@@ -1,0 +1,108 @@
+//! Reproduces **Table I**: execution time of convolutional layers is a
+//! nonlinear function of FLOPs.
+//!
+//! The paper's measurements (Nexus 5): equal-FLOP layers CNN1/CNN2 differ
+//! 114.9 ms vs 300.2 ms, and CNN3 (fewer FLOPs) is *slower* than CNN4.
+//! We print the device model's latencies next to the paper's, then fit
+//! the FastDeepIoT-style piecewise-linear regression tree and the naive
+//! linear-in-FLOPs baseline on randomized layers and report their errors.
+//!
+//! Run: `cargo run --release -p eugene-bench --bin table1_profiling`
+
+use eugene_bench::{print_table, write_json};
+use eugene_profiler::{ConvSpec, DeviceModel, FlopsLinearModel, PwlRegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1Row {
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    gflops: f64,
+    paper_ms: f64,
+    model_ms: f64,
+    tree_ms: f64,
+    flops_line_ms: f64,
+}
+
+fn main() {
+    let device = DeviceModel::nexus5_class();
+    let paper_ms = [114.9, 300.2, 908.3, 751.7];
+
+    // Train the profiler on randomized 224x224 layers measured (with
+    // noise) on the device model.
+    let mut rng = StdRng::seed_from_u64(42);
+    let train_specs: Vec<ConvSpec> = (0..800)
+        .map(|_| ConvSpec::same_padding(rng.gen_range(1..129), rng.gen_range(1..129), 3, 224))
+        .collect();
+    let train_ms: Vec<f64> = train_specs
+        .iter()
+        .map(|s| device.measure_ms(s, 0.03, &mut rng))
+        .collect();
+    let tree = PwlRegressionTree::fit(&train_specs, &train_ms, TreeConfig::default());
+    let line = FlopsLinearModel::fit(&train_specs, &train_ms);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for ((name, spec), &paper) in ConvSpec::table1_rows().iter().zip(&paper_ms) {
+        let model_ms = device.latency_ms(spec);
+        let tree_ms = tree.predict_ms(spec);
+        let line_ms = line.predict_ms(spec);
+        rows.push(vec![
+            name.to_string(),
+            spec.in_channels.to_string(),
+            spec.out_channels.to_string(),
+            format!("{:.1}", spec.flops() as f64 / 1e9),
+            format!("{paper:.1}"),
+            format!("{model_ms:.1}"),
+            format!("{tree_ms:.1}"),
+            format!("{line_ms:.1}"),
+        ]);
+        json_rows.push(Table1Row {
+            name: name.to_string(),
+            in_channels: spec.in_channels,
+            out_channels: spec.out_channels,
+            gflops: spec.flops() as f64 / 1e9,
+            paper_ms: paper,
+            model_ms,
+            tree_ms,
+            flops_line_ms: line_ms,
+        });
+    }
+    print_table(
+        "Table I: conv-layer execution time (3x3, stride 1, 224x224)",
+        &[
+            "layer", "in", "out", "GFLOPs", "paper ms", "device ms", "profiler ms", "FLOPs-line ms",
+        ],
+        &rows,
+    );
+
+    // Held-out profiler quality.
+    let test_specs: Vec<ConvSpec> = (0..300)
+        .map(|_| ConvSpec::same_padding(rng.gen_range(1..129), rng.gen_range(1..129), 3, 224))
+        .collect();
+    let test_ms: Vec<f64> = test_specs.iter().map(|s| device.latency_ms(s)).collect();
+    let tree_mape = tree.mape(&test_specs, &test_ms);
+    let line_mape = line.mape(&test_specs, &test_ms);
+    print_table(
+        "Profiler accuracy on held-out layers (MAPE, lower is better)",
+        &["model", "MAPE"],
+        &[
+            vec![
+                format!("piecewise-linear tree ({} regions)", tree.num_leaves()),
+                format!("{:.1}%", tree_mape * 100.0),
+            ],
+            vec!["linear in FLOPs".to_string(), format!("{:.1}%", line_mape * 100.0)],
+        ],
+    );
+    println!(
+        "\nShape checks: CNN2/CNN1 time ratio {:.2} at equal FLOPs (paper 2.61); \
+         CNN3 slower than CNN4 despite {:.0}% fewer FLOPs: {}",
+        json_rows[1].model_ms / json_rows[0].model_ms,
+        (1.0 - json_rows[2].gflops / json_rows[3].gflops) * 100.0,
+        json_rows[2].model_ms > json_rows[3].model_ms,
+    );
+    write_json("table1_profiling", &json_rows);
+}

@@ -1,0 +1,260 @@
+use serde::{Deserialize, Serialize};
+
+/// One confidence bin of a reliability diagram (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityBin {
+    /// Lower edge of the bin's confidence interval `((m-1)/M, m/M]`.
+    pub lower: f32,
+    /// Upper edge of the bin's confidence interval.
+    pub upper: f32,
+    /// Number of samples whose confidence fell in this bin (`|S_m|`).
+    pub count: usize,
+    /// Average accuracy of the bin's samples, `acc(S_m)` (Eq. 1);
+    /// `0.0` for empty bins.
+    pub accuracy: f64,
+    /// Average confidence of the bin's samples, `conf(S_m)` (Eq. 2);
+    /// `0.0` for empty bins.
+    pub confidence: f64,
+}
+
+impl ReliabilityBin {
+    /// Midpoint of the bin, used as the x coordinate when plotting.
+    pub fn center(&self) -> f32 {
+        (self.lower + self.upper) / 2.0
+    }
+
+    /// `|acc - conf|`, the bin's contribution to miscalibration.
+    pub fn gap(&self) -> f64 {
+        (self.accuracy - self.confidence).abs()
+    }
+}
+
+/// A full reliability diagram: samples binned by confidence with per-bin
+/// accuracy and confidence, the visual calibration representation of
+/// paper Fig. 2 (after DeGroot & Fienberg, the paper's \[12\]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityDiagram {
+    bins: Vec<ReliabilityBin>,
+    total: usize,
+}
+
+impl ReliabilityDiagram {
+    /// Bins `(confidence, correct)` pairs into `num_bins` equal-width bins.
+    ///
+    /// Following the paper's definition, bin `m` covers
+    /// `((m-1)/M, m/M]`; confidences of exactly `0.0` land in the first
+    /// bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bins == 0`, the slices differ in length, or any
+    /// confidence lies outside `[0, 1]`.
+    pub fn new(confidences: &[f32], correct: &[bool], num_bins: usize) -> Self {
+        assert!(num_bins > 0, "need at least one bin");
+        assert_eq!(
+            confidences.len(),
+            correct.len(),
+            "confidences and correctness must align"
+        );
+        let mut counts = vec![0usize; num_bins];
+        let mut acc_sum = vec![0usize; num_bins];
+        let mut conf_sum = vec![0.0f64; num_bins];
+        for (&c, &ok) in confidences.iter().zip(correct) {
+            assert!(
+                (0.0..=1.0).contains(&c),
+                "confidence {c} outside [0, 1]"
+            );
+            // Bin m covers ((m-1)/M, m/M]: ceil(c * M) - 1, clamped.
+            let idx = if c <= 0.0 {
+                0
+            } else {
+                ((c * num_bins as f32).ceil() as usize - 1).min(num_bins - 1)
+            };
+            counts[idx] += 1;
+            if ok {
+                acc_sum[idx] += 1;
+            }
+            conf_sum[idx] += c as f64;
+        }
+        let bins = (0..num_bins)
+            .map(|m| {
+                let count = counts[m];
+                ReliabilityBin {
+                    lower: m as f32 / num_bins as f32,
+                    upper: (m + 1) as f32 / num_bins as f32,
+                    count,
+                    accuracy: if count > 0 {
+                        acc_sum[m] as f64 / count as f64
+                    } else {
+                        0.0
+                    },
+                    confidence: if count > 0 {
+                        conf_sum[m] / count as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        Self {
+            bins,
+            total: confidences.len(),
+        }
+    }
+
+    /// The bins, lowest confidence first.
+    pub fn bins(&self) -> &[ReliabilityBin] {
+        &self.bins
+    }
+
+    /// Total number of binned samples.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Expected Calibration Error (Eq. 3): the `|S_m| / n`-weighted average
+    /// of per-bin `|acc - conf|` gaps.
+    ///
+    /// (The paper's Eq. 3 prints the weight as `|S_m| / m`; the standard
+    /// definition it cites — Naeini et al., the paper's \[13\] — normalizes
+    /// by the total sample count `n`, which is what we implement.)
+    pub fn ece(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.bins
+            .iter()
+            .map(|b| b.count as f64 / self.total as f64 * b.gap())
+            .sum()
+    }
+
+    /// Maximum per-bin gap (Maximum Calibration Error), a common companion
+    /// metric.
+    pub fn mce(&self) -> f64 {
+        self.bins
+            .iter()
+            .filter(|b| b.count > 0)
+            .map(ReliabilityBin::gap)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Expected Calibration Error of `(confidence, correct)` pairs with
+/// `num_bins` equal-width bins — a convenience wrapper over
+/// [`ReliabilityDiagram::ece`].
+///
+/// # Panics
+///
+/// Same conditions as [`ReliabilityDiagram::new`].
+pub fn ece(confidences: &[f32], correct: &[bool], num_bins: usize) -> f64 {
+    ReliabilityDiagram::new(confidences, correct, num_bins).ece()
+}
+
+/// The signed overall gap `conf(S) - acc(S)`.
+///
+/// Positive means the model **overestimates** (confidence above accuracy);
+/// negative means it underestimates. This is the signal the paper's
+/// α-tuning rule consumes: "When the confidence underestimates the
+/// accuracy, we set α < 0 and vice-versa" — i.e. the sign of α follows
+/// the direction needed to close this gap.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn overall_gap(confidences: &[f32], correct: &[bool]) -> f64 {
+    assert_eq!(
+        confidences.len(),
+        correct.len(),
+        "confidences and correctness must align"
+    );
+    if confidences.is_empty() {
+        return 0.0;
+    }
+    let mean_conf =
+        confidences.iter().map(|&c| c as f64).sum::<f64>() / confidences.len() as f64;
+    let acc = correct.iter().filter(|&&c| c).count() as f64 / correct.len() as f64;
+    mean_conf - acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // 10 samples at 0.8 confidence, 8 correct.
+        let conf = [0.8f32; 10];
+        let mut ok = [true; 10];
+        ok[8] = false;
+        ok[9] = false;
+        assert!(ece(&conf, &ok, 10) < 1e-6);
+    }
+
+    #[test]
+    fn overconfident_model_has_positive_gap_and_nonzero_ece() {
+        let conf = [0.95f32; 10];
+        let ok = [
+            true, true, true, true, true, false, false, false, false, false,
+        ];
+        let e = ece(&conf, &ok, 10);
+        assert!((e - 0.45).abs() < 1e-6, "ece {e}");
+        assert!(overall_gap(&conf, &ok) > 0.4);
+    }
+
+    #[test]
+    fn underconfident_model_has_negative_gap() {
+        let conf = [0.5f32; 8];
+        let ok = [true; 8];
+        assert!(overall_gap(&conf, &ok) < -0.4);
+    }
+
+    #[test]
+    fn bin_edges_follow_paper_convention() {
+        // Confidence exactly at 0.1 belongs to bin (0, 0.1] = bin 0.
+        let diagram = ReliabilityDiagram::new(&[0.1, 0.100001, 1.0, 0.0], &[true; 4], 10);
+        assert_eq!(diagram.bins()[0].count, 2); // 0.1 and 0.0
+        assert_eq!(diagram.bins()[1].count, 1); // 0.100001
+        assert_eq!(diagram.bins()[9].count, 1); // 1.0
+    }
+
+    #[test]
+    fn empty_bins_do_not_contribute() {
+        let diagram = ReliabilityDiagram::new(&[0.95, 0.96], &[true, true], 10);
+        let populated: Vec<_> = diagram.bins().iter().filter(|b| b.count > 0).collect();
+        assert_eq!(populated.len(), 1);
+        assert!(diagram.ece() < 0.1);
+    }
+
+    #[test]
+    fn mce_at_least_ece() {
+        let conf = [0.9, 0.9, 0.3, 0.3];
+        let ok = [true, false, true, true];
+        let d = ReliabilityDiagram::new(&conf, &ok, 10);
+        assert!(d.mce() >= d.ece());
+    }
+
+    #[test]
+    fn ece_of_empty_input_is_zero() {
+        assert_eq!(ece(&[], &[], 10), 0.0);
+        assert_eq!(overall_gap(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bin_center_and_gap() {
+        let bin = ReliabilityBin {
+            lower: 0.2,
+            upper: 0.3,
+            count: 4,
+            accuracy: 0.5,
+            confidence: 0.25,
+        };
+        assert!((bin.center() - 0.25).abs() < 1e-6);
+        assert!((bin.gap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_confidence() {
+        ece(&[1.5], &[true], 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! Confidence calibration: ECE, reliability diagrams, entropy-regularized
+//! fine-tuning, and baselines.
+//!
+//! Paper §III-A argues that a utility-maximizing scheduler is only as good
+//! as its utility signal, and its utility signal is *classification
+//! confidence* — so confidence must be calibrated: "a well-calibrated
+//! classification confidence should be equal to the actual likelihood of
+//! classification correctness."
+//!
+//! This crate implements the full §III-A toolchain:
+//!
+//! - [`ece`] / [`ReliabilityDiagram`]: Eqs. 1–3 and Fig. 2 — bin test
+//!   samples by confidence, compare per-bin accuracy and confidence;
+//! - [`EntropyCalibrator`]: the paper's contribution (RTDeepIoT row of
+//!   Table II) — fine-tune with `L = CE + alpha * H` (Eq. 4), picking the
+//!   sign and magnitude of `alpha` from the measured calibration gap;
+//! - [`McDropout`]: the RDeepSense baseline — average softmax outputs over
+//!   stochastic dropout passes;
+//! - [`TemperatureScaling`]: a post-hoc ablation baseline (Guo et al.,
+//!   cited as \[11\] in the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_calibrate::{ece, ReliabilityDiagram};
+//!
+//! // Perfectly calibrated: 70%-confidence samples are correct 70% of the
+//! // time (here approximated with a tiny sample).
+//! let confidences = [0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7];
+//! let correct = [true, true, true, true, true, true, true, false, false, false];
+//! let e = ece(&confidences, &correct, 10);
+//! assert!(e < 1e-6);
+//! let diagram = ReliabilityDiagram::new(&confidences, &correct, 10);
+//! assert_eq!(diagram.bins().len(), 10);
+//! ```
+
+mod diagram;
+mod entropy;
+mod mc_dropout;
+pub mod regression;
+mod temperature;
+
+pub use diagram::{ece, overall_gap, ReliabilityBin, ReliabilityDiagram};
+pub use entropy::{CalibrationOutcome, EntropyCalibrator, EntropyCalibratorConfig};
+pub use mc_dropout::McDropout;
+pub use regression::{MeanVarianceConfig, MeanVarianceEstimator};
+pub use temperature::TemperatureScaling;

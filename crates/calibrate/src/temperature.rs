@@ -1,0 +1,178 @@
+use eugene_data::Dataset;
+use eugene_nn::{StageEval, StagedNetwork};
+use eugene_tensor::{log_softmax, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Post-hoc temperature scaling (Guo et al., the paper's \[11\]), included
+/// as an ablation baseline beyond the paper's Table II.
+///
+/// A single scalar `T > 0` per stage rescales logits to `z / T` before the
+/// softmax; `T` is chosen to minimize negative log-likelihood on a
+/// calibration split by golden-section search. Unlike entropy fine-tuning
+/// it cannot change accuracy (argmax is invariant under positive scaling).
+///
+/// # Examples
+///
+/// ```
+/// use eugene_calibrate::TemperatureScaling;
+/// use eugene_tensor::Matrix;
+///
+/// // Overconfident logits: a temperature above 1 softens them.
+/// let logits = Matrix::from_rows(&[&[8.0, 0.0], &[7.0, 0.5]]);
+/// let labels = [0usize, 1];
+/// let ts = TemperatureScaling::fit_logits(&logits, &labels);
+/// assert!(ts.temperature() > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureScaling {
+    temperature: f32,
+}
+
+impl TemperatureScaling {
+    /// Minimum/maximum temperatures searched.
+    const T_MIN: f32 = 0.05;
+    const T_MAX: f32 = 20.0;
+
+    /// Fits the temperature minimizing NLL of `labels` under `logits / T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()` or the batch is empty.
+    pub fn fit_logits(logits: &Matrix, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), logits.rows(), "one label per row required");
+        assert!(!labels.is_empty(), "cannot fit on an empty batch");
+        let nll = |t: f32| -> f64 {
+            let mut total = 0.0f64;
+            for (i, &y) in labels.iter().enumerate() {
+                let scaled: Vec<f32> = logits.row(i).iter().map(|z| z / t).collect();
+                let ls = log_softmax(&scaled);
+                total -= ls[y] as f64;
+            }
+            total / labels.len() as f64
+        };
+        // Golden-section search over log-temperature: NLL(T) is unimodal
+        // for temperature scaling.
+        let phi = (5.0_f32.sqrt() - 1.0) / 2.0;
+        let (mut lo, mut hi) = (Self::T_MIN.ln(), Self::T_MAX.ln());
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let mut f1 = nll(x1.exp());
+        let mut f2 = nll(x2.exp());
+        for _ in 0..60 {
+            if f1 < f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = nll(x1.exp());
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = nll(x2.exp());
+            }
+        }
+        Self {
+            temperature: ((lo + hi) / 2.0).exp(),
+        }
+    }
+
+    /// The fitted temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Applies the temperature to raw logits, returning scaled logits.
+    pub fn apply(&self, logits: &Matrix) -> Matrix {
+        logits.map(|z| z / self.temperature)
+    }
+
+    /// Fits one temperature per stage of `network` on `calibration` and
+    /// returns the per-stage scalers plus the rescaled evaluations.
+    pub fn fit_staged(
+        network: &StagedNetwork,
+        calibration: &Dataset,
+    ) -> (Vec<TemperatureScaling>, Vec<StageEval>) {
+        let logits = network.predict_all(calibration.features());
+        let mut scalers = Vec::with_capacity(logits.len());
+        let mut evals = Vec::with_capacity(logits.len());
+        for (s, stage_logits) in logits.iter().enumerate() {
+            let ts = Self::fit_logits(stage_logits, calibration.labels());
+            let scaled = ts.apply(stage_logits);
+            evals.push(StageEval::from_logits(s, &scaled, calibration.labels()));
+            scalers.push(ts);
+        }
+        (scalers, evals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ece;
+
+    /// Logits engineered so raw confidence is ~0.999 while accuracy is 75%.
+    fn overconfident_batch() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            rows.push([8.0f32, 0.0]);
+            // 3 out of 4 are actually class 0.
+            labels.push(if i % 4 == 0 { 1 } else { 0 });
+        }
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        (Matrix::from_vec(40, 2, flat), labels)
+    }
+
+    #[test]
+    fn fitted_temperature_softens_overconfident_logits() {
+        let (logits, labels) = overconfident_batch();
+        let ts = TemperatureScaling::fit_logits(&logits, &labels);
+        assert!(ts.temperature() > 1.5, "T = {}", ts.temperature());
+        let before = StageEval::from_logits(0, &logits, &labels);
+        let after = StageEval::from_logits(0, &ts.apply(&logits), &labels);
+        let ece_before = ece(&before.confidences, &before.correct, 10);
+        let ece_after = ece(&after.confidences, &after.correct, 10);
+        assert!(
+            ece_after < ece_before,
+            "temperature should reduce ECE: {ece_before} -> {ece_after}"
+        );
+    }
+
+    #[test]
+    fn accuracy_is_invariant_under_scaling() {
+        let (logits, labels) = overconfident_batch();
+        let ts = TemperatureScaling::fit_logits(&logits, &labels);
+        let before = StageEval::from_logits(0, &logits, &labels);
+        let after = StageEval::from_logits(0, &ts.apply(&logits), &labels);
+        assert_eq!(before.predictions, after.predictions);
+        assert_eq!(before.accuracy, after.accuracy);
+    }
+
+    #[test]
+    fn well_calibrated_logits_keep_temperature_near_one() {
+        // Construct logits whose confidence roughly matches accuracy:
+        // confidence ~0.73, accuracy 0.75.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            rows.push([1.0f32, 0.0]);
+            labels.push(if i % 4 == 0 { 1 } else { 0 });
+        }
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let logits = Matrix::from_vec(80, 2, flat);
+        let ts = TemperatureScaling::fit_logits(&logits, &labels);
+        assert!(
+            (0.5..2.0).contains(&ts.temperature()),
+            "T = {}",
+            ts.temperature()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        TemperatureScaling::fit_logits(&Matrix::zeros(0, 2), &[]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the calibration metrics.
+
+use eugene_calibrate::{ece, overall_gap, ReliabilityDiagram};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    prop::collection::vec((0.0f32..=1.0, any::<bool>()), 1..200)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ece_is_bounded((conf, correct) in samples(), bins in 1usize..30) {
+        let e = ece(&conf, &correct, bins);
+        prop_assert!((0.0..=1.0).contains(&e), "ece {e}");
+    }
+
+    #[test]
+    fn ece_lower_bounds_the_overall_gap((conf, correct) in samples(), bins in 1usize..30) {
+        // Binned absolute gaps can only exceed or equal the absolute
+        // overall gap (triangle inequality over bins).
+        let e = ece(&conf, &correct, bins);
+        let gap = overall_gap(&conf, &correct).abs();
+        prop_assert!(e >= gap - 1e-6, "ece {e} below |gap| {gap}");
+    }
+
+    #[test]
+    fn one_bin_ece_equals_overall_gap((conf, correct) in samples()) {
+        let e = ece(&conf, &correct, 1);
+        let gap = overall_gap(&conf, &correct).abs();
+        prop_assert!((e - gap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_counts_sum_to_total((conf, correct) in samples(), bins in 1usize..25) {
+        let diagram = ReliabilityDiagram::new(&conf, &correct, bins);
+        let total: usize = diagram.bins().iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, conf.len());
+        prop_assert_eq!(diagram.total(), conf.len());
+    }
+
+    #[test]
+    fn bin_confidences_lie_within_their_interval((conf, correct) in samples(), bins in 1usize..25) {
+        let diagram = ReliabilityDiagram::new(&conf, &correct, bins);
+        for b in diagram.bins() {
+            if b.count > 0 {
+                // Mean confidence of a bin's members lies in (or at the
+                // closed edges of) the bin interval.
+                prop_assert!(b.confidence >= b.lower as f64 - 1e-6);
+                prop_assert!(b.confidence <= b.upper as f64 + 1e-6);
+                prop_assert!((0.0..=1.0).contains(&b.accuracy));
+            }
+        }
+    }
+
+    #[test]
+    fn mce_dominates_ece((conf, correct) in samples(), bins in 1usize..25) {
+        let diagram = ReliabilityDiagram::new(&conf, &correct, bins);
+        prop_assert!(diagram.mce() >= diagram.ece() - 1e-9);
+    }
+
+    #[test]
+    fn perfectly_confident_and_correct_is_calibrated(n in 1usize..100) {
+        let conf = vec![1.0f32; n];
+        let correct = vec![true; n];
+        prop_assert!(ece(&conf, &correct, 10) < 1e-9);
+    }
+}

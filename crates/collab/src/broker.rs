@@ -1,0 +1,267 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A discovered collaboration relationship between two cameras.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollabLink {
+    /// First camera id.
+    pub a: usize,
+    /// Second camera id.
+    pub b: usize,
+    /// Frame lag at which their sightings correlate best: `lag` frames
+    /// after `a` sees someone, `b` tends to see them (`0` = concurrent
+    /// overlap, `> 0` = the corridor scenario).
+    pub lag: usize,
+    /// Correlation score in `[0, 1]` at that lag.
+    pub score: f64,
+}
+
+/// The collaboration broker of paper §IV-C: "by operating on the metadata
+/// & higher-level inferences from individual nodes, Eugene can discover
+/// and establish the relevant collaboration parameters — e.g.,
+/// instructing cameras A & B to apply the collaborative tracking
+/// mechanism ..., but with a time lag of 20 seconds."
+///
+/// Each camera reports only the *identities* it inferred per frame (an
+/// anonymous re-identification signature — no positions or images cross
+/// the network, addressing the paper's "low communication overheads and
+/// privacy" requirement). The broker correlates sighting streams across
+/// camera pairs and candidate lags; pairs whose best-lag correlation
+/// clears a threshold become collaborators.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_collab::SightingBroker;
+///
+/// let mut broker = SightingBroker::new(2);
+/// for frame in 0..20 {
+///     // Both cameras watch the same person walk by, frame for frame
+///     // (ids change every frame, so only lag 0 correlates).
+///     broker.record_frame(0, [frame]);
+///     broker.record_frame(1, [frame]);
+/// }
+/// let links = broker.discover(3, 0.5);
+/// assert_eq!(links.len(), 1);
+/// assert_eq!(links[0].lag, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SightingBroker {
+    /// `sightings[camera][frame]` = ids inferred in that frame.
+    sightings: Vec<Vec<HashSet<usize>>>,
+}
+
+impl SightingBroker {
+    /// Creates a broker tracking `num_cameras` cameras.
+    pub fn new(num_cameras: usize) -> Self {
+        Self {
+            sightings: vec![Vec::new(); num_cameras],
+        }
+    }
+
+    /// Number of cameras tracked.
+    pub fn num_cameras(&self) -> usize {
+        self.sightings.len()
+    }
+
+    /// Number of frames recorded for camera `camera`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `camera` is out of range.
+    pub fn frames(&self, camera: usize) -> usize {
+        self.sightings[camera].len()
+    }
+
+    /// Appends one frame of inferred identities for a camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `camera` is out of range.
+    pub fn record_frame(&mut self, camera: usize, ids: impl IntoIterator<Item = usize>) {
+        assert!(camera < self.sightings.len(), "camera {camera} out of range");
+        self.sightings[camera].push(ids.into_iter().collect());
+    }
+
+    /// Correlation of camera `a`'s sightings with camera `b`'s sightings
+    /// `lag` frames later: the fraction of `a`'s sighting events
+    /// `(frame, id)` for which `b` reports the same id at `frame + lag`,
+    /// normalized symmetrically by the smaller event count (so a camera
+    /// that sees everything does not spuriously correlate with everyone).
+    ///
+    /// Returns `0.0` when either stream has no events in the comparable
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either camera id is out of range.
+    pub fn correlation(&self, a: usize, b: usize, lag: usize) -> f64 {
+        let sa = &self.sightings[a];
+        let sb = &self.sightings[b];
+        let frames = sa.len().min(sb.len().saturating_sub(lag));
+        if frames == 0 {
+            return 0.0;
+        }
+        let mut joint = 0usize;
+        let mut events_a = 0usize;
+        let mut events_b = 0usize;
+        for f in 0..frames {
+            events_a += sa[f].len();
+            events_b += sb[f + lag].len();
+            joint += sa[f].intersection(&sb[f + lag]).count();
+        }
+        let denom = events_a.min(events_b);
+        if denom == 0 {
+            return 0.0;
+        }
+        joint as f64 / denom as f64
+    }
+
+    /// Scans every ordered camera pair and lag in `0..=max_lag`, returning
+    /// the links whose best-lag correlation reaches `threshold`, strongest
+    /// first. Concurrent overlap is reported once per unordered pair
+    /// (`a < b`); lagged links are directional.
+    pub fn discover(&self, max_lag: usize, threshold: f64) -> Vec<CollabLink> {
+        let n = self.sightings.len();
+        let mut links = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                // Unordered at lag 0 (report once), ordered for lags > 0.
+                let mut best: Option<(usize, f64)> = None;
+                for lag in 0..=max_lag {
+                    if lag == 0 && a > b {
+                        continue;
+                    }
+                    let score = self.correlation(a, b, lag);
+                    if best.is_none_or(|(_, s)| score > s) {
+                        best = Some((lag, score));
+                    }
+                }
+                if let Some((lag, score)) = best {
+                    if score >= threshold {
+                        links.push(CollabLink { a, b, lag, score });
+                    }
+                }
+            }
+        }
+        links.sort_by(|x, y| y.score.total_cmp(&x.score).then(x.a.cmp(&y.a)));
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Camera, DetectorModel, World, WorldConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Records real detection streams from the ring-camera world.
+    fn observed_broker(frames: usize, seed: u64) -> (SightingBroker, Vec<Camera>) {
+        let mut world = World::new(WorldConfig::default(), seed);
+        let cameras = Camera::ring(8, world.config().arena_side);
+        let model = DetectorModel::movidius_class();
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let mut broker = SightingBroker::new(cameras.len());
+        for _ in 0..frames {
+            world.step(0.5);
+            for cam in &cameras {
+                let ids = cam
+                    .detect(&world, &model, &mut rng)
+                    .into_iter()
+                    .filter_map(|d| d.truth);
+                broker.record_frame(cam.id, ids);
+            }
+        }
+        (broker, cameras)
+    }
+
+    #[test]
+    fn discovered_concurrent_links_are_geometrically_overlapping() {
+        let (broker, cameras) = observed_broker(150, 42);
+        let links = broker.discover(0, 0.25);
+        assert!(!links.is_empty(), "dense ring deployment must correlate");
+        for link in &links {
+            assert!(
+                cameras[link.a].fov.overlaps(&cameras[link.b].fov)
+                    || broker.correlation(link.a, link.b, 0) > 0.25,
+                "link {link:?} has no geometric basis"
+            );
+        }
+    }
+
+    #[test]
+    fn most_overlapping_pairs_are_discovered() {
+        let (broker, cameras) = observed_broker(200, 43);
+        let links = broker.discover(0, 0.2);
+        let discovered: HashSet<(usize, usize)> =
+            links.iter().map(|l| (l.a.min(l.b), l.a.max(l.b))).collect();
+        let mut overlapping = 0;
+        let mut found = 0;
+        for a in 0..cameras.len() {
+            for b in a + 1..cameras.len() {
+                if cameras[a].fov.overlaps(&cameras[b].fov) {
+                    overlapping += 1;
+                    if discovered.contains(&(a, b)) {
+                        found += 1;
+                    }
+                }
+            }
+        }
+        assert!(overlapping > 0, "ring cameras overlap by construction");
+        let recall = found as f64 / overlapping as f64;
+        assert!(recall >= 0.6, "broker found {found}/{overlapping} overlaps");
+    }
+
+    #[test]
+    fn lagged_corridor_pair_is_discovered_with_its_lag() {
+        // The paper's corridor scenario: camera 1 sees what camera 0 saw
+        // three frames earlier.
+        let mut broker = SightingBroker::new(2);
+        let lag = 3usize;
+        for frame in 0..60 {
+            let person = frame / 5 % 7; // slowly changing occupant
+            broker.record_frame(0, [person]);
+            // Camera 1's stream: same ids delayed by `lag` frames.
+            let delayed = if frame >= lag { (frame - lag) / 5 % 7 } else { 99 };
+            broker.record_frame(1, [delayed]);
+        }
+        let links = broker.discover(5, 0.6);
+        let corridor = links
+            .iter()
+            .find(|l| l.a == 0 && l.b == 1)
+            .expect("corridor link discovered");
+        assert_eq!(corridor.lag, lag, "wrong lag: {corridor:?}");
+        assert!(corridor.score > 0.8);
+    }
+
+    #[test]
+    fn independent_streams_do_not_correlate() {
+        let mut broker = SightingBroker::new(2);
+        for frame in 0..50 {
+            broker.record_frame(0, [frame % 5]);
+            broker.record_frame(1, [100 + frame % 7]);
+        }
+        assert!(broker.discover(3, 0.1).is_empty());
+        assert_eq!(broker.correlation(0, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_frames_are_safe() {
+        let mut broker = SightingBroker::new(2);
+        broker.record_frame(0, []);
+        broker.record_frame(1, []);
+        assert_eq!(broker.correlation(0, 1, 0), 0.0);
+        assert!(broker.discover(2, 0.1).is_empty());
+        assert_eq!(broker.frames(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recording_to_unknown_camera_panics() {
+        SightingBroker::new(1).record_frame(5, [1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Planar geometry for the camera world: vectors, fields of view, and
+//! line-of-sight occlusion tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point/vector in ground (world) coordinates, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Vec2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Vector length.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Component-wise addition.
+    pub fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Angle of the vector from the +x axis, in radians.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+/// A camera's viewing cone: apex position, central direction, half-angle,
+/// and range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldOfView {
+    /// Camera position.
+    pub origin: Vec2,
+    /// Central viewing direction, radians from +x.
+    pub direction: f64,
+    /// Half of the cone's opening angle, radians.
+    pub half_angle: f64,
+    /// Maximum viewing distance, meters.
+    pub range: f64,
+}
+
+impl FieldOfView {
+    /// Creates a field of view.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < half_angle < pi` and `range > 0`.
+    pub fn new(origin: Vec2, direction: f64, half_angle: f64, range: f64) -> Self {
+        assert!(
+            half_angle > 0.0 && half_angle < std::f64::consts::PI,
+            "half_angle must be in (0, pi)"
+        );
+        assert!(range > 0.0, "range must be positive");
+        Self {
+            origin,
+            direction,
+            half_angle,
+            range,
+        }
+    }
+
+    /// Whether `point` lies inside the cone.
+    pub fn contains(&self, point: Vec2) -> bool {
+        let rel = point.sub(self.origin);
+        let dist = rel.norm();
+        if dist > self.range || dist == 0.0 {
+            return dist == 0.0;
+        }
+        let mut delta = (rel.angle() - self.direction).abs();
+        if delta > std::f64::consts::PI {
+            delta = 2.0 * std::f64::consts::PI - delta;
+        }
+        delta <= self.half_angle
+    }
+
+    /// Whether the straight line of sight from the camera to `target` is
+    /// blocked by any of `blockers` (a blocker occludes when it lies
+    /// between camera and target within `blocker_radius` of the sight
+    /// line).
+    pub fn occluded(&self, target: Vec2, blockers: &[Vec2], blocker_radius: f64) -> bool {
+        let to_target = target.sub(self.origin);
+        let len = to_target.norm();
+        if len == 0.0 {
+            return false;
+        }
+        for &b in blockers {
+            if b == target {
+                continue;
+            }
+            let to_b = b.sub(self.origin);
+            // Projection of the blocker onto the sight line.
+            let t = to_b.dot(to_target) / (len * len);
+            if t <= 0.0 || t >= 1.0 {
+                continue; // behind camera or beyond target
+            }
+            let closest = self.origin.add(to_target.scale(t));
+            if b.distance(closest) <= blocker_radius {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Approximate FoV-overlap indicator with another camera: whether the
+    /// midpoints of each cone's axis fall inside the other cone (cheap and
+    /// good enough for deciding collaboration candidates).
+    pub fn overlaps(&self, other: &FieldOfView) -> bool {
+        let mid_self = self.origin.add(
+            Vec2::new(self.direction.cos(), self.direction.sin()).scale(self.range / 2.0),
+        );
+        let mid_other = other.origin.add(
+            Vec2::new(other.direction.cos(), other.direction.sin()).scale(other.range / 2.0),
+        );
+        self.contains(mid_other) || other.contains(mid_self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn vec2_basics() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.distance(Vec2::default()), 5.0);
+        assert_eq!(a.sub(Vec2::new(1.0, 1.0)), Vec2::new(2.0, 3.0));
+        assert_eq!(a.scale(2.0), Vec2::new(6.0, 8.0));
+        assert!((Vec2::new(0.0, 1.0).angle() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fov_contains_points_in_cone() {
+        let fov = FieldOfView::new(Vec2::default(), 0.0, FRAC_PI_4, 10.0);
+        assert!(fov.contains(Vec2::new(5.0, 0.0)));
+        assert!(fov.contains(Vec2::new(5.0, 4.0)));
+        assert!(!fov.contains(Vec2::new(5.0, 6.0)), "outside the cone angle");
+        assert!(!fov.contains(Vec2::new(15.0, 0.0)), "beyond range");
+        assert!(!fov.contains(Vec2::new(-5.0, 0.0)), "behind the camera");
+    }
+
+    #[test]
+    fn fov_handles_wraparound_direction() {
+        let fov = FieldOfView::new(Vec2::default(), PI, FRAC_PI_4, 10.0);
+        assert!(fov.contains(Vec2::new(-5.0, 0.1)));
+        assert!(fov.contains(Vec2::new(-5.0, -0.1)));
+    }
+
+    #[test]
+    fn occlusion_requires_blocker_between() {
+        let fov = FieldOfView::new(Vec2::default(), 0.0, FRAC_PI_4, 20.0);
+        let target = Vec2::new(10.0, 0.0);
+        assert!(fov.occluded(target, &[Vec2::new(5.0, 0.1)], 0.4));
+        assert!(!fov.occluded(target, &[Vec2::new(5.0, 2.0)], 0.4), "offset blocker");
+        assert!(!fov.occluded(target, &[Vec2::new(15.0, 0.0)], 0.4), "behind target");
+        assert!(!fov.occluded(target, &[target], 0.4), "target is not its own blocker");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = FieldOfView::new(Vec2::new(0.0, 0.0), 0.0, FRAC_PI_4, 10.0);
+        let b = FieldOfView::new(Vec2::new(10.0, 0.0), PI, FRAC_PI_4, 10.0);
+        assert!(a.overlaps(&b), "facing cones overlap");
+        let c = FieldOfView::new(Vec2::new(100.0, 100.0), 0.0, FRAC_PI_4, 5.0);
+        assert!(!a.overlaps(&c));
+    }
+}

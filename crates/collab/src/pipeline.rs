@@ -1,0 +1,271 @@
+use crate::{Camera, Detection, DetectorModel, Vec2, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Parameters shared by both pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Frames to simulate.
+    pub frames: usize,
+    /// Wall-clock seconds between frames.
+    pub frame_dt: f64,
+    /// Collaborative mode: a camera runs its full detector once every this
+    /// many frames (staggered across cameras); all other frames use the
+    /// cheap verification path on shared/tracked boxes.
+    pub keyframe_interval: usize,
+    /// Association gate for verifying a shared/tracked box, meters.
+    pub gate_m: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            frames: 120,
+            frame_dt: 0.5,
+            keyframe_interval: 8,
+            gate_m: 1.5,
+        }
+    }
+}
+
+/// Aggregate result of a pipeline run — the two Table IV columns plus
+/// telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// People-detection accuracy: true positives over (people present +
+    /// false positives), aggregated over every camera-frame.
+    pub detection_accuracy: f64,
+    /// Mean per-camera per-frame recognition latency, ms (keyframes
+    /// amortized in collaborative mode).
+    pub mean_latency_ms: f64,
+    /// Latency of the steady-state recognition path, ms (full DNN for the
+    /// individual pipeline, box verification for the collaborative one) —
+    /// the number Table IV reports.
+    pub recognition_latency_ms: f64,
+    /// Camera-frames simulated.
+    pub camera_frames: usize,
+    /// Total false positives across the run.
+    pub false_positives: usize,
+}
+
+/// Runs the paper's baseline: every camera executes the full detection +
+/// identification DNNs on every frame, in isolation.
+pub fn run_individual(
+    world: &mut World,
+    cameras: &[Camera],
+    model: &DetectorModel,
+    config: &PipelineConfig,
+    seed: u64,
+) -> PipelineReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tp = 0usize;
+    let mut present_total = 0usize;
+    let mut fp = 0usize;
+    for _ in 0..config.frames {
+        world.step(config.frame_dt);
+        for cam in cameras {
+            let detections = cam.detect(world, model, &mut rng);
+            let present = cam.visible_people(world);
+            let (frame_tp, frame_fp) = score(&detections, &present);
+            tp += frame_tp;
+            fp += frame_fp;
+            present_total += present.len();
+        }
+    }
+    let camera_frames = config.frames * cameras.len();
+    PipelineReport {
+        detection_accuracy: tp as f64 / (present_total + fp).max(1) as f64,
+        mean_latency_ms: model.full_latency_ms,
+        recognition_latency_ms: model.full_latency_ms,
+        camera_frames,
+        false_positives: fp,
+    }
+}
+
+/// Runs the collaborative pipeline of §IV: cameras share bounding-box
+/// coordinates (remapped to the common ground frame); each camera
+/// verifies shared and tracked boxes on the cheap path, running its full
+/// detector only on staggered keyframes.
+pub fn run_collaborative(
+    world: &mut World,
+    cameras: &[Camera],
+    model: &DetectorModel,
+    config: &PipelineConfig,
+    seed: u64,
+) -> PipelineReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cameras.len();
+    let mut tracks: Vec<Vec<Vec2>> = vec![Vec::new(); n];
+    let mut shared_prev: Vec<Detection> = Vec::new();
+    let mut tp = 0usize;
+    let mut present_total = 0usize;
+    let mut fp = 0usize;
+    let mut latency_total = 0.0;
+    for frame in 0..config.frames {
+        world.step(config.frame_dt);
+        let mut shared_next: Vec<Detection> = Vec::new();
+        for (ci, cam) in cameras.iter().enumerate() {
+            let keyframe = config.keyframe_interval <= 1
+                || (frame + ci * config.keyframe_interval / n.max(1)).is_multiple_of(config.keyframe_interval);
+            let detections = if keyframe {
+                latency_total += model.full_latency_ms;
+                cam.detect(world, model, &mut rng)
+            } else {
+                latency_total += model.verify_latency_ms;
+                // Candidates: own tracks plus boxes shared by peers last
+                // frame (skipping our own re-broadcasts), deduplicated.
+                let mut candidates: Vec<Vec2> = tracks[ci].clone();
+                for d in &shared_prev {
+                    if d.camera_id != cam.id {
+                        candidates.push(d.position);
+                    }
+                }
+                let candidates = dedupe_positions(candidates, config.gate_m * 0.6);
+                let mut dets = Vec::new();
+                for pos in candidates {
+                    if let Some(d) =
+                        cam.verify_shared_box(world, pos, config.gate_m, model, &mut rng)
+                    {
+                        dets.push(d);
+                    }
+                }
+                dedupe_detections(dets, config.gate_m * 0.6)
+            };
+            let present = cam.visible_people(world);
+            let (frame_tp, frame_fp) = score(&detections, &present);
+            tp += frame_tp;
+            fp += frame_fp;
+            present_total += present.len();
+            tracks[ci] = detections.iter().map(|d| d.position).collect();
+            shared_next.extend(detections);
+        }
+        shared_prev = shared_next;
+    }
+    let camera_frames = config.frames * n;
+    PipelineReport {
+        detection_accuracy: tp as f64 / (present_total + fp).max(1) as f64,
+        mean_latency_ms: latency_total / camera_frames.max(1) as f64,
+        recognition_latency_ms: model.verify_latency_ms,
+        camera_frames,
+        false_positives: fp,
+    }
+}
+
+/// Counts distinct true positives and false positives in one camera frame.
+fn score(detections: &[Detection], present: &[usize]) -> (usize, usize) {
+    let present: HashSet<usize> = present.iter().copied().collect();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut tp = 0;
+    let mut fp = 0;
+    for d in detections {
+        match d.truth {
+            Some(id) if present.contains(&id) => {
+                if seen.insert(id) {
+                    tp += 1;
+                } else {
+                    fp += 1; // duplicate count of the same person
+                }
+            }
+            _ => fp += 1,
+        }
+    }
+    (tp, fp)
+}
+
+fn dedupe_positions(mut positions: Vec<Vec2>, radius: f64) -> Vec<Vec2> {
+    let mut out: Vec<Vec2> = Vec::with_capacity(positions.len());
+    for p in positions.drain(..) {
+        if out.iter().all(|q| q.distance(p) > radius) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn dedupe_detections(detections: Vec<Detection>, radius: f64) -> Vec<Detection> {
+    let mut out: Vec<Detection> = Vec::with_capacity(detections.len());
+    for d in detections {
+        if out.iter().all(|q| q.position.distance(d.position) > radius) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldConfig;
+
+    fn setup(seed: u64) -> (World, Vec<Camera>, DetectorModel) {
+        let world = World::new(WorldConfig::default(), seed);
+        let cameras = Camera::ring(8, world.config().arena_side);
+        (world, cameras, DetectorModel::movidius_class())
+    }
+
+    #[test]
+    fn individual_accuracy_is_in_the_papers_band() {
+        let (mut world, cameras, model) = setup(100);
+        let report = run_individual(&mut world, &cameras, &model, &PipelineConfig::default(), 1);
+        assert!(
+            (0.55..0.80).contains(&report.detection_accuracy),
+            "individual accuracy {} outside Table IV band",
+            report.detection_accuracy
+        );
+        assert_eq!(report.recognition_latency_ms, 550.0);
+    }
+
+    #[test]
+    fn collaboration_beats_individual_on_both_axes() {
+        let (mut world_a, cameras, model) = setup(200);
+        let config = PipelineConfig::default();
+        let individual = run_individual(&mut world_a, &cameras, &model, &config, 2);
+        let (mut world_b, _, _) = setup(200);
+        let collaborative = run_collaborative(&mut world_b, &cameras, &model, &config, 2);
+        assert!(
+            collaborative.detection_accuracy > individual.detection_accuracy + 0.03,
+            "collab {} vs individual {}",
+            collaborative.detection_accuracy,
+            individual.detection_accuracy
+        );
+        assert!(
+            collaborative.recognition_latency_ms * 10.0 < individual.recognition_latency_ms,
+            "latency reduction below 10x"
+        );
+        assert!(collaborative.mean_latency_ms < individual.mean_latency_ms / 3.0);
+    }
+
+    #[test]
+    fn reports_are_deterministic_given_seeds() {
+        let config = PipelineConfig::default();
+        let run = || {
+            let (mut world, cameras, model) = setup(300);
+            run_collaborative(&mut world, &cameras, &model, &config, 3)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn score_counts_duplicates_and_ghosts_as_false_positives() {
+        let d = |truth: Option<usize>| Detection {
+            camera_id: 0,
+            position: Vec2::default(),
+            truth,
+        };
+        let (tp, fp) = score(&[d(Some(1)), d(Some(1)), d(None), d(Some(9))], &[1, 2]);
+        assert_eq!(tp, 1);
+        assert_eq!(fp, 3); // duplicate of 1, ghost, and not-present 9
+    }
+
+    #[test]
+    fn dedupe_merges_close_positions() {
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.1, 0.0),
+            Vec2::new(5.0, 5.0),
+        ];
+        assert_eq!(dedupe_positions(positions, 0.5).len(), 2);
+    }
+}

@@ -1,0 +1,319 @@
+use crate::{Camera, Detection, DetectorModel, PipelineConfig, PipelineReport, Vec2, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Configuration of the rogue-camera experiment (paper §IV-C: "false or
+/// noisy bounding box estimates by one camera can reduce the people
+/// detection accuracy of other peer cameras by over 20%").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RogueConfig {
+    /// Id of the compromised camera.
+    pub rogue_camera: usize,
+    /// Fabricated boxes it injects per frame.
+    pub fake_boxes_per_frame: usize,
+    /// Whether the reputation filter defense is enabled.
+    pub defended: bool,
+}
+
+impl Default for RogueConfig {
+    fn default() -> Self {
+        Self {
+            rogue_camera: 0,
+            fake_boxes_per_frame: 6,
+            defended: false,
+        }
+    }
+}
+
+/// The resilience service the paper calls for: Eugene "continuously
+/// monitors the output inference streams ... of individual IoT devices"
+/// to uncover faulty behavior. Here each camera keeps a per-peer
+/// verification ledger: shared boxes that repeatedly fail local
+/// verification drive the peer's reputation down, and boxes from peers
+/// below the trust threshold are ignored.
+#[derive(Debug, Clone)]
+pub struct ReputationFilter {
+    /// Per peer: (verified, attempted).
+    ledger: HashMap<usize, (u64, u64)>,
+    trust_threshold: f64,
+    min_attempts: u64,
+}
+
+impl ReputationFilter {
+    /// Creates a filter that distrusts peers whose verification success
+    /// rate drops below `trust_threshold` (after `min_attempts` samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < trust_threshold < 1.0`.
+    pub fn new(trust_threshold: f64, min_attempts: u64) -> Self {
+        assert!(
+            trust_threshold > 0.0 && trust_threshold < 1.0,
+            "trust threshold must be in (0, 1)"
+        );
+        Self {
+            ledger: HashMap::new(),
+            trust_threshold,
+            min_attempts,
+        }
+    }
+
+    /// Records the outcome of verifying one shared box from `peer`.
+    pub fn record(&mut self, peer: usize, verified: bool) {
+        let entry = self.ledger.entry(peer).or_insert((0, 0));
+        entry.1 += 1;
+        if verified {
+            entry.0 += 1;
+        }
+    }
+
+    /// Whether boxes from `peer` should currently be trusted.
+    pub fn trusts(&self, peer: usize) -> bool {
+        match self.ledger.get(&peer) {
+            None => true,
+            Some(&(ok, total)) => {
+                total < self.min_attempts || ok as f64 / total as f64 >= self.trust_threshold
+            }
+        }
+    }
+
+    /// Verification success rate observed for `peer`, if any.
+    pub fn success_rate(&self, peer: usize) -> Option<f64> {
+        self.ledger
+            .get(&peer)
+            .filter(|(_, total)| *total > 0)
+            .map(|&(ok, total)| ok as f64 / total as f64)
+    }
+}
+
+/// Runs the collaborative pipeline with one rogue camera injecting
+/// fabricated boxes, optionally defended by per-camera
+/// [`ReputationFilter`]s. Returns the same report shape as the honest
+/// pipelines for direct comparison.
+pub fn run_with_rogue(
+    world: &mut World,
+    cameras: &[Camera],
+    model: &DetectorModel,
+    config: &PipelineConfig,
+    rogue: &RogueConfig,
+    seed: u64,
+) -> PipelineReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cameras.len();
+    let mut tracks: Vec<Vec<Vec2>> = vec![Vec::new(); n];
+    let mut shared_prev: Vec<Detection> = Vec::new();
+    let mut filters: Vec<ReputationFilter> =
+        (0..n).map(|_| ReputationFilter::new(0.3, 12)).collect();
+    let mut tp = 0usize;
+    let mut present_total = 0usize;
+    let mut fp = 0usize;
+    let mut latency_total = 0.0;
+    for frame in 0..config.frames {
+        world.step(config.frame_dt);
+        let side = world.config().arena_side;
+        let mut shared_next: Vec<Detection> = Vec::new();
+        for (ci, cam) in cameras.iter().enumerate() {
+            let keyframe = config.keyframe_interval <= 1
+                || (frame + ci * config.keyframe_interval / n.max(1)).is_multiple_of(config.keyframe_interval);
+            let detections = if keyframe {
+                latency_total += model.full_latency_ms;
+                cam.detect(world, model, &mut rng)
+            } else {
+                latency_total += model.verify_latency_ms;
+                let mut dets = Vec::new();
+                let mut candidates: Vec<(Option<usize>, Vec2)> =
+                    tracks[ci].iter().map(|&p| (None, p)).collect();
+                for d in &shared_prev {
+                    if d.camera_id == cam.id {
+                        continue;
+                    }
+                    if rogue.defended && !filters[ci].trusts(d.camera_id) {
+                        continue;
+                    }
+                    candidates.push((Some(d.camera_id), d.position));
+                }
+                let mut used: Vec<Vec2> = Vec::new();
+                for (origin, pos) in candidates {
+                    if used.iter().any(|q| q.distance(pos) <= config.gate_m * 0.6) {
+                        continue;
+                    }
+                    used.push(pos);
+                    let verified = cam.verify_shared_box(world, pos, config.gate_m, model, &mut rng);
+                    if let Some(peer) = origin {
+                        // Only score attempts the camera could actually
+                        // check (inside its own FoV).
+                        if cam.fov.contains(pos) {
+                            filters[ci].record(peer, verified.is_some());
+                        }
+                    }
+                    if let Some(d) = verified {
+                        dets.push(d);
+                    } else if origin.is_some() && !rogue.defended {
+                        // Undefended pipelines take peers at their word
+                        // when they cannot verify locally — the attack
+                        // vector of §IV-C: a plausible box inside the FoV
+                        // is adopted as a (ghost) count.
+                        if cam.fov.contains(pos) && rng.gen_bool(0.5) {
+                            dets.push(Detection {
+                                camera_id: cam.id,
+                                position: pos,
+                                truth: None,
+                            });
+                        }
+                    }
+                }
+                dets
+            };
+            let present = cam.visible_people(world);
+            let (frame_tp, frame_fp) = score(&detections, &present);
+            tp += frame_tp;
+            fp += frame_fp;
+            present_total += present.len();
+            tracks[ci] = detections.iter().map(|d| d.position).collect();
+            shared_next.extend(detections);
+            // The rogue camera injects fabricated boxes into the pool.
+            if ci == rogue.rogue_camera {
+                for _ in 0..rogue.fake_boxes_per_frame {
+                    shared_next.push(Detection {
+                        camera_id: cam.id,
+                        position: Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+                        truth: None,
+                    });
+                }
+            }
+        }
+        shared_prev = shared_next;
+    }
+    let camera_frames = config.frames * n;
+    PipelineReport {
+        detection_accuracy: tp as f64 / (present_total + fp).max(1) as f64,
+        mean_latency_ms: latency_total / camera_frames.max(1) as f64,
+        recognition_latency_ms: model.verify_latency_ms,
+        camera_frames,
+        false_positives: fp,
+    }
+}
+
+fn score(detections: &[Detection], present: &[usize]) -> (usize, usize) {
+    let present: HashSet<usize> = present.iter().copied().collect();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut tp = 0;
+    let mut fp = 0;
+    for d in detections {
+        match d.truth {
+            Some(id) if present.contains(&id) => {
+                if seen.insert(id) {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+            _ => fp += 1,
+        }
+    }
+    (tp, fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_collaborative, WorldConfig};
+
+    fn setup(seed: u64) -> (World, Vec<Camera>, DetectorModel) {
+        let world = World::new(WorldConfig::default(), seed);
+        let cameras = Camera::ring(8, world.config().arena_side);
+        (world, cameras, DetectorModel::movidius_class())
+    }
+
+    #[test]
+    fn rogue_camera_degrades_collaborative_accuracy_substantially() {
+        let config = PipelineConfig::default();
+        let (mut honest_world, cameras, model) = setup(400);
+        let honest = run_collaborative(&mut honest_world, &cameras, &model, &config, 4);
+        let (mut rogue_world, _, _) = setup(400);
+        let attacked = run_with_rogue(
+            &mut rogue_world,
+            &cameras,
+            &model,
+            &config,
+            &RogueConfig::default(),
+            4,
+        );
+        let relative_drop =
+            (honest.detection_accuracy - attacked.detection_accuracy) / honest.detection_accuracy;
+        assert!(
+            relative_drop > 0.15,
+            "rogue should cause a major drop: honest {} vs attacked {} ({}%)",
+            honest.detection_accuracy,
+            attacked.detection_accuracy,
+            (relative_drop * 100.0) as i64
+        );
+    }
+
+    #[test]
+    fn reputation_filter_recovers_most_of_the_loss() {
+        let config = PipelineConfig::default();
+        let (mut w1, cameras, model) = setup(500);
+        let honest = run_collaborative(&mut w1, &cameras, &model, &config, 5);
+        let (mut w2, _, _) = setup(500);
+        let attacked = run_with_rogue(&mut w2, &cameras, &model, &config, &RogueConfig::default(), 5);
+        let (mut w3, _, _) = setup(500);
+        let defended = run_with_rogue(
+            &mut w3,
+            &cameras,
+            &model,
+            &config,
+            &RogueConfig {
+                defended: true,
+                ..RogueConfig::default()
+            },
+            5,
+        );
+        assert!(
+            defended.detection_accuracy > attacked.detection_accuracy,
+            "defense should help: attacked {} vs defended {}",
+            attacked.detection_accuracy,
+            defended.detection_accuracy
+        );
+        let recovered = (defended.detection_accuracy - attacked.detection_accuracy)
+            / (honest.detection_accuracy - attacked.detection_accuracy).max(1e-9);
+        assert!(
+            recovered > 0.5,
+            "defense should recover most of the loss (recovered {recovered:.2})"
+        );
+    }
+
+    #[test]
+    fn filter_distrusts_consistently_failing_peer() {
+        let mut filter = ReputationFilter::new(0.4, 5);
+        assert!(filter.trusts(3), "unknown peers start trusted");
+        for _ in 0..10 {
+            filter.record(3, false);
+        }
+        assert!(!filter.trusts(3));
+        assert_eq!(filter.success_rate(3), Some(0.0));
+        // An honest peer stays trusted.
+        for _ in 0..10 {
+            filter.record(5, true);
+        }
+        assert!(filter.trusts(5));
+    }
+
+    #[test]
+    fn filter_requires_minimum_evidence() {
+        let mut filter = ReputationFilter::new(0.9, 10);
+        for _ in 0..5 {
+            filter.record(1, false);
+        }
+        assert!(filter.trusts(1), "too little evidence to distrust");
+    }
+
+    #[test]
+    #[should_panic(expected = "trust threshold")]
+    fn invalid_threshold_rejected() {
+        ReputationFilter::new(1.0, 5);
+    }
+}

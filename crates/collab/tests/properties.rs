@@ -1,0 +1,104 @@
+//! Property-based tests for the camera-world geometry and simulation.
+
+use eugene_collab::{Camera, DetectorModel, FieldOfView, Vec2, World, WorldConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fov_strategy() -> impl Strategy<Value = FieldOfView> {
+    (
+        -20.0f64..20.0,
+        -20.0f64..20.0,
+        0.0f64..std::f64::consts::TAU,
+        0.1f64..1.4,
+        1.0f64..40.0,
+    )
+        .prop_map(|(x, y, dir, half, range)| {
+            FieldOfView::new(Vec2::new(x, y), dir, half, range)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn points_along_the_axis_are_inside(fov in fov_strategy(), t in 0.01f64..0.99) {
+        let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
+        let p = fov.origin.add(axis.scale(fov.range * t));
+        prop_assert!(fov.contains(p));
+    }
+
+    #[test]
+    fn points_beyond_range_are_outside(fov in fov_strategy(), extra in 1.01f64..4.0) {
+        let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
+        let p = fov.origin.add(axis.scale(fov.range * extra));
+        prop_assert!(!fov.contains(p));
+    }
+
+    #[test]
+    fn points_behind_the_camera_are_outside(fov in fov_strategy(), t in 0.1f64..5.0) {
+        prop_assume!(fov.half_angle < std::f64::consts::FRAC_PI_2);
+        let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
+        let p = fov.origin.add(axis.scale(-t));
+        prop_assert!(!fov.contains(p));
+    }
+
+    #[test]
+    fn occlusion_requires_a_blocker_near_the_sight_line(
+        fov in fov_strategy(),
+        lateral in 2.0f64..10.0,
+    ) {
+        let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
+        let target = fov.origin.add(axis.scale(fov.range * 0.8));
+        // A blocker displaced laterally by more than the radius never
+        // occludes.
+        let normal = Vec2::new(-axis.y, axis.x);
+        let blocker = fov.origin.add(axis.scale(fov.range * 0.4)).add(normal.scale(lateral));
+        prop_assert!(!fov.occluded(target, &[blocker], 1.0));
+        // A blocker on the line always occludes.
+        let on_line = fov.origin.add(axis.scale(fov.range * 0.4));
+        prop_assert!(fov.occluded(target, &[on_line], 1.0));
+    }
+
+    #[test]
+    fn world_stays_in_bounds_for_any_seed(seed in 0u64..300, steps in 1usize..60) {
+        let config = WorldConfig::default();
+        let mut world = World::new(config, seed);
+        for _ in 0..steps {
+            world.step(0.7);
+        }
+        for p in world.pedestrians() {
+            prop_assert!(p.position.x >= 0.0 && p.position.x <= config.arena_side);
+            prop_assert!(p.position.y >= 0.0 && p.position.y <= config.arena_side);
+        }
+    }
+
+    #[test]
+    fn detections_reference_real_or_no_pedestrians(seed in 0u64..200) {
+        let world = World::new(WorldConfig::default(), seed);
+        let cameras = Camera::ring(8, world.config().arena_side);
+        let model = DetectorModel::movidius_class();
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        for cam in &cameras {
+            for d in cam.detect(&world, &model, &mut rng) {
+                if let Some(id) = d.truth {
+                    prop_assert!(id < world.pedestrians().len());
+                    // A true detection's subject is inside the FoV.
+                    prop_assert!(cam.fov.contains(world.pedestrians()[id].position));
+                }
+                prop_assert!(d.position.x.is_finite() && d.position.y.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn ring_cameras_cover_the_whole_arena_center_region(n in 4usize..12) {
+        let side = 30.0;
+        let cameras = Camera::ring(n, side);
+        prop_assert_eq!(cameras.len(), n);
+        // The arena center must be covered by several cameras.
+        let center = Vec2::new(side / 2.0, side / 2.0);
+        let covering = cameras.iter().filter(|c| c.fov.contains(center)).count();
+        prop_assert!(covering >= n / 2, "{covering}/{n} cameras see the center");
+    }
+}

@@ -1,0 +1,478 @@
+use crate::ClassFrequencyTracker;
+use eugene_data::Dataset;
+use eugene_nn::{StagedNetwork, StagedNetworkConfig, TrainConfig, Trainer};
+use eugene_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for building a [`CachedModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedModelConfig {
+    /// Hidden width of the reduced on-device network.
+    pub hidden_width: usize,
+    /// Training epochs for the reduced network.
+    pub epochs: usize,
+    /// A device answer below this confidence is treated as a cache miss.
+    pub miss_threshold: f32,
+}
+
+impl Default for CachedModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden_width: 24,
+            epochs: 25,
+            miss_threshold: 0.5,
+        }
+    }
+}
+
+/// Outcome of consulting the on-device cached model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CacheDecision {
+    /// The reduced model answered confidently with one of its cached
+    /// classes (original class id, confidence).
+    Hit {
+        /// Original class id (not the remapped cache-local id).
+        class: usize,
+        /// Reduced-model confidence.
+        confidence: f32,
+    },
+    /// The input looks like an uncommon class or the reduced model is
+    /// unsure: escalate to the full model on the server.
+    Miss,
+}
+
+/// The paper's §II-B cached model: a small network "with only those
+/// \[frequent\] items as positive examples" plus an *other* bucket.
+/// Predicting *other* — or predicting anything with low confidence — is
+/// "viewed as a cache miss that triggers full network execution on the
+/// server."
+#[derive(Debug)]
+pub struct CachedModel {
+    model: StagedNetwork,
+    /// Original ids of the cached classes; the remapped label `i` means
+    /// `classes[i]`, and label `classes.len()` means *other*.
+    classes: Vec<usize>,
+    miss_threshold: f32,
+}
+
+impl CachedModel {
+    /// Trains a reduced model for `frequent_classes` from the server-side
+    /// training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequent_classes` is empty, contains duplicates or
+    /// out-of-range ids, or if `data` is empty.
+    pub fn build(
+        data: &Dataset,
+        frequent_classes: &[usize],
+        config: &CachedModelConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!frequent_classes.is_empty(), "need at least one cached class");
+        assert!(!data.is_empty(), "need training data");
+        let mut seen = vec![false; data.num_classes()];
+        for &c in frequent_classes {
+            assert!(c < data.num_classes(), "class {c} out of range");
+            assert!(!seen[c], "duplicate class {c}");
+            seen[c] = true;
+        }
+        // Remap: frequent class i -> i, everything else -> "other" — and
+        // rebalance so the catch-all bucket cannot dominate training.
+        let other = frequent_classes.len();
+        let mut kept_indices = Vec::new();
+        let mut remapped = Vec::new();
+        let frequent_count = data
+            .labels()
+            .iter()
+            .filter(|y| frequent_classes.contains(y))
+            .count();
+        let other_budget = (frequent_count / frequent_classes.len().max(1)).max(1);
+        let mut other_kept = 0usize;
+        for (i, &y) in data.labels().iter().enumerate() {
+            match frequent_classes.iter().position(|&c| c == y) {
+                Some(local) => {
+                    kept_indices.push(i);
+                    remapped.push(local);
+                }
+                None if other_kept < other_budget => {
+                    other_kept += 1;
+                    kept_indices.push(i);
+                    remapped.push(other);
+                }
+                None => {}
+            }
+        }
+        let cache_data = Dataset::new(
+            data.features().select_rows(&kept_indices),
+            remapped,
+            other + 1,
+        );
+        let net_config = StagedNetworkConfig {
+            input_dim: data.dim(),
+            num_classes: other + 1,
+            stage_widths: vec![vec![config.hidden_width]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        let mut model = StagedNetwork::new(&net_config, rng);
+        Trainer::new(TrainConfig {
+            epochs: config.epochs,
+            ..TrainConfig::default()
+        })
+        .fit(&mut model, &cache_data, rng);
+        Self {
+            model,
+            classes: frequent_classes.to_vec(),
+            miss_threshold: config.miss_threshold,
+        }
+    }
+
+    /// Original ids of the cached classes.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Parameter count of the reduced model (for footprint comparisons).
+    pub fn param_count(&self) -> usize {
+        self.model.param_count()
+    }
+
+    /// Consults the cached model on one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` has the wrong dimensionality.
+    pub fn classify(&self, sample: &[f32]) -> CacheDecision {
+        let out = self
+            .model
+            .classify(sample)
+            .pop()
+            .expect("model has one stage");
+        let other = self.classes.len();
+        if out.predicted == other || out.confidence < self.miss_threshold {
+            CacheDecision::Miss
+        } else {
+            CacheDecision::Hit {
+                class: self.classes[out.predicted],
+                confidence: out.confidence,
+            }
+        }
+    }
+}
+
+/// Running hit/miss statistics of a device cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelCacheStats {
+    /// Inputs answered locally.
+    pub hits: u64,
+    /// Inputs escalated to the server.
+    pub misses: u64,
+}
+
+impl ModelCacheStats {
+    /// `hits / (hits + misses)`, or `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// The device-side cache controller: tracks class frequencies, decides
+/// when a reduced model is worth installing, and routes lookups.
+#[derive(Debug)]
+pub struct ModelCache {
+    tracker: ClassFrequencyTracker,
+    cached: Option<CachedModel>,
+    stats: ModelCacheStats,
+    min_share: f64,
+    min_observations: u64,
+}
+
+impl ModelCache {
+    /// Creates an empty cache for a `num_classes` problem.
+    ///
+    /// `min_share` is the traffic share a class needs to be considered
+    /// frequent; `min_observations` gates how early a cache may be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0`, `decay` is outside `(0, 1]`, or
+    /// `min_share` is outside `(0, 1]`.
+    pub fn new(num_classes: usize, decay: f64, min_share: f64, min_observations: u64) -> Self {
+        assert!(
+            min_share > 0.0 && min_share <= 1.0,
+            "min_share must be in (0, 1], got {min_share}"
+        );
+        Self {
+            tracker: ClassFrequencyTracker::new(num_classes, decay),
+            cached: None,
+            stats: ModelCacheStats::default(),
+            min_share,
+            min_observations,
+        }
+    }
+
+    /// Records a server-computed classification (the traffic signal).
+    pub fn record(&mut self, class: usize) {
+        self.tracker.record(class);
+    }
+
+    /// Classes currently frequent enough to cache (may be empty).
+    pub fn cache_candidates(&self) -> Vec<usize> {
+        if self.tracker.observations() < self.min_observations {
+            return Vec::new();
+        }
+        self.tracker.frequent_classes(self.min_share)
+    }
+
+    /// Whether a (re)build is advisable: candidates exist and differ from
+    /// the installed model's class set.
+    pub fn should_rebuild(&self) -> bool {
+        let candidates = self.cache_candidates();
+        if candidates.is_empty() {
+            return false;
+        }
+        match &self.cached {
+            None => true,
+            Some(model) => {
+                let mut installed = model.classes().to_vec();
+                let mut wanted = candidates;
+                installed.sort_unstable();
+                wanted.sort_unstable();
+                installed != wanted
+            }
+        }
+    }
+
+    /// Installs a freshly built reduced model.
+    pub fn install(&mut self, model: CachedModel) {
+        self.cached = Some(model);
+    }
+
+    /// Evicts the cached model (e.g. after drift).
+    pub fn evict(&mut self) -> Option<CachedModel> {
+        self.cached.take()
+    }
+
+    /// Whether a reduced model is installed.
+    pub fn is_populated(&self) -> bool {
+        self.cached.is_some()
+    }
+
+    /// Looks up one input: local answer on a hit, [`CacheDecision::Miss`]
+    /// when absent or unsure.
+    pub fn lookup(&mut self, sample: &[f32]) -> CacheDecision {
+        let decision = match &self.cached {
+            None => CacheDecision::Miss,
+            Some(model) => model.classify(sample),
+        };
+        match decision {
+            CacheDecision::Hit { .. } => self.stats.hits += 1,
+            CacheDecision::Miss => self.stats.misses += 1,
+        }
+        decision
+    }
+
+    /// Hit/miss statistics so far.
+    pub fn stats(&self) -> ModelCacheStats {
+        self.stats
+    }
+}
+
+/// Convenience: evaluates a cached-model deployment against ground truth,
+/// returning `(hit_rate, hit_accuracy)` over a labeled stream.
+///
+/// # Panics
+///
+/// Panics if `stream` is empty.
+pub fn evaluate_cache(cache: &mut ModelCache, stream: &Dataset) -> (f64, f64) {
+    assert!(!stream.is_empty(), "need a non-empty stream");
+    let mut hits = 0u64;
+    let mut hit_correct = 0u64;
+    for i in 0..stream.len() {
+        if let CacheDecision::Hit { class, .. } = cache.lookup(stream.sample(i)) {
+            hits += 1;
+            if class == stream.label(i) {
+                hit_correct += 1;
+            }
+        }
+    }
+    let hit_rate = hits as f64 / stream.len() as f64;
+    let hit_acc = if hits == 0 {
+        0.0
+    } else {
+        hit_correct as f64 / hits as f64
+    };
+    (hit_rate, hit_acc)
+}
+
+/// Builds a class-skewed stream: `hot_share` of samples drawn from
+/// `hot_classes`, the rest uniform over all classes — the "most common
+/// items entered might end up being beer and pop bottles" scenario.
+///
+/// # Panics
+///
+/// Panics if `hot_classes` is empty or `hot_share` is outside `[0, 1]`.
+pub fn skewed_stream(
+    base: &Dataset,
+    hot_classes: &[usize],
+    hot_share: f64,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Dataset {
+    assert!(!hot_classes.is_empty(), "need at least one hot class");
+    assert!((0.0..=1.0).contains(&hot_share), "hot_share in [0, 1]");
+    // Index samples by class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); base.num_classes()];
+    for (i, &y) in base.labels().iter().enumerate() {
+        by_class[y].push(i);
+    }
+    let mut features = Matrix::zeros(n, base.dim());
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = if rng.gen_bool(hot_share) {
+            hot_classes[rng.gen_range(0..hot_classes.len())]
+        } else {
+            rng.gen_range(0..base.num_classes())
+        };
+        let pool = &by_class[class];
+        assert!(!pool.is_empty(), "base dataset lacks samples of class {class}");
+        let pick = pool[rng.gen_range(0..pool.len())];
+        features.row_mut(i).copy_from_slice(base.sample(pick));
+        labels.push(class);
+    }
+    Dataset::new(features, labels, base.num_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_data::{SyntheticImages, SyntheticImagesConfig};
+    use eugene_tensor::seeded_rng;
+
+    fn base_data() -> Dataset {
+        let mut rng = seeded_rng(20);
+        let gen = SyntheticImages::new(
+            SyntheticImagesConfig {
+                num_classes: 6,
+                dim: 12,
+                easy_fraction: 0.8,
+                medium_fraction: 0.15,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        gen.generate(600, &mut rng).0
+    }
+
+    #[test]
+    fn cached_model_hits_on_frequent_classes() {
+        let data = base_data();
+        let mut rng = seeded_rng(21);
+        let model = CachedModel::build(&data, &[0, 1], &CachedModelConfig::default(), &mut rng);
+        let mut hits = 0;
+        let mut total = 0;
+        for i in 0..data.len() {
+            if data.label(i) <= 1 {
+                total += 1;
+                if let CacheDecision::Hit { class, .. } = model.classify(data.sample(i)) {
+                    if class == data.label(i) {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        assert!(rate > 0.5, "frequent-class hit accuracy {rate}");
+    }
+
+    #[test]
+    fn cached_model_misses_on_uncached_classes() {
+        let data = base_data();
+        let mut rng = seeded_rng(22);
+        let model = CachedModel::build(&data, &[0, 1], &CachedModelConfig::default(), &mut rng);
+        let mut misses = 0;
+        let mut total = 0;
+        for i in 0..data.len() {
+            if data.label(i) >= 2 {
+                total += 1;
+                if model.classify(data.sample(i)) == CacheDecision::Miss {
+                    misses += 1;
+                }
+            }
+        }
+        let rate = misses as f64 / total as f64;
+        assert!(rate > 0.6, "uncached-class miss rate {rate}");
+    }
+
+    #[test]
+    fn cache_controller_lifecycle() {
+        let data = base_data();
+        let mut cache = ModelCache::new(6, 0.995, 0.25, 30);
+        assert!(!cache.should_rebuild(), "too few observations");
+        // Hot traffic on classes 0 and 1.
+        for i in 0..100 {
+            cache.record(i % 2);
+        }
+        assert!(cache.should_rebuild());
+        let candidates = cache.cache_candidates();
+        assert!(candidates.contains(&0) && candidates.contains(&1));
+        let mut rng = seeded_rng(23);
+        let model = CachedModel::build(&data, &candidates, &CachedModelConfig::default(), &mut rng);
+        cache.install(model);
+        assert!(cache.is_populated());
+        assert!(!cache.should_rebuild(), "installed set matches candidates");
+        // Lookups update stats.
+        let _ = cache.lookup(data.sample(0));
+        assert_eq!(cache.stats().hits + cache.stats().misses, 1);
+        assert!(cache.evict().is_some());
+        assert!(!cache.is_populated());
+    }
+
+    #[test]
+    fn skewed_stream_and_cache_evaluation() {
+        let data = base_data();
+        let mut rng = seeded_rng(24);
+        let stream = skewed_stream(&data, &[2, 3], 0.8, 300, &mut rng);
+        let hot = stream
+            .labels()
+            .iter()
+            .filter(|&&y| y == 2 || y == 3)
+            .count() as f64
+            / 300.0;
+        assert!(hot > 0.7, "hot share {hot}");
+
+        let mut cache = ModelCache::new(6, 1.0, 0.2, 10);
+        let model = CachedModel::build(&data, &[2, 3], &CachedModelConfig::default(), &mut rng);
+        cache.install(model);
+        let (hit_rate, hit_acc) = evaluate_cache(&mut cache, &stream);
+        assert!(hit_rate > 0.4, "hit rate {hit_rate}");
+        assert!(hit_acc > 0.6, "hit accuracy {hit_acc}");
+    }
+
+    #[test]
+    fn empty_cache_always_misses() {
+        let data = base_data();
+        let mut cache = ModelCache::new(6, 0.99, 0.3, 10);
+        assert_eq!(cache.lookup(data.sample(0)), CacheDecision::Miss);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_cached_classes_rejected() {
+        let data = base_data();
+        CachedModel::build(
+            &data,
+            &[1, 1],
+            &CachedModelConfig::default(),
+            &mut seeded_rng(25),
+        );
+    }
+}

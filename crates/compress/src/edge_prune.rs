@@ -1,0 +1,147 @@
+use crate::CsrMatrix;
+use eugene_nn::Linear;
+use eugene_tensor::Matrix;
+
+/// A [`Linear`] layer with low-magnitude edges removed, stored sparsely —
+/// the baseline reduction technique the paper argues *against* (§II-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgePruned {
+    weights: CsrMatrix,
+    bias: Vec<f32>,
+}
+
+impl EdgePruned {
+    /// The sparse weight matrix.
+    pub fn weights(&self) -> &CsrMatrix {
+        &self.weights
+    }
+
+    /// Fraction of original weights retained.
+    pub fn density(&self) -> f64 {
+        self.weights.density()
+    }
+
+    /// Applies the pruned layer to one activation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the layer's input width.
+    pub fn infer_one(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = self.weights.vecmat(input);
+        for (o, b) in out.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        out
+    }
+
+    /// Applies the pruned layer to a batch.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(input.rows(), self.bias.len());
+        for r in 0..input.rows() {
+            let row = self.infer_one(input.row(r));
+            out.row_mut(r).copy_from_slice(&row);
+        }
+        out
+    }
+}
+
+/// Prunes the smallest-magnitude fraction `prune_fraction` of a linear
+/// layer's weights, returning the sparse layer.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= prune_fraction < 1.0`.
+pub fn prune_edges(layer: &Linear, prune_fraction: f64) -> EdgePruned {
+    assert!(
+        (0.0..1.0).contains(&prune_fraction),
+        "prune_fraction must be in [0, 1), got {prune_fraction}"
+    );
+    let weights = layer.weights();
+    let mut magnitudes: Vec<f32> = weights.as_slice().iter().map(|w| w.abs()).collect();
+    magnitudes.sort_by(f32::total_cmp);
+    let cut = (magnitudes.len() as f64 * prune_fraction) as usize;
+    let threshold = if cut == 0 { 0.0 } else { magnitudes[cut - 1] };
+    EdgePruned {
+        weights: CsrMatrix::from_dense(weights, threshold),
+        bias: layer.bias().row(0).to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_nn::Layer;
+    use eugene_tensor::seeded_rng;
+
+    fn layer() -> Linear {
+        Linear::new(24, 16, &mut seeded_rng(3))
+    }
+
+    #[test]
+    fn zero_fraction_keeps_exact_behavior() {
+        let dense = layer();
+        let pruned = prune_edges(&dense, 0.0);
+        let x = Matrix::filled(2, 24, 0.3);
+        let want = dense.infer(&x);
+        let got = pruned.infer(&x);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn density_tracks_prune_fraction() {
+        let dense = layer();
+        let pruned = prune_edges(&dense, 0.6);
+        assert!(
+            (pruned.density() - 0.4).abs() < 0.05,
+            "density {} after pruning 60%",
+            pruned.density()
+        );
+    }
+
+    #[test]
+    fn moderate_pruning_keeps_outputs_close() {
+        let dense = layer();
+        let pruned = prune_edges(&dense, 0.3);
+        let x = Matrix::filled(1, 24, 0.5);
+        let want = dense.infer(&x);
+        let got = pruned.infer(&x);
+        let err: f32 = got
+            .as_slice()
+            .iter()
+            .zip(want.as_slice())
+            .map(|(g, w)| (g - w).abs())
+            .sum::<f32>()
+            / 16.0;
+        let scale = want.max_abs().max(1e-3);
+        assert!(
+            err / scale < 0.5,
+            "mean abs output error {err} too large vs scale {scale}"
+        );
+    }
+
+    #[test]
+    fn heavier_pruning_degrades_more() {
+        let dense = layer();
+        let x = Matrix::filled(1, 24, 0.5);
+        let want = dense.infer(&x);
+        let err = |fraction: f64| -> f32 {
+            let pruned = prune_edges(&dense, fraction);
+            pruned
+                .infer(&x)
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .map(|(g, w)| (g - w).abs())
+                .sum()
+        };
+        assert!(err(0.8) > err(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "prune_fraction")]
+    fn full_pruning_rejected() {
+        prune_edges(&layer(), 1.0);
+    }
+}

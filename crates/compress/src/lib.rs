@@ -1,0 +1,47 @@
+//! Model reduction and reduced-model caching (paper §II-B).
+//!
+//! The paper contrasts two ways to shrink a trained network for
+//! resource-limited devices:
+//!
+//! 1. **Edge pruning** — zero out low-magnitude weights, producing a
+//!    sparse matrix. The paper notes that "these reductions do not scale
+//!    proportionally to the fraction of zero entries ... because sparse
+//!    matrix algebra is not as efficient as dense matrix algebra."
+//!    [`EdgePruned`] implements this baseline over a CSR representation
+//!    ([`CsrMatrix`]) so the inefficiency can be measured.
+//! 2. **Node pruning** (the DeepIoT approach, the paper's \[5\]) — remove
+//!    whole hidden units, producing a *smaller dense* network.
+//!    [`prune_nodes`] rewrites a [`eugene_nn::StagedNetwork`] this way.
+//!
+//! On top of reduction, §II-B sketches **model caching**: when a device's
+//! inputs concentrate on a few frequent classes, the server retrains a
+//! small model over just those classes (plus an "other" bucket), ships it
+//! to the device, and treats an "other"/low-confidence answer as a cache
+//! miss escalated to the full server model. [`ClassFrequencyTracker`],
+//! [`CachedModel`], and [`ModelCache`] implement that loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_compress::ClassFrequencyTracker;
+//!
+//! let mut tracker = ClassFrequencyTracker::new(10, 0.99);
+//! for _ in 0..80 { tracker.record(3); }
+//! for _ in 0..15 { tracker.record(7); }
+//! for c in 0..5 { tracker.record(c); }
+//! let frequent = tracker.frequent_classes(0.10);
+//! assert!(frequent.contains(&3));
+//! assert!(!frequent.contains(&0));
+//! ```
+
+mod cache;
+mod edge_prune;
+mod node_prune;
+mod sparse;
+mod tracker;
+
+pub use cache::{evaluate_cache, skewed_stream, CacheDecision, CachedModel, CachedModelConfig, ModelCache, ModelCacheStats};
+pub use edge_prune::{prune_edges, EdgePruned};
+pub use node_prune::prune_nodes;
+pub use sparse::CsrMatrix;
+pub use tracker::ClassFrequencyTracker;

@@ -1,0 +1,213 @@
+use eugene_nn::{Linear, Sequential, StagedNetwork};
+use eugene_tensor::Matrix;
+
+/// Removes hidden units from a staged network, producing a *smaller dense*
+/// network — the DeepIoT-style reduction the paper advocates (§II-B):
+/// "Removal of entire nodes ... produces a new matrix that is also dense,
+/// but that has smaller dimensions."
+///
+/// Unit importance is the L2 norm of the unit's outgoing column in its
+/// producing layer (DeepIoT learns importances with a compressor-critic
+/// network; magnitude salience is the standard lightweight stand-in and
+/// preserves the experiment's subject — dense-vs-sparse efficiency, and
+/// accuracy recovery after fine-tuning).
+///
+/// Each hidden `Linear` keeps the `ceil(keep_fraction * width)` most
+/// important output units; the consuming layers' input rows are sliced to
+/// match, including the stage's classifier head and the first layer of the
+/// next stage. Class-count outputs (heads) are never pruned.
+///
+/// # Panics
+///
+/// Panics unless `0.0 < keep_fraction <= 1.0`, or if the network contains
+/// a stage whose layers are not the `Linear`/activation/dropout pattern
+/// produced by [`eugene_nn::StagedNetworkConfig`].
+///
+/// # Examples
+///
+/// See `crates/bench/src/bin/compress_ablation.rs`.
+pub fn prune_nodes(network: &StagedNetwork, keep_fraction: f64) -> StagedNetwork {
+    assert!(
+        keep_fraction > 0.0 && keep_fraction <= 1.0,
+        "keep_fraction must be in (0, 1], got {keep_fraction}"
+    );
+    // Indices of the currently-kept activations feeding the next layer;
+    // `None` means "all inputs kept" (start of network).
+    let mut kept: Option<Vec<usize>> = None;
+    let mut prev_original_width = network.input_dim();
+    let mut new_stages = Vec::with_capacity(network.num_stages());
+    let mut new_heads = Vec::with_capacity(network.num_stages());
+    for (s, (stage, head)) in network.stages().iter().zip(network.heads()).enumerate() {
+        // With input shortcuts, stage s > 0 consumes
+        // [prev stage output | raw input]: the kept rows are the pruned
+        // previous units followed by every raw-input dimension.
+        let mut stage_kept: Option<Vec<usize>> = if s > 0 && network.input_skip() {
+            let mut rows: Vec<usize> = kept
+                .clone()
+                .unwrap_or_else(|| (0..prev_original_width).collect());
+            rows.extend(
+                prev_original_width..prev_original_width + network.input_dim(),
+            );
+            Some(rows)
+        } else {
+            kept.clone()
+        };
+        let mut block = Sequential::new();
+        for layer in stage.layers() {
+            if let Some(linear) = layer.as_any().downcast_ref::<Linear>() {
+                let sliced = slice_rows(linear, stage_kept.as_deref());
+                let keep_cols = select_columns(&sliced, keep_fraction);
+                prev_original_width = linear.out_dim();
+                block.push(slice_cols(&sliced, &keep_cols));
+                stage_kept = Some(keep_cols);
+            } else {
+                // Activations / dropout are width-agnostic: keep verbatim.
+                block.push_boxed(layer.clone_box());
+            }
+        }
+        kept = stage_kept;
+        new_heads.push(slice_rows(head, kept.as_deref()));
+        new_stages.push(block);
+    }
+    StagedNetwork::from_parts(
+        new_stages,
+        new_heads,
+        network.input_dim(),
+        network.num_classes(),
+        network.input_skip(),
+    )
+}
+
+/// Keeps only the given input rows of a linear layer (`None` keeps all).
+fn slice_rows(layer: &Linear, kept_inputs: Option<&[usize]>) -> Linear {
+    match kept_inputs {
+        None => layer.clone(),
+        Some(rows) => Linear::from_parts(layer.weights().select_rows(rows), layer.bias().clone()),
+    }
+}
+
+/// Selects the most important output columns of `layer` (L2 column norm),
+/// returning their indices in ascending order.
+fn select_columns(layer: &Linear, keep_fraction: f64) -> Vec<usize> {
+    let out_dim = layer.out_dim();
+    let keep = ((out_dim as f64 * keep_fraction).ceil() as usize).clamp(1, out_dim);
+    let weights = layer.weights();
+    let mut scored: Vec<(usize, f32)> = (0..out_dim)
+        .map(|c| {
+            let norm: f32 = (0..layer.in_dim()).map(|r| weights[(r, c)].powi(2)).sum();
+            (c, norm)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut cols: Vec<usize> = scored.into_iter().take(keep).map(|(c, _)| c).collect();
+    cols.sort_unstable();
+    cols
+}
+
+/// Keeps only the given output columns (weights and bias).
+fn slice_cols(layer: &Linear, cols: &[usize]) -> Linear {
+    Linear::from_parts(
+        layer.weights().select_cols(cols),
+        Matrix::row_vector(&cols.iter().map(|&c| layer.bias()[(0, c)]).collect::<Vec<f32>>()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_data::{Dataset, SyntheticImages, SyntheticImagesConfig};
+    use eugene_nn::{evaluate_staged, StagedNetworkConfig, TrainConfig, Trainer};
+    use eugene_tensor::seeded_rng;
+
+    fn trained_network() -> (StagedNetwork, Dataset) {
+        let mut rng = seeded_rng(11);
+        let gen = SyntheticImages::new(
+            SyntheticImagesConfig {
+                num_classes: 5,
+                dim: 12,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let (train, _) = gen.generate(400, &mut rng);
+        let config = StagedNetworkConfig {
+            input_dim: train.dim(),
+            num_classes: train.num_classes(),
+            stage_widths: vec![vec![32], vec![32]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        let mut net = StagedNetwork::new(&config, &mut seeded_rng(12));
+        Trainer::new(TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train, &mut seeded_rng(13));
+        (net, train)
+    }
+
+    #[test]
+    fn keep_all_is_behavior_preserving() {
+        let (net, data) = trained_network();
+        let pruned = prune_nodes(&net, 1.0);
+        assert_eq!(pruned.param_count(), net.param_count());
+        let want = net.predict_all(data.features());
+        let got = pruned.predict_all(data.features());
+        for (a, b) in want.iter().zip(&got) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_halves_parameters_roughly() {
+        let (net, _) = trained_network();
+        let pruned = prune_nodes(&net, 0.5);
+        let ratio = pruned.param_count() as f64 / net.param_count() as f64;
+        assert!(
+            (0.2..0.7).contains(&ratio),
+            "param ratio {ratio} after 50% node pruning"
+        );
+        // Dimensions shrink but stay dense.
+        assert_eq!(pruned.stage_output_dim(0), 16);
+        assert_eq!(pruned.stage_output_dim(1), 16);
+    }
+
+    #[test]
+    fn pruned_network_stays_usable_and_recovers_with_finetuning() {
+        let (net, train) = trained_network();
+        let base_acc = evaluate_staged(&net, &train).last().unwrap().accuracy;
+        let mut pruned = prune_nodes(&net, 0.5);
+        // Still a valid network producing distributions.
+        let outs = pruned.classify(train.sample(0));
+        assert_eq!(outs.len(), 2);
+        // Brief fine-tuning recovers most of the accuracy.
+        Trainer::new(TrainConfig {
+            epochs: 10,
+            learning_rate: 5e-4,
+            ..TrainConfig::default()
+        })
+        .fit(&mut pruned, &train, &mut seeded_rng(14));
+        let pruned_acc = evaluate_staged(&pruned, &train).last().unwrap().accuracy;
+        assert!(
+            pruned_acc > base_acc - 0.1,
+            "pruned accuracy {pruned_acc} vs base {base_acc}"
+        );
+    }
+
+    #[test]
+    fn aggressive_pruning_keeps_at_least_one_unit() {
+        let (net, _) = trained_network();
+        let pruned = prune_nodes(&net, 0.01);
+        assert!(pruned.stage_output_dim(0) >= 1);
+        assert_eq!(pruned.num_classes(), 5, "heads keep all classes");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn zero_keep_fraction_rejected() {
+        let (net, _) = trained_network();
+        prune_nodes(&net, 0.0);
+    }
+}

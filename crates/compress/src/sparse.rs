@@ -1,0 +1,188 @@
+use eugene_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A compressed-sparse-row matrix, the storage format edge pruning
+/// produces.
+///
+/// Exists so the repository can *measure* the paper's claim that sparse
+/// algebra underperforms dense algebra at moderate sparsity: the
+/// `compress_ablation` bench times [`CsrMatrix::matvec`] against dense
+/// [`Matrix::matvec`] across sparsity levels.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_compress::CsrMatrix;
+/// use eugene_tensor::Matrix;
+///
+/// let dense = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+/// let sparse = CsrMatrix::from_dense(&dense, 0.0);
+/// assert_eq!(sparse.nnz(), 2);
+/// assert_eq!(sparse.matvec(&[3.0, 4.0]), vec![3.0, 8.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a dense one, dropping entries whose
+    /// absolute value is `<= threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or NaN.
+    pub fn from_dense(dense: &Matrix, threshold: f32) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        let (rows, cols) = dense.shape();
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        row_offsets.push(0);
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v.abs() > threshold {
+                    col_indices.push(c);
+                    values.push(v);
+                }
+            }
+            row_offsets.push(values.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Fraction of entries stored, `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Sparse matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.shape().1`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for i in self.row_offsets[r]..self.row_offsets[r + 1] {
+                acc += self.values[i] * v[self.col_indices[i]];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Transposed sparse product `v^T * A` (used when the pruned weight
+    /// matrix is `in x out` and activations multiply from the left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.shape().0`.
+    pub fn vecmat(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.rows, "vector length must equal row count");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let x = v[r];
+            if x == 0.0 {
+                continue;
+            }
+            for i in self.row_offsets[r]..self.row_offsets[r + 1] {
+                out[self.col_indices[i]] += self.values[i] * x;
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the dense form (testing/inspection).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_offsets[r]..self.row_offsets[r + 1] {
+                out[(r, self.col_indices[i])] = self.values[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::{seeded_rng, xavier_uniform};
+
+    #[test]
+    fn round_trip_preserves_surviving_entries() {
+        let dense = Matrix::from_rows(&[&[0.5, -0.01, 0.0], &[0.0, 0.9, -0.7]]);
+        let sparse = CsrMatrix::from_dense(&dense, 0.05);
+        let back = sparse.to_dense();
+        assert_eq!(back[(0, 0)], 0.5);
+        assert_eq!(back[(0, 1)], 0.0, "small entry pruned");
+        assert_eq!(back[(1, 2)], -0.7);
+        assert_eq!(sparse.nnz(), 3);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut rng = seeded_rng(1);
+        let dense = xavier_uniform(16, 12, &mut rng);
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        let v: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+        let got = sparse.matvec(&v);
+        let want = dense.matvec(&v);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn vecmat_matches_dense_transpose() {
+        let mut rng = seeded_rng(2);
+        let dense = xavier_uniform(8, 6, &mut rng);
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        let v: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
+        let got = sparse.vecmat(&v);
+        let want = dense.transpose().matvec(&v);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn density_reflects_pruning() {
+        let dense = Matrix::from_rows(&[&[1.0, 0.001], &[0.001, 1.0]]);
+        let sparse = CsrMatrix::from_dense(&dense, 0.01);
+        assert!((sparse.density() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let sparse = CsrMatrix::from_dense(&Matrix::zeros(0, 0), 0.0);
+        assert_eq!(sparse.nnz(), 0);
+        assert_eq!(sparse.density(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+/// Exponentially decayed per-class frequency counts, the signal behind
+/// the paper's caching questions: "when exactly should the system decide
+/// that an item or set of items are frequent?" (§II-B).
+///
+/// Each observation adds 1 to its class after multiplying every count by
+/// the decay factor, so recent traffic dominates and a shifting input
+/// distribution ages the old cache out naturally.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_compress::ClassFrequencyTracker;
+///
+/// let mut tracker = ClassFrequencyTracker::new(3, 0.9);
+/// for _ in 0..50 { tracker.record(1); }
+/// assert_eq!(tracker.frequent_classes(0.5), vec![1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassFrequencyTracker {
+    counts: Vec<f64>,
+    decay: f64,
+    observations: u64,
+}
+
+impl ClassFrequencyTracker {
+    /// Creates a tracker over `num_classes` classes with per-observation
+    /// decay `decay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0` or `decay` is outside `(0, 1]`.
+    pub fn new(num_classes: usize, decay: f64) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1], got {decay}"
+        );
+        Self {
+            counts: vec![0.0; num_classes],
+            decay,
+            observations: 0,
+        }
+    }
+
+    /// Records one classified input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record(&mut self, class: usize) {
+        assert!(class < self.counts.len(), "class {class} out of range");
+        for c in &mut self.counts {
+            *c *= self.decay;
+        }
+        self.counts[class] += 1.0;
+        self.observations += 1;
+    }
+
+    /// Total observations recorded (undecayed).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The decayed share of traffic attributed to `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn share(&self, class: usize) -> f64 {
+        assert!(class < self.counts.len(), "class {class} out of range");
+        let total: f64 = self.counts.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.counts[class] / total
+    }
+
+    /// Classes whose decayed traffic share is at least `min_share`,
+    /// most frequent first.
+    pub fn frequent_classes(&self, min_share: f64) -> Vec<usize> {
+        let total: f64 = self.counts.iter().sum();
+        if total == 0.0 {
+            return Vec::new();
+        }
+        let mut frequent: Vec<(usize, f64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c / total >= min_share)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        frequent.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        frequent.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_set_orders_by_share() {
+        let mut t = ClassFrequencyTracker::new(4, 1.0);
+        for _ in 0..10 {
+            t.record(2);
+        }
+        for _ in 0..5 {
+            t.record(0);
+        }
+        t.record(3);
+        assert_eq!(t.frequent_classes(0.2), vec![2, 0]);
+        assert!((t.share(2) - 10.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_forgets_old_traffic() {
+        let mut t = ClassFrequencyTracker::new(2, 0.8);
+        for _ in 0..30 {
+            t.record(0);
+        }
+        for _ in 0..30 {
+            t.record(1);
+        }
+        // Recent class-1 traffic should dominate despite equal raw counts.
+        assert!(t.share(1) > 0.9, "share {}", t.share(1));
+    }
+
+    #[test]
+    fn empty_tracker_has_no_frequent_classes() {
+        let t = ClassFrequencyTracker::new(3, 0.9);
+        assert!(t.frequent_classes(0.1).is_empty());
+        assert_eq!(t.share(0), 0.0);
+        assert_eq!(t.observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        ClassFrequencyTracker::new(2, 0.9).record(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn bad_decay_rejected() {
+        ClassFrequencyTracker::new(2, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+use eugene_nn::StagedNetwork;
+use eugene_serve::{EngineSession, InferenceEngine, StageReport};
+use eugene_tensor::{argmax, softmax, Matrix};
+use std::sync::Arc;
+
+/// Adapts a trained [`StagedNetwork`] to the serving runtime's
+/// [`InferenceEngine`] interface, so the paper's worker pool can execute
+/// real network stages.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::{StagedNetwork, StagedNetworkConfig};
+/// use eugene_serve::InferenceEngine;
+/// use eugene_service::StagedNetworkEngine;
+/// use eugene_tensor::seeded_rng;
+/// use std::sync::Arc;
+///
+/// let config = StagedNetworkConfig {
+///     input_dim: 4,
+///     num_classes: 3,
+///     stage_widths: vec![vec![8], vec![8]],
+///     dropout: 0.0,
+///     input_skip: false,
+/// };
+/// let net = StagedNetwork::new(&config, &mut seeded_rng(0));
+/// let engine = StagedNetworkEngine::new(Arc::new(net));
+/// let mut session = engine.begin(&[0.1, 0.2, 0.3, 0.4]);
+/// let report = session.next_stage().expect("stage 1");
+/// assert!(report.confidence > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StagedNetworkEngine {
+    network: Arc<StagedNetwork>,
+}
+
+impl StagedNetworkEngine {
+    /// Wraps a shared network.
+    pub fn new(network: Arc<StagedNetwork>) -> Self {
+        Self { network }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Arc<StagedNetwork> {
+        &self.network
+    }
+}
+
+impl InferenceEngine for StagedNetworkEngine {
+    fn num_stages(&self) -> usize {
+        self.network.num_stages()
+    }
+
+    fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession> {
+        Box::new(NetworkSession {
+            network: Arc::clone(&self.network),
+            input: Matrix::row_vector(payload),
+            hidden: Matrix::row_vector(payload),
+            done: 0,
+        })
+    }
+}
+
+/// One in-flight inference over an owned network reference; stages execute
+/// lazily, exactly one per [`EngineSession::next_stage`] call.
+#[derive(Debug)]
+struct NetworkSession {
+    network: Arc<StagedNetwork>,
+    input: Matrix,
+    hidden: Matrix,
+    done: usize,
+}
+
+impl EngineSession for NetworkSession {
+    fn next_stage(&mut self) -> Option<StageReport> {
+        if self.done >= self.network.num_stages() {
+            return None;
+        }
+        use eugene_nn::Layer;
+        // Mirror the trunk's shortcut wiring: stages after the first see
+        // [previous output | raw input] when the network uses input skips.
+        let stage_in = if self.done > 0 && self.network.input_skip() {
+            self.hidden.hconcat(&self.input)
+        } else {
+            self.hidden.clone()
+        };
+        self.hidden = self.network.stages()[self.done].infer(&stage_in);
+        let logits = self.network.heads()[self.done].infer(&self.hidden);
+        let probs = softmax(logits.row(0));
+        let predicted = argmax(&probs);
+        self.done += 1;
+        Some(StageReport {
+            predicted,
+            confidence: probs[predicted],
+        })
+    }
+
+    fn stages_done(&self) -> usize {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_nn::StagedNetworkConfig;
+    use eugene_tensor::seeded_rng;
+
+    fn engine() -> StagedNetworkEngine {
+        let config = StagedNetworkConfig {
+            input_dim: 4,
+            num_classes: 3,
+            stage_widths: vec![vec![6], vec![6], vec![5]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        StagedNetworkEngine::new(Arc::new(StagedNetwork::new(&config, &mut seeded_rng(1))))
+    }
+
+    #[test]
+    fn session_matches_direct_classification() {
+        let engine = engine();
+        let sample = [0.3, -0.1, 0.7, 0.2];
+        let direct = engine.network().classify(&sample);
+        let mut session = engine.begin(&sample);
+        for expected in direct {
+            let got = session.next_stage().unwrap();
+            assert_eq!(got.predicted, expected.predicted);
+            assert!((got.confidence - expected.confidence).abs() < 1e-6);
+        }
+        assert!(session.next_stage().is_none());
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let engine = engine();
+        let mut a = engine.begin(&[1.0, 0.0, 0.0, 0.0]);
+        let mut b = engine.begin(&[0.0, 0.0, 0.0, 1.0]);
+        let ra = a.next_stage().unwrap();
+        let rb = b.next_stage().unwrap();
+        // Different inputs, same network: reports may differ, but sessions
+        // must not interfere with each other's progress.
+        assert_eq!(a.stages_done(), 1);
+        assert_eq!(b.stages_done(), 1);
+        let _ = (ra, rb);
+    }
+
+    #[test]
+    fn engine_reports_stage_count() {
+        assert_eq!(engine().num_stages(), 3);
+    }
+
+    #[test]
+    fn session_matches_classification_with_input_skip() {
+        // Regression test: the session must mirror the trunk's shortcut
+        // wiring, or stage 2's matmul sees the wrong width.
+        let config = StagedNetworkConfig {
+            input_dim: 5,
+            num_classes: 3,
+            stage_widths: vec![vec![4], vec![6], vec![6]],
+            dropout: 0.0,
+            input_skip: true,
+        };
+        let engine = StagedNetworkEngine::new(Arc::new(StagedNetwork::new(
+            &config,
+            &mut seeded_rng(7),
+        )));
+        let sample = [0.2, -0.4, 0.6, 0.1, 0.9];
+        let direct = engine.network().classify(&sample);
+        let mut session = engine.begin(&sample);
+        for expected in direct {
+            let got = session.next_stage().unwrap();
+            assert_eq!(got.predicted, expected.predicted);
+            assert!((got.confidence - expected.confidence).abs() < 1e-6);
+        }
+    }
+}

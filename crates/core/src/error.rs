@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Eugene`] façade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EugeneError {
+    /// A model id that was never issued (or whose model was removed).
+    UnknownModel {
+        /// The offending id.
+        id: u64,
+    },
+    /// A request carried data incompatible with the target model.
+    DimensionMismatch {
+        /// What the model expects.
+        expected: usize,
+        /// What the request supplied.
+        actual: usize,
+    },
+    /// A request needed a non-empty dataset.
+    EmptyDataset,
+    /// Fitting the confidence-curve regressors failed.
+    ConfidenceFit(eugene_gp::GpError),
+    /// An imported model snapshot was structurally invalid.
+    MalformedSnapshot {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EugeneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EugeneError::UnknownModel { id } => write!(f, "unknown model id {id}"),
+            EugeneError::DimensionMismatch { expected, actual } => {
+                write!(f, "input has dimension {actual}, model expects {expected}")
+            }
+            EugeneError::EmptyDataset => write!(f, "request requires a non-empty dataset"),
+            EugeneError::ConfidenceFit(e) => write!(f, "confidence-curve fit failed: {e}"),
+            EugeneError::MalformedSnapshot { reason } => {
+                write!(f, "malformed model snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for EugeneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EugeneError::ConfidenceFit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eugene_gp::GpError> for EugeneError {
+    fn from(e: eugene_gp::GpError) -> Self {
+        EugeneError::ConfidenceFit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EugeneError::UnknownModel { id: 3 }.to_string().contains('3'));
+        let mismatch = EugeneError::DimensionMismatch {
+            expected: 32,
+            actual: 16,
+        };
+        assert!(mismatch.to_string().contains("32"));
+        assert!(mismatch.to_string().contains("16"));
+    }
+
+    #[test]
+    fn gp_errors_convert_and_chain() {
+        let err: EugeneError =
+            eugene_gp::GpError::InvalidTrainingSet { xs: 0, ys: 0 }.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EugeneError>();
+    }
+}

@@ -1,0 +1,744 @@
+use crate::{EugeneError, StagedNetworkEngine};
+use eugene_calibrate::{CalibrationOutcome, EntropyCalibrator, MeanVarianceConfig, MeanVarianceEstimator};
+use eugene_compress::{prune_nodes, CachedModel, CachedModelConfig};
+use eugene_data::Dataset;
+use eugene_label::{LabelingOutcome, SemiSupervisedLabeler};
+use eugene_nn::{
+    evaluate_staged, NetworkSnapshot, StageEval, StageOutput, StagedNetwork,
+    StagedNetworkConfig, TrainConfig, Trainer,
+};
+use eugene_partition::{EarlyExitProfile, LinkModel, PartitionPlan, PartitionPlanner, StageCost};
+use eugene_profiler::{ConvSpec, DeviceModel};
+use eugene_sched::{DcPredictor, DeadlineAware, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler};
+use eugene_serve::{RuntimeConfig, ServingRuntime};
+use eugene_tensor::{seeded_rng, Matrix};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle to a model held by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelId(u64);
+
+/// Metadata about a registered model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// The handle.
+    pub id: ModelId,
+    /// Number of stages.
+    pub num_stages: usize,
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Trainable parameter count.
+    pub param_count: usize,
+}
+
+/// A training request for [`Eugene::train`].
+#[derive(Debug, Clone)]
+pub struct TrainRequest<'a> {
+    /// Client-supplied labeled data.
+    pub data: &'a Dataset,
+    /// Network architecture; `None` uses the standard three-stage layout.
+    pub architecture: Option<StagedNetworkConfig>,
+    /// Trainer hyper-parameters.
+    pub train: TrainConfig,
+}
+
+impl<'a> TrainRequest<'a> {
+    /// A short training run with default architecture — handy for
+    /// examples and tests.
+    pub fn quick(data: &'a Dataset) -> Self {
+        Self {
+            data,
+            architecture: None,
+            train: TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
+        }
+    }
+
+    /// A full-length training run with default architecture.
+    pub fn standard(data: &'a Dataset) -> Self {
+        Self {
+            data,
+            architecture: None,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Scheduling policy selection for [`Eugene::serve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// The utility-maximizing RTDeepIoT scheduler with lookahead `k`,
+    /// driven by GP-fit piecewise-linear confidence curves learned from
+    /// the given training data.
+    RtDeepIot {
+        /// Lookahead parameter `k`.
+        lookahead: usize,
+    },
+    /// The constant-slope ablation.
+    DynamicConstant {
+        /// Lookahead parameter `k`.
+        lookahead: usize,
+    },
+    /// RTDeepIoT wrapped in the deadline-aware adapter (paper SV):
+    /// near-deadline tasks preempt pure utility maximization.
+    DeadlineAwareRtDeepIot {
+        /// Lookahead parameter `k`.
+        lookahead: usize,
+        /// Criticality slack in scheduling quanta.
+        slack: u64,
+    },
+    /// Stage-level round robin.
+    RoundRobin,
+    /// First-come-first-served run-to-completion.
+    Fifo,
+}
+
+/// Options for [`Eugene::serve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Worker threads.
+    pub num_workers: usize,
+    /// Early-exit confidence threshold (`1.0` disables).
+    pub confidence_threshold: f32,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerKind::RtDeepIot { lookahead: 1 },
+            num_workers: 4,
+            confidence_threshold: 1.0,
+        }
+    }
+}
+
+/// The deep-intelligence-as-a-service façade; see the crate docs for the
+/// service-to-method map.
+pub struct Eugene {
+    models: HashMap<u64, Arc<StagedNetwork>>,
+    next_id: u64,
+    rng: StdRng,
+    device: DeviceModel,
+}
+
+impl Eugene {
+    /// Creates a service instance seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            models: HashMap::new(),
+            next_id: 0,
+            rng: seeded_rng(seed),
+            device: DeviceModel::nexus5_class(),
+        }
+    }
+
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    fn network(&self, id: ModelId) -> Result<&Arc<StagedNetwork>, EugeneError> {
+        self.models
+            .get(&id.0)
+            .ok_or(EugeneError::UnknownModel { id: id.0 })
+    }
+
+    fn register(&mut self, network: StagedNetwork) -> ModelId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.models.insert(id, Arc::new(network));
+        ModelId(id)
+    }
+
+    /// §II-A *training*: fits a staged network on client data and
+    /// registers it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::EmptyDataset`] if the dataset is empty.
+    pub fn train(&mut self, request: TrainRequest<'_>) -> Result<ModelId, EugeneError> {
+        if request.data.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        let architecture = request.architecture.unwrap_or_else(|| {
+            StagedNetworkConfig::three_stage(request.data.dim(), request.data.num_classes())
+        });
+        let mut network = StagedNetwork::new(&architecture, &mut self.rng);
+        Trainer::new(request.train).fit(&mut network, request.data, &mut self.rng);
+        Ok(self.register(network))
+    }
+
+    /// Registers an externally built network (e.g. a pruned model coming
+    /// back from fine-tuning).
+    pub fn register_model(&mut self, network: StagedNetwork) -> ModelId {
+        self.register(network)
+    }
+
+    /// §II-B model shipping: exports a model as a serializable snapshot —
+    /// what the server "downloads ... to the device" when caching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] for an unissued id.
+    pub fn export_model(&self, id: ModelId) -> Result<NetworkSnapshot, EugeneError> {
+        Ok(self.network(id)?.to_snapshot())
+    }
+
+    /// Imports a snapshot (e.g. received from a peer server) and registers
+    /// the restored model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::MalformedSnapshot`] if the snapshot is
+    /// structurally invalid.
+    pub fn import_model(&mut self, snapshot: &NetworkSnapshot) -> Result<ModelId, EugeneError> {
+        let network = StagedNetwork::from_snapshot(snapshot)
+            .map_err(|e| EugeneError::MalformedSnapshot { reason: e.to_string() })?;
+        Ok(self.register(network))
+    }
+
+    /// Metadata for a registered model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] for an unissued id.
+    pub fn model_info(&self, id: ModelId) -> Result<ModelInfo, EugeneError> {
+        let network = self.network(id)?;
+        Ok(ModelInfo {
+            id,
+            num_stages: network.num_stages(),
+            input_dim: network.input_dim(),
+            num_classes: network.num_classes(),
+            param_count: network.param_count(),
+        })
+    }
+
+    /// §II-A *labeling*: proposes labels for `unlabeled` from a small
+    /// labeled seed set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::EmptyDataset`] if the seed set is empty, or
+    /// [`EugeneError::DimensionMismatch`] if dimensionalities differ.
+    pub fn label(
+        &mut self,
+        labeled: &Dataset,
+        unlabeled: &Matrix,
+    ) -> Result<LabelingOutcome, EugeneError> {
+        if labeled.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        if labeled.dim() != unlabeled.cols() {
+            return Err(EugeneError::DimensionMismatch {
+                expected: labeled.dim(),
+                actual: unlabeled.cols(),
+            });
+        }
+        Ok(SemiSupervisedLabeler::default().label(labeled, unlabeled, &mut self.rng))
+    }
+
+    /// §III-A *result quality*: entropy-calibrates a model in place
+    /// against a calibration split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] or
+    /// [`EugeneError::EmptyDataset`].
+    pub fn calibrate(
+        &mut self,
+        id: ModelId,
+        calibration: &Dataset,
+    ) -> Result<CalibrationOutcome, EugeneError> {
+        if calibration.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        let network = self.network(id)?;
+        let mut copy = (**network).clone();
+        let outcome =
+            EntropyCalibrator::default().calibrate(&mut copy, calibration, &mut self.rng);
+        self.models.insert(
+            match id {
+                ModelId(raw) => raw,
+            },
+            Arc::new(copy),
+        );
+        Ok(outcome)
+    }
+
+    /// §II-B *model reduction*: node-prunes a model, fine-tunes the
+    /// reduction on `data`, and registers the smaller model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] or
+    /// [`EugeneError::EmptyDataset`].
+    pub fn reduce(
+        &mut self,
+        id: ModelId,
+        keep_fraction: f64,
+        data: &Dataset,
+    ) -> Result<ModelId, EugeneError> {
+        if data.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        let network = self.network(id)?;
+        let mut pruned = prune_nodes(network, keep_fraction);
+        Trainer::new(TrainConfig {
+            epochs: 8,
+            learning_rate: 5e-4,
+            ..TrainConfig::default()
+        })
+        .fit(&mut pruned, data, &mut self.rng);
+        Ok(self.register(pruned))
+    }
+
+    /// §II-B *caching*: trains a reduced frequent-classes-plus-other model
+    /// for on-device deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::EmptyDataset`] if `data` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequent_classes` is empty or invalid (see
+    /// [`CachedModel::build`]).
+    pub fn build_cached_model(
+        &mut self,
+        data: &Dataset,
+        frequent_classes: &[usize],
+        config: &CachedModelConfig,
+    ) -> Result<CachedModel, EugeneError> {
+        if data.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        Ok(CachedModel::build(
+            data,
+            frequent_classes,
+            config,
+            &mut self.rng,
+        ))
+    }
+
+    /// §II-C *execution profiling*: predicted latency of a layer on the
+    /// service's device model.
+    pub fn profile_layer(&self, spec: &ConvSpec) -> f64 {
+        self.device.latency_ms(spec)
+    }
+
+    /// §II-D *result quality for estimation tasks*: trains a regression
+    /// model that returns a `(mean, standard deviation)` distribution
+    /// estimate per input (the RDeepSense-style service).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::EmptyDataset`] if `inputs` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != inputs.rows()`.
+    pub fn train_estimator(
+        &mut self,
+        inputs: &Matrix,
+        targets: &[f32],
+        config: &MeanVarianceConfig,
+    ) -> Result<MeanVarianceEstimator, EugeneError> {
+        if inputs.rows() == 0 {
+            return Err(EugeneError::EmptyDataset);
+        }
+        Ok(MeanVarianceEstimator::fit(
+            inputs,
+            targets,
+            0.2,
+            config,
+            &mut self.rng,
+        ))
+    }
+
+    /// §IV-A *distributing the inference model*: plans the client/server
+    /// split of a model under the given link, exploiting the early-exit
+    /// probabilities measured on `data` at `exit_threshold`.
+    ///
+    /// `device_ns_per_param` / `server_ns_per_param` price one parameter's
+    /// multiply-accumulate on each side (e.g. `5.0` for an embedded CPU,
+    /// `0.2` for a server-class accelerator).
+    ///
+    /// # Errors
+    ///
+    /// Returns facade errors for bad ids/data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either speed is not positive.
+    pub fn plan_partition(
+        &self,
+        id: ModelId,
+        data: &Dataset,
+        exit_threshold: f32,
+        link: &LinkModel,
+        device_ns_per_param: f64,
+        server_ns_per_param: f64,
+    ) -> Result<PartitionPlan, EugeneError> {
+        assert!(
+            device_ns_per_param > 0.0 && server_ns_per_param > 0.0,
+            "per-parameter speeds must be positive"
+        );
+        if data.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        let network = self.network(id)?;
+        let stages: Vec<StageCost> = network
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(s, stage)| {
+                use eugene_nn::Layer;
+                let params = (stage.param_count() + network.heads()[s].param_count()) as f64;
+                StageCost {
+                    device_ms: params * device_ns_per_param / 1e6,
+                    server_ms: params * server_ns_per_param / 1e6,
+                    boundary_bytes: network.stage_output_dim(s) as u64 * 4,
+                }
+            })
+            .collect();
+        let planner =
+            PartitionPlanner::new(stages, network.input_dim() as u64 * 4).expect("stages exist");
+        let evals = self.evaluate(id, data)?;
+        let curves: Vec<Vec<f32>> = (0..data.len())
+            .map(|i| evals.iter().map(|e| e.confidences[i]).collect())
+            .collect();
+        let exits = EarlyExitProfile::from_confidence_curves(&curves, exit_threshold)
+            .expect("non-empty curves");
+        Ok(planner.plan(link, &exits))
+    }
+
+    /// Classifies one sample through every stage of a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] or
+    /// [`EugeneError::DimensionMismatch`].
+    pub fn classify(&self, id: ModelId, sample: &[f32]) -> Result<Vec<StageOutput>, EugeneError> {
+        let network = self.network(id)?;
+        if sample.len() != network.input_dim() {
+            return Err(EugeneError::DimensionMismatch {
+                expected: network.input_dim(),
+                actual: sample.len(),
+            });
+        }
+        Ok(network.classify(sample))
+    }
+
+    /// Evaluates a model's stage heads on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] or
+    /// [`EugeneError::DimensionMismatch`].
+    pub fn evaluate(&self, id: ModelId, data: &Dataset) -> Result<Vec<StageEval>, EugeneError> {
+        let network = self.network(id)?;
+        if data.dim() != network.input_dim() {
+            return Err(EugeneError::DimensionMismatch {
+                expected: network.input_dim(),
+                actual: data.dim(),
+            });
+        }
+        Ok(evaluate_staged(network, data))
+    }
+
+    /// §III-B: fits the GP-then-piecewise-linear confidence-curve
+    /// predictor from a model's behavior on training data.
+    ///
+    /// # Errors
+    ///
+    /// Returns façade errors for bad ids/data, or
+    /// [`EugeneError::ConfidenceFit`] if the GP fit fails.
+    pub fn fit_confidence_predictor(
+        &self,
+        id: ModelId,
+        data: &Dataset,
+    ) -> Result<PwlCurvePredictor, EugeneError> {
+        if data.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        let evals = self.evaluate(id, data)?;
+        let n = data.len();
+        let curves: Vec<Vec<f32>> = (0..n)
+            .map(|i| evals.iter().map(|e| e.confidences[i]).collect())
+            .collect();
+        Ok(PwlCurvePredictor::fit(&curves, 10)?)
+    }
+
+    /// §III-C *run-time inference*: starts a serving runtime over a
+    /// model. `predictor_data` trains the confidence-curve models for the
+    /// utility-maximizing schedulers (ignored by RR/FIFO).
+    ///
+    /// # Errors
+    ///
+    /// Returns façade errors for bad ids/data.
+    pub fn serve(
+        &self,
+        id: ModelId,
+        options: &ServeOptions,
+        predictor_data: Option<&Dataset>,
+    ) -> Result<ServingRuntime, EugeneError> {
+        let network = self.network(id)?;
+        let baseline = 1.0 / network.num_classes() as f32;
+        let scheduler: Box<dyn Scheduler> = match &options.scheduler {
+            SchedulerKind::RtDeepIot { lookahead } => {
+                let data = predictor_data.ok_or(EugeneError::EmptyDataset)?;
+                let predictor = self.fit_confidence_predictor(id, data)?;
+                Box::new(RtDeepIot::new(predictor, *lookahead, baseline))
+            }
+            SchedulerKind::DynamicConstant { lookahead } => {
+                let data = predictor_data.ok_or(EugeneError::EmptyDataset)?;
+                let evals = self.evaluate(id, data)?;
+                let priors: Vec<f32> = evals.iter().map(StageEval::mean_confidence).collect();
+                Box::new(
+                    RtDeepIot::new(DcPredictor::new(priors), *lookahead, baseline)
+                        .with_name(format!("RTDeepIoT-DC-{lookahead}")),
+                )
+            }
+            SchedulerKind::DeadlineAwareRtDeepIot { lookahead, slack } => {
+                let data = predictor_data.ok_or(EugeneError::EmptyDataset)?;
+                let predictor = self.fit_confidence_predictor(id, data)?;
+                Box::new(DeadlineAware::new(
+                    RtDeepIot::new(predictor, *lookahead, baseline),
+                    *slack,
+                ))
+            }
+            SchedulerKind::RoundRobin => Box::new(RoundRobin::new()),
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+        };
+        let engine = Arc::new(StagedNetworkEngine::new(Arc::clone(network)));
+        Ok(ServingRuntime::start(
+            engine,
+            scheduler,
+            RuntimeConfig {
+                num_workers: options.num_workers,
+                confidence_threshold: options.confidence_threshold,
+                ..RuntimeConfig::default()
+            },
+        ))
+    }
+}
+
+impl std::fmt::Debug for Eugene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Eugene({} models)", self.models.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_data::{SyntheticImages, SyntheticImagesConfig};
+    use eugene_serve::{InferenceRequest, ServiceClass};
+    use std::time::Duration;
+
+    fn dataset(seed: u64, n: usize) -> Dataset {
+        datasets(seed, &[n]).pop().unwrap()
+    }
+
+    /// Draws several datasets from ONE generator so they share class
+    /// prototypes (separate generators are separate problems).
+    fn datasets(seed: u64, sizes: &[usize]) -> Vec<Dataset> {
+        let mut rng = seeded_rng(seed);
+        let gen = SyntheticImages::new(
+            SyntheticImagesConfig {
+                num_classes: 4,
+                dim: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        sizes.iter().map(|&n| gen.generate(n, &mut rng).0).collect()
+    }
+
+    #[test]
+    fn train_classify_evaluate_round_trip() {
+        let data = dataset(1, 300);
+        let mut eugene = Eugene::new(2);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let info = eugene.model_info(id).unwrap();
+        assert_eq!(info.num_stages, 3);
+        assert_eq!(info.input_dim, 10);
+        let outputs = eugene.classify(id, data.sample(0)).unwrap();
+        assert_eq!(outputs.len(), 3);
+        let evals = eugene.evaluate(id, &data).unwrap();
+        assert!(evals[2].accuracy > 0.4);
+    }
+
+    #[test]
+    fn unknown_model_and_dimension_errors() {
+        let data = dataset(3, 50);
+        let mut eugene = Eugene::new(4);
+        assert!(matches!(
+            eugene.classify(ModelId(99), &[0.0; 10]),
+            Err(EugeneError::UnknownModel { .. })
+        ));
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        assert!(matches!(
+            eugene.classify(id, &[0.0; 3]),
+            Err(EugeneError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_shrinks_parameters() {
+        let data = dataset(5, 300);
+        let mut eugene = Eugene::new(6);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let small = eugene.reduce(id, 0.5, &data).unwrap();
+        let big_info = eugene.model_info(id).unwrap();
+        let small_info = eugene.model_info(small).unwrap();
+        assert!(small_info.param_count < big_info.param_count / 2);
+        assert_eq!(eugene.model_count(), 2);
+    }
+
+    #[test]
+    fn calibrate_does_not_increase_ece() {
+        let mut parts = datasets(7, &[300, 300]).into_iter();
+        let (data, calib) = (parts.next().unwrap(), parts.next().unwrap());
+        let mut eugene = Eugene::new(9);
+        let id = eugene
+            .train(TrainRequest {
+                data: &data,
+                architecture: None,
+                train: TrainConfig {
+                    epochs: 60,
+                    ..TrainConfig::default()
+                },
+            })
+            .unwrap();
+        let outcome = eugene.calibrate(id, &calib).unwrap();
+        assert!(outcome.ece_after <= outcome.ece_before + 1e-9);
+    }
+
+    #[test]
+    fn confidence_predictor_fits() {
+        let data = dataset(10, 200);
+        let mut eugene = Eugene::new(11);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let predictor = eugene.fit_confidence_predictor(id, &data).unwrap();
+        use eugene_sched::ConfidencePredictor;
+        let p = predictor.predict(&[0.5], 2);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn serve_round_trip_with_rtdeepiot() {
+        let data = dataset(12, 300);
+        let mut eugene = Eugene::new(13);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let runtime = eugene
+            .serve(id, &ServeOptions::default(), Some(&data))
+            .unwrap();
+        let class = ServiceClass::new("test", Duration::from_secs(10));
+        let (_, rx) = runtime.submit(InferenceRequest::new(data.sample(0).to_vec(), class));
+        let response = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(response.stages_executed, 3);
+        assert!(response.is_answered());
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn labeling_service_runs() {
+        let full = dataset(14, 400);
+        let split = full.split(0.1);
+        let mut eugene = Eugene::new(15);
+        let outcome = eugene.label(&split.train, split.test.features()).unwrap();
+        assert!(outcome.coverage > 0.0);
+    }
+
+    #[test]
+    fn profiling_service_reproduces_table1_inversion() {
+        let eugene = Eugene::new(16);
+        let rows = ConvSpec::table1_rows();
+        assert!(eugene.profile_layer(&rows[1].1) > eugene.profile_layer(&rows[0].1));
+        assert!(eugene.profile_layer(&rows[2].1) > eugene.profile_layer(&rows[3].1));
+    }
+
+    #[test]
+    fn partition_planning_reacts_to_bandwidth() {
+        let data = dataset(19, 300);
+        let mut eugene = Eugene::new(20);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let fast = eugene
+            .plan_partition(
+                id,
+                &data,
+                0.9,
+                &eugene_partition::LinkModel::new(100.0e6, 1.0),
+                5.0,
+                0.2,
+            )
+            .unwrap();
+        let slow = eugene
+            .plan_partition(
+                id,
+                &data,
+                0.9,
+                &eugene_partition::LinkModel::new(50.0, 200.0),
+                5.0,
+                0.2,
+            )
+            .unwrap();
+        assert!(slow.split >= fast.split, "{} -> {}", fast.split, slow.split);
+        assert_eq!(slow.split, 3, "a dead link forces device-only execution");
+    }
+
+    #[test]
+    fn estimator_service_predicts_with_uncertainty() {
+        let mut eugene = Eugene::new(21);
+        let mut rng = seeded_rng(22);
+        let n = 300;
+        let mut inputs = Matrix::zeros(n, 1);
+        let mut targets = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i as f32 / n as f32) * 2.0 - 1.0;
+            inputs[(i, 0)] = x;
+            targets.push(x * 0.8 + eugene_tensor::standard_normal(&mut rng) * 0.1);
+        }
+        let model = eugene
+            .train_estimator(&inputs, &targets, &MeanVarianceConfig::default())
+            .unwrap();
+        let (mean, sigma) = model.predict(&[0.5]);
+        assert!((mean - 0.4).abs() < 0.15, "mean {mean}");
+        assert!(sigma > 0.0 && sigma < 0.5, "sigma {sigma}");
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let data = dataset(23, 200);
+        let mut eugene = Eugene::new(24);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let snapshot = eugene.export_model(id).unwrap();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let parsed: eugene_nn::NetworkSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = eugene.import_model(&parsed).unwrap();
+        let a = eugene.classify(id, data.sample(0)).unwrap();
+        let b = eugene.classify(restored, data.sample(0)).unwrap();
+        assert_eq!(a[2].predicted, b[2].predicted);
+        assert!((a[2].confidence - b[2].confidence).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_model_service_builds() {
+        let data = dataset(17, 400);
+        let mut eugene = Eugene::new(18);
+        let cached = eugene
+            .build_cached_model(&data, &[0, 1], &CachedModelConfig::default())
+            .unwrap();
+        assert_eq!(cached.classes(), &[0, 1]);
+    }
+}

@@ -1,0 +1,285 @@
+use eugene_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled classification dataset: an `n x d` feature matrix plus one
+/// class label per row.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_data::Dataset;
+/// use eugene_tensor::Matrix;
+///
+/// let ds = Dataset::new(Matrix::zeros(4, 2), vec![0, 1, 0, 1], 2);
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.num_classes(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a feature matrix and per-row labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != features.rows()` or if any label is
+    /// `>= num_classes`.
+    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(
+            labels.len(),
+            features.rows(),
+            "label count {} must equal feature rows {}",
+            labels.len(),
+            features.rows()
+        );
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "all labels must be below num_classes ({num_classes})"
+        );
+        Self {
+            features,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// All labels, aligned with feature rows.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Features of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        self.features.row(i)
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Returns a new dataset holding only the listed samples, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Returns a copy with rows shuffled by `rng`.
+    pub fn shuffled(&self, rng: &mut impl Rng) -> Dataset {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        self.subset(&indices)
+    }
+
+    /// Splits into train/test partitions with `train_fraction` of samples in
+    /// the training split (rounded down), preserving order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `0.0..=1.0`.
+    pub fn split(&self, train_fraction: f64) -> Split {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must be in [0, 1], got {train_fraction}"
+        );
+        let n_train = (self.len() as f64 * train_fraction).floor() as usize;
+        let train_idx: Vec<usize> = (0..n_train).collect();
+        let test_idx: Vec<usize> = (n_train..self.len()).collect();
+        Split {
+            train: self.subset(&train_idx),
+            test: self.subset(&test_idx),
+        }
+    }
+
+    /// Iterates over `(features, labels)` mini-batches of at most
+    /// `batch_size` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Batches {
+            dataset: self,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Per-class sample counts, indexed by class id.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0; self.num_classes];
+        for &y in &self.labels {
+            hist[y] += 1;
+        }
+        hist
+    }
+}
+
+/// A train/test partition produced by [`Dataset::split`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// The training partition.
+    pub train: Dataset,
+    /// The held-out partition.
+    pub test: Dataset,
+}
+
+/// Iterator over mini-batches; see [`Dataset::batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Matrix, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.dataset.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.dataset.len());
+        let indices: Vec<usize> = (self.cursor..end).collect();
+        self.cursor = end;
+        let batch = self.dataset.subset(&indices);
+        Some((batch.features, batch.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::seeded_rng;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+            &[3.0, 3.0],
+            &[4.0, 4.0],
+        ]);
+        Dataset::new(features, vec![0, 1, 0, 1, 0], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.sample(2), &[2.0, 2.0]);
+        assert_eq!(ds.label(3), 1);
+        assert_eq!(ds.class_histogram(), vec![3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_panic() {
+        Dataset::new(Matrix::zeros(3, 2), vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below num_classes")]
+    fn out_of_range_label_panics() {
+        Dataset::new(Matrix::zeros(2, 2), vec![0, 2], 2);
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let ds = toy();
+        let sub = ds.subset(&[4, 0]);
+        assert_eq!(sub.sample(0), &[4.0, 4.0]);
+        assert_eq!(sub.label(0), 0);
+        assert_eq!(sub.sample(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy();
+        let split = ds.split(0.6);
+        assert_eq!(split.train.len(), 3);
+        assert_eq!(split.test.len(), 2);
+        assert_eq!(split.train.sample(0), &[0.0, 0.0]);
+        assert_eq!(split.test.sample(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let ds = toy();
+        let mut rng = seeded_rng(5);
+        let sh = ds.shuffled(&mut rng);
+        assert_eq!(sh.len(), ds.len());
+        let mut sums: Vec<f32> = sh.features().iter_rows().map(|r| r[0]).collect();
+        sums.sort_by(f32::total_cmp);
+        assert_eq!(sums, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn batches_cover_dataset_without_overlap() {
+        let ds = toy();
+        let batches: Vec<_> = ds.batches(2).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.rows(), 2);
+        assert_eq!(batches[2].0.rows(), 1);
+        let total: usize = batches.iter().map(|(m, _)| m.rows()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn empty_split_edge_cases() {
+        let ds = toy();
+        let all_train = ds.split(1.0);
+        assert_eq!(all_train.train.len(), 5);
+        assert!(all_train.test.is_empty());
+        let all_test = ds.split(0.0);
+        assert!(all_test.train.is_empty());
+    }
+}

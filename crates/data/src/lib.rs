@@ -1,0 +1,28 @@
+//! Synthetic datasets standing in for the paper's workloads.
+//!
+//! The Eugene evaluation runs a three-stage ResNet over CIFAR-10. The
+//! properties the scheduler and calibration experiments actually depend on
+//! are statistical, not visual:
+//!
+//! 1. ten classes with *varying per-sample difficulty* ("identifying a face
+//!    in a picture could be a very easy or a very difficult task, depending
+//!    on the picture", paper §III), so that confidence varies per input and
+//!    extra stages help some inputs much more than others;
+//! 2. enough structure that a staged classifier's accuracy increases with
+//!    depth; and
+//! 3. a held-out test split on which an overfit network is miscalibrated.
+//!
+//! [`SyntheticImages`] generates exactly that: class prototypes on a random
+//! manifold, with a controllable fraction of "hard" samples whose features
+//! are blended toward a confuser class and carry extra noise.
+//!
+//! [`SensorSeries`] generates multi-sensor time-series windows for the
+//! DeepSense-style sensor-fusion examples (§II-A).
+
+mod dataset;
+mod sensor;
+mod synthetic;
+
+pub use dataset::{Batches, Dataset, Split};
+pub use sensor::{SensorSeries, SensorSeriesConfig};
+pub use synthetic::{Difficulty, SyntheticImages, SyntheticImagesConfig};

@@ -1,0 +1,204 @@
+use crate::Dataset;
+use eugene_tensor::{standard_normal, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`SensorSeries`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorSeriesConfig {
+    /// Number of activity classes (e.g. walking / running / cycling ...).
+    pub num_classes: usize,
+    /// Number of simulated sensors (e.g. accelerometer + gyroscope = 2).
+    pub num_sensors: usize,
+    /// Samples per sensor per window.
+    pub window: usize,
+    /// Additive measurement-noise standard deviation.
+    pub noise: f32,
+}
+
+impl Default for SensorSeriesConfig {
+    fn default() -> Self {
+        Self {
+            num_classes: 6,
+            num_sensors: 2,
+            window: 16,
+            noise: 0.25,
+        }
+    }
+}
+
+/// Generator of multi-sensor time-series classification windows.
+///
+/// This is the DeepSense-style workload from the paper's §II-A: several
+/// sensor streams whose *joint* spectral signature identifies an activity
+/// class. Each class assigns every sensor a characteristic frequency and
+/// phase offset; a window flattens all sensors' samples into one feature
+/// vector (sensor-major), so the examples can feed it to the same dense
+/// staged networks as the image stand-in.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_data::{SensorSeries, SensorSeriesConfig};
+/// use eugene_tensor::seeded_rng;
+///
+/// let gen = SensorSeries::new(SensorSeriesConfig::default(), &mut seeded_rng(1));
+/// let ds = gen.generate(60, &mut seeded_rng(2));
+/// assert_eq!(ds.dim(), 2 * 16);
+/// assert_eq!(ds.num_classes(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorSeries {
+    config: SensorSeriesConfig,
+    /// Per class, per sensor: (frequency, phase, amplitude).
+    signatures: Vec<Vec<(f32, f32, f32)>>,
+}
+
+impl SensorSeries {
+    /// Creates a generator, drawing class signatures from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config field is zero.
+    pub fn new(config: SensorSeriesConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.num_classes > 0, "num_classes must be positive");
+        assert!(config.num_sensors > 0, "num_sensors must be positive");
+        assert!(config.window > 0, "window must be positive");
+        let signatures = (0..config.num_classes)
+            .map(|c| {
+                (0..config.num_sensors)
+                    .map(|_| {
+                        // Frequencies spread over distinct bands per class so
+                        // classes are separable but overlapping bands keep the
+                        // task non-trivial.
+                        let base = 0.5 + c as f32 * 0.45;
+                        let freq = base + rng.gen_range(-0.1..0.1);
+                        let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+                        let amp = rng.gen_range(0.8..1.2);
+                        (freq, phase, amp)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { config, signatures }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &SensorSeriesConfig {
+        &self.config
+    }
+
+    /// Generates one flattened window for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= num_classes`.
+    pub fn window(&self, class: usize, rng: &mut impl Rng) -> Vec<f32> {
+        assert!(class < self.config.num_classes, "class {class} out of range");
+        let mut out = Vec::with_capacity(self.config.num_sensors * self.config.window);
+        let jitter: f32 = rng.gen_range(-0.2..0.2);
+        for s in 0..self.config.num_sensors {
+            let (freq, phase, amp) = self.signatures[class][s];
+            for t in 0..self.config.window {
+                let x = t as f32 / self.config.window as f32 * std::f32::consts::TAU;
+                let clean = amp * ((freq + jitter) * x + phase).sin();
+                out.push(clean + standard_normal(rng) * self.config.noise);
+            }
+        }
+        out
+    }
+
+    /// Generates `n` balanced windows as a [`Dataset`].
+    pub fn generate(&self, n: usize, rng: &mut impl Rng) -> Dataset {
+        let dim = self.config.num_sensors * self.config.window;
+        let mut features = Matrix::zeros(n, dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % self.config.num_classes;
+            let w = self.window(class, rng);
+            features.row_mut(i).copy_from_slice(&w);
+            labels.push(class);
+        }
+        Dataset::new(features, labels, self.config.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::seeded_rng;
+
+    #[test]
+    fn window_has_expected_layout() {
+        let gen = SensorSeries::new(SensorSeriesConfig::default(), &mut seeded_rng(1));
+        let w = gen.window(0, &mut seeded_rng(2));
+        assert_eq!(w.len(), 2 * 16);
+    }
+
+    #[test]
+    fn generate_is_balanced() {
+        let gen = SensorSeries::new(SensorSeriesConfig::default(), &mut seeded_rng(3));
+        let ds = gen.generate(60, &mut seeded_rng(4));
+        assert_eq!(ds.class_histogram(), vec![10; 6]);
+    }
+
+    #[test]
+    fn classes_have_distinct_spectra() {
+        // Correlating a window against each class's clean signature should
+        // recover the class more often than chance.
+        let config = SensorSeriesConfig {
+            noise: 0.1,
+            ..Default::default()
+        };
+        let gen = SensorSeries::new(config.clone(), &mut seeded_rng(5));
+        let mut rng = seeded_rng(6);
+        let mut correct = 0;
+        let trials = 120;
+        for i in 0..trials {
+            let class = i % config.num_classes;
+            let w = gen.window(class, &mut rng);
+            // Nearest clean template (generated at zero noise via a clone
+            // generator sharing signatures).
+            let mut best = 0;
+            let mut best_score = f32::NEG_INFINITY;
+            for c in 0..config.num_classes {
+                let mut clean_rng = seeded_rng(7);
+                let template = {
+                    let quiet = SensorSeries {
+                        config: SensorSeriesConfig {
+                            noise: 0.0,
+                            ..config.clone()
+                        },
+                        signatures: gen.signatures.clone(),
+                    };
+                    quiet.window(c, &mut clean_rng)
+                };
+                let score: f32 = w.iter().zip(&template).map(|(a, b)| a * b).sum();
+                if score > best_score {
+                    best_score = score;
+                    best = c;
+                }
+            }
+            if best == class {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / trials as f64;
+        assert!(acc > 0.5, "template-matching accuracy {acc} too low");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = SensorSeries::new(SensorSeriesConfig::default(), &mut seeded_rng(8));
+        let a = gen.generate(30, &mut seeded_rng(9));
+        let b = gen.generate(30, &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_rejects_bad_class() {
+        let gen = SensorSeries::new(SensorSeriesConfig::default(), &mut seeded_rng(10));
+        gen.window(99, &mut seeded_rng(11));
+    }
+}

@@ -1,0 +1,380 @@
+use crate::Dataset;
+use eugene_tensor::{standard_normal, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-sample difficulty tier of a generated sample.
+///
+/// The paper motivates stage scheduling with the observation that the
+/// difficulty of inference "is heavily influenced by the input data"
+/// (§III). The generator therefore draws each sample as easy, medium, or
+/// hard; harder samples sit closer to a confuser class and carry more
+/// noise, so a staged classifier resolves them only at deeper stages, if at
+/// all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Difficulty {
+    /// High signal-to-noise; typically classified correctly at stage 1.
+    Easy,
+    /// Moderate blending toward a confuser class.
+    Medium,
+    /// Heavy blending and noise; often needs the full network, or stays
+    /// ambiguous.
+    Hard,
+}
+
+/// Configuration for [`SyntheticImages`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImagesConfig {
+    /// Number of classes (CIFAR-10 uses 10).
+    pub num_classes: usize,
+    /// Feature dimensionality of each sample.
+    pub dim: usize,
+    /// Fraction of samples drawn as [`Difficulty::Easy`].
+    pub easy_fraction: f64,
+    /// Fraction of samples drawn as [`Difficulty::Medium`]; the remainder
+    /// is hard.
+    pub medium_fraction: f64,
+    /// Base additive noise standard deviation applied to every sample.
+    pub noise: f32,
+    /// Depth-demanding structure: when `true`, classes come in pairs that
+    /// share a prototype and are distinguished *only* by the parity of
+    /// three half-space signs (a 3-way XOR). Shallow classifiers resolve
+    /// the pair but guess within it; deeper ones decode the parity — the
+    /// property that makes later network stages genuinely more accurate,
+    /// as in the paper's staged ResNet. Requires an even class count.
+    pub paired_parity: bool,
+}
+
+impl Default for SyntheticImagesConfig {
+    fn default() -> Self {
+        Self {
+            num_classes: 10,
+            dim: 32,
+            easy_fraction: 0.45,
+            medium_fraction: 0.30,
+            noise: 0.35,
+            paired_parity: false,
+        }
+    }
+}
+
+/// Generator of the CIFAR-10 stand-in dataset.
+///
+/// Each class owns a unit prototype vector in `dim` dimensions plus a small
+/// set of intra-class "style" directions; a sample is its class prototype
+/// plus style variation, optionally blended toward a confuser class
+/// (difficulty), plus isotropic noise.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_data::{SyntheticImages, SyntheticImagesConfig};
+/// use eugene_tensor::seeded_rng;
+///
+/// let gen = SyntheticImages::new(SyntheticImagesConfig::default(), &mut seeded_rng(1));
+/// let (ds, difficulty) = gen.generate(100, &mut seeded_rng(2));
+/// assert_eq!(ds.len(), 100);
+/// assert_eq!(difficulty.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticImages {
+    config: SyntheticImagesConfig,
+    prototypes: Matrix,
+    styles: Vec<Matrix>,
+    /// For each class, the class whose prototype hard samples blend toward.
+    confusers: Vec<usize>,
+    /// Orthonormal directions defining the parity gate (paired mode).
+    parity_directions: Matrix,
+}
+
+const STYLES_PER_CLASS: usize = 3;
+
+impl SyntheticImages {
+    /// Creates a generator, drawing class prototypes from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has fewer than two classes, a zero dimension,
+    /// or difficulty fractions outside `[0, 1]` / summing above 1.
+    pub fn new(config: SyntheticImagesConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.num_classes >= 2, "need at least two classes");
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(
+            config.easy_fraction >= 0.0
+                && config.medium_fraction >= 0.0
+                && config.easy_fraction + config.medium_fraction <= 1.0,
+            "difficulty fractions must be non-negative and sum to at most 1"
+        );
+        if config.paired_parity {
+            assert!(
+                config.num_classes.is_multiple_of(2),
+                "paired_parity requires an even class count"
+            );
+            assert!(config.dim >= 3, "paired_parity requires dim >= 3");
+        }
+        let mut prototypes = Matrix::zeros(config.num_classes, config.dim);
+        for c in 0..config.num_classes {
+            // In paired mode both classes of a pair share one prototype.
+            if config.paired_parity && c % 2 == 1 {
+                let prev = prototypes.row(c - 1).to_vec();
+                prototypes.row_mut(c).copy_from_slice(&prev);
+                continue;
+            }
+            let row = prototypes.row_mut(c);
+            let mut norm = 0.0;
+            for x in row.iter_mut() {
+                *x = standard_normal(rng);
+                norm += *x * *x;
+            }
+            let norm = norm.sqrt().max(1e-6);
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+        // Three orthonormal parity directions via Gram-Schmidt.
+        let mut parity_directions = Matrix::zeros(3, config.dim);
+        for i in 0..3 {
+            let mut v: Vec<f32> = (0..config.dim).map(|_| standard_normal(rng)).collect();
+            for j in 0..i {
+                let prev = parity_directions.row(j);
+                let dot: f32 = v.iter().zip(prev).map(|(a, b)| a * b).sum();
+                for (x, p) in v.iter_mut().zip(prev) {
+                    *x -= dot * p;
+                }
+            }
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            for x in &mut v {
+                *x /= norm;
+            }
+            if config.dim >= 3 {
+                parity_directions.row_mut(i).copy_from_slice(&v);
+            }
+        }
+        let styles = (0..config.num_classes)
+            .map(|_| {
+                let mut m = Matrix::zeros(STYLES_PER_CLASS, config.dim);
+                for x in m.as_mut_slice() {
+                    *x = standard_normal(rng) * 0.3;
+                }
+                m
+            })
+            .collect();
+        // Deterministic confuser assignment: next class cyclically. This
+        // gives every class exactly one class it is "like", mirroring
+        // CIFAR-10's cat/dog, car/truck confusion structure.
+        let confusers = (0..config.num_classes)
+            .map(|c| (c + 1) % config.num_classes)
+            .collect();
+        Self {
+            config,
+            prototypes,
+            styles,
+            confusers,
+            parity_directions,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &SyntheticImagesConfig {
+        &self.config
+    }
+
+    /// Class prototype matrix (`num_classes x dim`).
+    pub fn prototypes(&self) -> &Matrix {
+        &self.prototypes
+    }
+
+    /// Draws a difficulty tier according to the configured fractions.
+    fn draw_difficulty(&self, rng: &mut impl Rng) -> Difficulty {
+        let u: f64 = rng.gen();
+        if u < self.config.easy_fraction {
+            Difficulty::Easy
+        } else if u < self.config.easy_fraction + self.config.medium_fraction {
+            Difficulty::Medium
+        } else {
+            Difficulty::Hard
+        }
+    }
+
+    /// Generates one sample of class `class` at the given difficulty.
+    pub fn sample(&self, class: usize, difficulty: Difficulty, rng: &mut impl Rng) -> Vec<f32> {
+        assert!(class < self.config.num_classes, "class {class} out of range");
+        let (blend, noise_scale) = match difficulty {
+            Difficulty::Easy => (0.0, 1.0),
+            Difficulty::Medium => (0.25, 1.6),
+            Difficulty::Hard => (0.45, 2.4),
+        };
+        let proto = self.prototypes.row(class);
+        let confuser = self.prototypes.row(self.confusers[class]);
+        let style_idx = rng.gen_range(0..STYLES_PER_CLASS);
+        let style = self.styles[class].row(style_idx);
+        let style_weight: f32 = rng.gen_range(0.5..1.5);
+        let noise = self.config.noise * noise_scale;
+        let mut x: Vec<f32> = (0..self.config.dim)
+            .map(|i| {
+                proto[i] * (1.0 - blend)
+                    + confuser[i] * blend
+                    + style[i] * style_weight
+                    + standard_normal(rng) * noise
+            })
+            .collect();
+        if self.config.paired_parity {
+            self.enforce_parity(&mut x, class);
+        }
+        x
+    }
+
+    /// Reflects the sample along the third parity direction if needed so
+    /// that `sign(x*d1) * sign(x*d2) * sign(x*d3)` encodes the class's
+    /// within-pair identity (+ for even classes, - for odd).
+    fn enforce_parity(&self, x: &mut [f32], class: usize) {
+        let dot = |d: &[f32], x: &[f32]| -> f32 { d.iter().zip(x).map(|(a, b)| a * b).sum() };
+        let d3 = self.parity_directions.row(2);
+        let mut product = 1.0f32;
+        for i in 0..3 {
+            let v = dot(self.parity_directions.row(i), x);
+            product *= if v >= 0.0 { 1.0 } else { -1.0 };
+        }
+        let want_positive = class.is_multiple_of(2);
+        if (product >= 0.0) != want_positive {
+            // Householder-style reflection flips the sign of x * d3 only.
+            let v = dot(d3, x);
+            for (xi, di) in x.iter_mut().zip(d3) {
+                *xi -= 2.0 * v * di;
+            }
+        }
+    }
+
+    /// Generates `n` samples with round-robin class assignment (balanced
+    /// classes, like CIFAR-10) and per-sample random difficulty.
+    ///
+    /// Returns the dataset and the per-sample difficulty tiers, aligned by
+    /// index.
+    pub fn generate(&self, n: usize, rng: &mut impl Rng) -> (Dataset, Vec<Difficulty>) {
+        let mut features = Matrix::zeros(n, self.config.dim);
+        let mut labels = Vec::with_capacity(n);
+        let mut difficulties = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % self.config.num_classes;
+            let difficulty = self.draw_difficulty(rng);
+            let x = self.sample(class, difficulty, rng);
+            features.row_mut(i).copy_from_slice(&x);
+            labels.push(class);
+            difficulties.push(difficulty);
+        }
+        (
+            Dataset::new(features, labels, self.config.num_classes),
+            difficulties,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::seeded_rng;
+
+    fn generator(seed: u64) -> SyntheticImages {
+        SyntheticImages::new(SyntheticImagesConfig::default(), &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn prototypes_are_unit_norm() {
+        let gen = generator(1);
+        for c in 0..10 {
+            let norm: f32 = gen.prototypes().row(c).iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-4, "class {c} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn generate_is_balanced_and_aligned() {
+        let gen = generator(2);
+        let (ds, diff) = gen.generate(200, &mut seeded_rng(3));
+        assert_eq!(ds.len(), 200);
+        assert_eq!(diff.len(), 200);
+        assert_eq!(ds.class_histogram(), vec![20; 10]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_seeds() {
+        let gen = generator(4);
+        let (a, _) = gen.generate(50, &mut seeded_rng(5));
+        let (b, _) = gen.generate(50, &mut seeded_rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn difficulty_fractions_are_respected() {
+        let gen = generator(6);
+        let (_, diff) = gen.generate(5000, &mut seeded_rng(7));
+        let easy = diff.iter().filter(|d| **d == Difficulty::Easy).count() as f64 / 5000.0;
+        let hard = diff.iter().filter(|d| **d == Difficulty::Hard).count() as f64 / 5000.0;
+        assert!((easy - 0.45).abs() < 0.05, "easy fraction {easy}");
+        assert!((hard - 0.25).abs() < 0.05, "hard fraction {hard}");
+    }
+
+    #[test]
+    fn hard_samples_sit_closer_to_confuser() {
+        let gen = generator(8);
+        let mut rng = seeded_rng(9);
+        let class = 0;
+        let confuser = 1; // cyclic assignment
+        let dist = |x: &[f32], proto: &[f32]| -> f32 {
+            x.iter().zip(proto).map(|(a, b)| (a - b).powi(2)).sum()
+        };
+        let mut easy_margin = 0.0;
+        let mut hard_margin = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let e = gen.sample(class, Difficulty::Easy, &mut rng);
+            let h = gen.sample(class, Difficulty::Hard, &mut rng);
+            easy_margin += dist(&e, gen.prototypes().row(confuser)) - dist(&e, gen.prototypes().row(class));
+            hard_margin += dist(&h, gen.prototypes().row(confuser)) - dist(&h, gen.prototypes().row(class));
+        }
+        // Margin to the true class should shrink for hard samples.
+        assert!(
+            hard_margin < easy_margin,
+            "hard samples should be nearer the confuser (easy {easy_margin}, hard {hard_margin})"
+        );
+    }
+
+    #[test]
+    fn nearest_prototype_classifier_beats_chance() {
+        let gen = generator(10);
+        let (ds, _) = gen.generate(500, &mut seeded_rng(11));
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let x = ds.sample(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for c in 0..10 {
+                let d: f32 = x
+                    .iter()
+                    .zip(gen.prototypes().row(c))
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if best == ds.label(i) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / ds.len() as f64;
+        assert!(acc > 0.4, "nearest-prototype accuracy {acc} too low");
+        assert!(acc < 0.999, "dataset should not be trivially separable");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let config = SyntheticImagesConfig {
+            num_classes: 1,
+            ..Default::default()
+        };
+        SyntheticImages::new(config, &mut seeded_rng(0));
+    }
+}

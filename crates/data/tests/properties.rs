@@ -1,0 +1,118 @@
+//! Property-based tests for dataset plumbing and the synthetic generators.
+
+use eugene_data::{Dataset, SyntheticImages, SyntheticImagesConfig};
+use eugene_tensor::{seeded_rng, Matrix};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..6, 1usize..5, 1usize..40).prop_flat_map(|(classes, dim, n)| {
+        (
+            prop::collection::vec(-5.0f32..5.0, n * dim),
+            prop::collection::vec(0usize..classes, n),
+        )
+            .prop_map(move |(data, labels)| {
+                Dataset::new(Matrix::from_vec(n, dim, data), labels, classes)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_partitions_without_loss(ds in dataset_strategy(), fraction in 0.0f64..=1.0) {
+        let split = ds.split(fraction);
+        prop_assert_eq!(split.train.len() + split.test.len(), ds.len());
+        // Order is preserved: train is a prefix, test the suffix.
+        for i in 0..split.train.len() {
+            prop_assert_eq!(split.train.sample(i), ds.sample(i));
+            prop_assert_eq!(split.train.label(i), ds.label(i));
+        }
+        for i in 0..split.test.len() {
+            prop_assert_eq!(split.test.sample(i), ds.sample(split.train.len() + i));
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_dataset(ds in dataset_strategy(), batch in 1usize..10) {
+        let mut covered = 0;
+        for (features, labels) in ds.batches(batch) {
+            prop_assert_eq!(features.rows(), labels.len());
+            prop_assert!(features.rows() <= batch);
+            covered += features.rows();
+        }
+        prop_assert_eq!(covered, ds.len());
+    }
+
+    #[test]
+    fn shuffle_preserves_feature_label_pairs(ds in dataset_strategy(), seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        let shuffled = ds.shuffled(&mut rng);
+        prop_assert_eq!(shuffled.len(), ds.len());
+        // Every (feature row, label) pair in the shuffle exists in the
+        // original (multiset equality via sorted signatures).
+        let signature = |d: &Dataset| {
+            let mut sigs: Vec<(Vec<u32>, usize)> = (0..d.len())
+                .map(|i| {
+                    (
+                        d.sample(i).iter().map(|f| f.to_bits()).collect(),
+                        d.label(i),
+                    )
+                })
+                .collect();
+            sigs.sort();
+            sigs
+        };
+        prop_assert_eq!(signature(&shuffled), signature(&ds));
+    }
+
+    #[test]
+    fn class_histogram_sums_to_len(ds in dataset_strategy()) {
+        prop_assert_eq!(ds.class_histogram().iter().sum::<usize>(), ds.len());
+    }
+
+    #[test]
+    fn generator_output_is_balanced_and_finite(
+        seed in 0u64..500,
+        n in 10usize..120,
+        paired in any::<bool>(),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let config = SyntheticImagesConfig {
+            num_classes: 4,
+            dim: 8,
+            paired_parity: paired,
+            ..Default::default()
+        };
+        let gen = SyntheticImages::new(config, &mut rng);
+        let (ds, difficulty) = gen.generate(n, &mut rng);
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(difficulty.len(), n);
+        prop_assert!(ds.features().as_slice().iter().all(|x| x.is_finite()));
+        let hist = ds.class_histogram();
+        let max = hist.iter().max().unwrap();
+        let min = hist.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "round-robin assignment stays balanced");
+    }
+
+    #[test]
+    fn parity_gate_is_consistent_with_labels(seed in 0u64..200) {
+        // In paired mode the within-pair identity must be decodable from
+        // the parity of the three gate directions.
+        let mut rng = seeded_rng(seed);
+        let config = SyntheticImagesConfig {
+            num_classes: 6,
+            dim: 12,
+            paired_parity: true,
+            ..Default::default()
+        };
+        let gen = SyntheticImages::new(config, &mut rng);
+        let (ds, _) = gen.generate(60, &mut rng);
+        // Reconstruct the gate: classes 2c and 2c+1 share a prototype, so
+        // identical-prototype rows confirm the pairing.
+        for c in 0..3 {
+            prop_assert_eq!(gen.prototypes().row(2 * c), gen.prototypes().row(2 * c + 1));
+        }
+        let _ = ds;
+    }
+}

@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+/// Radial-basis-function (squared-exponential) kernel over scalar inputs:
+///
+/// ```text
+/// k(a, b) = variance * exp(-(a - b)^2 / (2 * length_scale^2))
+/// ```
+///
+/// The paper's confidence-curve regressors map stage confidences (bounded
+/// in `[0, 1]`) to later-stage confidences, for which a smooth stationary
+/// kernel is the textbook choice (Rasmussen, cited as \[16\]).
+///
+/// # Examples
+///
+/// ```
+/// use eugene_gp::RbfKernel;
+///
+/// let k = RbfKernel::new(1.0, 0.2);
+/// assert!((k.eval(0.5, 0.5) - 1.0).abs() < 1e-12);
+/// assert!(k.eval(0.0, 1.0) < k.eval(0.0, 0.1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RbfKernel {
+    variance: f64,
+    length_scale: f64,
+}
+
+impl RbfKernel {
+    /// Creates a kernel with signal `variance` and `length_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(variance: f64, length_scale: f64) -> Self {
+        assert!(
+            variance.is_finite() && variance > 0.0,
+            "variance must be positive, got {variance}"
+        );
+        assert!(
+            length_scale.is_finite() && length_scale > 0.0,
+            "length_scale must be positive, got {length_scale}"
+        );
+        Self {
+            variance,
+            length_scale,
+        }
+    }
+
+    /// Signal variance `k(x, x)`.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Kernel length scale.
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    /// Evaluates `k(a, b)`.
+    pub fn eval(&self, a: f64, b: f64) -> f64 {
+        let d = (a - b) / self.length_scale;
+        self.variance * (-0.5 * d * d).exp()
+    }
+
+    /// Builds the Gram matrix `K[i][j] = k(x_i, x_j)` (row-major).
+    pub fn gram(&self, xs: &[f64]) -> Vec<f64> {
+        let n = xs.len();
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.eval(xs[i], xs[j]);
+                out[i * n + j] = v;
+                out[j * n + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Builds the cross-covariance vector `k(x, x_i)` for a query `x`.
+    pub fn cross(&self, x: f64, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&xi| self.eval(x, xi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_equals_variance() {
+        let k = RbfKernel::new(2.5, 0.3);
+        assert!((k.eval(0.7, 0.7) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_and_decaying() {
+        let k = RbfKernel::new(1.0, 0.5);
+        assert_eq!(k.eval(0.1, 0.9), k.eval(0.9, 0.1));
+        assert!(k.eval(0.0, 2.0) < k.eval(0.0, 1.0));
+        assert!(k.eval(0.0, 10.0) < 1e-8);
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_variance_diagonal() {
+        let k = RbfKernel::new(1.5, 0.4);
+        let xs = [0.0, 0.25, 0.5, 1.0];
+        let g = k.gram(&xs);
+        let n = xs.len();
+        for i in 0..n {
+            assert!((g[i * n + i] - 1.5).abs() < 1e-12);
+            for j in 0..n {
+                assert_eq!(g[i * n + j], g[j * n + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_matches_pointwise_eval() {
+        let k = RbfKernel::new(1.0, 0.2);
+        let xs = [0.1, 0.5];
+        let c = k.cross(0.3, &xs);
+        assert_eq!(c, vec![k.eval(0.3, 0.1), k.eval(0.3, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length_scale")]
+    fn rejects_zero_length_scale() {
+        RbfKernel::new(1.0, 0.0);
+    }
+}

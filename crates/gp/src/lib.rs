@@ -1,0 +1,47 @@
+//! Gaussian-process regression and piecewise-linear compression.
+//!
+//! Paper §III-B predicts the confidence a task will reach at future stages
+//! from the confidence observed at completed stages, using Gaussian-process
+//! (GP) regression models such as `GP1→2`, `GP1→3`, and `GP2→3`. Because
+//! "Gaussian process is notorious for its long inference time", the paper
+//! then *compresses* each GP into a piecewise-linear function by profiling
+//! it on the grid `{0, 1/M, …, 1}` and interpolating — the runtime
+//! scheduler only ever evaluates the cheap piecewise-linear approximation.
+//!
+//! This crate implements both halves:
+//!
+//! - [`GpRegressor`]: exact 1-D GP regression with an RBF kernel, jittered
+//!   Cholesky solve, and predictive mean/variance;
+//! - [`PiecewiseLinear`]: the grid-profiled compression of any 1-D model;
+//! - [`mae`] / [`r_squared`]: the metrics reported in Table III.
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_gp::{GpParams, GpRegressor, PiecewiseLinear};
+//!
+//! // Confidence at stage 1 -> confidence at stage 2, on toy data.
+//! let x = [0.1, 0.3, 0.5, 0.7, 0.9];
+//! let y = [0.2, 0.45, 0.65, 0.8, 0.95];
+//! let gp = GpRegressor::fit(&x, &y, GpParams::default())?;
+//! let (mean, var) = gp.predict(0.6);
+//! assert!(mean > 0.5 && mean < 1.0);
+//! assert!(var >= 0.0);
+//!
+//! // Compress for the runtime scheduler (paper's two-step recipe).
+//! let pwl = PiecewiseLinear::profile(|c| gp.predict(c).0, 10);
+//! assert!((pwl.eval(0.6) - mean).abs() < 0.05);
+//! # Ok::<(), eugene_gp::GpError>(())
+//! ```
+
+mod kernel;
+mod linalg;
+mod metrics;
+mod pwl;
+mod regressor;
+
+pub use kernel::RbfKernel;
+pub use linalg::{cholesky, cholesky_solve, CholeskyError};
+pub use metrics::{mae, r_squared};
+pub use pwl::PiecewiseLinear;
+pub use regressor::{GpError, GpParams, GpRegressor};

@@ -1,0 +1,189 @@
+//! Dense Cholesky factorization and triangular solves, the only linear
+//! algebra a Gaussian-process regressor needs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CholeskyError {
+    pivot: usize,
+}
+
+impl CholeskyError {
+    /// Index of the pivot where the factorization failed.
+    pub fn pivot(&self) -> usize {
+        self.pivot
+    }
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (non-positive pivot at index {})",
+            self.pivot
+        )
+    }
+}
+
+impl Error for CholeskyError {}
+
+/// Computes the lower-triangular Cholesky factor `L` of a symmetric
+/// positive-definite `n x n` matrix stored row-major in `a`, so that
+/// `L L^T = A`. Entries above the diagonal of the returned buffer are zero.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if a pivot is not strictly positive, i.e. the
+/// matrix is not numerically positive definite. GP callers add diagonal
+/// jitter and retry.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_gp::cholesky;
+///
+/// // A = [[4, 2], [2, 3]] has factor L = [[2, 0], [1, sqrt(2)]].
+/// let l = cholesky(&[4.0, 2.0, 2.0, 3.0], 2)?;
+/// assert!((l[0] - 2.0).abs() < 1e-12);
+/// assert!((l[2] - 1.0).abs() < 1e-12);
+/// # Ok::<(), eugene_gp::CholeskyError>(())
+/// ```
+pub fn cholesky(a: &[f64], n: usize) -> Result<Vec<f64>, CholeskyError> {
+    assert_eq!(a.len(), n * n, "matrix buffer must be n*n");
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(CholeskyError { pivot: i });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (from
+/// [`cholesky`]), via forward then backward substitution.
+///
+/// # Panics
+///
+/// Panics if `l.len() != b.len() * b.len()`.
+pub fn cholesky_solve(l: &[f64], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(l.len(), n * n, "factor must be n*n for an n-vector");
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Backward: L^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = [6.0, 3.0, 1.0, 3.0, 5.0, 2.0, 1.0, 2.0, 4.0];
+        let l = cholesky(&a, 3).unwrap();
+        // Reconstruct L L^T.
+        for i in 0..3 {
+            for j in 0..3 {
+                let v: f64 = (0..3).map(|k| l[i * 3 + k] * l[j * 3 + k]).sum();
+                assert!((v - a[i * 3 + j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let x_true = [1.5, -2.0];
+        let b = matvec(&a, &x_true, 2);
+        let l = cholesky(&a, 2).unwrap();
+        let x = cholesky_solve(&l, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3 and -1
+        let err = cholesky(&a, 2).unwrap_err();
+        assert_eq!(err.pivot(), 1);
+        assert!(err.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let l = cholesky(&a, 2).unwrap();
+        assert_eq!(l, vec![1.0, 0.0, 0.0, 1.0]);
+        let x = cholesky_solve(&l, &[3.0, 4.0]);
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn large_random_spd_roundtrip() {
+        // Build SPD as B B^T + n I from a deterministic pseudo-random B.
+        let n = 20;
+        let mut b = vec![0.0; n * n];
+        let mut state = 12345u64;
+        for v in &mut b {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+        }
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let rhs = matvec(&a, &x_true, n);
+        let l = cholesky(&a, n).unwrap();
+        let x = cholesky_solve(&l, &rhs);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+}

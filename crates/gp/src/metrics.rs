@@ -1,0 +1,92 @@
+//! Regression-quality metrics reported in the paper's Table III.
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_gp::mae;
+/// assert!((mae(&[1.0, 2.0], &[1.5, 1.5]) - 0.5).abs() < 1e-12);
+/// ```
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "slices must align");
+    assert!(!predictions.is_empty(), "mae of empty slices");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination `R^2 = 1 - SS_res / SS_tot`.
+///
+/// Can be negative when predictions are worse than predicting the target
+/// mean. Returns `0.0` when the targets are constant (degenerate
+/// `SS_tot = 0`), matching the convention of most ML toolkits.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_gp::r_squared;
+/// let perfect = r_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+/// assert!((perfect - 1.0).abs() < 1e-12);
+/// ```
+pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "slices must align");
+    assert!(!predictions.is_empty(), "r_squared of empty slices");
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_of_perfect_predictions_is_zero() {
+        assert_eq!(mae(&[0.1, 0.9], &[0.1, 0.9]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_of_mean_predictor_is_zero() {
+        let targets = [1.0, 2.0, 3.0];
+        let preds = [2.0, 2.0, 2.0];
+        assert!(r_squared(&preds, &targets).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative() {
+        let targets = [1.0, 2.0, 3.0];
+        let preds = [3.0, 2.0, 1.0];
+        assert!(r_squared(&preds, &targets) < 0.0);
+    }
+
+    #[test]
+    fn constant_targets_yield_zero() {
+        assert_eq!(r_squared(&[1.0, 2.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+}

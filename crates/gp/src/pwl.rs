@@ -1,0 +1,164 @@
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear function on `[0, 1]`, the paper's runtime-cheap
+/// stand-in for a Gaussian-process regressor (§III-B):
+///
+/// 1. profile the GP at the grid `{0, 1/M, …, 1}`;
+/// 2. connect the profiled points with straight segments.
+///
+/// Inputs outside `[x_first, x_last]` clamp to the boundary values, which
+/// is the right behavior for confidences, whose domain is bounded.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_gp::PiecewiseLinear;
+///
+/// let pwl = PiecewiseLinear::profile(|x| x * x, 10);
+/// assert!((pwl.eval(0.5) - 0.25).abs() < 0.01);
+/// assert_eq!(pwl.eval(-1.0), pwl.eval(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Profiles `f` at `segments + 1` evenly spaced points on `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`.
+    pub fn profile(f: impl Fn(f64) -> f64, segments: usize) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        let xs: Vec<f64> = (0..=segments).map(|i| i as f64 / segments as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        Self { xs, ys }
+    }
+
+    /// Builds directly from knot points, which must be strictly increasing
+    /// in `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or the x values are not
+    /// strictly increasing.
+    pub fn from_points(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two knot points");
+        for pair in points.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "knot x values must be strictly increasing ({} !< {})",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        Self {
+            xs: points.iter().map(|p| p.0).collect(),
+            ys: points.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// Number of linear segments.
+    pub fn segments(&self) -> usize {
+        self.xs.len() - 1
+    }
+
+    /// The knot points.
+    pub fn knots(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ys.iter().copied())
+    }
+
+    /// Evaluates the function at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        let last = self.xs.len() - 1;
+        if x >= self.xs[last] {
+            return self.ys[last];
+        }
+        // Binary search for the containing segment.
+        let mut lo = 0;
+        let mut hi = last;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
+    }
+
+    /// Maximum absolute deviation from `f` sampled at `probes` points on
+    /// `[0, 1]`; used in tests and the ablation bench to quantify the
+    /// compression error.
+    pub fn max_error(&self, f: impl Fn(f64) -> f64, probes: usize) -> f64 {
+        (0..=probes)
+            .map(|i| {
+                let x = i as f64 / probes as f64;
+                (self.eval(x) - f(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_linear_functions() {
+        let pwl = PiecewiseLinear::profile(|x| 2.0 * x - 0.5, 4);
+        for &x in &[0.0, 0.13, 0.5, 0.77, 1.0] {
+            assert!((pwl.eval(x) - (2.0 * x - 0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_more_segments() {
+        let f = |x: f64| (3.0 * x).sin();
+        let coarse = PiecewiseLinear::profile(f, 4).max_error(f, 200);
+        let fine = PiecewiseLinear::profile(f, 32).max_error(f, 200);
+        assert!(fine < coarse / 4.0, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let pwl = PiecewiseLinear::profile(|x| x, 5);
+        assert_eq!(pwl.eval(-3.0), 0.0);
+        assert_eq!(pwl.eval(7.0), 1.0);
+    }
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let pwl = PiecewiseLinear::from_points(&[(0.0, 1.0), (0.4, 0.2), (1.0, 0.6)]);
+        assert_eq!(pwl.eval(0.0), 1.0);
+        assert_eq!(pwl.eval(0.4), 0.2);
+        assert_eq!(pwl.eval(1.0), 0.6);
+        // Midpoint of the first segment.
+        assert!((pwl.eval(0.2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_counted_correctly() {
+        assert_eq!(PiecewiseLinear::profile(|x| x, 10).segments(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_knots() {
+        PiecewiseLinear::from_points(&[(0.5, 0.0), (0.2, 1.0)]);
+    }
+
+    #[test]
+    fn knots_iterator_round_trips() {
+        let pwl = PiecewiseLinear::profile(|x| x + 1.0, 2);
+        let pts: Vec<(f64, f64)> = pwl.knots().collect();
+        assert_eq!(pts, vec![(0.0, 1.0), (0.5, 1.5), (1.0, 2.0)]);
+    }
+}

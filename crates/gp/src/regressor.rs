@@ -1,0 +1,327 @@
+use crate::linalg::{cholesky, cholesky_solve};
+use crate::RbfKernel;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Hyper-parameters for [`GpRegressor::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpParams {
+    /// Observation-noise variance added to the Gram diagonal.
+    pub noise: f64,
+    /// Kernel length scale; `None` selects it from the data (median
+    /// pairwise distance heuristic).
+    pub length_scale: Option<f64>,
+    /// Kernel signal variance; `None` uses the sample variance of the
+    /// targets.
+    pub signal_variance: Option<f64>,
+    /// Maximum number of training points retained. GP cost is cubic in the
+    /// training-set size, so larger sets are subsampled deterministically
+    /// (every k-th point). This mirrors the practical reality that drove
+    /// the paper to piecewise-linear compression.
+    pub max_points: usize,
+}
+
+impl Default for GpParams {
+    fn default() -> Self {
+        Self {
+            noise: 1e-3,
+            length_scale: None,
+            signal_variance: None,
+            max_points: 400,
+        }
+    }
+}
+
+/// Error returned by [`GpRegressor::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// The training set was empty or the x/y lengths differed.
+    InvalidTrainingSet {
+        /// Number of inputs provided.
+        xs: usize,
+        /// Number of targets provided.
+        ys: usize,
+    },
+    /// The kernel matrix stayed non-positive-definite even after jitter.
+    NotPositiveDefinite,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::InvalidTrainingSet { xs, ys } => {
+                write!(f, "invalid training set: {xs} inputs, {ys} targets")
+            }
+            GpError::NotPositiveDefinite => {
+                write!(f, "kernel matrix not positive definite after jitter")
+            }
+        }
+    }
+}
+
+impl Error for GpError {}
+
+/// Exact 1-D Gaussian-process regression with an RBF kernel.
+///
+/// Fitting solves `(K + noise * I) alpha = y` once by Cholesky; prediction
+/// is `mean = k_*^T alpha` and
+/// `var = k(x,x) - k_*^T (K + noise I)^{-1} k_*`, the standard equations
+/// from Rasmussen (the paper's \[16\]).
+///
+/// # Examples
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    kernel: RbfKernel,
+    noise: f64,
+    xs: Vec<f64>,
+    alpha: Vec<f64>,
+    chol: Vec<f64>,
+    mean_offset: f64,
+}
+
+impl GpRegressor {
+    /// Fits a GP to scalar observations `(xs[i], ys[i])`.
+    ///
+    /// Targets are internally centered; predictions add the mean back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidTrainingSet`] for empty or mismatched
+    /// inputs and [`GpError::NotPositiveDefinite`] if factorization fails
+    /// even with escalating jitter.
+    pub fn fit(xs: &[f64], ys: &[f64], params: GpParams) -> Result<Self, GpError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(GpError::InvalidTrainingSet {
+                xs: xs.len(),
+                ys: ys.len(),
+            });
+        }
+        let (xs, ys) = subsample(xs, ys, params.max_points);
+        let mean_offset = ys.iter().sum::<f64>() / ys.len() as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - mean_offset).collect();
+        let length_scale = params
+            .length_scale
+            .unwrap_or_else(|| median_distance(&xs).max(1e-3));
+        let signal_variance = params
+            .signal_variance
+            .unwrap_or_else(|| sample_variance(&centered).max(1e-6));
+        let kernel = RbfKernel::new(signal_variance, length_scale);
+        let n = xs.len();
+        let gram = kernel.gram(&xs);
+        let mut jitter = params.noise.max(1e-10);
+        // Escalate jitter until the factorization succeeds (at most a few
+        // rounds; duplicated confidence values otherwise defeat the solve).
+        for _ in 0..8 {
+            let mut k = gram.clone();
+            for i in 0..n {
+                k[i * n + i] += jitter;
+            }
+            if let Ok(chol) = cholesky(&k, n) {
+                let alpha = cholesky_solve(&chol, &centered);
+                return Ok(Self {
+                    kernel,
+                    noise: jitter,
+                    xs,
+                    alpha,
+                    chol,
+                    mean_offset,
+                });
+            }
+            jitter *= 10.0;
+        }
+        Err(GpError::NotPositiveDefinite)
+    }
+
+    /// Number of retained training points.
+    pub fn training_size(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &RbfKernel {
+        &self.kernel
+    }
+
+    /// The noise/jitter variance actually used.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Predictive mean and variance at `x`.
+    pub fn predict(&self, x: f64) -> (f64, f64) {
+        let k_star = self.kernel.cross(x, &self.xs);
+        let mean: f64 = k_star
+            .iter()
+            .zip(&self.alpha)
+            .map(|(k, a)| k * a)
+            .sum::<f64>()
+            + self.mean_offset;
+        // var = k(x,x) - k*^T K^{-1} k*; compute v = L^{-1} k* by forward
+        // substitution, then var = k(x,x) - v^T v.
+        let n = self.xs.len();
+        let mut v = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = k_star[i];
+            for k in 0..i {
+                sum -= self.chol[i * n + k] * v[k];
+            }
+            v[i] = sum / self.chol[i * n + i];
+        }
+        let var = (self.kernel.variance() - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (mean, var)
+    }
+
+    /// Predictive mean only (convenience).
+    pub fn predict_mean(&self, x: f64) -> f64 {
+        self.predict(x).0
+    }
+
+    /// A central confidence interval `(low, high)` with roughly the given
+    /// number of standard deviations (e.g. `1.96` for 95%).
+    pub fn confidence_interval(&self, x: f64, z: f64) -> (f64, f64) {
+        let (mean, var) = self.predict(x);
+        let half = z * var.sqrt();
+        (mean - half, mean + half)
+    }
+}
+
+fn subsample(xs: &[f64], ys: &[f64], max_points: usize) -> (Vec<f64>, Vec<f64>) {
+    let max_points = max_points.max(2);
+    if xs.len() <= max_points {
+        return (xs.to_vec(), ys.to_vec());
+    }
+    let stride = xs.len() as f64 / max_points as f64;
+    let mut out_x = Vec::with_capacity(max_points);
+    let mut out_y = Vec::with_capacity(max_points);
+    for i in 0..max_points {
+        let idx = (i as f64 * stride) as usize;
+        out_x.push(xs[idx]);
+        out_y.push(ys[idx]);
+    }
+    (out_x, out_y)
+}
+
+fn median_distance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.1;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let spread = sorted[sorted.len() - 1] - sorted[0];
+    if spread <= 0.0 {
+        return 0.1;
+    }
+    // A fraction of the data range is a robust, cheap stand-in for the
+    // median pairwise distance on bounded confidence data.
+    (spread / 4.0).max(1e-3)
+}
+
+fn sample_variance(ys: &[f64]) -> f64 {
+    if ys.len() < 2 {
+        return 1.0;
+    }
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (ys.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points_with_low_noise() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = [0.1, 0.35, 0.5, 0.8, 0.9];
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            GpParams {
+                noise: 1e-8,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let (mean, _) = gp.predict(x);
+            assert!((mean - y).abs() < 0.05, "at {x}: {mean} vs {y}");
+        }
+    }
+
+    #[test]
+    fn variance_is_smaller_near_training_data() {
+        let xs = [0.2, 0.4, 0.6];
+        let ys = [0.3, 0.5, 0.7];
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            GpParams {
+                length_scale: Some(0.1),
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        let (_, var_near) = gp.predict(0.4);
+        let (_, var_far) = gp.predict(5.0);
+        assert!(var_near < var_far, "near {var_near} vs far {var_far}");
+    }
+
+    #[test]
+    fn recovers_linear_trend() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.3 + 0.5 * x).collect();
+        let gp = GpRegressor::fit(&xs, &ys, GpParams::default()).unwrap();
+        for &x in &[0.1, 0.5, 0.9] {
+            let (mean, _) = gp.predict(x);
+            let want = 0.3 + 0.5 * x;
+            assert!((mean - want).abs() < 0.03, "at {x}: {mean} vs {want}");
+        }
+    }
+
+    #[test]
+    fn duplicate_inputs_survive_via_jitter() {
+        let xs = [0.5; 20];
+        let ys: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let gp = GpRegressor::fit(&xs, &ys, GpParams::default()).unwrap();
+        let (mean, _) = gp.predict(0.5);
+        assert!((mean - 0.595).abs() < 0.1);
+    }
+
+    #[test]
+    fn subsampling_caps_training_size() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let ys = xs.clone();
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            GpParams {
+                max_points: 50,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(gp.training_size(), 50);
+        assert!((gp.predict_mean(0.5) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_or_mismatched_training_set_errors() {
+        assert!(matches!(
+            GpRegressor::fit(&[], &[], GpParams::default()),
+            Err(GpError::InvalidTrainingSet { .. })
+        ));
+        assert!(GpRegressor::fit(&[0.1], &[0.1, 0.2], GpParams::default()).is_err());
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let xs = [0.1, 0.5, 0.9];
+        let ys = [0.2, 0.5, 0.8];
+        let gp = GpRegressor::fit(&xs, &ys, GpParams::default()).unwrap();
+        let (low, high) = gp.confidence_interval(0.3, 1.96);
+        let mean = gp.predict_mean(0.3);
+        assert!(low <= mean && mean <= high);
+    }
+}

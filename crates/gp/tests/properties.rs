@@ -1,0 +1,91 @@
+//! Property-based tests for GP regression and its piecewise-linear
+//! compression.
+
+use eugene_gp::{mae, r_squared, GpParams, GpRegressor, PiecewiseLinear};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pwl_is_exact_at_grid_points(segments in 1usize..40) {
+        let f = |x: f64| (2.0 * x).cos() + x;
+        let pwl = PiecewiseLinear::profile(f, segments);
+        for i in 0..=segments {
+            let x = i as f64 / segments as f64;
+            prop_assert!((pwl.eval(x) - f(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pwl_output_is_bounded_by_knot_extremes(
+        knots in prop::collection::vec(-5.0f64..5.0, 2..20),
+        query in -2.0f64..3.0,
+    ) {
+        let points: Vec<(f64, f64)> = knots
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 / (knots.len() - 1) as f64, y))
+            .collect();
+        let pwl = PiecewiseLinear::from_points(&points);
+        let min = knots.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = knots.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let v = pwl.eval(query);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn gp_mean_stays_within_data_envelope_for_monotone_data(
+        n in 5usize..30,
+        slope in 0.1f64..0.9,
+        intercept in 0.0f64..0.1,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let gp = GpRegressor::fit(&xs, &ys, GpParams::default()).unwrap();
+        // Predictions inside the domain stay near the data range.
+        for &x in &[0.1, 0.5, 0.9] {
+            let (mean, var) = gp.predict(x);
+            prop_assert!(var >= 0.0);
+            prop_assert!(mean > -0.5 && mean < 1.5, "mean {mean} escaped envelope");
+        }
+    }
+
+    #[test]
+    fn gp_pwl_compression_error_is_small_on_training_domain(
+        seed_points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..40),
+    ) {
+        // Sort and dedup x so the data is a function.
+        let mut pts = seed_points;
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-6);
+        prop_assume!(pts.len() >= 4);
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let gp = GpRegressor::fit(&xs, &ys, GpParams::default()).unwrap();
+        let pwl = PiecewiseLinear::profile(|x| gp.predict_mean(x), 20);
+        let err = pwl.max_error(|x| gp.predict_mean(x), 100);
+        prop_assert!(err < 0.25, "compression error {err} too large");
+    }
+
+    #[test]
+    fn perfect_predictions_score_perfectly(targets in prop::collection::vec(-10.0f64..10.0, 1..50)) {
+        prop_assert_eq!(mae(&targets, &targets), 0.0);
+        let spread = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread > 1e-9 {
+            prop_assert!((r_squared(&targets, &targets) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mae_is_translation_invariant(
+        preds in prop::collection::vec(-5.0f64..5.0, 1..30),
+        shift in -3.0f64..3.0,
+    ) {
+        let targets: Vec<f64> = preds.iter().map(|p| p + 1.0).collect();
+        let shifted_preds: Vec<f64> = preds.iter().map(|p| p + shift).collect();
+        let shifted_targets: Vec<f64> = targets.iter().map(|t| t + shift).collect();
+        let a = mae(&preds, &targets);
+        let b = mae(&shifted_preds, &shifted_targets);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+use eugene_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+}
+
+/// Lloyd's k-means with k-means++ initialization — the input-space
+/// structure model the labeling critic consults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Matrix,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Fits `k` clusters to the rows of `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `max_iters == 0`, or there are fewer points
+    /// than clusters.
+    pub fn fit(points: &Matrix, config: KMeansConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(config.max_iters > 0, "max_iters must be positive");
+        assert!(
+            points.rows() >= config.k,
+            "need at least k points ({} < {})",
+            points.rows(),
+            config.k
+        );
+        let n = points.rows();
+        let d = points.cols();
+        // k-means++ seeding.
+        let mut centroids = Matrix::zeros(config.k, d);
+        let first = rng.gen_range(0..n);
+        centroids.row_mut(0).copy_from_slice(points.row(first));
+        let mut min_dist: Vec<f64> = (0..n)
+            .map(|i| dist_sq(points.row(i), centroids.row(0)))
+            .collect();
+        for c in 1..config.k {
+            let total: f64 = min_dist.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &w) in min_dist.iter().enumerate() {
+                    if target < w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                chosen
+            };
+            centroids.row_mut(c).copy_from_slice(points.row(pick));
+            for i in 0..n {
+                let d2 = dist_sq(points.row(i), centroids.row(c));
+                if d2 < min_dist[i] {
+                    min_dist[i] = d2;
+                }
+            }
+        }
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; n];
+        for _ in 0..config.max_iters {
+            let mut changed = false;
+            for i in 0..n {
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for c in 0..config.k {
+                    let d2 = dist_sq(points.row(i), centroids.row(c));
+                    if d2 < best_d {
+                        best_d = d2;
+                        best = c;
+                    }
+                }
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; empty clusters keep their position.
+            let mut sums = Matrix::zeros(config.k, d);
+            let mut counts = vec![0usize; config.k];
+            for i in 0..n {
+                let c = assignment[i];
+                counts[c] += 1;
+                let row = sums.row_mut(c);
+                for (acc, v) in row.iter_mut().zip(points.row(i)) {
+                    *acc += v;
+                }
+            }
+            for c in 0..config.k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    let sum_row: Vec<f32> = sums.row(c).iter().map(|v| v * inv).collect();
+                    centroids.row_mut(c).copy_from_slice(&sum_row);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inertia = (0..n)
+            .map(|i| dist_sq(points.row(i), centroids.row(assignment[i])))
+            .sum();
+        Self { centroids, inertia }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Sum of squared distances of training points to their centroids.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// The centroid matrix (`k x dim`).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Nearest-centroid assignment of one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionality does not match.
+    pub fn assign(&self, point: &[f32]) -> usize {
+        assert_eq!(
+            point.len(),
+            self.centroids.cols(),
+            "point dimension must match centroids"
+        );
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.k() {
+            let d2 = dist_sq(point, self.centroids.row(c));
+            if d2 < best_d {
+                best_d = d2;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Assigns every row of `points`.
+    pub fn assign_all(&self, points: &Matrix) -> Vec<usize> {
+        (0..points.rows()).map(|i| self.assign(points.row(i))).collect()
+    }
+}
+
+fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::{seeded_rng, standard_normal};
+
+    fn blobs(per_blob: usize, centers: &[(f32, f32)], seed: u64) -> Matrix {
+        let mut rng = seeded_rng(seed);
+        let mut m = Matrix::zeros(per_blob * centers.len(), 2);
+        for (b, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per_blob {
+                let r = b * per_blob + i;
+                m[(r, 0)] = cx + standard_normal(&mut rng) * 0.3;
+                m[(r, 1)] = cy + standard_normal(&mut rng) * 0.3;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let points = blobs(40, &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)], 1);
+        let km = KMeans::fit(&points, KMeansConfig { k: 3, max_iters: 50 }, &mut seeded_rng(2));
+        let assignments = km.assign_all(&points);
+        // Each blob should be internally consistent.
+        for b in 0..3 {
+            let slice = &assignments[b * 40..(b + 1) * 40];
+            let first = slice[0];
+            let agree = slice.iter().filter(|&&a| a == first).count();
+            assert!(agree >= 38, "blob {b}: only {agree}/40 agree");
+        }
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let points = blobs(30, &[(0.0, 0.0), (5.0, 5.0)], 3);
+        let km2 = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 50 }, &mut seeded_rng(4));
+        let km4 = KMeans::fit(&points, KMeansConfig { k: 4, max_iters: 50 }, &mut seeded_rng(4));
+        assert!(km4.inertia() <= km2.inertia() + 1e-6);
+    }
+
+    #[test]
+    fn assign_is_nearest_centroid() {
+        let points = blobs(20, &[(0.0, 0.0), (8.0, 0.0)], 5);
+        let km = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 50 }, &mut seeded_rng(6));
+        let near_first = km.assign(&[0.1, 0.1]);
+        let near_second = km.assign(&[7.9, 0.0]);
+        assert_ne!(near_first, near_second);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = blobs(25, &[(0.0, 0.0), (4.0, 4.0)], 7);
+        let a = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 30 }, &mut seeded_rng(8));
+        let b = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 30 }, &mut seeded_rng(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k points")]
+    fn too_few_points_rejected() {
+        let points = Matrix::zeros(2, 2);
+        KMeans::fit(&points, KMeansConfig { k: 3, max_iters: 5 }, &mut seeded_rng(9));
+    }
+}

@@ -1,0 +1,360 @@
+use crate::{KMeans, KMeansConfig};
+use eugene_data::Dataset;
+use eugene_nn::{StagedNetwork, StagedNetworkConfig, TrainConfig, Trainer};
+use eugene_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`SemiSupervisedLabeler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemiSupervisedLabelerConfig {
+    /// Proposer/critic rounds.
+    pub rounds: usize,
+    /// Minimum proposer confidence for a proposal to reach the critic.
+    pub min_confidence: f32,
+    /// Clusters per class used by the critic's structure model.
+    pub clusters_per_class: usize,
+    /// Hidden width of the proposer network.
+    pub proposer_width: usize,
+    /// Proposer training epochs per round.
+    pub proposer_epochs: usize,
+}
+
+impl Default for SemiSupervisedLabelerConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 3,
+            min_confidence: 0.55,
+            clusters_per_class: 2,
+            proposer_width: 32,
+            proposer_epochs: 60,
+        }
+    }
+}
+
+/// Result of a labeling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelingOutcome {
+    /// Pseudo-label per unlabeled sample (`None` = never accepted).
+    pub pseudo_labels: Vec<Option<usize>>,
+    /// Fraction of unlabeled samples that received a label.
+    pub coverage: f64,
+    /// Per-round acceptance counts, for inspecting the game's progress.
+    pub accepted_per_round: Vec<usize>,
+}
+
+impl LabelingOutcome {
+    /// Accuracy of the accepted pseudo-labels against ground truth
+    /// (evaluation only — ground truth is unknown in production).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth.len()` differs from the pseudo-label count.
+    pub fn pseudo_accuracy(&self, truth: &[usize]) -> f64 {
+        assert_eq!(truth.len(), self.pseudo_labels.len(), "labels must align");
+        let mut correct = 0;
+        let mut labeled = 0;
+        for (p, &t) in self.pseudo_labels.iter().zip(truth) {
+            if let Some(label) = p {
+                labeled += 1;
+                if *label == t {
+                    correct += 1;
+                }
+            }
+        }
+        if labeled == 0 {
+            0.0
+        } else {
+            correct as f64 / labeled as f64
+        }
+    }
+}
+
+/// The SenseGAN-style proposer/critic labeling game (see crate docs).
+#[derive(Debug, Clone)]
+pub struct SemiSupervisedLabeler {
+    config: SemiSupervisedLabelerConfig,
+}
+
+impl SemiSupervisedLabeler {
+    /// Creates a labeler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or `clusters_per_class == 0`.
+    pub fn new(config: SemiSupervisedLabelerConfig) -> Self {
+        assert!(config.rounds > 0, "need at least one round");
+        assert!(config.clusters_per_class > 0, "need at least one cluster per class");
+        Self { config }
+    }
+
+    /// Runs the game: proposes and vets labels for `unlabeled` using the
+    /// small `labeled` seed set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labeled` is empty or dimensionalities differ.
+    pub fn label(
+        &self,
+        labeled: &Dataset,
+        unlabeled: &Matrix,
+        rng: &mut impl Rng,
+    ) -> LabelingOutcome {
+        assert!(!labeled.is_empty(), "need a labeled seed set");
+        assert_eq!(
+            labeled.dim(),
+            unlabeled.cols(),
+            "labeled and unlabeled dimensionality must match"
+        );
+        let num_classes = labeled.num_classes();
+        let n_unlabeled = unlabeled.rows();
+
+        // Critic structure: cluster the full input space, then label each
+        // cluster by majority vote of its *ground-truth-labeled* members.
+        // A proposal is "falsified" when it contradicts its cluster.
+        let mut all = Matrix::zeros(labeled.len() + n_unlabeled, labeled.dim());
+        for i in 0..labeled.len() {
+            all.row_mut(i).copy_from_slice(labeled.sample(i));
+        }
+        for i in 0..n_unlabeled {
+            all.row_mut(labeled.len() + i).copy_from_slice(unlabeled.row(i));
+        }
+        let k = (num_classes * self.config.clusters_per_class).min(all.rows());
+        let km = KMeans::fit(&all, KMeansConfig { k, max_iters: 50 }, rng);
+        let cluster_majority = majority_by_cluster(&km, labeled, num_classes);
+        let unlabeled_clusters: Vec<usize> =
+            (0..n_unlabeled).map(|i| km.assign(unlabeled.row(i))).collect();
+
+        // Proposer/critic rounds.
+        let mut pseudo: Vec<Option<usize>> = vec![None; n_unlabeled];
+        let mut accepted_per_round = Vec::with_capacity(self.config.rounds);
+        for _ in 0..self.config.rounds {
+            let pool = self.training_pool(labeled, unlabeled, &pseudo);
+            let proposer = self.train_proposer(&pool, rng);
+            let logits = proposer.predict_all(unlabeled);
+            let last = logits.last().expect("proposer has a stage");
+            let mut accepted = 0;
+            for i in 0..n_unlabeled {
+                if pseudo[i].is_some() {
+                    continue;
+                }
+                let probs = eugene_tensor::softmax(last.row(i));
+                let proposal = eugene_tensor::argmax(&probs);
+                if probs[proposal] < self.config.min_confidence {
+                    continue;
+                }
+                // Critic: reject proposals the cluster structure can
+                // falsify (a labeled-majority cluster disagreeing).
+                if let Some(majority) = cluster_majority[unlabeled_clusters[i]] {
+                    if majority != proposal {
+                        continue;
+                    }
+                }
+                pseudo[i] = Some(proposal);
+                accepted += 1;
+            }
+            accepted_per_round.push(accepted);
+            if accepted == 0 {
+                break;
+            }
+        }
+        let coverage =
+            pseudo.iter().filter(|p| p.is_some()).count() as f64 / n_unlabeled.max(1) as f64;
+        LabelingOutcome {
+            pseudo_labels: pseudo,
+            coverage,
+            accepted_per_round,
+        }
+    }
+
+    /// Combines the seed set with accepted pseudo-labels into a training
+    /// pool for the proposer.
+    fn training_pool(
+        &self,
+        labeled: &Dataset,
+        unlabeled: &Matrix,
+        pseudo: &[Option<usize>],
+    ) -> Dataset {
+        let extra: Vec<usize> = pseudo
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|_| i))
+            .collect();
+        let mut features = Matrix::zeros(labeled.len() + extra.len(), labeled.dim());
+        let mut labels = Vec::with_capacity(labeled.len() + extra.len());
+        for i in 0..labeled.len() {
+            features.row_mut(i).copy_from_slice(labeled.sample(i));
+            labels.push(labeled.label(i));
+        }
+        for (j, &i) in extra.iter().enumerate() {
+            features
+                .row_mut(labeled.len() + j)
+                .copy_from_slice(unlabeled.row(i));
+            labels.push(pseudo[i].expect("filtered to Some"));
+        }
+        Dataset::new(features, labels, labeled.num_classes())
+    }
+
+    fn train_proposer(&self, pool: &Dataset, rng: &mut impl Rng) -> StagedNetwork {
+        let config = StagedNetworkConfig {
+            input_dim: pool.dim(),
+            num_classes: pool.num_classes(),
+            stage_widths: vec![vec![self.config.proposer_width]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        let mut net = StagedNetwork::new(&config, rng);
+        // Small batches: the seed pool can be a few dozen samples, and the
+        // proposer needs enough gradient steps to become confident.
+        Trainer::new(TrainConfig {
+            epochs: self.config.proposer_epochs,
+            batch_size: 8,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, pool, rng);
+        net
+    }
+}
+
+impl Default for SemiSupervisedLabeler {
+    fn default() -> Self {
+        Self::new(SemiSupervisedLabelerConfig::default())
+    }
+}
+
+/// Majority ground-truth label of each cluster (`None` when a cluster has
+/// no labeled members).
+fn majority_by_cluster(
+    km: &KMeans,
+    labeled: &Dataset,
+    num_classes: usize,
+) -> Vec<Option<usize>> {
+    let mut votes = vec![vec![0usize; num_classes]; km.k()];
+    for i in 0..labeled.len() {
+        let c = km.assign(labeled.sample(i));
+        votes[c][labeled.label(i)] += 1;
+    }
+    votes
+        .into_iter()
+        .map(|v| {
+            let total: usize = v.iter().sum();
+            if total == 0 {
+                None
+            } else {
+                Some(eugene_tensor::argmax(
+                    &v.iter().map(|&x| x as f32).collect::<Vec<f32>>(),
+                ))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_data::{SyntheticImages, SyntheticImagesConfig};
+    use eugene_tensor::seeded_rng;
+
+    /// A mostly-unlabeled problem: 5% labeled seed, 95% unlabeled.
+    fn problem(seed: u64) -> (Dataset, Matrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let gen = SyntheticImages::new(
+            SyntheticImagesConfig {
+                num_classes: 4,
+                dim: 10,
+                easy_fraction: 0.8,
+                medium_fraction: 0.15,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let (full, _) = gen.generate(600, &mut rng);
+        let split = full.split(0.05);
+        let truth = split.test.labels().to_vec();
+        (split.train, split.test.features().clone(), truth)
+    }
+
+    #[test]
+    fn pseudo_labels_are_mostly_correct() {
+        let (labeled, unlabeled, truth) = problem(31);
+        let outcome =
+            SemiSupervisedLabeler::default().label(&labeled, &unlabeled, &mut seeded_rng(32));
+        assert!(outcome.coverage > 0.3, "coverage {}", outcome.coverage);
+        let acc = outcome.pseudo_accuracy(&truth);
+        assert!(acc > 0.7, "pseudo-label accuracy {acc}");
+    }
+
+    #[test]
+    fn pseudo_labels_improve_a_downstream_classifier() {
+        let (labeled, unlabeled, truth) = problem(33);
+        let labeler = SemiSupervisedLabeler::default();
+        let outcome = labeler.label(&labeled, &unlabeled, &mut seeded_rng(34));
+
+        // Train on seed-only vs seed+pseudo; evaluate on fresh data.
+        let mut rng = seeded_rng(35);
+        let gen = SyntheticImages::new(
+            SyntheticImagesConfig {
+                num_classes: 4,
+                dim: 10,
+                easy_fraction: 0.8,
+                medium_fraction: 0.15,
+                ..Default::default()
+            },
+            &mut seeded_rng(33), // same generator as `problem(33)`
+        );
+        let (eval, _) = gen.generate(400, &mut rng);
+
+        let train_and_score = |pool: &Dataset, seed: u64| -> f64 {
+            let config = StagedNetworkConfig {
+                input_dim: pool.dim(),
+                num_classes: pool.num_classes(),
+                stage_widths: vec![vec![32]],
+                dropout: 0.0,
+            input_skip: false,
+            };
+            let mut net = StagedNetwork::new(&config, &mut seeded_rng(seed));
+            Trainer::new(TrainConfig {
+                epochs: 25,
+                ..TrainConfig::default()
+            })
+            .fit(&mut net, pool, &mut seeded_rng(seed + 1));
+            eugene_nn::evaluate_staged(&net, &eval)
+                .last()
+                .unwrap()
+                .accuracy
+        };
+
+        let seed_only = train_and_score(&labeled, 40);
+        let augmented_pool = labeler.training_pool(&labeled, &unlabeled, &outcome.pseudo_labels);
+        let augmented = train_and_score(&augmented_pool, 40);
+        assert!(
+            augmented > seed_only - 0.02,
+            "pseudo-labels should not hurt: {seed_only} -> {augmented}"
+        );
+        // And they should genuinely help on this mostly-unlabeled setup.
+        assert!(
+            augmented >= seed_only,
+            "expected improvement: {seed_only} -> {augmented} (truth acc {})",
+            outcome.pseudo_accuracy(&truth)
+        );
+    }
+
+    #[test]
+    fn acceptance_shrinks_over_rounds() {
+        let (labeled, unlabeled, _) = problem(36);
+        let outcome =
+            SemiSupervisedLabeler::default().label(&labeled, &unlabeled, &mut seeded_rng(37));
+        if outcome.accepted_per_round.len() >= 2 {
+            let first = outcome.accepted_per_round[0];
+            let last = *outcome.accepted_per_round.last().unwrap();
+            assert!(last <= first, "acceptance should not grow: {:?}", outcome.accepted_per_round);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed set")]
+    fn empty_seed_set_panics() {
+        let empty = Dataset::new(Matrix::zeros(0, 4), vec![], 2);
+        SemiSupervisedLabeler::default().label(&empty, &Matrix::zeros(5, 4), &mut seeded_rng(38));
+    }
+}

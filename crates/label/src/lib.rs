@@ -1,0 +1,44 @@
+//! Semi-supervised data labeling (paper §II-A, after SenseGAN — the
+//! paper's \[8\]).
+//!
+//! "Unlabeled data carries information on the structure of the input
+//! space. ... A small number of labeled points within a cluster can thus
+//! inform the labeling of the remaining points. Using this intuition, the
+//! GAN learns by playing a game of progressive refinement ...: one entity
+//! proposes labels for unlabeled samples, whereas another tries to
+//! distinguish the resulting labeled samples from the original labeled
+//! ones."
+//!
+//! This crate implements the same game without the GAN machinery
+//! (documented substitution — see DESIGN.md): a **proposer** (a small
+//! classifier trained on the currently-accepted labels) proposes labels
+//! for unlabeled samples, and a **critic** (cluster-consistency check over
+//! a k-means structure of the full input space) rejects proposals that
+//! are distinguishable from the real labeled population — i.e. proposals
+//! that contradict the cluster a sample lives in. Accepted pseudo-labels
+//! join the training pool and the game repeats.
+//!
+//! The claim this reproduces is SenseGAN's: training on pseudo-labels
+//! recovers most of the accuracy of training on ground-truth labels
+//! (`label_efficiency` bench).
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_label::{KMeans, KMeansConfig};
+//! use eugene_tensor::{seeded_rng, Matrix};
+//!
+//! let points = Matrix::from_rows(&[
+//!     &[0.0, 0.0], &[0.1, 0.0], &[5.0, 5.0], &[5.1, 5.0],
+//! ]);
+//! let km = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 20 }, &mut seeded_rng(0));
+//! let a = km.assign(&[0.05, 0.0]);
+//! let b = km.assign(&[5.05, 5.0]);
+//! assert_ne!(a, b);
+//! ```
+
+mod kmeans;
+mod labeler;
+
+pub use kmeans::{KMeans, KMeansConfig};
+pub use labeler::{LabelingOutcome, SemiSupervisedLabeler, SemiSupervisedLabelerConfig};

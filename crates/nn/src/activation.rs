@@ -1,0 +1,160 @@
+use crate::Layer;
+use eugene_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation layer.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::{Activation, Layer};
+/// use eugene_tensor::Matrix;
+///
+/// let relu = Activation::relu();
+/// let out = relu.infer(&Matrix::from_rows(&[&[-1.0, 2.0]]));
+/// assert_eq!(out, Matrix::from_rows(&[&[0.0, 2.0]]));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Activation {
+    kind: ActivationKind,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ActivationKind {
+    Relu,
+    Tanh,
+}
+
+impl Activation {
+    /// Rectified linear unit, the paper networks' hidden activation.
+    pub fn relu() -> Self {
+        Self {
+            kind: ActivationKind::Relu,
+            cached_input: None,
+        }
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh() -> Self {
+        Self {
+            kind: ActivationKind::Tanh,
+            cached_input: None,
+        }
+    }
+
+    fn apply(&self, x: f32) -> f32 {
+        match self.kind {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Tanh => x.tanh(),
+        }
+    }
+
+    fn derivative(&self, x: f32) -> f32 {
+        match self.kind {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward on Activation");
+        input.zip_with(grad_output, |x, g| self.derivative(x) * g)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(|x| self.apply(x))
+    }
+
+    fn describe(&self) -> String {
+        match self.kind {
+            ActivationKind::Relu => "relu".to_owned(),
+            ActivationKind::Tanh => "tanh".to_owned(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let relu = Activation::relu();
+        let out = relu.infer(&Matrix::from_rows(&[&[-2.0, 0.0, 3.0]]));
+        assert_eq!(out, Matrix::from_rows(&[&[0.0, 0.0, 3.0]]));
+    }
+
+    #[test]
+    fn tanh_is_bounded() {
+        let tanh = Activation::tanh();
+        let out = tanh.infer(&Matrix::from_rows(&[&[-100.0, 100.0]]));
+        assert!((out[(0, 0)] + 1.0).abs() < 1e-5);
+        assert!((out[(0, 1)] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        for layer_fn in [Activation::relu, Activation::tanh] {
+            let mut layer = layer_fn();
+            let input = Matrix::from_rows(&[&[0.4, -0.6, 1.2]]);
+            layer.forward(&input);
+            let grad = layer.backward(&Matrix::filled(1, 3, 1.0));
+            let eps = 1e-3;
+            for c in 0..3 {
+                let mut plus = input.clone();
+                plus[(0, c)] += eps;
+                let mut minus = input.clone();
+                minus[(0, c)] -= eps;
+                let numeric = (layer.infer(&plus).sum() - layer.infer(&minus).sum()) / (2.0 * eps);
+                assert!(
+                    (grad[(0, c)] - numeric).abs() < 1e-2,
+                    "{}: grad {} vs numeric {numeric}",
+                    layer.describe(),
+                    grad[(0, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activation_has_no_params() {
+        let mut relu = Activation::relu();
+        let mut count = 0;
+        relu.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(relu.param_count(), 0);
+    }
+}

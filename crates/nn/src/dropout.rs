@@ -1,0 +1,177 @@
+use crate::Layer;
+use eugene_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inverted dropout.
+///
+/// During training each element is zeroed with probability `p` and the
+/// survivors are scaled by `1 / (1 - p)`, so deterministic inference is the
+/// identity. [`Layer::infer_stochastic`] keeps the mask sampling active,
+/// which is how the RDeepSense baseline (paper Table II) produces its
+/// Monte-Carlo uncertainty estimates.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::{Dropout, Layer};
+/// use eugene_tensor::Matrix;
+///
+/// let layer = Dropout::new(0.5, 7);
+/// let x = Matrix::filled(1, 4, 2.0);
+/// // Deterministic inference leaves the input untouched.
+/// assert_eq!(layer.infer(&x), x);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    p: f32,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+    #[serde(skip)]
+    mask: Option<Matrix>,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a private RNG
+    /// seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    fn sample_mask(&self, shape: (usize, usize), rng: &mut StdRng) -> Matrix {
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let data = (0..shape.0 * shape.1)
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        Matrix::from_vec(shape.0, shape.1, data)
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        if self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let mut rng = self.rng.clone();
+        let mask = self.sample_mask(input.shape(), &mut rng);
+        self.rng = rng;
+        let out = input.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_output.hadamard(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
+    fn infer_stochastic(&self, input: &Matrix, rng: &mut StdRng) -> Matrix {
+        if self.p == 0.0 {
+            return input.clone();
+        }
+        let mask = self.sample_mask(input.shape(), rng);
+        input.hadamard(&mask)
+    }
+
+    fn describe(&self) -> String {
+        format!("dropout p={}", self.p)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::seeded_rng;
+
+    #[test]
+    fn zero_probability_is_identity_everywhere() {
+        let mut layer = Dropout::new(0.0, 1);
+        let x = Matrix::filled(2, 3, 1.5);
+        assert_eq!(layer.forward(&x), x);
+        assert_eq!(layer.backward(&x), x);
+        assert_eq!(layer.infer(&x), x);
+    }
+
+    #[test]
+    fn training_mask_preserves_expectation() {
+        let mut layer = Dropout::new(0.5, 2);
+        let x = Matrix::filled(64, 64, 1.0);
+        let out = layer.forward(&x);
+        let mean = out.sum() / out.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean} drifted from 1.0");
+    }
+
+    #[test]
+    fn backward_uses_same_mask_as_forward() {
+        let mut layer = Dropout::new(0.5, 3);
+        let x = Matrix::filled(4, 4, 1.0);
+        let out = layer.forward(&x);
+        let grad = layer.backward(&Matrix::filled(4, 4, 1.0));
+        // Where forward zeroed, backward must zero; elsewhere scale matches.
+        for (o, g) in out.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(o, g);
+        }
+    }
+
+    #[test]
+    fn stochastic_inference_varies_between_calls() {
+        let layer = Dropout::new(0.5, 4);
+        let x = Matrix::filled(8, 8, 1.0);
+        let mut rng = seeded_rng(5);
+        let a = layer.infer_stochastic(&x, &mut rng);
+        let b = layer.infer_stochastic(&x, &mut rng);
+        assert_ne!(a, b, "MC-dropout passes should differ");
+    }
+
+    #[test]
+    fn deterministic_inference_is_identity() {
+        let layer = Dropout::new(0.7, 6);
+        let x = Matrix::filled(3, 3, 2.0);
+        assert_eq!(layer.infer(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-module training tests: staged networks trained on the synthetic
+//! CIFAR-10 stand-in must show the statistical structure the paper's
+//! experiments rely on.
+
+use crate::metrics::evaluate_staged as evaluate;
+use crate::{StagedNetwork, StagedNetworkConfig, TrainConfig, Trainer};
+use eugene_data::{Dataset, SyntheticImages, SyntheticImagesConfig};
+use eugene_tensor::seeded_rng;
+
+fn small_dataset(seed: u64, n: usize) -> (Dataset, Dataset) {
+    let mut rng = seeded_rng(seed);
+    let config = SyntheticImagesConfig {
+        num_classes: 6,
+        dim: 16,
+        ..Default::default()
+    };
+    let gen = SyntheticImages::new(config, &mut rng);
+    let (train, _) = gen.generate(n, &mut rng);
+    let (test, _) = gen.generate(n / 2, &mut rng);
+    (train, test)
+}
+
+#[test]
+fn staged_network_accuracy_increases_with_depth() {
+    let (train, test) = small_dataset(100, 900);
+    let config = StagedNetworkConfig {
+        input_dim: train.dim(),
+        num_classes: train.num_classes(),
+        stage_widths: vec![vec![24], vec![24, 24], vec![24, 24]],
+        dropout: 0.0,
+            input_skip: false,
+    };
+    let mut net = StagedNetwork::new(&config, &mut seeded_rng(101));
+    Trainer::new(TrainConfig {
+        epochs: 30,
+        batch_size: 32,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train, &mut seeded_rng(102));
+
+    let evals = evaluate(&net, &test);
+    let chance = 1.0 / test.num_classes() as f64;
+    assert!(
+        evals[0].accuracy > chance + 0.2,
+        "stage 1 accuracy {} barely above chance",
+        evals[0].accuracy
+    );
+    assert!(
+        evals[2].accuracy >= evals[0].accuracy - 0.02,
+        "depth should not hurt: stage1 {} vs stage3 {}",
+        evals[0].accuracy,
+        evals[2].accuracy
+    );
+}
+
+#[test]
+fn confidence_spreads_across_samples() {
+    // The scheduler requires per-sample confidence variation: easy samples
+    // confident at stage 1, hard samples uncertain.
+    let (train, test) = small_dataset(200, 900);
+    let config = StagedNetworkConfig {
+        input_dim: train.dim(),
+        num_classes: train.num_classes(),
+        stage_widths: vec![vec![24], vec![24]],
+        dropout: 0.0,
+            input_skip: false,
+    };
+    let mut net = StagedNetwork::new(&config, &mut seeded_rng(201));
+    Trainer::new(TrainConfig {
+        epochs: 25,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train, &mut seeded_rng(202));
+
+    let evals = evaluate(&net, &test);
+    let spread = eugene_tensor::std_dev(&evals[0].confidences);
+    assert!(spread > 0.05, "stage-1 confidence spread {spread} too small");
+}
+
+#[test]
+fn correct_predictions_are_more_confident_on_average() {
+    let (train, test) = small_dataset(300, 900);
+    let config = StagedNetworkConfig {
+        input_dim: train.dim(),
+        num_classes: train.num_classes(),
+        stage_widths: vec![vec![24], vec![24]],
+        dropout: 0.0,
+            input_skip: false,
+    };
+    let mut net = StagedNetwork::new(&config, &mut seeded_rng(301));
+    Trainer::new(TrainConfig {
+        epochs: 25,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train, &mut seeded_rng(302));
+
+    let eval = evaluate(&net, &test).pop().expect("one stage at least");
+    let (mut conf_correct, mut n_correct) = (0.0, 0);
+    let (mut conf_wrong, mut n_wrong) = (0.0, 0);
+    for (c, ok) in eval.confidences.iter().zip(&eval.correct) {
+        if *ok {
+            conf_correct += c;
+            n_correct += 1;
+        } else {
+            conf_wrong += c;
+            n_wrong += 1;
+        }
+    }
+    assert!(n_correct > 0 && n_wrong > 0, "need both outcomes to compare");
+    assert!(
+        conf_correct / n_correct as f32 > conf_wrong / n_wrong as f32,
+        "confidence should correlate with correctness"
+    );
+}

@@ -1,0 +1,76 @@
+use eugene_tensor::Matrix;
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// A differentiable network layer.
+///
+/// Layers follow the classic define-by-run contract:
+///
+/// - [`Layer::forward`] runs a training-mode pass over a batch and caches
+///   whatever the backward pass needs;
+/// - [`Layer::backward`] consumes the gradient with respect to the layer's
+///   output and returns the gradient with respect to its input, storing
+///   parameter gradients internally;
+/// - [`Layer::visit_params`] exposes `(parameter, gradient)` pairs in a
+///   stable order so optimizers can keep per-parameter state;
+/// - [`Layer::infer`] runs a pure, cache-free inference pass, and
+///   [`Layer::infer_stochastic`] additionally keeps stochastic layers
+///   (dropout) live for Monte-Carlo uncertainty estimation (the RDeepSense
+///   baseline in the paper's Table II).
+///
+/// The trait is object-safe; [`crate::Sequential`] stores `Box<dyn Layer>`.
+/// Layers are `Send + Sync` so trained networks can be shared across the
+/// serving runtime's worker threads behind an `Arc`.
+pub trait Layer: Send + Sync {
+    /// Training-mode forward pass over a `batch x features` matrix, caching
+    /// state for [`Layer::backward`].
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Backward pass: receives `dL/d(output)`, returns `dL/d(input)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a matching
+    /// [`Layer::forward`].
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Inference-mode forward pass; no caches, deterministic.
+    fn infer(&self, input: &Matrix) -> Matrix;
+
+    /// Inference with stochastic layers active (dropout stays on). The
+    /// default implementation is the deterministic [`Layer::infer`].
+    fn infer_stochastic(&self, input: &Matrix, _rng: &mut StdRng) -> Matrix {
+        self.infer(input)
+    }
+
+    /// Visits `(parameter, gradient)` pairs in a stable order.
+    ///
+    /// Parameter-free layers use the default empty implementation.
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    /// Number of trainable scalar parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// A short human-readable description (e.g. `"linear 32->64"`).
+    fn describe(&self) -> String;
+
+    /// Clones the layer behind a box, enabling `Clone` for containers of
+    /// `Box<dyn Layer>` (calibration searches fine-tune copies of a
+    /// network and keep the best).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Upcast for downcasting to concrete layer types (model reduction
+    /// rewrites `Linear` layers in place).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast; see [`Layer::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

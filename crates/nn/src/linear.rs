@@ -1,0 +1,257 @@
+use crate::Layer;
+use eugene_tensor::{xavier_uniform, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer: `y = x W + b`.
+///
+/// Weights are `in_dim x out_dim` so a `batch x in_dim` activation matrix
+/// multiplies on the left.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::{Layer, Linear};
+/// use eugene_tensor::{seeded_rng, Matrix};
+///
+/// let layer = Linear::new(3, 2, &mut seeded_rng(0));
+/// let out = layer.infer(&Matrix::zeros(4, 3));
+/// assert_eq!(out.shape(), (4, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weights: Matrix,
+    bias: Matrix,
+    grad_weights: Matrix,
+    grad_bias: Matrix,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        Self {
+            weights: xavier_uniform(in_dim, out_dim, rng),
+            bias: Matrix::zeros(1, out_dim),
+            grad_weights: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a layer from explicit weights and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x weights.cols()`.
+    pub fn from_parts(weights: Matrix, bias: Matrix) -> Self {
+        assert_eq!(
+            bias.shape(),
+            (1, weights.cols()),
+            "bias must be 1x{} (got {}x{})",
+            weights.cols(),
+            bias.rows(),
+            bias.cols()
+        );
+        let (in_dim, out_dim) = weights.shape();
+        Self {
+            weights,
+            bias,
+            grad_weights: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The weight matrix (`in_dim x out_dim`).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias row vector (`1 x out_dim`).
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Mutable weight access, used by pruning.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Mutable bias access, used by pruning.
+    pub fn bias_mut(&mut self) -> &mut Matrix {
+        &mut self.bias
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward on Linear");
+        // dW = x^T g, accumulated so multi-head trunks can sum head grads.
+        self.grad_weights += &input.t_matmul(grad_output);
+        self.grad_bias += &Matrix::row_vector(&grad_output.sum_rows());
+        grad_output.matmul_t(&self.weights)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.weights);
+        out.add_row_broadcast(self.bias.row(0));
+        out
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn describe(&self) -> String {
+        format!("linear {}->{}", self.in_dim(), self.out_dim())
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_tensor::seeded_rng;
+
+    #[test]
+    fn forward_applies_weights_and_bias() {
+        let weights = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let bias = Matrix::row_vector(&[0.5, -0.5]);
+        let layer = Linear::from_parts(weights, bias);
+        let out = layer.infer(&Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert_eq!(out, Matrix::from_rows(&[&[3.5, 7.5]]));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = seeded_rng(1);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let input = Matrix::from_rows(&[&[0.3, -0.7, 0.2], &[1.1, 0.4, -0.5]]);
+        // Loss = sum(output), so dL/doutput = ones.
+        let ones = Matrix::filled(2, 2, 1.0);
+        layer.forward(&input);
+        let grad_in = layer.backward(&ones);
+
+        let eps = 1e-3;
+        // Check input gradient at a couple of coordinates.
+        for &(r, c) in &[(0usize, 0usize), (1, 2)] {
+            let mut plus = input.clone();
+            plus[(r, c)] += eps;
+            let mut minus = input.clone();
+            minus[(r, c)] -= eps;
+            let f_plus = layer.infer(&plus).sum();
+            let f_minus = layer.infer(&minus).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (grad_in[(r, c)] - numeric).abs() < 1e-2,
+                "input grad ({r},{c}): analytic {} vs numeric {numeric}",
+                grad_in[(r, c)]
+            );
+        }
+
+        // Check a weight gradient coordinate.
+        let analytic = {
+            let mut found = None;
+            layer.visit_params(&mut |_p, g| {
+                if found.is_none() {
+                    found = Some(g[(1, 0)]);
+                }
+            });
+            found.unwrap()
+        };
+        let numeric = {
+            let mut plus = layer.clone();
+            plus.weights_mut()[(1, 0)] += eps;
+            let mut minus = layer.clone();
+            minus.weights_mut()[(1, 0)] -= eps;
+            (plus.infer(&input).sum() - minus.infer(&input).sum()) / (2.0 * eps)
+        };
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "weight grad: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = seeded_rng(2);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let input = Matrix::identity(2);
+        let g = Matrix::filled(2, 2, 1.0);
+        layer.forward(&input);
+        layer.backward(&g);
+        let mut first = Matrix::zeros(2, 2);
+        layer.visit_params(&mut |_p, grad| {
+            if grad.shape() == (2, 2) {
+                first = grad.clone();
+            }
+        });
+        layer.forward(&input);
+        layer.backward(&g);
+        layer.visit_params(&mut |_p, grad| {
+            if grad.shape() == (2, 2) {
+                assert_eq!(grad.as_slice()[0], 2.0 * first.as_slice()[0]);
+            }
+        });
+    }
+
+    #[test]
+    fn param_count_counts_weights_and_bias() {
+        let layer = Linear::new(3, 4, &mut seeded_rng(3));
+        assert_eq!(layer.param_count(), 3 * 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut layer = Linear::new(2, 2, &mut seeded_rng(4));
+        layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn describe_mentions_shape() {
+        let layer = Linear::new(8, 16, &mut seeded_rng(5));
+        assert_eq!(layer.describe(), "linear 8->16");
+    }
+}

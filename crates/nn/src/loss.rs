@@ -1,0 +1,254 @@
+//! Classification losses, including the paper's entropy-regularized
+//! objective.
+//!
+//! The fine-tuning loss from Eq. 4 of the paper is
+//!
+//! ```text
+//! L = CE(p_i, y_i) + alpha * H(p_i)
+//! ```
+//!
+//! where `CE` is softmax cross-entropy and `H` is the Shannon entropy of
+//! the predicted distribution. Because training *minimizes* `L`, a
+//! **negative** `alpha` rewards entropy and flattens predictions (lowering
+//! confidence — the fix for the usual overconfident, overfit network),
+//! while a **positive** `alpha` penalizes entropy and sharpens predictions
+//! (raising confidence when the network underestimates it). The paper
+//! states the tuning rule in terms of which side needs correcting; the
+//! calibration crate auto-tunes the sign from the measured
+//! accuracy/confidence gap, so users never pick it by hand.
+
+use eugene_tensor::{entropy, softmax, Matrix};
+
+/// Loss value and gradient with respect to the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `dL/d(logits)`, same shape as the logits, already divided by the
+    /// batch size.
+    pub grad: Matrix,
+}
+
+/// Softmax cross-entropy, averaged over the batch.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::loss::cross_entropy;
+/// use eugene_tensor::Matrix;
+///
+/// let logits = Matrix::from_rows(&[&[5.0, -5.0]]);
+/// let confident_right = cross_entropy(&logits, &[0]);
+/// let confident_wrong = cross_entropy(&logits, &[1]);
+/// assert!(confident_right.loss < confident_wrong.loss);
+/// ```
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> LossOutput {
+    entropy_regularized(logits, labels, 0.0)
+}
+
+/// The paper's Eq. 4: softmax cross-entropy plus `alpha` times the entropy
+/// of the predictive distribution.
+///
+/// The gradient of the entropy term with respect to logit `z_j` is
+/// `-p_j (ln p_j + H(p))`, derived from the softmax Jacobian.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn entropy_regularized(logits: &Matrix, labels: &[usize], alpha: f32) -> LossOutput {
+    weighted_entropy_regularized(logits, labels, 1.0, alpha)
+}
+
+/// Generalization of [`entropy_regularized`] with a weight on the
+/// cross-entropy term: `L = ce_weight * CE + alpha * H`.
+///
+/// Calibration fine-tuning uses a small `ce_weight`: on a memorized
+/// training set the one-hot CE gradient keeps pushing confidence back to
+/// saturation, so the anchor must be weakened for the entropy term to
+/// reach the paper's "underestimation and overestimation roughly cancel
+/// out" fixed point.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn weighted_entropy_regularized(
+    logits: &Matrix,
+    labels: &[usize],
+    ce_weight: f32,
+    alpha: f32,
+) -> LossOutput {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "need one label per logit row ({} labels, {} rows)",
+        labels.len(),
+        logits.rows()
+    );
+    let batch = logits.rows().max(1) as f32;
+    let classes = logits.cols();
+    let mut grad = Matrix::zeros(logits.rows(), classes);
+    let mut total = 0.0;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let probs = softmax(logits.row(i));
+        let h = entropy(&probs);
+        // Clamp to avoid -inf on exactly-zero probabilities.
+        total += ce_weight * -(probs[label].max(1e-12)).ln() + alpha * h;
+        let row = grad.row_mut(i);
+        for (j, p) in probs.iter().enumerate() {
+            let ce_grad = p - if j == label { 1.0 } else { 0.0 };
+            let ent_grad = -p * (p.max(1e-12).ln() + h);
+            row[j] = (ce_weight * ce_grad + alpha * ent_grad) / batch;
+        }
+    }
+    LossOutput {
+        loss: total / batch,
+        grad,
+    }
+}
+
+/// Mean squared error between `predictions` and `targets`, averaged over
+/// all elements; gradient is with respect to `predictions`.
+///
+/// Used by the RDeepSense-style distribution estimation discussion
+/// (paper §II-D) and the profiler's regression fitting.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mean_squared_error(predictions: &Matrix, targets: &Matrix) -> LossOutput {
+    assert_eq!(
+        predictions.shape(),
+        targets.shape(),
+        "MSE requires equal shapes"
+    );
+    let n = predictions.len().max(1) as f32;
+    let diff = predictions - targets;
+    let loss = diff.frobenius_sq() / n;
+    let grad = &diff * (2.0 / n);
+    LossOutput { loss, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(
+        logits: &Matrix,
+        labels: &[usize],
+        alpha: f32,
+        r: usize,
+        c: usize,
+    ) -> f32 {
+        let eps = 1e-3;
+        let mut plus = logits.clone();
+        plus[(r, c)] += eps;
+        let mut minus = logits.clone();
+        minus[(r, c)] -= eps;
+        (entropy_regularized(&plus, labels, alpha).loss
+            - entropy_regularized(&minus, labels, alpha).loss)
+            / (2.0 * eps)
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.2, -1.3, 0.8], &[2.0, 0.1, -0.4]]);
+        let labels = [2, 0];
+        let out = cross_entropy(&logits, &labels);
+        for r in 0..2 {
+            for c in 0..3 {
+                let numeric = numeric_grad(&logits, &labels, 0.0, r, c);
+                assert!(
+                    (out.grad[(r, c)] - numeric).abs() < 1e-3,
+                    "grad ({r},{c}): analytic {} vs numeric {numeric}",
+                    out.grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_regularizer_gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.5, 1.5]]);
+        let labels = [1];
+        for alpha in [0.5_f32, -0.5] {
+            let out = entropy_regularized(&logits, &labels, alpha);
+            for c in 0..3 {
+                let numeric = numeric_grad(&logits, &labels, alpha, 0, c);
+                assert!(
+                    (out.grad[(0, c)] - numeric).abs() < 1e-3,
+                    "alpha {alpha} grad (0,{c}): analytic {} vs numeric {numeric}",
+                    out.grad[(0, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_alpha_penalizes_confident_predictions_less() {
+        // H is larger for uniform predictions, so with alpha > 0 a uniform
+        // prediction costs more entropy penalty than a peaked one; the
+        // regularizer value itself must match alpha * H.
+        let peaked = Matrix::from_rows(&[&[10.0, 0.0]]);
+        let labels = [0];
+        let base = cross_entropy(&peaked, &labels).loss;
+        let reg = entropy_regularized(&peaked, &labels, 1.0).loss;
+        let probs = eugene_tensor::softmax(peaked.row(0));
+        let h = eugene_tensor::entropy(&probs);
+        assert!((reg - base - h).abs() < 1e-5);
+    }
+
+    #[test]
+    fn negative_alpha_flattens_and_positive_alpha_sharpens() {
+        // Descending L = CE + alpha * H: alpha = -5 dominates CE and pushes
+        // the distribution toward uniform; alpha = +5 pushes it toward a
+        // one-hot peak.
+        let run = |alpha: f32| -> f32 {
+            let mut logits = Matrix::from_rows(&[&[2.0, -1.0, 0.5]]);
+            let labels = [0];
+            for _ in 0..2000 {
+                let out = entropy_regularized(&logits, &labels, alpha);
+                logits.add_scaled(&out.grad, -0.05);
+            }
+            entropy(&softmax(logits.row(0)))
+        };
+        let flat = run(-5.0);
+        let sharp = run(5.0);
+        assert!(flat > 0.9, "entropy {flat} should approach ln 3 = {}", 3.0_f32.ln());
+        assert!(sharp < 0.2, "entropy {sharp} should collapse toward 0");
+        assert!(flat > sharp);
+    }
+
+    #[test]
+    fn mse_zero_for_identical_inputs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let out = mean_squared_error(&a, &a);
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let pred = Matrix::from_rows(&[&[2.0]]);
+        let target = Matrix::from_rows(&[&[1.0]]);
+        let out = mean_squared_error(&pred, &target);
+        assert!((out.loss - 1.0).abs() < 1e-6);
+        assert!(out.grad[(0, 0)] > 0.0, "gradient should push prediction down");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per logit row")]
+    fn label_count_mismatch_panics() {
+        cross_entropy(&Matrix::zeros(2, 3), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        cross_entropy(&Matrix::zeros(1, 3), &[3]);
+    }
+}

@@ -1,0 +1,189 @@
+use crate::StagedNetwork;
+use eugene_data::Dataset;
+use eugene_tensor::{argmax, softmax, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::accuracy;
+/// assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Evaluation of one stage head over a dataset: predictions, confidences,
+/// and accuracy, aligned with the dataset's sample order.
+///
+/// This is the raw material for the paper's calibration analysis
+/// (reliability diagrams, ECE) and for fitting the confidence-curve
+/// regressors of §III-B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageEval {
+    /// Zero-based stage index.
+    pub stage: usize,
+    /// Predicted class per sample.
+    pub predictions: Vec<usize>,
+    /// Classification confidence (max softmax probability) per sample.
+    pub confidences: Vec<f32>,
+    /// Full probability rows per sample (`n x num_classes`).
+    pub probs: Matrix,
+    /// Whether each prediction was correct.
+    pub correct: Vec<bool>,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl StageEval {
+    /// Builds a stage evaluation from raw logits and ground-truth labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()`.
+    pub fn from_logits(stage: usize, logits: &Matrix, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), logits.rows(), "one label per row required");
+        let n = logits.rows();
+        let mut predictions = Vec::with_capacity(n);
+        let mut confidences = Vec::with_capacity(n);
+        let mut probs = Matrix::zeros(n, logits.cols());
+        let mut correct = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = softmax(logits.row(i));
+            let pred = argmax(&p);
+            predictions.push(pred);
+            confidences.push(p[pred]);
+            correct.push(pred == labels[i]);
+            probs.row_mut(i).copy_from_slice(&p);
+        }
+        let accuracy = accuracy(&predictions, labels);
+        Self {
+            stage,
+            predictions,
+            confidences,
+            probs,
+            correct,
+            accuracy,
+        }
+    }
+
+    /// Builds from pre-computed probability rows instead of logits (used by
+    /// the MC-dropout baseline, which averages probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != probs.rows()`.
+    pub fn from_probs(stage: usize, probs: Matrix, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), probs.rows(), "one label per row required");
+        let n = probs.rows();
+        let mut predictions = Vec::with_capacity(n);
+        let mut confidences = Vec::with_capacity(n);
+        let mut correct = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = probs.row(i);
+            let pred = argmax(row);
+            predictions.push(pred);
+            confidences.push(row[pred]);
+            correct.push(pred == labels[i]);
+        }
+        let accuracy = accuracy(&predictions, labels);
+        Self {
+            stage,
+            predictions,
+            confidences,
+            probs,
+            correct,
+            accuracy,
+        }
+    }
+
+    /// Number of evaluated samples.
+    pub fn len(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Whether the evaluation covers no samples.
+    pub fn is_empty(&self) -> bool {
+        self.predictions.is_empty()
+    }
+
+    /// Mean confidence over all samples.
+    pub fn mean_confidence(&self) -> f32 {
+        eugene_tensor::mean(&self.confidences)
+    }
+}
+
+/// Evaluates every stage head of `network` on `data`.
+///
+/// Returns one [`StageEval`] per stage, shallowest first.
+pub fn evaluate_staged(network: &StagedNetwork, data: &Dataset) -> Vec<StageEval> {
+    let logits = network.predict_all(data.features());
+    logits
+        .iter()
+        .enumerate()
+        .map(|(s, l)| StageEval::from_logits(s, l, data.labels()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_edge_cases() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[0], &[1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn stage_eval_from_logits() {
+        let logits = Matrix::from_rows(&[&[5.0, 0.0], &[0.0, 5.0], &[5.0, 0.0]]);
+        let eval = StageEval::from_logits(1, &logits, &[0, 1, 1]);
+        assert_eq!(eval.stage, 1);
+        assert_eq!(eval.predictions, vec![0, 1, 0]);
+        assert_eq!(eval.correct, vec![true, true, false]);
+        assert!((eval.accuracy - 2.0 / 3.0).abs() < 1e-9);
+        assert!(eval.confidences.iter().all(|&c| c > 0.99));
+        assert!(eval.mean_confidence() > 0.99);
+    }
+
+    #[test]
+    fn stage_eval_from_probs_matches_from_logits() {
+        let logits = Matrix::from_rows(&[&[1.0, -1.0], &[-2.0, 0.5]]);
+        let labels = [0, 1];
+        let via_logits = StageEval::from_logits(0, &logits, &labels);
+        let probs = via_logits.probs.clone();
+        let via_probs = StageEval::from_probs(0, probs, &labels);
+        assert_eq!(via_logits.predictions, via_probs.predictions);
+        assert_eq!(via_logits.correct, via_probs.correct);
+        for (a, b) in via_logits.confidences.iter().zip(&via_probs.confidences) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

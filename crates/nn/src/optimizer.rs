@@ -1,0 +1,260 @@
+use eugene_tensor::Matrix;
+
+/// A first-order optimizer over the `(parameter, gradient)` pairs exposed
+/// by [`crate::Layer::visit_params`].
+///
+/// Optimizers keep per-parameter state (momentum, Adam moments) indexed by
+/// visiting order, which layer containers guarantee is stable.
+pub trait Optimizer: Send {
+    /// Applies one update step to `(param, grad)` pair number `index` and
+    /// zeroes the gradient afterwards.
+    fn update(&mut self, index: usize, param: &mut Matrix, grad: &mut Matrix);
+
+    /// Called once per optimization step, before the per-parameter updates,
+    /// so the optimizer can advance shared counters.
+    fn begin_step(&mut self) {}
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used for fine-tuning schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::{Optimizer, Sgd};
+/// use eugene_tensor::Matrix;
+///
+/// let mut opt = Sgd::new(0.1).with_momentum(0.9);
+/// let mut param = Matrix::zeros(1, 1);
+/// let mut grad = Matrix::filled(1, 1, 1.0);
+/// opt.begin_step();
+/// opt.update(0, &mut param, &mut grad);
+/// assert!(param[(0, 0)] < 0.0);
+/// assert_eq!(grad[(0, 0)], 0.0, "gradient is cleared after the step");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum with coefficient `momentum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= momentum < 1.0`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    fn velocity_for(&mut self, index: usize, shape: (usize, usize)) -> &mut Matrix {
+        while self.velocity.len() <= index {
+            self.velocity.push(Matrix::zeros(0, 0));
+        }
+        let v = &mut self.velocity[index];
+        if v.shape() != shape {
+            *v = Matrix::zeros(shape.0, shape.1);
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, index: usize, param: &mut Matrix, grad: &mut Matrix) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        if momentum == 0.0 {
+            param.add_scaled(grad, -lr);
+        } else {
+            let v = self.velocity_for(index, param.shape());
+            v.scale_in_place(momentum);
+            v.add_scaled(grad, 1.0);
+            param.add_scaled(v, -lr);
+        }
+        grad.scale_in_place(0.0);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba), the optimizer used for all training runs in the
+/// reproduction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    moments: Vec<(Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard `beta1 = 0.9`, `beta2 = 0.999`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    fn moments_for(&mut self, index: usize, shape: (usize, usize)) -> &mut (Matrix, Matrix) {
+        while self.moments.len() <= index {
+            self.moments.push((Matrix::zeros(0, 0), Matrix::zeros(0, 0)));
+        }
+        let pair = &mut self.moments[index];
+        if pair.0.shape() != shape {
+            pair.0 = Matrix::zeros(shape.0, shape.1);
+            pair.1 = Matrix::zeros(shape.0, shape.1);
+        }
+        pair
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, index: usize, param: &mut Matrix, grad: &mut Matrix) {
+        let (lr, beta1, beta2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t.max(1));
+        let (m, v) = self.moments_for(index, param.shape());
+        let bias1 = 1.0 - beta1.powi(t);
+        let bias2 = 1.0 - beta2.powi(t);
+        for ((p, g), (m_i, v_i)) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+        {
+            *m_i = beta1 * *m_i + (1.0 - beta1) * g;
+            *v_i = beta2 * *v_i + (1.0 - beta2) * g * g;
+            let m_hat = *m_i / bias1;
+            let v_hat = *v_i / bias2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+        grad.scale_in_place(0.0);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 with the given optimizer and returns the
+    /// final x.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut param = Matrix::from_rows(&[&[0.0]]);
+        let mut grad = Matrix::zeros(1, 1);
+        for _ in 0..steps {
+            grad[(0, 0)] = 2.0 * (param[(0, 0)] - 3.0);
+            opt.begin_step();
+            opt.update(0, &mut param, &mut grad);
+        }
+        param[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimize(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-3, "sgd converged to {x}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        let x = minimize(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "momentum sgd converged to {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = minimize(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-2, "adam converged to {x}");
+    }
+
+    #[test]
+    fn update_clears_gradient() {
+        let mut opt = Adam::new(0.01);
+        let mut param = Matrix::filled(2, 2, 1.0);
+        let mut grad = Matrix::filled(2, 2, 0.5);
+        opt.begin_step();
+        opt.update(0, &mut param, &mut grad);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn per_index_state_is_independent() {
+        let mut opt = Sgd::new(1.0).with_momentum(0.5);
+        let mut p0 = Matrix::zeros(1, 1);
+        let mut g0 = Matrix::filled(1, 1, 1.0);
+        let mut p1 = Matrix::zeros(2, 2);
+        let mut g1 = Matrix::filled(2, 2, 1.0);
+        opt.begin_step();
+        opt.update(0, &mut p0, &mut g0);
+        opt.update(1, &mut p1, &mut g1);
+        assert_eq!(p0[(0, 0)], -1.0);
+        assert_eq!(p1[(1, 1)], -1.0);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_learning_rate() {
+        Sgd::new(0.0);
+    }
+}

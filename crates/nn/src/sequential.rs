@@ -1,0 +1,213 @@
+use crate::Layer;
+use eugene_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// An ordered container of layers applied back to back.
+///
+/// `Sequential` is itself a [`Layer`], so stages of a
+/// [`crate::StagedNetwork`] are `Sequential` blocks and the whole trunk
+/// composes naturally.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_nn::{Activation, Layer, Linear, Sequential};
+/// use eugene_tensor::{seeded_rng, Matrix};
+///
+/// let mut rng = seeded_rng(0);
+/// let mut block = Sequential::new();
+/// block.push(Linear::new(4, 8, &mut rng));
+/// block.push(Activation::relu());
+/// let out = block.infer(&Matrix::zeros(2, 4));
+/// assert_eq!(out.shape(), (2, 8));
+/// ```
+#[derive(Default, Clone)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrows the layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layers (used by pruning).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[{}]", self.describe())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    fn infer_stochastic(&self, input: &Matrix, rng: &mut StdRng) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer_stochastic(&x, rng);
+        }
+        x
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn describe(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Linear};
+    use eugene_tensor::seeded_rng;
+
+    fn two_layer() -> Sequential {
+        let mut rng = seeded_rng(1);
+        let mut block = Sequential::new();
+        block.push(Linear::new(3, 5, &mut rng));
+        block.push(Activation::relu());
+        block.push(Linear::new(5, 2, &mut rng));
+        block
+    }
+
+    #[test]
+    fn forward_and_infer_agree_without_stochastic_layers() {
+        let mut block = two_layer();
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3]]);
+        let trained = block.forward(&x);
+        let inferred = block.infer(&x);
+        assert_eq!(trained, inferred);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_through_composition() {
+        let mut block = two_layer();
+        let x = Matrix::from_rows(&[&[0.4, 0.1, -0.3]]);
+        block.forward(&x);
+        let grad_in = block.backward(&Matrix::filled(1, 2, 1.0));
+        let eps = 1e-3;
+        for c in 0..3 {
+            let mut plus = x.clone();
+            plus[(0, c)] += eps;
+            let mut minus = x.clone();
+            minus[(0, c)] -= eps;
+            let numeric = (block.infer(&plus).sum() - block.infer(&minus).sum()) / (2.0 * eps);
+            assert!(
+                (grad_in[(0, c)] - numeric).abs() < 1e-2,
+                "grad (0,{c}): analytic {} vs numeric {numeric}",
+                grad_in[(0, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let block = two_layer();
+        assert_eq!(block.param_count(), (3 * 5 + 5) + (5 * 2 + 2));
+    }
+
+    #[test]
+    fn visit_params_order_is_stable() {
+        let mut block = two_layer();
+        let mut shapes_a = Vec::new();
+        block.visit_params(&mut |p, _| shapes_a.push(p.shape()));
+        let mut shapes_b = Vec::new();
+        block.visit_params(&mut |p, _| shapes_b.push(p.shape()));
+        assert_eq!(shapes_a, shapes_b);
+        assert_eq!(shapes_a, vec![(3, 5), (1, 5), (5, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn describe_joins_layer_descriptions() {
+        let block = two_layer();
+        assert_eq!(block.describe(), "linear 3->5 | relu | linear 5->2");
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let block = Sequential::new();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(block.infer(&x), x);
+        assert!(block.is_empty());
+    }
+}

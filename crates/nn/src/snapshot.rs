@@ -1,0 +1,292 @@
+//! Serializable network snapshots.
+//!
+//! The paper's caching story ships models across the network: the server
+//! "may retrain a neural network ..., compress the result, and download
+//! the compressed model to the device" (§II-B), and §IV-A moves partial
+//! models between clients and servers. [`NetworkSnapshot`] is the wire
+//! format: a plain-data description of a [`StagedNetwork`] that
+//! round-trips through any serde format.
+
+use crate::{Activation, Dropout, Layer, Linear, Sequential, StagedNetwork};
+use eugene_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// One layer, as plain data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSnapshot {
+    /// Fully connected layer (weights `in x out`, bias `1 x out`).
+    Linear {
+        /// Weight matrix.
+        weights: Matrix,
+        /// Bias row.
+        bias: Matrix,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Tanh activation.
+    Tanh,
+    /// Inverted dropout with its probability and RNG seed.
+    Dropout {
+        /// Drop probability.
+        p: f32,
+        /// Mask RNG seed.
+        seed: u64,
+    },
+}
+
+/// A whole staged network, as plain data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    /// Trunk stages, each a list of layers.
+    pub stages: Vec<Vec<LayerSnapshot>>,
+    /// One classifier head per stage.
+    pub heads: Vec<LayerSnapshot>,
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Whether stages after the first see the raw input (shortcuts).
+    pub input_skip: bool,
+}
+
+/// Error restoring a network from a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot has no stages or mismatched heads.
+    MalformedStructure {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A head was not a linear layer.
+    NonLinearHead {
+        /// Stage index of the offending head.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::MalformedStructure { reason } => {
+                write!(f, "malformed network snapshot: {reason}")
+            }
+            SnapshotError::NonLinearHead { stage } => {
+                write!(f, "head of stage {stage} must be a linear layer")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl StagedNetwork {
+    /// Captures the network as plain serializable data.
+    ///
+    /// Unknown custom layer types are not representable; networks built by
+    /// this crate's constructors always snapshot cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains a layer type this module does not
+    /// know (impossible for networks built via [`crate::StagedNetworkConfig`]).
+    pub fn to_snapshot(&self) -> NetworkSnapshot {
+        let stages = self
+            .stages()
+            .iter()
+            .map(|block| block.layers().iter().map(|l| snapshot_layer(l.as_ref())).collect())
+            .collect();
+        let heads = self
+            .heads()
+            .iter()
+            .map(|h| LayerSnapshot::Linear {
+                weights: h.weights().clone(),
+                bias: h.bias().clone(),
+            })
+            .collect();
+        NetworkSnapshot {
+            stages,
+            heads,
+            input_dim: self.input_dim(),
+            num_classes: self.num_classes(),
+            input_skip: self.input_skip(),
+        }
+    }
+
+    /// Restores a network from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if the snapshot is structurally invalid.
+    pub fn from_snapshot(snapshot: &NetworkSnapshot) -> Result<Self, SnapshotError> {
+        if snapshot.stages.is_empty() {
+            return Err(SnapshotError::MalformedStructure {
+                reason: "no stages".to_owned(),
+            });
+        }
+        if snapshot.stages.len() != snapshot.heads.len() {
+            return Err(SnapshotError::MalformedStructure {
+                reason: format!(
+                    "{} stages but {} heads",
+                    snapshot.stages.len(),
+                    snapshot.heads.len()
+                ),
+            });
+        }
+        let mut stages = Vec::with_capacity(snapshot.stages.len());
+        for layers in &snapshot.stages {
+            let mut block = Sequential::new();
+            for layer in layers {
+                block.push_boxed(restore_layer(layer));
+            }
+            stages.push(block);
+        }
+        let mut heads = Vec::with_capacity(snapshot.heads.len());
+        for (s, head) in snapshot.heads.iter().enumerate() {
+            match head {
+                LayerSnapshot::Linear { weights, bias } => {
+                    heads.push(Linear::from_parts(weights.clone(), bias.clone()));
+                }
+                _ => return Err(SnapshotError::NonLinearHead { stage: s }),
+            }
+        }
+        Ok(StagedNetwork::from_parts(
+            stages,
+            heads,
+            snapshot.input_dim,
+            snapshot.num_classes,
+            snapshot.input_skip,
+        ))
+    }
+}
+
+fn snapshot_layer(layer: &dyn Layer) -> LayerSnapshot {
+    if let Some(linear) = layer.as_any().downcast_ref::<Linear>() {
+        return LayerSnapshot::Linear {
+            weights: linear.weights().clone(),
+            bias: linear.bias().clone(),
+        };
+    }
+    if let Some(dropout) = layer.as_any().downcast_ref::<Dropout>() {
+        return LayerSnapshot::Dropout {
+            p: dropout.probability(),
+            // The seed is not recoverable from StdRng; reseed from the
+            // probability's bits for determinism. Dropout is inert at
+            // inference, so this only affects further training runs.
+            seed: dropout.probability().to_bits() as u64,
+        };
+    }
+    if layer.as_any().downcast_ref::<Activation>().is_some() {
+        return match layer.describe().as_str() {
+            "tanh" => LayerSnapshot::Tanh,
+            _ => LayerSnapshot::Relu,
+        };
+    }
+    panic!("unsupported layer type in snapshot: {}", layer.describe());
+}
+
+fn restore_layer(snapshot: &LayerSnapshot) -> Box<dyn Layer> {
+    match snapshot {
+        LayerSnapshot::Linear { weights, bias } => {
+            Box::new(Linear::from_parts(weights.clone(), bias.clone()))
+        }
+        LayerSnapshot::Relu => Box::new(Activation::relu()),
+        LayerSnapshot::Tanh => Box::new(Activation::tanh()),
+        LayerSnapshot::Dropout { p, seed } => Box::new(Dropout::new(*p, *seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StagedNetworkConfig;
+    use eugene_tensor::seeded_rng;
+
+    fn network() -> StagedNetwork {
+        let config = StagedNetworkConfig {
+            input_dim: 6,
+            num_classes: 4,
+            stage_widths: vec![vec![8], vec![8, 8]],
+            dropout: 0.2,
+            input_skip: true,
+        };
+        StagedNetwork::new(&config, &mut seeded_rng(1))
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_inference() {
+        let net = network();
+        let snapshot = net.to_snapshot();
+        let restored = StagedNetwork::from_snapshot(&snapshot).unwrap();
+        let sample: Vec<f32> = (0..6).map(|i| (i as f32).sin()).collect();
+        let a = net.classify(&sample);
+        let b = restored.classify(&sample);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.predicted, y.predicted);
+            assert!((x.confidence - y.confidence).abs() < 1e-6);
+        }
+        assert_eq!(restored.param_count(), net.param_count());
+        assert_eq!(restored.input_skip(), net.input_skip());
+    }
+
+    #[test]
+    fn snapshot_survives_json() {
+        let net = network();
+        let json = serde_json::to_string(&net.to_snapshot()).unwrap();
+        let parsed: NetworkSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = StagedNetwork::from_snapshot(&parsed).unwrap();
+        let sample = [0.5f32; 6];
+        let a = net.classify(&sample);
+        let b = restored.classify(&sample);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.confidence - y.confidence).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        let empty = NetworkSnapshot {
+            stages: vec![],
+            heads: vec![],
+            input_dim: 4,
+            num_classes: 2,
+            input_skip: false,
+        };
+        assert!(matches!(
+            StagedNetwork::from_snapshot(&empty),
+            Err(SnapshotError::MalformedStructure { .. })
+        ));
+
+        let bad_head = NetworkSnapshot {
+            stages: vec![vec![LayerSnapshot::Relu]],
+            heads: vec![LayerSnapshot::Relu],
+            input_dim: 4,
+            num_classes: 2,
+            input_skip: false,
+        };
+        assert!(matches!(
+            StagedNetwork::from_snapshot(&bad_head),
+            Err(SnapshotError::NonLinearHead { stage: 0 })
+        ));
+    }
+
+    #[test]
+    fn snapshot_size_tracks_parameters() {
+        // The cached-model story ships snapshots to devices; a pruned
+        // model's snapshot must be proportionally smaller.
+        let net = network();
+        let big = serde_json::to_vec(&net.to_snapshot()).unwrap().len();
+        let small_config = StagedNetworkConfig {
+            input_dim: 6,
+            num_classes: 4,
+            stage_widths: vec![vec![3]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        let small_net = StagedNetwork::new(&small_config, &mut seeded_rng(2));
+        let small = serde_json::to_vec(&small_net.to_snapshot()).unwrap().len();
+        assert!(small * 2 < big, "small {small} vs big {big}");
+    }
+}

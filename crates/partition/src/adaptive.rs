@@ -1,0 +1,194 @@
+use crate::{EarlyExitProfile, LinkModel, PartitionPlan, PartitionPlanner};
+use serde::{Deserialize, Serialize};
+
+/// Re-plans the model split as conditions change, with hysteresis.
+///
+/// Paper §IV-A: "Adaptive algorithms are needed to maximally exploit this
+/// flexibility (e.g., in mobile or dynamic environments) where
+/// connectivity, power, and other local resources may change over time."
+/// Moving a split point is not free in practice (models must be present
+/// on both sides, in-flight requests drain), so the adaptive layer only
+/// switches when the candidate plan beats the current one by a relative
+/// margin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePartitioner {
+    planner: PartitionPlanner,
+    exits: EarlyExitProfile,
+    /// Minimum relative latency improvement required to move the split.
+    switch_margin: f64,
+    current: Option<PartitionPlan>,
+    switches: u64,
+}
+
+impl AdaptivePartitioner {
+    /// Creates an adaptive partitioner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch_margin` is negative or the profile does not
+    /// cover the planner's stages.
+    pub fn new(planner: PartitionPlanner, exits: EarlyExitProfile, switch_margin: f64) -> Self {
+        assert!(switch_margin >= 0.0, "switch margin must be non-negative");
+        assert_eq!(
+            exits.num_stages(),
+            planner.num_stages(),
+            "exit profile must cover every stage"
+        );
+        Self {
+            planner,
+            exits,
+            switch_margin,
+            current: None,
+            switches: 0,
+        }
+    }
+
+    /// The currently installed plan, if any observation has been made.
+    pub fn current(&self) -> Option<&PartitionPlan> {
+        self.current.as_ref()
+    }
+
+    /// Number of times the split actually moved.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Observes the current link and returns the plan in force after the
+    /// observation (possibly unchanged due to hysteresis).
+    pub fn observe(&mut self, link: &LinkModel) -> PartitionPlan {
+        let candidate = self.planner.plan(link, &self.exits);
+        match &self.current {
+            None => {
+                self.current = Some(candidate);
+                self.switches += 1;
+                candidate
+            }
+            Some(current) if candidate.split == current.split => {
+                // Same split: refresh the numbers without a "switch".
+                self.current = Some(candidate);
+                candidate
+            }
+            Some(current) => {
+                // Re-price the installed split under the new link.
+                let staying = self.planner.expected_latency_ms(current.split, link, &self.exits);
+                if candidate.expected_latency_ms < staying * (1.0 - self.switch_margin) {
+                    self.current = Some(candidate);
+                    self.switches += 1;
+                    candidate
+                } else {
+                    let refreshed = PartitionPlan {
+                        expected_latency_ms: staying,
+                        ..*current
+                    };
+                    self.current = Some(refreshed);
+                    refreshed
+                }
+            }
+        }
+    }
+
+    /// Convenience sweep: the plan chosen at each bandwidth (fresh
+    /// planner state per point, no hysteresis) — the data behind the
+    /// partition bench's bandwidth curve.
+    pub fn sweep_bandwidths(
+        planner: &PartitionPlanner,
+        exits: &EarlyExitProfile,
+        rtt_ms: f64,
+        bandwidths: &[f64],
+    ) -> Vec<(f64, PartitionPlan)> {
+        bandwidths
+            .iter()
+            .map(|&b| (b, planner.plan(&LinkModel::new(b, rtt_ms), exits)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageCost;
+
+    fn planner() -> PartitionPlanner {
+        PartitionPlanner::new(
+            vec![
+                StageCost {
+                    device_ms: 50.0,
+                    server_ms: 5.0,
+                    boundary_bytes: 2_000,
+                },
+                StageCost {
+                    device_ms: 150.0,
+                    server_ms: 15.0,
+                    boundary_bytes: 8_000,
+                },
+                StageCost {
+                    device_ms: 150.0,
+                    server_ms: 15.0,
+                    boundary_bytes: 8_000,
+                },
+            ],
+            4_000,
+        )
+        .unwrap()
+    }
+
+    fn exits() -> EarlyExitProfile {
+        EarlyExitProfile::new(vec![0.5, 0.7, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn bandwidth_collapse_moves_the_split_toward_the_device() {
+        let mut adaptive = AdaptivePartitioner::new(planner(), exits(), 0.05);
+        let fast = adaptive.observe(&LinkModel::new(100.0e6, 1.0));
+        let slow = adaptive.observe(&LinkModel::new(200.0, 50.0));
+        assert!(
+            slow.split > fast.split,
+            "split should move deviceward: {} -> {}",
+            fast.split,
+            slow.split
+        );
+        assert_eq!(adaptive.switches(), 2);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_switches() {
+        // A huge margin means the split never moves after installation.
+        let mut adaptive = AdaptivePartitioner::new(planner(), exits(), 10.0);
+        let first = adaptive.observe(&LinkModel::new(100.0e6, 1.0));
+        let later = adaptive.observe(&LinkModel::new(200.0, 50.0));
+        assert_eq!(first.split, later.split, "margin should pin the split");
+        assert_eq!(adaptive.switches(), 1);
+    }
+
+    #[test]
+    fn refreshed_plan_reprices_under_new_link() {
+        let mut adaptive = AdaptivePartitioner::new(planner(), exits(), 10.0);
+        let first = adaptive.observe(&LinkModel::new(1.0e6, 10.0));
+        let repriced = adaptive.observe(&LinkModel::new(0.5e6, 10.0));
+        assert_eq!(first.split, repriced.split);
+        assert!(
+            repriced.expected_latency_ms >= first.expected_latency_ms,
+            "halving bandwidth cannot reduce latency"
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_split_direction() {
+        // As bandwidth falls, the optimal split should never move toward
+        // the server.
+        let plans = AdaptivePartitioner::sweep_bandwidths(
+            &planner(),
+            &exits(),
+            10.0,
+            &[100.0e6, 1.0e6, 100.0e3, 10.0e3, 1.0e3, 100.0],
+        );
+        for pair in plans.windows(2) {
+            assert!(
+                pair[1].1.split >= pair[0].1.split,
+                "split regressed: {:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}

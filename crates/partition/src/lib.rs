@@ -1,0 +1,51 @@
+//! Client/server partitioning of staged inference models (paper §IV-A).
+//!
+//! "In performing inference, it may be possible to execute some stages of
+//! the neural network on the client, leaving other stages to execute on
+//! the server. If the confidence in results obtained on the client is
+//! sufficiently high, no subsequent offloading to the server is needed.
+//! ... An ideal partitioning should maximally reduce client reliance on
+//! remote processing on the server, while observing client-side resource
+//! constraints as well as communication bandwidth constraints."
+//!
+//! This crate implements that optimizer:
+//!
+//! - [`StageCost`] describes each stage's compute (device vs server ms)
+//!   and the byte size of its boundary activation;
+//! - [`LinkModel`] prices shipping data over the client-server link;
+//! - [`EarlyExitProfile`] captures the probability that confidence
+//!   crosses the exit threshold at each stage (measured from a trained
+//!   network's confidence curves);
+//! - [`PartitionPlanner`] enumerates every split point and minimizes the
+//!   *expected* end-to-end latency, accounting for the chance that an
+//!   early exit on the device makes offloading unnecessary — exactly the
+//!   coupling between §IV-A partitioning and §II-E early exit;
+//! - [`AdaptivePartitioner`] re-plans as the link bandwidth changes (the
+//!   paper's "mobile or dynamic environments" point).
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_partition::{EarlyExitProfile, LinkModel, PartitionPlanner, StageCost};
+//!
+//! let stages = vec![
+//!     StageCost { device_ms: 40.0, server_ms: 4.0, boundary_bytes: 1_000 },
+//!     StageCost { device_ms: 120.0, server_ms: 12.0, boundary_bytes: 4_000 },
+//!     StageCost { device_ms: 120.0, server_ms: 12.0, boundary_bytes: 4_000 },
+//! ];
+//! // Input is small; exits are unlikely early on.
+//! let planner = PartitionPlanner::new(stages, 2_000)?;
+//! let link = LinkModel::new(1.0e6, 20.0); // 1 MB/s, 20 ms RTT
+//! let exits = EarlyExitProfile::new(vec![0.2, 0.5, 1.0])?;
+//! let plan = planner.plan(&link, &exits);
+//! assert!(plan.split <= 3);
+//! # Ok::<(), eugene_partition::PartitionError>(())
+//! ```
+
+mod adaptive;
+mod planner;
+
+pub use adaptive::AdaptivePartitioner;
+pub use planner::{
+    EarlyExitProfile, LinkModel, PartitionError, PartitionPlan, PartitionPlanner, StageCost,
+};

@@ -1,0 +1,451 @@
+use eugene_profiler::{ConvSpec, DeviceModel};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Per-stage execution and communication characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// Milliseconds to run this stage on the client device.
+    pub device_ms: f64,
+    /// Milliseconds to run this stage on the server.
+    pub server_ms: f64,
+    /// Bytes of the activation at this stage's *output* boundary — what
+    /// must cross the link if the model is split right after this stage.
+    pub boundary_bytes: u64,
+}
+
+impl StageCost {
+    /// Derives a stage cost from the layer specs it contains, priced on
+    /// the given device and server cost models (paper §II-C profiling
+    /// feeding §IV-A partitioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_conv_stage(
+        device: &DeviceModel,
+        server: &DeviceModel,
+        layers: &[ConvSpec],
+        boundary_bytes: u64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a stage needs at least one layer");
+        Self {
+            device_ms: device.network_latency_ms(layers),
+            server_ms: server.network_latency_ms(layers),
+            boundary_bytes,
+        }
+    }
+}
+
+/// The client-server communication link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    bytes_per_sec: f64,
+    rtt_ms: f64,
+}
+
+impl LinkModel {
+    /// Creates a link with the given throughput and round-trip time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive and finite.
+    pub fn new(bytes_per_sec: f64, rtt_ms: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        assert!(rtt_ms.is_finite() && rtt_ms >= 0.0, "rtt must be non-negative");
+        Self {
+            bytes_per_sec,
+            rtt_ms,
+        }
+    }
+
+    /// Link throughput in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Milliseconds to ship `bytes` upstream (one round trip included,
+    /// covering the result coming back).
+    pub fn ship_ms(&self, bytes: u64) -> f64 {
+        self.rtt_ms + bytes as f64 / self.bytes_per_sec * 1000.0
+    }
+}
+
+/// Cumulative early-exit probabilities: `cumulative[s]` is the probability
+/// that a task's confidence crosses the exit threshold at or before the
+/// end of stage `s`. The final entry is forced to `1.0` — every task
+/// terminates at the last stage at the latest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EarlyExitProfile {
+    cumulative: Vec<f64>,
+}
+
+impl EarlyExitProfile {
+    /// Builds a profile from cumulative exit probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidExitProfile`] if the vector is
+    /// empty, non-monotone, or leaves `[0, 1]`.
+    pub fn new(mut cumulative: Vec<f64>) -> Result<Self, PartitionError> {
+        if cumulative.is_empty() {
+            return Err(PartitionError::InvalidExitProfile {
+                reason: "no stages".to_owned(),
+            });
+        }
+        for (i, pair) in cumulative.windows(2).enumerate() {
+            if pair[1] + 1e-12 < pair[0] {
+                return Err(PartitionError::InvalidExitProfile {
+                    reason: format!("not monotone at stage {}", i + 1),
+                });
+            }
+        }
+        if cumulative.iter().any(|p| !(0.0..=1.0 + 1e-9).contains(p)) {
+            return Err(PartitionError::InvalidExitProfile {
+                reason: "probabilities outside [0, 1]".to_owned(),
+            });
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Ok(Self { cumulative })
+    }
+
+    /// Measures the profile from per-sample confidence curves: the
+    /// fraction of samples whose confidence reaches `threshold` by each
+    /// stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidExitProfile`] if `curves` is
+    /// empty or ragged.
+    pub fn from_confidence_curves(
+        curves: &[Vec<f32>],
+        threshold: f32,
+    ) -> Result<Self, PartitionError> {
+        let stages = curves.first().map(Vec::len).unwrap_or(0);
+        if stages == 0 || curves.iter().any(|c| c.len() != stages) {
+            return Err(PartitionError::InvalidExitProfile {
+                reason: "empty or ragged confidence curves".to_owned(),
+            });
+        }
+        let n = curves.len() as f64;
+        let cumulative = (0..stages)
+            .map(|s| {
+                curves
+                    .iter()
+                    .filter(|c| c[..=s].iter().any(|&v| v >= threshold))
+                    .count() as f64
+                    / n
+            })
+            .collect();
+        Self::new(cumulative)
+    }
+
+    /// Number of stages covered.
+    pub fn num_stages(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Probability a task is still running when stage `s` begins.
+    pub fn reach_probability(&self, s: usize) -> f64 {
+        if s == 0 {
+            1.0
+        } else {
+            1.0 - self.cumulative[s - 1]
+        }
+    }
+
+    /// Probability a task exits at or before the end of stage `s`.
+    pub fn exit_by(&self, s: usize) -> f64 {
+        self.cumulative[s]
+    }
+}
+
+/// The chosen split and its predicted behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Number of stages executed on the device; `0` ships raw input, and
+    /// `num_stages` never contacts the server.
+    pub split: usize,
+    /// Expected end-to-end latency in milliseconds.
+    pub expected_latency_ms: f64,
+    /// Probability a request is answered without touching the server.
+    pub local_answer_fraction: f64,
+    /// Expected transmission time component, ms.
+    pub expected_transmission_ms: f64,
+}
+
+/// Error type of the partition planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// No stages were provided.
+    NoStages,
+    /// The exit profile was malformed.
+    InvalidExitProfile {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Profile and stage counts disagree.
+    StageCountMismatch {
+        /// Stages in the cost model.
+        stages: usize,
+        /// Stages in the exit profile.
+        profile: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NoStages => write!(f, "partitioning requires at least one stage"),
+            PartitionError::InvalidExitProfile { reason } => {
+                write!(f, "invalid early-exit profile: {reason}")
+            }
+            PartitionError::StageCountMismatch { stages, profile } => write!(
+                f,
+                "stage count mismatch: {stages} cost stages vs {profile} profile stages"
+            ),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// Exhaustive split-point optimizer for expected end-to-end latency.
+///
+/// For a split `k` (stages `0..k` on the device, `k..n` on the server):
+///
+/// ```text
+/// E[latency] = sum_{s<k}  device_ms[s] * P(reach s)
+///            + P(no exit before k) * ship(boundary_k)
+///            + sum_{s>=k} server_ms[s] * P(reach s)
+/// ```
+///
+/// so a device-heavy split pays device compute but converts early-exit
+/// probability into avoided transmissions — the §IV-A / §II-E coupling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlanner {
+    stages: Vec<StageCost>,
+    input_bytes: u64,
+}
+
+impl PartitionPlanner {
+    /// Creates a planner over the given stage costs; `input_bytes` is the
+    /// size of the raw input (shipped when the split is `0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::NoStages`] if `stages` is empty.
+    pub fn new(stages: Vec<StageCost>, input_bytes: u64) -> Result<Self, PartitionError> {
+        if stages.is_empty() {
+            return Err(PartitionError::NoStages);
+        }
+        Ok(Self {
+            stages,
+            input_bytes,
+        })
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Expected latency of split `k` under the given link and exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > num_stages` or the profile covers a different stage
+    /// count (checked in [`PartitionPlanner::plan`]).
+    pub fn expected_latency_ms(&self, k: usize, link: &LinkModel, exits: &EarlyExitProfile) -> f64 {
+        assert!(k <= self.stages.len(), "split {k} out of range");
+        let mut total = 0.0;
+        for (s, stage) in self.stages.iter().enumerate().take(k) {
+            total += stage.device_ms * exits.reach_probability(s);
+        }
+        let offload_probability = exits.reach_probability(k);
+        if k < self.stages.len() {
+            let boundary = if k == 0 {
+                self.input_bytes
+            } else {
+                self.stages[k - 1].boundary_bytes
+            };
+            total += offload_probability * link.ship_ms(boundary);
+            for (s, stage) in self.stages.iter().enumerate().skip(k) {
+                total += stage.server_ms * exits.reach_probability(s);
+            }
+        }
+        total
+    }
+
+    /// Finds the split minimizing expected latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exit profile covers a different number of stages.
+    pub fn plan(&self, link: &LinkModel, exits: &EarlyExitProfile) -> PartitionPlan {
+        assert_eq!(
+            exits.num_stages(),
+            self.stages.len(),
+            "exit profile must cover every stage"
+        );
+        let mut best: Option<PartitionPlan> = None;
+        for k in 0..=self.stages.len() {
+            let expected = self.expected_latency_ms(k, link, exits);
+            let local = if k == 0 { 0.0 } else { exits.exit_by(k - 1) };
+            let transmission = if k < self.stages.len() {
+                let boundary = if k == 0 {
+                    self.input_bytes
+                } else {
+                    self.stages[k - 1].boundary_bytes
+                };
+                exits.reach_probability(k) * link.ship_ms(boundary)
+            } else {
+                0.0
+            };
+            let candidate = PartitionPlan {
+                split: k,
+                expected_latency_ms: expected,
+                local_answer_fraction: if k == self.stages.len() { 1.0 } else { local },
+                expected_transmission_ms: transmission,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate.expected_latency_ms < b.expected_latency_ms)
+            {
+                best = Some(candidate);
+            }
+        }
+        best.expect("at least one split")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages() -> Vec<StageCost> {
+        vec![
+            StageCost {
+                device_ms: 50.0,
+                server_ms: 5.0,
+                boundary_bytes: 2_000,
+            },
+            StageCost {
+                device_ms: 150.0,
+                server_ms: 15.0,
+                boundary_bytes: 8_000,
+            },
+            StageCost {
+                device_ms: 150.0,
+                server_ms: 15.0,
+                boundary_bytes: 8_000,
+            },
+        ]
+    }
+
+    fn no_exits() -> EarlyExitProfile {
+        EarlyExitProfile::new(vec![0.0, 0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn fast_link_offloads_everything() {
+        let planner = PartitionPlanner::new(stages(), 4_000).unwrap();
+        // 100 MB/s, 1 ms RTT: shipping is nearly free, server is 10x
+        // faster, and without early exits the device has nothing to gain.
+        let link = LinkModel::new(100.0e6, 1.0);
+        let plan = planner.plan(&link, &no_exits());
+        assert_eq!(plan.split, 0, "split {} should ship raw input", plan.split);
+        assert_eq!(plan.local_answer_fraction, 0.0);
+    }
+
+    #[test]
+    fn dead_link_keeps_everything_on_device() {
+        let planner = PartitionPlanner::new(stages(), 4_000).unwrap();
+        // 100 B/s: any transmission costs tens of seconds.
+        let link = LinkModel::new(100.0, 50.0);
+        let plan = planner.plan(&link, &no_exits());
+        assert_eq!(plan.split, 3);
+        assert_eq!(plan.local_answer_fraction, 1.0);
+        assert_eq!(plan.expected_transmission_ms, 0.0);
+    }
+
+    #[test]
+    fn early_exits_pull_computation_onto_the_device() {
+        let planner = PartitionPlanner::new(stages(), 4_000).unwrap();
+        // Moderate link where stage-1-on-device is borderline.
+        let link = LinkModel::new(50_000.0, 20.0);
+        let lazy = planner.plan(&link, &no_exits());
+        // 70% of tasks exit after stage 1: running it locally avoids most
+        // transmissions entirely.
+        let eager_exits = EarlyExitProfile::new(vec![0.7, 0.8, 1.0]).unwrap();
+        let eager = planner.plan(&link, &eager_exits);
+        assert!(
+            eager.split >= 1,
+            "high exit probability should justify device stages (split {})",
+            eager.split
+        );
+        assert!(eager.local_answer_fraction >= 0.69);
+        let _ = lazy;
+    }
+
+    #[test]
+    fn expected_latency_matches_hand_computation() {
+        let planner = PartitionPlanner::new(stages(), 4_000).unwrap();
+        let link = LinkModel::new(1.0e6, 10.0);
+        let exits = EarlyExitProfile::new(vec![0.5, 0.5, 1.0]).unwrap();
+        // Split 1: device stage 0 always runs (50); offload with p=0.5 of
+        // boundary 2000 B = 10 + 2 = 12 ms; server stages: stage1 reach
+        // 0.5 (7.5), stage2 reach 0.5 (7.5).
+        let expected = 50.0 + 0.5 * 12.0 + 0.5 * 15.0 + 0.5 * 15.0;
+        let got = planner.expected_latency_ms(1, &link, &exits);
+        assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
+    }
+
+    #[test]
+    fn exit_profile_from_confidence_curves() {
+        let curves = vec![
+            vec![0.95, 0.97, 0.99], // exits at stage 1
+            vec![0.50, 0.92, 0.99], // exits at stage 2
+            vec![0.40, 0.60, 0.80], // never crosses 0.9 -> counted at end
+        ];
+        let profile = EarlyExitProfile::from_confidence_curves(&curves, 0.9).unwrap();
+        assert!((profile.exit_by(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((profile.exit_by(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(profile.exit_by(2), 1.0);
+        assert!((profile.reach_probability(1) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        assert!(EarlyExitProfile::new(vec![]).is_err());
+        assert!(EarlyExitProfile::new(vec![0.5, 0.3, 1.0]).is_err());
+        assert!(EarlyExitProfile::new(vec![-0.1, 1.0]).is_err());
+        assert!(matches!(
+            PartitionPlanner::new(vec![], 100),
+            Err(PartitionError::NoStages)
+        ));
+    }
+
+    #[test]
+    fn stage_cost_from_conv_profiles() {
+        let device = DeviceModel::nexus5_class();
+        let server = DeviceModel::edge_accelerator_class();
+        let layers = [ConvSpec::same_padding(8, 16, 3, 64)];
+        let cost = StageCost::from_conv_stage(&device, &server, &layers, 1_000);
+        assert!(cost.device_ms > cost.server_ms, "server should be faster");
+        assert_eq!(cost.boundary_bytes, 1_000);
+    }
+
+    #[test]
+    fn full_device_split_never_transmits() {
+        let planner = PartitionPlanner::new(stages(), 4_000).unwrap();
+        let link = LinkModel::new(1.0e6, 10.0);
+        let latency = planner.expected_latency_ms(3, &link, &no_exits());
+        let device_only: f64 = 50.0 + 150.0 + 150.0;
+        assert!((latency - device_only).abs() < 1e-9);
+    }
+}

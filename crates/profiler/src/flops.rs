@@ -1,0 +1,137 @@
+use serde::{Deserialize, Serialize};
+
+/// Description of a 2-D convolutional layer, the workload profiled in the
+/// paper's Table I (3x3 kernels, stride 1, same padding, 224x224 inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side (e.g. 3).
+    pub kernel: usize,
+    /// Stride (1 in Table I).
+    pub stride: usize,
+    /// Square input side in pixels (224 in Table I).
+    pub input_size: usize,
+}
+
+impl ConvSpec {
+    /// A stride-1, same-padding convolution — the Table I configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn same_padding(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        input_size: usize,
+    ) -> Self {
+        let spec = Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            input_size,
+        };
+        spec.validate();
+        spec
+    }
+
+    fn validate(&self) {
+        assert!(self.in_channels > 0, "in_channels must be positive");
+        assert!(self.out_channels > 0, "out_channels must be positive");
+        assert!(self.kernel > 0, "kernel must be positive");
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(self.input_size > 0, "input_size must be positive");
+    }
+
+    /// Output spatial side under same padding.
+    pub fn output_size(&self) -> usize {
+        self.input_size.div_ceil(self.stride)
+    }
+
+    /// Multiply-accumulate count:
+    /// `H_out * W_out * k^2 * in_channels * out_channels`.
+    pub fn macs(&self) -> u64 {
+        let out = self.output_size() as u64;
+        out * out
+            * (self.kernel * self.kernel) as u64
+            * self.in_channels as u64
+            * self.out_channels as u64
+    }
+
+    /// FLOP count, counting a MAC as two floating-point operations (the
+    /// usual convention; the paper's absolute FLOP numbers use a slightly
+    /// different constant, which cancels out of every comparison the
+    /// experiment makes).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Bytes touched by the im2col expansion of one output row tile —
+    /// a proxy for the cache footprint that drives latency regimes.
+    pub fn im2col_bytes(&self) -> u64 {
+        (self.kernel * self.kernel * self.in_channels * self.output_size() * 4) as u64
+    }
+
+    /// The four labeled rows of the paper's Table I.
+    pub fn table1_rows() -> [(&'static str, ConvSpec); 4] {
+        [
+            ("CNN1", ConvSpec::same_padding(8, 32, 3, 224)),
+            ("CNN2", ConvSpec::same_padding(32, 8, 3, 224)),
+            ("CNN3", ConvSpec::same_padding(66, 32, 3, 224)),
+            ("CNN4", ConvSpec::same_padding(43, 64, 3, 224)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_formula_matches_manual_computation() {
+        let spec = ConvSpec::same_padding(8, 32, 3, 224);
+        let expected = 224u64 * 224 * 9 * 8 * 32;
+        assert_eq!(spec.macs(), expected);
+        assert_eq!(spec.flops(), 2 * expected);
+    }
+
+    #[test]
+    fn cnn1_and_cnn2_have_equal_flops() {
+        let rows = ConvSpec::table1_rows();
+        assert_eq!(rows[0].1.flops(), rows[1].1.flops());
+    }
+
+    #[test]
+    fn cnn3_has_fewer_flops_than_cnn4() {
+        let rows = ConvSpec::table1_rows();
+        assert!(rows[2].1.flops() < rows[3].1.flops());
+    }
+
+    #[test]
+    fn stride_reduces_output_and_macs() {
+        let s1 = ConvSpec::same_padding(16, 16, 3, 224);
+        let s2 = ConvSpec {
+            stride: 2,
+            ..s1
+        };
+        assert_eq!(s2.output_size(), 112);
+        assert!(s2.macs() < s1.macs());
+    }
+
+    #[test]
+    fn im2col_bytes_grows_with_input_channels() {
+        let small = ConvSpec::same_padding(8, 32, 3, 224);
+        let big = ConvSpec::same_padding(64, 32, 3, 224);
+        assert!(big.im2col_bytes() > small.im2col_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "in_channels")]
+    fn zero_channels_rejected() {
+        ConvSpec::same_padding(0, 8, 3, 224);
+    }
+}

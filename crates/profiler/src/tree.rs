@@ -1,0 +1,455 @@
+use crate::ConvSpec;
+use serde::{Deserialize, Serialize};
+
+/// Number of regression features extracted from a [`ConvSpec`].
+const NUM_FEATURES: usize = 4;
+
+/// Feature vector used by the profiler models: mega-MACs, input channels,
+/// output channels, and spatial size. These are the "relevant neural
+/// network parameters" the FastDeepIoT profiler regresses over within each
+/// piecewise-linear region.
+fn features(spec: &ConvSpec) -> [f64; NUM_FEATURES] {
+    [
+        spec.macs() as f64 / 1e6,
+        spec.in_channels as f64,
+        spec.out_channels as f64,
+        spec.input_size as f64,
+    ]
+}
+
+/// Ordinary least squares with a tiny ridge term, solved by Gaussian
+/// elimination on the normal equations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LinearModel {
+    /// `coefficients[0]` is the intercept; the rest align with `features`.
+    coefficients: Vec<f64>,
+}
+
+impl LinearModel {
+    fn fit(xs: &[[f64; NUM_FEATURES]], ys: &[f64]) -> Self {
+        let d = NUM_FEATURES + 1;
+        let mut ata = vec![0.0; d * d];
+        let mut atb = vec![0.0; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            let mut row = [0.0; NUM_FEATURES + 1];
+            row[0] = 1.0;
+            row[1..].copy_from_slice(x);
+            for i in 0..d {
+                atb[i] += row[i] * y;
+                for j in 0..d {
+                    ata[i * d + j] += row[i] * row[j];
+                }
+            }
+        }
+        // Ridge for numerical safety on degenerate leaves.
+        for i in 0..d {
+            ata[i * d + i] += 1e-6;
+        }
+        let coefficients = solve_dense(&mut ata, &mut atb, d);
+        Self { coefficients }
+    }
+
+    fn predict(&self, x: &[f64; NUM_FEATURES]) -> f64 {
+        self.coefficients[0]
+            + self.coefficients[1..]
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    fn sse(&self, xs: &[[f64; NUM_FEATURES]], ys: &[f64]) -> f64 {
+        xs.iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum()
+    }
+}
+
+/// Gaussian elimination with partial pivoting on an `n x n` system.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if pivot != col {
+            for c in 0..n {
+                a.swap(col * n + c, pivot * n + c);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        for r in col + 1..n {
+            let factor = a[r * n + col] / diag;
+            for c in col..n {
+                a[r * n + c] -= factor * a[col * n + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= a[i * n + j] * x[j];
+        }
+        let diag = a[i * n + i];
+        x[i] = if diag.abs() < 1e-12 { 0.0 } else { sum / diag };
+    }
+    x
+}
+
+/// Configuration for [`PwlRegressionTree::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// A split must reduce SSE by at least this relative fraction.
+    pub min_improvement: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            min_samples_leaf: 16,
+            min_improvement: 0.02,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf(LinearModel),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// The FastDeepIoT-style profiler: a regression tree whose leaves are
+/// linear models, i.e. a learned piecewise-linear latency function.
+///
+/// The splits discover the device's regime boundaries (output-channel tile
+/// occupancy, input-channel cache spill); each leaf then regresses latency
+/// on MACs and channel counts within one regime.
+///
+/// # Examples
+///
+/// See `crates/bench/src/bin/table1_profiling.rs` for the end-to-end
+/// Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PwlRegressionTree {
+    root: Node,
+    leaves: usize,
+}
+
+impl PwlRegressionTree {
+    /// Fits the tree to `(spec, measured latency)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or lengths differ.
+    pub fn fit(specs: &[ConvSpec], latencies_ms: &[f64], config: TreeConfig) -> Self {
+        assert!(!specs.is_empty(), "training set must be non-empty");
+        assert_eq!(specs.len(), latencies_ms.len(), "one latency per spec");
+        let xs: Vec<[f64; NUM_FEATURES]> = specs.iter().map(features).collect();
+        let mut leaves = 0;
+        let root = build(&xs, latencies_ms, 0, &config, &mut leaves);
+        Self { root, leaves }
+    }
+
+    /// Number of leaf regions the tree discovered.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Predicts the latency of `spec` in milliseconds.
+    pub fn predict_ms(&self, spec: &ConvSpec) -> f64 {
+        let x = features(spec);
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(model) => return model.predict(&x),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Mean absolute percentage error on a labeled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or differ in length.
+    pub fn mape(&self, specs: &[ConvSpec], latencies_ms: &[f64]) -> f64 {
+        mape_of(|s| self.predict_ms(s), specs, latencies_ms)
+    }
+}
+
+fn build(
+    xs: &[[f64; NUM_FEATURES]],
+    ys: &[f64],
+    depth: usize,
+    config: &TreeConfig,
+    leaves: &mut usize,
+) -> Node {
+    let model = LinearModel::fit(xs, ys);
+    let parent_sse = model.sse(xs, ys);
+    if depth >= config.max_depth || xs.len() < 2 * config.min_samples_leaf || parent_sse <= 1e-9 {
+        *leaves += 1;
+        return Node::Leaf(model);
+    }
+    let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+    for feature in 0..NUM_FEATURES {
+        let mut values: Vec<f64> = xs.iter().map(|x| x[feature]).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Candidate thresholds at deciles of the distinct values.
+        for q in 1..10 {
+            let idx = values.len() * q / 10;
+            if idx == 0 || idx >= values.len() {
+                continue;
+            }
+            let threshold = (values[idx - 1] + values[idx]) / 2.0;
+            let (mut lx, mut ly, mut rx, mut ry) = (vec![], vec![], vec![], vec![]);
+            for (x, &y) in xs.iter().zip(ys) {
+                if x[feature] <= threshold {
+                    lx.push(*x);
+                    ly.push(y);
+                } else {
+                    rx.push(*x);
+                    ry.push(y);
+                }
+            }
+            if lx.len() < config.min_samples_leaf || rx.len() < config.min_samples_leaf {
+                continue;
+            }
+            let sse = LinearModel::fit(&lx, &ly).sse(&lx, &ly)
+                + LinearModel::fit(&rx, &ry).sse(&rx, &ry);
+            if best.as_ref().is_none_or(|(b, _, _)| sse < *b) {
+                best = Some((sse, feature, threshold));
+            }
+        }
+    }
+    match best {
+        Some((sse, feature, threshold))
+            if sse < parent_sse * (1.0 - config.min_improvement) =>
+        {
+            let (mut lx, mut ly, mut rx, mut ry) = (vec![], vec![], vec![], vec![]);
+            for (x, &y) in xs.iter().zip(ys) {
+                if x[feature] <= threshold {
+                    lx.push(*x);
+                    ly.push(y);
+                } else {
+                    rx.push(*x);
+                    ry.push(y);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(&lx, &ly, depth + 1, config, leaves)),
+                right: Box::new(build(&rx, &ry, depth + 1, config, leaves)),
+            }
+        }
+        _ => {
+            *leaves += 1;
+            Node::Leaf(model)
+        }
+    }
+}
+
+/// The naive baseline the paper argues against: latency as a single linear
+/// function of FLOPs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlopsLinearModel {
+    intercept: f64,
+    slope_per_gflop: f64,
+}
+
+impl FlopsLinearModel {
+    /// Least-squares fit of `latency = a + b * GFLOPs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or lengths differ.
+    pub fn fit(specs: &[ConvSpec], latencies_ms: &[f64]) -> Self {
+        assert!(!specs.is_empty(), "training set must be non-empty");
+        assert_eq!(specs.len(), latencies_ms.len(), "one latency per spec");
+        let xs: Vec<f64> = specs.iter().map(|s| s.flops() as f64 / 1e9).collect();
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = latencies_ms.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (x, y) in xs.iter().zip(latencies_ms) {
+            cov += (x - mean_x) * (y - mean_y);
+            var += (x - mean_x) * (x - mean_x);
+        }
+        let slope = if var > 1e-12 { cov / var } else { 0.0 };
+        Self {
+            intercept: mean_y - slope * mean_x,
+            slope_per_gflop: slope,
+        }
+    }
+
+    /// Predicted latency in milliseconds.
+    pub fn predict_ms(&self, spec: &ConvSpec) -> f64 {
+        self.intercept + self.slope_per_gflop * spec.flops() as f64 / 1e9
+    }
+
+    /// Mean absolute percentage error on a labeled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or differ in length.
+    pub fn mape(&self, specs: &[ConvSpec], latencies_ms: &[f64]) -> f64 {
+        mape_of(|s| self.predict_ms(s), specs, latencies_ms)
+    }
+}
+
+fn mape_of(predict: impl Fn(&ConvSpec) -> f64, specs: &[ConvSpec], ys: &[f64]) -> f64 {
+    assert!(!specs.is_empty(), "mape of empty set");
+    assert_eq!(specs.len(), ys.len(), "one latency per spec");
+    specs
+        .iter()
+        .zip(ys)
+        .map(|(s, &y)| (predict(s) - y).abs() / y.max(1e-9))
+        .sum::<f64>()
+        / specs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_specs(n: usize, rng: &mut StdRng) -> Vec<ConvSpec> {
+        (0..n)
+            .map(|_| {
+                ConvSpec::same_padding(
+                    rng.gen_range(1..129),
+                    rng.gen_range(1..129),
+                    3,
+                    // Profile at one spatial size, as the paper's table does.
+                    112,
+                )
+            })
+            .collect()
+    }
+
+    fn labeled(n: usize, seed: u64, noise: f64) -> (Vec<ConvSpec>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let device = DeviceModel::nexus5_class();
+        let specs = random_specs(n, &mut rng);
+        let ys = specs
+            .iter()
+            .map(|s| device.measure_ms(s, noise, &mut rng))
+            .collect();
+        (specs, ys)
+    }
+
+    #[test]
+    fn tree_fits_device_regimes_much_better_than_flops_line() {
+        let (train_s, train_y) = labeled(600, 1, 0.02);
+        let (test_s, test_y) = labeled(200, 2, 0.0);
+        let tree = PwlRegressionTree::fit(&train_s, &train_y, TreeConfig::default());
+        let line = FlopsLinearModel::fit(&train_s, &train_y);
+        let tree_err = tree.mape(&test_s, &test_y);
+        let line_err = line.mape(&test_s, &test_y);
+        assert!(
+            tree_err < line_err / 2.0,
+            "tree {tree_err:.3} should beat FLOPs line {line_err:.3} by 2x+"
+        );
+        assert!(tree_err < 0.25, "tree MAPE {tree_err:.3} too high");
+        assert!(tree.num_leaves() > 1, "tree should discover multiple regimes");
+    }
+
+    #[test]
+    fn tree_predicts_table1_inversion() {
+        let (train_s, train_y) = labeled(800, 3, 0.02);
+        let tree = PwlRegressionTree::fit(&train_s, &train_y, TreeConfig::default());
+        let rows = ConvSpec::table1_rows();
+        // Scale the table rows down to the training spatial size: the
+        // regime structure is channel-driven, so the inversion persists.
+        let scale = |spec: ConvSpec| ConvSpec { input_size: 112, ..spec };
+        let t1 = tree.predict_ms(&scale(rows[0].1));
+        let t2 = tree.predict_ms(&scale(rows[1].1));
+        assert!(
+            t2 > 1.5 * t1,
+            "learned model should reproduce the equal-FLOPs split: {t1:.1} vs {t2:.1}"
+        );
+    }
+
+    #[test]
+    fn flops_line_cannot_separate_equal_flops_layers() {
+        let (train_s, train_y) = labeled(300, 4, 0.0);
+        let line = FlopsLinearModel::fit(&train_s, &train_y);
+        let a = ConvSpec::same_padding(8, 32, 3, 112);
+        let b = ConvSpec::same_padding(32, 8, 3, 112);
+        assert_eq!(line.predict_ms(&a), line.predict_ms(&b));
+    }
+
+    #[test]
+    fn deeper_trees_do_not_underperform_stumps() {
+        let (train_s, train_y) = labeled(400, 5, 0.0);
+        let stump = PwlRegressionTree::fit(
+            &train_s,
+            &train_y,
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+        );
+        let tree = PwlRegressionTree::fit(&train_s, &train_y, TreeConfig::default());
+        assert!(tree.mape(&train_s, &train_y) <= stump.mape(&train_s, &train_y) + 1e-9);
+        assert_eq!(stump.num_leaves(), 1);
+    }
+
+    #[test]
+    fn linear_model_recovers_exact_linear_data() {
+        let xs: Vec<[f64; NUM_FEATURES]> = (0..50)
+            .map(|i| {
+                let v = i as f64;
+                [v, 2.0 * v, v * v % 7.0, 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - x[2]).collect();
+        let model = LinearModel::fit(&xs, &ys);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert!((model.predict(x) - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_set_panics() {
+        PwlRegressionTree::fit(&[], &[], TreeConfig::default());
+    }
+}

@@ -1,0 +1,149 @@
+use crate::{Scheduler, TaskId, TaskView};
+
+/// Stage-level round-robin (the paper's RR baseline): "select a stage to
+/// run among all the deep learning services in a round-robin manner."
+///
+/// The policy cycles a cursor over task ids so every active task advances
+/// at the same rate regardless of how much an extra stage would help it.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    /// Id after which the next scan starts, for fair rotation.
+    cursor: Option<TaskId>,
+}
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn assign(&mut self, tasks: &[TaskView<'_>], slots: usize) -> Vec<TaskId> {
+        // Order by id, rotate so the scan starts just after the cursor.
+        let mut runnable: Vec<&TaskView<'_>> = tasks
+            .iter()
+            .filter(|t| t.stages_done < t.num_stages)
+            .collect();
+        runnable.sort_by_key(|t| t.id);
+        if runnable.is_empty() {
+            return Vec::new();
+        }
+        let start = match self.cursor {
+            Some(cursor) => runnable
+                .iter()
+                .position(|t| t.id > cursor)
+                .unwrap_or(0),
+            None => 0,
+        };
+        let picked: Vec<TaskId> = (0..runnable.len().min(slots))
+            .map(|i| runnable[(start + i) % runnable.len()].id)
+            .collect();
+        self.cursor = picked.last().copied().or(self.cursor);
+        picked
+    }
+
+    fn name(&self) -> &str {
+        "RR"
+    }
+
+    fn reset(&mut self) {
+        self.cursor = None;
+    }
+}
+
+/// First-in-first-out run-to-completion (the paper's FIFO baseline):
+/// workers serve the earliest-admitted tasks and "run all stages to the
+/// end" before later tasks get a turn.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo;
+
+impl Fifo {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for Fifo {
+    fn assign(&mut self, tasks: &[TaskView<'_>], slots: usize) -> Vec<TaskId> {
+        let mut runnable: Vec<&TaskView<'_>> = tasks
+            .iter()
+            .filter(|t| t.stages_done < t.num_stages)
+            .collect();
+        // Earliest admission first; ties broken by arrival index.
+        runnable.sort_by_key(|t| (t.admitted_at, t.id));
+        runnable.iter().take(slots).map(|t| t.id).collect()
+    }
+
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: TaskId, stages_done: usize, admitted_at: u64) -> TaskView<'static> {
+        TaskView {
+            id,
+            stages_done,
+            num_stages: 3,
+            observed: &[],
+            admitted_at,
+            deadline_at: admitted_at + 10,
+            remaining_quanta: 10,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_across_calls() {
+        let mut rr = RoundRobin::new();
+        let tasks = [view(0, 0, 0), view(1, 0, 0), view(2, 0, 0), view(3, 0, 0)];
+        let first = rr.assign(&tasks, 2);
+        let second = rr.assign(&tasks, 2);
+        assert_eq!(first, vec![0, 1]);
+        assert_eq!(second, vec![2, 3]);
+        let third = rr.assign(&tasks, 2);
+        assert_eq!(third, vec![0, 1], "rotation should wrap");
+    }
+
+    #[test]
+    fn round_robin_skips_complete_tasks() {
+        let mut rr = RoundRobin::new();
+        let tasks = [view(0, 3, 0), view(1, 1, 0)];
+        assert_eq!(rr.assign(&tasks, 2), vec![1]);
+    }
+
+    #[test]
+    fn round_robin_reset_restarts_rotation() {
+        let mut rr = RoundRobin::new();
+        let tasks = [view(0, 0, 0), view(1, 0, 0)];
+        rr.assign(&tasks, 1);
+        rr.reset();
+        assert_eq!(rr.assign(&tasks, 1), vec![0]);
+    }
+
+    #[test]
+    fn fifo_prefers_earliest_admission() {
+        let mut fifo = Fifo::new();
+        let tasks = [view(5, 0, 7), view(2, 1, 3), view(9, 2, 3)];
+        // admitted_at 3 before 7; id 2 before id 9 at the same time.
+        assert_eq!(fifo.assign(&tasks, 2), vec![2, 9]);
+    }
+
+    #[test]
+    fn fifo_runs_same_task_until_complete() {
+        let mut fifo = Fifo::new();
+        let tasks = [view(0, 2, 0), view(1, 0, 1)];
+        // Task 0 still has a stage left and is earliest: it keeps its slot.
+        assert_eq!(fifo.assign(&tasks, 1), vec![0]);
+    }
+
+    #[test]
+    fn empty_task_list_yields_no_assignments() {
+        assert!(RoundRobin::new().assign(&[], 4).is_empty());
+        assert!(Fifo::new().assign(&[], 4).is_empty());
+    }
+}

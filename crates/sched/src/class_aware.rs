@@ -1,0 +1,196 @@
+use crate::{Scheduler, TaskId, TaskView};
+
+/// Deadline-aware scheduling adapter (paper §V future work: "the
+/// scheduler described in this paper needs to be modified to support
+/// multiple service classes and account for different execution cost and
+/// constraints").
+///
+/// The adapter reserves worker slots for *critical* tasks — tasks whose
+/// remaining time budget barely covers their remaining stages plus a
+/// configurable slack — ordered by tightest deadline first, and hands the
+/// remaining slots to the wrapped utility-maximizing policy. A tight-
+/// deadline interactive request therefore finishes even when a pure
+/// utility maximizer would have preferred spending the slot on a
+/// higher-gain batch task.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_sched::{DeadlineAware, Fifo};
+///
+/// let policy = DeadlineAware::new(Fifo::new(), 1);
+/// assert_eq!(policy.name(), "EDF+FIFO");
+/// # use eugene_sched::Scheduler;
+/// ```
+pub struct DeadlineAware<S> {
+    inner: S,
+    /// A task is critical when
+    /// `remaining_quanta <= stages_remaining + slack`.
+    slack: u64,
+    name: String,
+}
+
+impl<S: Scheduler> DeadlineAware<S> {
+    /// Wraps `inner`, reserving slots for tasks within `slack` quanta of
+    /// missing their deadline.
+    pub fn new(inner: S, slack: u64) -> Self {
+        let name = format!("EDF+{}", inner.name());
+        Self { inner, slack, name }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn is_critical(&self, t: &TaskView<'_>) -> bool {
+        let stages_remaining = (t.num_stages - t.stages_done) as u64;
+        stages_remaining > 0 && t.remaining_quanta <= stages_remaining + self.slack
+    }
+}
+
+impl<S: Scheduler> Scheduler for DeadlineAware<S> {
+    fn assign(&mut self, tasks: &[TaskView<'_>], slots: usize) -> Vec<TaskId> {
+        // 1. Critical tasks, tightest deadline first.
+        let mut critical: Vec<&TaskView<'_>> = tasks
+            .iter()
+            .filter(|t| t.stages_done < t.num_stages && self.is_critical(t))
+            .collect();
+        critical.sort_by_key(|t| (t.remaining_quanta, t.id));
+        let mut picked: Vec<TaskId> =
+            critical.iter().take(slots).map(|t| t.id).collect();
+        if picked.len() >= slots {
+            return picked;
+        }
+        // 2. Delegate leftover capacity to the inner policy over the
+        //    non-critical tasks.
+        let rest: Vec<TaskView<'_>> = tasks
+            .iter()
+            .filter(|t| !picked.contains(&t.id))
+            .copied()
+            .collect();
+        for id in self.inner.assign(&rest, slots - picked.len()) {
+            if !picked.contains(&id) && picked.len() < slots {
+                picked.push(id);
+            }
+        }
+        picked
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fifo, OraclePredictor, RtDeepIot, SimConfig, Simulation, TaskProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn view(
+        id: TaskId,
+        stages_done: usize,
+        remaining_quanta: u64,
+        observed: &'static [f32],
+    ) -> TaskView<'static> {
+        TaskView {
+            id,
+            stages_done,
+            num_stages: 3,
+            observed,
+            admitted_at: 0,
+            deadline_at: 100,
+            remaining_quanta,
+        }
+    }
+
+    #[test]
+    fn critical_task_preempts_high_gain_task() {
+        // Task 0: huge predicted gain but a loose deadline. Task 1: about
+        // to expire with one stage left. EDF must pick task 1.
+        let inner = RtDeepIot::new(OraclePredictor::new(vec![0.5, 0.9, 0.99]), 1, 0.1);
+        let mut policy = DeadlineAware::new(inner, 0);
+        let tasks = [view(0, 0, 10, &[]), view(1, 2, 1, &[0.3, 0.35])];
+        assert_eq!(policy.assign(&tasks, 1), vec![1]);
+    }
+
+    #[test]
+    fn leftover_slots_go_to_the_inner_policy() {
+        let inner = RtDeepIot::new(OraclePredictor::new(vec![0.5, 0.9, 0.99]), 1, 0.1);
+        let mut policy = DeadlineAware::new(inner, 0);
+        let tasks = [view(0, 0, 10, &[]), view(1, 2, 1, &[0.3, 0.35])];
+        let picked = policy.assign(&tasks, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], 1, "critical first");
+        assert!(picked.contains(&0));
+    }
+
+    #[test]
+    fn multiple_critical_tasks_order_by_deadline() {
+        let mut policy = DeadlineAware::new(Fifo::new(), 1);
+        let tasks = [
+            view(0, 2, 3, &[0.4, 0.5]),
+            view(1, 2, 1, &[0.4, 0.5]),
+            view(2, 2, 2, &[0.4, 0.5]),
+        ];
+        assert_eq!(policy.assign(&tasks, 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn completed_tasks_are_never_critical() {
+        let mut policy = DeadlineAware::new(Fifo::new(), 5);
+        let tasks = [view(0, 3, 0, &[0.4, 0.5, 0.6])];
+        assert!(policy.assign(&tasks, 2).is_empty());
+    }
+
+    #[test]
+    fn edf_wrapper_reduces_expiries_under_load() {
+        // Mixed profiles under contention: the EDF-wrapped policy should
+        // expire no more tasks than the bare utility maximizer.
+        let profiles = |n: usize| -> Vec<TaskProfile> {
+            (0..n)
+                .map(|i| {
+                    let start = 0.2 + (i % 7) as f32 * 0.1;
+                    let mid = start + 0.5 * (1.0 - start);
+                    TaskProfile::new(
+                        vec![start, mid, mid + 0.5 * (1.0 - mid)],
+                        vec![i % 3 != 0, i % 3 != 0, true],
+                    )
+                })
+                .collect()
+        };
+        let config = SimConfig {
+            num_workers: 2,
+            concurrency: 8,
+            deadline_quanta: 5,
+            num_classes: 10,
+        };
+        let run = |wrapped: bool| -> f64 {
+            let inner = RtDeepIot::new(OraclePredictor::new(vec![0.5, 0.75, 0.9]), 1, 0.1);
+            let mut rng = StdRng::seed_from_u64(9);
+            let outcome = if wrapped {
+                Simulation::new(config).run(
+                    &mut DeadlineAware::new(inner, 1),
+                    profiles(200),
+                    &mut rng,
+                )
+            } else {
+                let mut inner = inner;
+                Simulation::new(config).run(&mut inner, profiles(200), &mut rng)
+            };
+            outcome.completion_rate(3)
+        };
+        let wrapped = run(true);
+        let bare = run(false);
+        assert!(
+            wrapped >= bare,
+            "EDF wrapper should not complete fewer tasks: {wrapped} vs {bare}"
+        );
+    }
+}

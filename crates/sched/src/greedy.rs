@@ -1,0 +1,323 @@
+use crate::{ConfidencePredictor, Scheduler, TaskId, TaskView};
+use std::collections::{HashMap, VecDeque};
+
+/// One planned stage execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PlannedStage {
+    id: TaskId,
+    /// The stage index this entry schedules (must still be the task's next
+    /// stage when popped, else the entry is stale and dropped).
+    stage: usize,
+    /// Confidence the predictor expected after this stage at plan time.
+    predicted: f32,
+}
+
+/// The Eugene scheduler (paper §III): greedy utility maximization with a
+/// lookahead timeline.
+///
+/// "The algorithm picks a stage of a task with the maximum differential
+/// utility (where utility ... is set equal to the estimated confidence in
+/// results). This selected stage is added to the future timeline. A
+/// lookahead parameter, k, specifies how many items will be added to the
+/// timeline before the scheduler quits. When the timeline has been
+/// executed, the algorithm restarts again with the most recent utility
+/// estimates."
+///
+/// The differential utility of running a task's next stage is the
+/// predicted confidence after that stage minus the task's current
+/// confidence (its latest observed value, or a chance-level baseline for
+/// tasks that have not run yet). Plugging in [`crate::PwlCurvePredictor`]
+/// yields RTDeepIoT-k; plugging in [`crate::DcPredictor`] yields the
+/// RTDeepIoT-DC-k ablation.
+///
+/// A side effect the paper highlights: because saturated (high-confidence)
+/// tasks gain little from another stage, the greedy rule naturally routes
+/// capacity to uncertain tasks, improving fairness (Fig. 4c).
+pub struct RtDeepIot<P> {
+    predictor: P,
+    lookahead: usize,
+    baseline_confidence: f32,
+    timeline: VecDeque<PlannedStage>,
+    name: String,
+}
+
+impl<P: ConfidencePredictor> RtDeepIot<P> {
+    /// Creates the scheduler.
+    ///
+    /// `lookahead` is the paper's `k`; `baseline_confidence` is the
+    /// confidence attributed to a task before any stage runs (chance
+    /// level, `1 / num_classes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead == 0` or the baseline is outside `[0, 1]`.
+    pub fn new(predictor: P, lookahead: usize, baseline_confidence: f32) -> Self {
+        assert!(lookahead > 0, "lookahead must be positive");
+        assert!(
+            (0.0..=1.0).contains(&baseline_confidence),
+            "baseline confidence must be in [0, 1]"
+        );
+        Self {
+            predictor,
+            lookahead,
+            baseline_confidence,
+            timeline: VecDeque::new(),
+            name: format!("RTDeepIoT-{lookahead}"),
+        }
+    }
+
+    /// Overrides the display name (the bench uses "RTDeepIoT-DC-k" for the
+    /// constant-slope variant).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The lookahead parameter `k`.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// Greedily plans up to `k` stage executions against the simulated
+    /// state, advancing the simulation as it plans.
+    fn refill(&self, sim: &mut HashMap<TaskId, SimTask>) -> Vec<PlannedStage> {
+        let mut planned = Vec::with_capacity(self.lookahead);
+        for _ in 0..self.lookahead {
+            let mut best: Option<(f32, TaskId)> = None;
+            for (&id, task) in sim.iter() {
+                if task.next_stage >= task.num_stages {
+                    continue;
+                }
+                let current = task
+                    .history
+                    .last()
+                    .copied()
+                    .unwrap_or(self.baseline_confidence);
+                let predicted = self.predictor.predict(&task.history, task.next_stage);
+                let gain = predicted - current;
+                // Ties broken by lower id for determinism.
+                let better = match best {
+                    None => true,
+                    Some((best_gain, best_id)) => {
+                        gain > best_gain || (gain == best_gain && id < best_id)
+                    }
+                };
+                if better {
+                    best = Some((gain, id));
+                }
+            }
+            let Some((_, id)) = best else { break };
+            let task = sim.get_mut(&id).expect("selected task exists");
+            let predicted = self.predictor.predict(&task.history, task.next_stage);
+            planned.push(PlannedStage {
+                id,
+                stage: task.next_stage,
+                predicted,
+            });
+            task.history.push(predicted);
+            task.next_stage += 1;
+        }
+        planned
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SimTask {
+    history: Vec<f32>,
+    next_stage: usize,
+    num_stages: usize,
+}
+
+impl<P: ConfidencePredictor> Scheduler for RtDeepIot<P> {
+    fn assign(&mut self, tasks: &[TaskView<'_>], slots: usize) -> Vec<TaskId> {
+        // Simulated planning state: real observations, extended by
+        // predicted values as stages are planned/picked this quantum.
+        let mut sim: HashMap<TaskId, SimTask> = tasks
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    SimTask {
+                        history: t.observed.to_vec(),
+                        next_stage: t.stages_done,
+                        num_stages: t.num_stages,
+                    },
+                )
+            })
+            .collect();
+        let mut picked: Vec<TaskId> = Vec::with_capacity(slots);
+        let mut deferred: VecDeque<PlannedStage> = VecDeque::new();
+
+        // Phase 1: drain the plan carried over from earlier quanta. These
+        // entries predate this quantum's `sim`, so picking one advances it.
+        let carried: Vec<PlannedStage> = self.timeline.drain(..).collect();
+        for entry in carried {
+            if picked.len() >= slots {
+                deferred.push_back(entry);
+                continue;
+            }
+            match sim.get_mut(&entry.id) {
+                // Stale: task departed (completed or killed).
+                None => continue,
+                Some(task) => {
+                    if entry.stage != task.next_stage {
+                        // Stale: the task progressed differently.
+                        continue;
+                    }
+                    if picked.contains(&entry.id) {
+                        // One stage per task per quantum; keep for later,
+                        // and advance sim so re-planning is consistent.
+                        task.history.push(entry.predicted);
+                        task.next_stage += 1;
+                        deferred.push_back(entry);
+                        continue;
+                    }
+                    task.history.push(entry.predicted);
+                    task.next_stage += 1;
+                    picked.push(entry.id);
+                }
+            }
+        }
+
+        // Phase 2: re-plan in lookahead-k batches until the slots are
+        // filled or no work remains. `refill` advances `sim` itself.
+        while picked.len() < slots {
+            let fresh = self.refill(&mut sim);
+            if fresh.is_empty() {
+                break;
+            }
+            for entry in fresh {
+                if picked.len() < slots && !picked.contains(&entry.id) {
+                    picked.push(entry.id);
+                } else {
+                    deferred.push_back(entry);
+                }
+            }
+        }
+
+        // Whatever could not run this quantum is the carried-over plan.
+        self.timeline = deferred;
+        picked
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self) {
+        self.timeline.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DcPredictor, OraclePredictor, PwlCurvePredictor};
+
+    fn view(id: TaskId, observed: &'static [f32]) -> TaskView<'static> {
+        TaskView {
+            id,
+            stages_done: observed.len(),
+            num_stages: 3,
+            observed,
+            admitted_at: 0,
+            deadline_at: 10,
+            remaining_quanta: 10,
+        }
+    }
+
+    /// A predictor matching the "diminishing returns" shape: the gain of
+    /// the next stage is half the distance to 1.0.
+    fn saturating_predictor() -> PwlCurvePredictor {
+        let curves: Vec<Vec<f32>> = (0..50)
+            .map(|i| {
+                let start = 0.15 + 0.7 * (i as f32 / 50.0);
+                let mid = start + 0.5 * (1.0 - start);
+                let end = mid + 0.5 * (1.0 - mid);
+                vec![start, mid, end]
+            })
+            .collect();
+        PwlCurvePredictor::fit(&curves, 12).unwrap()
+    }
+
+    #[test]
+    fn prefers_low_confidence_tasks_for_extra_stages() {
+        let mut sched = RtDeepIot::new(saturating_predictor(), 1, 0.1);
+        // Task 0 is uncertain after stage 1; task 1 is nearly saturated.
+        let tasks = [view(0, &[0.3]), view(1, &[0.95])];
+        let picked = sched.assign(&tasks, 1);
+        assert_eq!(picked, vec![0], "uncertain task should win the slot");
+    }
+
+    #[test]
+    fn schedules_first_stages_before_refinement_under_contention() {
+        let mut sched = RtDeepIot::new(saturating_predictor(), 1, 0.1);
+        // Task 0 already confident after one stage; task 1 never ran.
+        // Running task 1's first stage gains ~ (prior - 0.1), far more
+        // than pushing task 0 from 0.9 toward 1.0.
+        let tasks = [view(0, &[0.9]), view(1, &[])];
+        let picked = sched.assign(&tasks, 1);
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn fills_all_slots_with_distinct_tasks() {
+        let mut sched = RtDeepIot::new(saturating_predictor(), 2, 0.1);
+        let tasks = [view(0, &[]), view(1, &[]), view(2, &[]), view(3, &[])];
+        let picked = sched.assign(&tasks, 3);
+        assert_eq!(picked.len(), 3);
+        let mut unique = picked.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn carries_planned_stage_to_next_quantum() {
+        // Lookahead 3 with one task: plan = [stage0, stage1, stage2], but
+        // only one stage may run per quantum. The rest must survive.
+        let mut sched = RtDeepIot::new(saturating_predictor(), 3, 0.1);
+        let t0 = [view(0, &[])];
+        let picked = sched.assign(&t0, 4);
+        assert_eq!(picked, vec![0]);
+        assert!(!sched.timeline.is_empty(), "remaining plan should persist");
+        // Next quantum the task has one stage done.
+        let t1 = [view(0, &[0.5])];
+        let picked = sched.assign(&t1, 4);
+        assert_eq!(picked, vec![0]);
+    }
+
+    #[test]
+    fn stale_entries_for_departed_tasks_are_dropped() {
+        let mut sched = RtDeepIot::new(saturating_predictor(), 3, 0.1);
+        let t0 = [view(7, &[])];
+        sched.assign(&t0, 1);
+        // Task 7 expired; a new task appears. Stale plan must not block it.
+        let t1 = [view(8, &[])];
+        let picked = sched.assign(&t1, 1);
+        assert_eq!(picked, vec![8]);
+    }
+
+    #[test]
+    fn dc_variant_is_constructible_and_named() {
+        let sched = RtDeepIot::new(DcPredictor::new(vec![0.5, 0.7, 0.8]), 2, 0.1)
+            .with_name("RTDeepIoT-DC-2");
+        assert_eq!(sched.name(), "RTDeepIoT-DC-2");
+        assert_eq!(sched.lookahead(), 2);
+    }
+
+    #[test]
+    fn oracle_predictor_drives_deterministic_choice() {
+        // Oracle says stage outputs are [0.2, 0.9, 0.95] for every task;
+        // a task with stage 1 done at 0.2 gains 0.7 from stage 2; a fresh
+        // task gains 0.2 - baseline(0.1) = 0.1 from stage 1.
+        let mut sched = RtDeepIot::new(OraclePredictor::new(vec![0.2, 0.9, 0.95]), 1, 0.1);
+        let tasks = [view(0, &[]), view(1, &[0.2])];
+        assert_eq!(sched.assign(&tasks, 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn zero_lookahead_rejected() {
+        RtDeepIot::new(OraclePredictor::new(vec![0.5]), 0, 0.1);
+    }
+}

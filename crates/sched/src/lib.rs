@@ -1,0 +1,56 @@
+//! Utility-maximizing stage scheduling (RTDeepIoT) and baselines, with a
+//! discrete-event simulator reproducing the paper's Fig. 4.
+//!
+//! Paper §III: staged inference lets a server choose, per task, how many
+//! network stages to execute. The Eugene scheduler ("for historic reasons
+//! ... RTDeepIoT") greedily picks the task stage with the **maximum
+//! differential utility**, where utility is the predicted increase in
+//! classification confidence, and a lookahead parameter `k` controls how
+//! many stage selections are planned before re-planning. A daemon enforces
+//! a per-task latency constraint; unfinished tasks accrue no utility.
+//!
+//! This crate models that system:
+//!
+//! - [`TaskProfile`]/[`TaskState`]: a task is one inference request; its
+//!   profile records what each stage *would* report (confidence,
+//!   correctness), pre-computed from a real staged network;
+//! - [`ConfidencePredictor`]: the dynamic confidence-curve models —
+//!   [`PwlCurvePredictor`] (GP-fit, piecewise-linear-compressed, §III-B)
+//!   and [`DcPredictor`] (the constant-slope RTDeepIoT-DC ablation);
+//! - [`Scheduler`] implementations: [`RtDeepIot`] (greedy lookahead-`k`),
+//!   [`RoundRobin`], and [`Fifo`];
+//! - [`Simulation`]: a closed-loop multiprogramming simulator — `N`
+//!   concurrent tasks share `W` workers under a deadline — that produces
+//!   the service-accuracy curves of Fig. 4a/4b/4c.
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_sched::{Fifo, SimConfig, Simulation, TaskProfile};
+//! use rand::SeedableRng;
+//!
+//! // Two synthetic tasks: confidence grows with each stage.
+//! let tasks = vec![
+//!     TaskProfile::new(vec![0.5, 0.7, 0.9], vec![false, true, true]),
+//!     TaskProfile::new(vec![0.8, 0.9, 0.95], vec![true, true, true]),
+//! ];
+//! let config = SimConfig { num_workers: 2, concurrency: 2, deadline_quanta: 4, num_classes: 10 };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let outcome = Simulation::new(config).run(&mut Fifo::new(), tasks, &mut rng);
+//! assert_eq!(outcome.records.len(), 2);
+//! assert!(outcome.service_accuracy() > 0.9);
+//! ```
+
+mod baselines;
+mod class_aware;
+mod greedy;
+mod predictor;
+mod sim;
+mod task;
+
+pub use baselines::{Fifo, RoundRobin};
+pub use class_aware::DeadlineAware;
+pub use greedy::RtDeepIot;
+pub use predictor::{ConfidencePredictor, DcPredictor, OraclePredictor, PwlCurvePredictor};
+pub use sim::{Scheduler, SimConfig, SimOutcome, Simulation, TaskRecord, TaskView};
+pub use task::{TaskId, TaskProfile, TaskState};

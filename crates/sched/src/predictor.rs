@@ -1,0 +1,288 @@
+use eugene_gp::{GpParams, GpRegressor, PiecewiseLinear};
+use std::collections::HashMap;
+
+/// Predicts the confidence a task will reach at a future stage from the
+/// confidences observed so far (the paper's "dynamic confidence curve",
+/// §III-B).
+///
+/// `history` holds the observed confidences of the stages already executed
+/// (`history.len()` = completed stage count); `target` is the 0-based
+/// stage whose post-execution confidence is being predicted and must be
+/// `>= history.len()`.
+pub trait ConfidencePredictor: Send {
+    /// Predicted confidence after executing stage `target`.
+    fn predict(&self, history: &[f32], target: usize) -> f32;
+
+    /// Number of stages the predictor was built for.
+    fn num_stages(&self) -> usize;
+}
+
+/// The paper's predictor: per stage pair `(l, t)` a Gaussian process
+/// `GPl→t` is fit on training confidence curves, then compressed into a
+/// piecewise-linear function by profiling it on the grid `{0, 1/M, …, 1}`
+/// — only the compressed form is evaluated at run time.
+#[derive(Debug, Clone)]
+pub struct PwlCurvePredictor {
+    /// `curves[(from, to)]`: confidence after stage `from` -> predicted
+    /// confidence after stage `to` (0-based stages).
+    curves: HashMap<(usize, usize), PiecewiseLinear>,
+    /// Mean training confidence per stage, used before any stage has run.
+    priors: Vec<f32>,
+}
+
+impl PwlCurvePredictor {
+    /// Fits the predictor from training confidence curves.
+    ///
+    /// `training_curves[i][s]` is sample `i`'s confidence after stage `s`
+    /// (as produced by evaluating a trained staged network on its training
+    /// split). `segments` is the piecewise-linear grid resolution `M`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`eugene_gp::GpError`] if a GP cannot be
+    /// fit (e.g. fewer than one training curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if curves disagree on the stage count or `segments == 0`.
+    pub fn fit(
+        training_curves: &[Vec<f32>],
+        segments: usize,
+    ) -> Result<Self, eugene_gp::GpError> {
+        assert!(segments > 0, "segments must be positive");
+        let num_stages = training_curves
+            .first()
+            .map(Vec::len)
+            .unwrap_or_default();
+        assert!(
+            training_curves.iter().all(|c| c.len() == num_stages),
+            "all training curves must cover the same stages"
+        );
+        let n = training_curves.len().max(1) as f32;
+        let mut priors = vec![0.0f32; num_stages];
+        for curve in training_curves {
+            for (s, &c) in curve.iter().enumerate() {
+                priors[s] += c / n;
+            }
+        }
+        let mut curves = HashMap::new();
+        for from in 0..num_stages {
+            for to in from + 1..num_stages {
+                let xs: Vec<f64> = training_curves.iter().map(|c| c[from] as f64).collect();
+                let ys: Vec<f64> = training_curves.iter().map(|c| c[to] as f64).collect();
+                let gp = GpRegressor::fit(&xs, &ys, GpParams::default())?;
+                let pwl =
+                    PiecewiseLinear::profile(|x| gp.predict_mean(x).clamp(0.0, 1.0), segments);
+                curves.insert((from, to), pwl);
+            }
+        }
+        Ok(Self { curves, priors })
+    }
+
+    /// The per-stage training-mean confidences.
+    pub fn priors(&self) -> &[f32] {
+        &self.priors
+    }
+
+    /// The compressed curve for a stage pair, if present.
+    pub fn curve(&self, from: usize, to: usize) -> Option<&PiecewiseLinear> {
+        self.curves.get(&(from, to))
+    }
+}
+
+impl ConfidencePredictor for PwlCurvePredictor {
+    fn predict(&self, history: &[f32], target: usize) -> f32 {
+        assert!(target < self.priors.len(), "target stage out of range");
+        assert!(
+            target >= history.len(),
+            "target stage {target} already executed ({} done)",
+            history.len()
+        );
+        match history.last() {
+            None => self.priors[target],
+            Some(&last) => {
+                let from = history.len() - 1;
+                if from == target {
+                    return last;
+                }
+                match self.curves.get(&(from, target)) {
+                    Some(pwl) => pwl.eval(last as f64) as f32,
+                    None => self.priors[target],
+                }
+            }
+        }
+    }
+
+    fn num_stages(&self) -> usize {
+        self.priors.len()
+    }
+}
+
+/// The RTDeepIoT-DC ablation: "it assumes that the confidence will
+/// continue to increase with the same slope", i.e. the gain observed in
+/// the latest executed stage is extrapolated linearly to every future
+/// stage. Before any stage has run it falls back to per-stage priors like
+/// the full predictor.
+#[derive(Debug, Clone)]
+pub struct DcPredictor {
+    priors: Vec<f32>,
+}
+
+impl DcPredictor {
+    /// Creates the predictor from per-stage prior confidences (training
+    /// means), which also define the stage count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priors` is empty.
+    pub fn new(priors: Vec<f32>) -> Self {
+        assert!(!priors.is_empty(), "need at least one stage prior");
+        Self { priors }
+    }
+}
+
+impl ConfidencePredictor for DcPredictor {
+    fn predict(&self, history: &[f32], target: usize) -> f32 {
+        assert!(target < self.priors.len(), "target stage out of range");
+        assert!(target >= history.len(), "target stage already executed");
+        match history.len() {
+            0 => self.priors[target],
+            n => {
+                let last = history[n - 1];
+                let slope = if n >= 2 {
+                    last - history[n - 2]
+                } else {
+                    last - self.priors[0].min(last)
+                };
+                let steps = (target + 1 - n) as f32;
+                (last + slope * steps).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    fn num_stages(&self) -> usize {
+        self.priors.len()
+    }
+}
+
+/// A test-only predictor with perfect knowledge of one fixed curve; useful
+/// for exercising schedulers deterministically.
+#[derive(Debug, Clone)]
+pub struct OraclePredictor {
+    curve: Vec<f32>,
+}
+
+impl OraclePredictor {
+    /// Creates an oracle that answers with `curve[target]` always.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curve` is empty.
+    pub fn new(curve: Vec<f32>) -> Self {
+        assert!(!curve.is_empty(), "need at least one stage");
+        Self { curve }
+    }
+}
+
+impl ConfidencePredictor for OraclePredictor {
+    fn predict(&self, _history: &[f32], target: usize) -> f32 {
+        self.curve[target]
+    }
+
+    fn num_stages(&self) -> usize {
+        self.curve.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic monotone curves: conf(s+1) = conf(s) + gain * (1 - conf).
+    fn synthetic_curves(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let start = 0.2 + 0.6 * (i as f32 / n as f32);
+                let mut curve = vec![start];
+                for _ in 1..3 {
+                    let prev = *curve.last().unwrap();
+                    curve.push(prev + 0.5 * (1.0 - prev));
+                }
+                curve
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pwl_predictor_learns_monotone_refinement() {
+        let predictor = PwlCurvePredictor::fit(&synthetic_curves(60), 10).unwrap();
+        // Low stage-1 confidence predicts a big stage-2 gain.
+        let low = predictor.predict(&[0.3], 1);
+        assert!((low - 0.65).abs() < 0.1, "predicted {low}, wanted ~0.65");
+        // High stage-1 confidence predicts saturation.
+        let high = predictor.predict(&[0.9], 1);
+        assert!(high > 0.85, "predicted {high}");
+        // The predicted *gain* is larger for the uncertain task, which is
+        // the property the greedy scheduler exploits.
+        assert!(low - 0.3 > high - 0.9);
+    }
+
+    #[test]
+    fn pwl_predictor_uses_priors_before_any_stage() {
+        let curves = synthetic_curves(40);
+        let predictor = PwlCurvePredictor::fit(&curves, 10).unwrap();
+        let want: f32 = curves.iter().map(|c| c[0]).sum::<f32>() / 40.0;
+        assert!((predictor.predict(&[], 0) - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pwl_predictor_prefers_pairwise_curve_from_latest_stage() {
+        let predictor = PwlCurvePredictor::fit(&synthetic_curves(60), 10).unwrap();
+        assert!(predictor.curve(0, 1).is_some());
+        assert!(predictor.curve(1, 2).is_some());
+        assert!(predictor.curve(0, 2).is_some());
+        assert!(predictor.curve(1, 0).is_none());
+        // With stages 1 and 2 done, GP2->3 should drive the prediction.
+        let two_done = predictor.predict(&[0.4, 0.7], 2);
+        let expected = predictor.curve(1, 2).unwrap().eval(0.7) as f32;
+        assert!((two_done - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_predictor_extrapolates_last_slope() {
+        let dc = DcPredictor::new(vec![0.5, 0.7, 0.8]);
+        // Observed 0.5 then 0.6: slope 0.1, so stage 3 predicts 0.7.
+        let p = dc.predict(&[0.5, 0.6], 2);
+        assert!((p - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_predictor_clamps_to_unit_interval() {
+        let dc = DcPredictor::new(vec![0.5, 0.7, 0.8]);
+        let p = dc.predict(&[0.5, 0.99], 2);
+        assert!(p <= 1.0);
+        let down = dc.predict(&[0.9, 0.2], 2);
+        assert!(down >= 0.0);
+    }
+
+    #[test]
+    fn dc_predictor_uses_priors_when_nothing_ran() {
+        let dc = DcPredictor::new(vec![0.5, 0.7, 0.8]);
+        assert_eq!(dc.predict(&[], 1), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already executed")]
+    fn predicting_the_past_panics() {
+        let dc = DcPredictor::new(vec![0.5, 0.7]);
+        dc.predict(&[0.5, 0.6], 0);
+    }
+
+    #[test]
+    fn oracle_ignores_history() {
+        let o = OraclePredictor::new(vec![0.1, 0.2, 0.3]);
+        assert_eq!(o.predict(&[], 2), 0.3);
+        assert_eq!(o.predict(&[0.9], 2), 0.3);
+        assert_eq!(o.num_stages(), 3);
+    }
+}

@@ -1,0 +1,378 @@
+use crate::{TaskId, TaskProfile, TaskState};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A scheduler's read-only view of one active task.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskView<'a> {
+    /// Task identity (arrival index).
+    pub id: TaskId,
+    /// Stages executed so far.
+    pub stages_done: usize,
+    /// Total stages in the task's network.
+    pub num_stages: usize,
+    /// Confidences observed so far (one per executed stage).
+    pub observed: &'a [f32],
+    /// Quantum at which the task was admitted.
+    pub admitted_at: u64,
+    /// Quantum at which the deadline daemon will kill the task.
+    pub deadline_at: u64,
+    /// Quanta left before the deadline daemon kills the task.
+    pub remaining_quanta: u64,
+}
+
+/// A stage-scheduling policy.
+///
+/// Once per simulation quantum the scheduler sees every active task and
+/// the number of free worker slots, and returns the ids of tasks that
+/// should each execute **one** stage this quantum. Duplicate ids, ids of
+/// complete tasks, and ids beyond `slots` are ignored by the simulator
+/// (defensive, so buggy policies degrade rather than corrupt the run).
+pub trait Scheduler: Send {
+    /// Chooses up to `slots` distinct tasks to advance one stage.
+    fn assign(&mut self, tasks: &[TaskView<'_>], slots: usize) -> Vec<TaskId>;
+
+    /// Human-readable policy name used in reports ("RTDeepIoT-1", "RR" ...).
+    fn name(&self) -> &str;
+
+    /// Called when a simulation run starts, so stateful policies reset.
+    fn reset(&mut self) {}
+}
+
+/// Closed-loop simulation parameters.
+///
+/// The paper's scalability test varies "the number of concurrent tasks";
+/// we model that as a multiprogramming level: `concurrency` tasks are in
+/// the system at all times (arrivals backfill departures), sharing
+/// `num_workers` workers, with the deadline daemon killing any task
+/// resident longer than `deadline_quanta` (one quantum = one stage
+/// execution time, the paper's "equal stage execution times" assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Parallel stage executions per quantum (worker-pool size).
+    pub num_workers: usize,
+    /// Multiprogramming level — the paper's "number of concurrent tasks".
+    pub concurrency: usize,
+    /// Maximum residence time before the daemon kills a task.
+    pub deadline_quanta: u64,
+    /// Number of classes; an unserved task answers with a uniform random
+    /// guess, correct with probability `1 / num_classes`.
+    pub num_classes: usize,
+}
+
+/// Outcome of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task identity (arrival index).
+    pub id: TaskId,
+    /// Stages the task actually executed.
+    pub stages_executed: usize,
+    /// Whether the answer the service returned was correct. Tasks killed
+    /// before any stage ran return a uniform random guess.
+    pub correct: bool,
+    /// Whether the deadline daemon killed the task before completion.
+    pub expired: bool,
+    /// Confidence attached to the returned answer (`None` when guessing).
+    pub confidence: Option<f32>,
+    /// Residence time in quanta.
+    pub residence_quanta: u64,
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Per-task records in completion order.
+    pub records: Vec<TaskRecord>,
+    /// Total quanta simulated.
+    pub quanta_elapsed: u64,
+}
+
+impl SimOutcome {
+    /// Fraction of tasks whose returned answer was correct — the paper's
+    /// "service accuracy".
+    pub fn service_accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.correct).count() as f64 / self.records.len() as f64
+    }
+
+    /// Mean number of stages executed per task.
+    pub fn mean_stages(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.stages_executed).sum::<usize>() as f64
+            / self.records.len() as f64
+    }
+
+    /// Fraction of tasks that ran every stage.
+    pub fn completion_rate(&self, num_stages: usize) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .filter(|r| r.stages_executed == num_stages)
+            .count() as f64
+            / self.records.len() as f64
+    }
+
+    /// Fraction of tasks the deadline daemon killed.
+    pub fn expiry_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.expired).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// The closed-loop discrete-event simulator driving Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config field is zero.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        assert!(config.concurrency > 0, "concurrency must be positive");
+        assert!(config.deadline_quanta > 0, "deadline must be positive");
+        assert!(config.num_classes > 0, "num_classes must be positive");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `scheduler` over the task stream, consuming each profile once.
+    ///
+    /// `rng` supplies the uniform guesses of tasks that never ran a stage.
+    pub fn run(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        tasks: Vec<TaskProfile>,
+        rng: &mut impl Rng,
+    ) -> SimOutcome {
+        scheduler.reset();
+        let mut pending: VecDeque<(TaskId, TaskProfile)> =
+            tasks.into_iter().enumerate().collect();
+        let mut active: Vec<TaskState> = Vec::new();
+        let mut records = Vec::new();
+        let mut now: u64 = 0;
+        while !pending.is_empty() || !active.is_empty() {
+            // Admission: keep the multiprogramming level topped up.
+            while active.len() < self.config.concurrency {
+                match pending.pop_front() {
+                    Some((id, profile)) => active.push(TaskState::new(id, profile, now)),
+                    None => break,
+                }
+            }
+            // Scheduling decision.
+            let views: Vec<TaskView<'_>> = active
+                .iter()
+                .map(|t| TaskView {
+                    id: t.id,
+                    stages_done: t.stages_done(),
+                    num_stages: t.profile.num_stages(),
+                    observed: &t.observed,
+                    admitted_at: t.admitted_at,
+                    deadline_at: t.admitted_at + self.config.deadline_quanta,
+                    remaining_quanta: (t.admitted_at + self.config.deadline_quanta)
+                        .saturating_sub(now),
+                })
+                .collect();
+            let assignments = scheduler.assign(&views, self.config.num_workers);
+            // Execute: one stage per distinct, valid id, capped at slots.
+            let mut used = 0;
+            let mut ran_this_quantum: Vec<TaskId> = Vec::new();
+            for id in assignments {
+                if used >= self.config.num_workers || ran_this_quantum.contains(&id) {
+                    continue;
+                }
+                if let Some(task) = active.iter_mut().find(|t| t.id == id) {
+                    if !task.is_complete() {
+                        task.run_next_stage();
+                        ran_this_quantum.push(id);
+                        used += 1;
+                    }
+                }
+            }
+            now += 1;
+            // Retire completed tasks and let the daemon kill expired ones.
+            let deadline = self.config.deadline_quanta;
+            let num_classes = self.config.num_classes;
+            let mut i = 0;
+            while i < active.len() {
+                let task = &active[i];
+                let complete = task.is_complete();
+                let expired = !complete && now - task.admitted_at >= deadline;
+                if complete || expired {
+                    let task = active.swap_remove(i);
+                    records.push(Self::retire(task, expired, now, num_classes, rng));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        SimOutcome {
+            records,
+            quanta_elapsed: now,
+        }
+    }
+
+    fn retire(
+        task: TaskState,
+        expired: bool,
+        now: u64,
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> TaskRecord {
+        let correct = match task.current_correct() {
+            Some(c) => c,
+            // Never ran: the service answers with a uniform guess.
+            None => rng.gen_range(0..num_classes) == 0,
+        };
+        TaskRecord {
+            id: task.id,
+            stages_executed: task.stages_done(),
+            correct,
+            expired,
+            confidence: task.last_confidence(),
+            residence_quanta: now - task.admitted_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fifo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn easy_tasks(n: usize) -> Vec<TaskProfile> {
+        (0..n)
+            .map(|_| TaskProfile::new(vec![0.6, 0.8, 0.95], vec![true, true, true]))
+            .collect()
+    }
+
+    #[test]
+    fn uncontended_run_completes_everything() {
+        let config = SimConfig {
+            num_workers: 4,
+            concurrency: 2,
+            deadline_quanta: 10,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = Simulation::new(config).run(&mut Fifo::new(), easy_tasks(6), &mut rng);
+        assert_eq!(outcome.records.len(), 6);
+        assert_eq!(outcome.completion_rate(3), 1.0);
+        assert_eq!(outcome.expiry_rate(), 0.0);
+        assert_eq!(outcome.service_accuracy(), 1.0);
+        assert_eq!(outcome.mean_stages(), 3.0);
+    }
+
+    #[test]
+    fn overload_expires_tasks() {
+        // 1 worker, 10 concurrent tasks, deadline 2: most tasks starve.
+        let config = SimConfig {
+            num_workers: 1,
+            concurrency: 10,
+            deadline_quanta: 2,
+            num_classes: 1_000_000, // guesses effectively never correct
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = Simulation::new(config).run(&mut Fifo::new(), easy_tasks(20), &mut rng);
+        assert_eq!(outcome.records.len(), 20);
+        assert!(outcome.expiry_rate() > 0.5, "expiry {}", outcome.expiry_rate());
+        assert!(outcome.service_accuracy() < 0.5);
+    }
+
+    #[test]
+    fn records_cover_every_task_exactly_once() {
+        let config = SimConfig {
+            num_workers: 2,
+            concurrency: 3,
+            deadline_quanta: 4,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = Simulation::new(config).run(&mut Fifo::new(), easy_tasks(11), &mut rng);
+        let mut ids: Vec<TaskId> = outcome.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn residence_respects_deadline() {
+        let config = SimConfig {
+            num_workers: 1,
+            concurrency: 5,
+            deadline_quanta: 3,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcome = Simulation::new(config).run(&mut Fifo::new(), easy_tasks(10), &mut rng);
+        for r in &outcome.records {
+            assert!(r.residence_quanta <= 3, "task {} stayed {}", r.id, r.residence_quanta);
+        }
+    }
+
+    /// A hostile scheduler that assigns duplicates and bogus ids.
+    struct Hostile;
+    impl Scheduler for Hostile {
+        fn assign(&mut self, tasks: &[TaskView<'_>], _slots: usize) -> Vec<TaskId> {
+            let mut out = vec![9999, 9999];
+            if let Some(t) = tasks.first() {
+                out.extend([t.id; 8]);
+            }
+            out
+        }
+        fn name(&self) -> &str {
+            "hostile"
+        }
+    }
+
+    #[test]
+    fn simulator_is_defensive_against_bad_schedulers() {
+        let config = SimConfig {
+            num_workers: 2,
+            concurrency: 2,
+            deadline_quanta: 6,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = Simulation::new(config).run(&mut Hostile, easy_tasks(4), &mut rng);
+        assert_eq!(outcome.records.len(), 4);
+        // Each quantum at most one stage per task despite duplicate asks.
+        for r in &outcome.records {
+            assert!(r.stages_executed <= 3);
+        }
+    }
+
+    #[test]
+    fn empty_task_stream_returns_empty_outcome() {
+        let config = SimConfig {
+            num_workers: 1,
+            concurrency: 1,
+            deadline_quanta: 1,
+            num_classes: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcome = Simulation::new(config).run(&mut Fifo::new(), vec![], &mut rng);
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.quanta_elapsed, 0);
+        assert_eq!(outcome.service_accuracy(), 0.0);
+    }
+}

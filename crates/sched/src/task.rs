@@ -1,0 +1,187 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within one simulation run (its arrival index).
+pub type TaskId = usize;
+
+/// What one inference task *would* report after each stage.
+///
+/// Because the staged network is deterministic, a test sample's per-stage
+/// outputs can be pre-computed once: `stage_confidences[s]` is the
+/// classification confidence after stage `s`, and `stage_correct[s]` is
+/// whether the stage-`s` prediction matches the true label. The scheduler
+/// sees only the confidences of stages it has actually executed — exactly
+/// what the worker processes report over the named pipe in the paper's
+/// implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    stage_confidences: Vec<f32>,
+    stage_correct: Vec<bool>,
+}
+
+impl TaskProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty, differ in length, or a confidence
+    /// lies outside `[0, 1]`.
+    pub fn new(stage_confidences: Vec<f32>, stage_correct: Vec<bool>) -> Self {
+        assert!(!stage_confidences.is_empty(), "need at least one stage");
+        assert_eq!(
+            stage_confidences.len(),
+            stage_correct.len(),
+            "confidences and correctness must align"
+        );
+        assert!(
+            stage_confidences.iter().all(|c| (0.0..=1.0).contains(c)),
+            "confidences must lie in [0, 1]"
+        );
+        Self {
+            stage_confidences,
+            stage_correct,
+        }
+    }
+
+    /// Number of stages in the underlying network.
+    pub fn num_stages(&self) -> usize {
+        self.stage_confidences.len()
+    }
+
+    /// Confidence reported after stage `s` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn confidence_after(&self, s: usize) -> f32 {
+        self.stage_confidences[s]
+    }
+
+    /// Whether the prediction after stage `s` is correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn correct_after(&self, s: usize) -> bool {
+        self.stage_correct[s]
+    }
+
+    /// All per-stage confidences.
+    pub fn confidences(&self) -> &[f32] {
+        &self.stage_confidences
+    }
+}
+
+/// Live state of a task inside the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskState {
+    /// The task's identity (arrival index).
+    pub id: TaskId,
+    /// The pre-computed stage outcomes.
+    pub profile: TaskProfile,
+    /// Simulation quantum at which the task was admitted.
+    pub admitted_at: u64,
+    /// Confidences observed so far, one per executed stage.
+    pub observed: Vec<f32>,
+}
+
+impl TaskState {
+    /// Creates a fresh task admitted at `now`.
+    pub fn new(id: TaskId, profile: TaskProfile, now: u64) -> Self {
+        Self {
+            id,
+            profile,
+            admitted_at: now,
+            observed: Vec::new(),
+        }
+    }
+
+    /// Number of stages executed so far.
+    pub fn stages_done(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Whether every stage has been executed.
+    pub fn is_complete(&self) -> bool {
+        self.stages_done() == self.profile.num_stages()
+    }
+
+    /// Executes the next stage, recording its observed confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is already complete.
+    pub fn run_next_stage(&mut self) -> f32 {
+        assert!(!self.is_complete(), "task {} already complete", self.id);
+        let conf = self.profile.confidence_after(self.stages_done());
+        self.observed.push(conf);
+        conf
+    }
+
+    /// The latest observed confidence, if any stage has run.
+    pub fn last_confidence(&self) -> Option<f32> {
+        self.observed.last().copied()
+    }
+
+    /// Whether the answer the task would emit *right now* (its latest
+    /// completed stage) is correct; `None` if no stage has run.
+    pub fn current_correct(&self) -> Option<bool> {
+        if self.observed.is_empty() {
+            None
+        } else {
+            Some(self.profile.correct_after(self.observed.len() - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> TaskProfile {
+        TaskProfile::new(vec![0.4, 0.6, 0.8], vec![false, true, true])
+    }
+
+    #[test]
+    fn profile_accessors() {
+        let p = profile();
+        assert_eq!(p.num_stages(), 3);
+        assert_eq!(p.confidence_after(1), 0.6);
+        assert!(!p.correct_after(0));
+        assert!(p.correct_after(2));
+    }
+
+    #[test]
+    fn state_progresses_through_stages() {
+        let mut t = TaskState::new(0, profile(), 5);
+        assert_eq!(t.stages_done(), 0);
+        assert_eq!(t.last_confidence(), None);
+        assert_eq!(t.current_correct(), None);
+        assert_eq!(t.run_next_stage(), 0.4);
+        assert_eq!(t.current_correct(), Some(false));
+        assert_eq!(t.run_next_stage(), 0.6);
+        assert_eq!(t.run_next_stage(), 0.8);
+        assert!(t.is_complete());
+        assert_eq!(t.current_correct(), Some(true));
+        assert_eq!(t.admitted_at, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already complete")]
+    fn running_past_last_stage_panics() {
+        let mut t = TaskState::new(0, TaskProfile::new(vec![0.9], vec![true]), 0);
+        t.run_next_stage();
+        t.run_next_stage();
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_profile_vectors_panic() {
+        TaskProfile::new(vec![0.5, 0.6], vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn out_of_range_confidence_panics() {
+        TaskProfile::new(vec![1.5], vec![true]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the scheduling simulator: conservation and
+//! deadline invariants must hold for every policy under every load.
+
+use eugene_sched::{
+    DcPredictor, Fifo, OraclePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig, Simulation,
+    TaskProfile, TaskView,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STAGES: usize = 3;
+
+fn profile_strategy() -> impl Strategy<Value = TaskProfile> {
+    (
+        prop::collection::vec(0.1f32..0.95, STAGES),
+        prop::collection::vec(any::<bool>(), STAGES),
+    )
+        .prop_map(|(conf, correct)| TaskProfile::new(conf, correct))
+}
+
+fn scheduler_strategy() -> impl Strategy<Value = usize> {
+    0usize..4
+}
+
+fn make_scheduler(kind: usize) -> Box<dyn Scheduler> {
+    match kind {
+        0 => Box::new(Fifo::new()),
+        1 => Box::new(RoundRobin::new()),
+        2 => Box::new(RtDeepIot::new(
+            OraclePredictor::new(vec![0.5, 0.7, 0.9]),
+            2,
+            0.1,
+        )),
+        _ => Box::new(RtDeepIot::new(DcPredictor::new(vec![0.5, 0.7, 0.9]), 1, 0.1)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_task_is_retired_exactly_once(
+        tasks in prop::collection::vec(profile_strategy(), 1..40),
+        workers in 1usize..5,
+        concurrency in 1usize..8,
+        deadline in 1u64..8,
+        kind in scheduler_strategy(),
+    ) {
+        let n = tasks.len();
+        let config = SimConfig {
+            num_workers: workers,
+            concurrency,
+            deadline_quanta: deadline,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = Simulation::new(config).run(make_scheduler(kind).as_mut(), tasks, &mut rng);
+        prop_assert_eq!(outcome.records.len(), n);
+        let mut ids: Vec<usize> = outcome.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "duplicate or missing task records");
+    }
+
+    #[test]
+    fn stage_counts_and_residence_are_bounded(
+        tasks in prop::collection::vec(profile_strategy(), 1..30),
+        workers in 1usize..4,
+        concurrency in 1usize..6,
+        deadline in 1u64..6,
+        kind in scheduler_strategy(),
+    ) {
+        let config = SimConfig {
+            num_workers: workers,
+            concurrency,
+            deadline_quanta: deadline,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let outcome = Simulation::new(config).run(make_scheduler(kind).as_mut(), tasks, &mut rng);
+        for r in &outcome.records {
+            prop_assert!(r.stages_executed <= STAGES);
+            prop_assert!(r.residence_quanta <= deadline);
+            // A task can run at most one stage per quantum.
+            prop_assert!(r.stages_executed as u64 <= r.residence_quanta);
+            if r.stages_executed == 0 {
+                prop_assert!(r.confidence.is_none());
+            } else {
+                prop_assert!(r.confidence.is_some());
+            }
+            // Completion and expiry are mutually exclusive outcomes.
+            if r.stages_executed == STAGES {
+                prop_assert!(!r.expired);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded(
+        tasks in prop::collection::vec(profile_strategy(), 1..40),
+        workers in 1usize..4,
+        deadline in 2u64..6,
+        kind in scheduler_strategy(),
+    ) {
+        let config = SimConfig {
+            num_workers: workers,
+            concurrency: 8,
+            deadline_quanta: deadline,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcome = Simulation::new(config).run(make_scheduler(kind).as_mut(), tasks, &mut rng);
+        let total_stages: u64 = outcome
+            .records
+            .iter()
+            .map(|r| r.stages_executed as u64)
+            .sum();
+        prop_assert!(
+            total_stages <= outcome.quanta_elapsed * workers as u64,
+            "{total_stages} stages in {} quanta with {workers} workers",
+            outcome.quanta_elapsed
+        );
+    }
+
+    #[test]
+    fn schedulers_return_at_most_slots_distinct_runnable_ids(
+        stages_done in prop::collection::vec(0usize..=STAGES, 1..20),
+        slots in 1usize..6,
+        kind in scheduler_strategy(),
+    ) {
+        let observed: Vec<Vec<f32>> = stages_done
+            .iter()
+            .map(|&d| (0..d).map(|s| 0.3 + 0.2 * s as f32).collect())
+            .collect();
+        let views: Vec<TaskView<'_>> = stages_done
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| TaskView {
+                id: i,
+                stages_done: d,
+                num_stages: STAGES,
+                observed: &observed[i],
+                admitted_at: (i % 5) as u64,
+                deadline_at: 100,
+            remaining_quanta: 10,
+            })
+            .collect();
+        let mut scheduler = make_scheduler(kind);
+        let picked = scheduler.assign(&views, slots);
+        prop_assert!(picked.len() <= slots);
+        let mut unique = picked.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), picked.len(), "duplicate assignments");
+        for id in &picked {
+            let view = views.iter().find(|v| v.id == *id);
+            prop_assert!(view.is_some(), "assigned unknown task {id}");
+            prop_assert!(
+                view.unwrap().stages_done < STAGES,
+                "assigned a complete task"
+            );
+        }
+    }
+
+    #[test]
+    fn service_accuracy_is_a_probability(
+        tasks in prop::collection::vec(profile_strategy(), 1..25),
+        kind in scheduler_strategy(),
+    ) {
+        let config = SimConfig {
+            num_workers: 2,
+            concurrency: 4,
+            deadline_quanta: 4,
+            num_classes: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(10);
+        let outcome = Simulation::new(config).run(make_scheduler(kind).as_mut(), tasks, &mut rng);
+        let acc = outcome.service_accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!(outcome.mean_stages() <= STAGES as f64);
+    }
+}

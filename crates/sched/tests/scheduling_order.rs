@@ -1,0 +1,171 @@
+//! End-to-end scheduling comparison on a synthetic calibrated workload:
+//! the qualitative ordering of the paper's Fig. 4 must emerge.
+
+use eugene_sched::{
+    DcPredictor, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig,
+    Simulation, TaskProfile,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STAGES: usize = 3;
+const NUM_CLASSES: usize = 10;
+
+/// Generates calibrated task profiles: each task has a latent difficulty;
+/// confidence rises along a saturating curve, and correctness at each
+/// stage is a Bernoulli draw with probability equal to the confidence
+/// (i.e. perfectly calibrated — the best case the paper's §III-A
+/// calibration step works toward).
+fn population(n: usize, seed: u64) -> Vec<TaskProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let start: f32 = rng.gen_range(0.2..0.9);
+            let mut conf = Vec::with_capacity(STAGES);
+            let mut c = start;
+            for _ in 0..STAGES {
+                conf.push(c);
+                c += 0.55 * (1.0 - c);
+            }
+            let correct = conf.iter().map(|&p| rng.gen::<f32>() < p).collect();
+            TaskProfile::new(conf, correct)
+        })
+        .collect()
+}
+
+fn run(scheduler: &mut dyn Scheduler, concurrency: usize, seed: u64) -> f64 {
+    let config = SimConfig {
+        num_workers: 4,
+        concurrency,
+        deadline_quanta: 6,
+        num_classes: NUM_CLASSES,
+    };
+    let tasks = population(400, seed);
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    Simulation::new(config)
+        .run(scheduler, tasks, &mut rng)
+        .service_accuracy()
+}
+
+fn pwl_predictor(seed: u64) -> PwlCurvePredictor {
+    let curves: Vec<Vec<f32>> = population(300, seed)
+        .iter()
+        .map(|p| p.confidences().to_vec())
+        .collect();
+    PwlCurvePredictor::fit(&curves, 10).expect("fit predictor")
+}
+
+fn priors(seed: u64) -> Vec<f32> {
+    let pop = population(300, seed);
+    (0..STAGES)
+        .map(|s| pop.iter().map(|p| p.confidence_after(s)).sum::<f32>() / pop.len() as f32)
+        .collect()
+}
+
+/// Averages accuracy over a few seeds to damp guess noise.
+fn mean_accuracy(make: &mut dyn FnMut() -> Box<dyn Scheduler>, concurrency: usize) -> f64 {
+    let seeds = [11u64, 22, 33];
+    seeds
+        .iter()
+        .map(|&s| run(make().as_mut(), concurrency, s))
+        .sum::<f64>()
+        / seeds.len() as f64
+}
+
+#[test]
+fn rtdeepiot_beats_round_robin_and_fifo_under_contention() {
+    let baseline = 1.0 / NUM_CLASSES as f32;
+    let mut rt: Box<dyn FnMut() -> Box<dyn Scheduler>> =
+        Box::new(|| Box::new(RtDeepIot::new(pwl_predictor(7), 1, baseline)));
+    let mut rr: Box<dyn FnMut() -> Box<dyn Scheduler>> = Box::new(|| Box::new(RoundRobin::new()));
+    let mut fifo: Box<dyn FnMut() -> Box<dyn Scheduler>> = Box::new(|| Box::new(Fifo::new()));
+
+    let contended = 16;
+    let acc_rt = mean_accuracy(&mut rt, contended);
+    let acc_rr = mean_accuracy(&mut rr, contended);
+    let acc_fifo = mean_accuracy(&mut fifo, contended);
+
+    assert!(
+        acc_rt > acc_rr + 0.01,
+        "RTDeepIoT {acc_rt:.3} should beat RR {acc_rr:.3}"
+    );
+    assert!(
+        acc_rt > acc_fifo + 0.01,
+        "RTDeepIoT {acc_rt:.3} should beat FIFO {acc_fifo:.3}"
+    );
+}
+
+#[test]
+fn accuracy_declines_with_concurrency_for_every_policy() {
+    let baseline = 1.0 / NUM_CLASSES as f32;
+    let mut makers: Vec<(&str, Box<dyn FnMut() -> Box<dyn Scheduler>>)> = vec![
+        ("rt", Box::new(|| Box::new(RtDeepIot::new(pwl_predictor(7), 1, baseline)))),
+        ("rr", Box::new(|| Box::new(RoundRobin::new()))),
+        ("fifo", Box::new(|| Box::new(Fifo::new()))),
+    ];
+    for (name, make) in makers.iter_mut() {
+        let light = mean_accuracy(make.as_mut(), 2);
+        let heavy = mean_accuracy(make.as_mut(), 20);
+        assert!(
+            light > heavy,
+            "{name}: light load {light:.3} should beat heavy load {heavy:.3}"
+        );
+    }
+}
+
+#[test]
+fn dc_variant_lands_between_full_predictor_and_fifo() {
+    let baseline = 1.0 / NUM_CLASSES as f32;
+    let mut rt: Box<dyn FnMut() -> Box<dyn Scheduler>> =
+        Box::new(|| Box::new(RtDeepIot::new(pwl_predictor(7), 1, baseline)));
+    let mut dc: Box<dyn FnMut() -> Box<dyn Scheduler>> = Box::new(|| {
+        Box::new(RtDeepIot::new(DcPredictor::new(priors(7)), 1, baseline).with_name("RTDeepIoT-DC-1"))
+    });
+    let mut fifo: Box<dyn FnMut() -> Box<dyn Scheduler>> = Box::new(|| Box::new(Fifo::new()));
+
+    let contended = 16;
+    let acc_rt = mean_accuracy(&mut rt, contended);
+    let acc_dc = mean_accuracy(&mut dc, contended);
+    let acc_fifo = mean_accuracy(&mut fifo, contended);
+    assert!(
+        acc_dc >= acc_fifo - 0.01,
+        "DC {acc_dc:.3} should not trail FIFO {acc_fifo:.3}"
+    );
+    assert!(
+        acc_rt >= acc_dc - 0.02,
+        "full predictor {acc_rt:.3} should not trail DC {acc_dc:.3}"
+    );
+}
+
+#[test]
+fn rtdeepiot_is_fairer_than_fifo() {
+    // Fairness in stage allocation: the standard deviation of per-task
+    // executed stages under contention (the mechanism behind Fig. 4c).
+    let baseline = 1.0 / NUM_CLASSES as f32;
+    let config = SimConfig {
+        num_workers: 4,
+        concurrency: 16,
+        deadline_quanta: 6,
+        num_classes: NUM_CLASSES,
+    };
+    let stage_spread = |sched: &mut dyn Scheduler| -> f64 {
+        let tasks = population(400, 55);
+        let mut rng = StdRng::seed_from_u64(56);
+        let outcome = Simulation::new(config).run(sched, tasks, &mut rng);
+        let stages: Vec<f64> = outcome
+            .records
+            .iter()
+            .map(|r| r.stages_executed as f64)
+            .collect();
+        let mean = stages.iter().sum::<f64>() / stages.len() as f64;
+        (stages.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / stages.len() as f64).sqrt()
+    };
+    let mut rt = RtDeepIot::new(pwl_predictor(7), 1, baseline);
+    let mut fifo = Fifo::new();
+    let spread_rt = stage_spread(&mut rt);
+    let spread_fifo = stage_spread(&mut fifo);
+    assert!(
+        spread_rt < spread_fifo,
+        "RTDeepIoT stage spread {spread_rt:.3} should be below FIFO {spread_fifo:.3}"
+    );
+}

@@ -1,0 +1,194 @@
+use crate::RequestId;
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The paper's deadline daemon: "A daemon process monitors the elapsed
+/// time for each task. If the elapsed time for a task exceeds the maximum
+/// latency constraint, the daemon process will send a signal to stop the
+/// current computation."
+///
+/// Tasks are registered with their absolute deadline; a monitor thread
+/// polls the registry and emits the ids of expired tasks on a kill
+/// channel, which the serving runtime drains.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_serve::DeadlineDaemon;
+/// use std::time::{Duration, Instant};
+///
+/// let daemon = DeadlineDaemon::start(Duration::from_millis(2));
+/// daemon.register(7, Instant::now() + Duration::from_millis(10));
+/// let killed = daemon.kill_signals().recv_timeout(Duration::from_millis(500)).unwrap();
+/// assert_eq!(killed, 7);
+/// daemon.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct DeadlineDaemon {
+    registry: Arc<Mutex<HashMap<RequestId, Instant>>>,
+    kills: Receiver<RequestId>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DeadlineDaemon {
+    /// Starts the monitor thread with the given polling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poll_interval` is zero.
+    pub fn start(poll_interval: Duration) -> Self {
+        assert!(!poll_interval.is_zero(), "poll interval must be positive");
+        let registry: Arc<Mutex<HashMap<RequestId, Instant>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, kills) = unbounded();
+        let handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("eugene-deadline-daemon".to_owned())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let now = Instant::now();
+                        let expired: Vec<RequestId> = {
+                            let mut registry = registry.lock();
+                            let expired: Vec<RequestId> = registry
+                                .iter()
+                                .filter(|(_, &deadline)| now >= deadline)
+                                .map(|(&id, _)| id)
+                                .collect();
+                            for id in &expired {
+                                registry.remove(id);
+                            }
+                            expired
+                        };
+                        for id in expired {
+                            if tx.send(id).is_err() {
+                                return;
+                            }
+                        }
+                        std::thread::sleep(poll_interval);
+                    }
+                })
+                .expect("spawn daemon thread")
+        };
+        Self {
+            registry,
+            kills,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Registers a task with its absolute deadline.
+    pub fn register(&self, id: RequestId, deadline: Instant) {
+        self.registry.lock().insert(id, deadline);
+    }
+
+    /// Removes a task (it finished in time). Returns whether it was still
+    /// registered.
+    pub fn deregister(&self, id: RequestId) -> bool {
+        self.registry.lock().remove(&id).is_some()
+    }
+
+    /// The channel on which expired task ids arrive.
+    pub fn kill_signals(&self) -> &Receiver<RequestId> {
+        &self.kills
+    }
+
+    /// Number of tasks currently monitored.
+    pub fn watched(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Stops the monitor thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DeadlineDaemon {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expired_task_is_killed_once() {
+        let daemon = DeadlineDaemon::start(Duration::from_millis(1));
+        daemon.register(1, Instant::now() + Duration::from_millis(5));
+        let killed = daemon
+            .kill_signals()
+            .recv_timeout(Duration::from_millis(500))
+            .expect("kill arrives");
+        assert_eq!(killed, 1);
+        assert_eq!(daemon.watched(), 0);
+        // No duplicate signal.
+        assert!(daemon
+            .kill_signals()
+            .recv_timeout(Duration::from_millis(30))
+            .is_err());
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn deregistered_task_is_never_killed() {
+        let daemon = DeadlineDaemon::start(Duration::from_millis(1));
+        daemon.register(2, Instant::now() + Duration::from_millis(20));
+        assert!(daemon.deregister(2));
+        assert!(!daemon.deregister(2), "second deregister is a no-op");
+        assert!(daemon
+            .kill_signals()
+            .recv_timeout(Duration::from_millis(60))
+            .is_err());
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn far_deadlines_are_not_killed_early() {
+        let daemon = DeadlineDaemon::start(Duration::from_millis(1));
+        daemon.register(3, Instant::now() + Duration::from_secs(60));
+        assert!(daemon
+            .kill_signals()
+            .recv_timeout(Duration::from_millis(40))
+            .is_err());
+        assert_eq!(daemon.watched(), 1);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn multiple_expiries_all_signal() {
+        let daemon = DeadlineDaemon::start(Duration::from_millis(1));
+        for id in 10..13 {
+            daemon.register(id, Instant::now() + Duration::from_millis(5));
+        }
+        let mut killed: Vec<RequestId> = (0..3)
+            .map(|_| {
+                daemon
+                    .kill_signals()
+                    .recv_timeout(Duration::from_millis(500))
+                    .expect("kill arrives")
+            })
+            .collect();
+        killed.sort_unstable();
+        assert_eq!(killed, vec![10, 11, 12]);
+        daemon.shutdown();
+    }
+}

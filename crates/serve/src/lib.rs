@@ -1,0 +1,46 @@
+//! Live serving runtime for staged inference (paper §III-C).
+//!
+//! The paper's proof-of-concept runs the scheduler in user space: "The
+//! scheduler spawns a pool of worker processes. These processes wait on
+//! input images to arrive ... The confidence in classification will then
+//! be sent to our user-level scheduler through a named pipe in linux ...
+//! A daemon process monitors the elapsed time for each task. If the
+//! elapsed time for a task exceeds the maximum latency constraint, the
+//! daemon process will send a signal to stop the current computation."
+//!
+//! This crate reproduces that architecture with threads standing in for
+//! processes and channels standing in for named pipes:
+//!
+//! - [`WorkerPool`]: a fixed pool of worker threads executing stage jobs;
+//! - [`ConfidencePipe`]: the stage-progress channel from workers back to
+//!   the scheduler loop;
+//! - [`DeadlineDaemon`]: a monitor thread that fires kill signals for
+//!   tasks that exceed their latency constraint;
+//! - [`ServingRuntime`]: the coordinator gluing a staged model
+//!   ([`InferenceEngine`]), a stage scheduler
+//!   ([`eugene_sched::Scheduler`]), the pool, the pipe, and the daemon
+//!   into a request/response service;
+//! - [`ServiceClass`]: per-class latency constraints (the paper's §V
+//!   extension: "the scheduler ... needs to be modified to support
+//!   multiple service classes").
+//!
+//! # Examples
+//!
+//! See `examples/serving_pipeline.rs` at the repository root, which serves
+//! a trained staged network through this runtime.
+
+mod accounting;
+mod daemon;
+mod engine;
+mod pipe;
+mod pool;
+mod request;
+mod runtime;
+
+pub use accounting::{ClassUsage, PricingModel, UsageLedger};
+pub use daemon::DeadlineDaemon;
+pub use engine::{EngineSession, InferenceEngine, StageReport};
+pub use pipe::{ConfidencePipe, StageProgress};
+pub use pool::WorkerPool;
+pub use request::{InferenceRequest, InferenceResponse, RequestId, ServiceClass};
+pub use runtime::{RuntimeConfig, ServingRuntime};

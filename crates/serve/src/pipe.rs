@@ -1,0 +1,120 @@
+use crate::RequestId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A progress message a worker sends back to the scheduler loop after
+/// finishing one stage — the payload that crosses the paper's
+/// "named pipe in linux".
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageProgress {
+    /// Which request progressed.
+    pub request_id: RequestId,
+    /// 0-based index of the stage that just finished.
+    pub stage: usize,
+    /// Updated classification confidence.
+    pub confidence: f32,
+    /// Updated predicted class.
+    pub predicted: usize,
+}
+
+/// The worker-to-scheduler confidence channel (named-pipe analog).
+///
+/// Workers clone the [`ConfidencePipe::sender`]; the coordinator drains
+/// messages via [`ConfidencePipe::receiver`].
+///
+/// # Examples
+///
+/// ```
+/// use eugene_serve::{ConfidencePipe, StageProgress};
+///
+/// let pipe = ConfidencePipe::new();
+/// pipe.sender().send(StageProgress {
+///     request_id: 1,
+///     stage: 0,
+///     confidence: 0.7,
+///     predicted: 4,
+/// }).unwrap();
+/// let msg = pipe.receiver().recv().unwrap();
+/// assert_eq!(msg.stage, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfidencePipe {
+    sender: Sender<StageProgress>,
+    receiver: Receiver<StageProgress>,
+}
+
+impl ConfidencePipe {
+    /// Creates an unbounded pipe.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        Self { sender, receiver }
+    }
+
+    /// The write end, cloneable per worker.
+    pub fn sender(&self) -> Sender<StageProgress> {
+        self.sender.clone()
+    }
+
+    /// The read end for the scheduler loop.
+    pub fn receiver(&self) -> &Receiver<StageProgress> {
+        &self.receiver
+    }
+}
+
+impl Default for ConfidencePipe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn messages_cross_threads_in_order_per_sender() {
+        let pipe = ConfidencePipe::new();
+        let tx = pipe.sender();
+        let handle = thread::spawn(move || {
+            for stage in 0..3 {
+                tx.send(StageProgress {
+                    request_id: 9,
+                    stage,
+                    confidence: 0.5 + stage as f32 * 0.1,
+                    predicted: 2,
+                })
+                .unwrap();
+            }
+        });
+        handle.join().unwrap();
+        let stages: Vec<usize> = (0..3).map(|_| pipe.receiver().recv().unwrap().stage).collect();
+        assert_eq!(stages, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multiple_senders_all_arrive() {
+        let pipe = ConfidencePipe::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = pipe.sender();
+                thread::spawn(move || {
+                    tx.send(StageProgress {
+                        request_id: i,
+                        stage: 0,
+                        confidence: 0.5,
+                        predicted: 0,
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ids: Vec<RequestId> = (0..4)
+            .map(|_| pipe.receiver().recv().unwrap().request_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

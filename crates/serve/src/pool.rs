@@ -1,0 +1,171 @@
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads, the analog of the paper's "pool of
+/// waiting processes": workers block until a stage job is assigned, run
+/// it, and return to the pool.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_serve::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..16 {
+///     let counter = Arc::clone(&counter);
+///     pool.execute(move || {
+///         counter.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// pool.shutdown();
+/// assert_eq!(counter.load(Ordering::SeqCst), 16);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `size` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let (sender, receiver) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("eugene-worker-{i}"))
+                    .spawn(move || {
+                        // Channel disconnect is the shutdown signal.
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; an idle worker picks it up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`WorkerPool::shutdown`].
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool has been shut down")
+            .send(Box::new(job))
+            .expect("worker threads alive");
+    }
+
+    /// Drains outstanding jobs and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Dropping the sender disconnects the channel; workers drain
+        // remaining jobs and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn all_jobs_run_before_shutdown_returns() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn jobs_actually_run_in_parallel() {
+        let pool = WorkerPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                // Deadlocks unless all four run simultaneously.
+                barrier.wait();
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Give the pool a moment, then join via shutdown.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..10 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Implicit drop.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn size_reports_worker_count() {
+        let pool = WorkerPool::new(5);
+        assert_eq!(pool.size(), 5);
+        pool.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_size_rejected() {
+        WorkerPool::new(0);
+    }
+}

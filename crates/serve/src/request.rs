@@ -1,0 +1,135 @@
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Unique identifier assigned to each submitted request.
+pub type RequestId = u64;
+
+/// A quality-of-service class with its own latency constraint.
+///
+/// The paper's §V notes that "an interactive voice chatbot might have
+/// significantly tighter latency constraints than an intrusion detection
+/// camera" and calls for multiple service classes; this type carries that
+/// distinction.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_serve::ServiceClass;
+/// use std::time::Duration;
+///
+/// let interactive = ServiceClass::new("interactive", Duration::from_millis(50));
+/// let batch = ServiceClass::new("batch", Duration::from_secs(5));
+/// assert!(interactive.deadline() < batch.deadline());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServiceClass {
+    name: String,
+    deadline: Duration,
+}
+
+impl ServiceClass {
+    /// Creates a class with the given latency constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn new(name: impl Into<String>, deadline: Duration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        Self {
+            name: name.into(),
+            deadline,
+        }
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The class's maximum allowed latency.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+}
+
+/// An inference request: an input vector plus the service class governing
+/// its deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Input features (the client-supplied data item).
+    pub payload: Vec<f32>,
+    /// Service class (deadline).
+    pub class: ServiceClass,
+}
+
+impl InferenceRequest {
+    /// Creates a request in the given class.
+    pub fn new(payload: Vec<f32>, class: ServiceClass) -> Self {
+        Self { payload, class }
+    }
+}
+
+/// The service's answer to one request — the paper's
+/// `(predicted value, confidence)` tuple plus execution telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceResponse {
+    /// The request this answers.
+    pub id: RequestId,
+    /// Predicted class, if at least one stage ran.
+    pub predicted: Option<usize>,
+    /// Confidence attached to the prediction.
+    pub confidence: Option<f32>,
+    /// Number of stages executed before the answer was returned.
+    pub stages_executed: usize,
+    /// Whether the deadline daemon interrupted the task.
+    pub expired: bool,
+    /// Wall-clock service latency.
+    pub latency: Duration,
+}
+
+impl InferenceResponse {
+    /// Whether the service produced a usable prediction.
+    pub fn is_answered(&self) -> bool {
+        self.predicted.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_class_accessors() {
+        let class = ServiceClass::new("interactive", Duration::from_millis(100));
+        assert_eq!(class.name(), "interactive");
+        assert_eq!(class.deadline(), Duration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn zero_deadline_rejected() {
+        ServiceClass::new("bad", Duration::ZERO);
+    }
+
+    #[test]
+    fn response_answered_logic() {
+        let answered = InferenceResponse {
+            id: 1,
+            predicted: Some(3),
+            confidence: Some(0.8),
+            stages_executed: 2,
+            expired: false,
+            latency: Duration::from_millis(5),
+        };
+        assert!(answered.is_answered());
+        let starved = InferenceResponse {
+            id: 2,
+            predicted: None,
+            confidence: None,
+            stages_executed: 0,
+            expired: true,
+            latency: Duration::from_millis(50),
+        };
+        assert!(!starved.is_answered());
+    }
+}

@@ -1,0 +1,506 @@
+use crate::{
+    ConfidencePipe, DeadlineDaemon, EngineSession, InferenceEngine, InferenceRequest,
+    InferenceResponse, RequestId, StageProgress, StageReport, UsageLedger, WorkerPool,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use eugene_sched::{Scheduler, TaskView};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`ServingRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Worker threads executing stages.
+    pub num_workers: usize,
+    /// Early-exit threshold: once a task's confidence reaches this value
+    /// the service refrains "from executing additional layers" (§II-E).
+    /// `1.0` effectively disables early exit.
+    pub confidence_threshold: f32,
+    /// Poll interval of the deadline daemon.
+    pub daemon_poll: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            num_workers: 4,
+            confidence_threshold: 1.0,
+            daemon_poll: Duration::from_millis(1),
+        }
+    }
+}
+
+type Submission = (RequestId, InferenceRequest, Sender<InferenceResponse>);
+type StageDone = (RequestId, Box<dyn EngineSession>, Option<StageReport>, bool);
+
+/// The live serving coordinator (paper §III-C).
+///
+/// A coordinator thread owns the task table and the scheduler; stage
+/// executions are dispatched to a [`WorkerPool`], progress flows back over
+/// the [`ConfidencePipe`], and a [`DeadlineDaemon`] kills tasks that
+/// exceed their service class's latency constraint. Killed tasks return
+/// the result of their last completed stage (or a starvation response if
+/// no stage ran) and their worker "is returned to the pool".
+///
+/// # Examples
+///
+/// See `examples/serving_pipeline.rs` at the repository root.
+pub struct ServingRuntime {
+    submit_tx: Option<Sender<Submission>>,
+    next_id: std::sync::atomic::AtomicU64,
+    progress_rx: Receiver<StageProgress>,
+    ledger: UsageLedger,
+    coordinator: Option<JoinHandle<()>>,
+}
+
+impl ServingRuntime {
+    /// Starts the runtime over `engine` with the given scheduling policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_workers == 0`.
+    pub fn start(
+        engine: Arc<dyn InferenceEngine>,
+        scheduler: Box<dyn Scheduler>,
+        config: RuntimeConfig,
+    ) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        let (submit_tx, submit_rx) = unbounded::<Submission>();
+        let pipe = ConfidencePipe::new();
+        let progress_rx = pipe.receiver().clone();
+        let ledger = UsageLedger::new();
+        let coordinator = {
+            let ledger = ledger.clone();
+            std::thread::Builder::new()
+                .name("eugene-coordinator".to_owned())
+                .spawn(move || coordinator_loop(engine, scheduler, config, submit_rx, pipe, ledger))
+                .expect("spawn coordinator")
+        };
+        Self {
+            submit_tx: Some(submit_tx),
+            next_id: std::sync::atomic::AtomicU64::new(0),
+            progress_rx,
+            ledger,
+            coordinator: Some(coordinator),
+        }
+    }
+
+    /// Submits a request; the response arrives on the returned channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ServingRuntime::shutdown`].
+    pub fn submit(&self, request: InferenceRequest) -> (RequestId, Receiver<InferenceResponse>) {
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.submit_tx
+            .as_ref()
+            .expect("runtime has been shut down")
+            .send((id, request, tx))
+            .expect("coordinator alive");
+        (id, rx)
+    }
+
+    /// Per-stage progress events (the confidence-pipe read end), for
+    /// observability.
+    pub fn progress_events(&self) -> &Receiver<StageProgress> {
+        &self.progress_rx
+    }
+
+    /// The per-service-class usage ledger (paper SV: resource accounting
+    /// per class, the input to a pricing structure).
+    pub fn usage_ledger(&self) -> &UsageLedger {
+        &self.ledger
+    }
+
+    /// Stops accepting requests, drains in-flight work, and joins the
+    /// coordinator.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.submit_tx.take();
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServingRuntime {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+struct ActiveTask {
+    /// Service class name, for usage accounting.
+    class_name: String,
+    /// Present while the task is parked; `None` while a worker runs it.
+    session: Option<Box<dyn EngineSession>>,
+    observed: Vec<f32>,
+    last: Option<StageReport>,
+    started: Instant,
+    deadline: Instant,
+    killed: bool,
+    num_stages: usize,
+    respond: Sender<InferenceResponse>,
+}
+
+fn coordinator_loop(
+    engine: Arc<dyn InferenceEngine>,
+    mut scheduler: Box<dyn Scheduler>,
+    config: RuntimeConfig,
+    submit_rx: Receiver<Submission>,
+    pipe: ConfidencePipe,
+    ledger: UsageLedger,
+) {
+    let pool = WorkerPool::new(config.num_workers);
+    let daemon = DeadlineDaemon::start(config.daemon_poll);
+    let (done_tx, done_rx) = unbounded::<StageDone>();
+    let mut tasks: HashMap<RequestId, ActiveTask> = HashMap::new();
+    let mut in_flight = 0usize;
+    let mut accepting = true;
+    scheduler.reset();
+
+    loop {
+        // 1. Accept new requests.
+        loop {
+            match submit_rx.try_recv() {
+                Ok((id, request, respond)) => {
+                    let session = engine.begin(&request.payload);
+                    let now = Instant::now();
+                    let deadline = now + request.class.deadline();
+                    daemon.register(id, deadline);
+                    tasks.insert(
+                        id,
+                        ActiveTask {
+                            class_name: request.class.name().to_owned(),
+                            session: Some(session),
+                            observed: Vec::new(),
+                            last: None,
+                            started: now,
+                            deadline,
+                            killed: false,
+                            num_stages: engine.num_stages(),
+                            respond,
+                        },
+                    );
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    accepting = false;
+                    break;
+                }
+            }
+        }
+
+        // 2. Apply kill signals from the deadline daemon.
+        while let Ok(id) = daemon.kill_signals().try_recv() {
+            if let Some(task) = tasks.get_mut(&id) {
+                task.killed = true;
+            }
+        }
+
+        // 3. Collect finished stages. A stage that panicked inside the
+        // engine marks its task killed so it finalizes with whatever it
+        // had, rather than deadlocking the runtime.
+        while let Ok((id, session, report, panicked)) = done_rx.try_recv() {
+            in_flight -= 1;
+            if let Some(task) = tasks.get_mut(&id) {
+                if let Some(report) = report {
+                    task.observed.push(report.confidence);
+                    task.last = Some(report);
+                }
+                if panicked {
+                    task.killed = true;
+                }
+                task.session = Some(session);
+            }
+        }
+
+        // 4. Finalize tasks that are done, killed, or confident enough.
+        let finished: Vec<RequestId> = tasks
+            .iter()
+            .filter(|(_, t)| {
+                t.session.is_some()
+                    && (t.killed
+                        || t.observed.len() >= t.num_stages
+                        || t.last
+                            .is_some_and(|r| r.confidence >= config.confidence_threshold))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            let task = tasks.remove(&id).expect("task present");
+            daemon.deregister(id);
+            ledger.record(
+                &task.class_name,
+                task.observed.len(),
+                task.killed,
+                !task.killed && task.observed.len() < task.num_stages,
+            );
+            let response = InferenceResponse {
+                id,
+                predicted: task.last.map(|r| r.predicted),
+                confidence: task.last.map(|r| r.confidence),
+                stages_executed: task.observed.len(),
+                expired: task.killed,
+                latency: task.started.elapsed(),
+            };
+            // The submitter may have dropped its receiver; that is fine.
+            let _ = task.respond.send(response);
+        }
+
+        // 5. Schedule parked tasks onto free workers.
+        let free = config.num_workers.saturating_sub(in_flight);
+        if free > 0 {
+            let mut entries: Vec<(&RequestId, &ActiveTask)> = tasks
+                .iter()
+                .filter(|(_, t)| t.session.is_some() && !t.killed)
+                .collect();
+            entries.sort_by_key(|(id, _)| **id);
+            let views: Vec<TaskView<'_>> = entries
+                .iter()
+                .map(|(id, t)| TaskView {
+                    id: **id as usize,
+                    stages_done: t.observed.len(),
+                    num_stages: t.num_stages,
+                    observed: &t.observed,
+                    admitted_at: 0,
+                    deadline_at: t.deadline.saturating_duration_since(t.started).as_millis()
+                        as u64,
+                    remaining_quanta: t
+                        .deadline
+                        .saturating_duration_since(Instant::now())
+                        .as_millis() as u64,
+                })
+                .collect();
+            let assignments = scheduler.assign(&views, free);
+            drop(views);
+            drop(entries);
+            let mut dispatched = 0;
+            for picked in assignments {
+                if dispatched >= free {
+                    break;
+                }
+                let id = picked as RequestId;
+                let Some(task) = tasks.get_mut(&id) else { continue };
+                let Some(mut session) = task.session.take() else { continue };
+                let done_tx = done_tx.clone();
+                let progress_tx = pipe.sender();
+                in_flight += 1;
+                dispatched += 1;
+                pool.execute(move || {
+                    // A panicking engine must not wedge the coordinator:
+                    // catch it, return the session, and flag the task.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || session.next_stage(),
+                    ));
+                    match outcome {
+                        Ok(report) => {
+                            if let Some(r) = report {
+                                let _ = progress_tx.send(StageProgress {
+                                    request_id: id,
+                                    stage: session.stages_done().saturating_sub(1),
+                                    confidence: r.confidence,
+                                    predicted: r.predicted,
+                                });
+                            }
+                            let _ = done_tx.send((id, session, report, false));
+                        }
+                        Err(_) => {
+                            let _ = done_tx.send((id, session, None, true));
+                        }
+                    }
+                });
+            }
+        }
+
+        // 6. Exit when drained; otherwise pace the loop.
+        if !accepting && tasks.is_empty() && in_flight == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    pool.shutdown();
+    daemon.shutdown();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testing::RampEngine;
+    use crate::ServiceClass;
+    use eugene_sched::Fifo;
+
+    fn runtime(ramp: Vec<f32>, stage_ms: u64, config: RuntimeConfig) -> ServingRuntime {
+        let engine = Arc::new(RampEngine {
+            ramp,
+            stage_time: Duration::from_millis(stage_ms),
+        });
+        ServingRuntime::start(engine, Box::new(Fifo::new()), config)
+    }
+
+    fn class(deadline_ms: u64) -> ServiceClass {
+        ServiceClass::new("test", Duration::from_millis(deadline_ms))
+    }
+
+    #[test]
+    fn serves_a_request_through_all_stages() {
+        let rt = runtime(vec![0.5, 0.7, 0.9], 1, RuntimeConfig::default());
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![3.0], class(5_000)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(response.stages_executed, 3);
+        assert_eq!(response.predicted, Some(3));
+        assert_eq!(response.confidence, Some(0.9));
+        assert!(!response.expired);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn early_exit_skips_remaining_stages() {
+        let config = RuntimeConfig {
+            confidence_threshold: 0.8,
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.85, 0.9, 0.99], 1, config);
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![1.0], class(5_000)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(response.stages_executed, 1, "first stage already confident");
+        assert_eq!(response.confidence, Some(0.85));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn deadline_interrupts_slow_tasks() {
+        // Stages take 30 ms; deadline 40 ms: at most 2 stages can finish.
+        let rt = runtime(vec![0.5, 0.7, 0.9], 30, RuntimeConfig::default());
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![2.0], class(40)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(response.expired, "task should be killed by the daemon");
+        assert!(
+            response.stages_executed < 3,
+            "ran {} stages",
+            response.stages_executed
+        );
+        if response.stages_executed > 0 {
+            assert!(response.is_answered(), "partial results are returned");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_requests_all_answered() {
+        let rt = runtime(vec![0.6, 0.9], 1, RuntimeConfig::default());
+        let receivers: Vec<_> = (0..20)
+            .map(|i| {
+                rt.submit(InferenceRequest::new(vec![i as f32], class(10_000)))
+            })
+            .collect();
+        for (id, rx) in receivers {
+            let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(response.id, id);
+            assert_eq!(response.stages_executed, 2);
+            assert_eq!(response.predicted, Some(id as usize));
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn progress_events_flow_through_the_pipe() {
+        let rt = runtime(vec![0.5, 0.9], 1, RuntimeConfig::default());
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![0.0], class(5_000)));
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let first = rt
+            .progress_events()
+            .recv_timeout(Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(first.stage, 0);
+        assert_eq!(first.confidence, 0.5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ledger_accounts_per_class_usage() {
+        let config = RuntimeConfig {
+            confidence_threshold: 0.8,
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.85, 0.9, 0.95], 1, config);
+        // Two classes: both early-exit after one stage (0.85 >= 0.8).
+        let a = ServiceClass::new("interactive", Duration::from_secs(10));
+        let b = ServiceClass::new("batch", Duration::from_secs(10));
+        let mut rxs = Vec::new();
+        for i in 0..6 {
+            let class = if i % 3 == 0 { a.clone() } else { b.clone() };
+            rxs.push(rt.submit(InferenceRequest::new(vec![0.0], class)));
+        }
+        for (_, rx) in rxs {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let interactive = rt.usage_ledger().usage("interactive");
+        let batch = rt.usage_ledger().usage("batch");
+        assert_eq!(interactive.requests, 2);
+        assert_eq!(batch.requests, 4);
+        assert_eq!(interactive.early_exits, 2);
+        assert_eq!(interactive.stages_executed, 2);
+        assert_eq!(rt.usage_ledger().total_stages(), 6);
+        rt.shutdown();
+    }
+
+    /// An engine whose second stage always panics.
+    struct ExplosiveEngine;
+    impl crate::InferenceEngine for ExplosiveEngine {
+        fn num_stages(&self) -> usize {
+            3
+        }
+        fn begin(&self, _payload: &[f32]) -> Box<dyn crate::EngineSession> {
+            Box::new(ExplosiveSession { done: 0 })
+        }
+    }
+    struct ExplosiveSession {
+        done: usize,
+    }
+    impl crate::EngineSession for ExplosiveSession {
+        fn next_stage(&mut self) -> Option<StageReport> {
+            if self.done >= 1 {
+                panic!("stage 2 explodes");
+            }
+            self.done += 1;
+            Some(StageReport {
+                predicted: 0,
+                confidence: 0.5,
+            })
+        }
+        fn stages_done(&self) -> usize {
+            self.done
+        }
+    }
+
+    #[test]
+    fn worker_panic_fails_the_task_without_wedging_the_runtime() {
+        let rt = ServingRuntime::start(
+            Arc::new(ExplosiveEngine),
+            Box::new(Fifo::new()),
+            RuntimeConfig::default(),
+        );
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![0.0], class(5_000)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).expect("response");
+        assert!(response.expired, "panicked task finalizes as killed");
+        assert_eq!(response.stages_executed, 1, "only the good stage counted");
+        assert_eq!(response.confidence, Some(0.5));
+        // The runtime keeps serving and shuts down cleanly.
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_no_requests_is_clean() {
+        let rt = runtime(vec![0.9], 1, RuntimeConfig::default());
+        rt.shutdown();
+    }
+}

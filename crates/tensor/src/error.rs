@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when matrix dimensions do not satisfy an operation's
+/// requirements.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::Matrix;
+///
+/// let err = Matrix::try_from_vec(2, 3, vec![0.0; 5]).unwrap_err();
+/// assert!(err.to_string().contains("2x3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    expected: String,
+    actual: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(op: &'static str, expected: impl Into<String>, actual: impl Into<String>) -> Self {
+        Self {
+            op,
+            expected: expected.into(),
+            actual: actual.into(),
+        }
+    }
+
+    /// The operation that rejected the shapes (e.g. `"matmul"`).
+    pub fn op(&self) -> &str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}, got {}",
+            self.op, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation_and_shapes() {
+        let err = ShapeError::new("matmul", "2x3", "4x5");
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,30 @@
+//! Dense matrix and vector math substrate for the Eugene reproduction.
+//!
+//! Eugene's staged neural networks, Gaussian-process regressors, and model
+//! compression all operate on small dense matrices. This crate provides a
+//! deliberately compact, dependency-light implementation of exactly the
+//! linear algebra those subsystems need: a row-major [`Matrix`] with
+//! matrix/vector products, element-wise maps, reductions, and the
+//! probability helpers (softmax, entropy, argmax) used throughout the
+//! confidence-calibration pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod error;
+mod matrix;
+mod rng;
+mod stats;
+
+pub use error::ShapeError;
+pub use matrix::Matrix;
+pub use rng::{seeded_rng, standard_normal, xavier_uniform};
+pub use stats::{argmax, entropy, log_softmax, mean, softmax, softmax_in_place, std_dev, variance};

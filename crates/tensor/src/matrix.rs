@@ -1,0 +1,753 @@
+use crate::ShapeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the workhorse type of the reproduction: network weights,
+/// activation batches, kernel (Gram) matrices, and pruning masks are all
+/// `Matrix` values. A `rows x cols` matrix stores `rows * cols` elements
+/// contiguously, row by row.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(1, 2)], 6.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eugene_tensor::Matrix;
+    /// let z = Matrix::zeros(2, 2);
+    /// assert_eq!(z.sum(), 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates a `rows x cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`. Use [`Matrix::try_from_vec`]
+    /// for a fallible variant.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        Self::try_from_vec(rows, cols, data).expect("buffer length must equal rows * cols")
+    }
+
+    /// Creates a matrix from a flat row-major buffer, validating its length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eugene_tensor::Matrix;
+    /// assert!(Matrix::try_from_vec(2, 2, vec![1.0; 4]).is_ok());
+    /// assert!(Matrix::try_from_vec(2, 2, vec![1.0; 3]).is_err());
+    /// ```
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new(
+                "from_vec",
+                format!("{rows}x{cols} ({} elements)", rows * cols),
+                format!("{} elements", data.len()),
+            ));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length or if `rows` is
+    /// empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has length {} but expected {cols}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        let cols = self.cols;
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column index {c} out of bounds for {} columns", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`. Use [`Matrix::try_matmul`]
+    /// for a fallible variant.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.try_matmul(rhs).expect("inner dimensions must agree")
+    }
+
+    /// Matrix product `self * rhs`, validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new(
+                "matmul",
+                format!("lhs cols == rhs rows (lhs is {}x{})", self.rows, self.cols),
+                format!("rhs is {}x{}", rhs.rows, rhs.cols),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both rhs and out.
+        for i in 0..self.rows {
+            let out_row = i * rhs.cols;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self^T * rhs` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul requires equal row counts (lhs {}x{}, rhs {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let lhs_row = k * self.cols;
+            let rhs_row = k * rhs.cols;
+            for i in 0..self.cols {
+                let a = self.data[lhs_row + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = i * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs^T` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t requires equal column counts (lhs {}x{}, rhs {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lhs_row = i * self.cols;
+            for j in 0..rhs.rows {
+                let rhs_row = j * rhs.cols;
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[lhs_row + k] * rhs.data[rhs_row + k];
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "matvec requires vector length {} (got {})",
+            self.cols,
+            v.len()
+        );
+        let mut out = vec![0.0; self.rows];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            *out_r = acc;
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Element-wise map in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Combines two equal-shaped matrices element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "element-wise op requires equal shapes ({}x{} vs {}x{})",
+            self.rows,
+            self.cols,
+            rhs.rows,
+            rhs.cols
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Adds `scale * rhs` to `self` in place (a fused AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled requires equal shapes ({}x{} vs {}x{})",
+            self.rows,
+            self.cols,
+            rhs.rows,
+            rhs.cols
+        );
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `scale` in place.
+    pub fn scale_in_place(&mut self, scale: f32) {
+        for x in &mut self.data {
+            *x *= scale;
+        }
+    }
+
+    /// Adds `row` (a 1 x cols vector) to every row; used for bias terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "broadcast row must have length {} (got {})",
+            self.cols,
+            row.len()
+        );
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            for c in 0..self.cols {
+                self.data[base + c] += row[c];
+            }
+        }
+    }
+
+    /// Sums each column into a vector of length `cols`.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            for (c, out_c) in out.iter_mut().enumerate() {
+                *out_c += self.data[base + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Square of the Frobenius norm.
+    pub fn frobenius_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Maximum absolute element, or `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, x| m.max(x.abs()))
+    }
+
+    /// Concatenates two matrices horizontally (`[self | rhs]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "hconcat requires equal row counts ({} vs {})",
+            self.rows, rhs.rows
+        );
+        let cols = self.cols + rhs.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Extracts a sub-matrix keeping only the listed rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Extracts a sub-matrix keeping only the listed columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        for &c in indices {
+            assert!(c < self.cols, "column index {c} out of bounds for {} columns", self.cols);
+        }
+        let mut data = Vec::with_capacity(indices.len() * self.rows);
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            for &c in indices {
+                data.push(self.data[base + c]);
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, scale: f32) -> Matrix {
+        self.map(|x| x * scale)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.add_scaled(rhs, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert_eq!(z.sum(), 0.0);
+        let f = Matrix::filled(2, 2, 1.5);
+        assert_eq!(f.sum(), 6.0);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        let expected = Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]);
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn try_matmul_rejects_mismatched_inner_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.try_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        assert!(approx_eq(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-6));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 10.0]]);
+        assert!(approx_eq(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-6));
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = [5.0, 6.0];
+        let got = a.matvec(&v);
+        let expected = a.matmul(&Matrix::col_vector(&v));
+        assert_eq!(got, expected.into_vec());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_each_row() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_rows_accumulates_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum_rows(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let rows = a.select_rows(&[2, 0]);
+        assert_eq!(rows, Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]));
+        let cols = a.select_cols(&[1]);
+        assert_eq!(cols, Matrix::from_rows(&[&[2.0], &[5.0], &[8.0]]));
+    }
+
+    #[test]
+    fn operators_add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(&a + &b, Matrix::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(&b - &a, Matrix::from_rows(&[&[2.0, 2.0]]));
+        assert_eq!(&a * 2.0, Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 3.0]]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a, Matrix::from_rows(&[&[2.0, 2.5]]));
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 8.0]]));
+    }
+
+    #[test]
+    fn frobenius_and_max_abs() {
+        let a = Matrix::from_rows(&[&[3.0, -4.0]]);
+        assert_eq!(a.frobenius_sq(), 25.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row index")]
+    fn row_out_of_bounds_panics() {
+        Matrix::zeros(1, 1).row(1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let repr = format!("{:?}", Matrix::zeros(1, 1));
+        assert!(repr.contains("Matrix 1x1"));
+    }
+
+    #[test]
+    fn iter_rows_yields_each_row() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let rows: Vec<&[f32]> = a.iter_rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+}

@@ -1,0 +1,102 @@
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic random-number generator from a seed.
+///
+/// Every experiment in the reproduction is seeded so that tables and
+/// figures regenerate byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::seeded_rng;
+/// use rand::Rng;
+///
+/// let mut a = seeded_rng(7);
+/// let mut b = seeded_rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal sample using the Box-Muller transform.
+///
+/// `rand` 0.8 without `rand_distr` has no normal distribution; Box-Muller
+/// over two uniforms is exact and adequate for weight initialization and
+/// synthetic data generation.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Initializes a `rows x cols` weight matrix with Xavier/Glorot uniform
+/// scaling, the initialization used for all networks in the reproduction.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::{seeded_rng, xavier_uniform};
+///
+/// let w = xavier_uniform(4, 8, &mut seeded_rng(0));
+/// assert_eq!(w.shape(), (4, 8));
+/// let limit = (6.0_f32 / 12.0).sqrt();
+/// assert!(w.max_abs() <= limit);
+/// ```
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut rng = seeded_rng(42);
+            (0..8).map(|_| rng.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = seeded_rng(42);
+            (0..8).map(|_| rng.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn standard_normal_has_reasonable_moments() {
+        let mut rng = seeded_rng(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn xavier_respects_limit_and_is_not_constant() {
+        let mut rng = seeded_rng(9);
+        let w = xavier_uniform(16, 16, &mut rng);
+        let limit = (6.0_f32 / 32.0).sqrt();
+        assert!(w.max_abs() <= limit + 1e-6);
+        let first = w.as_slice()[0];
+        assert!(w.as_slice().iter().any(|&x| x != first));
+    }
+}

@@ -1,0 +1,187 @@
+//! Probability and summary-statistics helpers shared by the calibration,
+//! scheduling, and evaluation code.
+
+/// Index of the largest element; ties resolve to the first maximum.
+///
+/// Used to turn a softmax probability vector into a predicted class.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::argmax;
+/// assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+/// ```
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable softmax over `logits`.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::softmax;
+/// let p = softmax(&[1.0, 2.0, 3.0]);
+/// assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Numerically stable softmax, transforming `logits` in place.
+pub fn softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in logits.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Numerically stable log-softmax over `logits`.
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    logits.iter().map(|&x| x - max - log_sum).collect()
+}
+
+/// Shannon entropy `H(p) = -sum p ln p` (natural log) of a probability
+/// vector. Zero entries contribute zero, matching the `p ln p -> 0` limit.
+///
+/// Entropy is the regularizer in the paper's calibration loss (Eq. 4).
+///
+/// # Examples
+///
+/// ```
+/// use eugene_tensor::entropy;
+/// assert!(entropy(&[1.0, 0.0]) < 1e-6);
+/// let uniform = entropy(&[0.5, 0.5]);
+/// assert!((uniform - 0.5_f32.ln().abs() * 1.0).abs() < 1e-5);
+/// ```
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+pub fn variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|x| (x - m).powi(2)).sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f32]) -> f32 {
+    variance(values).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let q = softmax(&[101.0, 102.0, 103.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for (a, b) in p.iter().zip(&q) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits_without_overflow() {
+        let p = softmax(&[1000.0, 999.0]);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let logits = [0.3, -1.2, 2.5];
+        let ls = log_softmax(&logits);
+        let p = softmax(&logits);
+        for (a, b) in ls.iter().zip(&p) {
+            assert!((a.exp() - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let k = 10;
+        let uniform = vec![1.0 / k as f32; k];
+        let h_uniform = entropy(&uniform);
+        let mut peaked = vec![0.01; k];
+        peaked[0] = 1.0 - 0.09;
+        let h_peaked = entropy(&peaked);
+        assert!(h_uniform > h_peaked);
+        assert!((h_uniform - (k as f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_of_one_hot_is_zero() {
+        assert_eq!(entropy(&[0.0, 1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 4.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_singleton_stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+}

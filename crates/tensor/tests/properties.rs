@@ -1,0 +1,97 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use eugene_tensor::{argmax, entropy, softmax, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix with the given shape and small finite values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #[test]
+    fn matmul_associativity(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-2));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(approx_eq(&left, &right, 1e-3));
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(approx_eq(&left, &right, 1e-3));
+    }
+
+    #[test]
+    fn t_matmul_agrees_with_transpose(a in matrix(4, 3), b in matrix(4, 2)) {
+        prop_assert!(approx_eq(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-3));
+    }
+
+    #[test]
+    fn matmul_t_agrees_with_transpose(a in matrix(3, 4), b in matrix(2, 4)) {
+        prop_assert!(approx_eq(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn addition_commutes(a in matrix(4, 4), b in matrix(4, 4)) {
+        prop_assert!(approx_eq(&(&a + &b), &(&b + &a), 1e-6));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(2, 6), b in matrix(2, 6)) {
+        prop_assert!(approx_eq(&a.hadamard(&b), &b.hadamard(&a), 1e-6));
+    }
+
+    #[test]
+    fn select_rows_identity(a in matrix(5, 3)) {
+        let all: Vec<usize> = (0..5).collect();
+        prop_assert_eq!(a.select_rows(&all), a.clone());
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..16)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(logits in prop::collection::vec(-20.0f32..20.0, 2..16)) {
+        let p = softmax(&logits);
+        prop_assert_eq!(argmax(&logits), argmax(&p));
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_k(logits in prop::collection::vec(-10.0f32..10.0, 2..12)) {
+        let p = softmax(&logits);
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-5);
+        prop_assert!(h <= (p.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(a in matrix(4, 3)) {
+        let sums = a.sum_rows();
+        for c in 0..3 {
+            let manual: f32 = (0..4).map(|r| a[(r, c)]).sum();
+            prop_assert!((sums[c] - manual).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Reduced-model caching on an embedded device (paper §II-B): the smart
+//! refrigerator whose camera mostly sees "beer and pop bottles".
+//!
+//! The device tracks which classes the server keeps returning; once a few
+//! classes dominate, the server trains a tiny frequent-classes-plus-other
+//! model, the device caches it, and from then on common inputs are
+//! answered locally — an uncommon input is "a cache miss that triggers
+//! full network execution on the server".
+//!
+//! Run: `cargo run --release --example edge_cache`
+
+use eugene::compress::{skewed_stream, CacheDecision, CachedModelConfig, ModelCache};
+use eugene::data::{SyntheticImages, SyntheticImagesConfig};
+use eugene::profiler::{ConvSpec, DeviceModel};
+use eugene::service::{Eugene, TrainRequest};
+use eugene::tensor::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(5);
+    let gen = SyntheticImages::new(SyntheticImagesConfig::default(), &mut rng);
+    let (train, _) = gen.generate(1500, &mut rng);
+    let (base, _) = gen.generate(1000, &mut rng);
+
+    // Server-side: a full model exists for the 10-class problem.
+    let mut eugene = Eugene::new(6);
+    let full_model = eugene.train(TrainRequest::standard(&train))?;
+    let full_info = eugene.model_info(full_model)?;
+
+    // Device traffic: 80% of frames show classes 2 ("beer") and 7 ("pop").
+    let stream = skewed_stream(&base, &[2, 7], 0.8, 500, &mut rng);
+
+    // Phase 1 — everything goes to the server; the device tracks classes.
+    let mut cache = ModelCache::new(10, 0.999, 0.25, 50);
+    let mut server_calls = 0;
+    for i in 0..150 {
+        let outputs = eugene.classify(full_model, stream.sample(i))?;
+        let answer = outputs.last().expect("three stages");
+        cache.record(answer.predicted);
+        server_calls += 1;
+    }
+    println!("phase 1: {server_calls} server round trips; frequent classes: {:?}", cache.cache_candidates());
+
+    // Phase 2 — the server builds and ships the reduced model.
+    assert!(cache.should_rebuild());
+    let candidates = cache.cache_candidates();
+    let cached = eugene.build_cached_model(&train, &candidates, &CachedModelConfig::default())?;
+    println!(
+        "phase 2: cached model for classes {:?} — {} params vs {} in the full model ({:.1}%)",
+        cached.classes(),
+        cached.param_count(),
+        full_info.param_count,
+        cached.param_count() as f64 / full_info.param_count as f64 * 100.0
+    );
+    cache.install(cached);
+
+    // Phase 3 — device answers locally when it can.
+    let mut local_correct = 0;
+    let mut local_total = 0;
+    let mut escalations = 0;
+    for i in 150..stream.len() {
+        match cache.lookup(stream.sample(i)) {
+            CacheDecision::Hit { class, .. } => {
+                local_total += 1;
+                if class == stream.label(i) {
+                    local_correct += 1;
+                }
+            }
+            CacheDecision::Miss => {
+                escalations += 1;
+                let _ = eugene.classify(full_model, stream.sample(i))?;
+            }
+        }
+    }
+    let stats = cache.stats();
+    println!(
+        "phase 3: hit rate {:.1}% ({} local answers, {} escalations), local accuracy {:.1}%",
+        stats.hit_rate() * 100.0,
+        local_total,
+        escalations,
+        local_correct as f64 / local_total.max(1) as f64 * 100.0
+    );
+
+    // What caching buys in latency: device-local small model vs a server
+    // round trip running the full network (device cost model, §II-C).
+    let device = DeviceModel::nexus5_class();
+    let small = ConvSpec::same_padding(8, 16, 3, 32);
+    let large = ConvSpec::same_padding(32, 64, 3, 224);
+    println!(
+        "\nillustrative latency (device cost model): cached path ~{:.1} ms vs full path ~{:.0} ms",
+        device.latency_ms(&small),
+        device.latency_ms(&large)
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train a staged model through the Eugene façade and inspect
+//! its per-stage predictions.
+//!
+//! This is the paper's core loop in miniature: a client ships labeled
+//! data, the service trains a staged network, and inference reports a
+//! `(prediction, confidence)` tuple after every stage so execution can
+//! stop as soon as confidence is high enough.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use eugene::data::{SyntheticImages, SyntheticImagesConfig};
+use eugene::service::{Eugene, TrainRequest};
+use eugene::tensor::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Client-side data collection (synthetic CIFAR-10 stand-in).
+    let mut rng = seeded_rng(1);
+    let gen = SyntheticImages::new(SyntheticImagesConfig::default(), &mut rng);
+    let (train, _) = gen.generate(1500, &mut rng);
+    let (test, difficulty) = gen.generate(10, &mut rng);
+
+    // 2. Ask the service to train a three-stage model.
+    let mut eugene = Eugene::new(7);
+    let model = eugene.train(TrainRequest::standard(&train))?;
+    let info = eugene.model_info(model)?;
+    println!(
+        "trained model {:?}: {} stages, {} params, {} classes",
+        info.id, info.num_stages, info.param_count, info.num_classes
+    );
+
+    // 3. Classify a few inputs stage by stage and watch confidence grow.
+    println!("\nsample  difficulty  stage1(conf)  stage2(conf)  stage3(conf)  label");
+    for i in 0..test.len() {
+        let outputs = eugene.classify(model, test.sample(i))?;
+        let cells: Vec<String> = outputs
+            .iter()
+            .map(|o| format!("{:>2} ({:.2})", o.predicted, o.confidence))
+            .collect();
+        println!(
+            "{:>6}  {:>10}  {:>12}  {:>12}  {:>12}  {:>5}",
+            i,
+            format!("{:?}", difficulty[i]),
+            cells[0],
+            cells[1],
+            cells[2],
+            test.label(i)
+        );
+    }
+
+    // 4. Aggregate accuracy per stage: deeper stages resolve harder inputs.
+    let (big_test, _) = gen.generate(1000, &mut seeded_rng(2));
+    let evals = eugene.evaluate(model, &big_test)?;
+    println!("\nper-stage accuracy on 1000 held-out samples:");
+    for eval in &evals {
+        println!(
+            "  stage {}: accuracy {:.1}%, mean confidence {:.2}",
+            eval.stage + 1,
+            eval.accuracy * 100.0,
+            eval.mean_confidence()
+        );
+    }
+    Ok(())
+}

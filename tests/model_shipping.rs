@@ -1,0 +1,100 @@
+//! The §II-B model-shipping loop across crates: train on the server,
+//! reduce, serialize, "download" to a device, and serve skewed traffic
+//! from the device cache with server escalation.
+
+use eugene::compress::{skewed_stream, CacheDecision, CachedModelConfig, ModelCache};
+use eugene::data::{SyntheticImages, SyntheticImagesConfig};
+use eugene::nn::{NetworkSnapshot, StagedNetwork};
+use eugene::service::{Eugene, TrainRequest};
+use eugene::tensor::seeded_rng;
+
+fn datasets(seed: u64) -> (eugene::data::Dataset, eugene::data::Dataset) {
+    let mut rng = seeded_rng(seed);
+    let gen = SyntheticImages::new(
+        SyntheticImagesConfig {
+            num_classes: 6,
+            dim: 12,
+            easy_fraction: 0.8,
+            medium_fraction: 0.15,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let (train, _) = gen.generate(700, &mut rng);
+    let (base, _) = gen.generate(600, &mut rng);
+    (train, base)
+}
+
+#[test]
+fn reduce_serialize_ship_and_serve_from_cache() {
+    let (train, base) = datasets(81);
+    let mut server = Eugene::new(82);
+    let full = server.train(TrainRequest::quick(&train)).expect("train");
+
+    // Server-side reduction (§II-B node pruning + fine-tune).
+    let reduced = server.reduce(full, 0.5, &train).expect("reduce");
+    let full_info = server.model_info(full).unwrap();
+    let reduced_info = server.model_info(reduced).unwrap();
+    assert!(reduced_info.param_count < full_info.param_count);
+
+    // Serialize the reduced model — the bytes that cross the network.
+    let snapshot = server.export_model(reduced).expect("export");
+    let wire = serde_json::to_vec(&snapshot).expect("serialize");
+    let full_wire = serde_json::to_vec(&server.export_model(full).unwrap()).unwrap();
+    assert!(
+        wire.len() < full_wire.len(),
+        "reduced model must be smaller on the wire: {} vs {}",
+        wire.len(),
+        full_wire.len()
+    );
+
+    // "Device" side: restore and verify behavioral equivalence.
+    let parsed: NetworkSnapshot = serde_json::from_slice(&wire).expect("parse");
+    let device_net = StagedNetwork::from_snapshot(&parsed).expect("restore");
+    let sample = base.sample(0);
+    let server_out = server.classify(reduced, sample).unwrap();
+    let device_out = device_net.classify(sample);
+    assert_eq!(server_out.len(), device_out.len());
+    for (a, b) in server_out.iter().zip(&device_out) {
+        assert_eq!(a.predicted, b.predicted);
+        assert!((a.confidence - b.confidence).abs() < 1e-6);
+    }
+
+    // Frequent-classes cache deployment over skewed traffic.
+    let mut rng = seeded_rng(83);
+    let stream = skewed_stream(&base, &[1, 4], 0.8, 400, &mut rng);
+    let mut cache = ModelCache::new(6, 0.999, 0.25, 50);
+    for i in 0..120 {
+        cache.record(stream.label(i));
+    }
+    assert!(cache.should_rebuild());
+    let cached = server
+        .build_cached_model(&train, &cache.cache_candidates(), &CachedModelConfig::default())
+        .expect("build cache");
+    cache.install(cached);
+
+    let mut local = 0usize;
+    let mut escalated = 0usize;
+    let mut local_correct = 0usize;
+    for i in 120..stream.len() {
+        match cache.lookup(stream.sample(i)) {
+            CacheDecision::Hit { class, .. } => {
+                local += 1;
+                if class == stream.label(i) {
+                    local_correct += 1;
+                }
+            }
+            CacheDecision::Miss => {
+                escalated += 1;
+                // The miss path still gets an answer from the server.
+                let outs = server.classify(full, stream.sample(i)).unwrap();
+                assert_eq!(outs.len(), 3);
+            }
+        }
+    }
+    assert!(local + escalated > 0);
+    let hit_rate = local as f64 / (local + escalated) as f64;
+    let hit_acc = local_correct as f64 / local.max(1) as f64;
+    assert!(hit_rate > 0.4, "device cache hit rate {hit_rate:.2}");
+    assert!(hit_acc > 0.6, "device cache hit accuracy {hit_acc:.2}");
+}

@@ -1,0 +1,139 @@
+//! The paper's full §III pipeline as one integration test: train a staged
+//! network, calibrate its confidence, fit the GP-compressed confidence
+//! curves, and schedule a contended workload — asserting the qualitative
+//! claims each component contributes.
+
+use eugene::calibrate::{ece, EntropyCalibrator};
+use eugene::data::{SyntheticImages, SyntheticImagesConfig};
+use eugene::nn::{evaluate_staged, StagedNetwork, StagedNetworkConfig, TrainConfig, Trainer};
+use eugene::sched::{
+    Fifo, PwlCurvePredictor, RtDeepIot, Scheduler, SimConfig, Simulation, TaskProfile,
+};
+use eugene::tensor::seeded_rng;
+
+struct Pipeline {
+    network: StagedNetwork,
+    calib: eugene::data::Dataset,
+    test: eugene::data::Dataset,
+}
+
+fn build_pipeline() -> Pipeline {
+    let mut rng = seeded_rng(71);
+    let gen = SyntheticImages::new(
+        SyntheticImagesConfig {
+            num_classes: 6,
+            dim: 16,
+            paired_parity: true,
+            easy_fraction: 0.6,
+            medium_fraction: 0.25,
+            noise: 0.3,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let (train, _) = gen.generate(700, &mut rng);
+    let (calib, _) = gen.generate(400, &mut rng);
+    let (test, _) = gen.generate(500, &mut rng);
+    let arch = StagedNetworkConfig {
+        input_dim: train.dim(),
+        num_classes: train.num_classes(),
+        stage_widths: vec![vec![6], vec![16], vec![32, 32]],
+        dropout: 0.1,
+        input_skip: true,
+    };
+    let mut network = StagedNetwork::new(&arch, &mut seeded_rng(72));
+    Trainer::new(TrainConfig {
+        epochs: 60,
+        learning_rate: 1.5e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut network, &train, &mut seeded_rng(73));
+    Pipeline {
+        network,
+        calib,
+        test,
+    }
+}
+
+#[test]
+fn staged_training_calibration_prediction_and_scheduling_compose() {
+    let mut pipeline = build_pipeline();
+
+    // 1. Depth buys accuracy (the premise of staged scheduling).
+    let evals = evaluate_staged(&pipeline.network, &pipeline.test);
+    assert!(
+        evals[2].accuracy > evals[0].accuracy + 0.03,
+        "stage 3 ({:.3}) should beat stage 1 ({:.3})",
+        evals[2].accuracy,
+        evals[0].accuracy
+    );
+
+    // 2. Calibration drives test-set ECE down without touching accuracy.
+    let ece_of = |net: &StagedNetwork, data: &eugene::data::Dataset| -> f64 {
+        evaluate_staged(net, data)
+            .iter()
+            .map(|e| ece(&e.confidences, &e.correct, 10))
+            .sum::<f64>()
+            / 3.0
+    };
+    let before = ece_of(&pipeline.network, &pipeline.test);
+    let acc_before: Vec<f64> = evals.iter().map(|e| e.accuracy).collect();
+    EntropyCalibrator::default().calibrate(
+        &mut pipeline.network,
+        &pipeline.calib,
+        &mut seeded_rng(74),
+    );
+    let after = ece_of(&pipeline.network, &pipeline.test);
+    let acc_after: Vec<f64> = evaluate_staged(&pipeline.network, &pipeline.test)
+        .iter()
+        .map(|e| e.accuracy)
+        .collect();
+    assert!(after < before, "calibration should reduce test ECE: {before:.3} -> {after:.3}");
+    assert_eq!(acc_before, acc_after, "scale calibration preserves accuracy");
+
+    // 3. GP-compressed confidence curves fit on calibration data predict
+    //    monotone refinement.
+    let calib_evals = evaluate_staged(&pipeline.network, &pipeline.calib);
+    let curves: Vec<Vec<f32>> = (0..pipeline.calib.len())
+        .map(|i| calib_evals.iter().map(|e| e.confidences[i]).collect())
+        .collect();
+    let predictor = PwlCurvePredictor::fit(&curves, 10).expect("fit predictor");
+    use eugene::sched::ConfidencePredictor;
+    let low_gain = predictor.predict(&[0.35], 1) - 0.35;
+    let high_gain = predictor.predict(&[0.95], 1) - 0.95;
+    assert!(
+        low_gain > high_gain,
+        "uncertain tasks must promise larger gains ({low_gain:.3} vs {high_gain:.3})"
+    );
+
+    // 4. Under contention, utility-maximizing scheduling beats FIFO on
+    //    service accuracy using these profiles and predictor.
+    let test_evals = evaluate_staged(&pipeline.network, &pipeline.test);
+    let profiles: Vec<TaskProfile> = (0..pipeline.test.len())
+        .map(|i| {
+            TaskProfile::new(
+                test_evals.iter().map(|e| e.confidences[i]).collect(),
+                test_evals.iter().map(|e| e.correct[i]).collect(),
+            )
+        })
+        .collect();
+    let config = SimConfig {
+        num_workers: 2,
+        concurrency: 12,
+        deadline_quanta: 6,
+        num_classes: pipeline.test.num_classes(),
+    };
+    let accuracy_of = |sched: &mut dyn Scheduler| -> f64 {
+        Simulation::new(config)
+            .run(sched, profiles.clone(), &mut seeded_rng(75))
+            .service_accuracy()
+    };
+    let mut rt = RtDeepIot::new(predictor, 1, 1.0 / 6.0);
+    let mut fifo = Fifo::new();
+    let rt_acc = accuracy_of(&mut rt);
+    let fifo_acc = accuracy_of(&mut fifo);
+    assert!(
+        rt_acc > fifo_acc,
+        "RTDeepIoT ({rt_acc:.3}) should beat FIFO ({fifo_acc:.3}) under contention"
+    );
+}
