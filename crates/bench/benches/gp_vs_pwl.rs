@@ -9,7 +9,10 @@ use std::hint::black_box;
 
 fn fit_gp(n: usize) -> GpRegressor {
     let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
-    let ys: Vec<f64> = xs.iter().map(|x| 0.3 + 0.6 * x - 0.1 * (6.0 * x).sin()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 0.3 + 0.6 * x - 0.1 * (6.0 * x).sin())
+        .collect();
     GpRegressor::fit(&xs, &ys, GpParams::default()).expect("fit")
 }
 

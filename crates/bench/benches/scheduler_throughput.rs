@@ -3,9 +3,7 @@
 //! scheduler adds to the serving loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eugene_sched::{
-    Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, TaskView,
-};
+use eugene_sched::{Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, TaskView};
 use std::hint::black_box;
 
 fn predictor() -> PwlCurvePredictor {

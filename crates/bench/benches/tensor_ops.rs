@@ -25,9 +25,13 @@ fn bench(c: &mut Criterion) {
     for &dim in &[64usize, 256] {
         let a = xavier_uniform(dim, dim, &mut rng);
         let v: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(dim), &(a, v), |bencher, (a, v)| {
-            bencher.iter(|| black_box(a.matvec(black_box(v))));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dim),
+            &(a, v),
+            |bencher, (a, v)| {
+                bencher.iter(|| black_box(a.matvec(black_box(v))));
+            },
+        );
     }
     group.finish();
 }

@@ -192,7 +192,10 @@ fn caching_loop() {
                 "full model params".into(),
                 workload.network.param_count().to_string(),
             ],
-            vec!["device hit rate".into(), format!("{:.1}%", hit_rate * 100.0)],
+            vec![
+                "device hit rate".into(),
+                format!("{:.1}%", hit_rate * 100.0),
+            ],
             vec!["hit accuracy".into(), format!("{:.1}%", hit_acc * 100.0)],
         ],
     );

@@ -81,7 +81,10 @@ fn main() {
         .pop()
         .expect("three stages");
     let after = ReliabilityDiagram::new(&after_eval.confidences, &after_eval.correct, BINS);
-    render("Fig. 2b: reliability diagram WITH entropy-based calibration", &after);
+    render(
+        "Fig. 2b: reliability diagram WITH entropy-based calibration",
+        &after,
+    );
 
     println!(
         "\nShape check: calibration shrinks ECE {:.3} -> {:.3}: {}",

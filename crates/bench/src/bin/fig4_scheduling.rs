@@ -18,8 +18,8 @@
 use eugene_bench::{print_table, write_json, Workload, WorkloadConfig};
 use eugene_nn::evaluate_staged;
 use eugene_sched::{
-    DcPredictor, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig,
-    Simulation, TaskProfile,
+    DcPredictor, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig, Simulation,
+    TaskProfile,
 };
 use eugene_tensor::{seeded_rng, std_dev};
 use rand::seq::SliceRandom;
@@ -73,8 +73,7 @@ fn main() {
             v.push((
                 format!("RTDeepIoT-{k}"),
                 Box::new(move || {
-                    let predictor =
-                        PwlCurvePredictor::fit(&curves, 10).expect("fit predictor");
+                    let predictor = PwlCurvePredictor::fit(&curves, 10).expect("fit predictor");
                     Box::new(RtDeepIot::new(predictor, k, baseline))
                 }),
             ));

@@ -31,7 +31,7 @@ fn train_and_score(pool: &Dataset, eval: &Dataset, seed: u64) -> f64 {
         num_classes: pool.num_classes(),
         stage_widths: vec![vec![48]],
         dropout: 0.0,
-            input_skip: false,
+        input_skip: false,
     };
     let mut net = StagedNetwork::new(&config, &mut seeded_rng(seed));
     Trainer::new(TrainConfig {
@@ -121,7 +121,13 @@ fn main() {
     print_table(
         "Label efficiency: pseudo-labels vs ground truth (final accuracy)",
         &[
-            "labeled", "seed-only", "seed+pseudo", "oracle", "gap recovered", "pseudo acc", "coverage",
+            "labeled",
+            "seed-only",
+            "seed+pseudo",
+            "oracle",
+            "gap recovered",
+            "pseudo acc",
+            "coverage",
         ],
         &rows,
     );

@@ -86,8 +86,8 @@ fn main() {
     let planner = PartitionPlanner::new(stages, input_bytes).expect("stages exist");
 
     let curves = Workload::confidence_curves(&network, &workload.calib);
-    let exits = EarlyExitProfile::from_confidence_curves(&curves, EXIT_THRESHOLD)
-        .expect("curves exist");
+    let exits =
+        EarlyExitProfile::from_confidence_curves(&curves, EXIT_THRESHOLD).expect("curves exist");
     let no_exits = EarlyExitProfile::new(vec![0.0, 0.0, 1.0]).expect("static profile");
     println!(
         "measured early exits at threshold {EXIT_THRESHOLD}: by stage {:?}",

@@ -74,7 +74,14 @@ fn main() {
     print_table(
         "Table I: conv-layer execution time (3x3, stride 1, 224x224)",
         &[
-            "layer", "in", "out", "GFLOPs", "paper ms", "device ms", "profiler ms", "FLOPs-line ms",
+            "layer",
+            "in",
+            "out",
+            "GFLOPs",
+            "paper ms",
+            "device ms",
+            "profiler ms",
+            "FLOPs-line ms",
         ],
         &rows,
     );
@@ -94,7 +101,10 @@ fn main() {
                 format!("piecewise-linear tree ({} regions)", tree.num_leaves()),
                 format!("{:.1}%", tree_mape * 100.0),
             ],
-            vec!["linear in FLOPs".to_string(), format!("{:.1}%", line_mape * 100.0)],
+            vec![
+                "linear in FLOPs".to_string(),
+                format!("{:.1}%", line_mape * 100.0),
+            ],
         ],
     );
     println!(

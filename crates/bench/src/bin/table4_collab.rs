@@ -79,7 +79,12 @@ fn main() {
     ];
     print_table(
         "Table IV: collaborative deep IoT inferencing (8-camera world, 5 trials)",
-        &["approach", "detection accuracy", "recognition latency", "amortized/frame"],
+        &[
+            "approach",
+            "detection accuracy",
+            "recognition latency",
+            "amortized/frame",
+        ],
         &rows,
     );
     println!(
@@ -114,12 +119,7 @@ fn main() {
 }
 
 /// §IV-C: rogue camera attack and reputation-filter defense.
-fn resilience(
-    cameras: &[Camera],
-    model: &DetectorModel,
-    config: &PipelineConfig,
-    honest_acc: f64,
-) {
+fn resilience(cameras: &[Camera], model: &DetectorModel, config: &PipelineConfig, honest_acc: f64) {
     #[derive(Serialize)]
     struct ResilienceRow {
         scenario: String,

@@ -9,7 +9,9 @@
 
 use eugene_calibrate::{EntropyCalibrator, EntropyCalibratorConfig};
 use eugene_data::{Dataset, SyntheticImages, SyntheticImagesConfig};
-use eugene_nn::{evaluate_staged, StageEval, StagedNetwork, StagedNetworkConfig, TrainConfig, Trainer};
+use eugene_nn::{
+    evaluate_staged, StageEval, StagedNetwork, StagedNetworkConfig, TrainConfig, Trainer,
+};
 use eugene_tensor::seeded_rng;
 use serde::Serialize;
 use std::path::PathBuf;

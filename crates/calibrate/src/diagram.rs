@@ -60,10 +60,7 @@ impl ReliabilityDiagram {
         let mut acc_sum = vec![0usize; num_bins];
         let mut conf_sum = vec![0.0f64; num_bins];
         for (&c, &ok) in confidences.iter().zip(correct) {
-            assert!(
-                (0.0..=1.0).contains(&c),
-                "confidence {c} outside [0, 1]"
-            );
+            assert!((0.0..=1.0).contains(&c), "confidence {c} outside [0, 1]");
             // Bin m covers ((m-1)/M, m/M]: ceil(c * M) - 1, clamped.
             let idx = if c <= 0.0 {
                 0
@@ -170,8 +167,7 @@ pub fn overall_gap(confidences: &[f32], correct: &[bool]) -> f64 {
     if confidences.is_empty() {
         return 0.0;
     }
-    let mean_conf =
-        confidences.iter().map(|&c| c as f64).sum::<f64>() / confidences.len() as f64;
+    let mean_conf = confidences.iter().map(|&c| c as f64).sum::<f64>() / confidences.len() as f64;
     let acc = correct.iter().filter(|&&c| c).count() as f64 / correct.len() as f64;
     mean_conf - acc
 }

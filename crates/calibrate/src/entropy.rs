@@ -148,8 +148,7 @@ impl EntropyCalibrator {
             "calibration split needs at least four samples"
         );
         let per_stage_before = self.per_stage_ece(network, calibration);
-        let ece_before =
-            per_stage_before.iter().sum::<f64>() / per_stage_before.len() as f64;
+        let ece_before = per_stage_before.iter().sum::<f64>() / per_stage_before.len() as f64;
 
         // Trunk activations are constant while only heads change.
         let acts = network.stage_activations(calibration.features());
@@ -228,12 +227,8 @@ impl EntropyCalibrator {
             // Inner optimization of the scale under Eq. 4.
             for _ in 0..self.config.inner_steps {
                 let logits = scaled(&base_fit, scale);
-                let out = weighted_entropy_regularized(
-                    &logits,
-                    fit_labels,
-                    self.config.ce_weight,
-                    alpha,
-                );
+                let out =
+                    weighted_entropy_regularized(&logits, fit_labels, self.config.ce_weight, alpha);
                 // dL/ds = sum_ij dL/dz_ij * z0_ij (out.grad is already
                 // normalized by the batch size).
                 let mut dlds = 0.0f32;
@@ -309,7 +304,10 @@ mod tests {
         );
         let evals = evaluate_staged(&net, &calib);
         let gap = overall_gap(&evals[1].confidences, &evals[1].correct);
-        assert!(gap > 0.0, "overfit network should be overconfident (gap {gap})");
+        assert!(
+            gap > 0.0,
+            "overfit network should be overconfident (gap {gap})"
+        );
 
         let outcome = calibrator.calibrate(&mut net, &calib, &mut seeded_rng(45));
         assert!(

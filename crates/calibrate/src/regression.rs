@@ -94,10 +94,8 @@ impl MeanVarianceEstimator {
                     let err = mean - y;
                     // d(MSE)/dm = 2 err; d(NLL)/dm = err / var;
                     // d(NLL)/d(log var) = 0.5 (1 - err^2 / var).
-                    let d_mean =
-                        mse_weight * 2.0 * err + (1.0 - mse_weight) * err * inv_var;
-                    let d_log_var =
-                        (1.0 - mse_weight) * 0.5 * (1.0 - err * err * inv_var);
+                    let d_mean = mse_weight * 2.0 * err + (1.0 - mse_weight) * err * inv_var;
+                    let d_log_var = (1.0 - mse_weight) * 0.5 * (1.0 - err * err * inv_var);
                     grad[(i, 0)] = d_mean * scale;
                     grad[(i, 1)] = d_log_var * scale;
                 }
@@ -268,7 +266,10 @@ mod tests {
             "tuned coverage {tuned} should approach {nominal} at least as well as \
              NLL-only {pure_nll} and MSE-heavy {mse_heavy}"
         );
-        assert!(miss(tuned) < 0.1, "tuned coverage {tuned} too far from nominal");
+        assert!(
+            miss(tuned) < 0.1,
+            "tuned coverage {tuned} too far from nominal"
+        );
     }
 
     #[test]

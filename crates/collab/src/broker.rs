@@ -79,7 +79,10 @@ impl SightingBroker {
     ///
     /// Panics if `camera` is out of range.
     pub fn record_frame(&mut self, camera: usize, ids: impl IntoIterator<Item = usize>) {
-        assert!(camera < self.sightings.len(), "camera {camera} out of range");
+        assert!(
+            camera < self.sightings.len(),
+            "camera {camera} out of range"
+        );
         self.sightings[camera].push(ids.into_iter().collect());
     }
 
@@ -226,7 +229,11 @@ mod tests {
             let person = frame / 5 % 7; // slowly changing occupant
             broker.record_frame(0, [person]);
             // Camera 1's stream: same ids delayed by `lag` frames.
-            let delayed = if frame >= lag { (frame - lag) / 5 % 7 } else { 99 };
+            let delayed = if frame >= lag {
+                (frame - lag) / 5 % 7
+            } else {
+                99
+            };
             broker.record_frame(1, [delayed]);
         }
         let links = broker.discover(5, 0.6);

@@ -171,7 +171,12 @@ mod tests {
     fn setup() -> (World, Vec<Camera>, DetectorModel, StdRng) {
         let world = World::new(WorldConfig::default(), 10);
         let cameras = Camera::ring(8, world.config().arena_side);
-        (world, cameras, DetectorModel::default(), StdRng::seed_from_u64(11))
+        (
+            world,
+            cameras,
+            DetectorModel::default(),
+            StdRng::seed_from_u64(11),
+        )
     }
 
     #[test]
@@ -186,7 +191,9 @@ mod tests {
     #[test]
     fn adjacent_ring_cameras_overlap() {
         let (_, cameras, _, _) = setup();
-        assert!(cameras[0].fov.overlaps(&cameras[1].fov) || cameras[0].fov.overlaps(&cameras[4].fov));
+        assert!(
+            cameras[0].fov.overlaps(&cameras[1].fov) || cameras[0].fov.overlaps(&cameras[4].fov)
+        );
     }
 
     #[test]

@@ -28,16 +28,6 @@ impl Vec2 {
         (self.x * self.x + self.y * self.y).sqrt()
     }
 
-    /// Component-wise subtraction.
-    pub fn sub(self, other: Vec2) -> Vec2 {
-        Vec2::new(self.x - other.x, self.y - other.y)
-    }
-
-    /// Component-wise addition.
-    pub fn add(self, other: Vec2) -> Vec2 {
-        Vec2::new(self.x + other.x, self.y + other.y)
-    }
-
     /// Scalar multiplication.
     pub fn scale(self, s: f64) -> Vec2 {
         Vec2::new(self.x * s, self.y * s)
@@ -51,6 +41,22 @@ impl Vec2 {
     /// Angle of the vector from the +x axis, in radians.
     pub fn angle(self) -> f64 {
         self.y.atan2(self.x)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+
+    fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+
+    fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
     }
 }
 
@@ -90,7 +96,7 @@ impl FieldOfView {
 
     /// Whether `point` lies inside the cone.
     pub fn contains(&self, point: Vec2) -> bool {
-        let rel = point.sub(self.origin);
+        let rel = point - self.origin;
         let dist = rel.norm();
         if dist > self.range || dist == 0.0 {
             return dist == 0.0;
@@ -107,7 +113,7 @@ impl FieldOfView {
     /// between camera and target within `blocker_radius` of the sight
     /// line).
     pub fn occluded(&self, target: Vec2, blockers: &[Vec2], blocker_radius: f64) -> bool {
-        let to_target = target.sub(self.origin);
+        let to_target = target - self.origin;
         let len = to_target.norm();
         if len == 0.0 {
             return false;
@@ -116,13 +122,13 @@ impl FieldOfView {
             if b == target {
                 continue;
             }
-            let to_b = b.sub(self.origin);
+            let to_b = b - self.origin;
             // Projection of the blocker onto the sight line.
             let t = to_b.dot(to_target) / (len * len);
             if t <= 0.0 || t >= 1.0 {
                 continue; // behind camera or beyond target
             }
-            let closest = self.origin.add(to_target.scale(t));
+            let closest = self.origin + to_target.scale(t);
             if b.distance(closest) <= blocker_radius {
                 return true;
             }
@@ -134,12 +140,10 @@ impl FieldOfView {
     /// midpoints of each cone's axis fall inside the other cone (cheap and
     /// good enough for deciding collaboration candidates).
     pub fn overlaps(&self, other: &FieldOfView) -> bool {
-        let mid_self = self.origin.add(
-            Vec2::new(self.direction.cos(), self.direction.sin()).scale(self.range / 2.0),
-        );
-        let mid_other = other.origin.add(
-            Vec2::new(other.direction.cos(), other.direction.sin()).scale(other.range / 2.0),
-        );
+        let mid_self = self.origin
+            + Vec2::new(self.direction.cos(), self.direction.sin()).scale(self.range / 2.0);
+        let mid_other = other.origin
+            + Vec2::new(other.direction.cos(), other.direction.sin()).scale(other.range / 2.0);
         self.contains(mid_other) || other.contains(mid_self)
     }
 }
@@ -154,7 +158,7 @@ mod tests {
         let a = Vec2::new(3.0, 4.0);
         assert_eq!(a.norm(), 5.0);
         assert_eq!(a.distance(Vec2::default()), 5.0);
-        assert_eq!(a.sub(Vec2::new(1.0, 1.0)), Vec2::new(2.0, 3.0));
+        assert_eq!(a - Vec2::new(1.0, 1.0), Vec2::new(2.0, 3.0));
         assert_eq!(a.scale(2.0), Vec2::new(6.0, 8.0));
         assert!((Vec2::new(0.0, 1.0).angle() - FRAC_PI_2).abs() < 1e-12);
     }
@@ -181,9 +185,18 @@ mod tests {
         let fov = FieldOfView::new(Vec2::default(), 0.0, FRAC_PI_4, 20.0);
         let target = Vec2::new(10.0, 0.0);
         assert!(fov.occluded(target, &[Vec2::new(5.0, 0.1)], 0.4));
-        assert!(!fov.occluded(target, &[Vec2::new(5.0, 2.0)], 0.4), "offset blocker");
-        assert!(!fov.occluded(target, &[Vec2::new(15.0, 0.0)], 0.4), "behind target");
-        assert!(!fov.occluded(target, &[target], 0.4), "target is not its own blocker");
+        assert!(
+            !fov.occluded(target, &[Vec2::new(5.0, 2.0)], 0.4),
+            "offset blocker"
+        );
+        assert!(
+            !fov.occluded(target, &[Vec2::new(15.0, 0.0)], 0.4),
+            "behind target"
+        );
+        assert!(
+            !fov.occluded(target, &[target], 0.4),
+            "target is not its own blocker"
+        );
     }
 
     #[test]

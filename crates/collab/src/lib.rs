@@ -31,10 +31,10 @@
 //! assert!(before.distance(after) > 0.0);
 //! ```
 
-pub mod geometry;
 mod broker;
 mod camera;
 mod detector;
+pub mod geometry;
 mod pipeline;
 mod resilience;
 mod world;

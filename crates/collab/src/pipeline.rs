@@ -108,7 +108,8 @@ pub fn run_collaborative(
         let mut shared_next: Vec<Detection> = Vec::new();
         for (ci, cam) in cameras.iter().enumerate() {
             let keyframe = config.keyframe_interval <= 1
-                || (frame + ci * config.keyframe_interval / n.max(1)).is_multiple_of(config.keyframe_interval);
+                || (frame + ci * config.keyframe_interval / n.max(1))
+                    .is_multiple_of(config.keyframe_interval);
             let detections = if keyframe {
                 latency_total += model.full_latency_ms;
                 cam.detect(world, model, &mut rng)

@@ -117,7 +117,8 @@ pub fn run_with_rogue(
         let mut shared_next: Vec<Detection> = Vec::new();
         for (ci, cam) in cameras.iter().enumerate() {
             let keyframe = config.keyframe_interval <= 1
-                || (frame + ci * config.keyframe_interval / n.max(1)).is_multiple_of(config.keyframe_interval);
+                || (frame + ci * config.keyframe_interval / n.max(1))
+                    .is_multiple_of(config.keyframe_interval);
             let detections = if keyframe {
                 latency_total += model.full_latency_ms;
                 cam.detect(world, model, &mut rng)
@@ -141,7 +142,8 @@ pub fn run_with_rogue(
                         continue;
                     }
                     used.push(pos);
-                    let verified = cam.verify_shared_box(world, pos, config.gate_m, model, &mut rng);
+                    let verified =
+                        cam.verify_shared_box(world, pos, config.gate_m, model, &mut rng);
                     if let Some(peer) = origin {
                         // Only score attempts the camera could actually
                         // check (inside its own FoV).
@@ -259,7 +261,14 @@ mod tests {
         let (mut w1, cameras, model) = setup(500);
         let honest = run_collaborative(&mut w1, &cameras, &model, &config, 5);
         let (mut w2, _, _) = setup(500);
-        let attacked = run_with_rogue(&mut w2, &cameras, &model, &config, &RogueConfig::default(), 5);
+        let attacked = run_with_rogue(
+            &mut w2,
+            &cameras,
+            &model,
+            &config,
+            &RogueConfig::default(),
+            5,
+        );
         let (mut w3, _, _) = setup(500);
         let defended = run_with_rogue(
             &mut w3,

@@ -121,7 +121,7 @@ impl World {
         for p in &mut self.pedestrians {
             let mut remaining = p.speed * dt;
             while remaining > 0.0 {
-                let to_wp = p.waypoint.sub(p.position);
+                let to_wp = p.waypoint - p.position;
                 let dist = to_wp.norm();
                 if dist <= remaining {
                     p.position = p.waypoint;
@@ -129,7 +129,7 @@ impl World {
                     p.waypoint = random_point(&config, &mut self.rng);
                     p.speed = self.rng.gen_range(config.min_speed..=config.max_speed);
                 } else {
-                    p.position = p.position.add(to_wp.scale(remaining / dist));
+                    p.position = p.position + to_wp.scale(remaining / dist);
                     remaining = 0.0;
                 }
             }

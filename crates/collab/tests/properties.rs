@@ -13,9 +13,7 @@ fn fov_strategy() -> impl Strategy<Value = FieldOfView> {
         0.1f64..1.4,
         1.0f64..40.0,
     )
-        .prop_map(|(x, y, dir, half, range)| {
-            FieldOfView::new(Vec2::new(x, y), dir, half, range)
-        })
+        .prop_map(|(x, y, dir, half, range)| FieldOfView::new(Vec2::new(x, y), dir, half, range))
 }
 
 proptest! {
@@ -24,14 +22,14 @@ proptest! {
     #[test]
     fn points_along_the_axis_are_inside(fov in fov_strategy(), t in 0.01f64..0.99) {
         let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
-        let p = fov.origin.add(axis.scale(fov.range * t));
+        let p = fov.origin + axis.scale(fov.range * t);
         prop_assert!(fov.contains(p));
     }
 
     #[test]
     fn points_beyond_range_are_outside(fov in fov_strategy(), extra in 1.01f64..4.0) {
         let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
-        let p = fov.origin.add(axis.scale(fov.range * extra));
+        let p = fov.origin + axis.scale(fov.range * extra);
         prop_assert!(!fov.contains(p));
     }
 
@@ -39,7 +37,7 @@ proptest! {
     fn points_behind_the_camera_are_outside(fov in fov_strategy(), t in 0.1f64..5.0) {
         prop_assume!(fov.half_angle < std::f64::consts::FRAC_PI_2);
         let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
-        let p = fov.origin.add(axis.scale(-t));
+        let p = fov.origin + axis.scale(-t);
         prop_assert!(!fov.contains(p));
     }
 
@@ -49,14 +47,14 @@ proptest! {
         lateral in 2.0f64..10.0,
     ) {
         let axis = Vec2::new(fov.direction.cos(), fov.direction.sin());
-        let target = fov.origin.add(axis.scale(fov.range * 0.8));
+        let target = fov.origin + axis.scale(fov.range * 0.8);
         // A blocker displaced laterally by more than the radius never
         // occludes.
         let normal = Vec2::new(-axis.y, axis.x);
-        let blocker = fov.origin.add(axis.scale(fov.range * 0.4)).add(normal.scale(lateral));
+        let blocker = fov.origin + axis.scale(fov.range * 0.4) + normal.scale(lateral);
         prop_assert!(!fov.occluded(target, &[blocker], 1.0));
         // A blocker on the line always occludes.
-        let on_line = fov.origin.add(axis.scale(fov.range * 0.4));
+        let on_line = fov.origin + axis.scale(fov.range * 0.4);
         prop_assert!(fov.occluded(target, &[on_line], 1.0));
     }
 

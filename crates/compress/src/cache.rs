@@ -70,7 +70,10 @@ impl CachedModel {
         config: &CachedModelConfig,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(!frequent_classes.is_empty(), "need at least one cached class");
+        assert!(
+            !frequent_classes.is_empty(),
+            "need at least one cached class"
+        );
         assert!(!data.is_empty(), "need training data");
         let mut seen = vec![false; data.num_classes()];
         for &c in frequent_classes {
@@ -341,7 +344,10 @@ pub fn skewed_stream(
             rng.gen_range(0..base.num_classes())
         };
         let pool = &by_class[class];
-        assert!(!pool.is_empty(), "base dataset lacks samples of class {class}");
+        assert!(
+            !pool.is_empty(),
+            "base dataset lacks samples of class {class}"
+        );
         let pick = pool[rng.gen_range(0..pool.len())];
         features.row_mut(i).copy_from_slice(base.sample(pick));
         labels.push(class);

@@ -40,7 +40,10 @@ mod node_prune;
 mod sparse;
 mod tracker;
 
-pub use cache::{evaluate_cache, skewed_stream, CacheDecision, CachedModel, CachedModelConfig, ModelCache, ModelCacheStats};
+pub use cache::{
+    evaluate_cache, skewed_stream, CacheDecision, CachedModel, CachedModelConfig, ModelCache,
+    ModelCacheStats,
+};
 pub use edge_prune::{prune_edges, EdgePruned};
 pub use node_prune::prune_nodes;
 pub use sparse::CsrMatrix;

@@ -45,9 +45,7 @@ pub fn prune_nodes(network: &StagedNetwork, keep_fraction: f64) -> StagedNetwork
             let mut rows: Vec<usize> = kept
                 .clone()
                 .unwrap_or_else(|| (0..prev_original_width).collect());
-            rows.extend(
-                prev_original_width..prev_original_width + network.input_dim(),
-            );
+            rows.extend(prev_original_width..prev_original_width + network.input_dim());
             Some(rows)
         } else {
             kept.clone()
@@ -108,7 +106,12 @@ fn select_columns(layer: &Linear, keep_fraction: f64) -> Vec<usize> {
 fn slice_cols(layer: &Linear, cols: &[usize]) -> Linear {
     Linear::from_parts(
         layer.weights().select_cols(cols),
-        Matrix::row_vector(&cols.iter().map(|&c| layer.bias()[(0, c)]).collect::<Vec<f32>>()),
+        Matrix::row_vector(
+            &cols
+                .iter()
+                .map(|&c| layer.bias()[(0, c)])
+                .collect::<Vec<f32>>(),
+        ),
     )
 }
 

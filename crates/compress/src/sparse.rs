@@ -87,12 +87,12 @@ impl CsrMatrix {
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols, "vector length must equal column count");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out_r) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for i in self.row_offsets[r]..self.row_offsets[r + 1] {
                 acc += self.values[i] * v[self.col_indices[i]];
             }
-            out[r] = acc;
+            *out_r = acc;
         }
         out
     }
@@ -106,8 +106,7 @@ impl CsrMatrix {
     pub fn vecmat(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.rows, "vector length must equal row count");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let x = v[r];
+        for (r, &x) in v.iter().enumerate() {
             if x == 0.0 {
                 continue;
             }

@@ -52,11 +52,16 @@ impl InferenceEngine for StagedNetworkEngine {
     }
 
     fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession> {
+        // Payloads arrive from untrusted network clients; a width mismatch
+        // must yield an empty session (zero stages, no prediction) rather
+        // than reach a panicking matmul inside a worker.
+        let valid = payload.len() == self.network.input_dim();
         Box::new(NetworkSession {
             network: Arc::clone(&self.network),
             input: Matrix::row_vector(payload),
             hidden: Matrix::row_vector(payload),
             done: 0,
+            valid,
         })
     }
 }
@@ -69,11 +74,12 @@ struct NetworkSession {
     input: Matrix,
     hidden: Matrix,
     done: usize,
+    valid: bool,
 }
 
 impl EngineSession for NetworkSession {
     fn next_stage(&mut self) -> Option<StageReport> {
-        if self.done >= self.network.num_stages() {
+        if !self.valid || self.done >= self.network.num_stages() {
             return None;
         }
         use eugene_nn::Layer;
@@ -151,6 +157,18 @@ mod tests {
     }
 
     #[test]
+    fn wrong_width_payload_yields_an_empty_session() {
+        // Network clients control the payload; a mismatched width must not
+        // panic a worker — it produces a session that executes no stages.
+        let engine = engine();
+        for payload in [&[][..], &[0.1][..], &[0.0; 9][..]] {
+            let mut session = engine.begin(payload);
+            assert!(session.next_stage().is_none());
+            assert_eq!(session.stages_done(), 0);
+        }
+    }
+
+    #[test]
     fn session_matches_classification_with_input_skip() {
         // Regression test: the session must mirror the trunk's shortcut
         // wiring, or stage 2's matmul sees the wrong width.
@@ -161,10 +179,8 @@ mod tests {
             dropout: 0.0,
             input_skip: true,
         };
-        let engine = StagedNetworkEngine::new(Arc::new(StagedNetwork::new(
-            &config,
-            &mut seeded_rng(7),
-        )));
+        let engine =
+            StagedNetworkEngine::new(Arc::new(StagedNetwork::new(&config, &mut seeded_rng(7))));
         let sample = [0.2, -0.4, 0.6, 0.1, 0.9];
         let direct = engine.network().classify(&sample);
         let mut session = engine.begin(&sample);

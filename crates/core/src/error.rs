@@ -25,6 +25,12 @@ pub enum EugeneError {
         /// What was wrong.
         reason: String,
     },
+    /// The network gateway could not be started (e.g. the bind address
+    /// was unavailable).
+    Network {
+        /// The underlying I/O failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EugeneError {
@@ -38,6 +44,9 @@ impl fmt::Display for EugeneError {
             EugeneError::ConfidenceFit(e) => write!(f, "confidence-curve fit failed: {e}"),
             EugeneError::MalformedSnapshot { reason } => {
                 write!(f, "malformed model snapshot: {reason}")
+            }
+            EugeneError::Network { reason } => {
+                write!(f, "gateway network failure: {reason}")
             }
         }
     }
@@ -64,7 +73,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(EugeneError::UnknownModel { id: 3 }.to_string().contains('3'));
+        assert!(EugeneError::UnknownModel { id: 3 }
+            .to_string()
+            .contains('3'));
         let mismatch = EugeneError::DimensionMismatch {
             expected: 32,
             actual: 16,
@@ -75,8 +86,7 @@ mod tests {
 
     #[test]
     fn gp_errors_convert_and_chain() {
-        let err: EugeneError =
-            eugene_gp::GpError::InvalidTrainingSet { xs: 0, ys: 0 }.into();
+        let err: EugeneError = eugene_gp::GpError::InvalidTrainingSet { xs: 0, ys: 0 }.into();
         assert!(err.source().is_some());
     }
 

@@ -1,15 +1,20 @@
 use crate::{EugeneError, StagedNetworkEngine};
-use eugene_calibrate::{CalibrationOutcome, EntropyCalibrator, MeanVarianceConfig, MeanVarianceEstimator};
+use eugene_calibrate::{
+    CalibrationOutcome, EntropyCalibrator, MeanVarianceConfig, MeanVarianceEstimator,
+};
 use eugene_compress::{prune_nodes, CachedModel, CachedModelConfig};
 use eugene_data::Dataset;
 use eugene_label::{LabelingOutcome, SemiSupervisedLabeler};
+use eugene_net::{Gateway, GatewayConfig};
 use eugene_nn::{
-    evaluate_staged, NetworkSnapshot, StageEval, StageOutput, StagedNetwork,
-    StagedNetworkConfig, TrainConfig, Trainer,
+    evaluate_staged, NetworkSnapshot, StageEval, StageOutput, StagedNetwork, StagedNetworkConfig,
+    TrainConfig, Trainer,
 };
 use eugene_partition::{EarlyExitProfile, LinkModel, PartitionPlan, PartitionPlanner, StageCost};
 use eugene_profiler::{ConvSpec, DeviceModel};
-use eugene_sched::{DcPredictor, DeadlineAware, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler};
+use eugene_sched::{
+    DcPredictor, DeadlineAware, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler,
+};
 use eugene_serve::{RuntimeConfig, ServingRuntime};
 use eugene_tensor::{seeded_rng, Matrix};
 use rand::rngs::StdRng;
@@ -201,8 +206,10 @@ impl Eugene {
     /// Returns [`EugeneError::MalformedSnapshot`] if the snapshot is
     /// structurally invalid.
     pub fn import_model(&mut self, snapshot: &NetworkSnapshot) -> Result<ModelId, EugeneError> {
-        let network = StagedNetwork::from_snapshot(snapshot)
-            .map_err(|e| EugeneError::MalformedSnapshot { reason: e.to_string() })?;
+        let network =
+            StagedNetwork::from_snapshot(snapshot).map_err(|e| EugeneError::MalformedSnapshot {
+                reason: e.to_string(),
+            })?;
         Ok(self.register(network))
     }
 
@@ -263,8 +270,7 @@ impl Eugene {
         }
         let network = self.network(id)?;
         let mut copy = (**network).clone();
-        let outcome =
-            EntropyCalibrator::default().calibrate(&mut copy, calibration, &mut self.rng);
+        let outcome = EntropyCalibrator::default().calibrate(&mut copy, calibration, &mut self.rng);
         self.models.insert(
             match id {
                 ModelId(raw) => raw,
@@ -530,6 +536,28 @@ impl Eugene {
             },
         ))
     }
+
+    /// *Deep intelligence as a service*, literally: starts a serving
+    /// runtime (as [`Eugene::serve`]) and exposes it over TCP behind a
+    /// [`Gateway`] with admission control. Remote clients talk to it with
+    /// [`eugene_net::EugeneClient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns façade errors for bad ids/data, or
+    /// [`EugeneError::Network`] if the gateway cannot bind its address.
+    pub fn serve_gateway(
+        &self,
+        id: ModelId,
+        options: &ServeOptions,
+        predictor_data: Option<&Dataset>,
+        gateway: GatewayConfig,
+    ) -> Result<Gateway, EugeneError> {
+        let runtime = self.serve(id, options, predictor_data)?;
+        Gateway::start(runtime, gateway).map_err(|e| EugeneError::Network {
+            reason: e.to_string(),
+        })
+    }
 }
 
 impl std::fmt::Debug for Eugene {
@@ -649,6 +677,35 @@ mod tests {
         assert_eq!(response.stages_executed, 3);
         assert!(response.is_answered());
         runtime.shutdown();
+    }
+
+    #[test]
+    fn serve_gateway_round_trip_over_loopback() {
+        let data = dataset(25, 300);
+        let mut eugene = Eugene::new(26);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let gateway = eugene
+            .serve_gateway(
+                id,
+                &ServeOptions {
+                    scheduler: SchedulerKind::Fifo,
+                    ..ServeOptions::default()
+                },
+                None,
+                eugene_net::GatewayConfig::default(),
+            )
+            .unwrap();
+        let mut client = eugene_net::EugeneClient::new(
+            gateway.local_addr(),
+            eugene_net::ClientConfig::default(),
+        )
+        .unwrap();
+        let outcome = client
+            .infer("test", data.sample(0), Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(outcome.stages_executed, 3);
+        assert!(outcome.predicted.is_some());
+        gateway.shutdown();
     }
 
     #[test]

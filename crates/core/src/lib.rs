@@ -18,6 +18,7 @@
 //! | Result quality (calibration) | [`Eugene::calibrate`] |
 //! | Confidence-curve fitting | [`Eugene::fit_confidence_predictor`] |
 //! | Run-time inference | [`Eugene::serve`] |
+//! | Networked service gateway | [`Eugene::serve_gateway`] |
 //!
 //! # Examples
 //!

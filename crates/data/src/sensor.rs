@@ -72,7 +72,7 @@ impl SensorSeries {
                         // classes are separable but overlapping bands keep the
                         // task non-trivial.
                         let base = 0.5 + c as f32 * 0.45;
-                        let freq = base + rng.gen_range(-0.1..0.1);
+                        let freq = base + rng.gen_range(-0.1f32..0.1);
                         let phase = rng.gen_range(0.0..std::f32::consts::TAU);
                         let amp = rng.gen_range(0.8..1.2);
                         (freq, phase, amp)
@@ -94,7 +94,10 @@ impl SensorSeries {
     ///
     /// Panics if `class >= num_classes`.
     pub fn window(&self, class: usize, rng: &mut impl Rng) -> Vec<f32> {
-        assert!(class < self.config.num_classes, "class {class} out of range");
+        assert!(
+            class < self.config.num_classes,
+            "class {class} out of range"
+        );
         let mut out = Vec::with_capacity(self.config.num_sensors * self.config.window);
         let jitter: f32 = rng.gen_range(-0.2..0.2);
         for s in 0..self.config.num_sensors {

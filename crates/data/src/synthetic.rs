@@ -198,7 +198,10 @@ impl SyntheticImages {
 
     /// Generates one sample of class `class` at the given difficulty.
     pub fn sample(&self, class: usize, difficulty: Difficulty, rng: &mut impl Rng) -> Vec<f32> {
-        assert!(class < self.config.num_classes, "class {class} out of range");
+        assert!(
+            class < self.config.num_classes,
+            "class {class} out of range"
+        );
         let (blend, noise_scale) = match difficulty {
             Difficulty::Easy => (0.0, 1.0),
             Difficulty::Medium => (0.25, 1.6),
@@ -329,8 +332,10 @@ mod tests {
         for _ in 0..trials {
             let e = gen.sample(class, Difficulty::Easy, &mut rng);
             let h = gen.sample(class, Difficulty::Hard, &mut rng);
-            easy_margin += dist(&e, gen.prototypes().row(confuser)) - dist(&e, gen.prototypes().row(class));
-            hard_margin += dist(&h, gen.prototypes().row(confuser)) - dist(&h, gen.prototypes().row(class));
+            easy_margin +=
+                dist(&e, gen.prototypes().row(confuser)) - dist(&e, gen.prototypes().row(class));
+            hard_margin +=
+                dist(&h, gen.prototypes().row(confuser)) - dist(&h, gen.prototypes().row(class));
         }
         // Margin to the true class should shrink for hard samples.
         assert!(

@@ -165,7 +165,9 @@ mod tests {
         let mut b = vec![0.0; n * n];
         let mut state = 12345u64;
         for v in &mut b {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
         }
         let mut a = vec![0.0; n * n];

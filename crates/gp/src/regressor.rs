@@ -165,8 +165,8 @@ impl GpRegressor {
         let mut v = vec![0.0; n];
         for i in 0..n {
             let mut sum = k_star[i];
-            for k in 0..i {
-                sum -= self.chol[i * n + k] * v[k];
+            for (k, vk) in v.iter().enumerate().take(i) {
+                sum -= self.chol[i * n + k] * vk;
             }
             v[i] = sum / self.chol[i * n + i];
         }

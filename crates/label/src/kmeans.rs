@@ -61,10 +61,10 @@ impl KMeans {
                 chosen
             };
             centroids.row_mut(c).copy_from_slice(points.row(pick));
-            for i in 0..n {
+            for (i, md) in min_dist.iter_mut().enumerate() {
                 let d2 = dist_sq(points.row(i), centroids.row(c));
-                if d2 < min_dist[i] {
-                    min_dist[i] = d2;
+                if d2 < *md {
+                    *md = d2;
                 }
             }
         }
@@ -72,7 +72,7 @@ impl KMeans {
         let mut assignment = vec![0usize; n];
         for _ in 0..config.max_iters {
             let mut changed = false;
-            for i in 0..n {
+            for (i, slot) in assignment.iter_mut().enumerate() {
                 let mut best = 0;
                 let mut best_d = f64::INFINITY;
                 for c in 0..config.k {
@@ -82,25 +82,24 @@ impl KMeans {
                         best = c;
                     }
                 }
-                if assignment[i] != best {
-                    assignment[i] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
             // Recompute centroids; empty clusters keep their position.
             let mut sums = Matrix::zeros(config.k, d);
             let mut counts = vec![0usize; config.k];
-            for i in 0..n {
-                let c = assignment[i];
+            for (i, &c) in assignment.iter().enumerate() {
                 counts[c] += 1;
                 let row = sums.row_mut(c);
                 for (acc, v) in row.iter_mut().zip(points.row(i)) {
                     *acc += v;
                 }
             }
-            for c in 0..config.k {
-                if counts[c] > 0 {
-                    let inv = 1.0 / counts[c] as f32;
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f32;
                     let sum_row: Vec<f32> = sums.row(c).iter().map(|v| v * inv).collect();
                     centroids.row_mut(c).copy_from_slice(&sum_row);
                 }
@@ -155,7 +154,9 @@ impl KMeans {
 
     /// Assigns every row of `points`.
     pub fn assign_all(&self, points: &Matrix) -> Vec<usize> {
-        (0..points.rows()).map(|i| self.assign(points.row(i))).collect()
+        (0..points.rows())
+            .map(|i| self.assign(points.row(i)))
+            .collect()
     }
 }
 
@@ -190,7 +191,14 @@ mod tests {
     #[test]
     fn separates_well_spaced_blobs() {
         let points = blobs(40, &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)], 1);
-        let km = KMeans::fit(&points, KMeansConfig { k: 3, max_iters: 50 }, &mut seeded_rng(2));
+        let km = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 3,
+                max_iters: 50,
+            },
+            &mut seeded_rng(2),
+        );
         let assignments = km.assign_all(&points);
         // Each blob should be internally consistent.
         for b in 0..3 {
@@ -204,15 +212,36 @@ mod tests {
     #[test]
     fn more_clusters_never_increase_inertia() {
         let points = blobs(30, &[(0.0, 0.0), (5.0, 5.0)], 3);
-        let km2 = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 50 }, &mut seeded_rng(4));
-        let km4 = KMeans::fit(&points, KMeansConfig { k: 4, max_iters: 50 }, &mut seeded_rng(4));
+        let km2 = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 2,
+                max_iters: 50,
+            },
+            &mut seeded_rng(4),
+        );
+        let km4 = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 4,
+                max_iters: 50,
+            },
+            &mut seeded_rng(4),
+        );
         assert!(km4.inertia() <= km2.inertia() + 1e-6);
     }
 
     #[test]
     fn assign_is_nearest_centroid() {
         let points = blobs(20, &[(0.0, 0.0), (8.0, 0.0)], 5);
-        let km = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 50 }, &mut seeded_rng(6));
+        let km = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 2,
+                max_iters: 50,
+            },
+            &mut seeded_rng(6),
+        );
         let near_first = km.assign(&[0.1, 0.1]);
         let near_second = km.assign(&[7.9, 0.0]);
         assert_ne!(near_first, near_second);
@@ -221,8 +250,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let points = blobs(25, &[(0.0, 0.0), (4.0, 4.0)], 7);
-        let a = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 30 }, &mut seeded_rng(8));
-        let b = KMeans::fit(&points, KMeansConfig { k: 2, max_iters: 30 }, &mut seeded_rng(8));
+        let a = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 2,
+                max_iters: 30,
+            },
+            &mut seeded_rng(8),
+        );
+        let b = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 2,
+                max_iters: 30,
+            },
+            &mut seeded_rng(8),
+        );
         assert_eq!(a, b);
     }
 
@@ -230,6 +273,10 @@ mod tests {
     #[should_panic(expected = "at least k points")]
     fn too_few_points_rejected() {
         let points = Matrix::zeros(2, 2);
-        KMeans::fit(&points, KMeansConfig { k: 3, max_iters: 5 }, &mut seeded_rng(9));
+        KMeans::fit(
+            &points,
+            KMeansConfig { k: 3, max_iters: 5 },
+            &mut seeded_rng(9),
+        );
     }
 }

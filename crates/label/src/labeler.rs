@@ -84,7 +84,10 @@ impl SemiSupervisedLabeler {
     /// Panics if `rounds == 0` or `clusters_per_class == 0`.
     pub fn new(config: SemiSupervisedLabelerConfig) -> Self {
         assert!(config.rounds > 0, "need at least one round");
-        assert!(config.clusters_per_class > 0, "need at least one cluster per class");
+        assert!(
+            config.clusters_per_class > 0,
+            "need at least one cluster per class"
+        );
         Self { config }
     }
 
@@ -117,13 +120,15 @@ impl SemiSupervisedLabeler {
             all.row_mut(i).copy_from_slice(labeled.sample(i));
         }
         for i in 0..n_unlabeled {
-            all.row_mut(labeled.len() + i).copy_from_slice(unlabeled.row(i));
+            all.row_mut(labeled.len() + i)
+                .copy_from_slice(unlabeled.row(i));
         }
         let k = (num_classes * self.config.clusters_per_class).min(all.rows());
         let km = KMeans::fit(&all, KMeansConfig { k, max_iters: 50 }, rng);
         let cluster_majority = majority_by_cluster(&km, labeled, num_classes);
-        let unlabeled_clusters: Vec<usize> =
-            (0..n_unlabeled).map(|i| km.assign(unlabeled.row(i))).collect();
+        let unlabeled_clusters: Vec<usize> = (0..n_unlabeled)
+            .map(|i| km.assign(unlabeled.row(i)))
+            .collect();
 
         // Proposer/critic rounds.
         let mut pseudo: Vec<Option<usize>> = vec![None; n_unlabeled];
@@ -224,11 +229,7 @@ impl Default for SemiSupervisedLabeler {
 
 /// Majority ground-truth label of each cluster (`None` when a cluster has
 /// no labeled members).
-fn majority_by_cluster(
-    km: &KMeans,
-    labeled: &Dataset,
-    num_classes: usize,
-) -> Vec<Option<usize>> {
+fn majority_by_cluster(km: &KMeans, labeled: &Dataset, num_classes: usize) -> Vec<Option<usize>> {
     let mut votes = vec![vec![0usize; num_classes]; km.k()];
     for i in 0..labeled.len() {
         let c = km.assign(labeled.sample(i));
@@ -310,7 +311,7 @@ mod tests {
                 num_classes: pool.num_classes(),
                 stage_widths: vec![vec![32]],
                 dropout: 0.0,
-            input_skip: false,
+                input_skip: false,
             };
             let mut net = StagedNetwork::new(&config, &mut seeded_rng(seed));
             Trainer::new(TrainConfig {
@@ -347,7 +348,11 @@ mod tests {
         if outcome.accepted_per_round.len() >= 2 {
             let first = outcome.accepted_per_round[0];
             let last = *outcome.accepted_per_round.last().unwrap();
-            assert!(last <= first, "acceptance should not grow: {:?}", outcome.accepted_per_round);
+            assert!(
+                last <= first,
+                "acceptance should not grow: {:?}",
+                outcome.accepted_per_round
+            );
         }
     }
 

@@ -1,0 +1,434 @@
+//! Blocking gateway client with deadline-aware retry.
+//!
+//! [`EugeneClient`] speaks the [`crate::wire`] protocol over one TCP
+//! connection, reconnecting transparently when the gateway drops it. Every
+//! inference carries an end-to-end budget: the client anchors the deadline
+//! at the moment [`EugeneClient::infer`] is called, sends the *remaining*
+//! budget with each attempt, and backs off between attempts with capped
+//! exponential backoff plus seeded jitter — but never sleeps past the
+//! remaining budget, so a caller's deadline bounds the whole retry loop.
+
+use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Connection and retry policy for [`EugeneClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read-poll granularity: how often the client re-checks its
+    /// deadline while waiting for frames.
+    pub read_poll: Duration,
+    /// Maximum submit attempts per inference (first try included).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles each attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter (deterministic per client).
+    pub seed: u64,
+    /// Ask the gateway to stream per-stage progress frames.
+    pub want_progress: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            read_poll: Duration::from_millis(10),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            seed: 0,
+            want_progress: false,
+        }
+    }
+}
+
+/// One per-stage progress report streamed by the gateway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageUpdate {
+    pub stage: u32,
+    pub confidence: f32,
+    pub predicted: u64,
+}
+
+/// A completed inference as observed by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// Predicted label from the deepest completed stage, if any ran.
+    pub predicted: Option<u64>,
+    /// Confidence of that prediction.
+    pub confidence: Option<f32>,
+    /// Stages the runtime executed.
+    pub stages_executed: u32,
+    /// Whether the server's deadline daemon killed the request.
+    pub expired: bool,
+    /// Server-side latency.
+    pub server_latency: Duration,
+    /// End-to-end latency including queueing, retries, and the network.
+    pub round_trip: Duration,
+    /// Progress frames received (empty unless `want_progress`).
+    pub stage_updates: Vec<StageUpdate>,
+    /// Submit attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Why an inference did not produce an outcome.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The budget ran out before a final answer arrived (possibly while
+    /// backing off between attempts).
+    DeadlineExhausted,
+    /// The gateway shed the request and retries were exhausted (or the
+    /// mandated backoff would outlive the budget).
+    Rejected { retry_after: Duration },
+    /// Connection/protocol failure that retries could not absorb.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::DeadlineExhausted => write!(f, "deadline budget exhausted"),
+            ClientError::Rejected { retry_after } => {
+                write!(f, "rejected by gateway (retry after {retry_after:?})")
+            }
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+struct Connection {
+    stream: TcpStream,
+    buffer: FrameBuffer,
+}
+
+/// Blocking client for a [`crate::server::Gateway`].
+pub struct EugeneClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Connection>,
+    rng: rand::rngs::StdRng,
+    next_tag: u64,
+}
+
+impl EugeneClient {
+    /// Resolves `addr` and prepares a client; the TCP connection is
+    /// established lazily on first use and re-established transparently
+    /// after failures.
+    pub fn new(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        Ok(Self {
+            addr,
+            config,
+            conn: None,
+            rng,
+            next_tag: 0,
+        })
+    }
+
+    /// Runs one inference with an end-to-end deadline `budget`.
+    ///
+    /// The deadline is anchored now; every retry re-computes the
+    /// remaining budget, each submit tells the server only what is left,
+    /// and no backoff sleep ever extends past the deadline.
+    pub fn infer(
+        &mut self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+    ) -> Result<InferenceOutcome, ClientError> {
+        let started = Instant::now();
+        let deadline = started + budget;
+        let mut attempts = 0u32;
+        let mut last_error = ClientError::DeadlineExhausted;
+        while attempts < self.config.max_attempts {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::DeadlineExhausted);
+            }
+            attempts += 1;
+            match self.try_once(class, payload, remaining, deadline) {
+                Ok(mut outcome) => {
+                    outcome.round_trip = started.elapsed();
+                    outcome.attempts = attempts;
+                    return Ok(outcome);
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Retry { floor, error }) => {
+                    last_error = error;
+                    let backoff = self.backoff(attempts).max(floor);
+                    // Never retry past the remaining budget: if the wait
+                    // alone would cross the deadline, report now.
+                    if Instant::now() + backoff >= deadline || attempts >= self.config.max_attempts
+                    {
+                        return Err(last_error);
+                    }
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    /// Round-trips a Ping through the gateway; returns the RTT.
+    pub fn ping(&mut self, timeout: Duration) -> Result<Duration, ClientError> {
+        let deadline = Instant::now() + timeout;
+        let conn = self.connection(deadline)?;
+        let nonce = 0x50_49_4E_47 ^ conn.stream.local_addr().map(|a| a.port()).unwrap_or(0) as u64;
+        let started = Instant::now();
+        if let Err(e) = wire::write_frame(&mut conn.stream, &Frame::Ping { nonce }) {
+            self.conn = None;
+            return Err(e.into());
+        }
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ClientError::DeadlineExhausted);
+            }
+            let conn = self.conn.as_mut().expect("connection present");
+            match conn.buffer.poll(&mut conn.stream) {
+                Ok(Some(Frame::Pong { nonce: echoed })) if echoed == nonce => {
+                    return Ok(started.elapsed());
+                }
+                Ok(_) => continue,
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Whether a live connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.config.backoff_cap);
+        // Jitter in [0.5, 1.5) de-synchronizes retry storms.
+        let jitter = self.rng.gen_range(0.5f64..1.5);
+        exp.mul_f64(jitter)
+    }
+
+    fn connection(&mut self, deadline: Instant) -> Result<&mut Connection, ClientError> {
+        if self.conn.is_none() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::DeadlineExhausted);
+            }
+            let timeout = self.config.connect_timeout.min(remaining);
+            let stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+            stream.set_nodelay(true).ok();
+            stream
+                .set_read_timeout(Some(self.config.read_poll))
+                .map_err(WireError::Io)?;
+            let mut conn = Connection {
+                stream,
+                buffer: FrameBuffer::new(),
+            };
+            wire::write_frame(
+                &mut conn.stream,
+                &Frame::Hello {
+                    max_version: PROTOCOL_VERSION,
+                },
+            )?;
+            loop {
+                if Instant::now() >= deadline {
+                    return Err(ClientError::DeadlineExhausted);
+                }
+                match conn.buffer.poll(&mut conn.stream)? {
+                    Some(Frame::HelloAck { version })
+                        if (1..=PROTOCOL_VERSION).contains(&version) =>
+                    {
+                        break;
+                    }
+                    Some(_) => {
+                        return Err(ClientError::Wire(WireError::Malformed("expected HelloAck")))
+                    }
+                    None => continue,
+                }
+            }
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("connection present"))
+    }
+
+    fn try_once(
+        &mut self,
+        class: &str,
+        payload: &[f32],
+        remaining: Duration,
+        deadline: Instant,
+    ) -> Result<InferenceOutcome, AttemptError> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let submit = Frame::Submit(SubmitRequest {
+            client_tag: tag,
+            class: class.to_owned(),
+            budget_ms: remaining.as_millis().max(1) as u64,
+            want_progress: self.config.want_progress,
+            payload: payload.to_vec(),
+        });
+        let conn = match self.connection(deadline) {
+            Ok(conn) => conn,
+            Err(ClientError::DeadlineExhausted) => {
+                return Err(AttemptError::Fatal(ClientError::DeadlineExhausted))
+            }
+            // Connect failures are transient: retry with backoff.
+            Err(e) => return Err(AttemptError::retry(e)),
+        };
+        if let Err(e) = wire::write_frame(&mut conn.stream, &submit) {
+            self.conn = None;
+            return Err(AttemptError::retry(ClientError::Wire(e)));
+        }
+        let mut stage_updates = Vec::new();
+        loop {
+            if Instant::now() >= deadline {
+                // The submit may still complete server-side, but our
+                // budget is gone; drop the connection so a stale Final
+                // cannot confuse the next request.
+                self.conn = None;
+                return Err(AttemptError::Fatal(ClientError::DeadlineExhausted));
+            }
+            let conn = self.conn.as_mut().expect("connection present");
+            let frame = match conn.buffer.poll(&mut conn.stream) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => continue,
+                Err(e) => {
+                    self.conn = None;
+                    return Err(AttemptError::retry(ClientError::Wire(e)));
+                }
+            };
+            match frame {
+                Frame::StageUpdate {
+                    client_tag,
+                    stage,
+                    confidence,
+                    predicted,
+                } if client_tag == tag => {
+                    stage_updates.push(StageUpdate {
+                        stage,
+                        confidence,
+                        predicted,
+                    });
+                }
+                Frame::Final {
+                    client_tag,
+                    response,
+                } if client_tag == tag => {
+                    return Ok(InferenceOutcome {
+                        predicted: response.predicted,
+                        confidence: response.confidence,
+                        stages_executed: response.stages_executed,
+                        expired: response.expired,
+                        server_latency: Duration::from_micros(response.latency_us),
+                        round_trip: Duration::ZERO, // filled by infer()
+                        stage_updates,
+                        attempts: 0, // filled by infer()
+                    });
+                }
+                Frame::Reject {
+                    client_tag,
+                    retry_after_ms,
+                } if client_tag == tag => {
+                    let retry_after = Duration::from_millis(retry_after_ms);
+                    return Err(AttemptError::Retry {
+                        floor: retry_after,
+                        error: ClientError::Rejected { retry_after },
+                    });
+                }
+                // Stale frames from a previous timed-out tag, pongs, etc.
+                _ => {}
+            }
+        }
+    }
+}
+
+enum AttemptError {
+    /// Retry after backing off at least `floor`.
+    Retry { floor: Duration, error: ClientError },
+    /// Not retryable; surface to the caller.
+    Fatal(ClientError),
+}
+
+impl AttemptError {
+    fn retry(error: ClientError) -> Self {
+        AttemptError::Retry {
+            floor: Duration::ZERO,
+            error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_jittered_deterministically() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            seed: 7,
+            ..ClientConfig::default()
+        };
+        let mut a = EugeneClient::new("127.0.0.1:1", config.clone()).unwrap();
+        let mut b = EugeneClient::new("127.0.0.1:1", config).unwrap();
+        for attempt in 1..10 {
+            let x = a.backoff(attempt);
+            let y = b.backoff(attempt);
+            assert_eq!(x, y, "same seed, same jitter");
+            // Cap 80ms, jitter < 1.5: never above 120ms.
+            assert!(x <= Duration::from_millis(120), "attempt {attempt}: {x:?}");
+            assert!(x >= Duration::from_millis(5), "attempt {attempt}: {x:?}");
+        }
+    }
+
+    #[test]
+    fn infer_against_dead_address_respects_budget() {
+        // Nothing listens on this port; every attempt fails fast and the
+        // client must give up within (roughly) the budget.
+        let mut client = EugeneClient::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                connect_timeout: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let started = Instant::now();
+        let result = client.infer("c", &[1.0], Duration::from_millis(200));
+        assert!(result.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "retry loop must stay bounded by the budget"
+        );
+    }
+}

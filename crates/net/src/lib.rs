@@ -1,0 +1,42 @@
+//! Networked service gateway for the Eugene serving runtime.
+//!
+//! The paper frames Eugene as *deep intelligence as a service*: clients on
+//! the other side of a network hand inference requests to a shared
+//! provider, each with a latency constraint, and the provider schedules
+//! staged execution to answer as many requests as possible within their
+//! deadlines. This crate supplies the missing network edge around
+//! [`eugene_serve::ServingRuntime`]:
+//!
+//! - [`wire`]: a versioned, length-prefixed, checksummed binary framing
+//!   with a typed [`wire::Frame`] codec that never panics on malformed or
+//!   truncated input;
+//! - [`server`]: a [`server::Gateway`] — a thread-per-connection TCP
+//!   server translating wire submits into runtime requests, streaming
+//!   per-stage progress back as [`wire::Frame::StageUpdate`] frames, and
+//!   shedding load with [`wire::Frame::Reject`] when the runtime is over
+//!   its high-water mark (lowest-utility service classes first);
+//! - [`client`]: a blocking [`client::EugeneClient`] with connect/read
+//!   timeouts and deadline-aware retry — capped exponential backoff with
+//!   jitter that never retries past the request's remaining budget;
+//! - [`loadgen`]: a seeded multi-connection open-loop Poisson load
+//!   generator producing throughput/latency/reject-rate reports.
+//!
+//! Deadlines cross the wire as *remaining budgets* (milliseconds), not
+//! absolute times, so client and server clocks never need to agree: the
+//! gateway re-anchors each budget against its own clock on receipt.
+//!
+//! # Examples
+//!
+//! See `examples/serving_over_network.rs` at the repository root, which
+//! serves a staged model over a loopback socket and streams early-exit
+//! progress to the client.
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientError, EugeneClient, InferenceOutcome};
+pub use loadgen::{ClassSpec, LoadReport, LoadgenConfig};
+pub use server::{Gateway, GatewayConfig};
+pub use wire::{Frame, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};

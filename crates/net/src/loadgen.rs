@@ -1,0 +1,354 @@
+//! Seeded open-loop Poisson load generator for a [`crate::server::Gateway`].
+//!
+//! The generator models an *open* system: arrival times are drawn from an
+//! exponential inter-arrival distribution at a fixed aggregate rate and
+//! pre-assigned to connection workers, so a slow server cannot slow the
+//! offered load down (unlike closed-loop benchmarks, which hide queueing
+//! collapse). Each worker owns one [`crate::client::EugeneClient`]
+//! connection and fires its share of the schedule, sleeping until each
+//! arrival instant. Everything is derived from a single seed, so runs are
+//! reproducible.
+
+use crate::client::{ClientConfig, ClientError, EugeneClient};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One service class in the offered mix.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Service-class name sent with each submit.
+    pub name: String,
+    /// End-to-end budget per request, in milliseconds.
+    pub budget_ms: u64,
+    /// Relative share of the traffic mix (weights need not sum to 1).
+    pub weight: f64,
+    /// Number of f32 elements in each request payload.
+    pub payload_len: usize,
+}
+
+/// Full description of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Gateway address, e.g. `"127.0.0.1:4096"`.
+    pub addr: String,
+    /// Concurrent connections (worker threads), each with its own client.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub total_requests: usize,
+    /// Aggregate arrival rate in requests per second.
+    pub rate_hz: f64,
+    /// Traffic mix; must be non-empty.
+    pub classes: Vec<ClassSpec>,
+    /// Master seed for arrivals, class choice, payloads, and client jitter.
+    pub seed: u64,
+    /// Client policy applied to every worker.
+    pub client: ClientConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            connections: 4,
+            total_requests: 256,
+            rate_hz: 200.0,
+            classes: vec![ClassSpec {
+                name: "default".to_owned(),
+                budget_ms: 100,
+                weight: 1.0,
+                payload_len: 16,
+            }],
+            seed: 0,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Aggregated results of one run, serializable to JSON for `results/`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Requests offered.
+    pub requests: u64,
+    /// Requests answered with a final (non-expired) prediction.
+    pub completed: u64,
+    /// Requests shed by gateway admission control.
+    pub rejected: u64,
+    /// Requests answered but killed by the server's deadline daemon.
+    pub expired: u64,
+    /// Requests whose client-side budget ran out before any answer.
+    pub deadline_exhausted: u64,
+    /// Requests lost to wire/connection errors.
+    pub errors: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_s: f64,
+    /// Completed answers (including expired) per second.
+    pub throughput_rps: f64,
+    /// Round-trip latency percentiles over answered requests, ms.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// rejected / requests.
+    pub reject_rate: f64,
+    /// (expired + deadline_exhausted) / requests.
+    pub deadline_miss_rate: f64,
+}
+
+impl LoadReport {
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("LoadReport serializes infallibly")
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// One request in the pre-generated schedule.
+struct PlannedRequest {
+    /// Offset from run start at which to fire.
+    at: Duration,
+    class: usize,
+    payload: Vec<f32>,
+}
+
+/// Per-worker tally, merged after join.
+#[derive(Default)]
+struct WorkerTally {
+    completed: u64,
+    rejected: u64,
+    expired: u64,
+    deadline_exhausted: u64,
+    errors: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Runs the configured load against the gateway and reports aggregates.
+///
+/// Arrivals follow a Poisson process at `rate_hz`: inter-arrival gaps are
+/// `-ln(U)/rate` with `U` uniform on (0, 1]. The schedule is generated up
+/// front from the seed and dealt round-robin to `connections` workers, so
+/// the offered load is independent of server behavior.
+pub fn run(config: &LoadgenConfig) -> LoadReport {
+    assert!(
+        !config.classes.is_empty(),
+        "loadgen needs at least one class"
+    );
+    assert!(
+        config.connections > 0,
+        "loadgen needs at least one connection"
+    );
+    assert!(config.rate_hz > 0.0, "arrival rate must be positive");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let total_weight: f64 = config.classes.iter().map(|c| c.weight).sum();
+    assert!(
+        total_weight > 0.0,
+        "class weights must sum to a positive value"
+    );
+
+    // Pre-generate the whole schedule so workers only sleep and send.
+    let mut schedules: Vec<Vec<PlannedRequest>> =
+        (0..config.connections).map(|_| Vec::new()).collect();
+    let mut clock = Duration::ZERO;
+    for i in 0..config.total_requests {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock += Duration::from_secs_f64(-u.ln() / config.rate_hz);
+        let class = weighted_choice(&config.classes, total_weight, rng.gen_range(0.0..1.0));
+        let payload: Vec<f32> = (0..config.classes[class].payload_len)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        schedules[i % config.connections].push(PlannedRequest {
+            at: clock,
+            class,
+            payload,
+        });
+    }
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.connections);
+    for (worker, schedule) in schedules.into_iter().enumerate() {
+        let addr = config.addr.clone();
+        let classes = config.classes.clone();
+        let mut client_config = config.client.clone();
+        // Distinct jitter stream per worker, still derived from the seed.
+        client_config.seed = config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("eugene-loadgen-{worker}"))
+                .spawn(move || worker_loop(&addr, client_config, &classes, schedule, started))
+                .expect("spawn loadgen worker"),
+        );
+    }
+
+    let mut tally = WorkerTally::default();
+    for handle in handles {
+        let part = handle.join().expect("loadgen worker panicked");
+        tally.completed += part.completed;
+        tally.rejected += part.rejected;
+        tally.expired += part.expired;
+        tally.deadline_exhausted += part.deadline_exhausted;
+        tally.errors += part.errors;
+        tally.latencies_ms.extend(part.latencies_ms);
+    }
+    let elapsed = started.elapsed();
+
+    tally
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let requests = config.total_requests as u64;
+    let answered = tally.completed + tally.expired;
+    LoadReport {
+        requests,
+        completed: tally.completed,
+        rejected: tally.rejected,
+        expired: tally.expired,
+        deadline_exhausted: tally.deadline_exhausted,
+        errors: tally.errors,
+        elapsed_s: elapsed.as_secs_f64(),
+        throughput_rps: answered as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&tally.latencies_ms, 0.50),
+        p95_ms: percentile(&tally.latencies_ms, 0.95),
+        p99_ms: percentile(&tally.latencies_ms, 0.99),
+        reject_rate: tally.rejected as f64 / requests.max(1) as f64,
+        deadline_miss_rate: (tally.expired + tally.deadline_exhausted) as f64
+            / requests.max(1) as f64,
+    }
+}
+
+fn worker_loop(
+    addr: &str,
+    client_config: ClientConfig,
+    classes: &[ClassSpec],
+    schedule: Vec<PlannedRequest>,
+    started: Instant,
+) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let mut client = match EugeneClient::new(addr, client_config) {
+        Ok(client) => client,
+        Err(_) => {
+            tally.errors = schedule.len() as u64;
+            return tally;
+        }
+    };
+    for planned in schedule {
+        // Open loop: fire at the scheduled instant regardless of how the
+        // previous request fared.
+        let now = started.elapsed();
+        if planned.at > now {
+            std::thread::sleep(planned.at - now);
+        }
+        let spec = &classes[planned.class];
+        let sent = Instant::now();
+        match client.infer(
+            &spec.name,
+            &planned.payload,
+            Duration::from_millis(spec.budget_ms),
+        ) {
+            Ok(outcome) => {
+                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                if outcome.expired {
+                    tally.expired += 1;
+                } else {
+                    tally.completed += 1;
+                }
+            }
+            Err(ClientError::Rejected { .. }) => tally.rejected += 1,
+            Err(ClientError::DeadlineExhausted) => tally.deadline_exhausted += 1,
+            Err(ClientError::Wire(_)) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Picks a class index from cumulative weights given `u` in [0, 1).
+fn weighted_choice(classes: &[ClassSpec], total_weight: f64, u: f64) -> usize {
+    let mut cut = u * total_weight;
+    for (i, class) in classes.iter().enumerate() {
+        cut -= class.weight;
+        if cut < 0.0 {
+            return i;
+        }
+    }
+    classes.len() - 1
+}
+
+/// Nearest-rank percentile over a sorted slice; 0.0 when empty.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64 * q).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, weight: f64) -> ClassSpec {
+        ClassSpec {
+            name: name.to_owned(),
+            budget_ms: 50,
+            weight,
+            payload_len: 4,
+        }
+    }
+
+    #[test]
+    fn weighted_choice_partitions_the_unit_interval() {
+        let classes = vec![spec("a", 1.0), spec("b", 3.0)];
+        assert_eq!(weighted_choice(&classes, 4.0, 0.0), 0);
+        assert_eq!(weighted_choice(&classes, 4.0, 0.24), 0);
+        assert_eq!(weighted_choice(&classes, 4.0, 0.26), 1);
+        assert_eq!(weighted_choice(&classes, 4.0, 0.999), 1);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn schedule_generation_is_deterministic() {
+        let config = LoadgenConfig {
+            total_requests: 32,
+            classes: vec![spec("a", 1.0), spec("b", 1.0)],
+            seed: 42,
+            ..LoadgenConfig::default()
+        };
+        // Regenerate the schedule twice through the public seed and check
+        // the class sequence matches: run() derives everything from seed.
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let total: f64 = config.classes.iter().map(|c| c.weight).sum();
+            (0..config.total_requests)
+                .map(|_| {
+                    let _gap: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let class = weighted_choice(&config.classes, total, rng.gen_range(0.0..1.0));
+                    for _ in 0..config.classes[class].payload_len {
+                        let _: f32 = rng.gen_range(-1.0f32..1.0);
+                    }
+                    class
+                })
+                .collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43), "different seeds should diverge");
+    }
+}

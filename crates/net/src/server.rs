@@ -1,0 +1,411 @@
+//! TCP gateway exposing a [`ServingRuntime`] over the wire protocol.
+//!
+//! One accept thread plus one thread per connection; per-submit forwarder
+//! threads stream [`Frame::StageUpdate`]s and the [`Frame::Final`] answer
+//! back over a shared, frame-atomic writer. Admission control reads the
+//! runtime's in-flight gauge: above the high-water mark the gateway sheds
+//! the lowest-utility service classes first (rejecting with a
+//! load-scaled `retry_after_ms`), and above the hard cap it rejects
+//! everything. Shutdown is graceful: accepting stops, every connection
+//! drains its in-flight submits, and the runtime itself is drained last.
+
+use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
+use eugene_serve::{
+    InferenceRequest, InferenceResponse, RuntimeStats, ServiceClass, ServingRuntime,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Admission-control and socket policy for a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks a free port (see [`Gateway::local_addr`]).
+    pub addr: String,
+    /// In-flight load at which shedding begins.
+    pub high_water: u64,
+    /// In-flight load at which every class is rejected. Must exceed
+    /// `high_water`.
+    pub hard_cap: u64,
+    /// Utility per service class; classes not listed default to `1.0`.
+    /// Under overload, lower-utility classes are shed first.
+    pub class_utility: HashMap<String, f64>,
+    /// Socket read-poll granularity: how often connection threads check
+    /// the shutdown flag while idle.
+    pub read_poll: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            high_water: 64,
+            hard_cap: 128,
+            class_utility: HashMap::new(),
+            read_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+impl GatewayConfig {
+    fn utility(&self, class: &str) -> f64 {
+        self.class_utility.get(class).copied().unwrap_or(1.0)
+    }
+
+    fn max_utility(&self) -> f64 {
+        self.class_utility.values().copied().fold(1.0f64, f64::max)
+    }
+
+    /// Admission decision for `class` at the given in-flight `load`:
+    /// `Ok(())` admits, `Err(retry_after_ms)` rejects.
+    ///
+    /// Between `high_water` and `hard_cap` the utility bar rises linearly
+    /// from zero to the maximum configured utility, so the lowest-utility
+    /// classes are shed first and the highest-utility class survives
+    /// until the hard cap.
+    fn admit(&self, class: &str, load: u64) -> Result<(), u64> {
+        if load < self.high_water {
+            return Ok(());
+        }
+        let overshoot = load.saturating_sub(self.high_water);
+        let retry_after_ms = (10 * (overshoot + 1)).min(1_000);
+        if load >= self.hard_cap {
+            return Err(retry_after_ms);
+        }
+        let span = self.hard_cap.saturating_sub(self.high_water).max(1);
+        let pressure = overshoot as f64 / span as f64; // [0, 1)
+        if self.utility(class) <= pressure * self.max_utility() {
+            Err(retry_after_ms)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A running network gateway; dropping it (or calling
+/// [`Gateway::shutdown`]) drains connections and the underlying runtime.
+pub struct Gateway {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    runtime: Option<Arc<ServingRuntime>>,
+    stats: RuntimeStats,
+}
+
+impl Gateway {
+    /// Binds the listener and starts serving `runtime` over TCP.
+    pub fn start(runtime: ServingRuntime, config: GatewayConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept so the accept thread can observe shutdown.
+        listener.set_nonblocking(true)?;
+        let stats = runtime.stats();
+        let runtime = Arc::new(runtime);
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let config = Arc::new(config);
+        let accept_handle = {
+            let runtime = Arc::clone(&runtime);
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("eugene-gateway-accept".to_owned())
+                .spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let runtime = Arc::clone(&runtime);
+                            let stop = Arc::clone(&stop);
+                            let config = Arc::clone(&config);
+                            let handle = std::thread::Builder::new()
+                                .name("eugene-gateway-conn".to_owned())
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, runtime, config, stop);
+                                })
+                                .expect("spawn connection thread");
+                            connections.lock().push(handle);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Self {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            connections,
+            runtime: Some(runtime),
+            stats,
+        })
+    }
+
+    /// The bound address (with the concrete port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live occupancy gauges of the underlying runtime.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats.clone()
+    }
+
+    /// Stops accepting, drains every connection's in-flight submits, then
+    /// drains and joins the runtime.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(runtime) = self.runtime.take() {
+            // All connection threads are joined, so this is the last Arc.
+            if let Ok(runtime) = Arc::try_unwrap(runtime) {
+                runtime.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Shared write half of a connection; locks per frame so concurrent
+/// forwarders never interleave bytes mid-frame.
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+fn send(writer: &SharedWriter, frame: &Frame) -> Result<(), WireError> {
+    wire::write_frame(&mut *writer.lock(), frame)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    runtime: Arc<ServingRuntime>,
+    config: Arc<GatewayConfig>,
+    stop: Arc<AtomicBool>,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(config.read_poll))?;
+    let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut buffer = FrameBuffer::new();
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    let stats = runtime.stats();
+
+    // Handshake: the first frame must be Hello; anything else (or an
+    // incompatible version) closes the connection.
+    let hello = loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match buffer.poll(&mut stream)? {
+            Some(frame) => break frame,
+            None => continue,
+        }
+    };
+    match hello {
+        Frame::Hello { max_version } if max_version >= 1 => {
+            send(
+                &writer,
+                &Frame::HelloAck {
+                    version: PROTOCOL_VERSION.min(max_version),
+                },
+            )?;
+        }
+        _ => return Err(WireError::Malformed("expected Hello")),
+    }
+
+    let result = loop {
+        if stop.load(Ordering::Relaxed) {
+            break Ok(());
+        }
+        let frame = match buffer.poll(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue,
+            // Peer closed or stream corrupt: stop reading, drain what is
+            // already in flight.
+            Err(WireError::Truncated) => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        match frame {
+            Frame::Submit(submit) => {
+                handle_submit(submit, &runtime, &stats, &config, &writer, &mut forwarders)
+            }
+            Frame::Ping { nonce } => {
+                let _ = send(&writer, &Frame::Pong { nonce });
+            }
+            Frame::Shutdown => break Ok(()),
+            // Clients have no business sending server->client frames or a
+            // second Hello; ignore rather than kill in-flight work.
+            _ => {}
+        }
+    };
+    // Drain: every accepted submit still gets its Final before the socket
+    // closes.
+    for handle in forwarders {
+        let _ = handle.join();
+    }
+    stream.shutdown(SocketShutdown::Both).ok();
+    result
+}
+
+fn handle_submit(
+    submit: SubmitRequest,
+    runtime: &Arc<ServingRuntime>,
+    stats: &RuntimeStats,
+    config: &GatewayConfig,
+    writer: &SharedWriter,
+    forwarders: &mut Vec<JoinHandle<()>>,
+) {
+    let SubmitRequest {
+        client_tag,
+        class,
+        budget_ms,
+        want_progress,
+        payload,
+    } = submit;
+    // A zero budget can never be met (and ServiceClass rejects it):
+    // answer expired immediately rather than erroring the connection.
+    if budget_ms == 0 {
+        let _ = send(
+            writer,
+            &Frame::Final {
+                client_tag,
+                response: wire::WireResponse {
+                    predicted: None,
+                    confidence: None,
+                    stages_executed: 0,
+                    expired: true,
+                    latency_us: 0,
+                },
+            },
+        );
+        return;
+    }
+    if let Err(retry_after_ms) = config.admit(&class, stats.in_flight()) {
+        let _ = send(
+            writer,
+            &Frame::Reject {
+                client_tag,
+                retry_after_ms,
+            },
+        );
+        return;
+    }
+    // Re-anchor the client's remaining budget on the server clock: the
+    // deadline daemon runs against `now + budget`, so client/server
+    // clocks never need to agree.
+    let service_class = ServiceClass::new(&class, Duration::from_millis(budget_ms));
+    let request = InferenceRequest::new(payload, service_class);
+    let writer = Arc::clone(writer);
+    if want_progress {
+        let (_, response_rx, progress_rx) = runtime.submit_with_progress(request);
+        forwarders.push(spawn_forwarder(move || {
+            // Workers publish every stage report before the coordinator
+            // finalizes, so the progress channel closes strictly before
+            // the response arrives: drain it fully, then forward Final.
+            for event in progress_rx.iter() {
+                let frame = Frame::StageUpdate {
+                    client_tag,
+                    stage: event.stage as u32,
+                    confidence: event.confidence,
+                    predicted: event.predicted as u64,
+                };
+                if send(&writer, &frame).is_err() {
+                    break;
+                }
+            }
+            if let Ok(response) = response_rx.recv() {
+                let _ = send(&writer, &final_frame(client_tag, response));
+            }
+        }));
+    } else {
+        let (_, response_rx) = runtime.submit(request);
+        forwarders.push(spawn_forwarder(move || {
+            if let Ok(response) = response_rx.recv() {
+                let _ = send(&writer, &final_frame(client_tag, response));
+            }
+        }));
+    }
+}
+
+fn spawn_forwarder(f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("eugene-gateway-forward".to_owned())
+        .spawn(f)
+        .expect("spawn forwarder thread")
+}
+
+fn final_frame(client_tag: u64, response: InferenceResponse) -> Frame {
+    Frame::Final {
+        client_tag,
+        response: wire::WireResponse {
+            predicted: response.predicted.map(|p| p as u64),
+            confidence: response.confidence,
+            stages_executed: response.stages_executed as u32,
+            expired: response.expired,
+            latency_us: response.latency.as_micros() as u64,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_sheds_lowest_utility_first() {
+        let mut config = GatewayConfig {
+            high_water: 10,
+            hard_cap: 20,
+            ..GatewayConfig::default()
+        };
+        config.class_utility.insert("premium".to_owned(), 2.0);
+        config.class_utility.insert("batch".to_owned(), 0.5);
+
+        // Below high water: everyone admitted.
+        assert!(config.admit("batch", 9).is_ok());
+        // Mid-overload: batch (utility 0.5 <= 0.5*2.0) shed at pressure
+        // 0.25 already, premium survives.
+        assert!(config.admit("batch", 13).is_err());
+        assert!(config.admit("premium", 13).is_ok());
+        // Unlisted classes (utility 1.0) shed once pressure*max crosses 1.
+        assert!(config.admit("anon", 13).is_ok());
+        assert!(config.admit("anon", 16).is_err());
+        // Hard cap: even premium rejected.
+        assert!(config.admit("premium", 20).is_err());
+    }
+
+    #[test]
+    fn retry_after_scales_with_overshoot() {
+        let config = GatewayConfig {
+            high_water: 10,
+            hard_cap: 12,
+            ..GatewayConfig::default()
+        };
+        let near = config.admit("x", 12).unwrap_err();
+        let far = config.admit("x", 60).unwrap_err();
+        assert!(far > near, "deeper overload asks for a longer backoff");
+        assert!(config.admit("x", 10_000).unwrap_err() <= 1_000, "capped");
+    }
+}

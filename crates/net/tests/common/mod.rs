@@ -1,0 +1,72 @@
+//! Shared fixtures for eugene-net integration tests: a deterministic
+//! staged engine (the serve crate's test engine is private) and a helper
+//! that boots a full runtime + gateway on a loopback socket.
+
+use eugene_net::{Gateway, GatewayConfig};
+use eugene_sched::Fifo;
+use eugene_serve::{EngineSession, InferenceEngine, RuntimeConfig, ServingRuntime, StageReport};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Staged engine whose confidence walks a fixed ramp, one stage per call,
+/// each stage costing `stage_time` of wall clock. The predicted label is
+/// the first payload element truncated to an integer, so tests can check
+/// payloads survive the wire round trip.
+pub struct StagedTestEngine {
+    pub ramp: Vec<f32>,
+    pub stage_time: Duration,
+}
+
+impl InferenceEngine for StagedTestEngine {
+    fn num_stages(&self) -> usize {
+        self.ramp.len()
+    }
+
+    fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession> {
+        Box::new(StagedTestSession {
+            ramp: self.ramp.clone(),
+            stage_time: self.stage_time,
+            done: 0,
+            predicted: payload.first().copied().unwrap_or(0.0) as usize,
+        })
+    }
+}
+
+struct StagedTestSession {
+    ramp: Vec<f32>,
+    stage_time: Duration,
+    done: usize,
+    predicted: usize,
+}
+
+impl EngineSession for StagedTestSession {
+    fn next_stage(&mut self) -> Option<StageReport> {
+        if self.done >= self.ramp.len() {
+            return None;
+        }
+        std::thread::sleep(self.stage_time);
+        let report = StageReport {
+            predicted: self.predicted,
+            confidence: self.ramp[self.done],
+        };
+        self.done += 1;
+        Some(report)
+    }
+
+    fn stages_done(&self) -> usize {
+        self.done
+    }
+}
+
+/// Boots a runtime over [`StagedTestEngine`] and a gateway on a free
+/// loopback port.
+pub fn start_gateway(
+    ramp: Vec<f32>,
+    stage_time: Duration,
+    runtime_config: RuntimeConfig,
+    gateway_config: GatewayConfig,
+) -> Gateway {
+    let engine = Arc::new(StagedTestEngine { ramp, stage_time });
+    let runtime = ServingRuntime::start(engine, Box::new(Fifo::new()), runtime_config);
+    Gateway::start(runtime, gateway_config).expect("bind loopback gateway")
+}

@@ -1,0 +1,132 @@
+//! Adversarial wire-protocol tests: the decoder and a live gateway must
+//! survive arbitrary, truncated, and bit-flipped input without panicking.
+
+mod common;
+
+use common::start_gateway;
+use eugene_net::wire::{decode_frame, encode_frame, Frame, SubmitRequest};
+use eugene_net::{ClientConfig, EugeneClient, GatewayConfig};
+use eugene_serve::RuntimeConfig;
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+proptest! {
+    /// Arbitrary bytes must never panic the decoder — they either decode
+    /// or produce a typed error.
+    #[test]
+    fn decoder_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// A valid frame with one flipped byte must never panic the decoder.
+    #[test]
+    fn decoder_survives_single_byte_corruption(
+        tag in any::<u64>(),
+        budget in any::<u64>(),
+        flip_pos in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = encode_frame(&Frame::Submit(SubmitRequest {
+            client_tag: tag,
+            class: "fuzz".to_owned(),
+            budget_ms: budget,
+            want_progress: tag % 2 == 0,
+            payload: vec![1.0, -2.5, 3.75],
+        }));
+        let pos = flip_pos as usize % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Every prefix of a valid frame decodes as Truncated (or a typed
+    /// error), never a panic or a bogus success.
+    #[test]
+    fn decoder_survives_truncation(cut in any::<u16>()) {
+        let bytes = encode_frame(&Frame::Submit(SubmitRequest {
+            client_tag: 9,
+            class: "truncate".to_owned(),
+            budget_ms: 100,
+            want_progress: true,
+            payload: vec![0.5; 16],
+        }));
+        let cut = cut as usize % bytes.len();
+        prop_assert!(decode_frame(&bytes[..cut]).is_err(), "prefix must not decode");
+    }
+
+    /// Submit frames round-trip exactly through encode/decode.
+    #[test]
+    fn submit_roundtrips(
+        tag in any::<u64>(),
+        budget in any::<u64>(),
+        want_progress in any::<bool>(),
+        payload in prop::collection::vec(-1000.0f32..1000.0, 0..32),
+    ) {
+        let frame = Frame::Submit(SubmitRequest {
+            client_tag: tag,
+            class: "class-\u{3b1}".to_owned(), // non-ASCII survives too
+            budget_ms: budget,
+            want_progress,
+            payload,
+        });
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+}
+
+/// A live gateway fed raw garbage on many connections must keep serving
+/// well-formed clients.
+#[test]
+fn gateway_survives_garbage_connections() {
+    let gateway = start_gateway(
+        vec![0.9],
+        Duration::ZERO,
+        RuntimeConfig::default(),
+        GatewayConfig::default(),
+    );
+    let addr = gateway.local_addr();
+
+    let mut rng_state = 0x5EED_u64;
+    let mut next = move || {
+        // SplitMix64 keeps the garbage deterministic.
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for round in 0..24 {
+        let mut stream = TcpStream::connect(addr).expect("connect garbage stream");
+        let len = (next() % 200) as usize + 1;
+        let garbage: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        // Some rounds start with valid magic so the server walks deeper
+        // into the header before hitting nonsense.
+        let _ = match round % 3 {
+            0 => stream.write_all(&garbage),
+            1 => stream
+                .write_all(&[0xEB, 0x9E])
+                .and_then(|_| stream.write_all(&garbage)),
+            _ => {
+                // Truncated-but-valid prefix: write half a real frame.
+                let bytes = encode_frame(&Frame::Ping { nonce: next() });
+                stream.write_all(&bytes[..bytes.len() / 2])
+            }
+        };
+        drop(stream);
+    }
+
+    // The gateway must still answer a well-behaved client.
+    let mut client = EugeneClient::new(addr, ClientConfig::default()).expect("resolve loopback");
+    let rtt = client
+        .ping(Duration::from_secs(5))
+        .expect("gateway still alive");
+    assert!(rtt < Duration::from_secs(5));
+    let outcome = client
+        .infer("sane", &[11.0], Duration::from_secs(10))
+        .expect("gateway still serves inference");
+    assert_eq!(outcome.predicted, Some(11));
+    gateway.shutdown();
+}

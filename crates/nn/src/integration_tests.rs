@@ -28,7 +28,7 @@ fn staged_network_accuracy_increases_with_depth() {
         num_classes: train.num_classes(),
         stage_widths: vec![vec![24], vec![24, 24], vec![24, 24]],
         dropout: 0.0,
-            input_skip: false,
+        input_skip: false,
     };
     let mut net = StagedNetwork::new(&config, &mut seeded_rng(101));
     Trainer::new(TrainConfig {
@@ -63,7 +63,7 @@ fn confidence_spreads_across_samples() {
         num_classes: train.num_classes(),
         stage_widths: vec![vec![24], vec![24]],
         dropout: 0.0,
-            input_skip: false,
+        input_skip: false,
     };
     let mut net = StagedNetwork::new(&config, &mut seeded_rng(201));
     Trainer::new(TrainConfig {
@@ -74,7 +74,10 @@ fn confidence_spreads_across_samples() {
 
     let evals = evaluate(&net, &test);
     let spread = eugene_tensor::std_dev(&evals[0].confidences);
-    assert!(spread > 0.05, "stage-1 confidence spread {spread} too small");
+    assert!(
+        spread > 0.05,
+        "stage-1 confidence spread {spread} too small"
+    );
 }
 
 #[test]
@@ -85,7 +88,7 @@ fn correct_predictions_are_more_confident_on_average() {
         num_classes: train.num_classes(),
         stage_widths: vec![vec![24], vec![24]],
         dropout: 0.0,
-            input_skip: false,
+        input_skip: false,
     };
     let mut net = StagedNetwork::new(&config, &mut seeded_rng(301));
     Trainer::new(TrainConfig {
@@ -106,7 +109,10 @@ fn correct_predictions_are_more_confident_on_average() {
             n_wrong += 1;
         }
     }
-    assert!(n_correct > 0 && n_wrong > 0, "need both outcomes to compare");
+    assert!(
+        n_correct > 0 && n_wrong > 0,
+        "need both outcomes to compare"
+    );
     assert!(
         conf_correct / n_correct as f32 > conf_wrong / n_wrong as f32,
         "confidence should correlate with correctness"

@@ -35,7 +35,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         Self {
             weights: xavier_uniform(in_dim, out_dim, rng),
             bias: Matrix::zeros(1, out_dim),

@@ -93,7 +93,10 @@ pub fn weighted_entropy_regularized(
     let mut grad = Matrix::zeros(logits.rows(), classes);
     let mut total = 0.0;
     for (i, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let probs = softmax(logits.row(i));
         let h = entropy(&probs);
         // Clamp to avoid -inf on exactly-zero probabilities.
@@ -137,13 +140,7 @@ pub fn mean_squared_error(predictions: &Matrix, targets: &Matrix) -> LossOutput 
 mod tests {
     use super::*;
 
-    fn numeric_grad(
-        logits: &Matrix,
-        labels: &[usize],
-        alpha: f32,
-        r: usize,
-        c: usize,
-    ) -> f32 {
+    fn numeric_grad(logits: &Matrix, labels: &[usize], alpha: f32, r: usize, c: usize) -> f32 {
         let eps = 1e-3;
         let mut plus = logits.clone();
         plus[(r, c)] += eps;
@@ -218,7 +215,11 @@ mod tests {
         };
         let flat = run(-5.0);
         let sharp = run(5.0);
-        assert!(flat > 0.9, "entropy {flat} should approach ln 3 = {}", 3.0_f32.ln());
+        assert!(
+            flat > 0.9,
+            "entropy {flat} should approach ln 3 = {}",
+            3.0_f32.ln()
+        );
         assert!(sharp < 0.2, "entropy {sharp} should collapse toward 0");
         assert!(flat > sharp);
     }
@@ -237,7 +238,10 @@ mod tests {
         let target = Matrix::from_rows(&[&[1.0]]);
         let out = mean_squared_error(&pred, &target);
         assert!((out.loss - 1.0).abs() < 1e-6);
-        assert!(out.grad[(0, 0)] > 0.0, "gradient should push prediction down");
+        assert!(
+            out.grad[(0, 0)] > 0.0,
+            "gradient should push prediction down"
+        );
     }
 
     #[test]

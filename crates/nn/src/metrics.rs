@@ -67,12 +67,12 @@ impl StageEval {
         let mut confidences = Vec::with_capacity(n);
         let mut probs = Matrix::zeros(n, logits.cols());
         let mut correct = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, &label) in labels.iter().enumerate() {
             let p = softmax(logits.row(i));
             let pred = argmax(&p);
             predictions.push(pred);
             confidences.push(p[pred]);
-            correct.push(pred == labels[i]);
+            correct.push(pred == label);
             probs.row_mut(i).copy_from_slice(&p);
         }
         let accuracy = accuracy(&predictions, labels);
@@ -98,12 +98,12 @@ impl StageEval {
         let mut predictions = Vec::with_capacity(n);
         let mut confidences = Vec::with_capacity(n);
         let mut correct = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, &label) in labels.iter().enumerate() {
             let row = probs.row(i);
             let pred = argmax(row);
             predictions.push(pred);
             confidences.push(row[pred]);
-            correct.push(pred == labels[i]);
+            correct.push(pred == label);
         }
         let accuracy = accuracy(&predictions, labels);
         Self {

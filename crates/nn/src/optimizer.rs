@@ -138,7 +138,8 @@ impl Adam {
 
     fn moments_for(&mut self, index: usize, shape: (usize, usize)) -> &mut (Matrix, Matrix) {
         while self.moments.len() <= index {
-            self.moments.push((Matrix::zeros(0, 0), Matrix::zeros(0, 0)));
+            self.moments
+                .push((Matrix::zeros(0, 0), Matrix::zeros(0, 0)));
         }
         let pair = &mut self.moments[index];
         if pair.0.shape() != shape {

@@ -95,7 +95,13 @@ impl StagedNetwork {
         let stages = self
             .stages()
             .iter()
-            .map(|block| block.layers().iter().map(|l| snapshot_layer(l.as_ref())).collect())
+            .map(|block| {
+                block
+                    .layers()
+                    .iter()
+                    .map(|l| snapshot_layer(l.as_ref()))
+                    .collect()
+            })
             .collect();
         let heads = self
             .heads()

@@ -194,7 +194,10 @@ impl StagedNetwork {
 
     /// Total trainable parameters across trunk and heads.
     pub fn param_count(&self) -> usize {
-        self.stages.iter().map(Sequential::param_count).sum::<usize>()
+        self.stages
+            .iter()
+            .map(Sequential::param_count)
+            .sum::<usize>()
             + self.heads.iter().map(Layer::param_count).sum::<usize>()
     }
 
@@ -273,8 +276,7 @@ impl StagedNetwork {
                 // Split [prev stage | raw input] gradient.
                 let prev_width = self.stage_output_dims[s - 1];
                 let prev_cols: Vec<usize> = (0..prev_width).collect();
-                let input_cols: Vec<usize> =
-                    (prev_width..prev_width + self.input_dim).collect();
+                let input_cols: Vec<usize> = (prev_width..prev_width + self.input_dim).collect();
                 let to_input = full.select_cols(&input_cols);
                 match &mut input_grad {
                     Some(acc) => *acc += &to_input,
@@ -384,7 +386,14 @@ impl StagedNetwork {
             .stages
             .iter()
             .enumerate()
-            .map(|(s, block)| format!("stage{}: {} -> head {}", s, block.describe(), self.heads[s].describe()))
+            .map(|(s, block)| {
+                format!(
+                    "stage{}: {} -> head {}",
+                    s,
+                    block.describe(),
+                    self.heads[s].describe()
+                )
+            })
             .collect();
         stages.join("\n")
     }

@@ -97,7 +97,10 @@ impl Trainer {
         assert!(config.epochs > 0, "epochs must be positive");
         assert!(config.batch_size > 0, "batch_size must be positive");
         if let Some(ws) = &config.head_weights {
-            assert!(ws.iter().all(|w| *w >= 0.0), "head weights must be non-negative");
+            assert!(
+                ws.iter().all(|w| *w >= 0.0),
+                "head weights must be non-negative"
+            );
         }
         if let Some(alphas) = &config.entropy_alphas {
             assert!(
@@ -145,7 +148,8 @@ impl Trainer {
             let mut total_loss = 0.0;
             let mut batches = 0;
             for (features, labels) in epoch_data.batches(self.config.batch_size) {
-                total_loss += self.train_batch(network, &mut optimizer, &weights, &features, &labels);
+                total_loss +=
+                    self.train_batch(network, &mut optimizer, &weights, &features, &labels);
                 batches += 1;
             }
             epoch_losses.push(total_loss / batches.max(1) as f32);
@@ -238,7 +242,11 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut net, &data, &mut seeded_rng(3));
-        assert!(report.improved(), "loss should decrease: {:?}", report.epoch_losses);
+        assert!(
+            report.improved(),
+            "loss should decrease: {:?}",
+            report.epoch_losses
+        );
         let acc = accuracy_at_stage(&net, &data, 1);
         assert!(acc > 0.95, "final-stage accuracy {acc} too low");
         let acc0 = accuracy_at_stage(&net, &data, 0);

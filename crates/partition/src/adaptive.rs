@@ -70,7 +70,9 @@ impl AdaptivePartitioner {
             }
             Some(current) => {
                 // Re-price the installed split under the new link.
-                let staying = self.planner.expected_latency_ms(current.split, link, &self.exits);
+                let staying = self
+                    .planner
+                    .expected_latency_ms(current.split, link, &self.exits);
                 if candidate.expected_latency_ms < staying * (1.0 - self.switch_margin) {
                     self.current = Some(candidate);
                     self.switches += 1;

@@ -56,7 +56,10 @@ impl LinkModel {
             bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
             "bandwidth must be positive"
         );
-        assert!(rtt_ms.is_finite() && rtt_ms >= 0.0, "rtt must be non-negative");
+        assert!(
+            rtt_ms.is_finite() && rtt_ms >= 0.0,
+            "rtt must be non-negative"
+        );
         Self {
             bytes_per_sec,
             rtt_ms,

@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn stride_reduces_output_and_macs() {
         let s1 = ConvSpec::same_padding(16, 16, 3, 224);
-        let s2 = ConvSpec {
-            stride: 2,
-            ..s1
-        };
+        let s2 = ConvSpec { stride: 2, ..s1 };
         assert_eq!(s2.output_size(), 112);
         assert!(s2.macs() < s1.macs());
     }

@@ -191,7 +191,11 @@ impl PwlRegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -248,17 +252,15 @@ fn build(
             if lx.len() < config.min_samples_leaf || rx.len() < config.min_samples_leaf {
                 continue;
             }
-            let sse = LinearModel::fit(&lx, &ly).sse(&lx, &ly)
-                + LinearModel::fit(&rx, &ry).sse(&rx, &ry);
+            let sse =
+                LinearModel::fit(&lx, &ly).sse(&lx, &ly) + LinearModel::fit(&rx, &ry).sse(&rx, &ry);
             if best.as_ref().is_none_or(|(b, _, _)| sse < *b) {
                 best = Some((sse, feature, threshold));
             }
         }
     }
     match best {
-        Some((sse, feature, threshold))
-            if sse < parent_sse * (1.0 - config.min_improvement) =>
-        {
+        Some((sse, feature, threshold)) if sse < parent_sse * (1.0 - config.min_improvement) => {
             let (mut lx, mut ly, mut rx, mut ry) = (vec![], vec![], vec![], vec![]);
             for (x, &y) in xs.iter().zip(ys) {
                 if x[feature] <= threshold {
@@ -388,7 +390,10 @@ mod tests {
             "tree {tree_err:.3} should beat FLOPs line {line_err:.3} by 2x+"
         );
         assert!(tree_err < 0.25, "tree MAPE {tree_err:.3} too high");
-        assert!(tree.num_leaves() > 1, "tree should discover multiple regimes");
+        assert!(
+            tree.num_leaves() > 1,
+            "tree should discover multiple regimes"
+        );
     }
 
     #[test]
@@ -398,7 +403,10 @@ mod tests {
         let rows = ConvSpec::table1_rows();
         // Scale the table rows down to the training spatial size: the
         // regime structure is channel-driven, so the inversion persists.
-        let scale = |spec: ConvSpec| ConvSpec { input_size: 112, ..spec };
+        let scale = |spec: ConvSpec| ConvSpec {
+            input_size: 112,
+            ..spec
+        };
         let t1 = tree.predict_ms(&scale(rows[0].1));
         let t2 = tree.predict_ms(&scale(rows[1].1));
         assert!(

@@ -30,10 +30,7 @@ impl Scheduler for RoundRobin {
             return Vec::new();
         }
         let start = match self.cursor {
-            Some(cursor) => runnable
-                .iter()
-                .position(|t| t.id > cursor)
-                .unwrap_or(0),
+            Some(cursor) => runnable.iter().position(|t| t.id > cursor).unwrap_or(0),
             None => 0,
         };
         let picked: Vec<TaskId> = (0..runnable.len().min(slots))

@@ -57,8 +57,7 @@ impl<S: Scheduler> Scheduler for DeadlineAware<S> {
             .filter(|t| t.stages_done < t.num_stages && self.is_critical(t))
             .collect();
         critical.sort_by_key(|t| (t.remaining_quanta, t.id));
-        let mut picked: Vec<TaskId> =
-            critical.iter().take(slots).map(|t| t.id).collect();
+        let mut picked: Vec<TaskId> = critical.iter().take(slots).map(|t| t.id).collect();
         if picked.len() >= slots {
             return picked;
         }

@@ -45,15 +45,9 @@ impl PwlCurvePredictor {
     /// # Panics
     ///
     /// Panics if curves disagree on the stage count or `segments == 0`.
-    pub fn fit(
-        training_curves: &[Vec<f32>],
-        segments: usize,
-    ) -> Result<Self, eugene_gp::GpError> {
+    pub fn fit(training_curves: &[Vec<f32>], segments: usize) -> Result<Self, eugene_gp::GpError> {
         assert!(segments > 0, "segments must be positive");
-        let num_stages = training_curves
-            .first()
-            .map(Vec::len)
-            .unwrap_or_default();
+        let num_stages = training_curves.first().map(Vec::len).unwrap_or_default();
         assert!(
             training_curves.iter().all(|c| c.len() == num_stages),
             "all training curves must cover the same stages"

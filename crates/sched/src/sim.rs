@@ -103,7 +103,10 @@ impl SimOutcome {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.stages_executed).sum::<usize>() as f64
+        self.records
+            .iter()
+            .map(|r| r.stages_executed)
+            .sum::<usize>() as f64
             / self.records.len() as f64
     }
 
@@ -163,8 +166,7 @@ impl Simulation {
         rng: &mut impl Rng,
     ) -> SimOutcome {
         scheduler.reset();
-        let mut pending: VecDeque<(TaskId, TaskProfile)> =
-            tasks.into_iter().enumerate().collect();
+        let mut pending: VecDeque<(TaskId, TaskProfile)> = tasks.into_iter().enumerate().collect();
         let mut active: Vec<TaskState> = Vec::new();
         let mut records = Vec::new();
         let mut now: u64 = 0;
@@ -295,7 +297,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let outcome = Simulation::new(config).run(&mut Fifo::new(), easy_tasks(20), &mut rng);
         assert_eq!(outcome.records.len(), 20);
-        assert!(outcome.expiry_rate() > 0.5, "expiry {}", outcome.expiry_rate());
+        assert!(
+            outcome.expiry_rate() > 0.5,
+            "expiry {}",
+            outcome.expiry_rate()
+        );
         assert!(outcome.service_accuracy() < 0.5);
     }
 
@@ -325,7 +331,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let outcome = Simulation::new(config).run(&mut Fifo::new(), easy_tasks(10), &mut rng);
         for r in &outcome.records {
-            assert!(r.residence_quanta <= 3, "task {} stayed {}", r.id, r.residence_quanta);
+            assert!(
+                r.residence_quanta <= 3,
+                "task {} stayed {}",
+                r.id,
+                r.residence_quanta
+            );
         }
     }
 

@@ -32,7 +32,11 @@ fn make_scheduler(kind: usize) -> Box<dyn Scheduler> {
             2,
             0.1,
         )),
-        _ => Box::new(RtDeepIot::new(DcPredictor::new(vec![0.5, 0.7, 0.9]), 1, 0.1)),
+        _ => Box::new(RtDeepIot::new(
+            DcPredictor::new(vec![0.5, 0.7, 0.9]),
+            1,
+            0.1,
+        )),
     }
 }
 

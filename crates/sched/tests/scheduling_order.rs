@@ -2,8 +2,8 @@
 //! the qualitative ordering of the paper's Fig. 4 must emerge.
 
 use eugene_sched::{
-    DcPredictor, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig,
-    Simulation, TaskProfile,
+    DcPredictor, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler, SimConfig, Simulation,
+    TaskProfile,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -98,8 +98,12 @@ fn rtdeepiot_beats_round_robin_and_fifo_under_contention() {
 #[test]
 fn accuracy_declines_with_concurrency_for_every_policy() {
     let baseline = 1.0 / NUM_CLASSES as f32;
-    let mut makers: Vec<(&str, Box<dyn FnMut() -> Box<dyn Scheduler>>)> = vec![
-        ("rt", Box::new(|| Box::new(RtDeepIot::new(pwl_predictor(7), 1, baseline)))),
+    type SchedulerMaker = Box<dyn FnMut() -> Box<dyn Scheduler>>;
+    let mut makers: Vec<(&str, SchedulerMaker)> = vec![
+        (
+            "rt",
+            Box::new(move || Box::new(RtDeepIot::new(pwl_predictor(7), 1, baseline))),
+        ),
         ("rr", Box::new(|| Box::new(RoundRobin::new()))),
         ("fifo", Box::new(|| Box::new(Fifo::new()))),
     ];
@@ -119,7 +123,9 @@ fn dc_variant_lands_between_full_predictor_and_fifo() {
     let mut rt: Box<dyn FnMut() -> Box<dyn Scheduler>> =
         Box::new(|| Box::new(RtDeepIot::new(pwl_predictor(7), 1, baseline)));
     let mut dc: Box<dyn FnMut() -> Box<dyn Scheduler>> = Box::new(|| {
-        Box::new(RtDeepIot::new(DcPredictor::new(priors(7)), 1, baseline).with_name("RTDeepIoT-DC-1"))
+        Box::new(
+            RtDeepIot::new(DcPredictor::new(priors(7)), 1, baseline).with_name("RTDeepIoT-DC-1"),
+        )
     });
     let mut fifo: Box<dyn FnMut() -> Box<dyn Scheduler>> = Box::new(|| Box::new(Fifo::new()));
 

@@ -36,13 +36,7 @@ impl UsageLedger {
     }
 
     /// Records one finished request.
-    pub fn record(
-        &self,
-        class: &str,
-        stages_executed: usize,
-        expired: bool,
-        early_exit: bool,
-    ) {
+    pub fn record(&self, class: &str, stages_executed: usize, expired: bool, early_exit: bool) {
         let mut inner = self.inner.lock();
         let usage = inner.entry(class.to_owned()).or_default();
         usage.requests += 1;
@@ -92,7 +86,10 @@ impl PricingModel {
     ///
     /// Panics if any component is negative or `expired_refund > 1`.
     pub fn new(per_request: f64, per_stage: f64, expired_refund: f64) -> Self {
-        assert!(per_request >= 0.0 && per_stage >= 0.0, "costs must be non-negative");
+        assert!(
+            per_request >= 0.0 && per_stage >= 0.0,
+            "costs must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&expired_refund),
             "refund must be a fraction"
@@ -106,8 +103,8 @@ impl PricingModel {
 
     /// Invoice amount for one class's usage.
     pub fn invoice(&self, usage: &ClassUsage) -> f64 {
-        let gross =
-            usage.requests as f64 * self.per_request + usage.stages_executed as f64 * self.per_stage;
+        let gross = usage.requests as f64 * self.per_request
+            + usage.stages_executed as f64 * self.per_stage;
         // Approximate the refund as proportional to the expired share of
         // requests (per-request granularity is not tracked).
         let expired_share = if usage.requests == 0 {

@@ -1,8 +1,7 @@
 use crate::RequestId;
 use crossbeam::channel::{unbounded, Receiver};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -13,8 +12,11 @@ use std::time::{Duration, Instant};
 /// current computation."
 ///
 /// Tasks are registered with their absolute deadline; a monitor thread
-/// polls the registry and emits the ids of expired tasks on a kill
-/// channel, which the serving runtime drains.
+/// emits the ids of expired tasks on a kill channel, which the serving
+/// runtime drains. The monitor is event-driven: it parks until the
+/// nearest registered deadline and is woken early when a registration
+/// changes the wake-up time, so an idle daemon consumes no CPU (earlier
+/// revisions polled the registry every `poll_interval`).
 ///
 /// # Examples
 ///
@@ -30,71 +32,114 @@ use std::time::{Duration, Instant};
 /// ```
 #[derive(Debug)]
 pub struct DeadlineDaemon {
-    registry: Arc<Mutex<HashMap<RequestId, Instant>>>,
+    shared: Arc<Shared>,
     kills: Receiver<RequestId>,
-    stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+#[derive(Debug)]
+struct State {
+    registry: HashMap<RequestId, Instant>,
+    stop: bool,
+}
+
+/// Defensive upper bound on a single park when no deadline is registered;
+/// `register`/`shutdown` notify the monitor, so this only guards against a
+/// missed wake-up.
+const MAX_PARK: Duration = Duration::from_secs(1);
+
 impl DeadlineDaemon {
-    /// Starts the monitor thread with the given polling interval.
+    /// Starts the monitor thread.
+    ///
+    /// `poll_interval` is retained for API compatibility with the polling
+    /// implementation; the monitor now wakes exactly at the nearest
+    /// deadline (or on registry changes), so the value no longer sets a
+    /// duty cycle.
     ///
     /// # Panics
     ///
     /// Panics if `poll_interval` is zero.
     pub fn start(poll_interval: Duration) -> Self {
         assert!(!poll_interval.is_zero(), "poll interval must be positive");
-        let registry: Arc<Mutex<HashMap<RequestId, Instant>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                registry: HashMap::new(),
+                stop: false,
+            }),
+            wake: Condvar::new(),
+        });
         let (tx, kills) = unbounded();
         let handle = {
-            let registry = Arc::clone(&registry);
-            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("eugene-deadline-daemon".to_owned())
                 .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        let now = Instant::now();
-                        let expired: Vec<RequestId> = {
-                            let mut registry = registry.lock();
-                            let expired: Vec<RequestId> = registry
-                                .iter()
-                                .filter(|(_, &deadline)| now >= deadline)
-                                .map(|(&id, _)| id)
-                                .collect();
-                            for id in &expired {
-                                registry.remove(id);
-                            }
-                            expired
-                        };
-                        for id in expired {
-                            if tx.send(id).is_err() {
-                                return;
-                            }
+                    let mut guard = shared.state.lock();
+                    loop {
+                        if guard.stop {
+                            return;
                         }
-                        std::thread::sleep(poll_interval);
+                        let now = Instant::now();
+                        let mut expired = Vec::new();
+                        guard.registry.retain(|&id, deadline| {
+                            if now >= *deadline {
+                                expired.push(id);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        let next = guard.registry.values().min().copied();
+                        if !expired.is_empty() {
+                            // Send without holding the registry lock so
+                            // register/deregister never wait on the channel.
+                            drop(guard);
+                            for id in expired {
+                                if tx.send(id).is_err() {
+                                    return;
+                                }
+                            }
+                            guard = shared.state.lock();
+                            continue;
+                        }
+                        let park = match next {
+                            Some(deadline) => deadline.saturating_duration_since(now),
+                            None => MAX_PARK,
+                        };
+                        if park.is_zero() {
+                            continue;
+                        }
+                        shared.wake.wait_for(&mut guard, park.min(MAX_PARK));
                     }
                 })
                 .expect("spawn daemon thread")
         };
         Self {
-            registry,
+            shared,
             kills,
-            stop,
             handle: Some(handle),
         }
     }
 
     /// Registers a task with its absolute deadline.
     pub fn register(&self, id: RequestId, deadline: Instant) {
-        self.registry.lock().insert(id, deadline);
+        let mut state = self.shared.state.lock();
+        state.registry.insert(id, deadline);
+        // The new deadline may be nearer than the monitor's current park
+        // target; wake it so it re-aims.
+        self.shared.wake.notify_one();
     }
 
     /// Removes a task (it finished in time). Returns whether it was still
     /// registered.
     pub fn deregister(&self, id: RequestId) -> bool {
-        self.registry.lock().remove(&id).is_some()
+        self.shared.state.lock().registry.remove(&id).is_some()
     }
 
     /// The channel on which expired task ids arrive.
@@ -104,7 +149,7 @@ impl DeadlineDaemon {
 
     /// Number of tasks currently monitored.
     pub fn watched(&self) -> usize {
-        self.registry.lock().len()
+        self.shared.state.lock().registry.len()
     }
 
     /// Stops the monitor thread.
@@ -113,7 +158,11 @@ impl DeadlineDaemon {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        {
+            let mut state = self.shared.state.lock();
+            state.stop = true;
+            self.shared.wake.notify_all();
+        }
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -189,6 +238,23 @@ mod tests {
             .collect();
         killed.sort_unstable();
         assert_eq!(killed, vec![10, 11, 12]);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn nearer_registration_reaims_the_monitor() {
+        // A far deadline parks the monitor long; a subsequently registered
+        // near deadline must still fire on time.
+        let daemon = DeadlineDaemon::start(Duration::from_millis(1));
+        daemon.register(1, Instant::now() + Duration::from_secs(120));
+        std::thread::sleep(Duration::from_millis(5));
+        daemon.register(2, Instant::now() + Duration::from_millis(10));
+        let killed = daemon
+            .kill_signals()
+            .recv_timeout(Duration::from_millis(500))
+            .expect("near deadline fires while far one is parked");
+        assert_eq!(killed, 2);
+        assert_eq!(daemon.watched(), 1);
         daemon.shutdown();
     }
 }

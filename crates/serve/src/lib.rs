@@ -36,6 +36,7 @@ mod pipe;
 mod pool;
 mod request;
 mod runtime;
+mod stats;
 
 pub use accounting::{ClassUsage, PricingModel, UsageLedger};
 pub use daemon::DeadlineDaemon;
@@ -44,3 +45,4 @@ pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;
 pub use request::{InferenceRequest, InferenceResponse, RequestId, ServiceClass};
 pub use runtime::{RuntimeConfig, ServingRuntime};
+pub use stats::RuntimeStats;

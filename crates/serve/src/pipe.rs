@@ -87,7 +87,9 @@ mod tests {
             }
         });
         handle.join().unwrap();
-        let stages: Vec<usize> = (0..3).map(|_| pipe.receiver().recv().unwrap().stage).collect();
+        let stages: Vec<usize> = (0..3)
+            .map(|_| pipe.receiver().recv().unwrap().stage)
+            .collect();
         assert_eq!(stages, vec![0, 1, 2]);
     }
 

@@ -1,6 +1,7 @@
 use crate::{
     ConfidencePipe, DeadlineDaemon, EngineSession, InferenceEngine, InferenceRequest,
-    InferenceResponse, RequestId, StageProgress, StageReport, UsageLedger, WorkerPool,
+    InferenceResponse, RequestId, RuntimeStats, StageProgress, StageReport, UsageLedger,
+    WorkerPool,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use eugene_sched::{Scheduler, TaskView};
@@ -32,7 +33,12 @@ impl Default for RuntimeConfig {
     }
 }
 
-type Submission = (RequestId, InferenceRequest, Sender<InferenceResponse>);
+type Submission = (
+    RequestId,
+    InferenceRequest,
+    Sender<InferenceResponse>,
+    Option<Sender<StageProgress>>,
+);
 type StageDone = (RequestId, Box<dyn EngineSession>, Option<StageReport>, bool);
 
 /// The live serving coordinator (paper §III-C).
@@ -52,6 +58,7 @@ pub struct ServingRuntime {
     next_id: std::sync::atomic::AtomicU64,
     progress_rx: Receiver<StageProgress>,
     ledger: UsageLedger,
+    stats: RuntimeStats,
     coordinator: Option<JoinHandle<()>>,
 }
 
@@ -71,11 +78,15 @@ impl ServingRuntime {
         let pipe = ConfidencePipe::new();
         let progress_rx = pipe.receiver().clone();
         let ledger = UsageLedger::new();
+        let stats = RuntimeStats::new();
         let coordinator = {
             let ledger = ledger.clone();
+            let stats = stats.clone();
             std::thread::Builder::new()
                 .name("eugene-coordinator".to_owned())
-                .spawn(move || coordinator_loop(engine, scheduler, config, submit_rx, pipe, ledger))
+                .spawn(move || {
+                    coordinator_loop(engine, scheduler, config, submit_rx, pipe, ledger, stats)
+                })
                 .expect("spawn coordinator")
         };
         Self {
@@ -83,6 +94,7 @@ impl ServingRuntime {
             next_id: std::sync::atomic::AtomicU64::new(0),
             progress_rx,
             ledger,
+            stats,
             coordinator: Some(coordinator),
         }
     }
@@ -93,16 +105,55 @@ impl ServingRuntime {
     ///
     /// Panics if called after [`ServingRuntime::shutdown`].
     pub fn submit(&self, request: InferenceRequest) -> (RequestId, Receiver<InferenceResponse>) {
+        self.submit_inner(request, None)
+    }
+
+    /// Submits a request and additionally returns a private per-request
+    /// stage-progress channel, closed once the final response is sent.
+    ///
+    /// Unlike [`ServingRuntime::progress_events`] — a single shared feed
+    /// of every task's progress — the returned receiver only carries this
+    /// request's stage reports, so a caller (e.g. a network gateway
+    /// streaming partial results) needs no demultiplexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ServingRuntime::shutdown`].
+    pub fn submit_with_progress(
+        &self,
+        request: InferenceRequest,
+    ) -> (
+        RequestId,
+        Receiver<InferenceResponse>,
+        Receiver<StageProgress>,
+    ) {
+        let (progress_tx, progress_rx) = unbounded();
+        let (id, response_rx) = self.submit_inner(request, Some(progress_tx));
+        (id, response_rx, progress_rx)
+    }
+
+    fn submit_inner(
+        &self,
+        request: InferenceRequest,
+        progress: Option<Sender<StageProgress>>,
+    ) -> (RequestId, Receiver<InferenceResponse>) {
         let id = self
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (tx, rx) = unbounded();
+        self.stats.note_submitted();
         self.submit_tx
             .as_ref()
             .expect("runtime has been shut down")
-            .send((id, request, tx))
+            .send((id, request, tx, progress))
             .expect("coordinator alive");
         (id, rx)
+    }
+
+    /// Live occupancy gauges (in-flight, queue depth); the handle stays
+    /// valid after shutdown and can be cloned freely.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats.clone()
     }
 
     /// Per-stage progress events (the confidence-pipe read end), for
@@ -149,6 +200,9 @@ struct ActiveTask {
     killed: bool,
     num_stages: usize,
     respond: Sender<InferenceResponse>,
+    /// Private stage-progress feed for this request, if the submitter
+    /// asked for one.
+    progress: Option<Sender<StageProgress>>,
 }
 
 fn coordinator_loop(
@@ -158,6 +212,7 @@ fn coordinator_loop(
     submit_rx: Receiver<Submission>,
     pipe: ConfidencePipe,
     ledger: UsageLedger,
+    stats: RuntimeStats,
 ) {
     let pool = WorkerPool::new(config.num_workers);
     let daemon = DeadlineDaemon::start(config.daemon_poll);
@@ -171,7 +226,7 @@ fn coordinator_loop(
         // 1. Accept new requests.
         loop {
             match submit_rx.try_recv() {
-                Ok((id, request, respond)) => {
+                Ok((id, request, respond, progress)) => {
                     let session = engine.begin(&request.payload);
                     let now = Instant::now();
                     let deadline = now + request.class.deadline();
@@ -188,6 +243,7 @@ fn coordinator_loop(
                             killed: false,
                             num_stages: engine.num_stages(),
                             respond,
+                            progress,
                         },
                     );
                 }
@@ -254,6 +310,7 @@ fn coordinator_loop(
             };
             // The submitter may have dropped its receiver; that is fine.
             let _ = task.respond.send(response);
+            stats.note_completed();
         }
 
         // 5. Schedule parked tasks onto free workers.
@@ -272,8 +329,7 @@ fn coordinator_loop(
                     num_stages: t.num_stages,
                     observed: &t.observed,
                     admitted_at: 0,
-                    deadline_at: t.deadline.saturating_duration_since(t.started).as_millis()
-                        as u64,
+                    deadline_at: t.deadline.saturating_duration_since(t.started).as_millis() as u64,
                     remaining_quanta: t
                         .deadline
                         .saturating_duration_since(Instant::now())
@@ -289,27 +345,36 @@ fn coordinator_loop(
                     break;
                 }
                 let id = picked as RequestId;
-                let Some(task) = tasks.get_mut(&id) else { continue };
-                let Some(mut session) = task.session.take() else { continue };
+                let Some(task) = tasks.get_mut(&id) else {
+                    continue;
+                };
+                let Some(mut session) = task.session.take() else {
+                    continue;
+                };
                 let done_tx = done_tx.clone();
                 let progress_tx = pipe.sender();
+                let private_tx = task.progress.clone();
                 in_flight += 1;
                 dispatched += 1;
                 pool.execute(move || {
                     // A panicking engine must not wedge the coordinator:
                     // catch it, return the session, and flag the task.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || session.next_stage(),
-                    ));
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        session.next_stage()
+                    }));
                     match outcome {
                         Ok(report) => {
                             if let Some(r) = report {
-                                let _ = progress_tx.send(StageProgress {
+                                let event = StageProgress {
                                     request_id: id,
                                     stage: session.stages_done().saturating_sub(1),
                                     confidence: r.confidence,
                                     predicted: r.predicted,
-                                });
+                                };
+                                if let Some(private_tx) = &private_tx {
+                                    let _ = private_tx.send(event.clone());
+                                }
+                                let _ = progress_tx.send(event);
                             }
                             let _ = done_tx.send((id, session, report, false));
                         }
@@ -321,12 +386,14 @@ fn coordinator_loop(
             }
         }
 
-        // 6. Exit when drained; otherwise pace the loop.
+        // 6. Publish occupancy, exit when drained, otherwise pace the loop.
+        stats.set_occupancy(in_flight, tasks.len().saturating_sub(in_flight));
         if !accepting && tasks.is_empty() && in_flight == 0 {
             break;
         }
         std::thread::sleep(Duration::from_micros(200));
     }
+    stats.set_occupancy(0, 0);
     pool.shutdown();
     daemon.shutdown();
 }
@@ -398,9 +465,7 @@ mod tests {
     fn many_concurrent_requests_all_answered() {
         let rt = runtime(vec![0.6, 0.9], 1, RuntimeConfig::default());
         let receivers: Vec<_> = (0..20)
-            .map(|i| {
-                rt.submit(InferenceRequest::new(vec![i as f32], class(10_000)))
-            })
+            .map(|i| rt.submit(InferenceRequest::new(vec![i as f32], class(10_000))))
             .collect();
         for (id, rx) in receivers {
             let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
@@ -502,5 +567,81 @@ mod tests {
     fn shutdown_with_no_requests_is_clean() {
         let rt = runtime(vec![0.9], 1, RuntimeConfig::default());
         rt.shutdown();
+    }
+
+    #[test]
+    fn stats_track_in_flight_and_completion() {
+        let rt = runtime(vec![0.5, 0.9], 5, RuntimeConfig::default());
+        let stats = rt.stats();
+        assert_eq!(stats.in_flight(), 0);
+        let rxs: Vec<_> = (0..8)
+            .map(|i| rt.submit(InferenceRequest::new(vec![i as f32], class(10_000))))
+            .collect();
+        assert_eq!(stats.submitted(), 8);
+        assert!(stats.in_flight() > 0, "requests are open while queued");
+        for (_, rx) in rxs {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        // The coordinator finalizes each response before sending it, so by
+        // the time all responses arrived every request is complete.
+        assert_eq!(stats.completed(), 8);
+        assert_eq!(stats.in_flight(), 0);
+        rt.shutdown();
+        assert_eq!(stats.running(), 0);
+        assert_eq!(stats.queued(), 0);
+    }
+
+    #[test]
+    fn submit_with_progress_streams_private_stage_reports() {
+        let rt = runtime(vec![0.4, 0.6, 0.9], 1, RuntimeConfig::default());
+        // A second plain request ensures the private feed is not a
+        // broadcast: its stages must not appear on the first's channel.
+        let (_, other_rx) = rt.submit(InferenceRequest::new(vec![7.0], class(10_000)));
+        let (id, response_rx, progress_rx) =
+            rt.submit_with_progress(InferenceRequest::new(vec![1.0], class(10_000)));
+        let response = response_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        other_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(response.stages_executed, 3);
+        let events: Vec<_> = progress_rx.iter().collect();
+        assert_eq!(events.len(), 3, "one event per stage, channel then closes");
+        for (stage, event) in events.iter().enumerate() {
+            assert_eq!(event.request_id, id);
+            assert_eq!(event.stage, stage);
+        }
+        assert_eq!(events[2].confidence, 0.9);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_in_flight_requests_answers_or_closes_every_channel() {
+        // Slow stages so shutdown lands while requests are mid-pipeline.
+        let rt = runtime(vec![0.3, 0.6, 0.9], 10, RuntimeConfig::default());
+        let rxs: Vec<_> = (0..12)
+            .map(|i| rt.submit(InferenceRequest::new(vec![i as f32], class(10_000))))
+            .collect();
+        rt.shutdown();
+        // Shutdown drains: every submitted request still gets a response
+        // (never a hang, never a lost channel).
+        for (id, rx) in rxs {
+            let response = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("drained request answered");
+            assert_eq!(response.id, id);
+            assert_eq!(response.stages_executed, 3);
+        }
+    }
+
+    #[test]
+    fn drop_while_requests_are_in_flight_does_not_deadlock() {
+        let rt = runtime(vec![0.5, 0.9], 10, RuntimeConfig::default());
+        let rxs: Vec<_> = (0..6)
+            .map(|i| rt.submit(InferenceRequest::new(vec![i as f32], class(10_000))))
+            .collect();
+        drop(rt);
+        for (_, rx) in rxs {
+            // Either a drained response or a cleanly closed channel; a
+            // panic or deadlock would fail the test.
+            let _ = rx.recv_timeout(Duration::from_secs(10));
+        }
     }
 }

@@ -1,0 +1,108 @@
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Live occupancy gauges for a [`crate::ServingRuntime`].
+///
+/// A cheap cloneable handle over shared atomic counters: the runtime's
+/// coordinator updates them as requests move through the pipeline, and any
+/// number of observers (admission controllers, metrics exporters) read
+/// them without locking. Values are monotonic counters (`submitted`,
+/// `completed`) plus instantaneous gauges (`running`, `queued`), so
+/// `in_flight` — the admission-control load signal — is derived as
+/// `submitted - completed` and can never under-count a request that has
+/// been accepted but not yet answered.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    inner: Arc<Gauges>,
+}
+
+#[derive(Debug, Default)]
+struct Gauges {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    running: AtomicUsize,
+    queued: AtomicUsize,
+}
+
+impl RuntimeStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests accepted via `submit` since startup.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests that have received their final response.
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests accepted but not yet answered (queued + running +
+    /// awaiting finalization).
+    pub fn in_flight(&self) -> u64 {
+        // Read completed first so a concurrent submit+complete pair can
+        // only make the difference conservative (too high), never negative.
+        let completed = self.completed();
+        self.submitted().saturating_sub(completed)
+    }
+
+    /// Tasks whose stage is executing on a worker right now.
+    pub fn running(&self) -> usize {
+        self.inner.running.load(Ordering::Relaxed)
+    }
+
+    /// Admitted tasks parked between stages, waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.inner.queued.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_submitted(&self) {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_completed(&self) {
+        self.inner.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_occupancy(&self, running: usize, queued: usize) {
+        self.inner.running.store(running, Ordering::Relaxed);
+        self.inner.queued.store(queued, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_track_updates() {
+        let stats = RuntimeStats::new();
+        assert_eq!(stats.submitted(), 0);
+        assert_eq!(stats.in_flight(), 0);
+
+        stats.note_submitted();
+        stats.note_submitted();
+        let observer = stats.clone();
+        assert_eq!(observer.submitted(), 2, "clones share state");
+        assert_eq!(observer.in_flight(), 2);
+
+        stats.set_occupancy(1, 1);
+        assert_eq!(observer.running(), 1);
+        assert_eq!(observer.queued(), 1);
+
+        stats.note_completed();
+        assert_eq!(observer.in_flight(), 1);
+        stats.note_completed();
+        assert_eq!(observer.in_flight(), 0);
+        assert_eq!(observer.completed(), 2);
+    }
+
+    #[test]
+    fn in_flight_never_underflows() {
+        let stats = RuntimeStats::new();
+        stats.note_completed();
+        assert_eq!(stats.in_flight(), 0);
+    }
+}

@@ -20,7 +20,11 @@ pub struct ShapeError {
 }
 
 impl ShapeError {
-    pub(crate) fn new(op: &'static str, expected: impl Into<String>, actual: impl Into<String>) -> Self {
+    pub(crate) fn new(
+        op: &'static str,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
         Self {
             op,
             expected: expected.into(),

@@ -104,7 +104,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), cols, "row {i} has length {} but expected {cols}", row.len());
+            assert_eq!(
+                row.len(),
+                cols,
+                "row {i} has length {} but expected {cols}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
         Self {
@@ -178,7 +183,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -188,7 +197,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         let cols = self.cols;
         &mut self.data[r * cols..(r + 1) * cols]
     }
@@ -199,7 +212,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column index {c} out of bounds for {} columns", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -434,8 +451,8 @@ impl Matrix {
         );
         for r in 0..self.rows {
             let base = r * self.cols;
-            for c in 0..self.cols {
-                self.data[base + c] += row[c];
+            for (dst, &src) in self.data[base..base + self.cols].iter_mut().zip(row) {
+                *dst += src;
             }
         }
     }
@@ -511,7 +528,11 @@ impl Matrix {
     /// Panics if any index is out of bounds.
     pub fn select_cols(&self, indices: &[usize]) -> Matrix {
         for &c in indices {
-            assert!(c < self.cols, "column index {c} out of bounds for {} columns", self.cols);
+            assert!(
+                c < self.cols,
+                "column index {c} out of bounds for {} columns",
+                self.cols
+            );
         }
         let mut data = Vec::with_capacity(indices.len() * self.rows);
         for r in 0..self.rows {
@@ -556,14 +577,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -696,7 +723,10 @@ mod tests {
     fn select_rows_and_cols() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
         let rows = a.select_rows(&[2, 0]);
-        assert_eq!(rows, Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]));
+        assert_eq!(
+            rows,
+            Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]])
+        );
         let cols = a.select_cols(&[1]);
         assert_eq!(cols, Matrix::from_rows(&[&[2.0], &[5.0], &[8.0]]));
     }

@@ -32,7 +32,10 @@ fn main() {
         }
     }
     let links = broker.discover(0, 0.25);
-    println!("broker discovered {} collaboration links (no geometry shared):", links.len());
+    println!(
+        "broker discovered {} collaboration links (no geometry shared):",
+        links.len()
+    );
     for link in links.iter().take(6) {
         let geometric = cameras[link.a].fov.overlaps(&cameras[link.b].fov);
         println!(
@@ -83,5 +86,8 @@ fn main() {
             plan.local_answer_fraction * 100.0
         );
     }
-    println!("split moved {} times (hysteresis suppresses churn)", adaptive.switches());
+    println!(
+        "split moved {} times (hysteresis suppresses churn)",
+        adaptive.switches()
+    );
 }

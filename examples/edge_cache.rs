@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache.record(answer.predicted);
         server_calls += 1;
     }
-    println!("phase 1: {server_calls} server round trips; frequent classes: {:?}", cache.cache_candidates());
+    println!(
+        "phase 1: {server_calls} server round trips; frequent classes: {:?}",
+        cache.cache_candidates()
+    );
 
     // Phase 2 — the server builds and ships the reduced model.
     assert!(cache.should_rebuild());

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Classify a few inputs stage by stage and watch confidence grow.
     println!("\nsample  difficulty  stage1(conf)  stage2(conf)  stage3(conf)  label");
-    for i in 0..test.len() {
+    for (i, diff) in difficulty.iter().enumerate() {
         let outputs = eugene.classify(model, test.sample(i))?;
         let cells: Vec<String> = outputs
             .iter()
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>6}  {:>10}  {:>12}  {:>12}  {:>12}  {:>5}",
             i,
-            format!("{:?}", difficulty[i]),
+            format!("{diff:?}"),
             cells[0],
             cells[1],
             cells[2],

@@ -86,12 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Early-exit behavior: easy windows resolve at stage 1.
     let evals = eugene.evaluate(augmented_model, &test)?;
     for eval in &evals {
-        let confident = eval
-            .confidences
-            .iter()
-            .filter(|&&c| c >= 0.9)
-            .count() as f64
-            / eval.len() as f64;
+        let confident =
+            eval.confidences.iter().filter(|&&c| c >= 0.9).count() as f64 / eval.len() as f64;
         println!(
             "  stage {}: accuracy {:.1}%, {:.0}% of windows already >= 90% confident",
             eval.stage + 1,

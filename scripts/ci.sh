@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Everything here must pass before a
+# change merges; CI (.github/workflows/ci.yml) runs exactly this script.
+#
+# The workspace builds fully offline: every dependency is a vendored
+# path crate under vendor/, so `--offline` is safe everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q --offline
+
+echo "CI gate passed."

@@ -21,6 +21,8 @@
 //!   baselines with a discrete-event simulator (paper §III, Fig. 4).
 //! - [`serve`] — the live serving runtime: worker pool, deadline daemon,
 //!   confidence pipes (paper §III-C).
+//! - [`net`] — the network edge: wire protocol, TCP gateway with
+//!   admission control, deadline-aware client, Poisson load generator.
 //! - [`collab`] — collaborative multi-camera inferencing (paper §IV,
 //!   Table IV).
 //! - [`service`] — the `Eugene` façade tying the suite together (§II).
@@ -40,6 +42,7 @@ pub use eugene_compress as compress;
 pub use eugene_data as data;
 pub use eugene_gp as gp;
 pub use eugene_label as label;
+pub use eugene_net as net;
 pub use eugene_nn as nn;
 pub use eugene_partition as partition;
 pub use eugene_profiler as profiler;

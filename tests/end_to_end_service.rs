@@ -66,7 +66,12 @@ fn train_calibrate_serve_with_early_exit() {
     let mut answered = 0;
     let mut early = 0;
     let receivers: Vec<_> = (0..stream.len())
-        .map(|i| runtime.submit(InferenceRequest::new(stream.sample(i).to_vec(), class.clone())))
+        .map(|i| {
+            runtime.submit(InferenceRequest::new(
+                stream.sample(i).to_vec(),
+                class.clone(),
+            ))
+        })
         .collect();
     for (_, rx) in receivers {
         let response = rx.recv_timeout(Duration::from_secs(30)).expect("response");
@@ -94,7 +99,10 @@ fn all_scheduler_kinds_serve_requests() {
     for scheduler in [
         SchedulerKind::RtDeepIot { lookahead: 2 },
         SchedulerKind::DynamicConstant { lookahead: 1 },
-        SchedulerKind::DeadlineAwareRtDeepIot { lookahead: 1, slack: 2 },
+        SchedulerKind::DeadlineAwareRtDeepIot {
+            lookahead: 1,
+            slack: 2,
+        },
         SchedulerKind::RoundRobin,
         SchedulerKind::Fifo,
     ] {
@@ -112,7 +120,10 @@ fn all_scheduler_kinds_serve_requests() {
         let class = ServiceClass::new("t", Duration::from_secs(10));
         let receivers: Vec<_> = (0..stream.len())
             .map(|i| {
-                runtime.submit(InferenceRequest::new(stream.sample(i).to_vec(), class.clone()))
+                runtime.submit(InferenceRequest::new(
+                    stream.sample(i).to_vec(),
+                    class.clone(),
+                ))
             })
             .collect();
         for (_, rx) in receivers {
@@ -132,7 +143,12 @@ fn reduction_keeps_the_model_usable_end_to_end() {
     let (train, test) = (parts.next().unwrap(), parts.next().unwrap());
     let mut eugene = Eugene::new(10);
     let model = quick_train(&mut eugene, &train);
-    let full_acc = eugene.evaluate(model, &test).unwrap().pop().unwrap().accuracy;
+    let full_acc = eugene
+        .evaluate(model, &test)
+        .unwrap()
+        .pop()
+        .unwrap()
+        .accuracy;
     let reduced = eugene.reduce(model, 0.5, &train).expect("reduce");
     let reduced_info = eugene.model_info(reduced).unwrap();
     let full_info = eugene.model_info(model).unwrap();
@@ -153,7 +169,10 @@ fn reduction_keeps_the_model_usable_end_to_end() {
         .expect("serve reduced");
     let class = ServiceClass::new("t", Duration::from_secs(10));
     let (_, rx) = runtime.submit(InferenceRequest::new(test.sample(0).to_vec(), class));
-    assert!(rx.recv_timeout(Duration::from_secs(30)).unwrap().is_answered());
+    assert!(rx
+        .recv_timeout(Duration::from_secs(30))
+        .unwrap()
+        .is_answered());
     runtime.shutdown();
 }
 
@@ -178,7 +197,12 @@ fn tight_deadlines_trigger_the_daemon_but_never_lose_requests() {
     // most must be killed, every one must still answer.
     let class = ServiceClass::new("instant", Duration::from_micros(800));
     let receivers: Vec<_> = (0..stream.len())
-        .map(|i| runtime.submit(InferenceRequest::new(stream.sample(i).to_vec(), class.clone())))
+        .map(|i| {
+            runtime.submit(InferenceRequest::new(
+                stream.sample(i).to_vec(),
+                class.clone(),
+            ))
+        })
         .collect();
     let mut expired = 0;
     for (_, rx) in receivers {
@@ -187,6 +211,9 @@ fn tight_deadlines_trigger_the_daemon_but_never_lose_requests() {
             expired += 1;
         }
     }
-    assert!(expired > 0, "the deadline daemon should fire under overload");
+    assert!(
+        expired > 0,
+        "the deadline daemon should fire under overload"
+    );
     runtime.shutdown();
 }

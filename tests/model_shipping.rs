@@ -69,7 +69,11 @@ fn reduce_serialize_ship_and_serve_from_cache() {
     }
     assert!(cache.should_rebuild());
     let cached = server
-        .build_cached_model(&train, &cache.cache_candidates(), &CachedModelConfig::default())
+        .build_cached_model(
+            &train,
+            &cache.cache_candidates(),
+            &CachedModelConfig::default(),
+        )
         .expect("build cache");
     cache.install(cached);
 

@@ -27,7 +27,6 @@ fn build_pipeline() -> Pipeline {
             easy_fraction: 0.6,
             medium_fraction: 0.25,
             noise: 0.3,
-            ..Default::default()
         },
         &mut rng,
     );
@@ -88,8 +87,14 @@ fn staged_training_calibration_prediction_and_scheduling_compose() {
         .iter()
         .map(|e| e.accuracy)
         .collect();
-    assert!(after < before, "calibration should reduce test ECE: {before:.3} -> {after:.3}");
-    assert_eq!(acc_before, acc_after, "scale calibration preserves accuracy");
+    assert!(
+        after < before,
+        "calibration should reduce test ECE: {before:.3} -> {after:.3}"
+    );
+    assert_eq!(
+        acc_before, acc_after,
+        "scale calibration preserves accuracy"
+    );
 
     // 3. GP-compressed confidence curves fit on calibration data predict
     //    monotone refinement.

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` API surface the workspace uses —
+//! cloneable multi-producer multi-consumer channels with `send`, `recv`,
+//! `try_recv`, and `recv_timeout` — implemented as a `Mutex<VecDeque>`
+//! plus `Condvar`. Disconnection semantics match crossbeam: a channel is
+//! disconnected once every `Sender` (for receivers) or every `Receiver`
+//! (for senders) has been dropped.
+
+pub mod channel;

@@ -1,0 +1,503 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! sibling `serde` stand-in by hand-parsing the item token stream (no
+//! `syn`/`quote`, which are unavailable offline). Supported shapes cover
+//! everything this workspace derives:
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged);
+//! - `#[serde(skip)]` and `#[serde(skip, default = "path")]` on named
+//!   struct fields.
+//!
+//! Generic types are intentionally unsupported (none are derived in this
+//! workspace); deriving one produces a compile error naming this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field `#[serde(...)]` options.
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default_path: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::Struct(fields) => serialize_fields_expr(fields, &item.name, FieldAccess::SelfDot),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_variant_arm(&item.name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::Struct(fields) => deserialize_fields_expr(fields, &item.name, None),
+        Data::Enum(variants) => deserialize_enum_expr(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// How the serializer reaches a field: `self.name` or a bound local.
+enum FieldAccess {
+    SelfDot,
+    Local,
+}
+
+fn serialize_fields_expr(fields: &Fields, ty: &str, access: FieldAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+        Fields::Tuple(1) => match access {
+            FieldAccess::SelfDot => "::serde::Serialize::serialize(&self.0)".to_owned(),
+            FieldAccess::Local => "::serde::Serialize::serialize(__f0)".to_owned(),
+        },
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| match access {
+                    FieldAccess::SelfDot => format!("::serde::Serialize::serialize(&self.{i})"),
+                    FieldAccess::Local => format!("::serde::Serialize::serialize(__f{i})"),
+                })
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(named) => {
+            let mut pushes = String::new();
+            for f in named {
+                if f.attrs.skip {
+                    continue;
+                }
+                let expr = match access {
+                    FieldAccess::SelfDot => format!("&self.{}", f.name),
+                    FieldAccess::Local => f.name.clone(),
+                };
+                pushes.push_str(&format!(
+                    "__fields.push((\"{name}\".to_owned(), ::serde::Serialize::serialize({expr})));\n",
+                    name = f.name
+                ));
+            }
+            format!(
+                "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); /* {ty} */ {pushes} ::serde::Value::Object(__fields) }}"
+            )
+        }
+    }
+}
+
+fn serialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{ty}::{vname} => ::serde::Value::String(\"{vname}\".to_owned()),\n")
+        }
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = serialize_fields_expr(&v.fields, ty, FieldAccess::Local);
+            format!(
+                "{ty}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), {inner})]),\n",
+                binds = binders.join(", ")
+            )
+        }
+        Fields::Named(named) => {
+            let binders: Vec<String> = named.iter().map(|f| f.name.clone()).collect();
+            let inner = serialize_fields_expr(&v.fields, ty, FieldAccess::Local);
+            format!(
+                "{ty}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), {inner})]),\n",
+                binds = binders.join(", ")
+            )
+        }
+    }
+}
+
+/// Expression deserializing `fields` from `value` (or from a bound
+/// `__inner` value for enum variants) into constructor `ctor`.
+fn deserialize_fields_expr(fields: &Fields, ctor: &str, source: Option<&str>) -> String {
+    let src = source.unwrap_or("value");
+    match fields {
+        Fields::Unit => format!("Ok({ctor})"),
+        Fields::Tuple(1) => {
+            format!("Ok({ctor}(::serde::Deserialize::deserialize({src})?))")
+        }
+        Fields::Tuple(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                items.push_str(&format!(
+                    "::serde::Deserialize::deserialize(&__items[{i}])?,"
+                ));
+            }
+            format!(
+                "{{ let __items = {src}.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for `{ctor}`\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for `{ctor}`\")); }}\n\
+                 Ok({ctor}({items})) }}"
+            )
+        }
+        Fields::Named(named) => {
+            let mut inits = String::new();
+            for f in named {
+                if f.attrs.skip {
+                    let default = match &f.attrs.default_path {
+                        Some(path) => format!("{path}()"),
+                        None => "::std::default::Default::default()".to_owned(),
+                    };
+                    inits.push_str(&format!("{name}: {default},\n", name = f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{name}: match ::serde::obj_get(__entries, \"{name}\") {{\n\
+                             Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+                             None => return Err(::serde::Error::missing_field(\"{name}\", \"{ctor}\")),\n\
+                         }},\n",
+                        name = f.name
+                    ));
+                }
+            }
+            format!(
+                "{{ let __entries = {src}.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for `{ctor}`\"))?;\n\
+                 Ok({ctor} {{ {inits} }}) }}"
+            )
+        }
+    }
+}
+
+fn deserialize_enum_expr(ty: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({ty}::{vname}),\n"));
+                // Also accept the tagged-null spelling for robustness.
+                tagged_arms.push_str(&format!("\"{vname}\" => Ok({ty}::{vname}),\n"));
+            }
+            fields => {
+                let ctor = format!("{ty}::{vname}");
+                let expr = deserialize_fields_expr(fields, &ctor, Some("__inner"));
+                tagged_arms.push_str(&format!("\"{vname}\" => {expr},\n"));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{__other}}` for `{ty}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"unknown variant `{{__other}}` for `{ty}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::Error::custom(format!(\
+                 \"expected enum `{ty}`, got {{__other:?}}\"))),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    fn peek_punct(&self) -> Option<char> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) => Some(p.as_char()),
+            _ => None,
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning any `#[serde(...)]` options.
+    fn parse_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while self.peek_punct() == Some('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: malformed attribute, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.peek_ident().as_deref() == Some("serde") {
+                inner.next();
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    parse_serde_args(args.stream(), &mut attrs);
+                }
+            }
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn parse_vis(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skips a type (or discriminant expression), stopping at a top-level
+    /// comma. Tracks `<`/`>` nesting; bracketed groups arrive pre-nested.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                }
+                if c == '>' {
+                    angle_depth -= 1;
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cur = Cursor::new(stream);
+    while !cur.at_end() {
+        match cur.next() {
+            Some(TokenTree::Ident(i)) => match i.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                "default" => {
+                    if cur.peek_punct() == Some('=') {
+                        cur.next();
+                        match cur.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                let raw = lit.to_string();
+                                attrs.default_path = Some(raw.trim_matches('"').to_owned());
+                            }
+                            other => panic!(
+                                "serde_derive: expected string after `default =`, got {other:?}"
+                            ),
+                        }
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            },
+            Some(TokenTree::Punct(_)) => {}
+            Some(other) => panic!("serde_derive: unexpected token in serde attribute: {other:?}"),
+            None => break,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.parse_attrs();
+    cur.parse_vis();
+    let kind = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if cur.peek_punct() == Some('<') {
+        panic!(
+            "serde_derive (offline stand-in): generic type `{name}` is not supported; \
+             write manual Serialize/Deserialize impls instead"
+        );
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_field_count(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+            };
+            Item {
+                name,
+                data: Data::Struct(fields),
+            }
+        }
+        "enum" => {
+            let group = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+            };
+            Item {
+                name,
+                data: Data::Enum(parse_variants(group.stream())),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.parse_attrs();
+        cur.parse_vis();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        cur.skip_until_comma();
+        if cur.peek_punct() == Some(',') {
+            cur.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_field_count(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.parse_attrs();
+        cur.parse_vis();
+        cur.skip_until_comma();
+        count += 1;
+        if cur.peek_punct() == Some(',') {
+            cur.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.parse_attrs();
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = parse_tuple_field_count(g.stream());
+                cur.next();
+                Fields::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                cur.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if cur.peek_punct() == Some('=') {
+            cur.next();
+            cur.skip_until_comma();
+        }
+        if cur.peek_punct() == Some(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
