@@ -1,12 +1,17 @@
 //! Measures the network gateway end to end: a seeded open-loop Poisson
 //! load generator drives a loopback TCP gateway over a synthetic staged
-//! engine, once comfortably under capacity and once well over it.
+//! engine, once comfortably under capacity and once well over it — then
+//! sweeps the single-connection pipelining curve with the multiplexed
+//! client.
 //!
-//! The shape to look for: under nominal load the gateway answers
+//! The shapes to look for: under nominal load the gateway answers
 //! everything with low tail latency and a zero reject rate; under
 //! overload, admission control sheds lowest-utility classes with
 //! `Reject{retry_after}` so the admitted remainder still meets its
-//! deadlines rather than collapsing into queueing failure.
+//! deadlines rather than collapsing into queueing failure; and on a
+//! single TCP connection, throughput climbs with multiplexed in-flight
+//! depth until it saturates runtime capacity — far above what the
+//! one-request-per-connection serial client can reach on the same socket.
 //!
 //! Writes `results/gateway_throughput.json`.
 //!
@@ -16,6 +21,7 @@
 use eugene_bench::{has_flag, print_table, write_json};
 use eugene_net::{
     loadgen, ClassSpec, ClientConfig, Gateway, GatewayConfig, LoadReport, LoadgenConfig,
+    LoadgenMode,
 };
 use eugene_sched::Fifo;
 use eugene_serve::{EngineSession, InferenceEngine, RuntimeConfig, ServingRuntime, StageReport};
@@ -71,15 +77,30 @@ impl EngineSession for FixedCostSession {
     }
 }
 
+/// One point of the single-connection pipelining sweep.
+#[derive(Serialize)]
+struct PipelinePoint {
+    /// Concurrent in-flight requests pipelined on the one connection.
+    depth: usize,
+    report: LoadReport,
+}
+
 #[derive(Serialize)]
 struct GatewayThroughputDoc {
     stage_time_ms: f64,
     workers: usize,
     nominal: LoadReport,
     overload: LoadReport,
+    /// One-request-per-connection baseline on a single socket.
+    serial_single_connection: LoadReport,
+    /// Multiplexed single-connection throughput vs pipelining depth.
+    mux_single_connection_curve: Vec<PipelinePoint>,
+    /// One-request-per-connection at 64 sockets, for the equal-concurrency
+    /// comparison against the depth-64 single-socket point.
+    per_connection_64: LoadReport,
 }
 
-fn start_gateway() -> Gateway {
+fn start_gateway(admission: bool) -> Gateway {
     let engine = Arc::new(FixedCostEngine {
         ramp: vec![0.4, 0.7, 0.95],
         stage_time: Duration::from_millis(1),
@@ -93,9 +114,16 @@ fn start_gateway() -> Gateway {
             ..RuntimeConfig::default()
         },
     );
+    // The pipelining sweep opens admission wide: it measures the wire and
+    // demux path, and shedding at depth 64 would truncate the curve.
+    let (high_water, hard_cap) = if admission {
+        (32, 96)
+    } else {
+        (1_000_000, 2_000_000)
+    };
     let mut config = GatewayConfig {
-        high_water: 32,
-        hard_cap: 96,
+        high_water,
+        hard_cap,
         ..GatewayConfig::default()
     };
     config.class_utility.insert("interactive".to_owned(), 2.0);
@@ -103,14 +131,24 @@ fn start_gateway() -> Gateway {
     Gateway::start(runtime, config).expect("bind loopback gateway")
 }
 
-fn scenario(name: &str, connections: usize, rate_hz: f64, total: usize, seed: u64) -> LoadReport {
+struct Scenario<'a> {
+    name: &'a str,
+    connections: usize,
+    mode: LoadgenMode,
+    admission: bool,
+    rate_hz: f64,
+    total: usize,
+    seed: u64,
+}
+
+fn scenario(s: Scenario<'_>) -> LoadReport {
     // Fresh gateway per scenario so overload cannot pollute nominal.
-    let gateway = start_gateway();
+    let gateway = start_gateway(s.admission);
     let config = LoadgenConfig {
         addr: gateway.local_addr().to_string(),
-        connections,
-        total_requests: total,
-        rate_hz,
+        connections: s.connections,
+        total_requests: s.total,
+        rate_hz: s.rate_hz,
         classes: vec![
             ClassSpec {
                 name: "interactive".to_owned(),
@@ -125,13 +163,21 @@ fn scenario(name: &str, connections: usize, rate_hz: f64, total: usize, seed: u6
                 payload_len: 16,
             },
         ],
-        seed,
+        seed: s.seed,
         client: ClientConfig {
             max_attempts: 1, // measure raw admission decisions
             ..ClientConfig::default()
         },
+        mode: s.mode.clone(),
     };
-    println!("{name}: {total} requests at {rate_hz:.0} req/s over {connections} connections...");
+    let kind = match &s.mode {
+        LoadgenMode::PerConnection => "serial".to_owned(),
+        LoadgenMode::Multiplexed { concurrency } => format!("mux depth {concurrency}"),
+    };
+    println!(
+        "{}: {} requests at {:.0} req/s over {} connection(s), {kind}...",
+        s.name, s.total, s.rate_hz, s.connections
+    );
     let report = loadgen::run(&config);
     gateway.shutdown();
     report
@@ -140,13 +186,67 @@ fn scenario(name: &str, connections: usize, rate_hz: f64, total: usize, seed: u6
 fn main() {
     let quick = has_flag("--quick");
     let (nominal_total, overload_total) = if quick { (300, 600) } else { (1_500, 3_000) };
+    let (serial_total, sweep_total) = if quick { (150, 400) } else { (600, 1_200) };
 
     // ~3ms of engine time per request across 4 workers puts capacity
     // near 1300 req/s: probe well under it with a handful of connections,
     // then well over it with enough concurrency (64 blocking connections
     // against high_water 32) to drive admission control into shedding.
-    let nominal = scenario("nominal", 8, 400.0, nominal_total, 11);
-    let overload = scenario("overload", 64, 4_000.0, overload_total, 13);
+    let nominal = scenario(Scenario {
+        name: "nominal",
+        connections: 8,
+        mode: LoadgenMode::PerConnection,
+        admission: true,
+        rate_hz: 400.0,
+        total: nominal_total,
+        seed: 11,
+    });
+    let overload = scenario(Scenario {
+        name: "overload",
+        connections: 64,
+        mode: LoadgenMode::PerConnection,
+        admission: true,
+        rate_hz: 4_000.0,
+        total: overload_total,
+        seed: 13,
+    });
+
+    // Single-connection pipelining sweep: one socket, multiplexed depth
+    // 1→64, offered far above capacity so each point is concurrency-bound.
+    // The serial baseline is the same socket with one request in flight.
+    let serial_single = scenario(Scenario {
+        name: "serial-1conn",
+        connections: 1,
+        mode: LoadgenMode::PerConnection,
+        admission: false,
+        rate_hz: 10_000.0,
+        total: serial_total,
+        seed: 17,
+    });
+    let mut curve = Vec::new();
+    for depth in [1usize, 4, 16, 64] {
+        let report = scenario(Scenario {
+            name: "mux-1conn",
+            connections: 1,
+            mode: LoadgenMode::Multiplexed { concurrency: depth },
+            admission: false,
+            rate_hz: 10_000.0,
+            total: sweep_total,
+            seed: 19 + depth as u64,
+        });
+        curve.push(PipelinePoint { depth, report });
+    }
+    // Equal concurrency, opposite connection models: 64 serial sockets vs
+    // the depth-64 point above on one socket.
+    let per_connection_64 = scenario(Scenario {
+        name: "serial-64conn",
+        connections: 64,
+        mode: LoadgenMode::PerConnection,
+        admission: false,
+        rate_hz: 10_000.0,
+        total: sweep_total,
+        seed: 23,
+    });
 
     let row = |name: &str, r: &LoadReport| {
         vec![
@@ -159,10 +259,16 @@ fn main() {
             format!("{:.3}", r.deadline_miss_rate),
         ]
     };
+    let mut rows = vec![row("nominal", &nominal), row("overload", &overload)];
+    rows.push(row("serial 1 conn", &serial_single));
+    for point in &curve {
+        rows.push(row(&format!("mux 1 conn x{}", point.depth), &point.report));
+    }
+    rows.push(row("serial 64 conn", &per_connection_64));
     print_table(
         "Gateway throughput",
         &["scenario", "rps", "p50ms", "p95ms", "p99ms", "rej", "miss"],
-        &[row("nominal", &nominal), row("overload", &overload)],
+        &rows,
     );
 
     assert_eq!(
@@ -174,6 +280,15 @@ fn main() {
         nominal.requests,
         "every offered request must be accounted for"
     );
+    let deepest = curve.last().expect("sweep is non-empty");
+    assert!(
+        deepest.report.throughput_rps > 2.0 * serial_single.throughput_rps,
+        "pipelining 64 requests on one connection must beat the serial \
+         one-request-per-connection baseline on that connection \
+         (mux {:.0} rps vs serial {:.0} rps)",
+        deepest.report.throughput_rps,
+        serial_single.throughput_rps
+    );
 
     write_json(
         "gateway_throughput",
@@ -182,6 +297,9 @@ fn main() {
             workers: 4,
             nominal,
             overload,
+            serial_single_connection: serial_single,
+            mux_single_connection_curve: curve,
+            per_connection_64,
         },
     );
 }

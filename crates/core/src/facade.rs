@@ -539,8 +539,16 @@ impl Eugene {
 
     /// *Deep intelligence as a service*, literally: starts a serving
     /// runtime (as [`Eugene::serve`]) and exposes it over TCP behind a
-    /// [`Gateway`] with admission control. Remote clients talk to it with
-    /// [`eugene_net::EugeneClient`].
+    /// [`Gateway`] with atomic admission control. Remote clients talk to
+    /// it with the serial [`eugene_net::EugeneClient`] (one request in
+    /// flight per connection) or the pipelining
+    /// [`eugene_net::MultiplexClient`], which interleaves arbitrarily
+    /// many tagged in-flight requests — with per-stage progress streams —
+    /// over a single connection. Per connection the gateway runs one
+    /// reader plus a fixed dispatcher pool
+    /// ([`GatewayConfig::dispatch_workers`]); no thread is ever spawned
+    /// per request, and [`Gateway::status`] exposes admission/accept/
+    /// thread gauges for monitoring.
     ///
     /// # Errors
     ///

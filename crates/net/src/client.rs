@@ -1,17 +1,36 @@
-//! Blocking gateway client with deadline-aware retry.
+//! Blocking gateway clients with deadline-aware retry.
 //!
-//! [`EugeneClient`] speaks the [`crate::wire`] protocol over one TCP
-//! connection, reconnecting transparently when the gateway drops it. Every
-//! inference carries an end-to-end budget: the client anchors the deadline
-//! at the moment [`EugeneClient::infer`] is called, sends the *remaining*
-//! budget with each attempt, and backs off between attempts with capped
-//! exponential backoff plus seeded jitter — but never sleeps past the
-//! remaining budget, so a caller's deadline bounds the whole retry loop.
+//! Two clients speak the [`crate::wire`] protocol:
+//!
+//! - [`EugeneClient`] is the simple serial client: one request in flight
+//!   per connection, reconnecting transparently when the gateway drops it.
+//! - [`MultiplexClient`] pipelines arbitrarily many requests over a
+//!   *single* TCP connection, allocating a fresh `client_tag` per submit
+//!   and routing `StageUpdate`/`Final`/`Reject` frames back to the
+//!   matching [`PendingInference`] via a background reader thread. It is
+//!   `&self` throughout, so many threads can share one client (and one
+//!   socket).
+//!
+//! Both preserve the same deadline semantics per request: the deadline is
+//! anchored when the inference starts, each submit carries only the
+//! *remaining* budget, retries back off with capped exponential backoff
+//! plus seeded jitter, and no sleep ever extends past the deadline. Tags
+//! are allocated from a wrapping counter and never reused while a request
+//! is pending; frames that arrive for a tag no longer pending (a prior
+//! attempt that timed out, a `Reject` for an old tag after reconnect) are
+//! counted as *stale* and explicitly discarded — in particular a stale
+//! `Reject` never sets the backoff floor for the current attempt.
 
 use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Connection and retry policy for [`EugeneClient`].
@@ -128,6 +147,7 @@ pub struct EugeneClient {
     conn: Option<Connection>,
     rng: rand::rngs::StdRng,
     next_tag: u64,
+    stale_frames: u64,
 }
 
 impl EugeneClient {
@@ -146,7 +166,24 @@ impl EugeneClient {
             conn: None,
             rng,
             next_tag: 0,
+            stale_frames: 0,
         })
+    }
+
+    /// Allocates the next client tag. The space wraps at `u64::MAX`; tags
+    /// are unique per connection as long as fewer than 2^64 requests are
+    /// ever simultaneously outstanding, which holds trivially here (one).
+    fn alloc_tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        tag
+    }
+
+    /// Frames received for a tag that is no longer pending (leftovers of
+    /// a timed-out or superseded attempt). These are discarded, never
+    /// acted on.
+    pub fn stale_frames(&self) -> u64 {
+        self.stale_frames
     }
 
     /// Runs one inference with an end-to-end deadline `budget`.
@@ -287,8 +324,7 @@ impl EugeneClient {
         remaining: Duration,
         deadline: Instant,
     ) -> Result<InferenceOutcome, AttemptError> {
-        let tag = self.next_tag;
-        self.next_tag += 1;
+        let tag = self.alloc_tag();
         let submit = Frame::Submit(SubmitRequest {
             client_tag: tag,
             class: class.to_owned(),
@@ -364,10 +400,533 @@ impl EugeneClient {
                         error: ClientError::Rejected { retry_after },
                     });
                 }
-                // Stale frames from a previous timed-out tag, pongs, etc.
+                // Stale data frames: leftovers addressed to a tag that is
+                // no longer pending (a timed-out prior attempt, or an old
+                // tag echoed after reconnect/wraparound). Count and drop
+                // them — crucially a stale `Reject` must NOT feed its
+                // `retry_after_ms` into this attempt's backoff floor.
+                Frame::StageUpdate { .. } | Frame::Final { .. } | Frame::Reject { .. } => {
+                    self.stale_frames += 1;
+                }
+                // Control frames (pongs from concurrent pings, handshake
+                // echoes) are simply not ours to handle here.
                 _ => {}
             }
         }
+    }
+}
+
+/// Demuxed event delivered to one pending request's channel.
+enum MuxEvent {
+    Stage(StageUpdate),
+    Final(wire::WireResponse),
+    Reject { retry_after_ms: u64 },
+}
+
+/// State shared between a mux connection's users and its reader thread.
+///
+/// The reader holds only this (never the [`MuxConn`] itself), so dropping
+/// the last `MuxConn` reference can join the reader without a cycle.
+struct MuxShared {
+    /// In-flight tags → the channel their frames are routed to. `Final`
+    /// and `Reject` remove the entry; `StageUpdate` does not.
+    pending: Mutex<HashMap<u64, Sender<MuxEvent>>>,
+    /// Outstanding ping nonces → wakeup channels.
+    pings: Mutex<HashMap<u64, Sender<()>>>,
+    /// Set by the reader on any wire failure: the connection is unusable
+    /// and the next submit re-dials.
+    dead: AtomicBool,
+    /// Set on deliberate close so the reader exits without flagging an
+    /// error.
+    closed: AtomicBool,
+    /// Client-lifetime stale-frame counter (shared across reconnects).
+    stale: Arc<AtomicU64>,
+}
+
+/// One live multiplexed connection: a locked write half (frame-atomic)
+/// plus the reader thread demuxing the read half.
+struct MuxConn {
+    writer: Mutex<TcpStream>,
+    shared: Arc<MuxShared>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+        {
+            let mut writer = self.writer.lock();
+            // Courtesy close; the socket shutdown right after is what
+            // actually unblocks the reader.
+            let _ = wire::write_frame(&mut *writer, &Frame::Shutdown);
+            writer.shutdown(SocketShutdown::Both).ok();
+        }
+        if let Some(handle) = self.reader.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn mux_reader_loop(mut stream: TcpStream, mut buffer: FrameBuffer, shared: Arc<MuxShared>) {
+    loop {
+        if shared.closed.load(Ordering::Relaxed) {
+            return;
+        }
+        let frame = match buffer.poll(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue,
+            Err(_) => {
+                shared.dead.store(true, Ordering::Relaxed);
+                // Dropping the senders disconnects every waiter, which
+                // observes `Disconnected` and classifies the attempt as a
+                // retryable connection loss.
+                shared.pending.lock().clear();
+                shared.pings.lock().clear();
+                return;
+            }
+        };
+        match frame {
+            Frame::StageUpdate {
+                client_tag,
+                stage,
+                confidence,
+                predicted,
+            } => {
+                let routed = shared.pending.lock().get(&client_tag).map(|tx| {
+                    tx.send(MuxEvent::Stage(StageUpdate {
+                        stage,
+                        confidence,
+                        predicted,
+                    }))
+                });
+                if routed.is_none() {
+                    shared.stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Frame::Final {
+                client_tag,
+                response,
+            } => match shared.pending.lock().remove(&client_tag) {
+                Some(tx) => {
+                    let _ = tx.send(MuxEvent::Final(response));
+                }
+                None => {
+                    shared.stale.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Frame::Reject {
+                client_tag,
+                retry_after_ms,
+            } => match shared.pending.lock().remove(&client_tag) {
+                Some(tx) => {
+                    let _ = tx.send(MuxEvent::Reject { retry_after_ms });
+                }
+                // A stale Reject (old tag, post-reconnect echo) is counted
+                // and dropped — its retry_after must not slow anyone down.
+                None => {
+                    shared.stale.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Frame::Pong { nonce } => {
+                if let Some(tx) = shared.pings.lock().remove(&nonce) {
+                    let _ = tx.send(());
+                }
+            }
+            // Servers have no business sending client->server frames.
+            _ => {}
+        }
+    }
+}
+
+/// A submitted inference whose `Final` has not been awaited yet.
+///
+/// Obtained from [`MultiplexClient::submit`]; any number may be
+/// outstanding on the same connection at once. [`PendingInference::wait`]
+/// blocks until the final answer, a rejection, the request's deadline, or
+/// connection loss — whichever comes first. Dropping a pending inference
+/// abandons it: a late `Final` is then counted as stale, not delivered.
+pub struct PendingInference {
+    conn: Arc<MuxConn>,
+    tag: u64,
+    rx: Receiver<MuxEvent>,
+    deadline: Instant,
+    submitted: Instant,
+    stage_updates: Vec<StageUpdate>,
+    done: bool,
+}
+
+impl PendingInference {
+    /// The wire tag this request was submitted under.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Blocks until this request resolves (single attempt, no retry).
+    ///
+    /// For rejected requests use [`MultiplexClient::infer`] if you want
+    /// the retry/backoff loop.
+    pub fn wait(mut self) -> Result<InferenceOutcome, ClientError> {
+        match self.wait_attempt() {
+            Ok(mut outcome) => {
+                outcome.attempts = 1;
+                Ok(outcome)
+            }
+            Err(AttemptError::Fatal(e)) | Err(AttemptError::Retry { error: e, .. }) => Err(e),
+        }
+    }
+
+    fn wait_attempt(&mut self) -> Result<InferenceOutcome, AttemptError> {
+        loop {
+            let remaining = self.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.abandon();
+                return Err(AttemptError::Fatal(ClientError::DeadlineExhausted));
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(MuxEvent::Stage(update)) => self.stage_updates.push(update),
+                Ok(MuxEvent::Final(response)) => {
+                    self.done = true;
+                    return Ok(InferenceOutcome {
+                        predicted: response.predicted,
+                        confidence: response.confidence,
+                        stages_executed: response.stages_executed,
+                        expired: response.expired,
+                        server_latency: Duration::from_micros(response.latency_us),
+                        round_trip: self.submitted.elapsed(),
+                        stage_updates: std::mem::take(&mut self.stage_updates),
+                        attempts: 0, // filled by the caller
+                    });
+                }
+                Ok(MuxEvent::Reject { retry_after_ms }) => {
+                    self.done = true;
+                    let retry_after = Duration::from_millis(retry_after_ms);
+                    return Err(AttemptError::Retry {
+                        floor: retry_after,
+                        error: ClientError::Rejected { retry_after },
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The reader died and dropped our sender: connection
+                    // lost mid-flight; retryable on a fresh connection.
+                    self.done = true;
+                    return Err(AttemptError::retry(ClientError::Wire(WireError::Truncated)));
+                }
+            }
+        }
+    }
+
+    /// Deregisters the tag so late frames count as stale instead of
+    /// leaking a dead channel in the routing table. The connection itself
+    /// stays healthy — one timed-out request must not stall the pipeline.
+    fn abandon(&mut self) {
+        self.conn.shared.pending.lock().remove(&self.tag);
+        self.done = true;
+    }
+}
+
+impl Drop for PendingInference {
+    fn drop(&mut self) {
+        if !self.done {
+            self.abandon();
+        }
+    }
+}
+
+/// Pipelining gateway client: many concurrent requests over one TCP
+/// connection, demuxed by `client_tag`.
+///
+/// Shareable across threads (`&self` API); submits interleave freely and
+/// a background reader routes every response to the matching
+/// [`PendingInference`]. Reconnects lazily after connection loss; tags
+/// come from a wrapping client-lifetime counter, so tags are never reused
+/// across a reconnect and stale frames from an old socket can never be
+/// misdelivered.
+///
+/// ```no_run
+/// use eugene_net::client::{ClientConfig, MultiplexClient};
+/// use std::time::Duration;
+///
+/// let client = MultiplexClient::new("127.0.0.1:7878", ClientConfig::default())?;
+/// // Pipeline a burst of submits, then harvest the answers.
+/// let pending: Vec<_> = (0..64)
+///     .map(|i| client.submit("interactive", &[i as f32], Duration::from_millis(250), false))
+///     .collect::<Result<_, _>>()?;
+/// for p in pending {
+///     let outcome = p.wait()?;
+///     println!("predicted {:?}", outcome.predicted);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MultiplexClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Mutex<Option<Arc<MuxConn>>>,
+    next_tag: AtomicU64,
+    next_nonce: AtomicU64,
+    stale: Arc<AtomicU64>,
+    rng: Mutex<rand::rngs::StdRng>,
+}
+
+impl MultiplexClient {
+    /// Resolves `addr` and prepares a client; the connection is dialed
+    /// lazily on first submit and re-dialed after failures.
+    pub fn new(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        Ok(Self {
+            addr,
+            config,
+            conn: Mutex::new(None),
+            next_tag: AtomicU64::new(0),
+            next_nonce: AtomicU64::new(0),
+            stale: Arc::new(AtomicU64::new(0)),
+            rng: Mutex::new(rng),
+        })
+    }
+
+    /// Dials the gateway now instead of on first submit.
+    pub fn connect(&self, timeout: Duration) -> Result<(), ClientError> {
+        self.connection(Instant::now() + timeout).map(|_| ())
+    }
+
+    /// Whether a live (non-dead) connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.conn
+            .lock()
+            .as_ref()
+            .is_some_and(|c| !c.shared.dead.load(Ordering::Relaxed))
+    }
+
+    /// Frames received for tags no longer pending, accumulated over the
+    /// client's lifetime (across reconnects). Stale frames are counted
+    /// and dropped, never delivered.
+    pub fn stale_frames(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next client tag from the wrapping counter. Tags stay
+    /// unique as long as fewer than 2^64 requests are simultaneously in
+    /// flight, and are never reused across reconnects (the counter is
+    /// client-lifetime, not per-connection).
+    fn alloc_tag(&self) -> u64 {
+        // fetch_add wraps on overflow, which is exactly the semantics we
+        // want at the u64::MAX boundary.
+        self.next_tag.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submits one inference without waiting; the returned handle resolves
+    /// it. Any number of submits may be pipelined before the first wait.
+    pub fn submit(
+        &self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        want_progress: bool,
+    ) -> Result<PendingInference, ClientError> {
+        self.submit_with_deadline(class, payload, Instant::now() + budget, want_progress)
+    }
+
+    fn submit_with_deadline(
+        &self,
+        class: &str,
+        payload: &[f32],
+        deadline: Instant,
+        want_progress: bool,
+    ) -> Result<PendingInference, ClientError> {
+        let conn = self.connection(deadline)?;
+        let tag = self.alloc_tag();
+        let (tx, rx) = unbounded();
+        conn.shared.pending.lock().insert(tag, tx);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let frame = Frame::Submit(SubmitRequest {
+            client_tag: tag,
+            class: class.to_owned(),
+            budget_ms: remaining.as_millis().max(1) as u64,
+            want_progress,
+            payload: payload.to_vec(),
+        });
+        if let Err(e) = wire::write_frame(&mut *conn.writer.lock(), &frame) {
+            conn.shared.pending.lock().remove(&tag);
+            conn.shared.dead.store(true, Ordering::Relaxed);
+            return Err(e.into());
+        }
+        Ok(PendingInference {
+            conn,
+            tag,
+            rx,
+            deadline,
+            submitted: Instant::now(),
+            stage_updates: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// Runs one inference with an end-to-end deadline `budget`, retrying
+    /// rejections and connection loss with the same capped, jittered,
+    /// deadline-bounded backoff as [`EugeneClient::infer`] — but over the
+    /// shared pipelined connection, so concurrent callers never serialize
+    /// behind each other.
+    pub fn infer(
+        &self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+    ) -> Result<InferenceOutcome, ClientError> {
+        let started = Instant::now();
+        let deadline = started + budget;
+        let mut attempts = 0u32;
+        let mut last_error = ClientError::DeadlineExhausted;
+        while attempts < self.config.max_attempts {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::DeadlineExhausted);
+            }
+            attempts += 1;
+            match self.attempt(class, payload, deadline) {
+                Ok(mut outcome) => {
+                    outcome.round_trip = started.elapsed();
+                    outcome.attempts = attempts;
+                    return Ok(outcome);
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Retry { floor, error }) => {
+                    last_error = error;
+                    let backoff = self.backoff(attempts).max(floor);
+                    if Instant::now() + backoff >= deadline || attempts >= self.config.max_attempts
+                    {
+                        return Err(last_error);
+                    }
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    fn attempt(
+        &self,
+        class: &str,
+        payload: &[f32],
+        deadline: Instant,
+    ) -> Result<InferenceOutcome, AttemptError> {
+        let mut pending =
+            match self.submit_with_deadline(class, payload, deadline, self.config.want_progress) {
+                Ok(pending) => pending,
+                Err(ClientError::DeadlineExhausted) => {
+                    return Err(AttemptError::Fatal(ClientError::DeadlineExhausted))
+                }
+                // Dial/write failures are transient: retry with backoff.
+                Err(e) => return Err(AttemptError::retry(e)),
+            };
+        pending.wait_attempt()
+    }
+
+    /// Round-trips a Ping over the shared connection; returns the RTT.
+    pub fn ping(&self, timeout: Duration) -> Result<Duration, ClientError> {
+        let deadline = Instant::now() + timeout;
+        let conn = self.connection(deadline)?;
+        let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        conn.shared.pings.lock().insert(nonce, tx);
+        let started = Instant::now();
+        if let Err(e) = wire::write_frame(&mut *conn.writer.lock(), &Frame::Ping { nonce }) {
+            conn.shared.pings.lock().remove(&nonce);
+            conn.shared.dead.store(true, Ordering::Relaxed);
+            return Err(e.into());
+        }
+        match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(()) => Ok(started.elapsed()),
+            Err(RecvTimeoutError::Timeout) => {
+                conn.shared.pings.lock().remove(&nonce);
+                Err(ClientError::DeadlineExhausted)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ClientError::Wire(WireError::Truncated)),
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.config.backoff_cap);
+        let jitter = self.rng.lock().gen_range(0.5f64..1.5);
+        exp.mul_f64(jitter)
+    }
+
+    /// Returns the live connection, dialing a fresh one (under the lock,
+    /// so concurrent submitters share a single dial) if none exists or
+    /// the previous one died.
+    fn connection(&self, deadline: Instant) -> Result<Arc<MuxConn>, ClientError> {
+        let mut guard = self.conn.lock();
+        if let Some(conn) = guard.as_ref() {
+            if !conn.shared.dead.load(Ordering::Relaxed) {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let conn = Arc::new(self.dial(deadline)?);
+        *guard = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    fn dial(&self, deadline: Instant) -> Result<MuxConn, ClientError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ClientError::DeadlineExhausted);
+        }
+        let timeout = self.config.connect_timeout.min(remaining);
+        let mut stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(self.config.read_poll))
+            .map_err(WireError::Io)?;
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                max_version: PROTOCOL_VERSION,
+            },
+        )?;
+        // Handshake completes on this thread; the buffer (with any bytes
+        // the server pipelined behind the ack) is handed to the reader.
+        let mut buffer = FrameBuffer::new();
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ClientError::DeadlineExhausted);
+            }
+            match buffer.poll(&mut stream)? {
+                Some(Frame::HelloAck { version }) if (1..=PROTOCOL_VERSION).contains(&version) => {
+                    break;
+                }
+                Some(_) => {
+                    return Err(ClientError::Wire(WireError::Malformed("expected HelloAck")))
+                }
+                None => continue,
+            }
+        }
+        let shared = Arc::new(MuxShared {
+            pending: Mutex::new(HashMap::new()),
+            pings: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            stale: Arc::clone(&self.stale),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let stream = stream.try_clone().map_err(WireError::Io)?;
+            std::thread::Builder::new()
+                .name("eugene-mux-reader".to_owned())
+                .spawn(move || mux_reader_loop(stream, buffer, shared))
+                .expect("spawn mux reader thread")
+        };
+        Ok(MuxConn {
+            writer: Mutex::new(stream),
+            shared,
+            reader: Mutex::new(Some(reader)),
+        })
     }
 }
 
@@ -409,6 +968,25 @@ mod tests {
             assert!(x <= Duration::from_millis(120), "attempt {attempt}: {x:?}");
             assert!(x >= Duration::from_millis(5), "attempt {attempt}: {x:?}");
         }
+    }
+
+    #[test]
+    fn tags_wrap_at_u64_max_without_panic_or_reuse() {
+        // Serial client: wrapping_add, not +=, at the boundary.
+        let mut serial = EugeneClient::new("127.0.0.1:1", ClientConfig::default()).unwrap();
+        serial.next_tag = u64::MAX;
+        assert_eq!(serial.alloc_tag(), u64::MAX);
+        assert_eq!(serial.alloc_tag(), 0);
+        assert_eq!(serial.alloc_tag(), 1);
+
+        // Mux client: fetch_add wraps atomically at the boundary, and the
+        // counter is client-lifetime so a reconnect never resets it into
+        // the range of tags still pending on the old socket.
+        let mux = MultiplexClient::new("127.0.0.1:1", ClientConfig::default()).unwrap();
+        mux.next_tag.store(u64::MAX - 1, Ordering::Relaxed);
+        assert_eq!(mux.alloc_tag(), u64::MAX - 1);
+        assert_eq!(mux.alloc_tag(), u64::MAX);
+        assert_eq!(mux.alloc_tag(), 0);
     }
 
     #[test]

@@ -10,16 +10,23 @@
 //! - [`wire`]: a versioned, length-prefixed, checksummed binary framing
 //!   with a typed [`wire::Frame`] codec that never panics on malformed or
 //!   truncated input;
-//! - [`server`]: a [`server::Gateway`] — a thread-per-connection TCP
-//!   server translating wire submits into runtime requests, streaming
-//!   per-stage progress back as [`wire::Frame::StageUpdate`] frames, and
-//!   shedding load with [`wire::Frame::Reject`] when the runtime is over
-//!   its high-water mark (lowest-utility service classes first);
-//! - [`client`]: a blocking [`client::EugeneClient`] with connect/read
-//!   timeouts and deadline-aware retry — capped exponential backoff with
-//!   jitter that never retries past the request's remaining budget;
-//! - [`loadgen`]: a seeded multi-connection open-loop Poisson load
-//!   generator producing throughput/latency/reject-rate reports.
+//! - [`server`]: a [`server::Gateway`] — a TCP server that multiplexes
+//!   arbitrarily many in-flight requests per connection: each connection
+//!   gets one reader plus a small bounded dispatcher pool that demuxes
+//!   [`wire::Frame::StageUpdate`]/[`wire::Frame::Final`] frames by
+//!   `client_tag` over a shared frame-atomic writer, while admission
+//!   control atomically reserves an in-flight slot per submit (so
+//!   concurrent submits can never blow past `hard_cap`) and sheds load
+//!   with [`wire::Frame::Reject`] above the high-water mark
+//!   (lowest-utility service classes first);
+//! - [`client`]: a blocking serial [`client::EugeneClient`] plus a
+//!   pipelining [`client::MultiplexClient`] that keeps many tagged
+//!   requests outstanding on one connection; both apply deadline-aware
+//!   retry — capped exponential backoff with jitter that never retries
+//!   past the request's remaining budget;
+//! - [`loadgen`]: a seeded open-loop Poisson load generator (one client
+//!   per connection, or multiplexed over few connections) producing
+//!   throughput/latency/reject-rate reports.
 //!
 //! Deadlines cross the wire as *remaining budgets* (milliseconds), not
 //! absolute times, so client and server clocks never need to agree: the
@@ -36,7 +43,9 @@ pub mod loadgen;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, ClientError, EugeneClient, InferenceOutcome};
-pub use loadgen::{ClassSpec, LoadReport, LoadgenConfig};
-pub use server::{Gateway, GatewayConfig};
+pub use client::{
+    ClientConfig, ClientError, EugeneClient, InferenceOutcome, MultiplexClient, PendingInference,
+};
+pub use loadgen::{ClassSpec, LoadReport, LoadgenConfig, LoadgenMode};
+pub use server::{Gateway, GatewayConfig, GatewayStatus};
 pub use wire::{Frame, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};

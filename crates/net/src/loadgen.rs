@@ -4,16 +4,25 @@
 //! exponential inter-arrival distribution at a fixed aggregate rate and
 //! pre-assigned to connection workers, so a slow server cannot slow the
 //! offered load down (unlike closed-loop benchmarks, which hide queueing
-//! collapse). Each worker owns one [`crate::client::EugeneClient`]
-//! connection and fires its share of the schedule, sleeping until each
-//! arrival instant. Everything is derived from a single seed, so runs are
+//! collapse). Everything is derived from a single seed, so runs are
 //! reproducible.
+//!
+//! Two connection models ([`LoadgenMode`]):
+//!
+//! - [`LoadgenMode::PerConnection`] — each worker owns one serial
+//!   [`crate::client::EugeneClient`] connection (one request in flight per
+//!   socket), firing its share of the schedule;
+//! - [`LoadgenMode::Multiplexed`] — `connections` shared
+//!   [`crate::client::MultiplexClient`]s pipeline tagged requests, with
+//!   `concurrency` submitter threads dealt round-robin across them, so a
+//!   handful of sockets carry the whole offered load.
 
-use crate::client::{ClientConfig, ClientError, EugeneClient};
+use crate::client::{ClientConfig, ClientError, EugeneClient, MultiplexClient};
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One service class in the offered mix.
@@ -29,12 +38,25 @@ pub struct ClassSpec {
     pub payload_len: usize,
 }
 
+/// How the offered load maps onto TCP connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadgenMode {
+    /// One serial [`EugeneClient`] per worker thread: `connections`
+    /// sockets, one request in flight on each.
+    PerConnection,
+    /// `connections` shared [`MultiplexClient`]s pipelining tagged
+    /// requests, driven by `concurrency` submitter threads dealt
+    /// round-robin across the clients. In-flight depth per socket is
+    /// roughly `concurrency / connections`.
+    Multiplexed { concurrency: usize },
+}
+
 /// Full description of one load-generation run.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Gateway address, e.g. `"127.0.0.1:4096"`.
     pub addr: String,
-    /// Concurrent connections (worker threads), each with its own client.
+    /// Concurrent TCP connections.
     pub connections: usize,
     /// Total requests across all connections.
     pub total_requests: usize,
@@ -46,6 +68,8 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Client policy applied to every worker.
     pub client: ClientConfig,
+    /// Connection model (serial per-connection vs multiplexed).
+    pub mode: LoadgenMode,
 }
 
 impl Default for LoadgenConfig {
@@ -63,6 +87,7 @@ impl Default for LoadgenConfig {
             }],
             seed: 0,
             client: ClientConfig::default(),
+            mode: LoadgenMode::PerConnection,
         }
     }
 }
@@ -147,6 +172,13 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         "loadgen needs at least one connection"
     );
     assert!(config.rate_hz > 0.0, "arrival rate must be positive");
+    let workers = match config.mode {
+        LoadgenMode::PerConnection => config.connections,
+        LoadgenMode::Multiplexed { concurrency } => {
+            assert!(concurrency > 0, "multiplexed mode needs concurrency > 0");
+            concurrency
+        }
+    };
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let total_weight: f64 = config.classes.iter().map(|c| c.weight).sum();
@@ -156,8 +188,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
     );
 
     // Pre-generate the whole schedule so workers only sleep and send.
-    let mut schedules: Vec<Vec<PlannedRequest>> =
-        (0..config.connections).map(|_| Vec::new()).collect();
+    let mut schedules: Vec<Vec<PlannedRequest>> = (0..workers).map(|_| Vec::new()).collect();
     let mut clock = Duration::ZERO;
     for i in 0..config.total_requests {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -166,15 +197,33 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         let payload: Vec<f32> = (0..config.classes[class].payload_len)
             .map(|_| rng.gen_range(-1.0f32..1.0))
             .collect();
-        schedules[i % config.connections].push(PlannedRequest {
+        schedules[i % workers].push(PlannedRequest {
             at: clock,
             class,
             payload,
         });
     }
 
+    // Multiplexed mode shares `connections` pipelined clients across all
+    // submitter threads; per-connection mode gives each worker its own
+    // serial client inside the worker loop.
+    let mux_clients: Vec<Arc<MultiplexClient>> = match config.mode {
+        LoadgenMode::PerConnection => Vec::new(),
+        LoadgenMode::Multiplexed { .. } => (0..config.connections)
+            .filter_map(|i| {
+                let mut client_config = config.client.clone();
+                client_config.seed = config
+                    .seed
+                    .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(i as u64 + 1));
+                MultiplexClient::new(&config.addr, client_config)
+                    .ok()
+                    .map(Arc::new)
+            })
+            .collect(),
+    };
+
     let started = Instant::now();
-    let mut handles = Vec::with_capacity(config.connections);
+    let mut handles = Vec::with_capacity(workers);
     for (worker, schedule) in schedules.into_iter().enumerate() {
         let addr = config.addr.clone();
         let classes = config.classes.clone();
@@ -183,10 +232,18 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         client_config.seed = config
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
+        let mux = if mux_clients.is_empty() {
+            None
+        } else {
+            Some(Arc::clone(&mux_clients[worker % mux_clients.len()]))
+        };
         handles.push(
             std::thread::Builder::new()
                 .name(format!("eugene-loadgen-{worker}"))
-                .spawn(move || worker_loop(&addr, client_config, &classes, schedule, started))
+                .spawn(move || match mux {
+                    Some(client) => mux_worker_loop(&client, &classes, schedule, started),
+                    None => worker_loop(&addr, client_config, &classes, schedule, started),
+                })
                 .expect("spawn loadgen worker"),
         );
     }
@@ -244,6 +301,44 @@ fn worker_loop(
     for planned in schedule {
         // Open loop: fire at the scheduled instant regardless of how the
         // previous request fared.
+        let now = started.elapsed();
+        if planned.at > now {
+            std::thread::sleep(planned.at - now);
+        }
+        let spec = &classes[planned.class];
+        let sent = Instant::now();
+        match client.infer(
+            &spec.name,
+            &planned.payload,
+            Duration::from_millis(spec.budget_ms),
+        ) {
+            Ok(outcome) => {
+                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                if outcome.expired {
+                    tally.expired += 1;
+                } else {
+                    tally.completed += 1;
+                }
+            }
+            Err(ClientError::Rejected { .. }) => tally.rejected += 1,
+            Err(ClientError::DeadlineExhausted) => tally.deadline_exhausted += 1,
+            Err(ClientError::Wire(_)) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Multiplexed submitter: same open-loop schedule, but requests go
+/// through a shared pipelined client, so many submitters interleave their
+/// in-flight requests on the same socket.
+fn mux_worker_loop(
+    client: &MultiplexClient,
+    classes: &[ClassSpec],
+    schedule: Vec<PlannedRequest>,
+    started: Instant,
+) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    for planned in schedule {
         let now = started.elapsed();
         if planned.at > now {
             std::thread::sleep(planned.at - now);

@@ -1,23 +1,39 @@
 //! TCP gateway exposing a [`ServingRuntime`] over the wire protocol.
 //!
-//! One accept thread plus one thread per connection; per-submit forwarder
-//! threads stream [`Frame::StageUpdate`]s and the [`Frame::Final`] answer
-//! back over a shared, frame-atomic writer. Admission control reads the
-//! runtime's in-flight gauge: above the high-water mark the gateway sheds
-//! the lowest-utility service classes first (rejecting with a
-//! load-scaled `retry_after_ms`), and above the hard cap it rejects
-//! everything. Shutdown is graceful: accepting stops, every connection
-//! drains its in-flight submits, and the runtime itself is drained last.
+//! One accept thread plus, per connection, a *fixed* set of threads: the
+//! connection's reader and a small bounded pool of dispatcher workers
+//! that demultiplex [`Frame::StageUpdate`]/[`Frame::Final`] frames for
+//! arbitrarily many concurrent client tags over one shared, frame-atomic
+//! writer. Submits are pipelined: a connection never waits for one
+//! request to finish before admitting the next, and no thread is ever
+//! spawned per request.
+//!
+//! Admission control reserves an in-flight slot *atomically* (a CAS on
+//! the gateway-wide reservation gauge), so concurrent submits can never
+//! race past `hard_cap`: above the high-water mark the gateway sheds the
+//! lowest-utility service classes first (rejecting with a load-scaled
+//! `retry_after_ms`), and above the hard cap it rejects everything. A
+//! slot is held from admission until the request's `Final` frame has
+//! been written back.
+//!
+//! The accept loop retries transient errors (fd exhaustion, aborted
+//! handshakes) with capped backoff and reaps finished connection handles
+//! on every pass, so neither connection churn nor fd pressure can leak
+//! handles or silently kill the gateway; a terminal accept failure is
+//! surfaced through [`GatewayStatus::accept_failed`]. Shutdown is
+//! graceful: accepting stops, every connection drains its in-flight
+//! submits, and the runtime itself is drained last.
 
 use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
 use eugene_serve::{
-    InferenceRequest, InferenceResponse, RuntimeStats, ServiceClass, ServingRuntime,
+    InferenceRequest, InferenceResponse, RequestId, RuntimeStats, ServiceClass, ServingRuntime,
+    StageProgress,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -38,6 +54,12 @@ pub struct GatewayConfig {
     /// Socket read-poll granularity: how often connection threads check
     /// the shutdown flag while idle.
     pub read_poll: Duration,
+    /// Dispatcher workers per connection: the bounded pool that forwards
+    /// `StageUpdate`/`Final` frames for every in-flight tag. New submits
+    /// are dealt round-robin across the pool; one worker already
+    /// multiplexes arbitrarily many tags, more reduce head-of-line
+    /// forwarding latency on hot connections.
+    pub dispatch_workers: usize,
 }
 
 impl Default for GatewayConfig {
@@ -48,6 +70,7 @@ impl Default for GatewayConfig {
             hard_cap: 128,
             class_utility: HashMap::new(),
             read_poll: Duration::from_millis(20),
+            dispatch_workers: 2,
         }
     }
 }
@@ -87,6 +110,147 @@ impl GatewayConfig {
     }
 }
 
+/// Observability gauges for a [`Gateway`], cloneable and lock-free.
+///
+/// Distinct from [`RuntimeStats`] (the runtime's own occupancy): these
+/// cover the network edge — admission reservations, accept-loop health,
+/// connection churn, and the thread budget.
+#[derive(Clone, Debug, Default)]
+pub struct GatewayStatus {
+    inner: Arc<StatusInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatusInner {
+    /// Admission slots currently reserved (admission .. Final written).
+    reserved: AtomicU64,
+    /// High-water mark of `reserved` over the gateway's lifetime.
+    peak_reserved: AtomicU64,
+    /// Transient accept errors that were retried with backoff.
+    accept_retries: AtomicU64,
+    /// Set when the accept loop hit a terminal error and gave up.
+    accept_failed: AtomicBool,
+    /// Connections accepted / fully torn down since startup.
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    /// Gateway-spawned threads (connection readers + dispatchers) since
+    /// startup; the per-request-thread leak regression tests assert this
+    /// stays proportional to connections, not requests.
+    threads_spawned: AtomicU64,
+}
+
+impl GatewayStatus {
+    /// Admission slots currently held (admitted requests whose `Final`
+    /// has not yet been written back).
+    pub fn in_flight_reserved(&self) -> u64 {
+        self.inner.reserved.load(Ordering::Acquire)
+    }
+
+    /// Lifetime peak of [`GatewayStatus::in_flight_reserved`]; by
+    /// construction never exceeds the configured `hard_cap`.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.inner.peak_reserved.load(Ordering::Acquire)
+    }
+
+    /// Transient accept errors absorbed with backoff so far.
+    pub fn accept_retries(&self) -> u64 {
+        self.inner.accept_retries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the accept loop died on a terminal error: the gateway
+    /// still serves existing connections but accepts no new ones.
+    pub fn accept_failed(&self) -> bool {
+        self.inner.accept_failed.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served.
+    pub fn open_connections(&self) -> u64 {
+        self.inner
+            .connections_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.inner.connections_closed.load(Ordering::Relaxed))
+    }
+
+    /// Connections accepted since startup.
+    pub fn connections_opened(&self) -> u64 {
+        self.inner.connections_opened.load(Ordering::Relaxed)
+    }
+
+    /// Gateway threads spawned since startup (readers + dispatchers).
+    /// Bounded by connections served, never by requests served.
+    pub fn threads_spawned(&self) -> u64 {
+        self.inner.threads_spawned.load(Ordering::Relaxed)
+    }
+}
+
+/// An admission reservation: holds one in-flight slot from the admission
+/// decision until the request's `Final` frame is written (drop releases).
+#[derive(Debug)]
+struct AdmissionSlot {
+    status: GatewayStatus,
+}
+
+impl Drop for AdmissionSlot {
+    fn drop(&mut self) {
+        self.status.inner.reserved.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Atomically reserves an in-flight slot for `class`, or returns the
+/// reject backoff hint. The load test and CAS happen on the same gauge,
+/// so concurrent submits cannot both observe `hard_cap - 1` and admit —
+/// the read-then-submit TOCTOU of the thread-per-request design.
+fn try_reserve(
+    config: &GatewayConfig,
+    status: &GatewayStatus,
+    class: &str,
+) -> Result<AdmissionSlot, u64> {
+    loop {
+        let load = status.inner.reserved.load(Ordering::Acquire);
+        config.admit(class, load)?;
+        if status
+            .inner
+            .reserved
+            .compare_exchange(load, load + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            status
+                .inner
+                .peak_reserved
+                .fetch_max(load + 1, Ordering::AcqRel);
+            return Ok(AdmissionSlot {
+                status: status.clone(),
+            });
+        }
+        // Lost the race to another submit; re-read and re-decide.
+    }
+}
+
+/// Accept errors worth retrying with backoff: transient fd/buffer
+/// pressure and peers that vanished mid-handshake. Anything else (a
+/// broken listener) is terminal.
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+    ) || matches!(
+        e.raw_os_error(),
+        // ENOMEM, ENFILE, EMFILE, ENOBUFS: resource pressure recovers
+        // once connections close; the raw codes are POSIX/Linux values.
+        Some(12) | Some(23) | Some(24) | Some(105)
+    )
+}
+
+/// Consecutive transient accept failures tolerated before giving up.
+const ACCEPT_RETRY_LIMIT: u32 = 64;
+/// First accept-error backoff; doubles per consecutive failure.
+const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Upper bound on a single accept-error backoff sleep.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
 /// A running network gateway; dropping it (or calling
 /// [`Gateway::shutdown`]) drains connections and the underlying runtime.
 pub struct Gateway {
@@ -96,6 +260,7 @@ pub struct Gateway {
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
     runtime: Option<Arc<ServingRuntime>>,
     stats: RuntimeStats,
+    status: GatewayStatus,
 }
 
 impl Gateway {
@@ -106,6 +271,7 @@ impl Gateway {
         // Non-blocking accept so the accept thread can observe shutdown.
         listener.set_nonblocking(true)?;
         let stats = runtime.stats();
+        let status = GatewayStatus::default();
         let runtime = Arc::new(runtime);
         let stop = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -114,31 +280,10 @@ impl Gateway {
             let runtime = Arc::clone(&runtime);
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
+            let status = status.clone();
             std::thread::Builder::new()
                 .name("eugene-gateway-accept".to_owned())
-                .spawn(move || loop {
-                    if stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let runtime = Arc::clone(&runtime);
-                            let stop = Arc::clone(&stop);
-                            let config = Arc::clone(&config);
-                            let handle = std::thread::Builder::new()
-                                .name("eugene-gateway-conn".to_owned())
-                                .spawn(move || {
-                                    let _ = serve_connection(stream, runtime, config, stop);
-                                })
-                                .expect("spawn connection thread");
-                            connections.lock().push(handle);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => return,
-                    }
-                })
+                .spawn(move || accept_loop(listener, runtime, config, stop, connections, status))
                 .expect("spawn accept thread")
         };
         Ok(Self {
@@ -148,6 +293,7 @@ impl Gateway {
             connections,
             runtime: Some(runtime),
             stats,
+            status,
         })
     }
 
@@ -159,6 +305,20 @@ impl Gateway {
     /// Live occupancy gauges of the underlying runtime.
     pub fn stats(&self) -> RuntimeStats {
         self.stats.clone()
+    }
+
+    /// Network-edge gauges: admission reservations, accept health,
+    /// connection churn, thread budget.
+    pub fn status(&self) -> GatewayStatus {
+        self.status.clone()
+    }
+
+    /// Connection `JoinHandle`s currently tracked. Finished handles are
+    /// reaped on every accept-loop pass, so under churn this stays close
+    /// to [`GatewayStatus::open_connections`] rather than growing with
+    /// every connection ever accepted.
+    pub fn tracked_connections(&self) -> usize {
+        self.connections.lock().len()
     }
 
     /// Stops accepting, drains every connection's in-flight submits, then
@@ -191,26 +351,121 @@ impl Drop for Gateway {
     }
 }
 
-/// Shared write half of a connection; locks per frame so concurrent
-/// forwarders never interleave bytes mid-frame.
+fn accept_loop(
+    listener: TcpListener,
+    runtime: Arc<ServingRuntime>,
+    config: Arc<GatewayConfig>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    status: GatewayStatus,
+) {
+    let mut backoff = ACCEPT_BACKOFF_BASE;
+    let mut consecutive_errors = 0u32;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        reap_finished(&connections);
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                consecutive_errors = 0;
+                backoff = ACCEPT_BACKOFF_BASE;
+                let runtime = Arc::clone(&runtime);
+                let stop = Arc::clone(&stop);
+                let config = Arc::clone(&config);
+                let status = status.clone();
+                status
+                    .inner
+                    .connections_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                status.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+                let handle = std::thread::Builder::new()
+                    .name("eugene-gateway-conn".to_owned())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, runtime, config, stop, &status);
+                        status
+                            .inner
+                            .connections_closed
+                            .fetch_add(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn connection thread");
+                connections.lock().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                consecutive_errors += 1;
+                if !is_transient_accept_error(&e) || consecutive_errors > ACCEPT_RETRY_LIMIT {
+                    // Terminal: surface the dead accept path instead of
+                    // leaving a gateway that looks alive but never
+                    // accepts again.
+                    status.inner.accept_failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+                status.inner.accept_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+            }
+        }
+    }
+}
+
+/// Joins and drops every finished connection handle, keeping the tracked
+/// vector bounded by *live* connections under churn.
+fn reap_finished(connections: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut handles = connections.lock();
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let handle = handles.swap_remove(i);
+            let _ = handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Shared write half of a connection; locks per frame so the reader and
+/// every dispatcher never interleave bytes mid-frame.
 type SharedWriter = Arc<Mutex<TcpStream>>;
 
 fn send(writer: &SharedWriter, frame: &Frame) -> Result<(), WireError> {
     wire::write_frame(&mut *writer.lock(), frame)
 }
 
+/// Registration of a newly admitted request with its dispatcher: sent by
+/// the reader immediately after the runtime submit, carrying the slot
+/// that is released once the `Final` goes out.
+struct TrackRequest {
+    id: RequestId,
+    tag: u64,
+    slot: AdmissionSlot,
+}
+
+/// One dispatcher worker's channel set, held by the connection reader.
+struct Dispatcher {
+    track_tx: crossbeam::channel::Sender<TrackRequest>,
+    respond_tx: crossbeam::channel::Sender<InferenceResponse>,
+    progress_tx: crossbeam::channel::Sender<StageProgress>,
+    handle: JoinHandle<()>,
+}
+
+/// How often a dispatcher re-checks its progress funnel while waiting
+/// for responses; bounds StageUpdate forwarding latency.
+const DISPATCH_POLL: Duration = Duration::from_millis(2);
+
 fn serve_connection(
     mut stream: TcpStream,
     runtime: Arc<ServingRuntime>,
     config: Arc<GatewayConfig>,
     stop: Arc<AtomicBool>,
+    status: &GatewayStatus,
 ) -> Result<(), WireError> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(config.read_poll))?;
     let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
     let mut buffer = FrameBuffer::new();
-    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
-    let stats = runtime.stats();
 
     // Handshake: the first frame must be Hello; anything else (or an
     // incompatible version) closes the connection.
@@ -235,6 +490,29 @@ fn serve_connection(
         _ => return Err(WireError::Malformed("expected Hello")),
     }
 
+    // The bounded dispatcher pool: a fixed number of threads forwards
+    // frames for every tag this connection ever has in flight.
+    let pool_size = config.dispatch_workers.max(1);
+    let mut dispatchers = Vec::with_capacity(pool_size);
+    for i in 0..pool_size {
+        let (track_tx, track_rx) = crossbeam::channel::unbounded();
+        let (respond_tx, respond_rx) = crossbeam::channel::unbounded();
+        let (progress_tx, progress_rx) = crossbeam::channel::unbounded();
+        let writer = Arc::clone(&writer);
+        status.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name(format!("eugene-gateway-dispatch-{i}"))
+            .spawn(move || dispatcher_loop(track_rx, respond_rx, progress_rx, writer))
+            .expect("spawn dispatcher thread");
+        dispatchers.push(Dispatcher {
+            track_tx,
+            respond_tx,
+            progress_tx,
+            handle,
+        });
+    }
+    let mut submits = 0usize;
+
     let result = loop {
         if stop.load(Ordering::Relaxed) {
             break Ok(());
@@ -249,7 +527,9 @@ fn serve_connection(
         };
         match frame {
             Frame::Submit(submit) => {
-                handle_submit(submit, &runtime, &stats, &config, &writer, &mut forwarders)
+                let dispatcher = &dispatchers[submits % pool_size];
+                submits += 1;
+                handle_submit(submit, &runtime, &config, status, &writer, dispatcher);
             }
             Frame::Ping { nonce } => {
                 let _ = send(&writer, &Frame::Pong { nonce });
@@ -260,9 +540,19 @@ fn serve_connection(
             _ => {}
         }
     };
-    // Drain: every accepted submit still gets its Final before the socket
-    // closes.
-    for handle in forwarders {
+    // Drain: every admitted submit still gets its Final before the socket
+    // closes. Dropping the senders lets each dispatcher exit once its
+    // last in-flight tag is answered.
+    for dispatcher in dispatchers {
+        let Dispatcher {
+            track_tx,
+            respond_tx,
+            progress_tx,
+            handle,
+        } = dispatcher;
+        drop(track_tx);
+        drop(respond_tx);
+        drop(progress_tx);
         let _ = handle.join();
     }
     stream.shutdown(SocketShutdown::Both).ok();
@@ -272,10 +562,10 @@ fn serve_connection(
 fn handle_submit(
     submit: SubmitRequest,
     runtime: &Arc<ServingRuntime>,
-    stats: &RuntimeStats,
     config: &GatewayConfig,
+    status: &GatewayStatus,
     writer: &SharedWriter,
-    forwarders: &mut Vec<JoinHandle<()>>,
+    dispatcher: &Dispatcher,
 ) {
     let SubmitRequest {
         client_tag,
@@ -302,58 +592,171 @@ fn handle_submit(
         );
         return;
     }
-    if let Err(retry_after_ms) = config.admit(&class, stats.in_flight()) {
-        let _ = send(
-            writer,
-            &Frame::Reject {
-                client_tag,
-                retry_after_ms,
-            },
-        );
-        return;
-    }
+    let slot = match try_reserve(config, status, &class) {
+        Ok(slot) => slot,
+        Err(retry_after_ms) => {
+            let _ = send(
+                writer,
+                &Frame::Reject {
+                    client_tag,
+                    retry_after_ms,
+                },
+            );
+            return;
+        }
+    };
     // Re-anchor the client's remaining budget on the server clock: the
     // deadline daemon runs against `now + budget`, so client/server
     // clocks never need to agree.
     let service_class = ServiceClass::new(&class, Duration::from_millis(budget_ms));
     let request = InferenceRequest::new(payload, service_class);
-    let writer = Arc::clone(writer);
-    if want_progress {
-        let (_, response_rx, progress_rx) = runtime.submit_with_progress(request);
-        forwarders.push(spawn_forwarder(move || {
-            // Workers publish every stage report before the coordinator
-            // finalizes, so the progress channel closes strictly before
-            // the response arrives: drain it fully, then forward Final.
-            for event in progress_rx.iter() {
-                let frame = Frame::StageUpdate {
-                    client_tag,
-                    stage: event.stage as u32,
-                    confidence: event.confidence,
-                    predicted: event.predicted as u64,
-                };
-                if send(&writer, &frame).is_err() {
+    let respond_tx = dispatcher.respond_tx.clone();
+    let progress = want_progress.then(|| dispatcher.progress_tx.clone());
+    let id = runtime.submit_with_channels(request, respond_tx, progress);
+    // The response can already be racing down the funnel; the dispatcher
+    // parks it as an orphan until this registration arrives.
+    let _ = dispatcher.track_tx.send(TrackRequest {
+        id,
+        tag: client_tag,
+        slot,
+    });
+}
+
+/// One dispatcher worker: demultiplexes the runtime's shared response and
+/// progress funnels back into per-tag wire frames.
+///
+/// Runtime ordering guarantees every stage report of a request is
+/// enqueued before its response, so draining the progress funnel before
+/// writing each `Final` preserves the per-tag "all `StageUpdate`s, then
+/// the `Final`" wire contract. Registrations can race their own
+/// response (the reader submits before it can learn the [`RequestId`]),
+/// so unroutable events are parked in orphan maps and flushed as soon as
+/// the `TrackRequest` lands.
+fn dispatcher_loop(
+    track_rx: crossbeam::channel::Receiver<TrackRequest>,
+    respond_rx: crossbeam::channel::Receiver<InferenceResponse>,
+    progress_rx: crossbeam::channel::Receiver<StageProgress>,
+    writer: SharedWriter,
+) {
+    use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+
+    struct Tracked {
+        tag: u64,
+        slot: AdmissionSlot,
+    }
+
+    let mut tracked: HashMap<RequestId, Tracked> = HashMap::new();
+    let mut orphan_responses: HashMap<RequestId, InferenceResponse> = HashMap::new();
+    let mut orphan_progress: HashMap<RequestId, Vec<StageProgress>> = HashMap::new();
+    // Once a write fails the peer is gone: keep draining (to release
+    // slots and let the runtime finish) but stop touching the socket.
+    let mut writer_alive = true;
+
+    let forward_progress =
+        |tag: u64, event: &StageProgress, writer: &SharedWriter, alive: &mut bool| {
+            if !*alive {
+                return;
+            }
+            let frame = Frame::StageUpdate {
+                client_tag: tag,
+                stage: event.stage as u32,
+                confidence: event.confidence,
+                predicted: event.predicted as u64,
+            };
+            if send(writer, &frame).is_err() {
+                *alive = false;
+            }
+        };
+
+    macro_rules! drain_progress {
+        () => {
+            loop {
+                match progress_rx.try_recv() {
+                    Ok(event) => match tracked.get(&event.request_id) {
+                        Some(entry) => {
+                            forward_progress(entry.tag, &event, &writer, &mut writer_alive)
+                        }
+                        None => orphan_progress
+                            .entry(event.request_id)
+                            .or_default()
+                            .push(event),
+                    },
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        };
+    }
+
+    macro_rules! finalize {
+        ($id:expr, $tag:expr, $response:expr, $slot:expr) => {{
+            // Everything this request streamed is already queued (stage
+            // reports are enqueued strictly before the response): drain
+            // the funnel so its StageUpdates precede its Final.
+            drain_progress!();
+            if let Some(events) = orphan_progress.remove(&$id) {
+                for event in &events {
+                    forward_progress($tag, event, &writer, &mut writer_alive);
+                }
+            }
+            if writer_alive && send(&writer, &final_frame($tag, $response)).is_err() {
+                writer_alive = false;
+            }
+            drop($slot); // release the admission reservation
+        }};
+    }
+
+    let mut track_open = true;
+    loop {
+        // 1. Register new in-flight tags (and finalize any whose response
+        //    outran the registration).
+        loop {
+            match track_rx.try_recv() {
+                Ok(TrackRequest { id, tag, slot }) => {
+                    if let Some(response) = orphan_responses.remove(&id) {
+                        finalize!(id, tag, response, slot);
+                    } else {
+                        if let Some(events) = orphan_progress.remove(&id) {
+                            for event in &events {
+                                forward_progress(tag, event, &writer, &mut writer_alive);
+                            }
+                        }
+                        tracked.insert(id, Tracked { tag, slot });
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    track_open = false;
                     break;
                 }
             }
-            if let Ok(response) = response_rx.recv() {
-                let _ = send(&writer, &final_frame(client_tag, response));
-            }
-        }));
-    } else {
-        let (_, response_rx) = runtime.submit(request);
-        forwarders.push(spawn_forwarder(move || {
-            if let Ok(response) = response_rx.recv() {
-                let _ = send(&writer, &final_frame(client_tag, response));
-            }
-        }));
-    }
-}
+        }
 
-fn spawn_forwarder(f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("eugene-gateway-forward".to_owned())
-        .spawn(f)
-        .expect("spawn forwarder thread")
+        // 2. Forward queued stage progress for every in-flight tag.
+        drain_progress!();
+
+        // The reader is gone and every registered tag is answered: any
+        // orphan response left can never be routed (its registration
+        // died with the reader), so exit.
+        if !track_open && tracked.is_empty() {
+            return;
+        }
+
+        // 3. Wait for the next response (progress re-checked each tick).
+        match respond_rx.recv_timeout(DISPATCH_POLL) {
+            Ok(response) => match tracked.remove(&response.id) {
+                Some(Tracked { tag, slot }) => finalize!(response.id, tag, response, slot),
+                None => {
+                    orphan_responses.insert(response.id, response);
+                }
+            },
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // All response senders gone: the reader exited and no
+                // submission holds a clone, so nothing is in flight.
+                debug_assert!(tracked.is_empty());
+            }
+        }
+    }
 }
 
 fn final_frame(client_tag: u64, response: InferenceResponse) -> Frame {
@@ -407,5 +810,71 @@ mod tests {
         let far = config.admit("x", 60).unwrap_err();
         assert!(far > near, "deeper overload asks for a longer backoff");
         assert!(config.admit("x", 10_000).unwrap_err() <= 1_000, "capped");
+    }
+
+    #[test]
+    fn reservation_is_atomic_under_concurrent_hammering() {
+        // 16 threads race reserve/release against hard_cap 8; the CAS
+        // admission must never let the gauge exceed the cap.
+        let config = Arc::new(GatewayConfig {
+            high_water: 8,
+            hard_cap: 8,
+            ..GatewayConfig::default()
+        });
+        let status = GatewayStatus::default();
+        let admitted = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let config = Arc::clone(&config);
+            let status = status.clone();
+            let admitted = Arc::clone(&admitted);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    match try_reserve(&config, &status, "x") {
+                        Ok(slot) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            assert!(
+                                status.in_flight_reserved() <= 8,
+                                "reservation gauge blew past the hard cap"
+                            );
+                            if i % 3 == 0 {
+                                std::thread::yield_now();
+                            }
+                            drop(slot);
+                        }
+                        Err(retry_after_ms) => assert!(retry_after_ms > 0),
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("hammer thread panicked");
+        }
+        assert_eq!(status.in_flight_reserved(), 0, "every slot released");
+        assert!(status.peak_in_flight() <= 8, "peak bounded by hard cap");
+        assert!(
+            admitted.load(Ordering::Relaxed) > 0,
+            "some reservations must succeed"
+        );
+    }
+
+    #[test]
+    fn transient_accept_errors_are_classified() {
+        for kind in [
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::TimedOut,
+        ] {
+            assert!(is_transient_accept_error(&io::Error::new(kind, "t")));
+        }
+        // EMFILE (24): fd exhaustion recovers once connections close.
+        assert!(is_transient_accept_error(&io::Error::from_raw_os_error(24)));
+        // EBADF (9): the listener itself is broken — terminal.
+        assert!(!is_transient_accept_error(&io::Error::from_raw_os_error(9)));
+        assert!(!is_transient_accept_error(&io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "t"
+        )));
     }
 }

@@ -1,0 +1,72 @@
+//! Connection-lifecycle tests: a long-running gateway under connection
+//! churn must not accumulate handles, threads, or open-connection counts.
+
+mod common;
+
+use common::start_gateway;
+use eugene_net::{ClientConfig, EugeneClient, GatewayConfig};
+use eugene_serve::RuntimeConfig;
+use std::time::{Duration, Instant};
+
+/// Sixty connect → infer → disconnect cycles: the gateway's tracked
+/// `JoinHandle` vector must stay bounded by *live* connections (finished
+/// handles are reaped on each accept pass), not grow with every
+/// connection ever accepted.
+#[test]
+fn connection_churn_keeps_tracked_handles_bounded() {
+    const CYCLES: usize = 60;
+    let gateway = start_gateway(
+        vec![0.9],
+        Duration::ZERO,
+        RuntimeConfig {
+            num_workers: 2,
+            ..RuntimeConfig::default()
+        },
+        GatewayConfig {
+            high_water: 1_000_000,
+            hard_cap: 2_000_000,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = gateway.local_addr();
+    let status = gateway.status();
+
+    for cycle in 0..CYCLES {
+        let mut client =
+            EugeneClient::new(addr, ClientConfig::default()).expect("resolve loopback");
+        let outcome = client
+            .infer("churn", &[cycle as f32], Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+        assert_eq!(outcome.predicted, Some(cycle as u64));
+        drop(client); // closes the socket; the server side tears down
+        if cycle % 10 == 9 {
+            assert!(
+                gateway.tracked_connections() <= 16,
+                "cycle {cycle}: {} tracked handles — the reaper is not \
+                 keeping up with churn",
+                gateway.tracked_connections()
+            );
+        }
+    }
+
+    // Give the accept loop a few passes to reap the tail, then require
+    // the tracked set to be (near) empty: every connection is closed.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let tracked = gateway.tracked_connections();
+        if tracked <= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{tracked} handles still tracked long after all {CYCLES} \
+             connections closed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(status.connections_opened(), CYCLES as u64);
+    assert!(
+        !status.accept_failed(),
+        "accept loop must survive plain churn"
+    );
+}

@@ -132,21 +132,45 @@ impl ServingRuntime {
         (id, response_rx, progress_rx)
     }
 
+    /// Submits a request whose response (and optional per-stage progress)
+    /// is routed to caller-supplied channels instead of fresh private
+    /// ones, returning the assigned [`RequestId`].
+    ///
+    /// Any number of requests may share the same channels: the response's
+    /// [`InferenceResponse::id`] and each progress event's
+    /// [`StageProgress::request_id`] identify which request they answer.
+    /// This is the funnel the network gateway uses to demultiplex
+    /// arbitrarily many in-flight requests per connection over a fixed
+    /// set of channels (and threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ServingRuntime::shutdown`].
+    pub fn submit_with_channels(
+        &self,
+        request: InferenceRequest,
+        respond: Sender<InferenceResponse>,
+        progress: Option<Sender<StageProgress>>,
+    ) -> RequestId {
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.note_submitted();
+        self.submit_tx
+            .as_ref()
+            .expect("runtime has been shut down")
+            .send((id, request, respond, progress))
+            .expect("coordinator alive");
+        id
+    }
+
     fn submit_inner(
         &self,
         request: InferenceRequest,
         progress: Option<Sender<StageProgress>>,
     ) -> (RequestId, Receiver<InferenceResponse>) {
-        let id = self
-            .next_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (tx, rx) = unbounded();
-        self.stats.note_submitted();
-        self.submit_tx
-            .as_ref()
-            .expect("runtime has been shut down")
-            .send((id, request, tx, progress))
-            .expect("coordinator alive");
+        let id = self.submit_with_channels(request, tx, progress);
         (id, rx)
     }
 
@@ -560,6 +584,43 @@ mod tests {
         assert_eq!(response.stages_executed, 1, "only the good stage counted");
         assert_eq!(response.confidence, Some(0.5));
         // The runtime keeps serving and shuts down cleanly.
+        rt.shutdown();
+    }
+
+    #[test]
+    fn routed_submissions_share_one_funnel_channel() {
+        let rt = runtime(vec![0.5, 0.9], 1, RuntimeConfig::default());
+        let (respond_tx, respond_rx) = unbounded();
+        let (progress_tx, progress_rx) = unbounded();
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let progress = (i % 2 == 0).then(|| progress_tx.clone());
+            ids.push(rt.submit_with_channels(
+                InferenceRequest::new(vec![i as f32], class(10_000)),
+                respond_tx.clone(),
+                progress,
+            ));
+        }
+        drop(respond_tx);
+        drop(progress_tx);
+        let mut answered = std::collections::HashMap::new();
+        for _ in 0..6 {
+            let response = respond_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            answered.insert(response.id, response);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let response = answered.get(id).expect("every id answered exactly once");
+            assert_eq!(response.predicted, Some(i));
+            assert_eq!(response.stages_executed, 2);
+        }
+        // Only the even submissions asked for progress: 3 requests x 2
+        // stages, every event tagged with a requesting id.
+        let events: Vec<_> = progress_rx.iter().collect();
+        assert_eq!(events.len(), 6);
+        for event in events {
+            assert!(ids.contains(&event.request_id));
+            assert_eq!(event.request_id % 2, ids[0] % 2, "only even submitters");
+        }
         rt.shutdown();
     }
 

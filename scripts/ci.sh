@@ -19,4 +19,11 @@ cargo build --workspace --release --offline
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q --offline
 
+# Leak/multiplexing regressions, named explicitly so a future test-file
+# rename cannot silently drop them from the gate: connection-churn handle
+# reaping, and >=64 interleaved in-flight tags on one connection.
+echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames -q"
+cargo test -p eugene-net -q --offline \
+  --test churn --test multiplex --test stale_frames
+
 echo "CI gate passed."
