@@ -12,6 +12,9 @@
 //! single TCP connection, throughput climbs with multiplexed in-flight
 //! depth until it saturates runtime capacity — far above what the
 //! one-request-per-connection serial client can reach on the same socket.
+//! The sweep then repeats with stage-level micro-batching enabled
+//! (`max_batch > 1`): same-stage requests gathered within the window fuse
+//! into one stage execution, lifting the saturated ceiling further.
 //!
 //! Writes `results/gateway_throughput.json`.
 //!
@@ -49,6 +52,35 @@ impl InferenceEngine for FixedCostEngine {
             predicted: payload.first().copied().unwrap_or(0.0) as usize,
         })
     }
+
+    fn next_stage_batch(&self, batch: &mut [Box<dyn EngineSession>]) -> Vec<Option<StageReport>> {
+        // A fused stage costs one `stage_time` for the whole batch,
+        // mirroring the staged-network engine where a multi-row forward
+        // traverses the weight panels once for every row. This is what the
+        // batched columns measure: occupancy turned into throughput.
+        let mut stages_paid = std::collections::HashSet::new();
+        batch
+            .iter_mut()
+            .map(|session| {
+                let s = session
+                    .as_any_mut()
+                    .downcast_mut::<FixedCostSession>()
+                    .expect("fixed-cost engine only begins fixed-cost sessions");
+                if s.done >= s.ramp.len() {
+                    return None;
+                }
+                if stages_paid.insert(s.done) {
+                    std::thread::sleep(s.stage_time);
+                }
+                let report = StageReport {
+                    predicted: s.predicted,
+                    confidence: s.ramp[s.done],
+                };
+                s.done += 1;
+                Some(report)
+            })
+            .collect()
+    }
 }
 
 struct FixedCostSession {
@@ -75,6 +107,10 @@ impl EngineSession for FixedCostSession {
     fn stages_done(&self) -> usize {
         self.done
     }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 /// One point of the single-connection pipelining sweep.
@@ -83,24 +119,43 @@ struct PipelinePoint {
     /// Concurrent in-flight requests pipelined on the one connection.
     depth: usize,
     report: LoadReport,
+    /// Micro-batching gauges for this point (all zero when `max_batch`
+    /// was 1).
+    batching: BatchStats,
+}
+
+/// Snapshot of the runtime's micro-batching gauges after a scenario.
+#[derive(Serialize, Clone, Default)]
+struct BatchStats {
+    fused_batches: u64,
+    batched_stage_executions: u64,
+    peak_batch_occupancy: usize,
+    singleton_dispatches: u64,
+    mean_gather_wait_us: u64,
 }
 
 #[derive(Serialize)]
 struct GatewayThroughputDoc {
     stage_time_ms: f64,
     workers: usize,
+    /// Fused-batch limit used by the batched sections (`max_batch`).
+    max_batch: usize,
     nominal: LoadReport,
     overload: LoadReport,
     /// One-request-per-connection baseline on a single socket.
     serial_single_connection: LoadReport,
-    /// Multiplexed single-connection throughput vs pipelining depth.
+    /// Multiplexed single-connection throughput vs pipelining depth,
+    /// stage batching disabled (`max_batch == 1`).
     mux_single_connection_curve: Vec<PipelinePoint>,
+    /// The same sweep with stage-level micro-batching enabled: same-stage
+    /// requests gathered within the window fuse into one stage execution.
+    batched_mux_single_connection_curve: Vec<PipelinePoint>,
     /// One-request-per-connection at 64 sockets, for the equal-concurrency
     /// comparison against the depth-64 single-socket point.
     per_connection_64: LoadReport,
 }
 
-fn start_gateway(admission: bool) -> Gateway {
+fn start_gateway(admission: bool, max_batch: usize) -> Gateway {
     let engine = Arc::new(FixedCostEngine {
         ramp: vec![0.4, 0.7, 0.95],
         stage_time: Duration::from_millis(1),
@@ -111,6 +166,8 @@ fn start_gateway(admission: bool) -> Gateway {
         RuntimeConfig {
             num_workers: 4,
             confidence_threshold: 0.9,
+            max_batch,
+            gather_window: Duration::from_millis(1),
             ..RuntimeConfig::default()
         },
     );
@@ -136,14 +193,15 @@ struct Scenario<'a> {
     connections: usize,
     mode: LoadgenMode,
     admission: bool,
+    max_batch: usize,
     rate_hz: f64,
     total: usize,
     seed: u64,
 }
 
-fn scenario(s: Scenario<'_>) -> LoadReport {
+fn scenario(s: Scenario<'_>) -> (LoadReport, BatchStats) {
     // Fresh gateway per scenario so overload cannot pollute nominal.
-    let gateway = start_gateway(s.admission);
+    let gateway = start_gateway(s.admission, s.max_batch);
     let config = LoadgenConfig {
         addr: gateway.local_addr().to_string(),
         connections: s.connections,
@@ -179,8 +237,16 @@ fn scenario(s: Scenario<'_>) -> LoadReport {
         s.name, s.total, s.rate_hz, s.connections
     );
     let report = loadgen::run(&config);
+    let stats = gateway.stats();
+    let batching = BatchStats {
+        fused_batches: stats.fused_batches(),
+        batched_stage_executions: stats.batched_stage_executions(),
+        peak_batch_occupancy: stats.peak_batch_occupancy(),
+        singleton_dispatches: stats.singleton_dispatches(),
+        mean_gather_wait_us: stats.mean_gather_wait().as_micros() as u64,
+    };
     gateway.shutdown();
-    report
+    (report, batching)
 }
 
 fn main() {
@@ -188,24 +254,28 @@ fn main() {
     let (nominal_total, overload_total) = if quick { (300, 600) } else { (1_500, 3_000) };
     let (serial_total, sweep_total) = if quick { (150, 400) } else { (600, 1_200) };
 
+    const MAX_BATCH: usize = 8;
+
     // ~3ms of engine time per request across 4 workers puts capacity
     // near 1300 req/s: probe well under it with a handful of connections,
     // then well over it with enough concurrency (64 blocking connections
     // against high_water 32) to drive admission control into shedding.
-    let nominal = scenario(Scenario {
+    let (nominal, _) = scenario(Scenario {
         name: "nominal",
         connections: 8,
         mode: LoadgenMode::PerConnection,
         admission: true,
+        max_batch: 1,
         rate_hz: 400.0,
         total: nominal_total,
         seed: 11,
     });
-    let overload = scenario(Scenario {
+    let (overload, _) = scenario(Scenario {
         name: "overload",
         connections: 64,
         mode: LoadgenMode::PerConnection,
         admission: true,
+        max_batch: 1,
         rate_hz: 4_000.0,
         total: overload_total,
         seed: 13,
@@ -214,35 +284,51 @@ fn main() {
     // Single-connection pipelining sweep: one socket, multiplexed depth
     // 1→64, offered far above capacity so each point is concurrency-bound.
     // The serial baseline is the same socket with one request in flight.
-    let serial_single = scenario(Scenario {
+    let (serial_single, _) = scenario(Scenario {
         name: "serial-1conn",
         connections: 1,
         mode: LoadgenMode::PerConnection,
         admission: false,
+        max_batch: 1,
         rate_hz: 10_000.0,
         total: serial_total,
         seed: 17,
     });
-    let mut curve = Vec::new();
-    for depth in [1usize, 4, 16, 64] {
-        let report = scenario(Scenario {
-            name: "mux-1conn",
-            connections: 1,
-            mode: LoadgenMode::Multiplexed { concurrency: depth },
-            admission: false,
-            rate_hz: 10_000.0,
-            total: sweep_total,
-            seed: 19 + depth as u64,
-        });
-        curve.push(PipelinePoint { depth, report });
-    }
+    let sweep = |name: &'static str, max_batch: usize, seed_base: u64| -> Vec<PipelinePoint> {
+        [1usize, 4, 16, 64]
+            .into_iter()
+            .map(|depth| {
+                let (report, batching) = scenario(Scenario {
+                    name,
+                    connections: 1,
+                    mode: LoadgenMode::Multiplexed { concurrency: depth },
+                    admission: false,
+                    max_batch,
+                    rate_hz: 10_000.0,
+                    total: sweep_total,
+                    seed: seed_base + depth as u64,
+                });
+                PipelinePoint {
+                    depth,
+                    report,
+                    batching,
+                }
+            })
+            .collect()
+    };
+    let curve = sweep("mux-1conn", 1, 19);
+    // The same sweep with stage-level micro-batching: same-stage requests
+    // gathered within the window fuse into one stage execution, so deep
+    // pipelines should clear well above the unbatched capacity ceiling.
+    let batched_curve = sweep("mux-1conn-batched", MAX_BATCH, 29);
     // Equal concurrency, opposite connection models: 64 serial sockets vs
     // the depth-64 point above on one socket.
-    let per_connection_64 = scenario(Scenario {
+    let (per_connection_64, _) = scenario(Scenario {
         name: "serial-64conn",
         connections: 64,
         mode: LoadgenMode::PerConnection,
         admission: false,
+        max_batch: 1,
         rate_hz: 10_000.0,
         total: sweep_total,
         seed: 23,
@@ -263,6 +349,9 @@ fn main() {
     rows.push(row("serial 1 conn", &serial_single));
     for point in &curve {
         rows.push(row(&format!("mux 1 conn x{}", point.depth), &point.report));
+    }
+    for point in &batched_curve {
+        rows.push(row(&format!("mux batched x{}", point.depth), &point.report));
     }
     rows.push(row("serial 64 conn", &per_connection_64));
     print_table(
@@ -289,16 +378,30 @@ fn main() {
         deepest.report.throughput_rps,
         serial_single.throughput_rps
     );
+    let deepest_batched = batched_curve.last().expect("batched sweep is non-empty");
+    assert!(
+        deepest_batched.batching.fused_batches > 0,
+        "a saturated pipeline must actually fuse stage batches"
+    );
+    assert!(
+        deepest_batched.report.throughput_rps > deepest.report.throughput_rps,
+        "stage-level micro-batching must lift the saturated single-socket \
+         ceiling (batched {:.0} rps vs unbatched {:.0} rps)",
+        deepest_batched.report.throughput_rps,
+        deepest.report.throughput_rps
+    );
 
     write_json(
         "gateway_throughput",
         &GatewayThroughputDoc {
             stage_time_ms: 1.0,
             workers: 4,
+            max_batch: MAX_BATCH,
             nominal,
             overload,
             serial_single_connection: serial_single,
             mux_single_connection_curve: curve,
+            batched_mux_single_connection_curve: batched_curve,
             per_connection_64,
         },
     );

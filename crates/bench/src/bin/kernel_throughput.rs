@@ -1,0 +1,129 @@
+//! Kernel throughput bench: GFLOP/s of the blocked matmul kernels vs the
+//! retained naive reference, across matrix sizes and thread counts.
+//!
+//! Regenerates `results/kernel_throughput.json`. Run with `--quick` for a
+//! CI smoke pass over tiny sizes (no assertions, sub-second).
+
+use eugene_bench::{has_flag, print_table, write_json};
+use eugene_tensor::{seeded_rng, set_parallelism, standard_normal, Matrix};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelPoint {
+    size: usize,
+    threads: usize,
+    gflops_blocked: f64,
+    gflops_reference: f64,
+    speedup_vs_reference: f64,
+}
+
+#[derive(Serialize)]
+struct KernelThroughputDoc {
+    quick: bool,
+    host_cores: usize,
+    sizes: Vec<usize>,
+    threads: Vec<usize>,
+    points: Vec<KernelPoint>,
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = seeded_rng(seed);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| standard_normal(&mut rng))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Times `op` over enough repetitions to exceed ~80ms and returns GFLOP/s
+/// for an `n^3` product (2*n^3 flops per multiply).
+fn gflops(n: usize, quick: bool, op: impl Fn() -> Matrix) -> f64 {
+    let flops = 2.0 * (n as f64).powi(3);
+    // Warm up (page in the pool, fill caches).
+    let sink = op();
+    std::hint::black_box(sink.as_slice()[0]);
+    let target = if quick { 0.01 } else { 0.08 };
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        let out = op();
+        std::hint::black_box(out.as_slice()[0]);
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= target {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    flops * f64::from(reps) / secs / 1e9
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sizes: Vec<usize> = if quick {
+        vec![32, 64]
+    } else {
+        vec![64, 128, 256, 512]
+    };
+    let threads: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4] };
+
+    println!("kernel_throughput: host has {host_cores} core(s)");
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let a = random_matrix(n, n, 0xA5 + n as u64);
+        let b = random_matrix(n, n, 0x5A + n as u64);
+        set_parallelism(1);
+        let reference = gflops(n, quick, || a.matmul_reference(&b));
+        for &t in &threads {
+            set_parallelism(t);
+            let blocked = gflops(n, quick, || a.matmul(&b));
+            let speedup = blocked / reference;
+            rows.push(vec![
+                format!("{n}"),
+                format!("{t}"),
+                format!("{blocked:.2}"),
+                format!("{reference:.2}"),
+                format!("{speedup:.2}x"),
+            ]);
+            points.push(KernelPoint {
+                size: n,
+                threads: t,
+                gflops_blocked: blocked,
+                gflops_reference: reference,
+                speedup_vs_reference: speedup,
+            });
+        }
+    }
+    set_parallelism(0);
+
+    print_table(
+        "matmul GFLOP/s (blocked vs naive reference)",
+        &["size", "threads", "blocked", "reference", "speedup"],
+        &rows,
+    );
+
+    if !quick {
+        let single_512 = points
+            .iter()
+            .find(|p| p.size == 512 && p.threads == 1)
+            .expect("512x512 single-thread point");
+        assert!(
+            single_512.speedup_vs_reference >= 2.0,
+            "expected >= 2x single-thread speedup at 512x512, got {:.2}x",
+            single_512.speedup_vs_reference
+        );
+        write_json(
+            "kernel_throughput",
+            &KernelThroughputDoc {
+                quick,
+                host_cores,
+                sizes,
+                threads,
+                points,
+            },
+        );
+    }
+}

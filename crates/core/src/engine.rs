@@ -64,6 +64,79 @@ impl InferenceEngine for StagedNetworkEngine {
             valid,
         })
     }
+
+    fn next_stage_batch(&self, batch: &mut [Box<dyn EngineSession>]) -> Vec<Option<StageReport>> {
+        use eugene_nn::Layer;
+        let mut reports: Vec<Option<StageReport>> = batch.iter().map(|_| None).collect();
+        // Group fusable sessions by the stage they are about to run. The
+        // runtime gathers per stage, so normally there is exactly one
+        // group; grouping defends against callers that mix stages. A
+        // session is fusable only if it runs *this* engine's network —
+        // rows of a fused forward all go through the same weights.
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let mut singles: Vec<usize> = Vec::new();
+        for (i, session) in batch.iter_mut().enumerate() {
+            match session.as_any_mut().downcast_mut::<NetworkSession>() {
+                Some(s)
+                    if Arc::ptr_eq(&s.network, &self.network)
+                        && s.valid
+                        && s.done < s.network.num_stages() =>
+                {
+                    groups.entry(s.done).or_default().push(i);
+                }
+                _ => singles.push(i),
+            }
+        }
+        for i in singles {
+            reports[i] = batch[i].next_stage();
+        }
+        for (stage, members) in groups {
+            if members.len() == 1 {
+                let i = members[0];
+                reports[i] = batch[i].next_stage();
+                continue;
+            }
+            // Gather every member's stage input as one row of a fused
+            // matrix. The blocked kernels accumulate each output row in a
+            // fixed k-order independent of the row count, so row `r` of
+            // the fused forward is bitwise-identical to the member running
+            // its stage alone.
+            let mut rows: Vec<f32> = Vec::new();
+            for &i in &members {
+                let s = network_session(&mut batch[i]);
+                rows.extend_from_slice(s.hidden.row(0));
+                if stage > 0 && self.network.input_skip() {
+                    rows.extend_from_slice(s.input.row(0));
+                }
+            }
+            let cols = rows.len() / members.len();
+            let stage_in = Matrix::from_vec(members.len(), cols, rows);
+            let hidden = self.network.stages()[stage].infer(&stage_in);
+            let logits = self.network.heads()[stage].infer(&hidden);
+            for (r, &i) in members.iter().enumerate() {
+                let s = network_session(&mut batch[i]);
+                s.hidden = Matrix::row_vector(hidden.row(r));
+                s.done += 1;
+                let probs = softmax(logits.row(r));
+                let predicted = argmax(&probs);
+                reports[i] = Some(StageReport {
+                    predicted,
+                    confidence: probs[predicted],
+                });
+            }
+        }
+        reports
+    }
+}
+
+/// Recovers the concrete session after the grouping pass has already
+/// downcast-checked it.
+fn network_session(session: &mut Box<dyn EngineSession>) -> &mut NetworkSession {
+    session
+        .as_any_mut()
+        .downcast_mut::<NetworkSession>()
+        .expect("grouped sessions were downcast-checked")
 }
 
 /// One in-flight inference over an owned network reference; stages execute
@@ -103,6 +176,10 @@ impl EngineSession for NetworkSession {
 
     fn stages_done(&self) -> usize {
         self.done
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -166,6 +243,116 @@ mod tests {
             assert!(session.next_stage().is_none());
             assert_eq!(session.stages_done(), 0);
         }
+    }
+
+    #[test]
+    fn fused_batch_is_bitwise_identical_to_solo_sessions() {
+        // The serving runtime scatters row `i` of a fused forward back to
+        // request `i` as if it had run alone — which is only sound if the
+        // kernels make batched rows bitwise-equal to solo rows. Exercise
+        // the input-skip wiring too: it is the trickiest gather path.
+        let config = StagedNetworkConfig {
+            input_dim: 5,
+            num_classes: 4,
+            stage_widths: vec![vec![7], vec![6], vec![8]],
+            dropout: 0.0,
+            input_skip: true,
+        };
+        let engine =
+            StagedNetworkEngine::new(Arc::new(StagedNetwork::new(&config, &mut seeded_rng(11))));
+        let payloads: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..5).map(|c| (i * 5 + c) as f32 * 0.13 - 1.0).collect())
+            .collect();
+
+        let solo: Vec<Vec<StageReport>> = payloads
+            .iter()
+            .map(|p| {
+                let mut session = engine.begin(p);
+                std::iter::from_fn(|| session.next_stage()).collect()
+            })
+            .collect();
+
+        let mut batch: Vec<Box<dyn EngineSession>> =
+            payloads.iter().map(|p| engine.begin(p)).collect();
+        // The loop variable drives repeated fused calls, not iteration
+        // over `solo`.
+        #[allow(clippy::needless_range_loop)]
+        for stage in 0..engine.num_stages() {
+            let reports = engine.next_stage_batch(&mut batch);
+            assert_eq!(reports.len(), batch.len());
+            for (i, report) in reports.iter().enumerate() {
+                let got = report.expect("stage report for every live session");
+                let want = solo[i][stage];
+                assert_eq!(got.predicted, want.predicted);
+                assert_eq!(
+                    got.confidence.to_bits(),
+                    want.confidence.to_bits(),
+                    "stage {stage}, session {i}: fused confidence must be \
+                     bitwise-identical to the solo run"
+                );
+            }
+        }
+        assert!(engine
+            .next_stage_batch(&mut batch)
+            .iter()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn mixed_batch_isolates_unfusable_sessions() {
+        let engine = engine();
+        let sample = [0.3, -0.1, 0.7, 0.2];
+        let solo_first = {
+            let mut s = engine.begin(&sample);
+            s.next_stage().unwrap()
+        };
+
+        // An invalid-width session, an exhausted session, and two live ones.
+        let mut exhausted = engine.begin(&sample);
+        while exhausted.next_stage().is_some() {}
+        let mut batch: Vec<Box<dyn EngineSession>> = vec![
+            engine.begin(&[1.0]),
+            exhausted,
+            engine.begin(&sample),
+            engine.begin(&sample),
+        ];
+        let reports = engine.next_stage_batch(&mut batch);
+        assert!(reports[0].is_none(), "invalid payload never reports");
+        assert!(reports[1].is_none(), "finished session never reports");
+        for i in [2, 3] {
+            let got = reports[i].expect("live sessions still progress");
+            assert_eq!(got.predicted, solo_first.predicted);
+            assert_eq!(got.confidence.to_bits(), solo_first.confidence.to_bits());
+            assert_eq!(batch[i].stages_done(), 1);
+        }
+    }
+
+    #[test]
+    fn batch_members_at_different_stages_still_match_solo_runs() {
+        // The runtime's per-stage buckets make mixed-stage batches
+        // unlikely, but the engine must stay correct if handed one.
+        let engine = engine();
+        let ahead_payload = [0.9, 0.1, -0.4, 0.6];
+        let behind_payload = [0.2, 0.8, 0.5, -0.3];
+        let mut ahead = engine.begin(&ahead_payload);
+        ahead.next_stage();
+        let mut batch: Vec<Box<dyn EngineSession>> = vec![ahead, engine.begin(&behind_payload)];
+        let reports = engine.next_stage_batch(&mut batch);
+
+        let mut solo_ahead = engine.begin(&ahead_payload);
+        solo_ahead.next_stage();
+        let want_ahead = solo_ahead.next_stage().unwrap();
+        let want_behind = engine.begin(&behind_payload).next_stage().unwrap();
+        assert_eq!(
+            reports[0].unwrap().confidence.to_bits(),
+            want_ahead.confidence.to_bits()
+        );
+        assert_eq!(
+            reports[1].unwrap().confidence.to_bits(),
+            want_behind.confidence.to_bits()
+        );
+        assert_eq!(batch[0].stages_done(), 2);
+        assert_eq!(batch[1].stages_done(), 1);
     }
 
     #[test]

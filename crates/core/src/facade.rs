@@ -114,14 +114,22 @@ pub struct ServeOptions {
     pub num_workers: usize,
     /// Early-exit confidence threshold (`1.0` disables).
     pub confidence_threshold: f32,
+    /// Largest fused stage batch (`1` disables micro-batching).
+    pub max_batch: usize,
+    /// How long same-stage requests may gather before a partial batch
+    /// dispatches anyway (ignored when `max_batch == 1`).
+    pub gather_window: std::time::Duration,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
+        let runtime = RuntimeConfig::default();
         Self {
             scheduler: SchedulerKind::RtDeepIot { lookahead: 1 },
             num_workers: 4,
             confidence_threshold: 1.0,
+            max_batch: runtime.max_batch,
+            gather_window: runtime.gather_window,
         }
     }
 }
@@ -532,6 +540,8 @@ impl Eugene {
             RuntimeConfig {
                 num_workers: options.num_workers,
                 confidence_threshold: options.confidence_threshold,
+                max_batch: options.max_batch,
+                gather_window: options.gather_window,
                 ..RuntimeConfig::default()
             },
         ))
@@ -684,6 +694,51 @@ mod tests {
         let response = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         assert_eq!(response.stages_executed, 3);
         assert!(response.is_answered());
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn serve_with_micro_batching_answers_every_request_exactly() {
+        let data = dataset(27, 300);
+        let mut eugene = Eugene::new(28);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let runtime = eugene
+            .serve(
+                id,
+                &ServeOptions {
+                    scheduler: SchedulerKind::Fifo,
+                    num_workers: 1,
+                    max_batch: 4,
+                    gather_window: Duration::from_millis(2),
+                    ..ServeOptions::default()
+                },
+                None,
+            )
+            .unwrap();
+        let class = ServiceClass::new("test", Duration::from_secs(10));
+        let receivers: Vec<_> = (0..6)
+            .map(|i| {
+                runtime
+                    .submit(InferenceRequest::new(
+                        data.sample(i).to_vec(),
+                        class.clone(),
+                    ))
+                    .1
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let response = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(response.stages_executed, 3);
+            // Batched serving must scatter each request its own answer —
+            // identical to the solo classification of that sample.
+            let direct = eugene.classify(id, data.sample(i)).unwrap();
+            assert_eq!(response.predicted, Some(direct[2].predicted));
+        }
+        let stats = runtime.stats();
+        assert!(
+            stats.fused_batches() + stats.singleton_dispatches() > 0,
+            "micro-batching path was exercised"
+        );
         runtime.shutdown();
     }
 

@@ -56,6 +56,10 @@ impl EngineSession for StagedTestSession {
     fn stages_done(&self) -> usize {
         self.done
     }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 /// Boots a runtime over [`StagedTestEngine`] and a gateway on a free

@@ -67,5 +67,9 @@ pub use snapshot::{LayerSnapshot, NetworkSnapshot, SnapshotError};
 pub use staged::{InferenceSession, StageOutput, StagedNetwork, StagedNetworkConfig};
 pub use trainer::{TrainConfig, TrainReport, Trainer};
 
+// The kernel-parallelism knob, re-exported so training and serving code
+// can size the worker pool without depending on `eugene_tensor` directly.
+pub use eugene_tensor::{parallelism, set_parallelism};
+
 #[cfg(test)]
 mod integration_tests;

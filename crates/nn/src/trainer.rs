@@ -28,6 +28,14 @@ pub struct TrainConfig {
     pub head_weights: Option<Vec<f32>>,
     /// Whether to reshuffle the training set each epoch.
     pub shuffle: bool,
+    /// Worker threads for the parallel matmul kernels during training:
+    /// `Some(1)` forces single-threaded kernels, `Some(0)` or `None`
+    /// leaves the process-wide setting untouched (`0` means
+    /// auto-detect). Applied via [`eugene_tensor::set_parallelism`] when
+    /// [`Trainer::fit`] starts; the setting is process-wide, so the last
+    /// trainer to start wins.
+    #[serde(default)]
+    pub parallelism: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -41,6 +49,7 @@ impl Default for TrainConfig {
             ce_weight: 1.0,
             head_weights: None,
             shuffle: true,
+            parallelism: None,
         }
     }
 }
@@ -129,6 +138,9 @@ impl Trainer {
         rng: &mut impl Rng,
     ) -> TrainReport {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
+        if let Some(threads) = self.config.parallelism {
+            eugene_tensor::set_parallelism(threads);
+        }
         let num_heads = network.num_stages();
         let weights = match &self.config.head_weights {
             Some(ws) => {
@@ -297,6 +309,35 @@ mod tests {
             report.epoch_losses
         };
         assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn parallelism_knob_is_applied_and_training_stays_deterministic() {
+        let data = blob_dataset(60, 14);
+        let config = StagedNetworkConfig {
+            input_dim: 2,
+            num_classes: 2,
+            stage_widths: vec![vec![4]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        let run = |threads: Option<usize>| {
+            let mut net = StagedNetwork::new(&config, &mut seeded_rng(15));
+            let report = Trainer::new(TrainConfig {
+                epochs: 2,
+                parallelism: threads,
+                ..TrainConfig::default()
+            })
+            .fit(&mut net, &data, &mut seeded_rng(16));
+            report.epoch_losses
+        };
+        let single = run(Some(1));
+        assert_eq!(eugene_tensor::parallelism(), 1, "knob reached the kernels");
+        let auto = run(Some(0));
+        assert_eq!(
+            single, auto,
+            "kernel parallelism must not change training results"
+        );
     }
 
     #[test]

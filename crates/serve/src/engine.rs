@@ -19,6 +19,20 @@ pub trait InferenceEngine: Send + Sync {
 
     /// Starts a new inference session over one input.
     fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession>;
+
+    /// Executes the next stage of every session in `batch`, returning one
+    /// report slot per session in the same order.
+    ///
+    /// The default runs the sessions one by one — correct for any engine.
+    /// Engines whose stage cost is dominated by matrix products (e.g. the
+    /// staged-network engine in `eugene-core`) override this to fuse the
+    /// batch into a single multi-row forward via
+    /// [`EngineSession::as_any_mut`] downcasts. Overrides must preserve
+    /// per-session semantics exactly: the runtime scatters row `i`'s
+    /// report back to request `i` as if it had run alone.
+    fn next_stage_batch(&self, batch: &mut [Box<dyn EngineSession>]) -> Vec<Option<StageReport>> {
+        batch.iter_mut().map(|s| s.next_stage()).collect()
+    }
 }
 
 /// One in-flight inference: executes a single stage per call.
@@ -33,6 +47,12 @@ pub trait EngineSession: Send {
 
     /// Number of stages executed so far.
     fn stages_done(&self) -> usize;
+
+    /// Downcasting hook so an engine's
+    /// [`InferenceEngine::next_stage_batch`] override can recover its
+    /// concrete session type from the boxed trait objects the runtime
+    /// hands it. Implementations return `self`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 #[cfg(test)]
@@ -86,6 +106,10 @@ pub(crate) mod testing {
 
         fn stages_done(&self) -> usize {
             self.done
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
         }
     }
 

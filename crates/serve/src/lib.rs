@@ -30,6 +30,7 @@
 //! a trained staged network through this runtime.
 
 mod accounting;
+mod batch;
 mod daemon;
 mod engine;
 mod pipe;

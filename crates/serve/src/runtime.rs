@@ -1,3 +1,4 @@
+use crate::batch::GatherBuckets;
 use crate::{
     ConfidencePipe, DeadlineDaemon, EngineSession, InferenceEngine, InferenceRequest,
     InferenceResponse, RequestId, RuntimeStats, StageProgress, StageReport, UsageLedger,
@@ -21,6 +22,16 @@ pub struct RuntimeConfig {
     pub confidence_threshold: f32,
     /// Poll interval of the deadline daemon.
     pub daemon_poll: Duration,
+    /// Maximum requests fused into one batched stage execution. `1` (the
+    /// default) disables micro-batching entirely and preserves the
+    /// one-request-per-worker dispatch path.
+    pub max_batch: usize,
+    /// How long a schedulable request may wait in a gather bucket for
+    /// same-stage peers before its batch is flushed regardless (see
+    /// `crate::batch` for the full flush rules). Only meaningful when
+    /// `max_batch > 1`. Gathering never delays the deadline daemon: an
+    /// expiring request is killed and finalized mid-gather.
+    pub gather_window: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -29,6 +40,8 @@ impl Default for RuntimeConfig {
             num_workers: 4,
             confidence_threshold: 1.0,
             daemon_poll: Duration::from_millis(1),
+            max_batch: 1,
+            gather_window: Duration::from_millis(1),
         }
     }
 }
@@ -39,7 +52,17 @@ type Submission = (
     Sender<InferenceResponse>,
     Option<Sender<StageProgress>>,
 );
-type StageDone = (RequestId, Box<dyn EngineSession>, Option<StageReport>, bool);
+/// One task's stage outcome: `(id, session, report, panicked)`.
+type StageOutcome = (RequestId, Box<dyn EngineSession>, Option<StageReport>, bool);
+/// One worker job's outcomes — a single task, or a whole fused batch.
+type JobDone = Vec<StageOutcome>;
+/// One gathered member handed to the fused dispatcher: `(id, session,
+/// private progress channel)`.
+type BatchMember = (
+    RequestId,
+    Box<dyn EngineSession>,
+    Option<Sender<StageProgress>>,
+);
 
 /// The live serving coordinator (paper §III-C).
 ///
@@ -222,6 +245,13 @@ struct ActiveTask {
     started: Instant,
     deadline: Instant,
     killed: bool,
+    /// Parked in a gather bucket awaiting a fused dispatch. The session
+    /// stays with the task (the bucket holds only the id), so a deadline
+    /// kill mid-gather finalizes it like any parked task.
+    gathering: bool,
+    /// Stage index a worker is executing right now (`None` while parked);
+    /// lets the gather logic count tasks about to reach a bucket's stage.
+    running_stage: Option<usize>,
     num_stages: usize,
     respond: Sender<InferenceResponse>,
     /// Private stage-progress feed for this request, if the submitter
@@ -240,9 +270,18 @@ fn coordinator_loop(
 ) {
     let pool = WorkerPool::new(config.num_workers);
     let daemon = DeadlineDaemon::start(config.daemon_poll);
-    let (done_tx, done_rx) = unbounded::<StageDone>();
+    let (done_tx, done_rx) = unbounded::<JobDone>();
     let mut tasks: HashMap<RequestId, ActiveTask> = HashMap::new();
-    let mut in_flight = 0usize;
+    let batching = config.max_batch > 1;
+    let mut buckets = GatherBuckets::new(config.max_batch.max(1), config.gather_window);
+    // A gathered request is deadline-urgent once its remaining budget is
+    // within two gather windows: waiting any longer risks the daemon
+    // killing it before its stage even dispatches.
+    let urgent_margin = config.gather_window.saturating_mul(2);
+    // Outstanding worker jobs (a fused batch occupies one worker).
+    let mut busy_jobs = 0usize;
+    // Tasks whose stage is executing right now (>= busy_jobs under fusion).
+    let mut running_tasks = 0usize;
     let mut accepting = true;
     scheduler.reset();
 
@@ -265,6 +304,8 @@ fn coordinator_loop(
                             started: now,
                             deadline,
                             killed: false,
+                            gathering: false,
+                            running_stage: None,
                             num_stages: engine.num_stages(),
                             respond,
                             progress,
@@ -286,24 +327,30 @@ fn coordinator_loop(
             }
         }
 
-        // 3. Collect finished stages. A stage that panicked inside the
+        // 3. Collect finished jobs. A stage that panicked inside the
         // engine marks its task killed so it finalizes with whatever it
         // had, rather than deadlocking the runtime.
-        while let Ok((id, session, report, panicked)) = done_rx.try_recv() {
-            in_flight -= 1;
-            if let Some(task) = tasks.get_mut(&id) {
-                if let Some(report) = report {
-                    task.observed.push(report.confidence);
-                    task.last = Some(report);
+        while let Ok(entries) = done_rx.try_recv() {
+            busy_jobs -= 1;
+            for (id, session, report, panicked) in entries {
+                running_tasks -= 1;
+                if let Some(task) = tasks.get_mut(&id) {
+                    task.running_stage = None;
+                    if let Some(report) = report {
+                        task.observed.push(report.confidence);
+                        task.last = Some(report);
+                    }
+                    if panicked {
+                        task.killed = true;
+                    }
+                    task.session = Some(session);
                 }
-                if panicked {
-                    task.killed = true;
-                }
-                task.session = Some(session);
             }
         }
 
         // 4. Finalize tasks that are done, killed, or confident enough.
+        // Gathered tasks keep their session, so a deadline kill mid-gather
+        // finalizes here like any parked task (the bucket is pruned below).
         let finished: Vec<RequestId> = tasks
             .iter()
             .filter(|(_, t)| {
@@ -332,87 +379,109 @@ fn coordinator_loop(
                 expired: task.killed,
                 latency: task.started.elapsed(),
             };
+            // Completion is recorded before the send so a submitter that
+            // has received every response observes a consistent gauge.
+            stats.note_completed();
             // The submitter may have dropped its receiver; that is fine.
             let _ = task.respond.send(response);
-            stats.note_completed();
         }
 
-        // 5. Schedule parked tasks onto free workers.
-        let free = config.num_workers.saturating_sub(in_flight);
-        if free > 0 {
-            let mut entries: Vec<(&RequestId, &ActiveTask)> = tasks
-                .iter()
-                .filter(|(_, t)| t.session.is_some() && !t.killed)
-                .collect();
-            entries.sort_by_key(|(id, _)| **id);
-            let views: Vec<TaskView<'_>> = entries
-                .iter()
-                .map(|(id, t)| TaskView {
-                    id: **id as usize,
-                    stages_done: t.observed.len(),
-                    num_stages: t.num_stages,
-                    observed: &t.observed,
-                    admitted_at: 0,
-                    deadline_at: t.deadline.saturating_duration_since(t.started).as_millis() as u64,
-                    remaining_quanta: t
-                        .deadline
-                        .saturating_duration_since(Instant::now())
-                        .as_millis() as u64,
-                })
-                .collect();
-            let assignments = scheduler.assign(&views, free);
-            drop(views);
-            drop(entries);
+        // 5. Schedule parked tasks onto free workers — directly when
+        // batching is off, through the gather buckets when it is on.
+        let free = config.num_workers.saturating_sub(busy_jobs);
+        if batching {
+            buckets.prune(|id| tasks.contains_key(&id) && !tasks[&id].killed);
+            // The scheduler may claim one batch worth of slots per worker
+            // — including busy ones, so buckets keep filling while every
+            // worker is occupied (that backlog is where fusion under
+            // overload comes from) — minus what is already claimed.
+            let capacity = (config.num_workers * config.max_batch)
+                .saturating_sub(buckets.total_gathered() + running_tasks);
+            if capacity > 0 {
+                let now = Instant::now();
+                for picked in pick_schedulable(&mut scheduler, &tasks, capacity) {
+                    if let Some(task) = tasks.get_mut(&picked) {
+                        task.gathering = true;
+                        buckets.add(task.observed.len(), picked, now);
+                    }
+                }
+            }
+            let mut free_now = free;
+            while free_now > 0 {
+                let now = Instant::now();
+                let popped = buckets.pop_ready(
+                    now,
+                    |id| {
+                        tasks.get(&id).is_some_and(|t| {
+                            t.deadline.saturating_duration_since(now) <= urgent_margin
+                        })
+                    },
+                    |stage| potential_joiners(&tasks, stage),
+                );
+                let Some((_, members)) = popped else {
+                    break;
+                };
+                let mut batch = Vec::with_capacity(members.len());
+                for (id, wait) in members {
+                    let Some(task) = tasks.get_mut(&id) else {
+                        continue;
+                    };
+                    task.gathering = false;
+                    if task.killed {
+                        continue;
+                    }
+                    let Some(session) = task.session.take() else {
+                        continue;
+                    };
+                    task.running_stage = Some(task.observed.len());
+                    stats.note_gather_wait(wait);
+                    batch.push((id, session, task.progress.clone()));
+                }
+                if batch.is_empty() {
+                    continue;
+                }
+                stats.note_batch_dispatch(batch.len());
+                busy_jobs += 1;
+                running_tasks += batch.len();
+                free_now -= 1;
+                if batch.len() == 1 {
+                    // Batch-of-one fast path: plain per-session dispatch.
+                    let (id, session, private_tx) = batch.pop().expect("one member");
+                    dispatch_single(&pool, id, session, private_tx, pipe.sender(), &done_tx);
+                } else {
+                    dispatch_batch(&pool, Arc::clone(&engine), batch, pipe.sender(), &done_tx);
+                }
+            }
+        } else if free > 0 {
             let mut dispatched = 0;
-            for picked in assignments {
+            for picked in pick_schedulable(&mut scheduler, &tasks, free) {
                 if dispatched >= free {
                     break;
                 }
-                let id = picked as RequestId;
-                let Some(task) = tasks.get_mut(&id) else {
+                let Some(task) = tasks.get_mut(&picked) else {
                     continue;
                 };
-                let Some(mut session) = task.session.take() else {
+                let Some(session) = task.session.take() else {
                     continue;
                 };
-                let done_tx = done_tx.clone();
-                let progress_tx = pipe.sender();
-                let private_tx = task.progress.clone();
-                in_flight += 1;
+                task.running_stage = Some(task.observed.len());
+                busy_jobs += 1;
+                running_tasks += 1;
                 dispatched += 1;
-                pool.execute(move || {
-                    // A panicking engine must not wedge the coordinator:
-                    // catch it, return the session, and flag the task.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        session.next_stage()
-                    }));
-                    match outcome {
-                        Ok(report) => {
-                            if let Some(r) = report {
-                                let event = StageProgress {
-                                    request_id: id,
-                                    stage: session.stages_done().saturating_sub(1),
-                                    confidence: r.confidence,
-                                    predicted: r.predicted,
-                                };
-                                if let Some(private_tx) = &private_tx {
-                                    let _ = private_tx.send(event.clone());
-                                }
-                                let _ = progress_tx.send(event);
-                            }
-                            let _ = done_tx.send((id, session, report, false));
-                        }
-                        Err(_) => {
-                            let _ = done_tx.send((id, session, None, true));
-                        }
-                    }
-                });
+                dispatch_single(
+                    &pool,
+                    picked,
+                    session,
+                    task.progress.clone(),
+                    pipe.sender(),
+                    &done_tx,
+                );
             }
         }
 
         // 6. Publish occupancy, exit when drained, otherwise pace the loop.
-        stats.set_occupancy(in_flight, tasks.len().saturating_sub(in_flight));
-        if !accepting && tasks.is_empty() && in_flight == 0 {
+        stats.set_occupancy(running_tasks, tasks.len().saturating_sub(running_tasks));
+        if !accepting && tasks.is_empty() && busy_jobs == 0 {
             break;
         }
         std::thread::sleep(Duration::from_micros(200));
@@ -420,6 +489,155 @@ fn coordinator_loop(
     stats.set_occupancy(0, 0);
     pool.shutdown();
     daemon.shutdown();
+}
+
+/// Runs the scheduler over every parked, live, not-yet-gathered task and
+/// returns its picks (at most `capacity`).
+fn pick_schedulable(
+    scheduler: &mut Box<dyn Scheduler>,
+    tasks: &HashMap<RequestId, ActiveTask>,
+    capacity: usize,
+) -> Vec<RequestId> {
+    let mut entries: Vec<(&RequestId, &ActiveTask)> = tasks
+        .iter()
+        .filter(|(_, t)| t.session.is_some() && !t.killed && !t.gathering)
+        .collect();
+    entries.sort_by_key(|(id, _)| **id);
+    let views: Vec<TaskView<'_>> = entries
+        .iter()
+        .map(|(id, t)| TaskView {
+            id: **id as usize,
+            stages_done: t.observed.len(),
+            num_stages: t.num_stages,
+            observed: &t.observed,
+            admitted_at: 0,
+            deadline_at: t.deadline.saturating_duration_since(t.started).as_millis() as u64,
+            remaining_quanta: t
+                .deadline
+                .saturating_duration_since(Instant::now())
+                .as_millis() as u64,
+        })
+        .collect();
+    scheduler
+        .assign(&views, capacity)
+        .into_iter()
+        .take(capacity)
+        .map(|picked| picked as RequestId)
+        .collect()
+}
+
+/// Tasks outside the gather buckets that could still reach `stage`: parked
+/// tasks already there, and running tasks whose current stage parks them
+/// there next. Zero means waiting out the gather window buys nothing.
+fn potential_joiners(tasks: &HashMap<RequestId, ActiveTask>, stage: usize) -> usize {
+    tasks
+        .values()
+        .filter(|t| !t.killed)
+        .filter(|t| match (&t.session, t.running_stage) {
+            (Some(_), _) => !t.gathering && t.observed.len() == stage,
+            (None, Some(running)) => running + 1 == stage,
+            (None, None) => false,
+        })
+        .count()
+}
+
+/// Executes one task's next stage on the pool — the only dispatch path
+/// when batching is off, and the batch-of-one fast path when it is on.
+fn dispatch_single(
+    pool: &WorkerPool,
+    id: RequestId,
+    mut session: Box<dyn EngineSession>,
+    private_tx: Option<Sender<StageProgress>>,
+    progress_tx: Sender<StageProgress>,
+    done_tx: &Sender<JobDone>,
+) {
+    let done_tx = done_tx.clone();
+    pool.execute(move || {
+        // A panicking engine must not wedge the coordinator: catch it,
+        // return the session, and flag the task.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.next_stage()));
+        let entry = match outcome {
+            Ok(report) => {
+                if let Some(r) = report {
+                    let event = StageProgress {
+                        request_id: id,
+                        stage: session.stages_done().saturating_sub(1),
+                        confidence: r.confidence,
+                        predicted: r.predicted,
+                    };
+                    if let Some(private_tx) = &private_tx {
+                        let _ = private_tx.send(event.clone());
+                    }
+                    let _ = progress_tx.send(event);
+                }
+                (id, session, report, false)
+            }
+            Err(_) => (id, session, None, true),
+        };
+        let _ = done_tx.send(vec![entry]);
+    });
+}
+
+/// Executes one fused batch on the pool via the engine's
+/// [`InferenceEngine::next_stage_batch`], scattering per-session reports
+/// back as individual stage outcomes.
+fn dispatch_batch(
+    pool: &WorkerPool,
+    engine: Arc<dyn InferenceEngine>,
+    batch: Vec<BatchMember>,
+    progress_tx: Sender<StageProgress>,
+    done_tx: &Sender<JobDone>,
+) {
+    let done_tx = done_tx.clone();
+    pool.execute(move || {
+        let mut ids = Vec::with_capacity(batch.len());
+        let mut sessions: Vec<Box<dyn EngineSession>> = Vec::with_capacity(batch.len());
+        let mut privates = Vec::with_capacity(batch.len());
+        for (id, session, private) in batch {
+            ids.push(id);
+            sessions.push(session);
+            privates.push(private);
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.next_stage_batch(&mut sessions)
+        }));
+        let entries: JobDone = match outcome {
+            Ok(mut reports) => {
+                // A misbehaving override must never lose sessions: pad or
+                // truncate its report list to the batch size.
+                reports.resize(sessions.len(), None);
+                ids.into_iter()
+                    .zip(sessions)
+                    .zip(reports)
+                    .zip(privates)
+                    .map(|(((id, session), report), private_tx)| {
+                        if let Some(r) = report {
+                            let event = StageProgress {
+                                request_id: id,
+                                stage: session.stages_done().saturating_sub(1),
+                                confidence: r.confidence,
+                                predicted: r.predicted,
+                            };
+                            if let Some(private_tx) = &private_tx {
+                                let _ = private_tx.send(event.clone());
+                            }
+                            let _ = progress_tx.send(event);
+                        }
+                        (id, session, report, false)
+                    })
+                    .collect()
+            }
+            // A panic inside a fused stage poisons the whole batch: every
+            // member finalizes as killed with whatever it already had.
+            Err(_) => ids
+                .into_iter()
+                .zip(sessions)
+                .map(|(id, session)| (id, session, None, true))
+                .collect(),
+        };
+        let _ = done_tx.send(entries);
+    });
 }
 
 #[cfg(test)]
@@ -569,6 +787,9 @@ mod tests {
         fn stages_done(&self) -> usize {
             self.done
         }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
     }
 
     #[test]
@@ -621,6 +842,125 @@ mod tests {
             assert!(ids.contains(&event.request_id));
             assert_eq!(event.request_id % 2, ids[0] % 2, "only even submitters");
         }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn fused_batches_form_under_load_and_answer_correctly() {
+        let config = RuntimeConfig {
+            num_workers: 1,
+            max_batch: 4,
+            gather_window: Duration::from_millis(5),
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.5, 0.9], 10, config);
+        let rxs: Vec<_> = (0..8)
+            .map(|i| rt.submit(InferenceRequest::new(vec![i as f32], class(30_000))))
+            .collect();
+        for (i, (id, rx)) in rxs.into_iter().enumerate() {
+            let response = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(response.id, id);
+            assert_eq!(response.stages_executed, 2);
+            assert_eq!(response.predicted, Some(i), "row scattered to wrong task");
+            assert!(!response.expired);
+        }
+        let stats = rt.stats();
+        assert!(
+            stats.fused_batches() > 0,
+            "8 requests through 1 worker with max_batch 4 must fuse"
+        );
+        assert!(stats.peak_batch_occupancy() >= 2);
+        assert!(stats.batched_stage_executions() >= 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn batch_of_one_takes_the_singleton_fast_path() {
+        let config = RuntimeConfig {
+            num_workers: 2,
+            max_batch: 4,
+            gather_window: Duration::from_millis(2),
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.5, 0.9], 1, config);
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![5.0], class(10_000)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(response.stages_executed, 2);
+        let stats = rt.stats();
+        assert_eq!(
+            stats.fused_batches(),
+            0,
+            "a lone request must never wait to be fused"
+        );
+        assert!(
+            stats.singleton_dispatches() >= 2,
+            "each stage flushes as a batch of one"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_mid_gather_finalizes_without_stalling_the_batch() {
+        // One worker, long stages, and a gather window far longer than any
+        // deadline: request C expires while parked for batching and must
+        // finalize immediately, while A and B still complete fully.
+        let config = RuntimeConfig {
+            num_workers: 1,
+            max_batch: 2,
+            gather_window: Duration::from_millis(500),
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.5, 0.9], 60, config);
+        let (_, rx_a) = rt.submit(InferenceRequest::new(vec![0.0], class(10_000)));
+        // Let A occupy the worker before B and C arrive.
+        std::thread::sleep(Duration::from_millis(20));
+        let (_, rx_b) = rt.submit(InferenceRequest::new(vec![1.0], class(10_000)));
+        let (_, rx_c) = rt.submit(InferenceRequest::new(vec![2.0], class(30)));
+        let started = Instant::now();
+        let response_c = rx_c.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(response_c.expired, "C's deadline passed while gathering");
+        assert_eq!(response_c.stages_executed, 0);
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "C must not wait out the 500ms gather window, took {:?}",
+            started.elapsed()
+        );
+        let response_a = rx_a.recv_timeout(Duration::from_secs(10)).unwrap();
+        let response_b = rx_b.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(!response_a.expired, "A unaffected by C's expiry");
+        assert_eq!(response_a.stages_executed, 2);
+        assert!(!response_b.expired, "B's batch was not stalled by C");
+        assert_eq!(response_b.stages_executed, 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn batched_mode_streams_progress_and_accounts_usage() {
+        let config = RuntimeConfig {
+            num_workers: 1,
+            max_batch: 4,
+            gather_window: Duration::from_millis(5),
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.4, 0.9], 5, config);
+        let (id, response_rx, progress_rx) =
+            rt.submit_with_progress(InferenceRequest::new(vec![3.0], class(30_000)));
+        let mut others = Vec::new();
+        for i in 0..5 {
+            others.push(rt.submit(InferenceRequest::new(vec![i as f32], class(30_000))));
+        }
+        let response = response_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(response.stages_executed, 2);
+        for (_, rx) in others {
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        }
+        let events: Vec<_> = progress_rx.iter().collect();
+        assert_eq!(events.len(), 2, "private progress survives fusion");
+        for (stage, event) in events.iter().enumerate() {
+            assert_eq!(event.request_id, id);
+            assert_eq!(event.stage, stage);
+        }
+        assert_eq!(rt.usage_ledger().total_stages(), 12);
         rt.shutdown();
     }
 

@@ -22,6 +22,13 @@ struct Gauges {
     completed: AtomicU64,
     running: AtomicUsize,
     queued: AtomicUsize,
+    // Micro-batching gauges (all zero when max_batch == 1).
+    fused_batches: AtomicU64,
+    batched_stages: AtomicU64,
+    peak_batch: AtomicUsize,
+    singleton_dispatches: AtomicU64,
+    gather_wait_micros: AtomicU64,
+    gather_waits: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -56,6 +63,62 @@ impl RuntimeStats {
     /// Admitted tasks parked between stages, waiting for a worker.
     pub fn queued(&self) -> usize {
         self.inner.queued.load(Ordering::Relaxed)
+    }
+
+    /// Fused stage executions: batches of two or more requests that ran
+    /// as one forward.
+    pub fn fused_batches(&self) -> u64 {
+        self.inner.fused_batches.load(Ordering::Relaxed)
+    }
+
+    /// Stage executions that rode inside a fused batch (the occupancy
+    /// numerator: `batched_stage_executions / fused_batches` is the mean
+    /// batch size).
+    pub fn batched_stage_executions(&self) -> u64 {
+        self.inner.batched_stages.load(Ordering::Relaxed)
+    }
+
+    /// Largest batch fused so far.
+    pub fn peak_batch_occupancy(&self) -> usize {
+        self.inner.peak_batch.load(Ordering::Relaxed)
+    }
+
+    /// Gather buckets flushed with a single member — the batch-of-one
+    /// fast path that skips the fused executor entirely.
+    pub fn singleton_dispatches(&self) -> u64 {
+        self.inner.singleton_dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Mean time a request spent parked in a gather bucket before its
+    /// stage dispatched (zero if nothing has gathered yet).
+    pub fn mean_gather_wait(&self) -> std::time::Duration {
+        let waits = self.inner.gather_waits.load(Ordering::Relaxed);
+        if waits == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let total = self.inner.gather_wait_micros.load(Ordering::Relaxed);
+        std::time::Duration::from_micros(total / waits)
+    }
+
+    pub(crate) fn note_batch_dispatch(&self, size: usize) {
+        if size >= 2 {
+            self.inner.fused_batches.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .batched_stages
+                .fetch_add(size as u64, Ordering::Relaxed);
+            self.inner.peak_batch.fetch_max(size, Ordering::Relaxed);
+        } else {
+            self.inner
+                .singleton_dispatches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_gather_wait(&self, wait: std::time::Duration) {
+        self.inner
+            .gather_wait_micros
+            .fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+        self.inner.gather_waits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_submitted(&self) {
@@ -97,6 +160,26 @@ mod tests {
         stats.note_completed();
         assert_eq!(observer.in_flight(), 0);
         assert_eq!(observer.completed(), 2);
+    }
+
+    #[test]
+    fn batch_gauges_distinguish_fused_and_singleton_dispatches() {
+        let stats = RuntimeStats::new();
+        stats.note_batch_dispatch(1);
+        stats.note_batch_dispatch(4);
+        stats.note_batch_dispatch(2);
+        assert_eq!(stats.singleton_dispatches(), 1);
+        assert_eq!(stats.fused_batches(), 2);
+        assert_eq!(stats.batched_stage_executions(), 6);
+        assert_eq!(stats.peak_batch_occupancy(), 4);
+
+        assert_eq!(stats.mean_gather_wait(), std::time::Duration::ZERO);
+        stats.note_gather_wait(std::time::Duration::from_micros(100));
+        stats.note_gather_wait(std::time::Duration::from_micros(300));
+        assert_eq!(
+            stats.mean_gather_wait(),
+            std::time::Duration::from_micros(200)
+        );
     }
 
     #[test]

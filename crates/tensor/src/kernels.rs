@@ -1,0 +1,350 @@
+//! Cache-blocked, optionally parallel GEMM kernels.
+//!
+//! All three matrix products on [`crate::Matrix`] funnel into one
+//! row-major kernel, `gemm_rrr` (`C += A * B` with every operand
+//! row-major). The transposed variants pack the transposed operand into a
+//! row-major buffer first, so they reuse the same inner loops:
+//!
+//! - `matmul`:   `gemm_rrr(A, B)`
+//! - `t_matmul`: `gemm_rrr(pack(Aᵀ), B)`
+//! - `matmul_t`: `gemm_rrr(A, pack(Bᵀ))`
+//!
+//! # Blocking scheme
+//!
+//! The kernel tiles the k dimension in blocks of `KC` so each sweep reads
+//! a `KC x n` slab of `B` that stays cache-resident, and processes output
+//! rows in quads (`MR = 4`). For each quad x k-block it packs the four
+//! `A` rows into a k-major panel (`panel[kk * 4 + r]`), then runs a
+//! 4-row x 4-k micro-kernel whose inner loop walks columns contiguously
+//! in both `B` and `C` — 16 multiply-adds per four (reused) `B` loads,
+//! which the autovectorizer turns into wide SIMD over `j`.
+//!
+//! # Determinism and row independence
+//!
+//! Every path — the small-matrix fast path, the 4-row micro-kernel, the
+//! 1-row remainder kernel, and every parallel row split — accumulates
+//! each output element in strictly ascending `k` order, one rounded
+//! multiply-add per step. Floating-point addition applied left-to-right
+//! is a single fixed sequence, so an output row is **bitwise identical**
+//! no matter which path computed it, how many rows were computed
+//! alongside it, or how many threads ran. The serving runtime's
+//! micro-batching leans on this: a fused batch forward must reproduce
+//! each request's solo forward exactly.
+//!
+//! # Thresholds
+//!
+//! Products with `m * k * n <= SMALL_FLOPS` take a plain i-k-j loop —
+//! the scheduler's and GP's tiny matrices gain nothing from packing.
+//! Blocked products split rows across the [`crate::pool`] only when
+//! `m * k * n >= PARALLEL_MIN_FLOPS` and the `parallelism` knob allows
+//! more than one thread.
+
+use crate::pool;
+
+/// Below this many multiply-adds the plain loop beats the blocked kernel.
+pub(crate) const SMALL_FLOPS: usize = 32 * 32 * 32;
+
+/// Below this many multiply-adds a parallel split costs more than it saves.
+pub(crate) const PARALLEL_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// k-dimension block size: a `KC x n` slab of `B` per sweep.
+const KC: usize = 256;
+
+/// Output rows per micro-kernel invocation.
+const MR: usize = 4;
+
+/// `out += lhs * rhs` where `lhs` is `m x k`, `rhs` is `k x n`, and `out`
+/// is `m x n`, all row-major. `out` is normally freshly zeroed by the
+/// caller; the kernel accumulates into whatever it holds.
+pub(crate) fn gemm_rrr(m: usize, k: usize, n: usize, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(lhs.len(), m * k);
+    debug_assert_eq!(rhs.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let flops = m * k * n;
+    if flops <= SMALL_FLOPS {
+        gemm_small(m, k, n, lhs, rhs, out);
+        return;
+    }
+    let threads = pool::parallelism();
+    if threads > 1 && flops >= PARALLEL_MIN_FLOPS && m >= 2 * MR {
+        // Aim for a few chunks per thread so a straggler core doesn't
+        // serialize the tail; quad-align chunks so only the last chunk
+        // sees remainder rows.
+        let chunk_rows = m.div_ceil(threads * 4).max(MR).next_multiple_of(MR);
+        pool::parallel_chunks_mut(out, chunk_rows * n, threads, |chunk, out_chunk| {
+            let row0 = chunk * chunk_rows;
+            let rows = out_chunk.len() / n;
+            gemm_blocked_rows(row0, rows, k, n, lhs, rhs, out_chunk);
+        });
+    } else {
+        gemm_blocked_rows(0, m, k, n, lhs, rhs, out);
+    }
+}
+
+/// Plain i-k-j product for small shapes. No zero-skip: `0.0 * NaN` must
+/// propagate per IEEE 754, and on dense data the branch is pure overhead.
+fn gemm_small(m: usize, k: usize, n: usize, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &lhs[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &a) in arow.iter().enumerate() {
+            let brow = &rhs[kk * n..(kk + 1) * n];
+            for (o, &b) in orow.iter_mut().zip(brow) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+/// Blocked kernel over output rows `row0 .. row0 + rows`, writing into
+/// `out`, a borrow of exactly those rows (`rows * n` elements).
+fn gemm_blocked_rows(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+) {
+    let mut panel = [0.0_f32; KC * MR];
+    let mut kb = 0;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        let rhs_block = &rhs[kb * n..(kb + kc) * n];
+        let mut i = 0;
+        while i + MR <= rows {
+            pack_quad(&mut panel, lhs, k, row0 + i, kb, kc);
+            micro_kernel_4(&panel, kc, rhs_block, n, &mut out[i * n..(i + MR) * n]);
+            i += MR;
+        }
+        while i < rows {
+            let arow = &lhs[(row0 + i) * k + kb..(row0 + i) * k + kb + kc];
+            row_kernel(arow, kc, rhs_block, n, &mut out[i * n..(i + 1) * n]);
+            i += 1;
+        }
+        kb += kc;
+    }
+}
+
+/// Packs four `A` rows (columns `kb .. kb + kc`) k-major into `panel`:
+/// `panel[kk * MR + r] = lhs[(row + r) * k + kb + kk]`.
+fn pack_quad(panel: &mut [f32; KC * MR], lhs: &[f32], k: usize, row: usize, kb: usize, kc: usize) {
+    for r in 0..MR {
+        let arow = &lhs[(row + r) * k + kb..(row + r) * k + kb + kc];
+        for (kk, &a) in arow.iter().enumerate() {
+            panel[kk * MR + r] = a;
+        }
+    }
+}
+
+/// 4-row x 4-k micro-kernel: per `j`, four reused `B` values feed sixteen
+/// multiply-adds. Each row's element accumulates left-to-right in
+/// ascending `k`, matching the sequential paths bitwise.
+fn micro_kernel_4(
+    panel: &[f32; KC * MR],
+    kc: usize,
+    rhs_block: &[f32],
+    n: usize,
+    out4: &mut [f32],
+) {
+    let (o0, rest) = out4.split_at_mut(n);
+    let (o1, rest) = rest.split_at_mut(n);
+    let (o2, o3) = rest.split_at_mut(n);
+    let mut kk = 0;
+    while kk + 4 <= kc {
+        let a = &panel[kk * MR..(kk + 4) * MR];
+        let b0 = &rhs_block[kk * n..(kk + 1) * n];
+        let b1 = &rhs_block[(kk + 1) * n..(kk + 2) * n];
+        let b2 = &rhs_block[(kk + 2) * n..(kk + 3) * n];
+        let b3 = &rhs_block[(kk + 3) * n..(kk + 4) * n];
+        for j in 0..n {
+            o0[j] = (((o0[j] + a[0] * b0[j]) + a[4] * b1[j]) + a[8] * b2[j]) + a[12] * b3[j];
+            o1[j] = (((o1[j] + a[1] * b0[j]) + a[5] * b1[j]) + a[9] * b2[j]) + a[13] * b3[j];
+            o2[j] = (((o2[j] + a[2] * b0[j]) + a[6] * b1[j]) + a[10] * b2[j]) + a[14] * b3[j];
+            o3[j] = (((o3[j] + a[3] * b0[j]) + a[7] * b1[j]) + a[11] * b2[j]) + a[15] * b3[j];
+        }
+        kk += 4;
+    }
+    while kk < kc {
+        let a = &panel[kk * MR..(kk + 1) * MR];
+        let b = &rhs_block[kk * n..(kk + 1) * n];
+        for j in 0..n {
+            o0[j] += a[0] * b[j];
+            o1[j] += a[1] * b[j];
+            o2[j] += a[2] * b[j];
+            o3[j] += a[3] * b[j];
+        }
+        kk += 1;
+    }
+}
+
+/// 1-row remainder kernel with the same 4-k unroll and accumulation order
+/// as the quad kernel, so remainder rows match quad rows bitwise.
+fn row_kernel(arow: &[f32], kc: usize, rhs_block: &[f32], n: usize, out: &mut [f32]) {
+    let o = &mut out[..n];
+    let mut kk = 0;
+    while kk + 4 <= kc {
+        let a0 = arow[kk];
+        let a1 = arow[kk + 1];
+        let a2 = arow[kk + 2];
+        let a3 = arow[kk + 3];
+        let b0 = &rhs_block[kk * n..(kk + 1) * n];
+        let b1 = &rhs_block[(kk + 1) * n..(kk + 2) * n];
+        let b2 = &rhs_block[(kk + 2) * n..(kk + 3) * n];
+        let b3 = &rhs_block[(kk + 3) * n..(kk + 4) * n];
+        for j in 0..n {
+            o[j] = (((o[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        kk += 4;
+    }
+    while kk < kc {
+        let a = arow[kk];
+        let b = &rhs_block[kk * n..(kk + 1) * n];
+        for j in 0..n {
+            o[j] += a * b[j];
+        }
+        kk += 1;
+    }
+}
+
+/// Transposes a `rows x cols` row-major buffer into a fresh
+/// `cols x rows` row-major buffer, tiled for cache locality.
+pub(crate) fn transpose_pack(rows: usize, cols: usize, src: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(src.len(), rows * cols);
+    const TILE: usize = 32;
+    let mut dst = vec![0.0_f32; rows * cols];
+    let mut r0 = 0;
+    while r0 < rows {
+        let rt = TILE.min(rows - r0);
+        let mut c0 = 0;
+        while c0 < cols {
+            let ct = TILE.min(cols - c0);
+            for r in r0..r0 + rt {
+                let base = r * cols;
+                for c in c0..c0 + ct {
+                    dst[c * rows + r] = src[base + c];
+                }
+            }
+            c0 += ct;
+        }
+        r0 += rt;
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_pattern(len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 37 + 11) % 97) as f32 * 0.25 - 12.0)
+            .collect()
+    }
+
+    fn gemm_naive(m: usize, k: usize, n: usize, lhs: &[f32], rhs: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let a = lhs[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += a * rhs[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_awkward_shapes() {
+        // Shapes straddle the quad width, the 4-k unroll, and KC itself.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 9, 6),
+            (17, 23, 13),
+            (33, 257, 19),
+            (64, 300, 31),
+        ] {
+            let lhs = fill_pattern(m * k);
+            let rhs = fill_pattern(k * n);
+            let mut out = vec![0.0; m * n];
+            gemm_rrr(m, k, n, &lhs, &rhs, &mut out);
+            let naive = gemm_naive(m, k, n, &lhs, &rhs);
+            for (i, (a, b)) in out.iter().zip(&naive).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+                    "{m}x{k}x{n} element {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_bitwise_independent_of_batch_shape() {
+        // The serving runtime fuses request rows into one forward and
+        // requires each row to equal its solo forward bitwise.
+        let k = 300;
+        let n = 130;
+        let m = 11;
+        let lhs = fill_pattern(m * k);
+        let rhs = fill_pattern(k * n);
+        let mut batched = vec![0.0; m * n];
+        gemm_rrr(m, k, n, &lhs, &rhs, &mut batched);
+        for i in 0..m {
+            let mut solo = vec![0.0; n];
+            gemm_rrr(1, k, n, &lhs[i * k..(i + 1) * k], &rhs, &mut solo);
+            assert_eq!(
+                &batched[i * n..(i + 1) * n],
+                &solo[..],
+                "row {i} differs between batched and solo forward"
+            );
+        }
+    }
+
+    #[test]
+    fn results_identical_across_parallelism_settings() {
+        let m = 96;
+        let k = 80;
+        let n = 72; // above PARALLEL_MIN_FLOPS
+        let lhs = fill_pattern(m * k);
+        let rhs = fill_pattern(k * n);
+        let previous = crate::pool::parallelism();
+        let run = |threads: usize| {
+            crate::pool::set_parallelism(threads);
+            let mut out = vec![0.0; m * n];
+            gemm_rrr(m, k, n, &lhs, &rhs, &mut out);
+            out
+        };
+        let serial = run(1);
+        let two = run(2);
+        let four = run(4);
+        crate::pool::set_parallelism(previous);
+        assert_eq!(serial, two);
+        assert_eq!(serial, four);
+    }
+
+    #[test]
+    fn transpose_pack_round_trips() {
+        for &(rows, cols) in &[(1, 1), (3, 5), (33, 40), (70, 65)] {
+            let src = fill_pattern(rows * cols);
+            let t = transpose_pack(rows, cols, &src);
+            let back = transpose_pack(cols, rows, &t);
+            assert_eq!(src, back, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut out = vec![0.0; 0];
+        gemm_rrr(0, 3, 4, &[], &fill_pattern(12), &mut out);
+        let mut out = vec![5.0; 6];
+        gemm_rrr(2, 0, 3, &[], &[], &mut out);
+        assert_eq!(out, vec![5.0; 6], "k == 0 leaves out untouched");
+    }
+}

@@ -20,11 +20,14 @@
 //! ```
 
 mod error;
+mod kernels;
 mod matrix;
+mod pool;
 mod rng;
 mod stats;
 
 pub use error::ShapeError;
 pub use matrix::Matrix;
+pub use pool::{parallelism, set_parallelism};
 pub use rng::{seeded_rng, standard_normal, xavier_uniform};
 pub use stats::{argmax, entropy, log_softmax, mean, softmax, softmax_in_place, std_dev, variance};

@@ -248,6 +248,12 @@ impl Matrix {
 
     /// Matrix product `self * rhs`, validating dimensions.
     ///
+    /// Runs on the cache-blocked kernels in [`crate::kernels`], splitting
+    /// output rows across the shared worker pool for large products (see
+    /// [`crate::set_parallelism`]). Each output row is bitwise identical
+    /// whether computed alone, inside a larger batch, or on any thread
+    /// count — the serving runtime's micro-batching depends on this.
+    ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.cols() != rhs.rows()`.
@@ -260,24 +266,22 @@ impl Matrix {
             ));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both rhs and out.
-        for i in 0..self.rows {
-            let out_row = i * rhs.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = k * rhs.cols;
-                for j in 0..rhs.cols {
-                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
-                }
-            }
-        }
+        crate::kernels::gemm_rrr(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
-    /// Matrix product `self^T * rhs` without materializing the transpose.
+    /// Matrix product `self^T * rhs`.
+    ///
+    /// Packs `self^T` into a row-major buffer and reuses the blocked
+    /// [`crate::kernels`] path, so backward passes get the same blocking
+    /// and parallelism as forward ones.
     ///
     /// # Panics
     ///
@@ -288,15 +292,84 @@ impl Matrix {
             "t_matmul requires equal row counts (lhs {}x{}, rhs {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let packed = crate::kernels::transpose_pack(self.rows, self.cols, &self.data);
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        crate::kernels::gemm_rrr(
+            self.cols,
+            self.rows,
+            rhs.cols,
+            &packed,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product `self * rhs^T`.
+    ///
+    /// Packs `rhs^T` into a row-major buffer and reuses the blocked
+    /// [`crate::kernels`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t requires equal column counts (lhs {}x{}, rhs {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let packed = crate::kernels::transpose_pack(rhs.rows, rhs.cols, &rhs.data);
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        crate::kernels::gemm_rrr(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &packed,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Naive i-k-j product retained as the correctness reference for the
+    /// blocked kernels (property tests) and as the bench baseline. Unlike
+    /// the pre-blocking kernel it never skips zero multiplicands, so IEEE
+    /// non-finite propagation (`0.0 * NaN = NaN`) holds here too.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_reference requires lhs cols == rhs rows (lhs {}x{}, rhs {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let out_row = i * rhs.cols;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive reference for [`Matrix::t_matmul`]; see
+    /// [`Matrix::matmul_reference`].
+    pub fn t_matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul_reference requires equal row counts (lhs {}x{}, rhs {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         for k in 0..self.rows {
             let lhs_row = k * self.cols;
             let rhs_row = k * rhs.cols;
             for i in 0..self.cols {
                 let a = self.data[lhs_row + i];
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = i * rhs.cols;
                 for j in 0..rhs.cols {
                     out.data[out_row + j] += a * rhs.data[rhs_row + j];
@@ -306,15 +379,12 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs^T` without materializing the transpose.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `self.cols() != rhs.cols()`.
-    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+    /// Naive reference for [`Matrix::matmul_t`]; see
+    /// [`Matrix::matmul_reference`].
+    pub fn matmul_t_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
-            "matmul_t requires equal column counts (lhs {}x{}, rhs {}x{})",
+            "matmul_t_reference requires equal column counts (lhs {}x{}, rhs {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
@@ -772,6 +842,35 @@ mod tests {
     fn debug_is_nonempty() {
         let repr = format!("{:?}", Matrix::zeros(1, 1));
         assert!(repr.contains("Matrix 1x1"));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_coefficients() {
+        // Regression: the old kernel skipped k terms where the lhs value
+        // was exactly 0.0, silently dropping 0.0 * NaN and 0.0 * inf
+        // contributions that IEEE 754 requires to poison the output.
+        let lhs = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let rhs = Matrix::from_rows(&[&[f32::NAN, f32::INFINITY], &[2.0, 3.0]]);
+        let out = lhs.matmul(&rhs);
+        assert!(out[(0, 0)].is_nan(), "0.0 * NaN must yield NaN");
+        assert!(out[(0, 1)].is_nan(), "0.0 * inf must yield NaN");
+
+        let t_out = lhs.transpose().t_matmul(&rhs);
+        assert!(t_out[(0, 0)].is_nan(), "t_matmul must propagate NaN too");
+        assert!(t_out[(0, 1)].is_nan());
+
+        let mt_out = lhs.matmul_t(&rhs.transpose());
+        assert!(mt_out[(0, 0)].is_nan(), "matmul_t must propagate NaN too");
+        assert!(mt_out[(0, 1)].is_nan());
+    }
+
+    #[test]
+    fn reference_kernels_match_blocked_kernels() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.5], &[0.0, 3.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[-1.0, 0.5], &[4.0, -3.0]]);
+        assert!(approx_eq(&a.matmul(&b), &a.matmul_reference(&b), 1e-6));
+        assert!(approx_eq(&a.t_matmul(&a), &a.t_matmul_reference(&a), 1e-6));
+        assert!(approx_eq(&b.matmul_t(&b), &b.matmul_t_reference(&b), 1e-6));
     }
 
     #[test]

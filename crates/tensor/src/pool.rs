@@ -1,0 +1,360 @@
+//! A persistent, process-wide worker pool for data-parallel kernels.
+//!
+//! The blocked matmul kernels in [`crate::kernels`] split their output-row
+//! ranges across cores. Spawning threads per call would dwarf the work for
+//! all but enormous matrices, so this module keeps one lazily-started pool
+//! (built on the vendored crossbeam channel) alive for the life of the
+//! process: workers block on a job channel, run a slice of a kernel, and
+//! go back to waiting.
+//!
+//! The pool is shared by every caller in the process — the serving
+//! runtime's batched forwards, training, and benches all draw from the
+//! same threads — and is sized by the [`set_parallelism`] knob. The
+//! default (`0`, "auto") resolves to the machine's available parallelism.
+//! `set_parallelism(1)` forces every kernel onto the sequential path,
+//! which small matrices take regardless of the knob (see
+//! [`crate::kernels`] for the size threshold).
+//!
+//! # Examples
+//!
+//! ```
+//! use eugene_tensor::{parallelism, set_parallelism};
+//!
+//! let previous = parallelism();
+//! set_parallelism(2);
+//! assert_eq!(parallelism(), 2);
+//! set_parallelism(0); // back to auto
+//! assert!(parallelism() >= 1);
+//! set_parallelism(previous);
+//! ```
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on pool threads, a defensive cap against absurd knob values.
+const MAX_WORKERS: usize = 64;
+
+/// Configured parallelism; `0` means "auto" (available parallelism).
+static PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of threads kernels may use (the `parallelism(n)` knob).
+///
+/// `0` restores the default: the machine's available parallelism. `1`
+/// disables threading entirely. Values above an internal cap (64) are
+/// clamped. The setting is global: it governs every matrix product in the
+/// process, so a service sets it once at startup.
+pub fn set_parallelism(threads: usize) {
+    PARALLELISM.store(threads.min(MAX_WORKERS), Ordering::Relaxed);
+}
+
+/// The effective number of threads kernels may use right now (never 0).
+pub fn parallelism() -> usize {
+    match PARALLELISM.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_WORKERS),
+        n => n,
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    /// Worker threads spawned so far; grows on demand up to the knob.
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded::<Job>();
+        Pool {
+            tx,
+            rx,
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+/// Ensures at least `helpers` worker threads exist (workers are helpers:
+/// the calling thread always participates in a parallel region itself).
+fn ensure_workers(helpers: usize) {
+    let pool = pool();
+    let mut spawned = pool.spawned.lock().expect("pool spawn lock");
+    while *spawned < helpers.min(MAX_WORKERS) {
+        let rx = pool.rx.clone();
+        let index = *spawned;
+        std::thread::Builder::new()
+            .name(format!("eugene-gemm-{index}"))
+            .spawn(move || {
+                // Channel disconnect never happens (the pool is 'static);
+                // workers simply serve jobs for the life of the process.
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawn kernel pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Count-down latch: the caller waits until every helper has finished its
+/// share of a parallel region, which is what makes the lifetime erasure in
+/// [`parallel_chunks_mut`] sound.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch wait");
+        }
+    }
+}
+
+/// A `&(dyn Fn..)` with its lifetime erased so helper jobs can be
+/// `'static`. Soundness: [`parallel_chunks_mut`] does not return (or
+/// unwind) past the helpers — the latch guard below blocks until every
+/// helper is done — so the borrow outlives all uses.
+#[derive(Clone, Copy)]
+struct ErasedBody {
+    ptr: *const (dyn Fn(usize, &mut [f32]) + Sync),
+}
+unsafe impl Send for ErasedBody {}
+unsafe impl Sync for ErasedBody {}
+
+/// Raw base pointer of the output buffer, erased for the same reason.
+#[derive(Clone, Copy)]
+struct ErasedOut {
+    ptr: *mut f32,
+    len: usize,
+}
+unsafe impl Send for ErasedOut {}
+unsafe impl Sync for ErasedOut {}
+
+struct Region {
+    out: ErasedOut,
+    body: ErasedBody,
+    chunk_len: usize,
+    num_chunks: usize,
+    next: AtomicUsize,
+    panicked: AtomicBool,
+    latch: Latch,
+}
+
+impl Region {
+    /// Claims and runs chunks until none remain. Returns `false` if the
+    /// body panicked (the panic itself is swallowed here and re-raised on
+    /// the calling thread, so a pool worker never dies).
+    fn run(&self) {
+        loop {
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.num_chunks {
+                return;
+            }
+            let start = chunk * self.chunk_len;
+            let end = (start + self.chunk_len).min(self.out.len);
+            // SAFETY: chunks are disjoint [start, end) ranges of the
+            // original &mut [f32], claimed at most once each via the
+            // atomic counter, and the caller keeps the borrow alive until
+            // the latch opens.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(self.out.ptr.add(start), end - start) };
+            let body = unsafe { &*self.body.ptr };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(chunk, slice);
+            }));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Waits for the region's helpers even if the caller's own chunk panics,
+/// so helper jobs never outlive the borrows they were handed.
+struct WaitGuard<'a> {
+    region: &'a Region,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.region.latch.wait();
+    }
+}
+
+/// Splits `out` into consecutive chunks of `chunk_len` elements and runs
+/// `body(chunk_index, chunk)` over them on up to `threads` threads (the
+/// calling thread included). Blocks until every chunk has run.
+///
+/// Chunk `i` covers `out[i * chunk_len .. (i + 1) * chunk_len]` (the last
+/// chunk may be shorter), so a kernel can derive its row range from the
+/// chunk index alone. Results are deterministic: which thread runs a
+/// chunk never affects what the chunk computes.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`, or (re-raised) if `body` panicked on any
+/// thread.
+pub(crate) fn parallel_chunks_mut(
+    out: &mut [f32],
+    chunk_len: usize,
+    threads: usize,
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let num_chunks = out.len().div_ceil(chunk_len);
+    let threads = threads.clamp(1, num_chunks.max(1));
+    if threads <= 1 || num_chunks <= 1 {
+        for chunk in 0..num_chunks {
+            let start = chunk * chunk_len;
+            let end = (start + chunk_len).min(out.len());
+            body(chunk, &mut out[start..end]);
+        }
+        return;
+    }
+
+    let helpers = threads - 1;
+    ensure_workers(helpers);
+    let body_ref: &(dyn Fn(usize, &mut [f32]) + Sync) = &body;
+    let region = Arc::new(Region {
+        out: ErasedOut {
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
+        },
+        // SAFETY: the WaitGuard below keeps this frame alive until every
+        // helper has dropped its Region reference's last use of `body`.
+        body: ErasedBody {
+            ptr: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize, &mut [f32]) + Sync),
+                    *const (dyn Fn(usize, &mut [f32]) + Sync),
+                >(body_ref as *const _)
+            },
+        },
+        chunk_len,
+        num_chunks,
+        next: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        latch: Latch::new(helpers),
+    });
+
+    {
+        let guard = WaitGuard { region: &region };
+        for _ in 0..helpers {
+            let region = Arc::clone(&region);
+            pool()
+                .tx
+                .send(Box::new(move || {
+                    region.run();
+                    region.latch.count_down();
+                }))
+                .expect("kernel pool alive");
+        }
+        // The caller is a full participant, not just a dispatcher.
+        region.run();
+        drop(guard); // blocks until every helper is done
+    }
+
+    if region.panicked.load(Ordering::Relaxed) {
+        panic!("a parallel kernel chunk panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_round_trips_and_clamps() {
+        let previous = PARALLELISM.load(Ordering::Relaxed);
+        set_parallelism(3);
+        assert_eq!(parallelism(), 3);
+        set_parallelism(10_000);
+        assert_eq!(parallelism(), MAX_WORKERS);
+        set_parallelism(0);
+        assert!(parallelism() >= 1);
+        PARALLELISM.store(previous, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn chunks_cover_the_buffer_exactly_once() {
+        for threads in [1, 2, 4] {
+            let mut data = vec![0.0_f32; 1003];
+            parallel_chunks_mut(&mut data, 64, threads, |chunk, slice| {
+                for (i, x) in slice.iter_mut().enumerate() {
+                    *x += (chunk * 64 + i) as f32;
+                }
+            });
+            for (i, x) in data.iter().enumerate() {
+                assert_eq!(*x, i as f32, "element {i} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn results_do_not_depend_on_thread_count() {
+        let run = |threads: usize| {
+            let mut data = vec![1.0_f32; 777];
+            parallel_chunks_mut(&mut data, 50, threads, |chunk, slice| {
+                for x in slice.iter_mut() {
+                    *x += (chunk as f32).sin();
+                }
+            });
+            data
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn short_buffer_runs_inline() {
+        let mut data = vec![0.0_f32; 5];
+        parallel_chunks_mut(&mut data, 64, 8, |chunk, slice| {
+            assert_eq!(chunk, 0);
+            slice.fill(2.0);
+        });
+        assert_eq!(data, vec![2.0; 5]);
+    }
+
+    #[test]
+    fn body_panic_is_reraised_without_killing_workers() {
+        let attempt = std::panic::catch_unwind(|| {
+            let mut data = vec![0.0_f32; 512];
+            parallel_chunks_mut(&mut data, 8, 4, |chunk, _slice| {
+                if chunk == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(attempt.is_err(), "panic must propagate to the caller");
+        // The pool still works afterwards.
+        let mut data = vec![0.0_f32; 512];
+        parallel_chunks_mut(&mut data, 8, 4, |_chunk, slice| slice.fill(1.0));
+        assert_eq!(data.iter().sum::<f32>(), 512.0);
+    }
+}

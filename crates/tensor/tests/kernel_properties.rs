@@ -1,0 +1,85 @@
+//! Property tests pinning the blocked/parallel kernels to the retained
+//! naive references across random shapes, including sizes that are not
+//! multiples of the tile widths and `parallelism(1)`.
+
+use eugene_tensor::{set_parallelism, Matrix};
+use proptest::prelude::*;
+
+/// Random `(m, k, n)` shapes straddling the quad width (4), the 4-k
+/// unroll, and the small/blocked-path threshold.
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..48, 1usize..96, 1usize..48)
+}
+
+fn within(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), proptest::CaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        prop_assert!(
+            (x - y).abs() <= tol,
+            "element {} differs: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn kernels_match_references_across_random_shapes(
+        (m, k, n) in shapes(),
+        lhs in prop::collection::vec(-10.0f32..10.0, 48 * 96),
+        rhs in prop::collection::vec(-10.0f32..10.0, 96 * 48),
+    ) {
+        let a = Matrix::from_vec(m, k, lhs[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, rhs[..k * n].to_vec());
+        within(&a.matmul(&b), &a.matmul_reference(&b), 1e-6)?;
+
+        let at = Matrix::from_vec(k, m, lhs[..k * m].to_vec());
+        within(&at.t_matmul(&b), &at.t_matmul_reference(&b), 1e-6)?;
+
+        let bt = Matrix::from_vec(n, k, rhs[..n * k].to_vec());
+        within(&a.matmul_t(&bt), &a.matmul_t_reference(&bt), 1e-6)?;
+    }
+
+    #[test]
+    fn parallelism_one_matches_auto(
+        lhs in prop::collection::vec(-5.0f32..5.0, 40 * 80),
+        rhs in prop::collection::vec(-5.0f32..5.0, 80 * 36),
+    ) {
+        // 40 x 80 x 36 is above the parallel threshold, so the two runs
+        // take different dispatch paths yet must agree bitwise.
+        let a = Matrix::from_vec(40, 80, lhs);
+        let b = Matrix::from_vec(80, 36, rhs);
+        set_parallelism(1);
+        let serial = a.matmul(&b);
+        set_parallelism(0);
+        let auto = a.matmul(&b);
+        prop_assert_eq!(serial.as_slice(), auto.as_slice());
+    }
+}
+
+/// Large non-multiple-of-tile shape crossing KC (256): the blocked path
+/// must still match the reference exactly (identical accumulation order).
+#[test]
+fn blocked_path_is_bitwise_equal_to_reference_past_kc() {
+    let m = 37;
+    let k = 301; // crosses the KC = 256 k-block boundary
+    let n = 29;
+    let a = Matrix::from_vec(
+        m,
+        k,
+        (0..m * k)
+            .map(|i| ((i * 31 + 7) % 113) as f32 * 0.125 - 7.0)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        k,
+        n,
+        (0..k * n)
+            .map(|i| ((i * 17 + 3) % 127) as f32 * 0.0625 - 4.0)
+            .collect(),
+    );
+    assert_eq!(a.matmul(&b).as_slice(), a.matmul_reference(&b).as_slice());
+}

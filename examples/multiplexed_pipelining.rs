@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scheduler: SchedulerKind::Fifo,
             num_workers: 4,
             confidence_threshold: 0.90,
+            ..ServeOptions::default()
         },
         None,
         GatewayConfig {

@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scheduler: SchedulerKind::RtDeepIot { lookahead: 1 },
             num_workers: 4,
             confidence_threshold: 0.90,
+            ..ServeOptions::default()
         },
         Some(&train),
         GatewayConfig::default(),

@@ -26,4 +26,15 @@ echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_fr
 cargo test -p eugene-net -q --offline \
   --test churn --test multiplex --test stale_frames
 
+# Kernel regressions, named explicitly for the same reason: the blocked/
+# parallel matmul paths must stay bitwise-equal to the naive references
+# at every parallelism setting (what serving micro-batching relies on).
+echo "==> cargo test -p eugene-tensor --test kernel_properties -q"
+cargo test -p eugene-tensor -q --offline --test kernel_properties
+
+# Kernel throughput smoke: exercises the packed/parallel GEMM paths and
+# the worker pool end to end (quick mode skips the timed speedup gate).
+echo "==> kernel_throughput --quick"
+cargo run --release --offline -p eugene-bench --bin kernel_throughput -- --quick
+
 echo "CI gate passed."

@@ -58,6 +58,7 @@ fn train_calibrate_serve_with_early_exit() {
                 // Calibration pulls confidence down toward accuracy, so
                 // the early-exit bar sits just above chance-of-error.
                 confidence_threshold: 0.78,
+                ..ServeOptions::default()
             },
             Some(&train),
         )
@@ -113,6 +114,7 @@ fn all_scheduler_kinds_serve_requests() {
                     scheduler: scheduler.clone(),
                     num_workers: 2,
                     confidence_threshold: 1.0,
+                    ..ServeOptions::default()
                 },
                 Some(&train),
             )
@@ -189,6 +191,7 @@ fn tight_deadlines_trigger_the_daemon_but_never_lose_requests() {
                 scheduler: SchedulerKind::Fifo,
                 num_workers: 1,
                 confidence_threshold: 1.0,
+                ..ServeOptions::default()
             },
             None,
         )
