@@ -16,21 +16,32 @@
 //! (`max_batch > 1`): same-stage requests gathered within the window fuse
 //! into one stage execution, lifting the saturated ceiling further.
 //!
+//! Finally, the idle-connection scaling curve: both connection-handling
+//! backends hold a growing crowd of idle (handshaken but silent)
+//! connections while the bench records gateway thread count, handshake
+//! latency, and the round-trip time of a live request threaded through
+//! the crowd. The `Blocking` backend spends threads proportional to
+//! connections; the `Readiness` event loop holds ten thousand idle
+//! connections on one thread.
+//!
 //! Writes `results/gateway_throughput.json`.
 //!
 //! Run: `cargo run --release -p eugene-bench --bin gateway_throughput`
-//! (add `--quick` for a shorter run)
+//! (add `--quick` for a shorter run, `--idle` for only the
+//! idle-connection scaling curve)
 
 use eugene_bench::{has_flag, print_table, write_json};
+use eugene_net::wire::{self, Frame, FrameBuffer, PROTOCOL_VERSION};
 use eugene_net::{
-    loadgen, ClassSpec, ClientConfig, Gateway, GatewayConfig, LoadReport, LoadgenConfig,
-    LoadgenMode,
+    loadgen, ClassSpec, ClientConfig, EugeneClient, Gateway, GatewayBackend, GatewayConfig,
+    LoadReport, LoadgenConfig, LoadgenMode,
 };
 use eugene_sched::Fifo;
 use eugene_serve::{EngineSession, InferenceEngine, RuntimeConfig, ServingRuntime, StageReport};
 use serde::Serialize;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Three-stage engine with a fixed per-stage cost: the bench measures the
 /// network and admission path, so the "model" must be deterministic.
@@ -134,6 +145,21 @@ struct BatchStats {
     mean_gather_wait_us: u64,
 }
 
+/// One point of the idle-connection scaling curve.
+#[derive(Serialize)]
+struct IdlePoint {
+    backend: String,
+    /// Idle, handshaken connections held open during the measurement.
+    idle_connections: usize,
+    /// Gateway threads spawned to hold them (runtime workers excluded).
+    gateway_threads: u64,
+    /// Connect + Hello/HelloAck handshake latency across the ramp-up.
+    connect_p50_us: u64,
+    connect_p99_us: u64,
+    /// Round trip of one live request threaded through the idle crowd.
+    request_rtt_ms: f64,
+}
+
 #[derive(Serialize)]
 struct GatewayThroughputDoc {
     stage_time_ms: f64,
@@ -153,6 +179,122 @@ struct GatewayThroughputDoc {
     /// One-request-per-connection at 64 sockets, for the equal-concurrency
     /// comparison against the depth-64 single-socket point.
     per_connection_64: LoadReport,
+    /// Idle-connection scaling: threads and latency vs idle crowd size,
+    /// per connection-handling backend.
+    idle_connection_curve: Vec<IdlePoint>,
+}
+
+/// Connects and completes the wire handshake, returning the open stream.
+fn handshake(addr: SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    wire::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            max_version: PROTOCOL_VERSION,
+        },
+    )
+    .expect("hello");
+    let mut buffer = FrameBuffer::new();
+    loop {
+        match buffer.poll(&mut stream).expect("read HelloAck") {
+            Some(Frame::HelloAck { .. }) => return stream,
+            Some(other) => panic!("expected HelloAck, got {other:?}"),
+            None => {}
+        }
+    }
+}
+
+/// Holds `idle` silent connections against a fresh gateway on `backend`,
+/// measuring handshake latency during the ramp, the gateway's thread
+/// budget, and the round trip of one live request among the crowd.
+fn idle_scenario(backend: GatewayBackend, idle: usize) -> IdlePoint {
+    let engine = Arc::new(FixedCostEngine {
+        ramp: vec![0.95],
+        stage_time: Duration::ZERO,
+    });
+    let runtime = ServingRuntime::start(
+        engine,
+        Box::new(Fifo::new()),
+        RuntimeConfig {
+            num_workers: 2,
+            ..RuntimeConfig::default()
+        },
+    );
+    let gateway = Gateway::start(
+        runtime,
+        GatewayConfig {
+            high_water: 1_000_000,
+            hard_cap: 2_000_000,
+            backend,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+    let status = gateway.status();
+    println!("idle-{backend:?}: ramping to {idle} idle connections...");
+
+    let mut connect_us: Vec<u64> = Vec::with_capacity(idle);
+    let mut conns = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        let t = Instant::now();
+        conns.push(handshake(addr));
+        connect_us.push(t.elapsed().as_micros() as u64);
+    }
+    connect_us.sort_unstable();
+    let pct = |p: f64| connect_us[((connect_us.len() - 1) as f64 * p) as usize];
+
+    let mut client = EugeneClient::new(addr, ClientConfig::default()).expect("resolve");
+    let t = Instant::now();
+    let outcome = client
+        .infer("probe", &[1.0], Duration::from_secs(10))
+        .expect("live request among idle crowd");
+    let request_rtt_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(outcome.predicted, Some(1));
+
+    let point = IdlePoint {
+        backend: format!("{backend:?}"),
+        idle_connections: idle,
+        gateway_threads: status.threads_spawned(),
+        connect_p50_us: pct(0.50),
+        connect_p99_us: pct(0.99),
+        request_rtt_ms,
+    };
+    drop(conns);
+    gateway.shutdown();
+    point
+}
+
+/// The idle scaling sweep. The blocking backend spends threads (reader +
+/// dispatchers) per connection, so its curve stops early; readiness runs
+/// to 10k connections — ~20k fds on loopback, hence the rlimit raise,
+/// with the curve clamped to whatever the kernel actually grants.
+fn idle_sweep(quick: bool) -> Vec<IdlePoint> {
+    let (blocking_points, readiness_points): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![100], vec![100, 2_000])
+    } else {
+        (vec![100, 1_000], vec![100, 1_000, 10_000])
+    };
+    let want = *readiness_points.last().expect("non-empty") as u64 * 2 + 2_000;
+    let granted = eugene_net::reactor::raise_nofile_limit(want);
+    let max_idle = (granted.saturating_sub(2_000) / 2) as usize;
+
+    let mut curve = Vec::new();
+    for &n in &blocking_points {
+        if n > max_idle {
+            println!("idle-Blocking: skipping {n} (fd limit allows {max_idle})");
+            continue;
+        }
+        curve.push(idle_scenario(GatewayBackend::Blocking, n));
+    }
+    for &n in &readiness_points {
+        let n = n.min(max_idle);
+        curve.push(idle_scenario(GatewayBackend::Readiness, n));
+    }
+    curve
 }
 
 fn start_gateway(admission: bool, max_batch: usize) -> Gateway {
@@ -249,8 +391,69 @@ fn scenario(s: Scenario<'_>) -> (LoadReport, BatchStats) {
     (report, batching)
 }
 
+fn print_idle_table(curve: &[IdlePoint]) {
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                p.backend.clone(),
+                p.idle_connections.to_string(),
+                p.gateway_threads.to_string(),
+                format!("{}", p.connect_p50_us),
+                format!("{}", p.connect_p99_us),
+                format!("{:.2}", p.request_rtt_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Idle-connection scaling",
+        &[
+            "backend",
+            "idle",
+            "threads",
+            "conn p50us",
+            "conn p99us",
+            "rtt ms",
+        ],
+        &rows,
+    );
+}
+
+/// The scaling claim the readiness backend exists for: its deepest point
+/// must hold its idle crowd with a bounded thread count and still answer
+/// a live request promptly.
+fn assert_idle_curve(curve: &[IdlePoint]) {
+    let deepest = curve
+        .iter()
+        .filter(|p| p.backend == "Readiness")
+        .max_by_key(|p| p.idle_connections)
+        .expect("readiness points present");
+    assert!(
+        deepest.gateway_threads < 32,
+        "{} idle connections must be held by a bounded thread set, \
+         spawned {}",
+        deepest.idle_connections,
+        deepest.gateway_threads
+    );
+    assert!(
+        deepest.request_rtt_ms < 1_000.0,
+        "a live request among {} idle connections took {:.1}ms",
+        deepest.idle_connections,
+        deepest.request_rtt_ms
+    );
+}
+
 fn main() {
     let quick = has_flag("--quick");
+    let idle_only = has_flag("--idle");
+    if idle_only {
+        // Scaling curve only (CI runs this): no JSON refresh, so the full
+        // document's other sections stay intact.
+        let idle_curve = idle_sweep(quick);
+        print_idle_table(&idle_curve);
+        assert_idle_curve(&idle_curve);
+        return;
+    }
     let (nominal_total, overload_total) = if quick { (300, 600) } else { (1_500, 3_000) };
     let (serial_total, sweep_total) = if quick { (150, 400) } else { (600, 1_200) };
 
@@ -360,6 +563,10 @@ fn main() {
         &rows,
     );
 
+    let idle_curve = idle_sweep(quick);
+    print_idle_table(&idle_curve);
+    assert_idle_curve(&idle_curve);
+
     assert_eq!(
         nominal.completed
             + nominal.rejected
@@ -403,6 +610,7 @@ fn main() {
             mux_single_connection_curve: curve,
             batched_mux_single_connection_curve: batched_curve,
             per_connection_64,
+            idle_connection_curve: idle_curve,
         },
     );
 }

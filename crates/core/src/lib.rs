@@ -45,3 +45,7 @@ mod facade;
 pub use engine::StagedNetworkEngine;
 pub use error::EugeneError;
 pub use facade::{Eugene, ModelId, ModelInfo, SchedulerKind, ServeOptions, TrainRequest};
+// Gateway configuration surfaces through the façade's `serve_gateway`
+// signature; re-export it so callers can pick a connection-handling
+// backend without depending on eugene-net directly.
+pub use eugene_net::{Gateway, GatewayBackend, GatewayConfig};

@@ -40,6 +40,8 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod reactor;
+mod readiness;
 pub mod server;
 pub mod wire;
 
@@ -47,5 +49,5 @@ pub use client::{
     ClientConfig, ClientError, EugeneClient, InferenceOutcome, MultiplexClient, PendingInference,
 };
 pub use loadgen::{ClassSpec, LoadReport, LoadgenConfig, LoadgenMode};
-pub use server::{Gateway, GatewayConfig, GatewayStatus};
+pub use server::{Gateway, GatewayBackend, GatewayConfig, GatewayStatus};
 pub use wire::{Frame, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};

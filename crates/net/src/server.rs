@@ -24,6 +24,7 @@
 //! graceful: accepting stops, every connection drains its in-flight
 //! submits, and the runtime itself is drained last.
 
+use crate::reactor::{self, Interest, Poller};
 use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
 use eugene_serve::{
     InferenceRequest, InferenceResponse, RequestId, RuntimeStats, ServiceClass, ServingRuntime,
@@ -33,10 +34,26 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Which connection-handling engine a [`Gateway`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GatewayBackend {
+    /// One reader thread per connection plus a small dispatcher pool —
+    /// simple, good at a few hundred active connections.
+    #[default]
+    Blocking,
+    /// A single readiness-driven event loop (epoll on Linux, `poll(2)`
+    /// elsewhere) owning every connection socket non-blockingly — holds
+    /// tens of thousands of idle connections on a handful of threads.
+    /// Same wire protocol, same admission control, same
+    /// [`GatewayStatus`] semantics.
+    Readiness,
+}
 
 /// Admission-control and socket policy for a [`Gateway`].
 #[derive(Debug, Clone)]
@@ -52,14 +69,17 @@ pub struct GatewayConfig {
     /// Under overload, lower-utility classes are shed first.
     pub class_utility: HashMap<String, f64>,
     /// Socket read-poll granularity: how often connection threads check
-    /// the shutdown flag while idle.
+    /// the shutdown flag while idle (`Blocking` backend only — the
+    /// `Readiness` backend never polls).
     pub read_poll: Duration,
     /// Dispatcher workers per connection: the bounded pool that forwards
     /// `StageUpdate`/`Final` frames for every in-flight tag. New submits
     /// are dealt round-robin across the pool; one worker already
     /// multiplexes arbitrarily many tags, more reduce head-of-line
-    /// forwarding latency on hot connections.
+    /// forwarding latency on hot connections. (`Blocking` backend only.)
     pub dispatch_workers: usize,
+    /// Connection-handling engine; see [`GatewayBackend`].
+    pub backend: GatewayBackend,
 }
 
 impl Default for GatewayConfig {
@@ -71,6 +91,7 @@ impl Default for GatewayConfig {
             class_utility: HashMap::new(),
             read_poll: Duration::from_millis(20),
             dispatch_workers: 2,
+            backend: GatewayBackend::Blocking,
         }
     }
 }
@@ -176,17 +197,43 @@ impl GatewayStatus {
         self.inner.connections_opened.load(Ordering::Relaxed)
     }
 
-    /// Gateway threads spawned since startup (readers + dispatchers).
+    /// Gateway threads spawned since startup (readers + dispatchers on
+    /// the `Blocking` backend; the single event loop on `Readiness`).
     /// Bounded by connections served, never by requests served.
     pub fn threads_spawned(&self) -> u64 {
         self.inner.threads_spawned.load(Ordering::Relaxed)
+    }
+
+    // Shared mutation points for both backends.
+    pub(crate) fn note_connection_opened(&self) {
+        self.inner
+            .connections_opened
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_connection_closed(&self) {
+        self.inner
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_thread_spawned(&self) {
+        self.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_accept_retry(&self) {
+        self.inner.accept_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_accept_failed(&self) {
+        self.inner.accept_failed.store(true, Ordering::Relaxed);
     }
 }
 
 /// An admission reservation: holds one in-flight slot from the admission
 /// decision until the request's `Final` frame is written (drop releases).
 #[derive(Debug)]
-struct AdmissionSlot {
+pub(crate) struct AdmissionSlot {
     status: GatewayStatus,
 }
 
@@ -200,7 +247,7 @@ impl Drop for AdmissionSlot {
 /// reject backoff hint. The load test and CAS happen on the same gauge,
 /// so concurrent submits cannot both observe `hard_cap - 1` and admit —
 /// the read-then-submit TOCTOU of the thread-per-request design.
-fn try_reserve(
+pub(crate) fn try_reserve(
     config: &GatewayConfig,
     status: &GatewayStatus,
     class: &str,
@@ -229,7 +276,7 @@ fn try_reserve(
 /// Accept errors worth retrying with backoff: transient fd/buffer
 /// pressure and peers that vanished mid-handshake. Anything else (a
 /// broken listener) is terminal.
-fn is_transient_accept_error(e: &io::Error) -> bool {
+pub(crate) fn is_transient_accept_error(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::ConnectionAborted
@@ -245,19 +292,31 @@ fn is_transient_accept_error(e: &io::Error) -> bool {
 }
 
 /// Consecutive transient accept failures tolerated before giving up.
-const ACCEPT_RETRY_LIMIT: u32 = 64;
+pub(crate) const ACCEPT_RETRY_LIMIT: u32 = 64;
 /// First accept-error backoff; doubles per consecutive failure.
-const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(10);
+pub(crate) const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(10);
 /// Upper bound on a single accept-error backoff sleep.
-const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+pub(crate) const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// A tracked connection thread. The flag flips true as the thread's
+/// last act *before* it fires the exit wake; `JoinHandle::is_finished`
+/// alone is not enough, because it only turns true after the closure has
+/// fully returned — a reap pass triggered by the wake could observe the
+/// handle still running, skip it, and then park in the poller with no
+/// further wake coming.
+type ConnSlot = (Arc<AtomicBool>, JoinHandle<()>);
 
 /// A running network gateway; dropping it (or calling
 /// [`Gateway::shutdown`]) drains connections and the underlying runtime.
 pub struct Gateway {
     local_addr: SocketAddr,
+    backend: GatewayBackend,
     stop: Arc<AtomicBool>,
+    /// Nudges the accept loop (Blocking) or the event loop (Readiness)
+    /// out of its poller wait: shutdown, and connection-thread exits.
+    waker: reactor::Waker,
     accept_handle: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Arc<Mutex<Vec<ConnSlot>>>,
     runtime: Option<Arc<ServingRuntime>>,
     stats: RuntimeStats,
     status: GatewayStatus,
@@ -268,27 +327,52 @@ impl Gateway {
     pub fn start(runtime: ServingRuntime, config: GatewayConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        // Non-blocking accept so the accept thread can observe shutdown.
+        // Non-blocking accept on both backends: the serving thread parks
+        // in a poller, never in `accept`.
         listener.set_nonblocking(true)?;
         let stats = runtime.stats();
         let status = GatewayStatus::default();
+        let backend = config.backend;
         let runtime = Arc::new(runtime);
         let stop = Arc::new(AtomicBool::new(false));
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let waker = reactor::Waker::new()?;
+        let connections: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let config = Arc::new(config);
         let accept_handle = {
             let runtime = Arc::clone(&runtime);
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
             let status = status.clone();
-            std::thread::Builder::new()
-                .name("eugene-gateway-accept".to_owned())
-                .spawn(move || accept_loop(listener, runtime, config, stop, connections, status))
-                .expect("spawn accept thread")
+            let waker = waker.clone();
+            match backend {
+                GatewayBackend::Blocking => {
+                    let poller = Poller::new()?;
+                    std::thread::Builder::new()
+                        .name("eugene-gateway-accept".to_owned())
+                        .spawn(move || {
+                            accept_loop(
+                                listener,
+                                runtime,
+                                config,
+                                stop,
+                                connections,
+                                status,
+                                poller,
+                                waker,
+                            )
+                        })
+                        .expect("spawn accept thread")
+                }
+                GatewayBackend::Readiness => {
+                    crate::readiness::spawn(listener, runtime, config, stop, status, waker)?
+                }
+            }
         };
         Ok(Self {
             local_addr,
+            backend,
             stop,
+            waker,
             accept_handle: Some(accept_handle),
             connections,
             runtime: Some(runtime),
@@ -313,12 +397,23 @@ impl Gateway {
         self.status.clone()
     }
 
-    /// Connection `JoinHandle`s currently tracked. Finished handles are
+    /// Live connections the gateway is tracking. On the `Blocking`
+    /// backend these are connection `JoinHandle`s — finished handles are
     /// reaped on every accept-loop pass, so under churn this stays close
     /// to [`GatewayStatus::open_connections`] rather than growing with
-    /// every connection ever accepted.
+    /// every connection ever accepted. On the `Readiness` backend the
+    /// event loop owns plain sockets, so this is exactly
+    /// [`GatewayStatus::open_connections`].
     pub fn tracked_connections(&self) -> usize {
-        self.connections.lock().len()
+        match self.backend {
+            GatewayBackend::Blocking => self.connections.lock().len(),
+            GatewayBackend::Readiness => self.status.open_connections() as usize,
+        }
+    }
+
+    /// The connection-handling engine this gateway runs.
+    pub fn backend(&self) -> GatewayBackend {
+        self.backend
     }
 
     /// Stops accepting, drains every connection's in-flight submits, then
@@ -329,11 +424,14 @@ impl Gateway {
 
     fn shutdown_in_place(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // The serving thread is parked in its poller, not on a timer:
+        // kick it so shutdown begins immediately.
+        self.waker.wake();
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
-        for handle in handles {
+        let handles: Vec<ConnSlot> = std::mem::take(&mut *self.connections.lock());
+        for (_done, handle) in handles {
             let _ = handle.join();
         }
         if let Some(runtime) = self.runtime.take() {
@@ -351,78 +449,139 @@ impl Drop for Gateway {
     }
 }
 
+/// Poller token for the listening socket in the accept loop.
+const TOKEN_LISTENER: usize = 0;
+/// Poller token for the wakeup pipe (shutdown + connection-thread exits).
+const TOKEN_WAKER: usize = 1;
+
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     runtime: Arc<ServingRuntime>,
     config: Arc<GatewayConfig>,
     stop: Arc<AtomicBool>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Arc<Mutex<Vec<ConnSlot>>>,
     status: GatewayStatus,
+    mut poller: Poller,
+    waker: reactor::Waker,
 ) {
+    // Park on readiness instead of a fixed sleep: a connect wakes the
+    // loop immediately (no 5ms connect-latency tax) and an idle gateway
+    // costs zero wakeups. The waker pipe covers everything that is not a
+    // connect: shutdown, and connection threads announcing their exit so
+    // their handles are reaped promptly.
+    if poller
+        .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+        .and_then(|()| poller.register(waker.read_fd(), TOKEN_WAKER, Interest::READ))
+        .is_err()
+    {
+        status.note_accept_failed();
+        return;
+    }
     let mut backoff = ACCEPT_BACKOFF_BASE;
     let mut consecutive_errors = 0u32;
+    let mut events = Vec::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
         }
         reap_finished(&connections);
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                consecutive_errors = 0;
-                backoff = ACCEPT_BACKOFF_BASE;
-                let runtime = Arc::clone(&runtime);
-                let stop = Arc::clone(&stop);
-                let config = Arc::clone(&config);
-                let status = status.clone();
-                status
-                    .inner
-                    .connections_opened
-                    .fetch_add(1, Ordering::Relaxed);
-                status.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
-                let handle = std::thread::Builder::new()
-                    .name("eugene-gateway-conn".to_owned())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, runtime, config, stop, &status);
-                        status
-                            .inner
-                            .connections_closed
-                            .fetch_add(1, Ordering::Relaxed);
-                    })
-                    .expect("spawn connection thread");
-                connections.lock().push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) => {
-                consecutive_errors += 1;
-                if !is_transient_accept_error(&e) || consecutive_errors > ACCEPT_RETRY_LIMIT {
-                    // Terminal: surface the dead accept path instead of
-                    // leaving a gateway that looks alive but never
-                    // accepts again.
-                    status.inner.accept_failed.store(true, Ordering::Relaxed);
-                    return;
+        // Accept everything pending, then go back to sleep.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    consecutive_errors = 0;
+                    backoff = ACCEPT_BACKOFF_BASE;
+                    let runtime = Arc::clone(&runtime);
+                    let stop = Arc::clone(&stop);
+                    let config = Arc::clone(&config);
+                    let status = status.clone();
+                    let waker = waker.clone();
+                    status.note_connection_opened();
+                    status.note_thread_spawned();
+                    let done = Arc::new(AtomicBool::new(false));
+                    let thread_done = Arc::clone(&done);
+                    let handle = std::thread::Builder::new()
+                        .name("eugene-gateway-conn".to_owned())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, runtime, config, stop, &status);
+                            status.note_connection_closed();
+                            // Flag completion *before* waking the accept
+                            // loop, so the reap pass the wake triggers is
+                            // guaranteed to see this slot as done (see
+                            // [`ConnSlot`]) and the handle is reaped
+                            // without waiting for the next connect.
+                            thread_done.store(true, Ordering::Release);
+                            waker.wake();
+                        })
+                        .expect("spawn connection thread");
+                    connections.lock().push((done, handle));
                 }
-                status.inner.accept_retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // The listener is drained. This is the loop's resting
+                    // state, not an error: clear the backoff ladder so an
+                    // earlier transient burst does not leave future
+                    // retries starting at the cap.
+                    consecutive_errors = 0;
+                    backoff = ACCEPT_BACKOFF_BASE;
+                    break;
+                }
+                Err(e) => {
+                    consecutive_errors += 1;
+                    if !is_transient_accept_error(&e) || consecutive_errors > ACCEPT_RETRY_LIMIT {
+                        // Terminal: surface the dead accept path instead
+                        // of leaving a gateway that looks alive but never
+                        // accepts again.
+                        status.note_accept_failed();
+                        return;
+                    }
+                    status.note_accept_retry();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                    break;
+                }
             }
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // Level-triggered: a connection that raced in between the drain
+        // above and this wait is still pending, so the wait returns
+        // immediately. A poller error here is terminal for accepting.
+        if poller.wait(&mut events, None).is_err() {
+            status.note_accept_failed();
+            return;
+        }
+        if events.iter().any(|e| e.token == TOKEN_WAKER) {
+            waker.drain();
         }
     }
 }
 
-/// Joins and drops every finished connection handle, keeping the tracked
-/// vector bounded by *live* connections under churn.
-fn reap_finished(connections: &Mutex<Vec<JoinHandle<()>>>) {
-    let mut handles = connections.lock();
-    let mut i = 0;
-    while i < handles.len() {
-        if handles[i].is_finished() {
-            let handle = handles.swap_remove(i);
-            let _ = handle.join();
-        } else {
-            i += 1;
+/// Reaps every finished connection handle, keeping the tracked vector
+/// bounded by *live* connections under churn. Handles are swap-removed
+/// under the lock but joined outside it, so a connection thread that is
+/// slow to exit can never stall [`Gateway::tracked_connections`] or the
+/// accept loop's next pass.
+fn reap_finished(connections: &Mutex<Vec<ConnSlot>>) {
+    let finished: Vec<ConnSlot> = {
+        let mut handles = connections.lock();
+        let mut reaped = Vec::new();
+        let mut i = 0;
+        while i < handles.len() {
+            // The done flag, not `is_finished`: the latter lags the exit
+            // wake (see [`ConnSlot`]). The join below then waits out only
+            // the final few instructions of the thread, outside the lock.
+            if handles[i].0.load(Ordering::Acquire) || handles[i].1.is_finished() {
+                reaped.push(handles.swap_remove(i));
+            } else {
+                i += 1;
+            }
         }
+        reaped
+    };
+    for (_done, handle) in finished {
+        let _ = handle.join();
     }
 }
 
@@ -450,10 +609,6 @@ struct Dispatcher {
     progress_tx: crossbeam::channel::Sender<StageProgress>,
     handle: JoinHandle<()>,
 }
-
-/// How often a dispatcher re-checks its progress funnel while waiting
-/// for responses; bounds StageUpdate forwarding latency.
-const DISPATCH_POLL: Duration = Duration::from_millis(2);
 
 fn serve_connection(
     mut stream: TcpStream,
@@ -638,7 +793,7 @@ fn dispatcher_loop(
     progress_rx: crossbeam::channel::Receiver<StageProgress>,
     writer: SharedWriter,
 ) {
-    use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+    use crossbeam::channel::{RecvError, TryRecvError};
 
     struct Tracked {
         tag: u64,
@@ -705,24 +860,50 @@ fn dispatcher_loop(
         }};
     }
 
+    macro_rules! register {
+        ($req:expr) => {{
+            let TrackRequest { id, tag, slot } = $req;
+            if let Some(response) = orphan_responses.remove(&id) {
+                finalize!(id, tag, response, slot);
+            } else {
+                if let Some(events) = orphan_progress.remove(&id) {
+                    for event in &events {
+                        forward_progress(tag, event, &writer, &mut writer_alive);
+                    }
+                }
+                tracked.insert(id, Tracked { tag, slot });
+            }
+        }};
+    }
+
+    macro_rules! route_progress {
+        ($event:expr) => {{
+            let event = $event;
+            match tracked.get(&event.request_id) {
+                Some(entry) => forward_progress(entry.tag, &event, &writer, &mut writer_alive),
+                None => orphan_progress
+                    .entry(event.request_id)
+                    .or_default()
+                    .push(event),
+            }
+        }};
+    }
+
+    /// What a blocking select round delivered.
+    enum Wake {
+        Track(Result<TrackRequest, RecvError>),
+        Progress(Result<StageProgress, RecvError>),
+        Respond(Result<InferenceResponse, RecvError>),
+    }
+
     let mut track_open = true;
+    let mut progress_open = true;
     loop {
         // 1. Register new in-flight tags (and finalize any whose response
         //    outran the registration).
         loop {
             match track_rx.try_recv() {
-                Ok(TrackRequest { id, tag, slot }) => {
-                    if let Some(response) = orphan_responses.remove(&id) {
-                        finalize!(id, tag, response, slot);
-                    } else {
-                        if let Some(events) = orphan_progress.remove(&id) {
-                            for event in &events {
-                                forward_progress(tag, event, &writer, &mut writer_alive);
-                            }
-                        }
-                        tracked.insert(id, Tracked { tag, slot });
-                    }
-                }
+                Ok(req) => register!(req),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     track_open = false;
@@ -741,25 +922,52 @@ fn dispatcher_loop(
             return;
         }
 
-        // 3. Wait for the next response (progress re-checked each tick).
-        match respond_rx.recv_timeout(DISPATCH_POLL) {
-            Ok(response) => match tracked.remove(&response.id) {
+        // 3. Block until the next event on a still-open funnel. Arm order
+        //    is priority: registrations, then progress, then responses —
+        //    a StageUpdate in the funnel always goes out before the Final
+        //    that raced in behind it. A disconnected channel must leave
+        //    the select (its arm would fire `Err` forever), so the shape
+        //    is chosen by which funnels are still open.
+        let wake = match (track_open, progress_open) {
+            (true, true) => crossbeam::select! {
+                recv(track_rx) -> msg => Wake::Track(msg),
+                recv(progress_rx) -> msg => Wake::Progress(msg),
+                recv(respond_rx) -> msg => Wake::Respond(msg),
+            },
+            (true, false) => crossbeam::select! {
+                recv(track_rx) -> msg => Wake::Track(msg),
+                recv(respond_rx) -> msg => Wake::Respond(msg),
+            },
+            (false, true) => crossbeam::select! {
+                recv(progress_rx) -> msg => Wake::Progress(msg),
+                recv(respond_rx) -> msg => Wake::Respond(msg),
+            },
+            (false, false) => Wake::Respond(respond_rx.recv()),
+        };
+        match wake {
+            Wake::Track(Ok(req)) => register!(req),
+            Wake::Track(Err(RecvError)) => track_open = false,
+            Wake::Progress(Ok(event)) => route_progress!(event),
+            Wake::Progress(Err(RecvError)) => progress_open = false,
+            Wake::Respond(Ok(response)) => match tracked.remove(&response.id) {
                 Some(Tracked { tag, slot }) => finalize!(response.id, tag, response, slot),
                 None => {
                     orphan_responses.insert(response.id, response);
                 }
             },
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                // All response senders gone: the reader exited and no
-                // submission holds a clone, so nothing is in flight.
+            Wake::Respond(Err(RecvError)) => {
+                // All response senders gone: the reader exited (its
+                // Dispatcher clone died with it, closing the track
+                // channel too) and no submission holds a clone, so
+                // nothing is in flight.
                 debug_assert!(tracked.is_empty());
+                track_open = false;
             }
         }
     }
 }
 
-fn final_frame(client_tag: u64, response: InferenceResponse) -> Frame {
+pub(crate) fn final_frame(client_tag: u64, response: InferenceResponse) -> Frame {
     Frame::Final {
         client_tag,
         response: wire::WireResponse {
@@ -855,6 +1063,98 @@ mod tests {
         assert!(
             admitted.load(Ordering::Relaxed) > 0,
             "some reservations must succeed"
+        );
+    }
+
+    /// Regression for the dispatcher's old 2ms forwarding tick: a
+    /// `StageUpdate` sitting in the progress funnel while the dispatcher
+    /// waits for responses must go out on the wire immediately (the
+    /// select wakes on the send), not on the next poll edge. Fifty
+    /// sequential events under the old `recv_timeout(2ms)` loop cost
+    /// ~100ms of accumulated tick latency; event-driven they cost well
+    /// under a millisecond each.
+    #[test]
+    fn dispatcher_forwards_progress_without_a_poll_tick() {
+        use std::time::Instant;
+        const EVENTS: usize = 50;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        let writer: SharedWriter = Arc::new(Mutex::new(server_side));
+
+        let (track_tx, track_rx) = crossbeam::channel::unbounded();
+        let (respond_tx, respond_rx) = crossbeam::channel::unbounded();
+        let (progress_tx, progress_rx) = crossbeam::channel::unbounded();
+        let handle =
+            std::thread::spawn(move || dispatcher_loop(track_rx, respond_rx, progress_rx, writer));
+
+        let config = GatewayConfig::default();
+        let status = GatewayStatus::default();
+        let slot = try_reserve(&config, &status, "test").expect("reserve");
+        track_tx
+            .send(TrackRequest {
+                id: 7,
+                tag: 42,
+                slot,
+            })
+            .expect("track");
+
+        let mut reader = client;
+        reader
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("read timeout");
+        let mut buffer = FrameBuffer::new();
+        let started = Instant::now();
+        for stage in 0..EVENTS {
+            progress_tx
+                .send(StageProgress {
+                    request_id: 7,
+                    stage,
+                    confidence: 0.5,
+                    predicted: 1,
+                })
+                .expect("progress");
+            // Await this event's frame before sending the next, so every
+            // forward pays the dispatcher's wakeup latency.
+            loop {
+                match buffer.poll(&mut reader).expect("read frame") {
+                    Some(Frame::StageUpdate {
+                        client_tag,
+                        stage: got,
+                        ..
+                    }) => {
+                        assert_eq!(client_tag, 42);
+                        assert_eq!(got as usize, stage);
+                        break;
+                    }
+                    Some(other) => panic!("unexpected frame {other:?}"),
+                    None => {}
+                }
+            }
+        }
+        let elapsed = started.elapsed();
+
+        respond_tx
+            .send(InferenceResponse {
+                id: 7,
+                predicted: Some(1),
+                confidence: Some(0.9),
+                stages_executed: EVENTS,
+                expired: false,
+                latency: Duration::from_millis(1),
+            })
+            .expect("respond");
+        drop(track_tx);
+        drop(respond_tx);
+        drop(progress_tx);
+        handle.join().expect("dispatcher exits clean");
+        assert_eq!(status.in_flight_reserved(), 0, "slot released on Final");
+
+        assert!(
+            elapsed < Duration::from_millis(25),
+            "{EVENTS} sequential StageUpdates took {elapsed:?} — the \
+             dispatcher is forwarding on a poll tick, not on the event"
         );
     }
 

@@ -1,0 +1,405 @@
+//! Backend parity: the readiness-driven event loop must be
+//! indistinguishable from the blocking backend on the wire — same
+//! multiplexing, admission, churn, stale-frame, and shutdown behavior —
+//! while holding thousands of idle connections on a single thread.
+
+mod common;
+
+use common::start_gateway;
+use eugene_net::wire::{self, Frame, FrameBuffer, PROTOCOL_VERSION};
+use eugene_net::{
+    ClientConfig, ClientError, EugeneClient, Gateway, GatewayBackend, GatewayConfig,
+    MultiplexClient,
+};
+use eugene_serve::RuntimeConfig;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn fast_runtime(workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        num_workers: workers,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn readiness_config() -> GatewayConfig {
+    GatewayConfig {
+        high_water: 1_000_000,
+        hard_cap: 2_000_000,
+        backend: GatewayBackend::Readiness,
+        ..GatewayConfig::default()
+    }
+}
+
+fn readiness_gateway(ramp: Vec<f32>, stage_time: Duration, workers: usize) -> Gateway {
+    start_gateway(ramp, stage_time, fast_runtime(workers), readiness_config())
+}
+
+#[test]
+fn serial_client_round_trips_over_readiness() {
+    let gateway = readiness_gateway(vec![0.5, 0.95], Duration::from_millis(1), 2);
+    assert_eq!(gateway.backend(), GatewayBackend::Readiness);
+    let mut client =
+        EugeneClient::new(gateway.local_addr(), ClientConfig::default()).expect("resolve");
+    let outcome = client
+        .infer("serial", &[11.0], Duration::from_secs(5))
+        .expect("round trip");
+    assert_eq!(outcome.predicted, Some(11));
+    assert!(!outcome.expired);
+}
+
+/// The multiplex contract, verbatim from the blocking-backend suite:
+/// many interleaved in-flight tags on one connection, each `Final` and
+/// every `StageUpdate` routed to exactly the tag that owns it.
+#[test]
+fn interleaved_tags_demux_on_one_readiness_connection() {
+    const N: usize = 64;
+    let ramp = vec![0.3, 0.6, 0.9];
+    let gateway = readiness_gateway(ramp.clone(), Duration::from_millis(2), 4);
+    let status = gateway.status();
+    let client = MultiplexClient::new(gateway.local_addr(), ClientConfig::default())
+        .expect("resolve loopback");
+
+    let pending: Vec<_> = (0..N)
+        .map(|i| {
+            client
+                .submit(
+                    "interactive",
+                    &[i as f32],
+                    Duration::from_secs(10),
+                    i % 2 == 0,
+                )
+                .expect("pipelined submit")
+        })
+        .collect();
+
+    for (i, p) in pending.into_iter().enumerate() {
+        let want_progress = i % 2 == 0;
+        let outcome = p.wait().unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!(outcome.predicted, Some(i as u64), "Final routed to tag {i}");
+        assert!(!outcome.expired, "request {i} expired");
+        if want_progress {
+            assert_eq!(
+                outcome.stage_updates.len(),
+                ramp.len(),
+                "request {i} must stream one update per stage"
+            );
+            for update in &outcome.stage_updates {
+                assert_eq!(update.predicted, i as u64, "update routed to tag {i}");
+            }
+        } else {
+            assert!(outcome.stage_updates.is_empty());
+        }
+    }
+
+    assert_eq!(client.stale_frames(), 0, "no frame may go undelivered");
+    assert_eq!(status.connections_opened(), 1, "exactly one connection");
+    assert_eq!(
+        status.threads_spawned(),
+        1,
+        "the event loop is the only gateway thread"
+    );
+}
+
+/// Atomic admission is shared with the blocking backend: a concurrent
+/// submit storm can never push in-flight load past `hard_cap`.
+#[test]
+fn hard_cap_holds_under_concurrent_submits_on_readiness() {
+    const HARD_CAP: u64 = 16;
+    let gateway = start_gateway(
+        vec![0.5, 0.95],
+        Duration::from_millis(3),
+        fast_runtime(4),
+        GatewayConfig {
+            high_water: 8,
+            hard_cap: HARD_CAP,
+            backend: GatewayBackend::Readiness,
+            ..GatewayConfig::default()
+        },
+    );
+    let status = gateway.status();
+    let client =
+        MultiplexClient::new(gateway.local_addr(), ClientConfig::default()).expect("resolve");
+
+    // Pipeline a burst far deeper than the cap before waiting on any
+    // answer: the event loop admits them back-to-back within one read
+    // sweep, so the reservation gauge must be what stops the overflow.
+    const BURST: usize = 64;
+    let pending: Vec<_> = (0..BURST)
+        .map(|i| {
+            client
+                .submit("anon", &[i as f32], Duration::from_secs(5), false)
+                .expect("pipelined submit")
+        })
+        .collect();
+    let (mut answered, mut rejected) = (0u64, 0u64);
+    for (i, p) in pending.into_iter().enumerate() {
+        match p.wait() {
+            Ok(_) => answered += 1,
+            Err(ClientError::Rejected { .. }) => rejected += 1,
+            Err(e) => panic!("request {i}: {e}"),
+        }
+    }
+
+    assert!(
+        status.peak_in_flight() <= HARD_CAP,
+        "in-flight load must never exceed hard_cap={HARD_CAP}, peaked at {}",
+        status.peak_in_flight()
+    );
+    assert_eq!(status.in_flight_reserved(), 0, "every slot released");
+    assert!(answered > 0, "some requests must get through");
+    assert!(rejected > 0, "a 64-deep burst against cap 16 must shed");
+}
+
+/// Overload sheds lowest-utility traffic with a retry hint and recovers
+/// once the burst drains — identical semantics to the blocking backend.
+#[test]
+fn overload_sheds_then_recovers_on_readiness() {
+    let gateway = start_gateway(
+        vec![0.5, 0.9],
+        Duration::from_millis(20),
+        fast_runtime(1),
+        GatewayConfig {
+            high_water: 2,
+            hard_cap: 4,
+            backend: GatewayBackend::Readiness,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = gateway.local_addr();
+
+    const BURST: usize = 12;
+    let barrier = Arc::new(Barrier::new(BURST));
+    let mut handles = Vec::new();
+    for i in 0..BURST {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = EugeneClient::new(
+                addr,
+                ClientConfig {
+                    max_attempts: 1,
+                    seed: i as u64,
+                    ..ClientConfig::default()
+                },
+            )
+            .expect("resolve loopback");
+            barrier.wait();
+            client.infer("burst", &[i as f32], Duration::from_secs(10))
+        }));
+    }
+    let (mut completed, mut rejected) = (0u32, 0u32);
+    for handle in handles {
+        match handle.join().expect("client thread panicked") {
+            Ok(outcome) => {
+                assert!(!outcome.expired);
+                completed += 1;
+            }
+            Err(ClientError::Rejected { retry_after }) => {
+                assert!(retry_after > Duration::ZERO, "reject carries a hint");
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected failure under overload: {other}"),
+        }
+    }
+    assert!(rejected > 0, "a 12-deep burst into hard_cap=4 must shed");
+    assert!(completed > 0, "admitted requests must still complete");
+
+    let mut client = EugeneClient::new(addr, ClientConfig::default()).expect("resolve");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.infer("burst", &[7.0], Duration::from_secs(5)) {
+            Ok(outcome) => {
+                assert_eq!(outcome.predicted, Some(7));
+                break;
+            }
+            Err(ClientError::Rejected { retry_after }) if Instant::now() < deadline => {
+                std::thread::sleep(retry_after);
+            }
+            Err(other) => panic!("gateway failed to recover after overload: {other}"),
+        }
+    }
+    gateway.shutdown();
+}
+
+/// Connect → infer → disconnect churn: closed sockets leave the event
+/// loop promptly, so the open-connection gauge tracks live connections.
+#[test]
+fn connection_churn_drains_closed_sockets_on_readiness() {
+    const CYCLES: usize = 60;
+    let gateway = readiness_gateway(vec![0.9], Duration::ZERO, 2);
+    let addr = gateway.local_addr();
+    let status = gateway.status();
+
+    for cycle in 0..CYCLES {
+        let mut client =
+            EugeneClient::new(addr, ClientConfig::default()).expect("resolve loopback");
+        let outcome = client
+            .infer("churn", &[cycle as f32], Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+        assert_eq!(outcome.predicted, Some(cycle as u64));
+        drop(client);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while gateway.tracked_connections() > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "{} connections still open long after all {CYCLES} closed",
+            gateway.tracked_connections()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(status.connections_opened(), CYCLES as u64);
+    assert!(!status.accept_failed(), "accepting must survive churn");
+    assert_eq!(
+        status.threads_spawned(),
+        1,
+        "churn must not spawn threads on the readiness backend"
+    );
+}
+
+/// An abandoned client deadline must not wedge the connection: the late
+/// `Final` is dropped client-side as stale and the pipeline keeps
+/// working (mirror of the stale-frames suite).
+#[test]
+fn abandoned_deadline_leaves_the_pipeline_usable_on_readiness() {
+    let gateway = start_gateway(
+        vec![0.5, 0.8, 0.95],
+        Duration::from_millis(25),
+        RuntimeConfig {
+            num_workers: 2,
+            daemon_poll: Duration::from_millis(100),
+            ..RuntimeConfig::default()
+        },
+        readiness_config(),
+    );
+    let client =
+        MultiplexClient::new(gateway.local_addr(), ClientConfig::default()).expect("resolve");
+
+    let result = client
+        .submit("impatient", &[5.0], Duration::from_millis(15), false)
+        .expect("submit")
+        .wait();
+    match result {
+        Err(ClientError::DeadlineExhausted) => {}
+        other => panic!("expected DeadlineExhausted, got {other:?}"),
+    }
+
+    let outcome = client
+        .submit("patient", &[9.0], Duration::from_secs(10), false)
+        .expect("submit")
+        .wait()
+        .expect("pipeline must survive an abandoned request");
+    assert_eq!(outcome.predicted, Some(9));
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while client.stale_frames() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        client.stale_frames() >= 1,
+        "the abandoned request's late Final must be counted as stale"
+    );
+    assert!(client.is_connected(), "deadline must not kill the pipe");
+}
+
+/// Shutdown with in-flight multiplexed requests: every admitted request
+/// still receives its `Final` during the drain.
+#[test]
+fn shutdown_drains_every_in_flight_request_on_readiness() {
+    const N: usize = 8;
+    let gateway = readiness_gateway(vec![0.4, 0.7, 0.95], Duration::from_millis(10), 4);
+    let client = MultiplexClient::new(gateway.local_addr(), ClientConfig::default())
+        .expect("resolve loopback");
+    let pending: Vec<_> = (0..N)
+        .map(|i| {
+            client
+                .submit("interactive", &[i as f32], Duration::from_secs(10), false)
+                .expect("submit")
+        })
+        .collect();
+    let status = gateway.status();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while status.in_flight_reserved() < N as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "gateway never admitted all {N} submits"
+        );
+        std::thread::yield_now();
+    }
+    gateway.shutdown();
+    for (i, p) in pending.into_iter().enumerate() {
+        let outcome = p
+            .wait()
+            .unwrap_or_else(|e| panic!("request {i} lost in drain: {e}"));
+        assert_eq!(outcome.predicted, Some(i as u64));
+    }
+}
+
+/// The tentpole scaling claim, sized for a CI box: hundreds of idle
+/// handshaken connections are held by ONE gateway thread (no
+/// thread-per-connection anywhere), and a request threaded between them
+/// still completes promptly.
+#[test]
+fn idle_connections_hold_on_a_single_thread() {
+    const IDLE: usize = 600;
+    let gateway = readiness_gateway(vec![0.9], Duration::from_millis(1), 2);
+    let addr = gateway.local_addr();
+    let status = gateway.status();
+
+    let mut idle = Vec::with_capacity(IDLE);
+    for i in 0..IDLE {
+        let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}"));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                max_version: PROTOCOL_VERSION,
+            },
+        )
+        .expect("hello");
+        let mut buffer = FrameBuffer::new();
+        loop {
+            match buffer.poll(&mut stream).expect("read ack") {
+                Some(Frame::HelloAck { .. }) => break,
+                Some(other) => panic!("expected HelloAck, got {other:?}"),
+                None => {}
+            }
+        }
+        idle.push(stream);
+    }
+    assert_eq!(status.open_connections(), IDLE as u64);
+    assert_eq!(
+        status.threads_spawned(),
+        1,
+        "{IDLE} idle connections must cost exactly one gateway thread"
+    );
+
+    // A working request among the idle crowd completes promptly.
+    let mut client = EugeneClient::new(addr, ClientConfig::default()).expect("resolve");
+    let started = Instant::now();
+    let outcome = client
+        .infer("busy", &[3.0], Duration::from_secs(5))
+        .expect("request among idle connections");
+    assert_eq!(outcome.predicted, Some(3));
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "request took {:?} with {IDLE} idle connections parked",
+        started.elapsed()
+    );
+
+    // Closing the idle sockets drains the gauge without new activity.
+    drop(idle);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while status.open_connections() > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "{} connections still open after all idle sockets closed",
+            status.open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

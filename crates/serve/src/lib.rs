@@ -45,5 +45,5 @@ pub use engine::{EngineSession, InferenceEngine, StageReport};
 pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;
 pub use request::{InferenceRequest, InferenceResponse, RequestId, ServiceClass};
-pub use runtime::{RuntimeConfig, ServingRuntime};
+pub use runtime::{CompletionWaker, RuntimeConfig, ServingRuntime};
 pub use stats::RuntimeStats;

@@ -7,9 +7,21 @@ use crate::{
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use eugene_sched::{Scheduler, TaskView};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// A readiness nudge invoked whenever the runtime pushes a completion or
+/// a private stage-progress event to a submitter's channel; see
+/// [`ServingRuntime::set_completion_waker`].
+pub type CompletionWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// Shared slot holding the (optional) registered waker.
+type WakerCell = Arc<Mutex<Option<CompletionWaker>>>;
+
+fn current_waker(cell: &WakerCell) -> Option<CompletionWaker> {
+    cell.lock().ok().and_then(|guard| guard.clone())
+}
 
 /// Configuration for [`ServingRuntime`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +94,7 @@ pub struct ServingRuntime {
     progress_rx: Receiver<StageProgress>,
     ledger: UsageLedger,
     stats: RuntimeStats,
+    waker: WakerCell,
     coordinator: Option<JoinHandle<()>>,
 }
 
@@ -102,13 +115,17 @@ impl ServingRuntime {
         let progress_rx = pipe.receiver().clone();
         let ledger = UsageLedger::new();
         let stats = RuntimeStats::new();
+        let waker: WakerCell = Arc::new(Mutex::new(None));
         let coordinator = {
             let ledger = ledger.clone();
             let stats = stats.clone();
+            let waker = Arc::clone(&waker);
             std::thread::Builder::new()
                 .name("eugene-coordinator".to_owned())
                 .spawn(move || {
-                    coordinator_loop(engine, scheduler, config, submit_rx, pipe, ledger, stats)
+                    coordinator_loop(
+                        engine, scheduler, config, submit_rx, pipe, ledger, stats, waker,
+                    )
                 })
                 .expect("spawn coordinator")
         };
@@ -118,7 +135,24 @@ impl ServingRuntime {
             progress_rx,
             ledger,
             stats,
+            waker,
             coordinator: Some(coordinator),
+        }
+    }
+
+    /// Registers a completion waker: a cheap, idempotent nudge the
+    /// runtime invokes right after sending a response on a submitter's
+    /// respond channel or a stage report on a private progress channel.
+    ///
+    /// This is the hook a readiness-driven (event-loop) consumer needs:
+    /// instead of polling its funnel channels on a timer, it parks in its
+    /// poller and lets the runtime wake it exactly when something was
+    /// delivered. Spurious invocations are fine (wakers coalesce);
+    /// invocation order relative to other wakers is unspecified. A second
+    /// call replaces the previous waker.
+    pub fn set_completion_waker(&self, waker: CompletionWaker) {
+        if let Ok(mut cell) = self.waker.lock() {
+            *cell = Some(waker);
         }
     }
 
@@ -259,6 +293,7 @@ struct ActiveTask {
     progress: Option<Sender<StageProgress>>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn coordinator_loop(
     engine: Arc<dyn InferenceEngine>,
     mut scheduler: Box<dyn Scheduler>,
@@ -267,6 +302,7 @@ fn coordinator_loop(
     pipe: ConfidencePipe,
     ledger: UsageLedger,
     stats: RuntimeStats,
+    waker: WakerCell,
 ) {
     let pool = WorkerPool::new(config.num_workers);
     let daemon = DeadlineDaemon::start(config.daemon_poll);
@@ -362,6 +398,12 @@ fn coordinator_loop(
             })
             .map(|(&id, _)| id)
             .collect();
+        // One nudge covers the whole finalize batch: wakers coalesce.
+        let nudge = if finished.is_empty() {
+            None
+        } else {
+            current_waker(&waker)
+        };
         for id in finished {
             let task = tasks.remove(&id).expect("task present");
             daemon.deregister(id);
@@ -384,6 +426,9 @@ fn coordinator_loop(
             stats.note_completed();
             // The submitter may have dropped its receiver; that is fine.
             let _ = task.respond.send(response);
+        }
+        if let Some(nudge) = nudge {
+            nudge();
         }
 
         // 5. Schedule parked tasks onto free workers — directly when
@@ -447,9 +492,24 @@ fn coordinator_loop(
                 if batch.len() == 1 {
                     // Batch-of-one fast path: plain per-session dispatch.
                     let (id, session, private_tx) = batch.pop().expect("one member");
-                    dispatch_single(&pool, id, session, private_tx, pipe.sender(), &done_tx);
+                    dispatch_single(
+                        &pool,
+                        id,
+                        session,
+                        private_tx,
+                        pipe.sender(),
+                        &done_tx,
+                        Arc::clone(&waker),
+                    );
                 } else {
-                    dispatch_batch(&pool, Arc::clone(&engine), batch, pipe.sender(), &done_tx);
+                    dispatch_batch(
+                        &pool,
+                        Arc::clone(&engine),
+                        batch,
+                        pipe.sender(),
+                        &done_tx,
+                        Arc::clone(&waker),
+                    );
                 }
             }
         } else if free > 0 {
@@ -475,6 +535,7 @@ fn coordinator_loop(
                     task.progress.clone(),
                     pipe.sender(),
                     &done_tx,
+                    Arc::clone(&waker),
                 );
             }
         }
@@ -550,6 +611,7 @@ fn dispatch_single(
     private_tx: Option<Sender<StageProgress>>,
     progress_tx: Sender<StageProgress>,
     done_tx: &Sender<JobDone>,
+    waker: WakerCell,
 ) {
     let done_tx = done_tx.clone();
     pool.execute(move || {
@@ -568,6 +630,11 @@ fn dispatch_single(
                     };
                     if let Some(private_tx) = &private_tx {
                         let _ = private_tx.send(event.clone());
+                        // A private progress consumer may be parked in a
+                        // poller rather than a blocking recv: nudge it.
+                        if let Some(nudge) = current_waker(&waker) {
+                            nudge();
+                        }
                     }
                     let _ = progress_tx.send(event);
                 }
@@ -588,6 +655,7 @@ fn dispatch_batch(
     batch: Vec<BatchMember>,
     progress_tx: Sender<StageProgress>,
     done_tx: &Sender<JobDone>,
+    waker: WakerCell,
 ) {
     let done_tx = done_tx.clone();
     pool.execute(move || {
@@ -607,7 +675,9 @@ fn dispatch_batch(
                 // A misbehaving override must never lose sessions: pad or
                 // truncate its report list to the batch size.
                 reports.resize(sessions.len(), None);
-                ids.into_iter()
+                let mut nudge_needed = false;
+                let entries: JobDone = ids
+                    .into_iter()
                     .zip(sessions)
                     .zip(reports)
                     .zip(privates)
@@ -621,12 +691,20 @@ fn dispatch_batch(
                             };
                             if let Some(private_tx) = &private_tx {
                                 let _ = private_tx.send(event.clone());
+                                nudge_needed = true;
                             }
                             let _ = progress_tx.send(event);
                         }
                         (id, session, report, false)
                     })
-                    .collect()
+                    .collect();
+                // One nudge covers every private send in the fused batch.
+                if nudge_needed {
+                    if let Some(nudge) = current_waker(&waker) {
+                        nudge();
+                    }
+                }
+                entries
             }
             // A panic inside a fused stage poisons the whole batch: every
             // member finalizes as killed with whatever it already had.
@@ -961,6 +1039,39 @@ mod tests {
             assert_eq!(event.stage, stage);
         }
         assert_eq!(rt.usage_ledger().total_stages(), 12);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn completion_waker_fires_for_responses_and_private_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rt = runtime(vec![0.4, 0.9], 1, RuntimeConfig::default());
+        let nudges = Arc::new(AtomicUsize::new(0));
+        {
+            let nudges = Arc::clone(&nudges);
+            rt.set_completion_waker(Arc::new(move || {
+                nudges.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let (_, response_rx, progress_rx) =
+            rt.submit_with_progress(InferenceRequest::new(vec![1.0], class(10_000)));
+        response_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        // Two stages streamed privately + one finalize: at least one
+        // nudge per delivery point (coalescing across a batch is fine,
+        // but a response and its stage events are distinct deliveries).
+        // The finalize nudge deliberately fires *after* the response send
+        // (nudge-before-send would be a lost wakeup for a parked poller),
+        // so it may still be in flight when the response arrives here.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while nudges.load(Ordering::SeqCst) < 3 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(
+            nudges.load(Ordering::SeqCst) >= 3,
+            "expected nudges for 2 private stage events + 1 response, saw {}",
+            nudges.load(Ordering::SeqCst)
+        );
+        assert_eq!(progress_rx.try_iter().count(), 2);
         rt.shutdown();
     }
 

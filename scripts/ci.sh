@@ -21,10 +21,12 @@ cargo test --workspace -q --offline
 
 # Leak/multiplexing regressions, named explicitly so a future test-file
 # rename cannot silently drop them from the gate: connection-churn handle
-# reaping, and >=64 interleaved in-flight tags on one connection.
-echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames -q"
+# reaping, >=64 interleaved in-flight tags on one connection, the
+# readiness-backend parity suite, and the event-driven latency bounds
+# (no accept sleep, no dispatcher forwarding tick).
+echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency -q"
 cargo test -p eugene-net -q --offline \
-  --test churn --test multiplex --test stale_frames
+  --test churn --test multiplex --test stale_frames --test readiness --test latency
 
 # Kernel regressions, named explicitly for the same reason: the blocked/
 # parallel matmul paths must stay bitwise-equal to the naive references
@@ -36,5 +38,10 @@ cargo test -p eugene-tensor -q --offline --test kernel_properties
 # the worker pool end to end (quick mode skips the timed speedup gate).
 echo "==> kernel_throughput --quick"
 cargo run --release --offline -p eugene-bench --bin kernel_throughput -- --quick
+
+# Idle-connection scaling smoke: both gateway backends hold an idle
+# crowd; asserts the readiness event loop stays on a bounded thread set.
+echo "==> gateway_throughput --quick --idle"
+cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --idle
 
 echo "CI gate passed."

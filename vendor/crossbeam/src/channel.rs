@@ -9,6 +9,9 @@ use std::time::{Duration, Instant};
 struct Shared<T> {
     queue: Mutex<Inner<T>>,
     not_empty: Condvar,
+    /// Parked `select!` operations to notify on send/disconnect, in
+    /// addition to `not_empty` (which only wakes plain `recv` callers).
+    observers: Mutex<Vec<Arc<SelectWaker>>>,
 }
 
 struct Inner<T> {
@@ -20,6 +23,65 @@ struct Inner<T> {
 impl<T> Shared<T> {
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn notify_observers(&self) {
+        let observers = self
+            .observers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for waker in observers.iter() {
+            waker.notify();
+        }
+    }
+}
+
+/// One parked [`select!`] operation: a flag-plus-condvar registered with
+/// every channel an arm watches, notified on each send and on
+/// disconnect.
+///
+/// The lost-wakeup-free protocol is the classic one: register with every
+/// channel, *then* re-check readiness, and only park if nothing is ready
+/// — any send that missed the registration is visible to the re-check,
+/// and any send after it notifies the flag before [`SelectWaker::park`]
+/// can sleep on it.
+pub struct SelectWaker {
+    notified: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl SelectWaker {
+    /// A fresh, unnotified waker.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            notified: Mutex::new(false),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn notify(&self) {
+        let mut flag = self.notified.lock().unwrap_or_else(PoisonError::into_inner);
+        *flag = true;
+        drop(flag);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until notified (or a defensive internal timeout elapses, in
+    /// which case the caller simply re-checks its channels).
+    pub fn park(&self) {
+        let mut flag = self.notified.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*flag {
+            let (guard, timeout) = self
+                .cond
+                .wait_timeout(flag, Duration::from_millis(500))
+                .unwrap_or_else(PoisonError::into_inner);
+            flag = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        *flag = false;
     }
 }
 
@@ -40,6 +102,7 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
             receivers: 1,
         }),
         not_empty: Condvar::new(),
+        observers: Mutex::new(Vec::new()),
     });
     (
         Sender {
@@ -140,6 +203,7 @@ impl<T> Sender<T> {
         inner.items.push_back(value);
         drop(inner);
         self.shared.not_empty.notify_one();
+        self.shared.notify_observers();
         Ok(())
     }
 
@@ -172,6 +236,7 @@ impl<T> Drop for Sender<T> {
         if disconnected {
             // Wake blocked receivers so they observe the disconnect.
             self.shared.not_empty.notify_all();
+            self.shared.notify_observers();
         }
     }
 }
@@ -252,6 +317,47 @@ impl<T> Receiver<T> {
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.shared.lock().items.is_empty()
+    }
+
+    /// One [`select!`] attempt: `Some(Ok(_))` on a queued message,
+    /// `Some(Err(RecvError))` when drained and disconnected, `None` when
+    /// empty but still connected (the arm is not ready).
+    #[doc(hidden)]
+    pub fn try_recv_for_select(&self) -> Option<Result<T, RecvError>> {
+        match self.try_recv() {
+            Ok(item) => Some(Ok(item)),
+            Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+            Err(TryRecvError::Empty) => None,
+        }
+    }
+
+    /// Whether a [`select!`] arm over this channel could fire right now
+    /// (a message is queued, or the channel is disconnected).
+    #[doc(hidden)]
+    pub fn select_ready(&self) -> bool {
+        let inner = self.shared.lock();
+        !inner.items.is_empty() || inner.senders == 0
+    }
+
+    /// Registers a parked [`select!`] waker to be notified on the next
+    /// send or disconnect.
+    #[doc(hidden)]
+    pub fn register_select(&self, waker: &Arc<SelectWaker>) {
+        self.shared
+            .observers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(waker));
+    }
+
+    /// Removes a previously registered [`select!`] waker.
+    #[doc(hidden)]
+    pub fn unregister_select(&self, waker: &Arc<SelectWaker>) {
+        self.shared
+            .observers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|observer| !Arc::ptr_eq(observer, waker));
     }
 
     /// A draining blocking iterator: yields until disconnect.
@@ -405,6 +511,106 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn select_takes_the_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(5).unwrap();
+        let got = crate::select! {
+            recv(rx_a) -> msg => msg.unwrap(),
+            recv(rx_b) -> msg => msg.unwrap() + 100,
+        };
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn select_prefers_earlier_arms_when_several_are_ready() {
+        let (tx_a, rx_a) = unbounded::<&str>();
+        let (tx_b, rx_b) = unbounded::<&str>();
+        tx_b.send("b").unwrap();
+        tx_a.send("a").unwrap();
+        let got = crate::select! {
+            recv(rx_a) -> msg => msg.unwrap(),
+            recv(rx_b) -> msg => msg.unwrap(),
+        };
+        assert_eq!(got, "a", "arm order is priority order");
+    }
+
+    #[test]
+    fn select_blocks_until_a_late_send_and_wakes_promptly() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (_tx_b, rx_b) = unbounded::<u8>();
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx_a.send(9).unwrap();
+            Instant::now()
+        });
+        let got = crate::select! {
+            recv(rx_a) -> msg => msg.unwrap(),
+            recv(rx_b) -> msg => msg.unwrap(),
+        };
+        let woke = Instant::now();
+        let sent = sender.join().unwrap();
+        assert_eq!(got, 9);
+        // The whole point of select over polling: the blocked thread is
+        // woken by the send itself, not by a poll tick.
+        assert!(
+            woke.saturating_duration_since(sent) < Duration::from_millis(100),
+            "select wake lagged the send by {:?}",
+            woke.saturating_duration_since(sent)
+        );
+    }
+
+    #[test]
+    fn select_fires_err_on_disconnect() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (_tx_b, rx_b) = unbounded::<u8>();
+        drop(tx_a);
+        let disconnected = crate::select! {
+            recv(rx_a) -> msg => msg.is_err(),
+            recv(rx_b) -> msg => { let _ = msg; false },
+        };
+        assert!(disconnected, "drained+disconnected arm fires with Err");
+    }
+
+    #[test]
+    fn select_leaves_no_observer_registered() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        let _ = crate::select! { recv(rx) -> msg => msg.unwrap() };
+        // Fast path never registers; slow path must unregister: either
+        // way the observer list ends empty so senders stay O(1).
+        assert_eq!(
+            rx.shared
+                .observers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            0
+        );
+        let waiter = {
+            let rx = rx.clone();
+            thread::spawn(move || crate::select! { recv(rx) -> msg => msg.unwrap() })
+        };
+        thread::sleep(Duration::from_millis(20));
+        tx.send(2).unwrap();
+        assert_eq!(waiter.join().unwrap(), 2);
+        let deadline = Instant::now() + Duration::from_secs(1);
+        loop {
+            let len = rx
+                .shared
+                .observers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len();
+            if len == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "parked waker never unregistered");
+            thread::yield_now();
+        }
     }
 
     #[test]

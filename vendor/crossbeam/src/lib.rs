@@ -2,9 +2,65 @@
 //!
 //! Provides the `crossbeam::channel` API surface the workspace uses —
 //! cloneable multi-producer multi-consumer channels with `send`, `recv`,
-//! `try_recv`, and `recv_timeout` — implemented as a `Mutex<VecDeque>`
-//! plus `Condvar`. Disconnection semantics match crossbeam: a channel is
+//! `try_recv`, and `recv_timeout`, plus a blocking [`select!`] over
+//! multiple receivers — implemented as a `Mutex<VecDeque>` plus
+//! `Condvar`. Disconnection semantics match crossbeam: a channel is
 //! disconnected once every `Sender` (for receivers) or every `Receiver`
 //! (for senders) has been dropped.
 
 pub mod channel;
+
+/// Blocks until one of several receive operations can complete, then runs
+/// that arm — the `crossbeam::channel` `select!` surface this workspace
+/// uses: `recv($rx) -> msg => body` arms only, where `msg` binds a
+/// `Result<T, RecvError>` (`Err` once the channel is drained and
+/// disconnected, exactly like crossbeam).
+///
+/// Arms are tried in order (earlier arms have priority when several are
+/// ready); when none is ready the calling thread parks on a
+/// [`channel::SelectWaker`] registered with every watched channel, so
+/// waiting consumes no CPU. Like crossbeam, an arm over a disconnected
+/// channel is always ready (with `Err`): callers looping over a `select!`
+/// must stop selecting on a channel once it reports `Err`, or the loop
+/// spins.
+///
+/// Arm bodies must not use unlabeled `break`/`continue` (the expansion
+/// wraps the wait in an internal loop).
+///
+/// # Examples
+///
+/// ```
+/// use crossbeam::channel::unbounded;
+///
+/// let (tx_a, rx_a) = unbounded::<u32>();
+/// let (_tx_b, rx_b) = unbounded::<u32>();
+/// tx_a.send(7).unwrap();
+/// let got = crossbeam::select! {
+///     recv(rx_a) -> msg => msg.unwrap(),
+///     recv(rx_b) -> msg => msg.unwrap(),
+/// };
+/// assert_eq!(got, 7);
+/// ```
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
+        '__select: loop {
+            // Fast path: poll each arm in priority order.
+            $(
+                if let Some(__result) = $crate::channel::Receiver::try_recv_for_select(&$rx) {
+                    let $msg = __result;
+                    break '__select ({ $body });
+                }
+            )+
+            // Slow path: register with every channel, re-check (a send
+            // racing the registration must not be lost), park, retry.
+            let __waker = $crate::channel::SelectWaker::new();
+            $( $crate::channel::Receiver::register_select(&$rx, &__waker); )+
+            let __ready = false $(|| $crate::channel::Receiver::select_ready(&$rx))+;
+            if !__ready {
+                __waker.park();
+            }
+            $( $crate::channel::Receiver::unregister_select(&$rx, &__waker); )+
+        }
+    }};
+}
