@@ -24,17 +24,23 @@
 //! connections; the `Readiness` event loop holds ten thousand idle
 //! connections on one thread.
 //!
+//! Last, the shard-scaling curve: the same saturated multiplexed keyed
+//! workload against a `ShardRouter` over N = 1..4 gateway shards, each
+//! with its own runtime. Aggregate throughput must clear 2.5x the
+//! single-shard ceiling at N=4.
+//!
 //! Writes `results/gateway_throughput.json`.
 //!
 //! Run: `cargo run --release -p eugene-bench --bin gateway_throughput`
 //! (add `--quick` for a shorter run, `--idle` for only the
-//! idle-connection scaling curve)
+//! idle-connection scaling curve, `--sharded` for only the shard-scaling
+//! curve)
 
 use eugene_bench::{has_flag, print_table, write_json};
 use eugene_net::wire::{self, Frame, FrameBuffer, PROTOCOL_VERSION};
 use eugene_net::{
     loadgen, ClassSpec, ClientConfig, EugeneClient, Gateway, GatewayBackend, GatewayConfig,
-    LoadReport, LoadgenConfig, LoadgenMode,
+    LoadReport, LoadgenConfig, LoadgenMode, ShardConfig, ShardRouter,
 };
 use eugene_sched::Fifo;
 use eugene_serve::{EngineSession, InferenceEngine, RuntimeConfig, ServingRuntime, StageReport};
@@ -145,6 +151,17 @@ struct BatchStats {
     mean_gather_wait_us: u64,
 }
 
+/// One point of the shard-scaling curve: the same saturated multiplexed
+/// workload spread by routing key over `shards` gateway shards.
+#[derive(Serialize)]
+struct ShardPoint {
+    shards: usize,
+    report: LoadReport,
+    /// Runtime counters summed across all shards after the run.
+    aggregate_submitted: u64,
+    aggregate_completed: u64,
+}
+
 /// One point of the idle-connection scaling curve.
 #[derive(Serialize)]
 struct IdlePoint {
@@ -182,6 +199,9 @@ struct GatewayThroughputDoc {
     /// Idle-connection scaling: threads and latency vs idle crowd size,
     /// per connection-handling backend.
     idle_connection_curve: Vec<IdlePoint>,
+    /// Shard-scaling: aggregate throughput of the same saturated
+    /// multiplexed workload against a ShardRouter over N = 1..4 shards.
+    sharded_scaling_curve: Vec<ShardPoint>,
 }
 
 /// Connects and completes the wire handshake, returning the open stream.
@@ -369,6 +389,7 @@ fn scenario(s: Scenario<'_>) -> (LoadReport, BatchStats) {
             ..ClientConfig::default()
         },
         mode: s.mode.clone(),
+        keyspace: None,
     };
     let kind = match &s.mode {
         LoadgenMode::PerConnection => "serial".to_owned(),
@@ -389,6 +410,137 @@ fn scenario(s: Scenario<'_>) -> (LoadReport, BatchStats) {
     };
     gateway.shutdown();
     (report, batching)
+}
+
+/// Drives a saturated multiplexed keyed workload against a [`ShardRouter`]
+/// over `shards` fresh runtimes (same fixed-cost engine and worker budget
+/// per shard as the single-gateway scenarios, batching disabled so each
+/// shard's capacity is engine-bound and the curve isolates sharding).
+fn sharded_scenario(shards: usize, total: usize, seed: u64) -> ShardPoint {
+    let runtimes = (0..shards)
+        .map(|_| {
+            let engine = Arc::new(FixedCostEngine {
+                ramp: vec![0.4, 0.7, 0.95],
+                stage_time: Duration::from_millis(1),
+            });
+            ServingRuntime::start(
+                engine,
+                Box::new(Fifo::new()),
+                RuntimeConfig {
+                    num_workers: 4,
+                    confidence_threshold: 0.9,
+                    ..RuntimeConfig::default()
+                },
+            )
+        })
+        .collect();
+    let router = ShardRouter::start(
+        runtimes,
+        ShardConfig {
+            gateway: GatewayConfig {
+                // Admission wide open: the curve measures capacity scaling,
+                // not shedding.
+                high_water: 1_000_000,
+                hard_cap: 2_000_000,
+                ..GatewayConfig::default()
+            },
+            ..ShardConfig::default()
+        },
+    )
+    .expect("bind loopback shard router");
+    println!("sharded: {total} requests over {shards} shard(s), mux depth 64 x 2 conns...");
+    let report = loadgen::run(&LoadgenConfig {
+        addr: router.local_addr().to_string(),
+        connections: 2,
+        total_requests: total,
+        rate_hz: 10_000.0,
+        classes: vec![ClassSpec {
+            name: "sharded".to_owned(),
+            // Generous budget: saturation is the point, expiry is noise.
+            budget_ms: 10_000,
+            weight: 1.0,
+            payload_len: 16,
+        }],
+        seed,
+        client: ClientConfig {
+            max_attempts: 1,
+            ..ClientConfig::default()
+        },
+        mode: LoadgenMode::Multiplexed { concurrency: 64 },
+        keyspace: Some(4_096),
+    });
+    let aggregate = router.aggregate_stats();
+    router.shutdown();
+    ShardPoint {
+        shards,
+        report,
+        aggregate_submitted: aggregate.submitted,
+        aggregate_completed: aggregate.completed,
+    }
+}
+
+/// The shard-scaling sweep, plus the claim the front tier exists for:
+/// aggregate throughput at N=4 shards clears 2.5x the single-shard
+/// ceiling on the same saturated workload.
+fn sharded_sweep(quick: bool) -> Vec<ShardPoint> {
+    let (counts, total): (Vec<usize>, usize) = if quick {
+        (vec![1, 2], 600)
+    } else {
+        (vec![1, 2, 3, 4], 2_400)
+    };
+    let curve: Vec<ShardPoint> = counts
+        .iter()
+        .map(|&n| sharded_scenario(n, total, 31 + n as u64))
+        .collect();
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                p.shards.to_string(),
+                format!("{:.0}", p.report.throughput_rps),
+                format!("{:.2}", p.report.p50_ms),
+                format!("{:.2}", p.report.p99_ms),
+                p.aggregate_completed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Shard scaling",
+        &["shards", "rps", "p50ms", "p99ms", "completed"],
+        &rows,
+    );
+    for point in &curve {
+        assert_eq!(
+            point.report.completed
+                + point.report.rejected
+                + point.report.expired
+                + point.report.deadline_exhausted
+                + point.report.errors,
+            point.report.requests,
+            "every sharded request must be accounted for"
+        );
+    }
+    let base = curve.first().expect("curve is non-empty");
+    let deepest = curve.last().expect("curve is non-empty");
+    if deepest.shards >= 4 {
+        assert!(
+            deepest.report.throughput_rps > 2.5 * base.report.throughput_rps,
+            "{} shards must scale the saturated aggregate past 2.5x one \
+             shard ({:.0} rps vs {:.0} rps)",
+            deepest.shards,
+            deepest.report.throughput_rps,
+            base.report.throughput_rps
+        );
+    } else {
+        assert!(
+            deepest.report.throughput_rps > 1.4 * base.report.throughput_rps,
+            "{} shards must beat one shard ({:.0} rps vs {:.0} rps)",
+            deepest.shards,
+            deepest.report.throughput_rps,
+            base.report.throughput_rps
+        );
+    }
+    curve
 }
 
 fn print_idle_table(curve: &[IdlePoint]) {
@@ -446,12 +598,19 @@ fn assert_idle_curve(curve: &[IdlePoint]) {
 fn main() {
     let quick = has_flag("--quick");
     let idle_only = has_flag("--idle");
+    let sharded_only = has_flag("--sharded");
     if idle_only {
         // Scaling curve only (CI runs this): no JSON refresh, so the full
         // document's other sections stay intact.
         let idle_curve = idle_sweep(quick);
         print_idle_table(&idle_curve);
         assert_idle_curve(&idle_curve);
+        return;
+    }
+    if sharded_only {
+        // Shard-scaling curve only (CI runs this with --quick): asserts the
+        // multi-shard speedup without refreshing the JSON document.
+        sharded_sweep(quick);
         return;
     }
     let (nominal_total, overload_total) = if quick { (300, 600) } else { (1_500, 3_000) };
@@ -567,6 +726,8 @@ fn main() {
     print_idle_table(&idle_curve);
     assert_idle_curve(&idle_curve);
 
+    let sharded_curve = sharded_sweep(quick);
+
     assert_eq!(
         nominal.completed
             + nominal.rejected
@@ -611,6 +772,7 @@ fn main() {
             batched_mux_single_connection_curve: batched_curve,
             per_connection_64,
             idle_connection_curve: idle_curve,
+            sharded_scaling_curve: sharded_curve,
         },
     );
 }

@@ -5,7 +5,7 @@ use eugene_calibrate::{
 use eugene_compress::{prune_nodes, CachedModel, CachedModelConfig};
 use eugene_data::Dataset;
 use eugene_label::{LabelingOutcome, SemiSupervisedLabeler};
-use eugene_net::{Gateway, GatewayConfig};
+use eugene_net::{Gateway, GatewayConfig, ShardConfig, ShardRouter};
 use eugene_nn::{
     evaluate_staged, NetworkSnapshot, StageEval, StageOutput, StagedNetwork, StagedNetworkConfig,
     TrainConfig, Trainer,
@@ -579,6 +579,38 @@ impl Eugene {
             reason: e.to_string(),
         })
     }
+
+    /// Horizontal scale-out of [`Eugene::serve_gateway`]: starts `shards`
+    /// independent serving runtimes over the same model, one [`Gateway`]
+    /// each, behind a [`ShardRouter`] that consistently hashes routing
+    /// keys across them. Clients connect to
+    /// [`ShardRouter::local_addr`] with the exact same wire protocol —
+    /// nothing changes on the client side except (optionally) supplying a
+    /// routing key for session affinity. Shard failures surface as
+    /// [`eugene_net::RejectReason::ShardLost`] rejects on in-flight
+    /// requests while new sessions re-admit onto survivors.
+    ///
+    /// # Errors
+    ///
+    /// Returns façade errors for bad ids/data, or
+    /// [`EugeneError::Network`] if the router or a shard gateway cannot
+    /// bind its address.
+    pub fn serve_sharded(
+        &self,
+        id: ModelId,
+        options: &ServeOptions,
+        predictor_data: Option<&Dataset>,
+        shards: usize,
+        config: ShardConfig,
+    ) -> Result<ShardRouter, EugeneError> {
+        assert!(shards > 0, "serve_sharded needs at least one shard");
+        let runtimes = (0..shards)
+            .map(|_| self.serve(id, options, predictor_data))
+            .collect::<Result<Vec<_>, _>>()?;
+        ShardRouter::start(runtimes, config).map_err(|e| EugeneError::Network {
+            reason: e.to_string(),
+        })
+    }
 }
 
 impl std::fmt::Debug for Eugene {
@@ -772,6 +804,43 @@ mod tests {
         assert_eq!(outcome.stages_executed, 3);
         assert!(outcome.predicted.is_some());
         gateway.shutdown();
+    }
+
+    #[test]
+    fn serve_sharded_round_trips_and_spreads_keys() {
+        let data = dataset(31, 300);
+        let mut eugene = Eugene::new(32);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let router = eugene
+            .serve_sharded(
+                id,
+                &ServeOptions {
+                    scheduler: SchedulerKind::Fifo,
+                    ..ServeOptions::default()
+                },
+                None,
+                2,
+                eugene_net::ShardConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(router.num_shards(), 2);
+        assert_eq!(router.alive_shards(), 2);
+        let mut client =
+            eugene_net::EugeneClient::new(router.local_addr(), eugene_net::ClientConfig::default())
+                .unwrap();
+        // Distinct routing keys land on the shard the ring names; the
+        // wire answers are indistinguishable from a single gateway.
+        for key in 0..8u64 {
+            let outcome = client
+                .infer_keyed("test", data.sample(0), Duration::from_secs(30), Some(key))
+                .unwrap();
+            assert_eq!(outcome.stages_executed, 3);
+            assert!(outcome.predicted.is_some());
+        }
+        let total = router.aggregate_stats();
+        assert_eq!(total.submitted, 8);
+        assert_eq!(total.completed, 8);
+        router.shutdown();
     }
 
     /// Same façade entry point, readiness-driven backend: the event-loop

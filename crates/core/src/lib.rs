@@ -48,4 +48,4 @@ pub use facade::{Eugene, ModelId, ModelInfo, SchedulerKind, ServeOptions, TrainR
 // Gateway configuration surfaces through the façade's `serve_gateway`
 // signature; re-export it so callers can pick a connection-handling
 // backend without depending on eugene-net directly.
-pub use eugene_net::{Gateway, GatewayBackend, GatewayConfig};
+pub use eugene_net::{Gateway, GatewayBackend, GatewayConfig, ShardConfig, ShardRouter};

@@ -21,7 +21,9 @@
 //! counted as *stale* and explicitly discarded — in particular a stale
 //! `Reject` never sets the backoff floor for the current attempt.
 
-use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
+use crate::wire::{
+    self, Frame, FrameBuffer, RejectReason, SubmitRequest, WireError, PROTOCOL_VERSION,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
@@ -102,9 +104,13 @@ pub enum ClientError {
     /// The budget ran out before a final answer arrived (possibly while
     /// backing off between attempts).
     DeadlineExhausted,
-    /// The gateway shed the request and retries were exhausted (or the
-    /// mandated backoff would outlive the budget).
-    Rejected { retry_after: Duration },
+    /// The server refused the request and retries were exhausted (or the
+    /// mandated backoff would outlive the budget). `reason` says whether
+    /// admission control shed it or the serving shard was lost mid-flight.
+    Rejected {
+        retry_after: Duration,
+        reason: RejectReason,
+    },
     /// Connection/protocol failure that retries could not absorb.
     Wire(WireError),
 }
@@ -113,8 +119,14 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::DeadlineExhausted => write!(f, "deadline budget exhausted"),
-            ClientError::Rejected { retry_after } => {
-                write!(f, "rejected by gateway (retry after {retry_after:?})")
+            ClientError::Rejected {
+                retry_after,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "rejected by gateway ({reason:?}, retry after {retry_after:?})"
+                )
             }
             ClientError::Wire(e) => write!(f, "wire failure: {e}"),
         }
@@ -197,6 +209,19 @@ impl EugeneClient {
         payload: &[f32],
         budget: Duration,
     ) -> Result<InferenceOutcome, ClientError> {
+        self.infer_keyed(class, payload, budget, None)
+    }
+
+    /// [`EugeneClient::infer`] with an explicit sharding routing key: a
+    /// sharded front tier pins all submits carrying the same key to the
+    /// same shard. A plain gateway ignores the key.
+    pub fn infer_keyed(
+        &mut self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        routing_key: Option<u64>,
+    ) -> Result<InferenceOutcome, ClientError> {
         let started = Instant::now();
         let deadline = started + budget;
         let mut attempts = 0u32;
@@ -207,7 +232,7 @@ impl EugeneClient {
                 return Err(ClientError::DeadlineExhausted);
             }
             attempts += 1;
-            match self.try_once(class, payload, remaining, deadline) {
+            match self.try_once(class, payload, remaining, deadline, routing_key) {
                 Ok(mut outcome) => {
                     outcome.round_trip = started.elapsed();
                     outcome.attempts = attempts;
@@ -323,6 +348,7 @@ impl EugeneClient {
         payload: &[f32],
         remaining: Duration,
         deadline: Instant,
+        routing_key: Option<u64>,
     ) -> Result<InferenceOutcome, AttemptError> {
         let tag = self.alloc_tag();
         let submit = Frame::Submit(SubmitRequest {
@@ -331,6 +357,7 @@ impl EugeneClient {
             budget_ms: remaining.as_millis().max(1) as u64,
             want_progress: self.config.want_progress,
             payload: payload.to_vec(),
+            routing_key,
         });
         let conn = match self.connection(deadline) {
             Ok(conn) => conn,
@@ -393,11 +420,15 @@ impl EugeneClient {
                 Frame::Reject {
                     client_tag,
                     retry_after_ms,
+                    reason,
                 } if client_tag == tag => {
                     let retry_after = Duration::from_millis(retry_after_ms);
                     return Err(AttemptError::Retry {
                         floor: retry_after,
-                        error: ClientError::Rejected { retry_after },
+                        error: ClientError::Rejected {
+                            retry_after,
+                            reason,
+                        },
                     });
                 }
                 // Stale data frames: leftovers addressed to a tag that is
@@ -420,7 +451,10 @@ impl EugeneClient {
 enum MuxEvent {
     Stage(StageUpdate),
     Final(wire::WireResponse),
-    Reject { retry_after_ms: u64 },
+    Reject {
+        retry_after_ms: u64,
+        reason: RejectReason,
+    },
 }
 
 /// State shared between a mux connection's users and its reader thread.
@@ -517,9 +551,13 @@ fn mux_reader_loop(mut stream: TcpStream, mut buffer: FrameBuffer, shared: Arc<M
             Frame::Reject {
                 client_tag,
                 retry_after_ms,
+                reason,
             } => match shared.pending.lock().remove(&client_tag) {
                 Some(tx) => {
-                    let _ = tx.send(MuxEvent::Reject { retry_after_ms });
+                    let _ = tx.send(MuxEvent::Reject {
+                        retry_after_ms,
+                        reason,
+                    });
                 }
                 // A stale Reject (old tag, post-reconnect echo) is counted
                 // and dropped — its retry_after must not slow anyone down.
@@ -597,12 +635,18 @@ impl PendingInference {
                         attempts: 0, // filled by the caller
                     });
                 }
-                Ok(MuxEvent::Reject { retry_after_ms }) => {
+                Ok(MuxEvent::Reject {
+                    retry_after_ms,
+                    reason,
+                }) => {
                     self.done = true;
                     let retry_after = Duration::from_millis(retry_after_ms);
                     return Err(AttemptError::Retry {
                         floor: retry_after,
-                        error: ClientError::Rejected { retry_after },
+                        error: ClientError::Rejected {
+                            retry_after,
+                            reason,
+                        },
                     });
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
@@ -727,7 +771,27 @@ impl MultiplexClient {
         budget: Duration,
         want_progress: bool,
     ) -> Result<PendingInference, ClientError> {
-        self.submit_with_deadline(class, payload, Instant::now() + budget, want_progress)
+        self.submit_with_deadline(class, payload, Instant::now() + budget, want_progress, None)
+    }
+
+    /// [`MultiplexClient::submit`] with an explicit sharding routing key:
+    /// a sharded front tier pins all submits carrying the same key to the
+    /// same shard. A plain gateway ignores the key.
+    pub fn submit_keyed(
+        &self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        want_progress: bool,
+        routing_key: Option<u64>,
+    ) -> Result<PendingInference, ClientError> {
+        self.submit_with_deadline(
+            class,
+            payload,
+            Instant::now() + budget,
+            want_progress,
+            routing_key,
+        )
     }
 
     fn submit_with_deadline(
@@ -736,6 +800,7 @@ impl MultiplexClient {
         payload: &[f32],
         deadline: Instant,
         want_progress: bool,
+        routing_key: Option<u64>,
     ) -> Result<PendingInference, ClientError> {
         let conn = self.connection(deadline)?;
         let tag = self.alloc_tag();
@@ -748,6 +813,7 @@ impl MultiplexClient {
             budget_ms: remaining.as_millis().max(1) as u64,
             want_progress,
             payload: payload.to_vec(),
+            routing_key,
         });
         if let Err(e) = wire::write_frame(&mut *conn.writer.lock(), &frame) {
             conn.shared.pending.lock().remove(&tag);
@@ -776,6 +842,17 @@ impl MultiplexClient {
         payload: &[f32],
         budget: Duration,
     ) -> Result<InferenceOutcome, ClientError> {
+        self.infer_keyed(class, payload, budget, None)
+    }
+
+    /// [`MultiplexClient::infer`] with an explicit sharding routing key.
+    pub fn infer_keyed(
+        &self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        routing_key: Option<u64>,
+    ) -> Result<InferenceOutcome, ClientError> {
         let started = Instant::now();
         let deadline = started + budget;
         let mut attempts = 0u32;
@@ -786,7 +863,7 @@ impl MultiplexClient {
                 return Err(ClientError::DeadlineExhausted);
             }
             attempts += 1;
-            match self.attempt(class, payload, deadline) {
+            match self.attempt(class, payload, deadline, routing_key) {
                 Ok(mut outcome) => {
                     outcome.round_trip = started.elapsed();
                     outcome.attempts = attempts;
@@ -812,16 +889,22 @@ impl MultiplexClient {
         class: &str,
         payload: &[f32],
         deadline: Instant,
+        routing_key: Option<u64>,
     ) -> Result<InferenceOutcome, AttemptError> {
-        let mut pending =
-            match self.submit_with_deadline(class, payload, deadline, self.config.want_progress) {
-                Ok(pending) => pending,
-                Err(ClientError::DeadlineExhausted) => {
-                    return Err(AttemptError::Fatal(ClientError::DeadlineExhausted))
-                }
-                // Dial/write failures are transient: retry with backoff.
-                Err(e) => return Err(AttemptError::retry(e)),
-            };
+        let mut pending = match self.submit_with_deadline(
+            class,
+            payload,
+            deadline,
+            self.config.want_progress,
+            routing_key,
+        ) {
+            Ok(pending) => pending,
+            Err(ClientError::DeadlineExhausted) => {
+                return Err(AttemptError::Fatal(ClientError::DeadlineExhausted))
+            }
+            // Dial/write failures are transient: retry with backoff.
+            Err(e) => return Err(AttemptError::retry(e)),
+        };
         pending.wait_attempt()
     }
 

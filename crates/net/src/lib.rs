@@ -26,7 +26,13 @@
 //!   past the request's remaining budget;
 //! - [`loadgen`]: a seeded open-loop Poisson load generator (one client
 //!   per connection, or multiplexed over few connections) producing
-//!   throughput/latency/reject-rate reports.
+//!   throughput/latency/reject-rate reports;
+//! - [`shard`]: a [`shard::ShardRouter`] front tier that consistently
+//!   hashes routing keys across N gateway shards (each with its own
+//!   runtime), answers in-flight requests on a dead shard with
+//!   [`wire::RejectReason::ShardLost`], and re-admits new sessions onto
+//!   survivors — same wire protocol, so every client above works
+//!   unchanged against it.
 //!
 //! Deadlines cross the wire as *remaining budgets* (milliseconds), not
 //! absolute times, so client and server clocks never need to agree: the
@@ -43,6 +49,7 @@ pub mod loadgen;
 pub mod reactor;
 mod readiness;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::{
@@ -50,4 +57,5 @@ pub use client::{
 };
 pub use loadgen::{ClassSpec, LoadReport, LoadgenConfig, LoadgenMode};
 pub use server::{Gateway, GatewayBackend, GatewayConfig, GatewayStatus};
-pub use wire::{Frame, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};
+pub use shard::{HashRing, ShardConfig, ShardRouter};
+pub use wire::{Frame, RejectReason, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};

@@ -70,6 +70,11 @@ pub struct LoadgenConfig {
     pub client: ClientConfig,
     /// Connection model (serial per-connection vs multiplexed).
     pub mode: LoadgenMode,
+    /// Multi-shard mode: when `Some(k)`, every request carries a routing
+    /// key drawn uniformly from `0..k`, so a sharded front tier spreads
+    /// the offered load across its ring. `None` sends no keys (a single
+    /// gateway, or router fallback to per-connection keys).
+    pub keyspace: Option<u64>,
 }
 
 impl Default for LoadgenConfig {
@@ -88,6 +93,7 @@ impl Default for LoadgenConfig {
             seed: 0,
             client: ClientConfig::default(),
             mode: LoadgenMode::PerConnection,
+            keyspace: None,
         }
     }
 }
@@ -143,6 +149,8 @@ struct PlannedRequest {
     at: Duration,
     class: usize,
     payload: Vec<f32>,
+    /// Sharding routing key (drawn when `LoadgenConfig::keyspace` is set).
+    key: Option<u64>,
 }
 
 /// Per-worker tally, merged after join.
@@ -197,10 +205,12 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         let payload: Vec<f32> = (0..config.classes[class].payload_len)
             .map(|_| rng.gen_range(-1.0f32..1.0))
             .collect();
+        let key = config.keyspace.map(|k| rng.gen_range(0..k.max(1)));
         schedules[i % workers].push(PlannedRequest {
             at: clock,
             class,
             payload,
+            key,
         });
     }
 
@@ -307,10 +317,11 @@ fn worker_loop(
         }
         let spec = &classes[planned.class];
         let sent = Instant::now();
-        match client.infer(
+        match client.infer_keyed(
             &spec.name,
             &planned.payload,
             Duration::from_millis(spec.budget_ms),
+            planned.key,
         ) {
             Ok(outcome) => {
                 tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
@@ -345,10 +356,11 @@ fn mux_worker_loop(
         }
         let spec = &classes[planned.class];
         let sent = Instant::now();
-        match client.infer(
+        match client.infer_keyed(
             &spec.name,
             &planned.payload,
             Duration::from_millis(spec.budget_ms),
+            planned.key,
         ) {
             Ok(outcome) => {
                 tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);

@@ -402,6 +402,9 @@ impl Reactor {
             budget_ms,
             want_progress,
             payload,
+            // Steering happens in the sharded front tier; a gateway shard
+            // serves whatever lands on it.
+            routing_key: _,
         } = submit;
         // A zero budget can never be met (and ServiceClass rejects it):
         // answer expired immediately rather than erroring the connection.
@@ -425,6 +428,7 @@ impl Reactor {
                 let frame = Frame::Reject {
                     client_tag,
                     retry_after_ms,
+                    reason: wire::RejectReason::Overload,
                 };
                 self.queue_frame(token, &frame, None);
                 return;

@@ -728,6 +728,10 @@ fn handle_submit(
         budget_ms,
         want_progress,
         payload,
+        // Routing keys steer the sharded front tier; a single gateway is
+        // one shard, so the key has already done its job by the time a
+        // submit arrives here.
+        routing_key: _,
     } = submit;
     // A zero budget can never be met (and ServiceClass rejects it):
     // answer expired immediately rather than erroring the connection.
@@ -755,6 +759,7 @@ fn handle_submit(
                 &Frame::Reject {
                     client_tag,
                     retry_after_ms,
+                    reason: wire::RejectReason::Overload,
                 },
             );
             return;

@@ -1,0 +1,891 @@
+//! Sharded front tier: one router socket, N [`Gateway`] shards.
+//!
+//! A [`ShardRouter`] owns N gateway shards (each wrapping its own
+//! [`ServingRuntime`]) and exposes the exact same wire protocol as a
+//! single gateway, so existing [`crate::client::EugeneClient`] /
+//! [`crate::client::MultiplexClient`] users work unchanged. Every
+//! [`Frame::Submit`] is steered by a consistent-hash ring
+//! ([`HashRing`]) over the request's routing key — the client-provided
+//! [`crate::wire::SubmitRequest::routing_key`] when present, a
+//! per-connection key otherwise — so related requests stick to one shard
+//! while the keyspace spreads evenly across all of them.
+//!
+//! # Failure semantics
+//!
+//! A probe thread watches each shard's accept health
+//! ([`GatewayStatus::accept_failed`], which also covers a poisoned
+//! readiness reactor). When a shard dies — probe detection, a failed
+//! dial/write, or an explicit [`ShardRouter::kill_shard`] — the router:
+//!
+//! 1. removes the shard from the ring, so *new* sessions re-admit onto
+//!    survivors only;
+//! 2. severs its proxy connections, so every in-flight request on the
+//!    dead shard is answered with a well-defined [`Frame::Reject`]
+//!    carrying [`RejectReason::ShardLost`] (never a hang, never a
+//!    fabricated `Final`);
+//! 3. on [`ShardRouter::revive_shard`], re-inserts the shard's virtual
+//!    nodes, restoring the exact prior assignment — consistent hashing
+//!    bounds the remapped keyspace to roughly `K/N` both ways.
+
+use crate::reactor::{self, Interest, Poller};
+use crate::server::{Gateway, GatewayConfig, GatewayStatus};
+use crate::wire::{self, Frame, FrameBuffer, RejectReason, WireError, PROTOCOL_VERSION};
+use eugene_serve::{RuntimeStats, ServingRuntime, StatsSnapshot};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer used for
+/// both ring points and key hashes (deterministic across runs and
+/// platforms, unlike `std`'s `RandomState`).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Consistent-hash ring with virtual nodes.
+///
+/// Each member shard owns `virtual_nodes` points on a `u64` ring; a key
+/// routes to the owner of the first point at or after its hash (wrapping).
+/// Point positions depend only on `(seed, shard, vnode)` — never on
+/// insertion order — so membership changes are *minimal*: removing a
+/// shard moves only the keys it owned, and re-inserting it restores the
+/// exact prior assignment.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    virtual_nodes: usize,
+    /// Sorted `(point_hash, shard)` pairs; ties break by shard index so
+    /// the order is fully deterministic.
+    points: Vec<(u64, usize)>,
+    members: Vec<usize>,
+}
+
+impl HashRing {
+    /// An empty ring. `virtual_nodes` is clamped to at least 1.
+    pub fn new(seed: u64, virtual_nodes: usize) -> Self {
+        Self {
+            seed,
+            virtual_nodes: virtual_nodes.max(1),
+            points: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    fn point_hash(&self, shard: usize, vnode: usize) -> u64 {
+        splitmix64(self.seed ^ splitmix64(((shard as u64) << 32) | vnode as u64))
+    }
+
+    fn key_hash(&self, key: u64) -> u64 {
+        // A distinct stream from point hashes (the leading constant), so
+        // keys never collide with points systematically.
+        splitmix64(self.seed ^ key ^ 0xA5A5_5A5A_F0F0_0F0F)
+    }
+
+    /// Adds `shard`'s virtual nodes; no-op if already a member.
+    pub fn insert(&mut self, shard: usize) {
+        if self.members.contains(&shard) {
+            return;
+        }
+        self.members.push(shard);
+        self.members.sort_unstable();
+        for vnode in 0..self.virtual_nodes {
+            self.points.push((self.point_hash(shard, vnode), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes `shard`'s virtual nodes; no-op if not a member.
+    pub fn remove(&mut self, shard: usize) {
+        self.members.retain(|&s| s != shard);
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Whether `shard` is currently on the ring.
+    pub fn contains(&self, shard: usize) -> bool {
+        self.members.contains(&shard)
+    }
+
+    /// Current members, ascending.
+    pub fn shards(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = self.key_hash(key);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[i % self.points.len()];
+        Some(shard)
+    }
+}
+
+/// Policy for a [`ShardRouter`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Router bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Virtual nodes per shard on the ring: more smooths the key
+    /// distribution, at `O(n log n)` rebuild cost on membership change.
+    pub virtual_nodes: usize,
+    /// Ring seed: routers sharing a seed (and shard count) agree on the
+    /// full key→shard assignment.
+    pub seed: u64,
+    /// How often the health probe re-checks each shard's accept health.
+    pub probe_interval: Duration,
+    /// Read-poll granularity on router sockets (client and upstream):
+    /// bounds how long threads take to observe shutdown/severing.
+    pub read_poll: Duration,
+    /// `retry_after_ms` hint carried by synthesized `ShardLost` rejects:
+    /// a retry opens a fresh session, which re-admits onto survivors.
+    pub lost_retry_ms: u64,
+    /// Template for each shard's gateway; `addr` is overridden with a
+    /// fresh loopback port per shard.
+    pub gateway: GatewayConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            virtual_nodes: 64,
+            seed: 0,
+            probe_interval: Duration::from_millis(25),
+            read_poll: Duration::from_millis(10),
+            lost_retry_ms: 25,
+            gateway: GatewayConfig::default(),
+        }
+    }
+}
+
+/// One proxied upstream connection: router → shard, carrying every
+/// request one *client* connection routed to one *shard*. Client tags
+/// pass through verbatim (they are unique per client connection, and each
+/// client connection gets its own upstreams), so no tag translation is
+/// ever needed.
+struct UpstreamShared {
+    /// Write half toward the shard; locked per frame.
+    writer: Mutex<TcpStream>,
+    /// Write half back toward the client (shared with the other upstreams
+    /// of the same client connection).
+    client_writer: Arc<Mutex<TcpStream>>,
+    /// Tags submitted to this shard whose `Final`/`Reject` has not come
+    /// back yet. Ownership protocol: whoever removes a tag answers for
+    /// it — the reader on forwarding a terminal frame or synthesizing
+    /// `ShardLost`, the submitter on a failed write (which then reroutes).
+    in_flight: Mutex<HashSet<u64>>,
+    /// Set once the upstream is unusable (severed, write failure, reader
+    /// exit); submitters then dial a fresh upstream or reroute.
+    dead: AtomicBool,
+    /// Set when the client connection is closing normally, so an EOF from
+    /// the drained shard is not treated as shard loss.
+    closing: AtomicBool,
+    /// Hint carried by synthesized rejects.
+    lost_retry_ms: u64,
+    /// Router-lifetime count of synthesized `ShardLost` rejects.
+    shard_lost: Arc<AtomicU64>,
+}
+
+impl UpstreamShared {
+    /// Kills the socket under the upstream reader/submitter: reads and
+    /// writes start failing immediately, which makes the reader synthesize
+    /// `ShardLost` for everything still in flight.
+    fn sever(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.writer.lock().shutdown(SocketShutdown::Both);
+    }
+
+    /// Answers every still-pending tag with a `ShardLost` reject. Called
+    /// by the reader exactly once, when the shard socket fails.
+    fn abort_in_flight(&self) {
+        let tags: Vec<u64> = self.in_flight.lock().drain().collect();
+        for client_tag in tags {
+            self.shard_lost.fetch_add(1, Ordering::Relaxed);
+            let _ = wire::write_frame(
+                &mut *self.client_writer.lock(),
+                &Frame::Reject {
+                    client_tag,
+                    retry_after_ms: self.lost_retry_ms,
+                    reason: RejectReason::ShardLost,
+                },
+            );
+        }
+    }
+}
+
+/// A live upstream as held by one client connection's handler.
+struct Upstream {
+    shared: Arc<UpstreamShared>,
+    reader: JoinHandle<()>,
+}
+
+/// Forwards shard → client frames, maintaining the in-flight tag set.
+fn upstream_reader_loop(mut stream: TcpStream, shared: Arc<UpstreamShared>) {
+    let mut buffer = FrameBuffer::new();
+    loop {
+        let frame = match buffer.poll(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                if shared.dead.load(Ordering::Acquire) {
+                    shared.abort_in_flight();
+                    return;
+                }
+                continue;
+            }
+            Err(_) => {
+                shared.dead.store(true, Ordering::Release);
+                if !shared.closing.load(Ordering::Acquire) {
+                    shared.abort_in_flight();
+                }
+                return;
+            }
+        };
+        match frame {
+            // Forward only tags we still own: a tag the submitter
+            // reclaimed (failed write, rerouted elsewhere) must not
+            // reach the client from here too.
+            Frame::Final { client_tag, .. } | Frame::Reject { client_tag, .. }
+                if shared.in_flight.lock().remove(&client_tag) =>
+            {
+                let _ = wire::write_frame(&mut *shared.client_writer.lock(), &frame);
+            }
+            Frame::StageUpdate { client_tag, .. }
+                if shared.in_flight.lock().contains(&client_tag) =>
+            {
+                let _ = wire::write_frame(&mut *shared.client_writer.lock(), &frame);
+            }
+            // Handshake happened before this reader spawned; anything
+            // else from the shard (or a disowned tag) is dropped.
+            _ => {}
+        }
+    }
+}
+
+/// One gateway shard as tracked by the router.
+struct ShardSlot {
+    /// The shard's gateway; `None` after a kill, `Some` again after
+    /// revival. Held out-of-band so killing never blocks the ring.
+    gateway: Mutex<Option<Gateway>>,
+    addr: Mutex<SocketAddr>,
+    stats: Mutex<RuntimeStats>,
+    status: Mutex<GatewayStatus>,
+    alive: AtomicBool,
+    /// Live proxy connections into this shard, severed on death.
+    upstreams: Mutex<Vec<Weak<UpstreamShared>>>,
+}
+
+/// State shared by the accept loop, connection handlers, and the probe.
+struct RouterShared {
+    config: ShardConfig,
+    slots: Vec<ShardSlot>,
+    ring: RwLock<HashRing>,
+    stop: AtomicBool,
+    shard_lost: Arc<AtomicU64>,
+    conn_counter: AtomicU64,
+    accept_failed: AtomicBool,
+}
+
+impl RouterShared {
+    /// Takes `shard` off the ring and severs its proxies. Idempotent;
+    /// the `alive` swap makes exactly one caller run the teardown.
+    fn mark_shard_down(&self, shard: usize) {
+        let slot = &self.slots[shard];
+        if !slot.alive.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // Ring first: a submit that races this sees either the old ring
+        // (its write then fails and it reroutes) or the shrunk one.
+        self.ring.write().remove(shard);
+        let upstreams: Vec<Weak<UpstreamShared>> = std::mem::take(&mut *slot.upstreams.lock());
+        for weak in upstreams {
+            if let Some(upstream) = weak.upgrade() {
+                upstream.sever();
+            }
+        }
+    }
+}
+
+/// Sharded gateway front tier; see the module docs for semantics.
+///
+/// Dropping the router (or calling [`ShardRouter::shutdown`]) stops
+/// accepting, joins every proxy connection, and drains each surviving
+/// shard's gateway and runtime.
+pub struct ShardRouter {
+    local_addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    waker: reactor::Waker,
+    accept_handle: Option<JoinHandle<()>>,
+    probe_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ShardRouter {
+    /// Boots one gateway per runtime (each on its own loopback port) and
+    /// binds the router socket in front of them.
+    pub fn start(runtimes: Vec<ServingRuntime>, config: ShardConfig) -> io::Result<Self> {
+        assert!(
+            !runtimes.is_empty(),
+            "a shard router needs at least one shard"
+        );
+        let mut slots = Vec::with_capacity(runtimes.len());
+        let mut ring = HashRing::new(config.seed, config.virtual_nodes);
+        for (i, runtime) in runtimes.into_iter().enumerate() {
+            let mut gateway_config = config.gateway.clone();
+            gateway_config.addr = "127.0.0.1:0".to_owned();
+            let gateway = Gateway::start(runtime, gateway_config)?;
+            ring.insert(i);
+            slots.push(ShardSlot {
+                addr: Mutex::new(gateway.local_addr()),
+                stats: Mutex::new(gateway.stats()),
+                status: Mutex::new(gateway.status()),
+                alive: AtomicBool::new(true),
+                upstreams: Mutex::new(Vec::new()),
+                gateway: Mutex::new(Some(gateway)),
+            });
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(RouterShared {
+            config,
+            slots,
+            ring: RwLock::new(ring),
+            stop: AtomicBool::new(false),
+            shard_lost: Arc::new(AtomicU64::new(0)),
+            conn_counter: AtomicU64::new(0),
+            accept_failed: AtomicBool::new(false),
+        });
+        let waker = reactor::Waker::new()?;
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            let waker = waker.clone();
+            let poller = Poller::new()?;
+            std::thread::Builder::new()
+                .name("eugene-shard-accept".to_owned())
+                .spawn(move || router_accept_loop(listener, shared, connections, poller, waker))
+                .expect("spawn shard accept thread")
+        };
+        let probe_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("eugene-shard-probe".to_owned())
+                .spawn(move || probe_loop(shared))
+                .expect("spawn shard probe thread")
+        };
+        Ok(Self {
+            local_addr,
+            shared,
+            waker,
+            accept_handle: Some(accept_handle),
+            probe_handle: Some(probe_handle),
+            connections,
+        })
+    }
+
+    /// The router's bound address — point clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Total shards (alive or not).
+    pub fn num_shards(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Shards currently on the ring.
+    pub fn alive_shards(&self) -> usize {
+        self.shared.ring.read().len()
+    }
+
+    /// Where `key` currently routes, or `None` with no shard alive.
+    pub fn shard_for_key(&self, key: u64) -> Option<usize> {
+        self.shared.ring.read().route(key)
+    }
+
+    /// The loopback address shard `index`'s gateway listens on.
+    pub fn shard_addr(&self, index: usize) -> SocketAddr {
+        *self.shared.slots[index].addr.lock()
+    }
+
+    /// Per-shard runtime occupancy handles, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<RuntimeStats> {
+        self.shared
+            .slots
+            .iter()
+            .map(|slot| slot.stats.lock().clone())
+            .collect()
+    }
+
+    /// Network-edge gauges of shard `index`'s gateway.
+    pub fn shard_status(&self, index: usize) -> GatewayStatus {
+        self.shared.slots[index].status.lock().clone()
+    }
+
+    /// Aggregate runtime occupancy across all shards.
+    pub fn aggregate_stats(&self) -> StatsSnapshot {
+        let stats = self.shard_stats();
+        StatsSnapshot::aggregate(stats.iter())
+    }
+
+    /// `ShardLost` rejects the router has synthesized so far.
+    pub fn shard_lost_rejects(&self) -> u64 {
+        self.shared.shard_lost.load(Ordering::Relaxed)
+    }
+
+    /// Whether the router's own accept loop is still healthy.
+    pub fn accept_healthy(&self) -> bool {
+        !self.shared.accept_failed.load(Ordering::Relaxed)
+    }
+
+    /// Kills shard `index` as a fault injection: the ring drops it, every
+    /// in-flight request on it is answered `ShardLost`, and only then is
+    /// its gateway torn down. Returns `false` if it was already down.
+    pub fn kill_shard(&self, index: usize) -> bool {
+        let was_alive = self.shared.slots[index].alive.load(Ordering::Acquire);
+        // Sever the proxies *before* the gateway's graceful shutdown:
+        // clients must observe deterministic ShardLost rejects, not a
+        // race against the dying shard's drain.
+        self.shared.mark_shard_down(index);
+        let gateway = self.shared.slots[index].gateway.lock().take();
+        if let Some(gateway) = gateway {
+            gateway.shutdown();
+        }
+        was_alive
+    }
+
+    /// Brings shard `index` back with a fresh runtime. Its virtual nodes
+    /// return to the ring at the exact same points, so the assignment
+    /// reverts to what it was before the kill.
+    pub fn revive_shard(&self, index: usize, runtime: ServingRuntime) -> io::Result<()> {
+        let slot = &self.shared.slots[index];
+        assert!(
+            !slot.alive.load(Ordering::Acquire),
+            "revive_shard on a live shard"
+        );
+        let mut gateway_config = self.shared.config.gateway.clone();
+        gateway_config.addr = "127.0.0.1:0".to_owned();
+        let gateway = Gateway::start(runtime, gateway_config)?;
+        *slot.addr.lock() = gateway.local_addr();
+        *slot.stats.lock() = gateway.stats();
+        *slot.status.lock() = gateway.status();
+        *slot.gateway.lock() = Some(gateway);
+        slot.alive.store(true, Ordering::Release);
+        self.shared.ring.write().insert(index);
+        Ok(())
+    }
+
+    /// Stops accepting, joins every proxy connection, then drains each
+    /// surviving shard.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.probe_handle.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for slot in &self.shared.slots {
+            if let Some(gateway) = slot.gateway.lock().take() {
+                gateway.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKER: usize = 1;
+
+fn router_accept_loop(
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    mut poller: Poller,
+    waker: reactor::Waker,
+) {
+    if poller
+        .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+        .and_then(|()| poller.register(waker.read_fd(), TOKEN_WAKER, Interest::READ))
+        .is_err()
+    {
+        shared.accept_failed.store(true, Ordering::Relaxed);
+        return;
+    }
+    let mut events = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // Reap finished connection handlers so the tracked vector stays
+        // bounded by live connections under churn.
+        connections.lock().retain(|h| !h.is_finished());
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::Builder::new()
+                        .name("eugene-shard-conn".to_owned())
+                        .spawn(move || serve_client_connection(stream, shared))
+                        .expect("spawn shard connection thread");
+                    connections.lock().push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    shared.accept_failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if poller.wait(&mut events, None).is_err() {
+            shared.accept_failed.store(true, Ordering::Relaxed);
+            return;
+        }
+        if events.iter().any(|e| e.token == TOKEN_WAKER) {
+            waker.drain();
+        }
+    }
+}
+
+/// Health probe: a shard whose gateway reports a dead accept path (which
+/// includes a poisoned readiness reactor) is taken off the ring.
+fn probe_loop(shared: Arc<RouterShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        for (i, slot) in shared.slots.iter().enumerate() {
+            if !slot.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            let failed = slot.status.lock().accept_failed();
+            if failed || slot.gateway.lock().is_none() {
+                shared.mark_shard_down(i);
+            }
+        }
+        std::thread::sleep(shared.config.probe_interval);
+    }
+}
+
+/// How many times one submit may chase the ring across shard deaths
+/// before giving up with `ShardLost`. Each failed attempt takes the
+/// observed-dead shard off the ring, so attempts never revisit a corpse.
+const SUBMIT_REROUTE_LIMIT: usize = 4;
+
+fn serve_client_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
+    let read_poll = shared.config.read_poll;
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(read_poll)).is_err() {
+        return;
+    }
+    let mut buffer = FrameBuffer::new();
+    // Handshake: the router speaks for the whole tier.
+    let version = loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match buffer.poll(&mut stream) {
+            Ok(Some(Frame::Hello { max_version })) => break max_version.min(PROTOCOL_VERSION),
+            Ok(Some(_)) | Err(_) => return,
+            Ok(None) => continue,
+        }
+    };
+    if version == 0 || wire::write_frame(&mut stream, &Frame::HelloAck { version }).is_err() {
+        return;
+    }
+    let client_writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    // Fallback affinity for submits without an explicit routing key: all
+    // keyless requests of one connection stick to one shard.
+    let conn_key = splitmix64(0xC0_22_EC_71 ^ shared.conn_counter.fetch_add(1, Ordering::Relaxed));
+    let mut upstreams: HashMap<usize, Upstream> = HashMap::new();
+
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match buffer.poll(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
+        match frame {
+            Frame::Submit(submit) => {
+                let key = submit.routing_key.unwrap_or(conn_key);
+                proxy_submit(&shared, &client_writer, &mut upstreams, key, submit);
+            }
+            Frame::Ping { nonce }
+                if wire::write_frame(&mut *client_writer.lock(), &Frame::Pong { nonce })
+                    .is_err() =>
+            {
+                break;
+            }
+            Frame::Ping { .. } => {}
+            Frame::Shutdown => break,
+            // Hello replays and server->client kinds are ignored, same as
+            // a plain gateway.
+            _ => {}
+        }
+    }
+
+    // Drain: ask every upstream shard to finish its in-flight work, then
+    // join the readers (they exit on the shard's post-drain close, or
+    // synthesize ShardLost if the shard died instead).
+    for (_, upstream) in upstreams.iter() {
+        upstream.shared.closing.store(true, Ordering::Release);
+        let mut writer = upstream.shared.writer.lock();
+        let _ = wire::write_frame(&mut *writer, &Frame::Shutdown);
+    }
+    for (_, upstream) in upstreams.drain() {
+        let _ = upstream.reader.join();
+    }
+}
+
+/// Routes one submit onto the ring, dialing/reusing the upstream proxy
+/// connection, rerouting around shards that die under it, and answering
+/// `ShardLost` itself when no shard can take the request.
+fn proxy_submit(
+    shared: &Arc<RouterShared>,
+    client_writer: &Arc<Mutex<TcpStream>>,
+    upstreams: &mut HashMap<usize, Upstream>,
+    key: u64,
+    submit: wire::SubmitRequest,
+) {
+    let client_tag = submit.client_tag;
+    let frame = Frame::Submit(submit);
+    for _ in 0..SUBMIT_REROUTE_LIMIT {
+        let Some(shard) = shared.ring.read().route(key) else {
+            break;
+        };
+        // Reuse the live upstream for this shard or dial a fresh one.
+        let needs_dial = upstreams
+            .get(&shard)
+            .map(|u| u.shared.dead.load(Ordering::Acquire))
+            .unwrap_or(true);
+        if needs_dial {
+            if let Some(stale) = upstreams.remove(&shard) {
+                stale.shared.sever();
+                let _ = stale.reader.join();
+            }
+            match dial_upstream(shared, shard, client_writer) {
+                Ok(upstream) => {
+                    upstreams.insert(shard, upstream);
+                }
+                Err(_) => {
+                    // Unreachable shard: treat as down and re-route.
+                    shared.mark_shard_down(shard);
+                    continue;
+                }
+            }
+        }
+        let upstream = upstreams.get(&shard).expect("upstream just ensured");
+        // Register the tag before the bytes leave, so the answer (however
+        // fast) always finds its owner.
+        upstream.shared.in_flight.lock().insert(client_tag);
+        let write_result = wire::write_frame(&mut *upstream.shared.writer.lock(), &frame);
+        match write_result {
+            Ok(()) => return,
+            Err(_) => {
+                // Reclaim the tag: if the reader already answered for it
+                // (severed concurrently -> ShardLost synthesized), the
+                // client has its reject and rerouting would double-answer.
+                let reclaimed = upstream.shared.in_flight.lock().remove(&client_tag);
+                upstream.shared.dead.store(true, Ordering::Release);
+                shared.mark_shard_down(shard);
+                if !reclaimed {
+                    return;
+                }
+            }
+        }
+    }
+    // No shard could take it: the session's shard is lost.
+    shared.shard_lost.fetch_add(1, Ordering::Relaxed);
+    let _ = wire::write_frame(
+        &mut *client_writer.lock(),
+        &Frame::Reject {
+            client_tag,
+            retry_after_ms: shared.config.lost_retry_ms,
+            reason: RejectReason::ShardLost,
+        },
+    );
+}
+
+/// Dials shard `shard`'s gateway, completes the handshake, spawns the
+/// forwarding reader, and registers the upstream for severing on death.
+fn dial_upstream(
+    shared: &Arc<RouterShared>,
+    shard: usize,
+    client_writer: &Arc<Mutex<TcpStream>>,
+) -> Result<Upstream, WireError> {
+    let slot = &shared.slots[shard];
+    if !slot.alive.load(Ordering::Acquire) {
+        return Err(WireError::Io(io::Error::new(
+            io::ErrorKind::NotConnected,
+            "shard is down",
+        )));
+    }
+    let addr = *slot.addr.lock();
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(shared.config.read_poll))
+        .map_err(WireError::Io)?;
+    wire::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            max_version: PROTOCOL_VERSION,
+        },
+    )?;
+    let mut buffer = FrameBuffer::new();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if Instant::now() >= deadline {
+            return Err(WireError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "shard handshake timed out",
+            )));
+        }
+        match buffer.poll(&mut stream)? {
+            Some(Frame::HelloAck { version }) if (1..=PROTOCOL_VERSION).contains(&version) => break,
+            Some(_) => return Err(WireError::Malformed("expected HelloAck from shard")),
+            None => continue,
+        }
+    }
+    let upstream_shared = Arc::new(UpstreamShared {
+        writer: Mutex::new(stream.try_clone().map_err(WireError::Io)?),
+        client_writer: Arc::clone(client_writer),
+        in_flight: Mutex::new(HashSet::new()),
+        dead: AtomicBool::new(false),
+        closing: AtomicBool::new(false),
+        lost_retry_ms: shared.config.lost_retry_ms,
+        shard_lost: Arc::clone(&shared.shard_lost),
+    });
+    {
+        let mut registered = slot.upstreams.lock();
+        registered.retain(|weak| weak.strong_count() > 0);
+        registered.push(Arc::downgrade(&upstream_shared));
+    }
+    // Late check: the shard may have been marked down between the alive
+    // check and the registration; a severed registration guarantees the
+    // reader cannot outlive the shard silently.
+    if !slot.alive.load(Ordering::Acquire) {
+        upstream_shared.sever();
+    }
+    let reader = {
+        let shared = Arc::clone(&upstream_shared);
+        std::thread::Builder::new()
+            .name("eugene-shard-upstream".to_owned())
+            .spawn(move || upstream_reader_loop(stream, shared))
+            .expect("spawn upstream reader thread")
+    };
+    Ok(Upstream {
+        shared: upstream_shared,
+        reader,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routes_deterministically_and_membership_is_order_free() {
+        let mut a = HashRing::new(7, 64);
+        let mut b = HashRing::new(7, 64);
+        for shard in 0..4 {
+            a.insert(shard);
+        }
+        for shard in (0..4).rev() {
+            b.insert(shard);
+        }
+        for key in 0..512u64 {
+            assert_eq!(a.route(key), b.route(key), "insert order must not matter");
+        }
+        assert_eq!(a.shards(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_remove_moves_only_the_removed_shards_keys() {
+        let mut ring = HashRing::new(3, 64);
+        for shard in 0..4 {
+            ring.insert(shard);
+        }
+        let before: Vec<Option<usize>> = (0..2048u64).map(|k| ring.route(k)).collect();
+        ring.remove(2);
+        for (key, owner) in before.iter().enumerate() {
+            let now = ring.route(key as u64);
+            if *owner == Some(2) {
+                assert_ne!(now, Some(2));
+            } else {
+                assert_eq!(now, *owner, "key {key} moved although its shard survived");
+            }
+        }
+        ring.insert(2);
+        let after: Vec<Option<usize>> = (0..2048u64).map(|k| ring.route(k)).collect();
+        assert_eq!(before, after, "re-insert must restore the exact assignment");
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_all_shards() {
+        let mut ring = HashRing::new(11, 64);
+        for shard in 0..4 {
+            ring.insert(shard);
+        }
+        let mut counts = [0usize; 4];
+        for key in 0..4096u64 {
+            counts[ring.route(key).unwrap()] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 4096 / 16,
+                "shard {shard} owns only {count} of 4096 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(0, 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+    }
+}

@@ -55,6 +55,47 @@ pub struct SubmitRequest {
     pub want_progress: bool,
     /// Model input.
     pub payload: Vec<f32>,
+    /// Sharding affinity: a sharded front tier consistently hashes this
+    /// key onto its ring so a client's related requests land on the same
+    /// shard. `None` lets the tier fall back to a per-connection key; a
+    /// plain [`crate::server::Gateway`] ignores it entirely. Encoded as a
+    /// trailing optional field, so pre-sharding peers interoperate: a
+    /// payload that ends before this field decodes as `None`.
+    pub routing_key: Option<u64>,
+}
+
+/// Why a submit was answered with [`Frame::Reject`].
+///
+/// Encoded as a trailing byte of the `Reject` payload. Decoders accept
+/// payloads that end before it (frames from pre-sharding peers) and
+/// default to [`RejectReason::Overload`], which was the only reason that
+/// existed before the byte was introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejectReason {
+    /// Admission control shed the request; retry after the hinted backoff.
+    #[default]
+    Overload,
+    /// The shard serving this session died mid-flight (or no shard is
+    /// available). The request was *not* served; retrying opens a fresh
+    /// session that the router admits onto a surviving shard.
+    ShardLost,
+}
+
+impl RejectReason {
+    fn as_byte(self) -> u8 {
+        match self {
+            RejectReason::Overload => 0,
+            RejectReason::ShardLost => 1,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            0 => Ok(RejectReason::Overload),
+            1 => Ok(RejectReason::ShardLost),
+            _ => Err(WireError::Malformed("reject reason byte out of range")),
+        }
+    }
 }
 
 /// Final inference answer as it crosses the wire.
@@ -99,11 +140,14 @@ pub enum Frame {
         client_tag: u64,
         response: WireResponse,
     },
-    /// Server → client admission-control rejection: retry no sooner than
-    /// `retry_after_ms`.
+    /// Server → client rejection: the request was not served. `reason`
+    /// distinguishes admission-control shedding (retry no sooner than
+    /// `retry_after_ms`) from a lost shard (retry opens a new session on
+    /// a survivor).
     Reject {
         client_tag: u64,
         retry_after_ms: u64,
+        reason: RejectReason,
     },
     /// Liveness probe; answered by [`Frame::Pong`] with the same nonce.
     Ping {
@@ -277,6 +321,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(req.budget_ms);
             w.bool(req.want_progress);
             w.vec_f32(&req.payload);
+            w.opt_u64(req.routing_key);
         }
         Frame::StageUpdate {
             client_tag,
@@ -303,9 +348,11 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
         Frame::Reject {
             client_tag,
             retry_after_ms,
+            reason,
         } => {
             w.u64(*client_tag);
             w.u64(*retry_after_ms);
+            w.u8(reason.as_byte());
         }
         Frame::Ping { nonce } | Frame::Pong { nonce } => w.u64(*nonce),
         Frame::Shutdown => {}
@@ -451,6 +498,13 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             budget_ms: r.u64()?,
             want_progress: r.bool()?,
             payload: r.vec_f32()?,
+            // Trailing optional field: peers that predate sharding end the
+            // payload here, which decodes as "no affinity".
+            routing_key: if r.remaining() == 0 {
+                None
+            } else {
+                r.opt_u64()?
+            },
         }),
         4 => Frame::StageUpdate {
             client_tag: r.u64()?,
@@ -471,6 +525,13 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
         6 => Frame::Reject {
             client_tag: r.u64()?,
             retry_after_ms: r.u64()?,
+            // Trailing reason byte; absent from pre-sharding peers, whose
+            // only reject cause was admission-control overload.
+            reason: if r.remaining() == 0 {
+                RejectReason::Overload
+            } else {
+                RejectReason::from_byte(r.u8()?)?
+            },
         },
         7 => Frame::Ping { nonce: r.u64()? },
         8 => Frame::Pong { nonce: r.u64()? },
@@ -608,6 +669,15 @@ mod tests {
                 budget_ms: 250,
                 want_progress: true,
                 payload: vec![0.25, -1.5, 3.75],
+                routing_key: Some(0xFEED_F00D),
+            }),
+            Frame::Submit(SubmitRequest {
+                client_tag: 44,
+                class: "batch".to_owned(),
+                budget_ms: 5_000,
+                want_progress: false,
+                payload: vec![],
+                routing_key: None,
             }),
             Frame::StageUpdate {
                 client_tag: 42,
@@ -638,6 +708,12 @@ mod tests {
             Frame::Reject {
                 client_tag: 9,
                 retry_after_ms: 40,
+                reason: RejectReason::Overload,
+            },
+            Frame::Reject {
+                client_tag: 10,
+                retry_after_ms: 25,
+                reason: RejectReason::ShardLost,
             },
             Frame::Ping { nonce: 0xDEAD },
             Frame::Pong { nonce: 0xDEAD },
@@ -675,6 +751,7 @@ mod tests {
             budget_ms: 100,
             want_progress: false,
             payload: vec![1.0; 16],
+            routing_key: Some(3),
         }));
         for cut in 0..bytes.len() {
             let err = decode_frame(&bytes[..cut]).expect_err("truncation detected");
@@ -780,6 +857,7 @@ mod tests {
             budget_ms: 9,
             want_progress: true,
             payload: vec![1.0, 2.0],
+            routing_key: None,
         });
         let mut reader = Dribble {
             bytes: encode_frame(&frame),
@@ -804,6 +882,74 @@ mod tests {
             buffer.poll(&mut reader),
             Err(WireError::Truncated) | Ok(None)
         ));
+    }
+
+    /// Wraps a raw payload in a valid header of the given kind.
+    fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(PROTOCOL_VERSION);
+        bytes.push(kind);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn legacy_reject_without_reason_decodes_as_overload() {
+        // A 16-byte Reject payload (tag + retry hint, no reason byte) is
+        // what pre-sharding builds emit; it must keep decoding.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.extend_from_slice(&40u64.to_le_bytes());
+        let (frame, _) = decode_frame(&frame_bytes(6, &payload)).expect("legacy reject decodes");
+        assert_eq!(
+            frame,
+            Frame::Reject {
+                client_tag: 9,
+                retry_after_ms: 40,
+                reason: RejectReason::Overload,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_reject_reason_byte_is_malformed() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.extend_from_slice(&40u64.to_le_bytes());
+        payload.push(0xFF);
+        assert!(matches!(
+            decode_frame(&frame_bytes(6, &payload)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_submit_without_routing_key_decodes_as_none() {
+        // A Submit payload that ends right after the float vector (the
+        // pre-sharding shape) must decode with routing_key: None.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes()); // client_tag
+        payload.extend_from_slice(&1u32.to_le_bytes()); // class len
+        payload.push(b'x');
+        payload.extend_from_slice(&5u64.to_le_bytes()); // budget_ms
+        payload.push(1); // want_progress
+        payload.extend_from_slice(&1u32.to_le_bytes()); // vec len
+        payload.extend_from_slice(&1.5f32.to_bits().to_le_bytes());
+        let (frame, _) = decode_frame(&frame_bytes(3, &payload)).expect("legacy submit decodes");
+        assert_eq!(
+            frame,
+            Frame::Submit(SubmitRequest {
+                client_tag: 7,
+                class: "x".to_owned(),
+                budget_ms: 5,
+                want_progress: true,
+                payload: vec![1.5],
+                routing_key: None,
+            })
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! staged engine (the serve crate's test engine is private) and a helper
 //! that boots a full runtime + gateway on a loopback socket.
 
-use eugene_net::{Gateway, GatewayConfig};
+use eugene_net::{Gateway, GatewayConfig, ShardConfig, ShardRouter};
 use eugene_sched::Fifo;
 use eugene_serve::{EngineSession, InferenceEngine, RuntimeConfig, ServingRuntime, StageReport};
 use std::sync::Arc;
@@ -64,6 +64,7 @@ impl EngineSession for StagedTestSession {
 
 /// Boots a runtime over [`StagedTestEngine`] and a gateway on a free
 /// loopback port.
+#[allow(dead_code)]
 pub fn start_gateway(
     ramp: Vec<f32>,
     stage_time: Duration,
@@ -73,4 +74,32 @@ pub fn start_gateway(
     let engine = Arc::new(StagedTestEngine { ramp, stage_time });
     let runtime = ServingRuntime::start(engine, Box::new(Fifo::new()), runtime_config);
     Gateway::start(runtime, gateway_config).expect("bind loopback gateway")
+}
+
+/// One fresh runtime over [`StagedTestEngine`], for booting or reviving a
+/// shard.
+#[allow(dead_code)]
+pub fn shard_runtime(
+    ramp: Vec<f32>,
+    stage_time: Duration,
+    runtime_config: &RuntimeConfig,
+) -> ServingRuntime {
+    let engine = Arc::new(StagedTestEngine { ramp, stage_time });
+    ServingRuntime::start(engine, Box::new(Fifo::new()), *runtime_config)
+}
+
+/// Boots `shards` runtimes over [`StagedTestEngine`] behind a
+/// [`ShardRouter`] on a free loopback port.
+#[allow(dead_code)]
+pub fn start_router(
+    shards: usize,
+    ramp: Vec<f32>,
+    stage_time: Duration,
+    runtime_config: RuntimeConfig,
+    shard_config: ShardConfig,
+) -> ShardRouter {
+    let runtimes = (0..shards)
+        .map(|_| shard_runtime(ramp.clone(), stage_time, &runtime_config))
+        .collect();
+    ShardRouter::start(runtimes, shard_config).expect("bind loopback shard router")
 }

@@ -34,6 +34,7 @@ proptest! {
             budget_ms: budget,
             want_progress: tag % 2 == 0,
             payload: vec![1.0, -2.5, 3.75],
+            routing_key: Some(tag ^ 0xABCD),
         }));
         let pos = flip_pos as usize % bytes.len();
         bytes[pos] ^= 1 << flip_bit;
@@ -50,6 +51,7 @@ proptest! {
             budget_ms: 100,
             want_progress: true,
             payload: vec![0.5; 16],
+            routing_key: Some(7),
         }));
         let cut = cut as usize % bytes.len();
         prop_assert!(decode_frame(&bytes[..cut]).is_err(), "prefix must not decode");
@@ -69,6 +71,7 @@ proptest! {
             budget_ms: budget,
             want_progress,
             payload,
+            routing_key: if tag % 2 == 0 { Some(tag) } else { None },
         });
         let bytes = encode_frame(&frame);
         let (decoded, used) = decode_frame(&bytes).expect("own encoding decodes");

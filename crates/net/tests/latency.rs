@@ -100,6 +100,7 @@ fn stage_updates_stream_during_execution() {
             budget_ms: 5_000,
             want_progress: true,
             payload: vec![3.0],
+            routing_key: None,
         }),
     )
     .expect("submit");

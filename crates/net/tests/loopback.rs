@@ -122,7 +122,7 @@ fn overload_sheds_then_recovers() {
                 assert!(!outcome.expired);
                 completed += 1;
             }
-            Err(ClientError::Rejected { retry_after }) => {
+            Err(ClientError::Rejected { retry_after, .. }) => {
                 assert!(
                     retry_after > Duration::ZERO,
                     "reject must carry a backoff hint"
@@ -147,7 +147,7 @@ fn overload_sheds_then_recovers() {
                 assert_eq!(outcome.predicted, Some(7));
                 break;
             }
-            Err(ClientError::Rejected { retry_after }) if Instant::now() < deadline => {
+            Err(ClientError::Rejected { retry_after, .. }) if Instant::now() < deadline => {
                 std::thread::sleep(retry_after);
             }
             Err(other) => panic!("gateway failed to recover after overload: {other}"),

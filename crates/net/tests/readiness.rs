@@ -195,7 +195,7 @@ fn overload_sheds_then_recovers_on_readiness() {
                 assert!(!outcome.expired);
                 completed += 1;
             }
-            Err(ClientError::Rejected { retry_after }) => {
+            Err(ClientError::Rejected { retry_after, .. }) => {
                 assert!(retry_after > Duration::ZERO, "reject carries a hint");
                 rejected += 1;
             }
@@ -213,7 +213,7 @@ fn overload_sheds_then_recovers_on_readiness() {
                 assert_eq!(outcome.predicted, Some(7));
                 break;
             }
-            Err(ClientError::Rejected { retry_after }) if Instant::now() < deadline => {
+            Err(ClientError::Rejected { retry_after, .. }) if Instant::now() < deadline => {
                 std::thread::sleep(retry_after);
             }
             Err(other) => panic!("gateway failed to recover after overload: {other}"),

@@ -1,0 +1,167 @@
+//! Property tests for the consistent-hash ring behind [`ShardRouter`]:
+//! removing one of N shards remaps only that shard's keys (bounded well
+//! below a full reshuffle), re-adding restores the exact prior
+//! assignment, and the assignment is a pure function of (seed,
+//! virtual_nodes, membership) — independent of insertion order and of
+//! which router process computes it.
+
+mod common;
+
+use common::start_router;
+use eugene_net::shard::ShardConfig;
+use eugene_net::{GatewayBackend, GatewayConfig, HashRing};
+use eugene_serve::RuntimeConfig;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const KEYS: u64 = 256;
+
+fn assignments(ring: &HashRing, keys: u64) -> Vec<Option<usize>> {
+    (0..keys).map(|k| ring.route(k)).collect()
+}
+
+fn ring_of(seed: u64, virtual_nodes: usize, shards: usize) -> HashRing {
+    let mut ring = HashRing::new(seed, virtual_nodes);
+    for shard in 0..shards {
+        ring.insert(shard);
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Removing one shard moves ONLY keys that lived on it, and not many
+    /// more than its fair share. With `v` virtual nodes per shard the
+    /// expected share is keys/N; we allow a generous constant-factor
+    /// slack (hash variance, small keyspace) that still rules out the
+    /// keys*(N-1)/N a modulo scheme would remap.
+    #[test]
+    fn removal_remaps_only_the_victims_fair_share(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=8,
+        victim_ix in 0usize..8,
+    ) {
+        let victim = victim_ix % shards;
+        let mut ring = ring_of(seed, virtual_nodes, shards);
+        let before = assignments(&ring, KEYS);
+        ring.remove(victim);
+        let after = assignments(&ring, KEYS);
+
+        let mut moved = 0u64;
+        for (b, a) in before.iter().zip(&after) {
+            if b == a {
+                continue;
+            }
+            // A key may only change shard if it was on the victim.
+            prop_assert_eq!(*b, Some(victim), "a surviving shard's key moved");
+            prop_assert!(a.is_some(), "key fell off a non-empty ring");
+            moved += 1;
+        }
+        let fair_share = KEYS.div_ceil(shards as u64);
+        let bound = fair_share * 5 / 2 + 8;
+        prop_assert!(
+            moved <= bound,
+            "removal remapped {} keys; fair share {} (bound {})",
+            moved, fair_share, bound
+        );
+    }
+
+    /// Remove + re-insert is a no-op on the assignment: the ring sorts
+    /// its points, so membership alone determines routing.
+    #[test]
+    fn reinsertion_restores_the_exact_prior_assignment(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=8,
+        victim_ix in 0usize..8,
+    ) {
+        let victim = victim_ix % shards;
+        let mut ring = ring_of(seed, virtual_nodes, shards);
+        let before = assignments(&ring, KEYS);
+        ring.remove(victim);
+        ring.insert(victim);
+        prop_assert_eq!(before, assignments(&ring, KEYS));
+    }
+
+    /// Two rings with the same (seed, virtual_nodes, membership) agree on
+    /// every key even when the membership was built in reversed order —
+    /// i.e. a restarted router reproduces the assignment exactly.
+    #[test]
+    fn assignment_is_deterministic_and_order_free(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=8,
+    ) {
+        let forward = ring_of(seed, virtual_nodes, shards);
+        let mut reversed = HashRing::new(seed, virtual_nodes);
+        for shard in (0..shards).rev() {
+            reversed.insert(shard);
+        }
+        prop_assert_eq!(assignments(&forward, KEYS), assignments(&reversed, KEYS));
+    }
+
+    /// Different seeds genuinely reshuffle (the seed is load-bearing, not
+    /// decorative) while each individual seed spreads keys over every
+    /// shard.
+    #[test]
+    fn every_shard_owns_keys(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=8,
+    ) {
+        let ring = ring_of(seed, virtual_nodes, shards);
+        let mut counts = vec![0u64; shards];
+        for a in assignments(&ring, KEYS) {
+            counts[a.expect("non-empty ring routes every key")] += 1;
+        }
+        for (shard, &owned) in counts.iter().enumerate() {
+            prop_assert!(owned > 0, "shard {} owns none of {} keys", shard, KEYS);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restart determinism at the router level, on both gateway backends: two
+// independently-booted routers with the same ShardConfig seed agree on
+// the full key→shard map (the property the ring tests prove, observed
+// through the public ShardRouter surface).
+// ---------------------------------------------------------------------
+
+fn routers_agree_across_restart(backend: GatewayBackend) {
+    let config = || ShardConfig {
+        seed: 0x5EED,
+        virtual_nodes: 64,
+        gateway: GatewayConfig {
+            backend,
+            ..GatewayConfig::default()
+        },
+        ..ShardConfig::default()
+    };
+    let runtime = RuntimeConfig {
+        num_workers: 1,
+        ..RuntimeConfig::default()
+    };
+    let ramp = vec![0.95f32];
+    let first = start_router(3, ramp.clone(), Duration::from_millis(1), runtime, config());
+    let map: Vec<Option<usize>> = (0..KEYS).map(|k| first.shard_for_key(k)).collect();
+    first.shutdown();
+    let second = start_router(3, ramp, Duration::from_millis(1), runtime, config());
+    let remap: Vec<Option<usize>> = (0..KEYS).map(|k| second.shard_for_key(k)).collect();
+    second.shutdown();
+    assert_eq!(
+        map, remap,
+        "router restart with the same seed must not remap"
+    );
+}
+
+#[test]
+fn routers_agree_across_restart_blocking() {
+    routers_agree_across_restart(GatewayBackend::Blocking);
+}
+
+#[test]
+fn routers_agree_across_restart_readiness() {
+    routers_agree_across_restart(GatewayBackend::Readiness);
+}

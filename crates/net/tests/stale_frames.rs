@@ -54,6 +54,7 @@ fn stale_then_answer_server() -> SocketAddr {
             &Frame::Reject {
                 client_tag: stale_tag,
                 retry_after_ms: 60_000, // must NOT become anyone's backoff floor
+                reason: wire::RejectReason::Overload,
             },
         )
         .expect("stale reject");

@@ -46,4 +46,4 @@ pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;
 pub use request::{InferenceRequest, InferenceResponse, RequestId, ServiceClass};
 pub use runtime::{CompletionWaker, RuntimeConfig, ServingRuntime};
-pub use stats::RuntimeStats;
+pub use stats::{RuntimeStats, StatsSnapshot};

@@ -133,6 +133,67 @@ impl RuntimeStats {
         self.inner.running.store(running, Ordering::Relaxed);
         self.inner.queued.store(queued, Ordering::Relaxed);
     }
+
+    /// Point-in-time copy of every gauge, suitable for aggregation across
+    /// runtimes (one per shard) or for diffing before/after a workload.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted(),
+            completed: self.completed(),
+            in_flight: self.in_flight(),
+            running: self.running(),
+            queued: self.queued(),
+            fused_batches: self.fused_batches(),
+            batched_stage_executions: self.batched_stage_executions(),
+            peak_batch_occupancy: self.peak_batch_occupancy(),
+            singleton_dispatches: self.singleton_dispatches(),
+        }
+    }
+}
+
+/// Plain-value copy of [`RuntimeStats`] gauges at one instant.
+///
+/// Unlike the live handle, a snapshot is inert data: it can be summed
+/// across shards ([`StatsSnapshot::absorb`] / [`StatsSnapshot::aggregate`])
+/// without racing the runtimes that keep updating the originals. Counters
+/// add; `peak_batch_occupancy` takes the max (a peak across shards is the
+/// largest any one shard fused, not a sum).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub in_flight: u64,
+    pub running: usize,
+    pub queued: usize,
+    pub fused_batches: u64,
+    pub batched_stage_executions: u64,
+    pub peak_batch_occupancy: usize,
+    pub singleton_dispatches: u64,
+}
+
+impl StatsSnapshot {
+    /// Folds another snapshot into this one (summing counters, maxing the
+    /// peak gauge).
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.in_flight += other.in_flight;
+        self.running += other.running;
+        self.queued += other.queued;
+        self.fused_batches += other.fused_batches;
+        self.batched_stage_executions += other.batched_stage_executions;
+        self.peak_batch_occupancy = self.peak_batch_occupancy.max(other.peak_batch_occupancy);
+        self.singleton_dispatches += other.singleton_dispatches;
+    }
+
+    /// Sums a set of per-runtime stats handles into one aggregate view.
+    pub fn aggregate<'a>(stats: impl IntoIterator<Item = &'a RuntimeStats>) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for s in stats {
+            total.absorb(&s.snapshot());
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +248,27 @@ mod tests {
         let stats = RuntimeStats::new();
         stats.note_completed();
         assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn snapshots_aggregate_counters_and_max_peaks() {
+        let a = RuntimeStats::new();
+        a.note_submitted();
+        a.note_submitted();
+        a.note_completed();
+        a.note_batch_dispatch(4);
+        let b = RuntimeStats::new();
+        b.note_submitted();
+        b.note_batch_dispatch(2);
+        b.note_batch_dispatch(1);
+
+        let total = StatsSnapshot::aggregate([&a, &b]);
+        assert_eq!(total.submitted, 3);
+        assert_eq!(total.completed, 1);
+        assert_eq!(total.in_flight, 2);
+        assert_eq!(total.fused_batches, 2);
+        assert_eq!(total.batched_stage_executions, 6);
+        assert_eq!(total.peak_batch_occupancy, 4, "peak is a max, not a sum");
+        assert_eq!(total.singleton_dispatches, 1);
     }
 }

@@ -22,11 +22,15 @@ cargo test --workspace -q --offline
 # Leak/multiplexing regressions, named explicitly so a future test-file
 # rename cannot silently drop them from the gate: connection-churn handle
 # reaping, >=64 interleaved in-flight tags on one connection, the
-# readiness-backend parity suite, and the event-driven latency bounds
-# (no accept sleep, no dispatcher forwarding tick).
-echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency -q"
+# readiness-backend parity suite, the event-driven latency bounds (no
+# accept sleep, no dispatcher forwarding tick), the shard fault-injection
+# suite (ShardLost on kill, survivors keep serving, both backends), and
+# the consistent-hash ring property suite (bounded remap, exact restore,
+# restart determinism).
+echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test ring_properties -q"
 cargo test -p eugene-net -q --offline \
-  --test churn --test multiplex --test stale_frames --test readiness --test latency
+  --test churn --test multiplex --test stale_frames --test readiness --test latency \
+  --test shard_faults --test ring_properties
 
 # Kernel regressions, named explicitly for the same reason: the blocked/
 # parallel matmul paths must stay bitwise-equal to the naive references
@@ -43,5 +47,10 @@ cargo run --release --offline -p eugene-bench --bin kernel_throughput -- --quick
 # crowd; asserts the readiness event loop stays on a bounded thread set.
 echo "==> gateway_throughput --quick --idle"
 cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --idle
+
+# Shard-scaling smoke: a saturated multiplexed keyed workload against the
+# ShardRouter at N=1 and N=2 shards; asserts two shards beat one.
+echo "==> gateway_throughput --quick --sharded"
+cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --sharded
 
 echo "CI gate passed."
