@@ -29,31 +29,53 @@
 //! with its own runtime. Aggregate throughput must clear 2.5x the
 //! single-shard ceiling at N=4.
 //!
+//! Two multi-tenant / multi-model sections close the run. Tenant
+//! isolation: a compliant tenant and a rogue tenant offering 4x the
+//! compliant rate share one gateway with weighted per-tenant quotas; the
+//! rogue's overshoot must shed while the compliant tenant sees zero
+//! errors and a p99 inside its SLO. Data-aware routing: the same
+//! mixed-difficulty workload runs against three equal-compute
+//! deployments — full model only, compressed model only, and a
+//! two-variant registry whose dispatcher sends easy inputs to the
+//! compressed variant — and the two-variant registry must beat both
+//! single-variant deployments on utility per second.
+//!
 //! Writes `results/gateway_throughput.json`.
 //!
 //! Run: `cargo run --release -p eugene-bench --bin gateway_throughput`
 //! (add `--quick` for a shorter run, `--idle` for only the
 //! idle-connection scaling curve, `--sharded` for only the shard-scaling
-//! curve)
+//! curve, `--tenants` for only the tenant-isolation and data-aware
+//! routing sections)
 
 use eugene_bench::{has_flag, print_table, write_json};
 use eugene_net::wire::{self, Frame, FrameBuffer, PROTOCOL_VERSION};
 use eugene_net::{
     loadgen, ClassSpec, ClientConfig, EugeneClient, Gateway, GatewayBackend, GatewayConfig,
-    LoadReport, LoadgenConfig, LoadgenMode, ShardConfig, ShardRouter,
+    LoadReport, LoadgenConfig, LoadgenMode, MultiplexClient, ShardConfig, ShardRouter,
+    SubmitOptions, TenantQuota, TenantSpec,
 };
 use eugene_sched::Fifo;
-use eugene_serve::{EngineSession, InferenceEngine, RuntimeConfig, ServingRuntime, StageReport};
+use eugene_serve::{
+    EngineSession, InferenceEngine, ModelRegistry, RuntimeConfig, ServingRuntime, StageReport,
+};
 use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Three-stage engine with a fixed per-stage cost: the bench measures the
 /// network and admission path, so the "model" must be deterministic.
+///
+/// `payload[0]` is the answer to echo; `payload[1] >= 0.5` marks the
+/// input as *hard*. A `wrong_on_hard` engine stands in for a compressed
+/// variant that has lost accuracy on hard inputs: it answers them fast,
+/// but wrong.
 struct FixedCostEngine {
     ramp: Vec<f32>,
     stage_time: Duration,
+    wrong_on_hard: bool,
 }
 
 impl InferenceEngine for FixedCostEngine {
@@ -62,11 +84,17 @@ impl InferenceEngine for FixedCostEngine {
     }
 
     fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession> {
+        let answer = payload.first().copied().unwrap_or(0.0) as usize;
+        let hard = payload.get(1).copied().unwrap_or(0.0) >= 0.5;
         Box::new(FixedCostSession {
             ramp: self.ramp.clone(),
             stage_time: self.stage_time,
             done: 0,
-            predicted: payload.first().copied().unwrap_or(0.0) as usize,
+            predicted: if hard && self.wrong_on_hard {
+                answer + 1
+            } else {
+                answer
+            },
         })
     }
 
@@ -162,6 +190,40 @@ struct ShardPoint {
     aggregate_completed: u64,
 }
 
+/// The tenant-isolation measurement: one gateway, two tenants, the rogue
+/// offering 4x the compliant rate against a weighted fair-share quota.
+#[derive(Serialize)]
+struct TenantIsolationPoint {
+    /// Aggregate offered rate across both tenants, requests per second.
+    offered_rps: f64,
+    /// Compliant tenant's latency SLO the gate is checked against, ms.
+    slo_ms: f64,
+    /// Loadgen view of the run, including the per-tenant breakdown.
+    report: LoadReport,
+    /// Gateway admission counters per tenant after the run.
+    compliant_admitted: u64,
+    compliant_shed: u64,
+    rogue_admitted: u64,
+    rogue_shed: u64,
+}
+
+/// One equal-compute deployment of the data-aware routing comparison.
+#[derive(Serialize)]
+struct VariantPoint {
+    deployment: String,
+    requests: u64,
+    /// Answers matching the payload's ground truth.
+    correct: u64,
+    /// Completed answers that missed the ground truth (the compressed
+    /// variant on hard inputs).
+    wrong: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    /// (correct - wrong) per second: a wrong answer costs what a right
+    /// one earns, so speed alone cannot win the comparison.
+    utility_per_s: f64,
+}
+
 /// One point of the idle-connection scaling curve.
 #[derive(Serialize)]
 struct IdlePoint {
@@ -202,6 +264,12 @@ struct GatewayThroughputDoc {
     /// Shard-scaling: aggregate throughput of the same saturated
     /// multiplexed workload against a ShardRouter over N = 1..4 shards.
     sharded_scaling_curve: Vec<ShardPoint>,
+    /// Tenant isolation: a rogue tenant at 4x the compliant tenant's rate
+    /// sheds its own traffic; the compliant tenant stays inside its SLO.
+    tenant_isolation: TenantIsolationPoint,
+    /// Data-aware routing: full-only vs compressed-only vs a two-variant
+    /// registry with a difficulty dispatcher, at equal total compute.
+    data_aware_utility: Vec<VariantPoint>,
 }
 
 /// Connects and completes the wire handshake, returning the open stream.
@@ -234,6 +302,7 @@ fn idle_scenario(backend: GatewayBackend, idle: usize) -> IdlePoint {
     let engine = Arc::new(FixedCostEngine {
         ramp: vec![0.95],
         stage_time: Duration::ZERO,
+        wrong_on_hard: false,
     });
     let runtime = ServingRuntime::start(
         engine,
@@ -321,6 +390,7 @@ fn start_gateway(admission: bool, max_batch: usize) -> Gateway {
     let engine = Arc::new(FixedCostEngine {
         ramp: vec![0.4, 0.7, 0.95],
         stage_time: Duration::from_millis(1),
+        wrong_on_hard: false,
     });
     let runtime = ServingRuntime::start(
         engine,
@@ -390,6 +460,7 @@ fn scenario(s: Scenario<'_>) -> (LoadReport, BatchStats) {
         },
         mode: s.mode.clone(),
         keyspace: None,
+        tenants: Vec::new(),
     };
     let kind = match &s.mode {
         LoadgenMode::PerConnection => "serial".to_owned(),
@@ -422,6 +493,7 @@ fn sharded_scenario(shards: usize, total: usize, seed: u64) -> ShardPoint {
             let engine = Arc::new(FixedCostEngine {
                 ramp: vec![0.4, 0.7, 0.95],
                 stage_time: Duration::from_millis(1),
+                wrong_on_hard: false,
             });
             ServingRuntime::start(
                 engine,
@@ -468,6 +540,7 @@ fn sharded_scenario(shards: usize, total: usize, seed: u64) -> ShardPoint {
         },
         mode: LoadgenMode::Multiplexed { concurrency: 64 },
         keyspace: Some(4_096),
+        tenants: Vec::new(),
     });
     let aggregate = router.aggregate_stats();
     router.shutdown();
@@ -543,6 +616,323 @@ fn sharded_sweep(quick: bool) -> Vec<ShardPoint> {
     curve
 }
 
+/// Tenant isolation under overload: a compliant tenant offering ~300 req/s
+/// (well inside its weighted share of the ~1300 req/s engine capacity)
+/// shares the gateway with a rogue tenant offering 4x that. The governor's
+/// weighted fair shares (3:1 over hard_cap 48 → 36 vs 12 in-flight) mean
+/// the queue the rogue builds past the high-water mark is *its own*: the
+/// rogue sheds, the compliant tenant never does and its p99 stays inside
+/// the SLO.
+fn tenant_scenario(quick: bool) -> TenantIsolationPoint {
+    const SLO_MS: f64 = 200.0;
+    let engine = Arc::new(FixedCostEngine {
+        ramp: vec![0.4, 0.7, 0.95],
+        stage_time: Duration::from_millis(1),
+        wrong_on_hard: false,
+    });
+    let runtime = ServingRuntime::start(
+        engine,
+        Box::new(Fifo::new()),
+        RuntimeConfig {
+            num_workers: 4,
+            confidence_threshold: 0.9,
+            ..RuntimeConfig::default()
+        },
+    );
+    let mut quotas = HashMap::new();
+    quotas.insert(
+        "compliant".to_owned(),
+        TenantQuota {
+            weight: 3.0,
+            max_in_flight: None,
+        },
+    );
+    quotas.insert(
+        "rogue".to_owned(),
+        TenantQuota {
+            weight: 1.0,
+            max_in_flight: None,
+        },
+    );
+    let gateway = Gateway::start(
+        runtime,
+        GatewayConfig {
+            high_water: 12,
+            hard_cap: 48,
+            tenant_quotas: quotas,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind loopback gateway");
+
+    let total = if quick { 900 } else { 3_000 };
+    let offered_rps = 1_500.0;
+    println!(
+        "tenants: {total} requests at {offered_rps:.0} req/s, \
+         compliant:rogue offered 1:4, quota weights 3:1..."
+    );
+    let report = loadgen::run(&LoadgenConfig {
+        addr: gateway.local_addr().to_string(),
+        connections: 64,
+        total_requests: total,
+        rate_hz: offered_rps,
+        classes: vec![ClassSpec {
+            name: "interactive".to_owned(),
+            budget_ms: 400,
+            weight: 1.0,
+            payload_len: 16,
+        }],
+        seed: 37,
+        client: ClientConfig {
+            max_attempts: 1, // a shed must surface as a shed, not a retry
+            ..ClientConfig::default()
+        },
+        mode: LoadgenMode::PerConnection,
+        keyspace: None,
+        tenants: vec![
+            TenantSpec {
+                name: "compliant".to_owned(),
+                weight: 1.0,
+            },
+            TenantSpec {
+                name: "rogue".to_owned(),
+                weight: 4.0,
+            },
+        ],
+    });
+    let rows = gateway.snapshot().per_tenant;
+    let point = TenantIsolationPoint {
+        offered_rps,
+        slo_ms: SLO_MS,
+        compliant_admitted: rows.get("compliant").map_or(0, |r| r.admitted),
+        compliant_shed: rows.get("compliant").map_or(0, |r| r.shed),
+        rogue_admitted: rows.get("rogue").map_or(0, |r| r.admitted),
+        rogue_shed: rows.get("rogue").map_or(0, |r| r.shed),
+        report,
+    };
+    gateway.shutdown();
+
+    let table: Vec<Vec<String>> = point
+        .report
+        .per_tenant
+        .iter()
+        .map(|(name, t)| {
+            vec![
+                name.clone(),
+                t.requests.to_string(),
+                t.completed.to_string(),
+                t.rejected.to_string(),
+                t.errors.to_string(),
+                format!("{:.2}", t.p50_ms),
+                format!("{:.2}", t.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Tenant isolation",
+        &["tenant", "req", "done", "shed", "err", "p50ms", "p99ms"],
+        &table,
+    );
+
+    let compliant = &point.report.per_tenant["compliant"];
+    assert_eq!(compliant.errors, 0, "compliant tenant must see zero errors");
+    assert_eq!(
+        compliant.rejected, 0,
+        "the rogue's overload must never shed the compliant tenant"
+    );
+    assert_eq!(
+        compliant.expired + compliant.deadline_exhausted,
+        0,
+        "compliant tenant must miss no deadlines"
+    );
+    assert!(
+        compliant.p99_ms < SLO_MS,
+        "a rogue at 4x quota must not push the compliant p99 past the \
+         {SLO_MS:.0}ms SLO (saw {:.2}ms)",
+        compliant.p99_ms
+    );
+    let rogue = &point.report.per_tenant["rogue"];
+    assert!(
+        rogue.rejected > 0,
+        "the rogue's overshoot must shed its own traffic"
+    );
+    assert_eq!(point.rogue_shed, rogue.rejected, "gateway and client agree");
+    point
+}
+
+/// Starts one fixed-cost runtime for the data-aware comparison: `workers`
+/// of the equal-compute budget, a full (3-stage) or compressed (1-stage)
+/// ramp, and optionally the compressed variant's accuracy loss.
+fn variant_runtime(ramp: &[f32], workers: usize, wrong_on_hard: bool) -> ServingRuntime {
+    ServingRuntime::start(
+        Arc::new(FixedCostEngine {
+            ramp: ramp.to_vec(),
+            stage_time: Duration::from_millis(1),
+            wrong_on_hard,
+        }),
+        Box::new(Fifo::new()),
+        RuntimeConfig {
+            num_workers: workers,
+            confidence_threshold: 0.9,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Drives the shared mixed-difficulty workload (every 4th input hard)
+/// through one registry-backed deployment, checking each answer against
+/// the ground truth carried in the payload.
+fn data_aware_deployment(deployment: &str, registry: ModelRegistry, total: usize) -> VariantPoint {
+    let gateway = Gateway::start_registry(
+        registry,
+        GatewayConfig {
+            // Admission wide open: the comparison is about where requests
+            // run, not whether they are admitted.
+            high_water: 1_000_000,
+            hard_cap: 2_000_000,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind loopback gateway");
+    let client = MultiplexClient::new(
+        gateway.local_addr(),
+        ClientConfig {
+            max_attempts: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    println!("data-aware [{deployment}]: {total} requests, 25% hard, window 256...");
+
+    // Settling is strict FIFO (PendingInference::wait consumes the
+    // handle), so a slow full-model request at the front hides completed
+    // work behind it. The window is deep enough that the hidden tail
+    // never drains the server's queues.
+    const WINDOW: usize = 256;
+    let mut pending: VecDeque<(u64, eugene_net::PendingInference)> = VecDeque::new();
+    let (mut correct, mut wrong) = (0u64, 0u64);
+    let mut settle = |(answer, p): (u64, eugene_net::PendingInference)| {
+        let outcome = p.wait().expect("deployment completes every request");
+        if outcome.predicted == Some(answer) {
+            correct += 1;
+        } else {
+            wrong += 1;
+        }
+    };
+    let start = Instant::now();
+    for i in 0..total {
+        let answer = (i % 32) as u64;
+        let hard = if i % 4 == 0 { 1.0 } else { 0.0 };
+        let p = client
+            .submit_with(
+                "variant",
+                &[answer as f32, hard],
+                Duration::from_secs(30),
+                false,
+                &SubmitOptions::default(),
+            )
+            .expect("admitted");
+        pending.push_back((answer, p));
+        if pending.len() >= WINDOW {
+            settle(pending.pop_front().expect("window is non-empty"));
+        }
+    }
+    for entry in pending {
+        settle(entry);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    drop(client);
+    gateway.shutdown();
+    VariantPoint {
+        deployment: deployment.to_owned(),
+        requests: total as u64,
+        correct,
+        wrong,
+        elapsed_s,
+        throughput_rps: total as f64 / elapsed_s,
+        utility_per_s: (correct as f64 - wrong as f64) / elapsed_s,
+    }
+}
+
+/// The data-aware routing comparison at an equal 4-worker compute budget.
+/// The dispatcher here is the oracle the facade's fitted mean-variance
+/// predictor approximates (`Eugene::serve_multi` fits it from data; the
+/// bench's engine is synthetic, so difficulty rides in the payload): easy
+/// inputs go to the compressed variant, hard ones to the full model.
+fn data_aware_sweep(quick: bool) -> Vec<VariantPoint> {
+    let total = if quick { 600 } else { 2_400 };
+    const FULL: &[f32] = &[0.4, 0.7, 0.95];
+    const COMPRESSED: &[f32] = &[0.95];
+
+    let full_only = ModelRegistry::new("full");
+    full_only.load("full", variant_runtime(FULL, 4, false));
+
+    let compressed_only = ModelRegistry::new("compressed");
+    compressed_only.load("compressed", variant_runtime(COMPRESSED, 4, true));
+
+    let two_variant = ModelRegistry::new("full");
+    two_variant.load("full", variant_runtime(FULL, 2, false));
+    two_variant.load("compressed", variant_runtime(COMPRESSED, 2, true));
+    two_variant.set_dispatcher(Arc::new(|payload: &[f32]| {
+        if payload.get(1).copied().unwrap_or(1.0) >= 0.5 {
+            "full".to_owned()
+        } else {
+            "compressed".to_owned()
+        }
+    }));
+
+    let curve = vec![
+        data_aware_deployment("full-only", full_only, total),
+        data_aware_deployment("compressed-only", compressed_only, total),
+        data_aware_deployment("data-aware", two_variant, total),
+    ];
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                p.deployment.clone(),
+                p.requests.to_string(),
+                p.correct.to_string(),
+                p.wrong.to_string(),
+                format!("{:.0}", p.throughput_rps),
+                format!("{:.0}", p.utility_per_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "Data-aware routing (equal compute)",
+        &["deployment", "req", "correct", "wrong", "rps", "util/s"],
+        &rows,
+    );
+
+    let full = &curve[0];
+    let compressed = &curve[1];
+    let data_aware = &curve[2];
+    assert_eq!(
+        full.wrong, 0,
+        "the full model answers every input correctly"
+    );
+    assert!(
+        compressed.wrong > 0,
+        "the compressed-only deployment must pay for hard inputs"
+    );
+    assert_eq!(
+        data_aware.wrong, 0,
+        "the dispatcher must route every hard input to the full model"
+    );
+    for single in [full, compressed] {
+        assert!(
+            data_aware.utility_per_s > 1.1 * single.utility_per_s,
+            "the two-variant registry must beat the {} deployment on \
+             utility at equal compute ({:.0}/s vs {:.0}/s)",
+            single.deployment,
+            data_aware.utility_per_s,
+            single.utility_per_s
+        );
+    }
+    curve
+}
+
 fn print_idle_table(curve: &[IdlePoint]) {
     let rows: Vec<Vec<String>> = curve
         .iter()
@@ -611,6 +1001,14 @@ fn main() {
         // Shard-scaling curve only (CI runs this with --quick): asserts the
         // multi-shard speedup without refreshing the JSON document.
         sharded_sweep(quick);
+        return;
+    }
+    if has_flag("--tenants") {
+        // Multi-tenant / multi-model sections only (CI runs this with
+        // --quick): asserts tenant isolation and the data-aware routing
+        // win without refreshing the JSON document.
+        tenant_scenario(quick);
+        data_aware_sweep(quick);
         return;
     }
     let (nominal_total, overload_total) = if quick { (300, 600) } else { (1_500, 3_000) };
@@ -727,6 +1125,8 @@ fn main() {
     assert_idle_curve(&idle_curve);
 
     let sharded_curve = sharded_sweep(quick);
+    let tenant_isolation = tenant_scenario(quick);
+    let data_aware = data_aware_sweep(quick);
 
     assert_eq!(
         nominal.completed
@@ -773,6 +1173,8 @@ fn main() {
             per_connection_64,
             idle_connection_curve: idle_curve,
             sharded_scaling_curve: sharded_curve,
+            tenant_isolation,
+            data_aware_utility: data_aware,
         },
     );
 }

@@ -15,7 +15,7 @@ use eugene_profiler::{ConvSpec, DeviceModel};
 use eugene_sched::{
     DcPredictor, DeadlineAware, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler,
 };
-use eugene_serve::{RuntimeConfig, ServingRuntime};
+use eugene_serve::{ModelRegistry, RuntimeConfig, ServingRuntime, VariantDispatcher};
 use eugene_tensor::{seeded_rng, Matrix};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -132,6 +132,40 @@ impl Default for ServeOptions {
             gather_window: runtime.gather_window,
         }
     }
+}
+
+/// One named model behind a [`Eugene::serve_multi`] deployment.
+#[derive(Debug, Clone)]
+pub struct ModelVariant {
+    /// Registry name clients address requests to
+    /// ([`eugene_net::SubmitOptions::model`]).
+    pub name: String,
+    /// The registered model served under that name.
+    pub model: ModelId,
+    /// Per-variant runtime budgets: workers, batching, exit threshold.
+    pub options: ServeOptions,
+}
+
+/// Data-aware routing policy for [`Eugene::serve_multi`]: submissions
+/// that name no model are dispatched per payload between a cheap
+/// early-exit variant and the full model.
+#[derive(Debug, Clone)]
+pub struct DispatchPolicy<'a> {
+    /// Variant served when the input is predicted easy — typically a
+    /// reduced model with early exit enabled.
+    pub easy: &'a str,
+    /// Variant served otherwise — typically the full model.
+    pub hard: &'a str,
+    /// Stage-1 confidence the easy variant must be predicted to reach
+    /// for the cheap route to be trusted with the input.
+    pub threshold: f32,
+    /// Risk aversion, in predicted standard deviations of confidence the
+    /// router holds in reserve. The effective margin is scaled down by
+    /// the variants' cost ratio under the device model: the cheaper the
+    /// easy variant, the less head-room the router demands.
+    pub caution: f32,
+    /// Calibration data the confidence estimator is fitted on.
+    pub data: &'a Dataset,
 }
 
 /// The deep-intelligence-as-a-service façade; see the crate docs for the
@@ -611,6 +645,137 @@ impl Eugene {
             reason: e.to_string(),
         })
     }
+
+    /// Multi-model serving: starts one runtime per variant — each with
+    /// its own scheduler, worker pool, and batching budget — behind a
+    /// single [`Gateway`] fronting a [`ModelRegistry`]. Clients address a
+    /// variant by name ([`eugene_net::SubmitOptions::model`]); models can
+    /// be loaded and unloaded at runtime through [`Gateway::registry`],
+    /// and per-tenant admission quotas come from
+    /// [`GatewayConfig::tenant_quotas`].
+    ///
+    /// Anonymous submissions go to `default_model` — unless `dispatch` is
+    /// given, in which case a data-aware dispatcher picks the variant per
+    /// payload: a mean-variance estimator (the §II-D estimation service)
+    /// is fitted to the easy variant's stage-1 confidence on
+    /// `dispatch.data`, and a request takes the cheap route only when its
+    /// predicted confidence clears [`DispatchPolicy::threshold`] with a
+    /// margin of `caution / advantage` standard deviations, where
+    /// `advantage` is the variants' cost ratio priced by the §II-C device
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns façade errors for bad ids/data, [`EugeneError::Network`]
+    /// if the gateway cannot bind, or [`EugeneError::EmptyDataset`] if
+    /// `dispatch.data` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty or `default_model` /
+    /// [`DispatchPolicy::easy`] / [`DispatchPolicy::hard`] name no
+    /// variant.
+    pub fn serve_multi(
+        &mut self,
+        variants: &[ModelVariant],
+        default_model: &str,
+        dispatch: Option<&DispatchPolicy<'_>>,
+        predictor_data: Option<&Dataset>,
+        gateway: GatewayConfig,
+    ) -> Result<Gateway, EugeneError> {
+        assert!(
+            !variants.is_empty(),
+            "serve_multi needs at least one variant"
+        );
+        assert!(
+            variants.iter().any(|v| v.name == default_model),
+            "default model {default_model:?} names no variant"
+        );
+        // Fit the dispatcher before spinning up any runtime so a bad
+        // policy fails without leaving worker pools behind.
+        let dispatcher = dispatch
+            .map(|policy| self.fit_dispatcher(variants, policy))
+            .transpose()?;
+        let registry = ModelRegistry::new(default_model);
+        for variant in variants {
+            let runtime = self.serve(variant.model, &variant.options, predictor_data)?;
+            registry.load(&variant.name, runtime);
+        }
+        if let Some(dispatcher) = dispatcher {
+            registry.set_dispatcher(dispatcher);
+        }
+        Gateway::start_registry(registry.clone(), gateway).map_err(|e| {
+            registry.shutdown();
+            EugeneError::Network {
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    /// Builds the data-aware variant router for [`Eugene::serve_multi`].
+    fn fit_dispatcher(
+        &mut self,
+        variants: &[ModelVariant],
+        policy: &DispatchPolicy<'_>,
+    ) -> Result<Arc<dyn VariantDispatcher>, EugeneError> {
+        let find = |name: &str| -> ModelId {
+            variants
+                .iter()
+                .find(|v| v.name == name)
+                .unwrap_or_else(|| panic!("dispatch variant {name:?} names no variant"))
+                .model
+        };
+        let (easy_id, hard_id) = (find(policy.easy), find(policy.hard));
+        if policy.data.is_empty() {
+            return Err(EugeneError::EmptyDataset);
+        }
+        // Target: the stage-1 confidence each calibration sample would
+        // get from the cheap route.
+        let stage1 = self.evaluate(easy_id, policy.data)?[0].confidences.clone();
+        let estimator = MeanVarianceEstimator::fit(
+            policy.data.features(),
+            &stage1,
+            0.2,
+            &MeanVarianceConfig::default(),
+            &mut self.rng,
+        );
+        // Price both variants on the device model; a bigger cost
+        // advantage for the easy variant buys a thinner safety margin.
+        let ns = self.per_param_ns();
+        let easy_ms = self.network(easy_id)?.param_count() as f64 * ns / 1e6;
+        let hard_ms = self.network(hard_id)?.param_count() as f64 * ns / 1e6;
+        let advantage = (hard_ms / easy_ms.max(f64::MIN_POSITIVE)).max(1.0) as f32;
+        let margin = policy.caution / advantage;
+        let input_dim = self.network(easy_id)?.input_dim();
+        let threshold = policy.threshold;
+        let (easy, hard) = (policy.easy.to_owned(), policy.hard.to_owned());
+        Ok(Arc::new(move |payload: &[f32]| {
+            // Malformed payloads take the default/full route and fail
+            // there exactly as they would in a single-model deployment.
+            if payload.len() != input_dim {
+                return hard.clone();
+            }
+            let (mean, sigma) = estimator.predict(payload);
+            if mean - margin * sigma >= threshold {
+                easy.clone()
+            } else {
+                hard.clone()
+            }
+        }))
+    }
+
+    /// Mean device-model cost of one multiply-accumulate in nanoseconds,
+    /// read off the profiler's Table-1 reference layers — a
+    /// per-parameter price for comparing dense variants on this device.
+    fn per_param_ns(&self) -> f64 {
+        let mut total_ms = 0.0;
+        let mut total_macs = 0u64;
+        for (_, spec) in ConvSpec::table1_rows() {
+            total_ms += self.device.latency_ms(&spec);
+            total_macs += spec.macs();
+        }
+        total_ms * 1e6 / total_macs.max(1) as f64
+    }
 }
 
 impl std::fmt::Debug for Eugene {
@@ -841,6 +1006,81 @@ mod tests {
         assert_eq!(total.submitted, 8);
         assert_eq!(total.completed, 8);
         router.shutdown();
+    }
+
+    #[test]
+    fn serve_multi_serves_named_variants_with_data_aware_dispatch() {
+        let data = dataset(33, 300);
+        let mut eugene = Eugene::new(34);
+        let full = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let compressed = eugene.reduce(full, 0.5, &data).unwrap();
+        let fifo = ServeOptions {
+            scheduler: SchedulerKind::Fifo,
+            ..ServeOptions::default()
+        };
+        let variants = [
+            ModelVariant {
+                name: "full".into(),
+                model: full,
+                options: fifo.clone(),
+            },
+            ModelVariant {
+                name: "compressed".into(),
+                model: compressed,
+                options: ServeOptions {
+                    confidence_threshold: 0.6,
+                    ..fifo
+                },
+            },
+        ];
+        let gateway = eugene
+            .serve_multi(
+                &variants,
+                "full",
+                Some(&DispatchPolicy {
+                    easy: "compressed",
+                    hard: "full",
+                    threshold: 0.5,
+                    caution: 1.0,
+                    data: &data,
+                }),
+                None,
+                eugene_net::GatewayConfig::default(),
+            )
+            .unwrap();
+        let mut client = eugene_net::EugeneClient::new(
+            gateway.local_addr(),
+            eugene_net::ClientConfig::default(),
+        )
+        .unwrap();
+        // Explicit addressing: each variant answers under its own name.
+        for name in ["full", "compressed"] {
+            let outcome = client
+                .infer_with(
+                    "test",
+                    data.sample(0),
+                    Duration::from_secs(30),
+                    &eugene_net::SubmitOptions {
+                        model: Some(name.into()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert!(outcome.predicted.is_some(), "variant {name} answered");
+        }
+        // Anonymous submissions flow through the data-aware dispatcher.
+        for i in 0..10 {
+            let outcome = client
+                .infer("test", data.sample(i), Duration::from_secs(30))
+                .unwrap();
+            assert!(outcome.predicted.is_some());
+        }
+        let snapshot = gateway.snapshot();
+        assert!(snapshot.per_model["full"].completed >= 1);
+        assert!(snapshot.per_model["compressed"].completed >= 1);
+        let completed: u64 = snapshot.per_model.values().map(|m| m.completed).sum();
+        assert_eq!(completed, 12, "every submission answered by some variant");
+        gateway.shutdown();
     }
 
     /// Same façade entry point, readiness-driven backend: the event-loop

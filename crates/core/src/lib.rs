@@ -19,6 +19,7 @@
 //! | Confidence-curve fitting | [`Eugene::fit_confidence_predictor`] |
 //! | Run-time inference | [`Eugene::serve`] |
 //! | Networked service gateway | [`Eugene::serve_gateway`] |
+//! | Multi-model, multi-tenant serving | [`Eugene::serve_multi`] |
 //!
 //! # Examples
 //!
@@ -44,8 +45,15 @@ mod facade;
 
 pub use engine::StagedNetworkEngine;
 pub use error::EugeneError;
-pub use facade::{Eugene, ModelId, ModelInfo, SchedulerKind, ServeOptions, TrainRequest};
-// Gateway configuration surfaces through the façade's `serve_gateway`
-// signature; re-export it so callers can pick a connection-handling
-// backend without depending on eugene-net directly.
-pub use eugene_net::{Gateway, GatewayBackend, GatewayConfig, ShardConfig, ShardRouter};
+pub use facade::{
+    DispatchPolicy, Eugene, ModelId, ModelInfo, ModelVariant, SchedulerKind, ServeOptions,
+    TrainRequest,
+};
+// Gateway configuration surfaces through the façade's `serve_gateway` /
+// `serve_multi` signatures; re-export it so callers can pick a
+// connection-handling backend, address models, and set tenant quotas
+// without depending on eugene-net directly.
+pub use eugene_net::{
+    Gateway, GatewayBackend, GatewayConfig, ShardConfig, ShardRouter, SubmitOptions, TenantQuota,
+};
+pub use eugene_serve::{ModelRegistry, RegistryError, VariantDispatcher};

@@ -77,6 +77,33 @@ pub struct StageUpdate {
     pub predicted: u64,
 }
 
+/// Per-request addressing carried on a submit beyond class and budget.
+///
+/// Everything here is optional and defaults to the pre-registry wire
+/// shape: no routing key, no model (the gateway's default model or its
+/// data-aware dispatcher decides), no tenant (the request is admitted on
+/// the anonymous class-utility path rather than a tenant quota).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubmitOptions {
+    /// Sharding affinity: a sharded front tier pins all submits carrying
+    /// the same key to the same shard. A plain gateway ignores it.
+    pub routing_key: Option<u64>,
+    /// Registry model to serve this request with; `None` lets the
+    /// gateway's dispatcher (or default model) pick.
+    pub model: Option<String>,
+    /// Tenant identity for per-tenant admission quotas.
+    pub tenant: Option<String>,
+}
+
+impl SubmitOptions {
+    fn keyed(routing_key: Option<u64>) -> Self {
+        Self {
+            routing_key,
+            ..Self::default()
+        }
+    }
+}
+
 /// A completed inference as observed by the client.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceOutcome {
@@ -222,6 +249,18 @@ impl EugeneClient {
         budget: Duration,
         routing_key: Option<u64>,
     ) -> Result<InferenceOutcome, ClientError> {
+        self.infer_with(class, payload, budget, &SubmitOptions::keyed(routing_key))
+    }
+
+    /// [`EugeneClient::infer`] with full per-request addressing: routing
+    /// key, registry model, and tenant identity (see [`SubmitOptions`]).
+    pub fn infer_with(
+        &mut self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        options: &SubmitOptions,
+    ) -> Result<InferenceOutcome, ClientError> {
         let started = Instant::now();
         let deadline = started + budget;
         let mut attempts = 0u32;
@@ -232,7 +271,7 @@ impl EugeneClient {
                 return Err(ClientError::DeadlineExhausted);
             }
             attempts += 1;
-            match self.try_once(class, payload, remaining, deadline, routing_key) {
+            match self.try_once(class, payload, remaining, deadline, options) {
                 Ok(mut outcome) => {
                     outcome.round_trip = started.elapsed();
                     outcome.attempts = attempts;
@@ -348,7 +387,7 @@ impl EugeneClient {
         payload: &[f32],
         remaining: Duration,
         deadline: Instant,
-        routing_key: Option<u64>,
+        options: &SubmitOptions,
     ) -> Result<InferenceOutcome, AttemptError> {
         let tag = self.alloc_tag();
         let submit = Frame::Submit(SubmitRequest {
@@ -357,7 +396,9 @@ impl EugeneClient {
             budget_ms: remaining.as_millis().max(1) as u64,
             want_progress: self.config.want_progress,
             payload: payload.to_vec(),
-            routing_key,
+            routing_key: options.routing_key,
+            model: options.model.clone(),
+            tenant: options.tenant.clone(),
         });
         let conn = match self.connection(deadline) {
             Ok(conn) => conn,
@@ -771,7 +812,13 @@ impl MultiplexClient {
         budget: Duration,
         want_progress: bool,
     ) -> Result<PendingInference, ClientError> {
-        self.submit_with_deadline(class, payload, Instant::now() + budget, want_progress, None)
+        self.submit_with_deadline(
+            class,
+            payload,
+            Instant::now() + budget,
+            want_progress,
+            &SubmitOptions::default(),
+        )
     }
 
     /// [`MultiplexClient::submit`] with an explicit sharding routing key:
@@ -790,7 +837,26 @@ impl MultiplexClient {
             payload,
             Instant::now() + budget,
             want_progress,
-            routing_key,
+            &SubmitOptions::keyed(routing_key),
+        )
+    }
+
+    /// [`MultiplexClient::submit`] with full per-request addressing:
+    /// routing key, registry model, and tenant (see [`SubmitOptions`]).
+    pub fn submit_with(
+        &self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        want_progress: bool,
+        options: &SubmitOptions,
+    ) -> Result<PendingInference, ClientError> {
+        self.submit_with_deadline(
+            class,
+            payload,
+            Instant::now() + budget,
+            want_progress,
+            options,
         )
     }
 
@@ -800,7 +866,7 @@ impl MultiplexClient {
         payload: &[f32],
         deadline: Instant,
         want_progress: bool,
-        routing_key: Option<u64>,
+        options: &SubmitOptions,
     ) -> Result<PendingInference, ClientError> {
         let conn = self.connection(deadline)?;
         let tag = self.alloc_tag();
@@ -813,7 +879,9 @@ impl MultiplexClient {
             budget_ms: remaining.as_millis().max(1) as u64,
             want_progress,
             payload: payload.to_vec(),
-            routing_key,
+            routing_key: options.routing_key,
+            model: options.model.clone(),
+            tenant: options.tenant.clone(),
         });
         if let Err(e) = wire::write_frame(&mut *conn.writer.lock(), &frame) {
             conn.shared.pending.lock().remove(&tag);
@@ -853,6 +921,18 @@ impl MultiplexClient {
         budget: Duration,
         routing_key: Option<u64>,
     ) -> Result<InferenceOutcome, ClientError> {
+        self.infer_with(class, payload, budget, &SubmitOptions::keyed(routing_key))
+    }
+
+    /// [`MultiplexClient::infer`] with full per-request addressing:
+    /// routing key, registry model, and tenant (see [`SubmitOptions`]).
+    pub fn infer_with(
+        &self,
+        class: &str,
+        payload: &[f32],
+        budget: Duration,
+        options: &SubmitOptions,
+    ) -> Result<InferenceOutcome, ClientError> {
         let started = Instant::now();
         let deadline = started + budget;
         let mut attempts = 0u32;
@@ -863,7 +943,7 @@ impl MultiplexClient {
                 return Err(ClientError::DeadlineExhausted);
             }
             attempts += 1;
-            match self.attempt(class, payload, deadline, routing_key) {
+            match self.attempt(class, payload, deadline, options) {
                 Ok(mut outcome) => {
                     outcome.round_trip = started.elapsed();
                     outcome.attempts = attempts;
@@ -889,14 +969,14 @@ impl MultiplexClient {
         class: &str,
         payload: &[f32],
         deadline: Instant,
-        routing_key: Option<u64>,
+        options: &SubmitOptions,
     ) -> Result<InferenceOutcome, AttemptError> {
         let mut pending = match self.submit_with_deadline(
             class,
             payload,
             deadline,
             self.config.want_progress,
-            routing_key,
+            options,
         ) {
             Ok(pending) => pending,
             Err(ClientError::DeadlineExhausted) => {

@@ -27,6 +27,10 @@
 //! - [`loadgen`]: a seeded open-loop Poisson load generator (one client
 //!   per connection, or multiplexed over few connections) producing
 //!   throughput/latency/reject-rate reports;
+//!   the gateway also fronts a [`eugene_serve::ModelRegistry`] (multiple
+//!   named models, loaded and unloaded at runtime) and a per-tenant
+//!   admission governor ([`TenantQuota`]) with weighted fair shedding, so
+//!   one misbehaving tenant sheds its own traffic first;
 //! - [`shard`]: a [`shard::ShardRouter`] front tier that consistently
 //!   hashes routing keys across N gateway shards (each with its own
 //!   runtime), answers in-flight requests on a dead shard with
@@ -50,12 +54,17 @@ pub mod reactor;
 mod readiness;
 pub mod server;
 pub mod shard;
+mod tenant;
 pub mod wire;
 
 pub use client::{
     ClientConfig, ClientError, EugeneClient, InferenceOutcome, MultiplexClient, PendingInference,
+    SubmitOptions,
 };
-pub use loadgen::{ClassSpec, LoadReport, LoadgenConfig, LoadgenMode};
+pub use loadgen::{
+    ClassSpec, LoadReport, LoadgenConfig, LoadgenMode, TenantLoadReport, TenantSpec,
+};
 pub use server::{Gateway, GatewayBackend, GatewayConfig, GatewayStatus};
 pub use shard::{HashRing, ShardConfig, ShardRouter};
+pub use tenant::TenantQuota;
 pub use wire::{Frame, RejectReason, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};

@@ -17,9 +17,10 @@
 //!   `concurrency` submitter threads dealt round-robin across them, so a
 //!   handful of sockets carry the whole offered load.
 
-use crate::client::{ClientConfig, ClientError, EugeneClient, MultiplexClient};
+use crate::client::{ClientConfig, ClientError, EugeneClient, MultiplexClient, SubmitOptions};
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
@@ -36,6 +37,17 @@ pub struct ClassSpec {
     pub weight: f64,
     /// Number of f32 elements in each request payload.
     pub payload_len: usize,
+}
+
+/// One tenant identity in the offered mix: requests carry its name on
+/// the wire (per-tenant admission quotas apply) and the report breaks
+/// results down per tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name sent with each submit.
+    pub name: String,
+    /// Relative share of the offered traffic (weights need not sum to 1).
+    pub weight: f64,
 }
 
 /// How the offered load maps onto TCP connections.
@@ -75,6 +87,10 @@ pub struct LoadgenConfig {
     /// the offered load across its ring. `None` sends no keys (a single
     /// gateway, or router fallback to per-connection keys).
     pub keyspace: Option<u64>,
+    /// Tenant mix: when non-empty, each request is attributed to one
+    /// tenant by weight and carries its name on the wire. Empty sends
+    /// anonymous (pre-tenant) submits.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for LoadgenConfig {
@@ -94,6 +110,7 @@ impl Default for LoadgenConfig {
             client: ClientConfig::default(),
             mode: LoadgenMode::PerConnection,
             keyspace: None,
+            tenants: Vec::new(),
         }
     }
 }
@@ -125,6 +142,22 @@ pub struct LoadReport {
     pub reject_rate: f64,
     /// (expired + deadline_exhausted) / requests.
     pub deadline_miss_rate: f64,
+    /// Per-tenant breakdown (empty unless `LoadgenConfig::tenants` was
+    /// set), keyed by tenant name.
+    pub per_tenant: BTreeMap<String, TenantLoadReport>,
+}
+
+/// One tenant's slice of a [`LoadReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantLoadReport {
+    pub requests: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub expired: u64,
+    pub deadline_exhausted: u64,
+    pub errors: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
 }
 
 impl LoadReport {
@@ -151,17 +184,74 @@ struct PlannedRequest {
     payload: Vec<f32>,
     /// Sharding routing key (drawn when `LoadgenConfig::keyspace` is set).
     key: Option<u64>,
+    /// Index into `LoadgenConfig::tenants` (drawn when non-empty).
+    tenant: Option<usize>,
 }
 
-/// Per-worker tally, merged after join.
-#[derive(Default)]
-struct WorkerTally {
+/// One tally bucket: the run total and each tenant row share this shape.
+#[derive(Default, Clone)]
+struct Tally {
+    requests: u64,
     completed: u64,
     rejected: u64,
     expired: u64,
     deadline_exhausted: u64,
     errors: u64,
     latencies_ms: Vec<f64>,
+}
+
+impl Tally {
+    /// Books one request outcome: `Ok((latency_ms, expired))` for an
+    /// answered request, `Err` for the failure classes.
+    fn note(&mut self, outcome: &Result<(f64, bool), ClientError>) {
+        self.requests += 1;
+        match outcome {
+            Ok((latency_ms, expired)) => {
+                self.latencies_ms.push(*latency_ms);
+                if *expired {
+                    self.expired += 1;
+                } else {
+                    self.completed += 1;
+                }
+            }
+            Err(ClientError::Rejected { .. }) => self.rejected += 1,
+            Err(ClientError::DeadlineExhausted) => self.deadline_exhausted += 1,
+            Err(ClientError::Wire(_)) => self.errors += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.requests += other.requests;
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.expired += other.expired;
+        self.deadline_exhausted += other.deadline_exhausted;
+        self.errors += other.errors;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+/// Per-worker tally, merged after join.
+struct WorkerTally {
+    total: Tally,
+    /// One row per configured tenant, indexed like `LoadgenConfig::tenants`.
+    tenants: Vec<Tally>,
+}
+
+impl WorkerTally {
+    fn new(num_tenants: usize) -> Self {
+        Self {
+            total: Tally::default(),
+            tenants: vec![Tally::default(); num_tenants],
+        }
+    }
+
+    fn note(&mut self, tenant: Option<usize>, outcome: &Result<(f64, bool), ClientError>) {
+        self.total.note(outcome);
+        if let Some(i) = tenant {
+            self.tenants[i].note(outcome);
+        }
+    }
 }
 
 /// Runs the configured load against the gateway and reports aggregates.
@@ -195,6 +285,13 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         "class weights must sum to a positive value"
     );
 
+    let tenant_weights: Vec<f64> = config.tenants.iter().map(|t| t.weight).collect();
+    let tenant_weight: f64 = tenant_weights.iter().sum();
+    assert!(
+        config.tenants.is_empty() || tenant_weight > 0.0,
+        "tenant weights must sum to a positive value"
+    );
+
     // Pre-generate the whole schedule so workers only sleep and send.
     let mut schedules: Vec<Vec<PlannedRequest>> = (0..workers).map(|_| Vec::new()).collect();
     let mut clock = Duration::ZERO;
@@ -206,11 +303,14 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
             .map(|_| rng.gen_range(-1.0f32..1.0))
             .collect();
         let key = config.keyspace.map(|k| rng.gen_range(0..k.max(1)));
+        let tenant = (!config.tenants.is_empty())
+            .then(|| weighted_index(&tenant_weights, tenant_weight, rng.gen_range(0.0..1.0)));
         schedules[i % workers].push(PlannedRequest {
             at: clock,
             class,
             payload,
             key,
+            tenant,
         });
     }
 
@@ -237,6 +337,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
     for (worker, schedule) in schedules.into_iter().enumerate() {
         let addr = config.addr.clone();
         let classes = config.classes.clone();
+        let tenants = config.tenants.clone();
         let mut client_config = config.client.clone();
         // Distinct jitter stream per worker, still derived from the seed.
         client_config.seed = config
@@ -251,45 +352,79 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
             std::thread::Builder::new()
                 .name(format!("eugene-loadgen-{worker}"))
                 .spawn(move || match mux {
-                    Some(client) => mux_worker_loop(&client, &classes, schedule, started),
-                    None => worker_loop(&addr, client_config, &classes, schedule, started),
+                    Some(client) => mux_worker_loop(&client, &classes, &tenants, schedule, started),
+                    None => {
+                        worker_loop(&addr, client_config, &classes, &tenants, schedule, started)
+                    }
                 })
                 .expect("spawn loadgen worker"),
         );
     }
 
-    let mut tally = WorkerTally::default();
+    let mut tally = WorkerTally::new(config.tenants.len());
     for handle in handles {
         let part = handle.join().expect("loadgen worker panicked");
-        tally.completed += part.completed;
-        tally.rejected += part.rejected;
-        tally.expired += part.expired;
-        tally.deadline_exhausted += part.deadline_exhausted;
-        tally.errors += part.errors;
-        tally.latencies_ms.extend(part.latencies_ms);
+        tally.total.merge(part.total);
+        for (row, part_row) in tally.tenants.iter_mut().zip(part.tenants) {
+            row.merge(part_row);
+        }
     }
     let elapsed = started.elapsed();
 
-    tally
+    let per_tenant = config
+        .tenants
+        .iter()
+        .zip(tally.tenants.iter_mut())
+        .map(|(spec, row)| {
+            row.latencies_ms
+                .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            (
+                spec.name.clone(),
+                TenantLoadReport {
+                    requests: row.requests,
+                    completed: row.completed,
+                    rejected: row.rejected,
+                    expired: row.expired,
+                    deadline_exhausted: row.deadline_exhausted,
+                    errors: row.errors,
+                    p50_ms: percentile(&row.latencies_ms, 0.50),
+                    p99_ms: percentile(&row.latencies_ms, 0.99),
+                },
+            )
+        })
+        .collect();
+
+    let total = &mut tally.total;
+    total
         .latencies_ms
         .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let requests = config.total_requests as u64;
-    let answered = tally.completed + tally.expired;
+    let answered = total.completed + total.expired;
     LoadReport {
         requests,
-        completed: tally.completed,
-        rejected: tally.rejected,
-        expired: tally.expired,
-        deadline_exhausted: tally.deadline_exhausted,
-        errors: tally.errors,
+        completed: total.completed,
+        rejected: total.rejected,
+        expired: total.expired,
+        deadline_exhausted: total.deadline_exhausted,
+        errors: total.errors,
         elapsed_s: elapsed.as_secs_f64(),
         throughput_rps: answered as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_ms: percentile(&tally.latencies_ms, 0.50),
-        p95_ms: percentile(&tally.latencies_ms, 0.95),
-        p99_ms: percentile(&tally.latencies_ms, 0.99),
-        reject_rate: tally.rejected as f64 / requests.max(1) as f64,
-        deadline_miss_rate: (tally.expired + tally.deadline_exhausted) as f64
+        p50_ms: percentile(&total.latencies_ms, 0.50),
+        p95_ms: percentile(&total.latencies_ms, 0.95),
+        p99_ms: percentile(&total.latencies_ms, 0.99),
+        reject_rate: total.rejected as f64 / requests.max(1) as f64,
+        deadline_miss_rate: (total.expired + total.deadline_exhausted) as f64
             / requests.max(1) as f64,
+        per_tenant,
+    }
+}
+
+/// The wire addressing for one planned request.
+fn submit_options(planned: &PlannedRequest, tenants: &[TenantSpec]) -> SubmitOptions {
+    SubmitOptions {
+        routing_key: planned.key,
+        model: None,
+        tenant: planned.tenant.map(|i| tenants[i].name.clone()),
     }
 }
 
@@ -297,14 +432,16 @@ fn worker_loop(
     addr: &str,
     client_config: ClientConfig,
     classes: &[ClassSpec],
+    tenants: &[TenantSpec],
     schedule: Vec<PlannedRequest>,
     started: Instant,
 ) -> WorkerTally {
-    let mut tally = WorkerTally::default();
+    let mut tally = WorkerTally::new(tenants.len());
     let mut client = match EugeneClient::new(addr, client_config) {
         Ok(client) => client,
         Err(_) => {
-            tally.errors = schedule.len() as u64;
+            tally.total.errors = schedule.len() as u64;
+            tally.total.requests = schedule.len() as u64;
             return tally;
         }
     };
@@ -316,25 +453,17 @@ fn worker_loop(
             std::thread::sleep(planned.at - now);
         }
         let spec = &classes[planned.class];
+        let options = submit_options(&planned, tenants);
         let sent = Instant::now();
-        match client.infer_keyed(
-            &spec.name,
-            &planned.payload,
-            Duration::from_millis(spec.budget_ms),
-            planned.key,
-        ) {
-            Ok(outcome) => {
-                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-                if outcome.expired {
-                    tally.expired += 1;
-                } else {
-                    tally.completed += 1;
-                }
-            }
-            Err(ClientError::Rejected { .. }) => tally.rejected += 1,
-            Err(ClientError::DeadlineExhausted) => tally.deadline_exhausted += 1,
-            Err(ClientError::Wire(_)) => tally.errors += 1,
-        }
+        let outcome = client
+            .infer_with(
+                &spec.name,
+                &planned.payload,
+                Duration::from_millis(spec.budget_ms),
+                &options,
+            )
+            .map(|outcome| (sent.elapsed().as_secs_f64() * 1e3, outcome.expired));
+        tally.note(planned.tenant, &outcome);
     }
     tally
 }
@@ -345,35 +474,28 @@ fn worker_loop(
 fn mux_worker_loop(
     client: &MultiplexClient,
     classes: &[ClassSpec],
+    tenants: &[TenantSpec],
     schedule: Vec<PlannedRequest>,
     started: Instant,
 ) -> WorkerTally {
-    let mut tally = WorkerTally::default();
+    let mut tally = WorkerTally::new(tenants.len());
     for planned in schedule {
         let now = started.elapsed();
         if planned.at > now {
             std::thread::sleep(planned.at - now);
         }
         let spec = &classes[planned.class];
+        let options = submit_options(&planned, tenants);
         let sent = Instant::now();
-        match client.infer_keyed(
-            &spec.name,
-            &planned.payload,
-            Duration::from_millis(spec.budget_ms),
-            planned.key,
-        ) {
-            Ok(outcome) => {
-                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-                if outcome.expired {
-                    tally.expired += 1;
-                } else {
-                    tally.completed += 1;
-                }
-            }
-            Err(ClientError::Rejected { .. }) => tally.rejected += 1,
-            Err(ClientError::DeadlineExhausted) => tally.deadline_exhausted += 1,
-            Err(ClientError::Wire(_)) => tally.errors += 1,
-        }
+        let outcome = client
+            .infer_with(
+                &spec.name,
+                &planned.payload,
+                Duration::from_millis(spec.budget_ms),
+                &options,
+            )
+            .map(|outcome| (sent.elapsed().as_secs_f64() * 1e3, outcome.expired));
+        tally.note(planned.tenant, &outcome);
     }
     tally
 }
@@ -388,6 +510,18 @@ fn weighted_choice(classes: &[ClassSpec], total_weight: f64, u: f64) -> usize {
         }
     }
     classes.len() - 1
+}
+
+/// Picks an index from a raw weight slice given `u` in [0, 1).
+fn weighted_index(weights: &[f64], total_weight: f64, u: f64) -> usize {
+    let mut cut = u * total_weight;
+    for (i, weight) in weights.iter().enumerate() {
+        cut -= weight;
+        if cut < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
 }
 
 /// Nearest-rank percentile over a sorted slice; 0.0 when empty.
@@ -429,6 +563,37 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.99), 99.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn tenant_rows_book_outcomes_alongside_the_total() {
+        let mut tally = WorkerTally::new(2);
+        tally.note(Some(0), &Ok((5.0, false)));
+        tally.note(
+            Some(1),
+            &Err(ClientError::Rejected {
+                retry_after: Duration::from_millis(10),
+                reason: crate::wire::RejectReason::TenantOverQuota,
+            }),
+        );
+        tally.note(None, &Ok((7.0, true)));
+        assert_eq!(tally.total.requests, 3);
+        assert_eq!(tally.total.completed, 1);
+        assert_eq!(tally.total.rejected, 1);
+        assert_eq!(tally.total.expired, 1);
+        assert_eq!(tally.tenants[0].completed, 1);
+        assert_eq!(tally.tenants[0].requests, 1);
+        assert_eq!(tally.tenants[1].rejected, 1);
+        assert_eq!(tally.tenants[1].completed, 0);
+    }
+
+    #[test]
+    fn weighted_index_partitions_the_unit_interval() {
+        let weights = [1.0, 3.0];
+        assert_eq!(weighted_index(&weights, 4.0, 0.0), 0);
+        assert_eq!(weighted_index(&weights, 4.0, 0.24), 0);
+        assert_eq!(weighted_index(&weights, 4.0, 0.26), 1);
+        assert_eq!(weighted_index(&weights, 4.0, 0.999), 1);
     }
 
     #[test]

@@ -10,25 +10,26 @@
 //! backpressure (write interest is enabled only while a queue is
 //! non-empty, so ten thousand idle connections cost zero wakeups).
 //!
-//! The runtime's completion waker
-//! ([`ServingRuntime::set_completion_waker`]) nudges the loop's wakeup
-//! pipe whenever a response or progress event lands in a funnel, so
-//! forwarding latency is event-driven end to end — no polling tick
-//! anywhere.
+//! The registry's completion waker
+//! ([`ModelRegistry::set_completion_waker`]) nudges the loop's wakeup
+//! pipe whenever any model's runtime finishes a response or emits stage
+//! progress, so forwarding latency is event-driven end to end — no
+//! polling tick anywhere.
 //!
-//! Admission ([`try_reserve`]), frame encoding, and
-//! [`GatewayStatus`] accounting are shared with the blocking backend:
-//! the two engines are indistinguishable on the wire.
+//! Admission ([`admit_submit`]), frame encoding, and [`GatewayStatus`]
+//! accounting are shared with the blocking backend: the two engines are
+//! indistinguishable on the wire.
 
 use crate::reactor::{self, Interest, Poller};
 use crate::server::{
-    final_frame, is_transient_accept_error, try_reserve, AdmissionSlot, GatewayConfig,
-    GatewayStatus, ACCEPT_BACKOFF_BASE, ACCEPT_BACKOFF_CAP, ACCEPT_RETRY_LIMIT,
+    admit_submit, final_frame, is_transient_accept_error, GatewayConfig, GatewayStatus, Lease,
+    ACCEPT_BACKOFF_BASE, ACCEPT_BACKOFF_CAP, ACCEPT_RETRY_LIMIT,
 };
+use crate::tenant::TenantGovernor;
 use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
 use crossbeam::channel::{Receiver, Sender};
 use eugene_serve::{
-    InferenceRequest, InferenceResponse, RequestId, ServiceClass, ServingRuntime, StageProgress,
+    InferenceRequest, InferenceResponse, ModelRegistry, RequestId, ServiceClass, StageProgress,
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
@@ -46,14 +47,14 @@ const TOKEN_WAKER: usize = 1;
 /// First token handed to an accepted connection.
 const TOKEN_FIRST_CONN: usize = 2;
 
-/// One queued outbound frame; `slot` rides along on `Final` frames so the
-/// admission reservation is released exactly when the frame has been
-/// written (or the connection died trying).
+/// One queued outbound frame; `lease` rides along on `Final` frames so
+/// the admission reservation(s) are released exactly when the frame has
+/// been written (or the connection died trying).
 struct WriteEntry {
     bytes: Vec<u8>,
     /// Drop guard only — released when the entry is popped (flushed) or
     /// the connection is torn down.
-    _slot: Option<AdmissionSlot>,
+    _lease: Option<Lease>,
 }
 
 /// Per-connection state owned by the event loop.
@@ -109,7 +110,7 @@ impl Conn {
 struct Route {
     token: usize,
     tag: u64,
-    slot: AdmissionSlot,
+    lease: Lease,
 }
 
 /// Starts the event loop; returns its join handle. Fails fast (before
@@ -117,7 +118,8 @@ struct Route {
 /// and wakeup pipe cannot be registered.
 pub(crate) fn spawn(
     listener: TcpListener,
-    runtime: Arc<ServingRuntime>,
+    registry: ModelRegistry,
+    governor: TenantGovernor,
     config: Arc<GatewayConfig>,
     stop: Arc<AtomicBool>,
     status: GatewayStatus,
@@ -127,14 +129,16 @@ pub(crate) fn spawn(
     poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
     poller.register(waker.read_fd(), TOKEN_WAKER, Interest::READ)?;
 
-    // Everything the runtime finishes — responses and stage progress —
-    // lands in these funnels and kicks the wakeup pipe, so the loop
-    // never needs a forwarding-latency poll tick.
+    // Everything any model's runtime finishes — responses and stage
+    // progress — lands in these funnels and kicks the wakeup pipe, so
+    // the loop never needs a forwarding-latency poll tick. The registry
+    // re-applies the waker to models loaded later, so model churn never
+    // drops the nudge.
     let (respond_tx, respond_rx) = crossbeam::channel::unbounded();
     let (progress_tx, progress_rx) = crossbeam::channel::unbounded();
     {
         let waker = waker.clone();
-        runtime.set_completion_waker(Arc::new(move || waker.wake()));
+        registry.set_completion_waker(Arc::new(move || waker.wake()));
     }
 
     status.note_thread_spawned();
@@ -143,7 +147,8 @@ pub(crate) fn spawn(
         listener,
         listener_alive: true,
         waker,
-        runtime,
+        registry,
+        governor,
         config,
         stop,
         status,
@@ -169,7 +174,8 @@ struct Reactor {
     listener: TcpListener,
     listener_alive: bool,
     waker: reactor::Waker,
-    runtime: Arc<ServingRuntime>,
+    registry: ModelRegistry,
+    governor: TenantGovernor,
     config: Arc<GatewayConfig>,
     stop: Arc<AtomicBool>,
     status: GatewayStatus,
@@ -405,6 +411,8 @@ impl Reactor {
             // Steering happens in the sharded front tier; a gateway shard
             // serves whatever lands on it.
             routing_key: _,
+            model,
+            tenant,
         } = submit;
         // A zero budget can never be met (and ServiceClass rejects it):
         // answer expired immediately rather than erroring the connection.
@@ -422,13 +430,19 @@ impl Reactor {
             self.queue_frame(token, &frame, None);
             return;
         }
-        let slot = match try_reserve(&self.config, &self.status, &class) {
-            Ok(slot) => slot,
-            Err(retry_after_ms) => {
+        let lease = match admit_submit(
+            &self.config,
+            &self.status,
+            &self.governor,
+            &class,
+            tenant.as_deref(),
+        ) {
+            Ok(lease) => lease,
+            Err((retry_after_ms, reason)) => {
                 let frame = Frame::Reject {
                     client_tag,
                     retry_after_ms,
-                    reason: wire::RejectReason::Overload,
+                    reason,
                 };
                 self.queue_frame(token, &frame, None);
                 return;
@@ -440,9 +454,21 @@ impl Reactor {
         let request = InferenceRequest::new(payload, service_class);
         let respond_tx = self.respond_tx.clone();
         let progress = want_progress.then(|| self.progress_tx.clone());
-        let id = self
-            .runtime
-            .submit_with_channels(request, respond_tx, progress);
+        let id = match self
+            .registry
+            .submit_to(model.as_deref(), request, respond_tx, progress)
+        {
+            Ok((id, _model)) => id,
+            Err(eugene_serve::RegistryError::UnknownModel(_)) => {
+                let frame = Frame::Reject {
+                    client_tag,
+                    retry_after_ms: 0,
+                    reason: wire::RejectReason::UnknownModel,
+                };
+                self.queue_frame(token, &frame, None);
+                return;
+            }
+        };
         // Single-threaded: the route is registered before the loop can
         // observe the completion, so responses can never orphan here.
         self.routes.insert(
@@ -450,7 +476,7 @@ impl Reactor {
             Route {
                 token,
                 tag: client_tag,
-                slot,
+                lease,
             },
         );
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -483,29 +509,29 @@ impl Reactor {
             let Ok(response) = self.respond_rx.try_recv() else {
                 return;
             };
-            let Some(Route { token, tag, slot }) = self.routes.remove(&response.id) else {
+            let Some(Route { token, tag, lease }) = self.routes.remove(&response.id) else {
                 continue; // connection died before the answer; drop it
             };
             if let Some(conn) = self.conns.get_mut(&token) {
                 conn.in_flight = conn.in_flight.saturating_sub(1);
                 let frame = final_frame(tag, response);
-                self.queue_frame(token, &frame, Some(slot));
+                self.queue_frame(token, &frame, Some(lease));
                 dirty.push(token);
             }
-            // Connection gone: dropping `slot` releases the admission
-            // reservation here instead.
+            // Connection gone: dropping `lease` releases the admission
+            // reservation(s) here instead.
         }
     }
 
     /// Encodes `frame` onto `token`'s write queue and flushes
     /// opportunistically (most frames go out without a poller round).
-    fn queue_frame(&mut self, token: usize, frame: &Frame, slot: Option<AdmissionSlot>) {
+    fn queue_frame(&mut self, token: usize, frame: &Frame, lease: Option<Lease>) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         conn.write.push_back(WriteEntry {
             bytes: wire::encode_frame(frame),
-            _slot: slot,
+            _lease: lease,
         });
         if self.drive_write(token).is_err() {
             self.close_conn(token);

@@ -25,10 +25,13 @@
 //! submits, and the runtime itself is drained last.
 
 use crate::reactor::{self, Interest, Poller};
-use crate::wire::{self, Frame, FrameBuffer, SubmitRequest, WireError, PROTOCOL_VERSION};
+use crate::tenant::{TenantGovernor, TenantQuota, TenantSlot};
+use crate::wire::{
+    self, Frame, FrameBuffer, RejectReason, SubmitRequest, WireError, PROTOCOL_VERSION,
+};
 use eugene_serve::{
-    InferenceRequest, InferenceResponse, RequestId, RuntimeStats, ServiceClass, ServingRuntime,
-    StageProgress,
+    InferenceRequest, InferenceResponse, ModelRegistry, RequestId, RuntimeStats, ServiceClass,
+    ServingRuntime, StageProgress, StatsSnapshot,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -80,6 +83,14 @@ pub struct GatewayConfig {
     pub dispatch_workers: usize,
     /// Connection-handling engine; see [`GatewayBackend`].
     pub backend: GatewayBackend,
+    /// Per-tenant admission quotas, keyed by the trailing `tenant` field
+    /// on `Submit`. Identified tenants not listed here get
+    /// `default_tenant_quota`; requests carrying no tenant ride the
+    /// anonymous class-utility admission path unchanged (see
+    /// [`crate::tenant`]).
+    pub tenant_quotas: HashMap<String, TenantQuota>,
+    /// Quota applied to identified tenants absent from `tenant_quotas`.
+    pub default_tenant_quota: TenantQuota,
 }
 
 impl Default for GatewayConfig {
@@ -92,6 +103,8 @@ impl Default for GatewayConfig {
             read_poll: Duration::from_millis(20),
             dispatch_workers: 2,
             backend: GatewayBackend::Blocking,
+            tenant_quotas: HashMap::new(),
+            default_tenant_quota: TenantQuota::default(),
         }
     }
 }
@@ -243,18 +256,17 @@ impl Drop for AdmissionSlot {
     }
 }
 
-/// Atomically reserves an in-flight slot for `class`, or returns the
-/// reject backoff hint. The load test and CAS happen on the same gauge,
-/// so concurrent submits cannot both observe `hard_cap - 1` and admit —
+/// Atomically reserves an in-flight slot, admitting via `decide` at the
+/// observed load. The load test and CAS happen on the same gauge, so
+/// concurrent submits cannot both observe `hard_cap - 1` and admit —
 /// the read-then-submit TOCTOU of the thread-per-request design.
-pub(crate) fn try_reserve(
-    config: &GatewayConfig,
+fn reserve_with<E>(
     status: &GatewayStatus,
-    class: &str,
-) -> Result<AdmissionSlot, u64> {
+    decide: impl Fn(u64) -> Result<(), E>,
+) -> Result<AdmissionSlot, E> {
     loop {
         let load = status.inner.reserved.load(Ordering::Acquire);
-        config.admit(class, load)?;
+        decide(load)?;
         if status
             .inner
             .reserved
@@ -270,6 +282,61 @@ pub(crate) fn try_reserve(
             });
         }
         // Lost the race to another submit; re-read and re-decide.
+    }
+}
+
+/// The anonymous (tenant-less) admission path: class-utility shedding
+/// between `high_water` and `hard_cap`, reject hint on refusal.
+pub(crate) fn try_reserve(
+    config: &GatewayConfig,
+    status: &GatewayStatus,
+    class: &str,
+) -> Result<AdmissionSlot, u64> {
+    reserve_with(status, |load| config.admit(class, load))
+}
+
+/// Everything one admitted request holds until its `Final` frame is
+/// written: the gateway-wide slot plus, for identified tenants, the
+/// tenant's in-flight unit. Dropping releases both.
+pub(crate) struct Lease {
+    _slot: AdmissionSlot,
+    _tenant: Option<TenantSlot>,
+}
+
+/// The full admission decision for one submit: anonymous requests take
+/// the legacy class-utility path, identified tenants the quota /
+/// weighted-fair-share path (see [`crate::tenant`]). `Err` carries the
+/// reject frame's backoff hint and reason.
+pub(crate) fn admit_submit(
+    config: &GatewayConfig,
+    status: &GatewayStatus,
+    governor: &TenantGovernor,
+    class: &str,
+    tenant: Option<&str>,
+) -> Result<Lease, (u64, RejectReason)> {
+    match tenant {
+        None => match try_reserve(config, status, class) {
+            Ok(slot) => Ok(Lease {
+                _slot: slot,
+                _tenant: None,
+            }),
+            Err(retry_after_ms) => Err((retry_after_ms, RejectReason::Overload)),
+        },
+        Some(name) => {
+            let reserved = reserve_with(status, |load| {
+                governor.decide(name, load, config.high_water, config.hard_cap)
+            });
+            match reserved {
+                Ok(slot) => Ok(Lease {
+                    _slot: slot,
+                    _tenant: Some(governor.begin(name)),
+                }),
+                Err(shed) => {
+                    governor.note_shed(name);
+                    Err((shed.retry_after_ms, shed.reason))
+                }
+            }
+        }
     }
 }
 
@@ -317,29 +384,49 @@ pub struct Gateway {
     waker: reactor::Waker,
     accept_handle: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<ConnSlot>>>,
-    runtime: Option<Arc<ServingRuntime>>,
+    registry: ModelRegistry,
+    governor: TenantGovernor,
     stats: RuntimeStats,
     status: GatewayStatus,
 }
 
 impl Gateway {
-    /// Binds the listener and starts serving `runtime` over TCP.
+    /// Binds the listener and starts serving `runtime` over TCP, as a
+    /// single-model deployment: the runtime is registered under
+    /// [`eugene_serve::DEFAULT_MODEL`] and every submit resolves to it,
+    /// whether or not it names a model.
     pub fn start(runtime: ServingRuntime, config: GatewayConfig) -> io::Result<Self> {
+        Self::start_registry(ModelRegistry::single(runtime), config)
+    }
+
+    /// Binds the listener and serves a whole model registry: each
+    /// submit's trailing model id is resolved against `registry` (its
+    /// dispatcher picks for submits naming none), and models can be
+    /// loaded/unloaded while the gateway is serving. The gateway owns
+    /// the registry's lifecycle — [`Gateway::shutdown`] drains and
+    /// unloads every model.
+    pub fn start_registry(registry: ModelRegistry, config: GatewayConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         // Non-blocking accept on both backends: the serving thread parks
         // in a poller, never in `accept`.
         listener.set_nonblocking(true)?;
-        let stats = runtime.stats();
+        let stats = registry
+            .stats_of(&registry.default_model())
+            .unwrap_or_default();
         let status = GatewayStatus::default();
+        let governor = TenantGovernor::new(
+            config.tenant_quotas.clone(),
+            config.default_tenant_quota.clone(),
+        );
         let backend = config.backend;
-        let runtime = Arc::new(runtime);
         let stop = Arc::new(AtomicBool::new(false));
         let waker = reactor::Waker::new()?;
         let connections: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let config = Arc::new(config);
         let accept_handle = {
-            let runtime = Arc::clone(&runtime);
+            let registry = registry.clone();
+            let governor = governor.clone();
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
             let status = status.clone();
@@ -352,7 +439,8 @@ impl Gateway {
                         .spawn(move || {
                             accept_loop(
                                 listener,
-                                runtime,
+                                registry,
+                                governor,
                                 config,
                                 stop,
                                 connections,
@@ -363,9 +451,9 @@ impl Gateway {
                         })
                         .expect("spawn accept thread")
                 }
-                GatewayBackend::Readiness => {
-                    crate::readiness::spawn(listener, runtime, config, stop, status, waker)?
-                }
+                GatewayBackend::Readiness => crate::readiness::spawn(
+                    listener, registry, governor, config, stop, status, waker,
+                )?,
             }
         };
         Ok(Self {
@@ -375,7 +463,8 @@ impl Gateway {
             waker,
             accept_handle: Some(accept_handle),
             connections,
-            runtime: Some(runtime),
+            registry,
+            governor,
             stats,
             status,
         })
@@ -386,9 +475,33 @@ impl Gateway {
         self.local_addr
     }
 
-    /// Live occupancy gauges of the underlying runtime.
+    /// Live occupancy gauges of the default model's runtime (the whole
+    /// deployment for a single-model gateway; see [`Gateway::snapshot`]
+    /// for the multi-model aggregate).
     pub fn stats(&self) -> RuntimeStats {
         self.stats.clone()
+    }
+
+    /// The model registry this gateway serves; use it to load/unload
+    /// models while the gateway is running.
+    pub fn registry(&self) -> ModelRegistry {
+        self.registry.clone()
+    }
+
+    /// The per-tenant admission governor (shared with the shard router's
+    /// aggregation).
+    pub(crate) fn governor(&self) -> TenantGovernor {
+        self.governor.clone()
+    }
+
+    /// Aggregate deployment snapshot: per-model rows from the registry
+    /// plus per-tenant admission rows from the gateway's governor.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut snapshot = self.registry.snapshot();
+        for (name, row) in self.governor.snapshot() {
+            snapshot.per_tenant.entry(name).or_default().absorb(&row);
+        }
+        snapshot
     }
 
     /// Network-edge gauges: admission reservations, accept health,
@@ -434,12 +547,9 @@ impl Gateway {
         for (_done, handle) in handles {
             let _ = handle.join();
         }
-        if let Some(runtime) = self.runtime.take() {
-            // All connection threads are joined, so this is the last Arc.
-            if let Ok(runtime) = Arc::try_unwrap(runtime) {
-                runtime.shutdown();
-            }
-        }
+        // All connection threads are joined: nothing submits anymore, so
+        // draining the registry (idempotent) is race-free.
+        self.registry.shutdown();
     }
 }
 
@@ -457,7 +567,8 @@ const TOKEN_WAKER: usize = 1;
 #[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
-    runtime: Arc<ServingRuntime>,
+    registry: ModelRegistry,
+    governor: TenantGovernor,
     config: Arc<GatewayConfig>,
     stop: Arc<AtomicBool>,
     connections: Arc<Mutex<Vec<ConnSlot>>>,
@@ -492,7 +603,8 @@ fn accept_loop(
                 Ok((stream, _peer)) => {
                     consecutive_errors = 0;
                     backoff = ACCEPT_BACKOFF_BASE;
-                    let runtime = Arc::clone(&runtime);
+                    let registry = registry.clone();
+                    let governor = governor.clone();
                     let stop = Arc::clone(&stop);
                     let config = Arc::clone(&config);
                     let status = status.clone();
@@ -504,7 +616,8 @@ fn accept_loop(
                     let handle = std::thread::Builder::new()
                         .name("eugene-gateway-conn".to_owned())
                         .spawn(move || {
-                            let _ = serve_connection(stream, runtime, config, stop, &status);
+                            let _ =
+                                serve_connection(stream, registry, governor, config, stop, &status);
                             status.note_connection_closed();
                             // Flag completion *before* waking the accept
                             // loop, so the reap pass the wake triggers is
@@ -599,7 +712,7 @@ fn send(writer: &SharedWriter, frame: &Frame) -> Result<(), WireError> {
 struct TrackRequest {
     id: RequestId,
     tag: u64,
-    slot: AdmissionSlot,
+    lease: Lease,
 }
 
 /// One dispatcher worker's channel set, held by the connection reader.
@@ -612,7 +725,8 @@ struct Dispatcher {
 
 fn serve_connection(
     mut stream: TcpStream,
-    runtime: Arc<ServingRuntime>,
+    registry: ModelRegistry,
+    governor: TenantGovernor,
     config: Arc<GatewayConfig>,
     stop: Arc<AtomicBool>,
     status: &GatewayStatus,
@@ -684,7 +798,9 @@ fn serve_connection(
             Frame::Submit(submit) => {
                 let dispatcher = &dispatchers[submits % pool_size];
                 submits += 1;
-                handle_submit(submit, &runtime, &config, status, &writer, dispatcher);
+                handle_submit(
+                    submit, &registry, &governor, &config, status, &writer, dispatcher,
+                );
             }
             Frame::Ping { nonce } => {
                 let _ = send(&writer, &Frame::Pong { nonce });
@@ -716,7 +832,8 @@ fn serve_connection(
 
 fn handle_submit(
     submit: SubmitRequest,
-    runtime: &Arc<ServingRuntime>,
+    registry: &ModelRegistry,
+    governor: &TenantGovernor,
     config: &GatewayConfig,
     status: &GatewayStatus,
     writer: &SharedWriter,
@@ -732,6 +849,8 @@ fn handle_submit(
         // one shard, so the key has already done its job by the time a
         // submit arrives here.
         routing_key: _,
+        model,
+        tenant,
     } = submit;
     // A zero budget can never be met (and ServiceClass rejects it):
     // answer expired immediately rather than erroring the connection.
@@ -751,15 +870,15 @@ fn handle_submit(
         );
         return;
     }
-    let slot = match try_reserve(config, status, &class) {
-        Ok(slot) => slot,
-        Err(retry_after_ms) => {
+    let lease = match admit_submit(config, status, governor, &class, tenant.as_deref()) {
+        Ok(lease) => lease,
+        Err((retry_after_ms, reason)) => {
             let _ = send(
                 writer,
                 &Frame::Reject {
                     client_tag,
                     retry_after_ms,
-                    reason: wire::RejectReason::Overload,
+                    reason,
                 },
             );
             return;
@@ -772,13 +891,28 @@ fn handle_submit(
     let request = InferenceRequest::new(payload, service_class);
     let respond_tx = dispatcher.respond_tx.clone();
     let progress = want_progress.then(|| dispatcher.progress_tx.clone());
-    let id = runtime.submit_with_channels(request, respond_tx, progress);
+    let id = match registry.submit_to(model.as_deref(), request, respond_tx, progress) {
+        Ok((id, _model)) => id,
+        Err(eugene_serve::RegistryError::UnknownModel(_)) => {
+            // Not retryable against the current registry state, so the
+            // backoff hint is zero; the lease releases here.
+            let _ = send(
+                writer,
+                &Frame::Reject {
+                    client_tag,
+                    retry_after_ms: 0,
+                    reason: wire::RejectReason::UnknownModel,
+                },
+            );
+            return;
+        }
+    };
     // The response can already be racing down the funnel; the dispatcher
     // parks it as an orphan until this registration arrives.
     let _ = dispatcher.track_tx.send(TrackRequest {
         id,
         tag: client_tag,
-        slot,
+        lease,
     });
 }
 
@@ -802,7 +936,7 @@ fn dispatcher_loop(
 
     struct Tracked {
         tag: u64,
-        slot: AdmissionSlot,
+        lease: Lease,
     }
 
     let mut tracked: HashMap<RequestId, Tracked> = HashMap::new();
@@ -848,7 +982,7 @@ fn dispatcher_loop(
     }
 
     macro_rules! finalize {
-        ($id:expr, $tag:expr, $response:expr, $slot:expr) => {{
+        ($id:expr, $tag:expr, $response:expr, $lease:expr) => {{
             // Everything this request streamed is already queued (stage
             // reports are enqueued strictly before the response): drain
             // the funnel so its StageUpdates precede its Final.
@@ -861,22 +995,22 @@ fn dispatcher_loop(
             if writer_alive && send(&writer, &final_frame($tag, $response)).is_err() {
                 writer_alive = false;
             }
-            drop($slot); // release the admission reservation
+            drop($lease); // release the admission reservation(s)
         }};
     }
 
     macro_rules! register {
         ($req:expr) => {{
-            let TrackRequest { id, tag, slot } = $req;
+            let TrackRequest { id, tag, lease } = $req;
             if let Some(response) = orphan_responses.remove(&id) {
-                finalize!(id, tag, response, slot);
+                finalize!(id, tag, response, lease);
             } else {
                 if let Some(events) = orphan_progress.remove(&id) {
                     for event in &events {
                         forward_progress(tag, event, &writer, &mut writer_alive);
                     }
                 }
-                tracked.insert(id, Tracked { tag, slot });
+                tracked.insert(id, Tracked { tag, lease });
             }
         }};
     }
@@ -955,7 +1089,7 @@ fn dispatcher_loop(
             Wake::Progress(Ok(event)) => route_progress!(event),
             Wake::Progress(Err(RecvError)) => progress_open = false,
             Wake::Respond(Ok(response)) => match tracked.remove(&response.id) {
-                Some(Tracked { tag, slot }) => finalize!(response.id, tag, response, slot),
+                Some(Tracked { tag, lease }) => finalize!(response.id, tag, response, lease),
                 None => {
                     orphan_responses.insert(response.id, response);
                 }
@@ -1096,12 +1230,13 @@ mod tests {
 
         let config = GatewayConfig::default();
         let status = GatewayStatus::default();
-        let slot = try_reserve(&config, &status, "test").expect("reserve");
+        let governor = TenantGovernor::new(HashMap::new(), TenantQuota::default());
+        let lease = admit_submit(&config, &status, &governor, "test", None).expect("reserve");
         track_tx
             .send(TrackRequest {
                 id: 7,
                 tag: 42,
-                slot,
+                lease,
             })
             .expect("track");
 

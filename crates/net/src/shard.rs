@@ -29,8 +29,9 @@
 
 use crate::reactor::{self, Interest, Poller};
 use crate::server::{Gateway, GatewayConfig, GatewayStatus};
+use crate::tenant::TenantGovernor;
 use crate::wire::{self, Frame, FrameBuffer, RejectReason, WireError, PROTOCOL_VERSION};
-use eugene_serve::{RuntimeStats, ServingRuntime, StatsSnapshot};
+use eugene_serve::{ModelRegistry, RuntimeStats, ServingRuntime, StatsSnapshot};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::io;
@@ -289,6 +290,14 @@ struct ShardSlot {
     addr: Mutex<SocketAddr>,
     stats: Mutex<RuntimeStats>,
     status: Mutex<GatewayStatus>,
+    /// The shard's model registry and tenant governor, held beyond the
+    /// gateway itself so per-model/per-tenant rows keep aggregating (and
+    /// survive) across a kill.
+    registry: Mutex<ModelRegistry>,
+    governor: Mutex<TenantGovernor>,
+    /// Counters of this slot's pre-revival generations, folded in when a
+    /// revive replaces the registry/governor handles.
+    retired: Mutex<StatsSnapshot>,
     alive: AtomicBool,
     /// Live proxy connections into this shard, severed on death.
     upstreams: Mutex<Vec<Weak<UpstreamShared>>>,
@@ -358,6 +367,9 @@ impl ShardRouter {
                 addr: Mutex::new(gateway.local_addr()),
                 stats: Mutex::new(gateway.stats()),
                 status: Mutex::new(gateway.status()),
+                registry: Mutex::new(gateway.registry()),
+                governor: Mutex::new(gateway.governor()),
+                retired: Mutex::new(StatsSnapshot::default()),
                 alive: AtomicBool::new(true),
                 upstreams: Mutex::new(Vec::new()),
                 gateway: Mutex::new(Some(gateway)),
@@ -445,10 +457,21 @@ impl ShardRouter {
         self.shared.slots[index].status.lock().clone()
     }
 
-    /// Aggregate runtime occupancy across all shards.
+    /// Aggregate snapshot across all shards: totals plus per-model and
+    /// per-tenant rows merged by name. Rows of a killed shard keep
+    /// contributing (its registry and governor outlive the gateway), and
+    /// a revive folds the killed generation into a retained baseline — so
+    /// counters never regress across a kill/revive cycle.
     pub fn aggregate_stats(&self) -> StatsSnapshot {
-        let stats = self.shard_stats();
-        StatsSnapshot::aggregate(stats.iter())
+        let mut total = StatsSnapshot::default();
+        for slot in &self.shared.slots {
+            total.absorb(&slot.retired.lock());
+            total.absorb(&slot.registry.lock().snapshot());
+            for (name, row) in slot.governor.lock().snapshot() {
+                total.per_tenant.entry(name).or_default().absorb(&row);
+            }
+        }
+        total
     }
 
     /// `ShardLost` rejects the router has synthesized so far.
@@ -492,6 +515,18 @@ impl ShardRouter {
         *slot.addr.lock() = gateway.local_addr();
         *slot.stats.lock() = gateway.stats();
         *slot.status.lock() = gateway.status();
+        // Fold the killed generation's counters into the slot's retired
+        // baseline before its handles are replaced, so aggregate rows
+        // never regress across a kill/revive cycle.
+        {
+            let mut retired = slot.retired.lock();
+            retired.absorb(&slot.registry.lock().snapshot());
+            for (name, row) in slot.governor.lock().snapshot() {
+                retired.per_tenant.entry(name).or_default().absorb(&row);
+            }
+        }
+        *slot.registry.lock() = gateway.registry();
+        *slot.governor.lock() = gateway.governor();
         *slot.gateway.lock() = Some(gateway);
         slot.alive.store(true, Ordering::Release);
         self.shared.ring.write().insert(index);

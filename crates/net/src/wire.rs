@@ -62,6 +62,16 @@ pub struct SubmitRequest {
     /// trailing optional field, so pre-sharding peers interoperate: a
     /// payload that ends before this field decodes as `None`.
     pub routing_key: Option<u64>,
+    /// Registry addressing: which named model this request targets. A
+    /// multi-model gateway resolves it against its model registry;
+    /// `None` (and any single-model gateway) means "the default model".
+    /// Trailing optional field like `routing_key`: payloads that end
+    /// before it decode as `None`, so pre-registry peers interoperate.
+    pub model: Option<String>,
+    /// Tenant identity for per-tenant admission quotas and fair shedding.
+    /// `None` rides the anonymous legacy admission path. Trailing
+    /// optional field after `model`; same lenient decoding.
+    pub tenant: Option<String>,
 }
 
 /// Why a submit was answered with [`Frame::Reject`].
@@ -79,6 +89,14 @@ pub enum RejectReason {
     /// available). The request was *not* served; retrying opens a fresh
     /// session that the router admits onto a surviving shard.
     ShardLost,
+    /// The submit named a model the gateway's registry does not currently
+    /// hold (never loaded, or unloaded while the request was in transit).
+    /// Not retryable against the same registry state.
+    UnknownModel,
+    /// The tenant named on the submit is over its per-tenant in-flight
+    /// quota (or its weighted fair share under overload); other tenants'
+    /// traffic is unaffected. Retry after the hinted backoff.
+    TenantOverQuota,
 }
 
 impl RejectReason {
@@ -86,6 +104,8 @@ impl RejectReason {
         match self {
             RejectReason::Overload => 0,
             RejectReason::ShardLost => 1,
+            RejectReason::UnknownModel => 2,
+            RejectReason::TenantOverQuota => 3,
         }
     }
 
@@ -93,6 +113,8 @@ impl RejectReason {
         match byte {
             0 => Ok(RejectReason::Overload),
             1 => Ok(RejectReason::ShardLost),
+            2 => Ok(RejectReason::UnknownModel),
+            3 => Ok(RejectReason::TenantOverQuota),
             _ => Err(WireError::Malformed("reject reason byte out of range")),
         }
     }
@@ -308,6 +330,16 @@ impl ByteWriter {
             None => self.bool(false),
         }
     }
+
+    fn opt_string(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.bool(true);
+                self.string(s);
+            }
+            None => self.bool(false),
+        }
+    }
 }
 
 fn encode_payload(frame: &Frame) -> Vec<u8> {
@@ -322,6 +354,8 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.bool(req.want_progress);
             w.vec_f32(&req.payload);
             w.opt_u64(req.routing_key);
+            w.opt_string(req.model.as_deref());
+            w.opt_string(req.tenant.as_deref());
         }
         Frame::StageUpdate {
             client_tag,
@@ -476,6 +510,14 @@ impl<'a> ByteReader<'a> {
         })
     }
 
+    fn opt_string(&mut self) -> Result<Option<String>, WireError> {
+        Ok(if self.bool()? {
+            Some(self.string()?)
+        } else {
+            None
+        })
+    }
+
     fn finish(&self) -> Result<(), WireError> {
         if self.remaining() == 0 {
             Ok(())
@@ -504,6 +546,19 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
                 None
             } else {
                 r.opt_u64()?
+            },
+            // Trailing optional fields again: peers that predate the model
+            // registry / tenant quotas end the payload earlier, which
+            // decodes as "default model" / "anonymous tenant".
+            model: if r.remaining() == 0 {
+                None
+            } else {
+                r.opt_string()?
+            },
+            tenant: if r.remaining() == 0 {
+                None
+            } else {
+                r.opt_string()?
             },
         }),
         4 => Frame::StageUpdate {
@@ -670,6 +725,8 @@ mod tests {
                 want_progress: true,
                 payload: vec![0.25, -1.5, 3.75],
                 routing_key: Some(0xFEED_F00D),
+                model: Some("resnet-compressed".to_owned()),
+                tenant: Some("acme".to_owned()),
             }),
             Frame::Submit(SubmitRequest {
                 client_tag: 44,
@@ -678,6 +735,8 @@ mod tests {
                 want_progress: false,
                 payload: vec![],
                 routing_key: None,
+                model: None,
+                tenant: None,
             }),
             Frame::StageUpdate {
                 client_tag: 42,
@@ -714,6 +773,16 @@ mod tests {
                 client_tag: 10,
                 retry_after_ms: 25,
                 reason: RejectReason::ShardLost,
+            },
+            Frame::Reject {
+                client_tag: 11,
+                retry_after_ms: 0,
+                reason: RejectReason::UnknownModel,
+            },
+            Frame::Reject {
+                client_tag: 12,
+                retry_after_ms: 15,
+                reason: RejectReason::TenantOverQuota,
             },
             Frame::Ping { nonce: 0xDEAD },
             Frame::Pong { nonce: 0xDEAD },
@@ -752,6 +821,8 @@ mod tests {
             want_progress: false,
             payload: vec![1.0; 16],
             routing_key: Some(3),
+            model: Some("full".to_owned()),
+            tenant: Some("t".to_owned()),
         }));
         for cut in 0..bytes.len() {
             let err = decode_frame(&bytes[..cut]).expect_err("truncation detected");
@@ -858,6 +929,8 @@ mod tests {
             want_progress: true,
             payload: vec![1.0, 2.0],
             routing_key: None,
+            model: None,
+            tenant: None,
         });
         let mut reader = Dribble {
             bytes: encode_frame(&frame),
@@ -948,8 +1021,64 @@ mod tests {
                 want_progress: true,
                 payload: vec![1.5],
                 routing_key: None,
+                model: None,
+                tenant: None,
             })
         );
+    }
+
+    #[test]
+    fn pre_registry_submit_with_routing_key_decodes_without_model_or_tenant() {
+        // A PR-5-era Submit ends right after the optional routing key;
+        // model and tenant must decode as None.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes()); // client_tag
+        payload.extend_from_slice(&1u32.to_le_bytes()); // class len
+        payload.push(b'x');
+        payload.extend_from_slice(&5u64.to_le_bytes()); // budget_ms
+        payload.push(0); // want_progress
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty vec
+        payload.push(1); // routing key present
+        payload.extend_from_slice(&99u64.to_le_bytes());
+        let (frame, _) = decode_frame(&frame_bytes(3, &payload)).expect("pre-registry decodes");
+        assert_eq!(
+            frame,
+            Frame::Submit(SubmitRequest {
+                client_tag: 7,
+                class: "x".to_owned(),
+                budget_ms: 5,
+                want_progress: false,
+                payload: vec![],
+                routing_key: Some(99),
+                model: None,
+                tenant: None,
+            })
+        );
+    }
+
+    #[test]
+    fn submit_ending_after_model_decodes_tenant_as_none() {
+        // A payload carrying a model id but stopping before the tenant
+        // field (a peer that knows models but not tenants) still decodes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes()); // client_tag
+        payload.extend_from_slice(&1u32.to_le_bytes()); // class len
+        payload.push(b'x');
+        payload.extend_from_slice(&5u64.to_le_bytes()); // budget_ms
+        payload.push(0); // want_progress
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty vec
+        payload.push(0); // routing key absent
+        payload.push(1); // model present
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(b"m1");
+        let (frame, _) = decode_frame(&frame_bytes(3, &payload)).expect("model-only decodes");
+        match frame {
+            Frame::Submit(req) => {
+                assert_eq!(req.model.as_deref(), Some("m1"));
+                assert_eq!(req.tenant, None);
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,6 +12,15 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Model / tenant names over an alphabet that includes non-ASCII, so the
+/// trailing addressing fields are fuzzed as arbitrary UTF-8, not just
+/// identifiers.
+fn name_strategy() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &['a', 'z', '0', '9', '-', '_', '\u{3b1}', '\u{65e5}'];
+    prop::collection::vec(0usize..ALPHABET.len(), 1..12)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
 proptest! {
     /// Arbitrary bytes must never panic the decoder — they either decode
     /// or produce a typed error.
@@ -35,6 +44,8 @@ proptest! {
             want_progress: tag % 2 == 0,
             payload: vec![1.0, -2.5, 3.75],
             routing_key: Some(tag ^ 0xABCD),
+            model: if tag % 3 == 0 { None } else { Some("variant-b".to_owned()) },
+            tenant: if budget % 2 == 0 { Some("acme".to_owned()) } else { None },
         }));
         let pos = flip_pos as usize % bytes.len();
         bytes[pos] ^= 1 << flip_bit;
@@ -52,18 +63,23 @@ proptest! {
             want_progress: true,
             payload: vec![0.5; 16],
             routing_key: Some(7),
+            model: Some("full".to_owned()),
+            tenant: Some("tenant-a".to_owned()),
         }));
         let cut = cut as usize % bytes.len();
         prop_assert!(decode_frame(&bytes[..cut]).is_err(), "prefix must not decode");
     }
 
-    /// Submit frames round-trip exactly through encode/decode.
+    /// Submit frames round-trip exactly through encode/decode — including
+    /// the trailing model / tenant addressing fields.
     #[test]
     fn submit_roundtrips(
         tag in any::<u64>(),
         budget in any::<u64>(),
         want_progress in any::<bool>(),
         payload in prop::collection::vec(-1000.0f32..1000.0, 0..32),
+        model in prop::option::of(name_strategy()),
+        tenant in prop::option::of(name_strategy()),
     ) {
         let frame = Frame::Submit(SubmitRequest {
             client_tag: tag,
@@ -72,11 +88,51 @@ proptest! {
             want_progress,
             payload,
             routing_key: if tag % 2 == 0 { Some(tag) } else { None },
+            model,
+            tenant,
         });
         let bytes = encode_frame(&frame);
         let (decoded, used) = decode_frame(&bytes).expect("own encoding decodes");
         prop_assert_eq!(used, bytes.len());
         prop_assert_eq!(decoded, frame);
+    }
+
+    /// v1 interop: a peer that predates the model registry ends the
+    /// Submit payload after the routing key (or even before it). Both
+    /// legacy shapes must decode as "default model, anonymous tenant",
+    /// whatever the rest of the frame holds.
+    #[test]
+    fn legacy_submits_without_trailing_fields_still_decode(
+        tag in any::<u64>(),
+        budget in any::<u64>(),
+        payload in prop::collection::vec(-1000.0f32..1000.0, 0..16),
+        keyed in any::<bool>(),
+        drop_routing_key_too in any::<bool>(),
+    ) {
+        let full = Frame::Submit(SubmitRequest {
+            client_tag: tag,
+            class: "legacy".to_owned(),
+            budget_ms: budget,
+            want_progress: false,
+            payload,
+            routing_key: if keyed && !drop_routing_key_too { Some(tag) } else { None },
+            model: None,
+            tenant: None,
+        });
+        let mut bytes = encode_frame(&full);
+        // Strip the trailing absent-field tags a legacy encoder never
+        // writes: model + tenant (2 bytes), optionally routing_key too
+        // (1 more byte when None), then re-seal length + checksum.
+        let strip = if drop_routing_key_too { 3 } else { 2 };
+        bytes.truncate(bytes.len() - strip);
+        let len = (bytes.len() - 12) as u32;
+        bytes[4..8].copy_from_slice(&len.to_le_bytes());
+        let sum = eugene_net::wire::checksum(&bytes[12..]);
+        bytes[8..12].copy_from_slice(&sum.to_le_bytes());
+
+        let (decoded, used) = decode_frame(&bytes).expect("legacy frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, full);
     }
 }
 

@@ -101,6 +101,8 @@ fn stage_updates_stream_during_execution() {
             want_progress: true,
             payload: vec![3.0],
             routing_key: None,
+            model: None,
+            tenant: None,
         }),
     )
     .expect("submit");

@@ -35,6 +35,7 @@ mod daemon;
 mod engine;
 mod pipe;
 mod pool;
+mod registry;
 mod request;
 mod runtime;
 mod stats;
@@ -44,6 +45,7 @@ pub use daemon::DeadlineDaemon;
 pub use engine::{EngineSession, InferenceEngine, StageReport};
 pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;
+pub use registry::{ModelRegistry, RegistryError, VariantDispatcher, DEFAULT_MODEL};
 pub use request::{InferenceRequest, InferenceResponse, RequestId, ServiceClass};
 pub use runtime::{CompletionWaker, RuntimeConfig, ServingRuntime};
-pub use stats::{RuntimeStats, StatsSnapshot};
+pub use stats::{ModelBreakdown, RuntimeStats, StatsSnapshot, TenantBreakdown};

@@ -88,9 +88,14 @@ type BatchMember = (
 /// # Examples
 ///
 /// See `examples/serving_pipeline.rs` at the repository root.
+/// Process-wide request-id source. Ids must be unique across *all*
+/// runtimes, not just within one: a model registry funnels many
+/// runtimes' responses into shared channels that demultiplex by id, so
+/// per-runtime counters would collide.
+static NEXT_REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 pub struct ServingRuntime {
     submit_tx: Option<Sender<Submission>>,
-    next_id: std::sync::atomic::AtomicU64,
     progress_rx: Receiver<StageProgress>,
     ledger: UsageLedger,
     stats: RuntimeStats,
@@ -131,7 +136,6 @@ impl ServingRuntime {
         };
         Self {
             submit_tx: Some(submit_tx),
-            next_id: std::sync::atomic::AtomicU64::new(0),
             progress_rx,
             ledger,
             stats,
@@ -209,9 +213,7 @@ impl ServingRuntime {
         respond: Sender<InferenceResponse>,
         progress: Option<Sender<StageProgress>>,
     ) -> RequestId {
-        let id = self
-            .next_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = NEXT_REQUEST_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.stats.note_submitted();
         self.submit_tx
             .as_ref()
@@ -785,13 +787,16 @@ mod tests {
     fn many_concurrent_requests_all_answered() {
         let rt = runtime(vec![0.6, 0.9], 1, RuntimeConfig::default());
         let receivers: Vec<_> = (0..20)
-            .map(|i| rt.submit(InferenceRequest::new(vec![i as f32], class(10_000))))
+            .map(|i| {
+                let (id, rx) = rt.submit(InferenceRequest::new(vec![i as f32], class(10_000)));
+                (i, id, rx)
+            })
             .collect();
-        for (id, rx) in receivers {
+        for (i, id, rx) in receivers {
             let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
             assert_eq!(response.id, id);
             assert_eq!(response.stages_executed, 2);
-            assert_eq!(response.predicted, Some(id as usize));
+            assert_eq!(response.predicted, Some(i));
         }
         rt.shutdown();
     }

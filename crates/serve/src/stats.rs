@@ -1,3 +1,4 @@
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -147,7 +148,58 @@ impl RuntimeStats {
             batched_stage_executions: self.batched_stage_executions(),
             peak_batch_occupancy: self.peak_batch_occupancy(),
             singleton_dispatches: self.singleton_dispatches(),
+            per_model: BTreeMap::new(),
+            per_tenant: BTreeMap::new(),
         }
+    }
+}
+
+/// Per-model slice of an aggregate snapshot: the gauges of one named
+/// registry entry, cumulative across reloads of the same name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelBreakdown {
+    pub submitted: u64,
+    pub completed: u64,
+    pub in_flight: u64,
+    pub fused_batches: u64,
+}
+
+impl ModelBreakdown {
+    /// Reads one runtime's gauges into a breakdown row.
+    pub fn of(stats: &RuntimeStats) -> Self {
+        Self {
+            submitted: stats.submitted(),
+            completed: stats.completed(),
+            in_flight: stats.in_flight(),
+            fused_batches: stats.fused_batches(),
+        }
+    }
+
+    /// Sums another row into this one (same-name rows across shards or
+    /// across a model's reload generations).
+    pub fn absorb(&mut self, other: &ModelBreakdown) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.in_flight += other.in_flight;
+        self.fused_batches += other.fused_batches;
+    }
+}
+
+/// Per-tenant slice of an aggregate snapshot: what the gateway's
+/// admission layer admitted and shed for one tenant identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantBreakdown {
+    pub admitted: u64,
+    pub shed: u64,
+    pub in_flight: u64,
+}
+
+impl TenantBreakdown {
+    /// Sums another row into this one.
+    pub fn absorb(&mut self, other: &TenantBreakdown) {
+        self.admitted += other.admitted;
+        self.shed += other.shed;
+        self.in_flight += other.in_flight;
     }
 }
 
@@ -157,8 +209,10 @@ impl RuntimeStats {
 /// across shards ([`StatsSnapshot::absorb`] / [`StatsSnapshot::aggregate`])
 /// without racing the runtimes that keep updating the originals. Counters
 /// add; `peak_batch_occupancy` takes the max (a peak across shards is the
-/// largest any one shard fused, not a sum).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// largest any one shard fused, not a sum). The `per_model` / `per_tenant`
+/// breakdowns merge by name, so aggregating shard snapshots yields one row
+/// per model and per tenant across the whole deployment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub submitted: u64,
     pub completed: u64,
@@ -169,11 +223,16 @@ pub struct StatsSnapshot {
     pub batched_stage_executions: u64,
     pub peak_batch_occupancy: usize,
     pub singleton_dispatches: u64,
+    /// One row per registry model (empty for a bare runtime snapshot).
+    pub per_model: BTreeMap<String, ModelBreakdown>,
+    /// One row per tenant the gateway admission layer has seen (empty
+    /// below the gateway layer).
+    pub per_tenant: BTreeMap<String, TenantBreakdown>,
 }
 
 impl StatsSnapshot {
     /// Folds another snapshot into this one (summing counters, maxing the
-    /// peak gauge).
+    /// peak gauge, merging the per-model / per-tenant rows by name).
     pub fn absorb(&mut self, other: &StatsSnapshot) {
         self.submitted += other.submitted;
         self.completed += other.completed;
@@ -184,6 +243,12 @@ impl StatsSnapshot {
         self.batched_stage_executions += other.batched_stage_executions;
         self.peak_batch_occupancy = self.peak_batch_occupancy.max(other.peak_batch_occupancy);
         self.singleton_dispatches += other.singleton_dispatches;
+        for (name, row) in &other.per_model {
+            self.per_model.entry(name.clone()).or_default().absorb(row);
+        }
+        for (name, row) in &other.per_tenant {
+            self.per_tenant.entry(name.clone()).or_default().absorb(row);
+        }
     }
 
     /// Sums a set of per-runtime stats handles into one aggregate view.
@@ -270,5 +335,57 @@ mod tests {
         assert_eq!(total.batched_stage_executions, 6);
         assert_eq!(total.peak_batch_occupancy, 4, "peak is a max, not a sum");
         assert_eq!(total.singleton_dispatches, 1);
+    }
+
+    #[test]
+    fn breakdown_rows_merge_by_name() {
+        let mut a = StatsSnapshot::default();
+        a.per_model.insert(
+            "full".to_owned(),
+            ModelBreakdown {
+                submitted: 4,
+                completed: 3,
+                in_flight: 1,
+                fused_batches: 2,
+            },
+        );
+        a.per_tenant.insert(
+            "acme".to_owned(),
+            TenantBreakdown {
+                admitted: 4,
+                shed: 1,
+                in_flight: 1,
+            },
+        );
+        let mut b = StatsSnapshot::default();
+        b.per_model.insert(
+            "full".to_owned(),
+            ModelBreakdown {
+                submitted: 6,
+                completed: 6,
+                in_flight: 0,
+                fused_batches: 1,
+            },
+        );
+        b.per_model
+            .insert("compressed".to_owned(), ModelBreakdown::default());
+        b.per_tenant.insert(
+            "zenith".to_owned(),
+            TenantBreakdown {
+                admitted: 2,
+                shed: 0,
+                in_flight: 0,
+            },
+        );
+
+        a.absorb(&b);
+        assert_eq!(a.per_model.len(), 2, "rows union across snapshots");
+        let full = &a.per_model["full"];
+        assert_eq!(full.submitted, 10);
+        assert_eq!(full.completed, 9);
+        assert_eq!(full.fused_batches, 3);
+        assert_eq!(a.per_tenant.len(), 2);
+        assert_eq!(a.per_tenant["acme"].admitted, 4);
+        assert_eq!(a.per_tenant["zenith"].admitted, 2);
     }
 }

@@ -24,13 +24,15 @@ cargo test --workspace -q --offline
 # reaping, >=64 interleaved in-flight tags on one connection, the
 # readiness-backend parity suite, the event-driven latency bounds (no
 # accept sleep, no dispatcher forwarding tick), the shard fault-injection
-# suite (ShardLost on kill, survivors keep serving, both backends), and
-# the consistent-hash ring property suite (bounded remap, exact restore,
-# restart determinism).
-echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test ring_properties -q"
+# suite (ShardLost on kill, survivors keep serving, both backends), the
+# consistent-hash ring property suite (bounded remap, exact restore,
+# restart determinism), the registry lifecycle suite (load/unload with
+# requests in flight, both backends), and the per-tenant admission suite
+# (hard caps, weighted fair shedding).
+echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test ring_properties --test registry_lifecycle --test tenants -q"
 cargo test -p eugene-net -q --offline \
   --test churn --test multiplex --test stale_frames --test readiness --test latency \
-  --test shard_faults --test ring_properties
+  --test shard_faults --test ring_properties --test registry_lifecycle --test tenants
 
 # Kernel regressions, named explicitly for the same reason: the blocked/
 # parallel matmul paths must stay bitwise-equal to the naive references
@@ -52,5 +54,12 @@ cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quic
 # ShardRouter at N=1 and N=2 shards; asserts two shards beat one.
 echo "==> gateway_throughput --quick --sharded"
 cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --sharded
+
+# Multi-tenant smoke: a rogue tenant at 4x the compliant tenant's rate
+# must shed its own traffic (compliant p99 inside SLO, zero errors), and
+# the two-variant registry must beat both single-variant deployments on
+# utility at equal compute.
+echo "==> gateway_throughput --quick --tenants"
+cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --tenants
 
 echo "CI gate passed."

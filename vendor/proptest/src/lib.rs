@@ -343,9 +343,35 @@ pub mod collection {
     }
 }
 
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Some with probability 3/4, as in the real crate's default.
+        if rng.next_u64() & 3 != 0 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+pub mod option {
+    use super::{OptionStrategy, Strategy};
+
+    /// Strategy producing `Option`s of `inner`'s values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// `prop::` namespace as re-exported by the real crate's prelude.
 pub mod prop {
-    pub use crate::collection;
+    pub use crate::{collection, option};
 }
 
 // ---------------------------------------------------------------------
