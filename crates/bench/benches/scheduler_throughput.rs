@@ -25,7 +25,7 @@ fn views(n: usize, observed: &[Vec<f32>]) -> Vec<TaskView<'_>> {
             num_stages: 3,
             observed: &observed[i],
             admitted_at: 0,
-            deadline_at: 10,
+            deadline_remaining_ms: 10,
             remaining_quanta: 10,
         })
         .collect()

@@ -42,11 +42,19 @@
 //!
 //! Writes `results/gateway_throughput.json`.
 //!
+//! An overload-degradation section compares the runtime's two overload
+//! policies at rates straddling the saturation knee: a Kill deployment
+//! (admission shedding plus deadline kills) against a Degrade deployment
+//! (wide-open admission, anytime early exit). Past the knee the Degrade
+//! deployment must win on delivered utility per second — answering
+//! everyone a little beats answering some perfectly.
+//!
 //! Run: `cargo run --release -p eugene-bench --bin gateway_throughput`
 //! (add `--quick` for a shorter run, `--idle` for only the
 //! idle-connection scaling curve, `--sharded` for only the shard-scaling
-//! curve, `--tenants` for only the tenant-isolation and data-aware
-//! routing sections)
+//! curve, `--overload` for only the overload-degradation comparison,
+//! `--tenants` for only the tenant-isolation and data-aware routing
+//! sections)
 
 use eugene_bench::{has_flag, print_table, write_json};
 use eugene_net::wire::{self, Frame, FrameBuffer, PROTOCOL_VERSION};
@@ -57,7 +65,8 @@ use eugene_net::{
 };
 use eugene_sched::Fifo;
 use eugene_serve::{
-    EngineSession, InferenceEngine, ModelRegistry, RuntimeConfig, ServingRuntime, StageReport,
+    EngineSession, InferenceEngine, ModelRegistry, OverloadPolicy, RuntimeConfig, ServingRuntime,
+    StageReport,
 };
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -224,6 +233,17 @@ struct VariantPoint {
     utility_per_s: f64,
 }
 
+/// One point of the overload-degradation comparison: the same offered
+/// rate against a Degrade-policy deployment (admission wide open, the
+/// runtime early-exits what it cannot finish) and a Kill-policy
+/// deployment behind admission shedding (the pre-anytime baseline).
+#[derive(Serialize)]
+struct OverloadPoint {
+    policy: String,
+    rate_hz: f64,
+    report: LoadReport,
+}
+
 /// One point of the idle-connection scaling curve.
 #[derive(Serialize)]
 struct IdlePoint {
@@ -264,6 +284,11 @@ struct GatewayThroughputDoc {
     /// Shard-scaling: aggregate throughput of the same saturated
     /// multiplexed workload against a ShardRouter over N = 1..4 shards.
     sharded_scaling_curve: Vec<ShardPoint>,
+    /// Overload degradation: Degrade-policy (anytime early exit, wide-open
+    /// admission) vs Kill-policy (admission shedding + deadline kills) at
+    /// rates straddling the ~1300 rps saturation knee. Beyond the knee the
+    /// Degrade deployment must win on delivered utility per second.
+    overload_degradation: Vec<OverloadPoint>,
     /// Tenant isolation: a rogue tenant at 4x the compliant tenant's rate
     /// sheds its own traffic; the compliant tenant stays inside its SLO.
     tenant_isolation: TenantIsolationPoint,
@@ -461,6 +486,7 @@ fn scenario(s: Scenario<'_>) -> (LoadReport, BatchStats) {
         mode: s.mode.clone(),
         keyspace: None,
         tenants: Vec::new(),
+        wait_grace: Duration::ZERO,
     };
     let kind = match &s.mode {
         LoadgenMode::PerConnection => "serial".to_owned(),
@@ -541,6 +567,7 @@ fn sharded_scenario(shards: usize, total: usize, seed: u64) -> ShardPoint {
         mode: LoadgenMode::Multiplexed { concurrency: 64 },
         keyspace: Some(4_096),
         tenants: Vec::new(),
+        wait_grace: Duration::ZERO,
     });
     let aggregate = router.aggregate_stats();
     router.shutdown();
@@ -699,6 +726,7 @@ fn tenant_scenario(quick: bool) -> TenantIsolationPoint {
                 weight: 4.0,
             },
         ],
+        wait_grace: Duration::ZERO,
     });
     let rows = gateway.snapshot().per_tenant;
     let point = TenantIsolationPoint {
@@ -961,6 +989,153 @@ fn print_idle_table(curve: &[IdlePoint]) {
     );
 }
 
+/// One deployment of the overload-degradation comparison: a fresh
+/// runtime under `policy` on the concave-ramp engine, driven at
+/// `rate_hz` by pipelined submitters so the offered rate is real even
+/// past saturation.
+fn overload_policy_scenario(
+    policy: OverloadPolicy,
+    rate_hz: f64,
+    total: usize,
+    seed: u64,
+) -> LoadReport {
+    let engine = Arc::new(FixedCostEngine {
+        // Concave confidence ramp: early stages carry most of the
+        // utility, which is the regime anytime degradation targets.
+        ramp: vec![0.6, 0.8, 0.95],
+        stage_time: Duration::from_millis(1),
+        wrong_on_hard: false,
+    });
+    let runtime = ServingRuntime::start(
+        engine,
+        Box::new(Fifo::new()),
+        RuntimeConfig {
+            num_workers: 4,
+            confidence_threshold: 0.9,
+            overload: policy,
+            ..RuntimeConfig::default()
+        },
+    );
+    // The Degrade deployment admits everything and lets the runtime
+    // early-exit what it cannot finish; the Kill baseline sheds at the
+    // door (same marks as the admission-control scenario) and the
+    // deadline daemon kills whatever slips through and runs late.
+    let (high_water, hard_cap) = match policy {
+        OverloadPolicy::Degrade => (1_000_000, 2_000_000),
+        OverloadPolicy::Kill => (32, 96),
+    };
+    let gateway = Gateway::start(
+        runtime,
+        GatewayConfig {
+            high_water,
+            hard_cap,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("bind loopback gateway");
+    let report = loadgen::run(&LoadgenConfig {
+        addr: gateway.local_addr().to_string(),
+        connections: 4,
+        total_requests: total,
+        rate_hz,
+        classes: vec![ClassSpec {
+            name: "anytime".to_owned(),
+            budget_ms: 30,
+            weight: 1.0,
+            payload_len: 16,
+        }],
+        seed,
+        client: ClientConfig {
+            max_attempts: 1, // a shed must book as a shed, not a retry
+            ..ClientConfig::default()
+        },
+        mode: LoadgenMode::Multiplexed { concurrency: 128 },
+        keyspace: None,
+        tenants: Vec::new(),
+        // Let an answer produced at the server's deadline cross the wire
+        // instead of booking as a client-side miss.
+        wait_grace: Duration::from_millis(50),
+    });
+    gateway.shutdown();
+    report
+}
+
+/// The overload-degradation sweep and the claim the Degrade policy exists
+/// for: past the saturation knee, answering everyone a little beats
+/// answering some perfectly and the rest not at all.
+fn overload_degradation_sweep(quick: bool) -> Vec<OverloadPoint> {
+    // Full-depth capacity is ~1300 rps (3 x 1ms stages over 4 workers);
+    // the rates straddle that knee.
+    const KNEE_RPS: f64 = 1_300.0;
+    let (rates, total): (Vec<f64>, usize) = if quick {
+        (vec![800.0, 2_600.0], 500)
+    } else {
+        (vec![800.0, 1_300.0, 2_000.0, 3_000.0], 1_500)
+    };
+    let mut points = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        for (name, policy) in [
+            ("degrade", OverloadPolicy::Degrade),
+            ("kill", OverloadPolicy::Kill),
+        ] {
+            println!("overload-{name}: {total} requests at {rate:.0} req/s, mux depth 128...");
+            let report = overload_policy_scenario(policy, rate, total, 41 + i as u64);
+            points.push(OverloadPoint {
+                policy: name.to_owned(),
+                rate_hz: rate,
+                report,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.policy.clone(),
+                format!("{:.0}", p.rate_hz),
+                format!("{:.0}", p.report.throughput_rps),
+                p.report.rejected.to_string(),
+                p.report.expired.to_string(),
+                p.report.degraded.to_string(),
+                format!("{:.2}", p.report.mean_stages),
+                format!("{:.0}", p.report.utility_per_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "Overload degradation",
+        &[
+            "policy", "offered", "rps", "rej", "exp", "degr", "stages", "util/s",
+        ],
+        &rows,
+    );
+
+    for point in points.iter().filter(|p| p.policy == "degrade") {
+        assert_eq!(
+            point.report.rejected, 0,
+            "the Degrade deployment admits everything (offered {:.0} rps)",
+            point.rate_hz
+        );
+    }
+    for pair in points.chunks(2) {
+        let (degrade, kill) = (&pair[0], &pair[1]);
+        if degrade.rate_hz <= KNEE_RPS {
+            continue;
+        }
+        assert!(
+            degrade.report.utility_per_s > kill.report.utility_per_s,
+            "past the saturation knee ({:.0} rps offered), anytime \
+             degradation must out-deliver reject-shedding on utility per \
+             second (degrade {:.0} vs kill {:.0})",
+            degrade.rate_hz,
+            degrade.report.utility_per_s,
+            kill.report.utility_per_s
+        );
+    }
+    points
+}
+
 /// The scaling claim the readiness backend exists for: its deepest point
 /// must hold its idle crowd with a bounded thread count and still answer
 /// a live request promptly.
@@ -1001,6 +1176,13 @@ fn main() {
         // Shard-scaling curve only (CI runs this with --quick): asserts the
         // multi-shard speedup without refreshing the JSON document.
         sharded_sweep(quick);
+        return;
+    }
+    if has_flag("--overload") {
+        // Overload-degradation comparison only (CI runs this with
+        // --quick): asserts the utility win past the knee without
+        // refreshing the JSON document.
+        overload_degradation_sweep(quick);
         return;
     }
     if has_flag("--tenants") {
@@ -1125,6 +1307,7 @@ fn main() {
     assert_idle_curve(&idle_curve);
 
     let sharded_curve = sharded_sweep(quick);
+    let overload_curve = overload_degradation_sweep(quick);
     let tenant_isolation = tenant_scenario(quick);
     let data_aware = data_aware_sweep(quick);
 
@@ -1173,6 +1356,7 @@ fn main() {
             per_connection_64,
             idle_connection_curve: idle_curve,
             sharded_scaling_curve: sharded_curve,
+            overload_degradation: overload_curve,
             tenant_isolation,
             data_aware_utility: data_aware,
         },

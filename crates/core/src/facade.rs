@@ -15,7 +15,9 @@ use eugene_profiler::{ConvSpec, DeviceModel};
 use eugene_sched::{
     DcPredictor, DeadlineAware, Fifo, PwlCurvePredictor, RoundRobin, RtDeepIot, Scheduler,
 };
-use eugene_serve::{ModelRegistry, RuntimeConfig, ServingRuntime, VariantDispatcher};
+use eugene_serve::{
+    ModelRegistry, OverloadPolicy, RuntimeConfig, ServingRuntime, StageCostModel, VariantDispatcher,
+};
 use eugene_tensor::{seeded_rng, Matrix};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -119,6 +121,14 @@ pub struct ServeOptions {
     /// How long same-stage requests may gather before a partial batch
     /// dispatches anyway (ignored when `max_batch == 1`).
     pub gather_window: std::time::Duration,
+    /// What the runtime does with requests it cannot finish in time:
+    /// [`OverloadPolicy::Kill`] expires them empty-handed,
+    /// [`OverloadPolicy::Degrade`] force-exits them at the deepest
+    /// completed stage (anytime degradation).
+    pub overload: OverloadPolicy,
+    /// Parked-queue depth above which [`OverloadPolicy::Degrade`] starts
+    /// shedding the lowest utility-density requests early.
+    pub queue_high_water: usize,
 }
 
 impl Default for ServeOptions {
@@ -130,6 +140,8 @@ impl Default for ServeOptions {
             confidence_threshold: 1.0,
             max_batch: runtime.max_batch,
             gather_window: runtime.gather_window,
+            overload: runtime.overload,
+            queue_high_water: runtime.queue_high_water,
         }
     }
 }
@@ -568,7 +580,18 @@ impl Eugene {
             SchedulerKind::Fifo => Box::new(Fifo::new()),
         };
         let engine = Arc::new(StagedNetworkEngine::new(Arc::clone(network)));
-        Ok(ServingRuntime::start(
+        // Cold-start Δtime priors for the utility-density scheduler: each
+        // stage priced as its parameter count at the device model's mean
+        // per-parameter rate (§II-C), refined online by measured EMAs.
+        let ns = self.per_param_ns();
+        let priors: Vec<f64> = (0..network.num_stages())
+            .map(|s| {
+                use eugene_nn::Layer;
+                let params = network.stages()[s].param_count() + network.heads()[s].param_count();
+                (params as f64 * ns / 1e6).max(1e-3)
+            })
+            .collect();
+        Ok(ServingRuntime::start_with_cost_model(
             engine,
             scheduler,
             RuntimeConfig {
@@ -576,8 +599,11 @@ impl Eugene {
                 confidence_threshold: options.confidence_threshold,
                 max_batch: options.max_batch,
                 gather_window: options.gather_window,
+                overload: options.overload,
+                queue_high_water: options.queue_high_water,
                 ..RuntimeConfig::default()
             },
+            StageCostModel::from_priors(priors),
         ))
     }
 

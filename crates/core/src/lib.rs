@@ -56,4 +56,4 @@ pub use facade::{
 pub use eugene_net::{
     Gateway, GatewayBackend, GatewayConfig, ShardConfig, ShardRouter, SubmitOptions, TenantQuota,
 };
-pub use eugene_serve::{ModelRegistry, RegistryError, VariantDispatcher};
+pub use eugene_serve::{ModelRegistry, OverloadPolicy, RegistryError, VariantDispatcher};

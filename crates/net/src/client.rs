@@ -93,6 +93,14 @@ pub struct SubmitOptions {
     pub model: Option<String>,
     /// Tenant identity for per-tenant admission quotas.
     pub tenant: Option<String>,
+    /// Server-side budget to put on the wire, decoupled from how long
+    /// this client waits. `None` (the default) sends the remaining wait
+    /// budget, so client patience and server deadline coincide. `Some`
+    /// pins the server's deadline while the `budget` passed to the infer
+    /// call bounds only the wait — the slack lets an answer the server
+    /// produces *at* its deadline (e.g. an anytime-degraded result) still
+    /// reach the caller instead of being abandoned mid-flight.
+    pub wire_budget: Option<Duration>,
 }
 
 impl SubmitOptions {
@@ -115,6 +123,9 @@ pub struct InferenceOutcome {
     pub stages_executed: u32,
     /// Whether the server's deadline daemon killed the request.
     pub expired: bool,
+    /// Whether the runtime force-exited the request at an earlier stage
+    /// under overload (anytime degradation); the answer is usable.
+    pub degraded: bool,
     /// Server-side latency.
     pub server_latency: Duration,
     /// End-to-end latency including queueing, retries, and the network.
@@ -393,7 +404,7 @@ impl EugeneClient {
         let submit = Frame::Submit(SubmitRequest {
             client_tag: tag,
             class: class.to_owned(),
-            budget_ms: remaining.as_millis().max(1) as u64,
+            budget_ms: options.wire_budget.unwrap_or(remaining).as_millis().max(1) as u64,
             want_progress: self.config.want_progress,
             payload: payload.to_vec(),
             routing_key: options.routing_key,
@@ -452,6 +463,7 @@ impl EugeneClient {
                         confidence: response.confidence,
                         stages_executed: response.stages_executed,
                         expired: response.expired,
+                        degraded: response.degraded,
                         server_latency: Duration::from_micros(response.latency_us),
                         round_trip: Duration::ZERO, // filled by infer()
                         stage_updates,
@@ -670,6 +682,7 @@ impl PendingInference {
                         confidence: response.confidence,
                         stages_executed: response.stages_executed,
                         expired: response.expired,
+                        degraded: response.degraded,
                         server_latency: Duration::from_micros(response.latency_us),
                         round_trip: self.submitted.elapsed(),
                         stage_updates: std::mem::take(&mut self.stage_updates),
@@ -876,7 +889,7 @@ impl MultiplexClient {
         let frame = Frame::Submit(SubmitRequest {
             client_tag: tag,
             class: class.to_owned(),
-            budget_ms: remaining.as_millis().max(1) as u64,
+            budget_ms: options.wire_budget.unwrap_or(remaining).as_millis().max(1) as u64,
             want_progress,
             payload: payload.to_vec(),
             routing_key: options.routing_key,

@@ -91,6 +91,13 @@ pub struct LoadgenConfig {
     /// tenant by weight and carries its name on the wire. Empty sends
     /// anonymous (pre-tenant) submits.
     pub tenants: Vec<TenantSpec>,
+    /// Extra client-side patience beyond each class's wire budget. The
+    /// budget sent on the wire (the server's deadline) is unchanged; the
+    /// client just keeps listening this much longer, so an answer the
+    /// server produces *at* the deadline — an anytime degradation, say —
+    /// still gets counted instead of booking as `deadline_exhausted`.
+    /// Zero reproduces the strict wait-exactly-the-budget behavior.
+    pub wait_grace: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -111,6 +118,7 @@ impl Default for LoadgenConfig {
             mode: LoadgenMode::PerConnection,
             keyspace: None,
             tenants: Vec::new(),
+            wait_grace: Duration::ZERO,
         }
     }
 }
@@ -126,6 +134,12 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Requests answered but killed by the server's deadline daemon.
     pub expired: u64,
+    /// Requests answered with a degraded (anytime early-exit) result:
+    /// usable, counted in `completed`, but shallower than asked.
+    pub degraded: u64,
+    /// Final answers that carried zero executed stages (no usable
+    /// prediction at all — starvation kills).
+    pub zero_stage_finals: u64,
     /// Requests whose client-side budget ran out before any answer.
     pub deadline_exhausted: u64,
     /// Requests lost to wire/connection errors.
@@ -142,6 +156,15 @@ pub struct LoadReport {
     pub reject_rate: f64,
     /// (expired + deadline_exhausted) / requests.
     pub deadline_miss_rate: f64,
+    /// Mean stages executed per answered request.
+    pub mean_stages: f64,
+    /// Summed confidence of every non-expired answer — the run's
+    /// delivered utility under the paper's imprecise-computation model
+    /// (a miss delivers zero, a degraded answer its partial confidence).
+    pub aggregate_utility: f64,
+    /// `aggregate_utility / elapsed_s`: delivered utility per second,
+    /// the curve the overload benchmark compares across policies.
+    pub utility_per_s: f64,
     /// Per-tenant breakdown (empty unless `LoadgenConfig::tenants` was
     /// set), keyed by tenant name.
     pub per_tenant: BTreeMap<String, TenantLoadReport>,
@@ -154,6 +177,7 @@ pub struct TenantLoadReport {
     pub completed: u64,
     pub rejected: u64,
     pub expired: u64,
+    pub degraded: u64,
     pub deadline_exhausted: u64,
     pub errors: u64,
     pub p50_ms: f64,
@@ -188,6 +212,15 @@ struct PlannedRequest {
     tenant: Option<usize>,
 }
 
+/// One answered request as the tally books it.
+struct Answer {
+    latency_ms: f64,
+    expired: bool,
+    degraded: bool,
+    stages: u32,
+    confidence: Option<f32>,
+}
+
 /// One tally bucket: the run total and each tenant row share this shape.
 #[derive(Default, Clone)]
 struct Tally {
@@ -195,23 +228,35 @@ struct Tally {
     completed: u64,
     rejected: u64,
     expired: u64,
+    degraded: u64,
+    zero_stage_finals: u64,
     deadline_exhausted: u64,
     errors: u64,
+    stages_sum: u64,
+    utility_sum: f64,
     latencies_ms: Vec<f64>,
 }
 
 impl Tally {
-    /// Books one request outcome: `Ok((latency_ms, expired))` for an
-    /// answered request, `Err` for the failure classes.
-    fn note(&mut self, outcome: &Result<(f64, bool), ClientError>) {
+    /// Books one request outcome: `Ok` for an answered request, `Err`
+    /// for the failure classes.
+    fn note(&mut self, outcome: &Result<Answer, ClientError>) {
         self.requests += 1;
         match outcome {
-            Ok((latency_ms, expired)) => {
-                self.latencies_ms.push(*latency_ms);
-                if *expired {
+            Ok(answer) => {
+                self.latencies_ms.push(answer.latency_ms);
+                self.stages_sum += u64::from(answer.stages);
+                if answer.stages == 0 {
+                    self.zero_stage_finals += 1;
+                }
+                if answer.expired {
                     self.expired += 1;
                 } else {
                     self.completed += 1;
+                    self.utility_sum += f64::from(answer.confidence.unwrap_or(0.0));
+                    if answer.degraded {
+                        self.degraded += 1;
+                    }
                 }
             }
             Err(ClientError::Rejected { .. }) => self.rejected += 1,
@@ -225,8 +270,12 @@ impl Tally {
         self.completed += other.completed;
         self.rejected += other.rejected;
         self.expired += other.expired;
+        self.degraded += other.degraded;
+        self.zero_stage_finals += other.zero_stage_finals;
         self.deadline_exhausted += other.deadline_exhausted;
         self.errors += other.errors;
+        self.stages_sum += other.stages_sum;
+        self.utility_sum += other.utility_sum;
         self.latencies_ms.extend(other.latencies_ms);
     }
 }
@@ -246,7 +295,7 @@ impl WorkerTally {
         }
     }
 
-    fn note(&mut self, tenant: Option<usize>, outcome: &Result<(f64, bool), ClientError>) {
+    fn note(&mut self, tenant: Option<usize>, outcome: &Result<Answer, ClientError>) {
         self.total.note(outcome);
         if let Some(i) = tenant {
             self.tenants[i].note(outcome);
@@ -338,6 +387,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         let addr = config.addr.clone();
         let classes = config.classes.clone();
         let tenants = config.tenants.clone();
+        let wait_grace = config.wait_grace;
         let mut client_config = config.client.clone();
         // Distinct jitter stream per worker, still derived from the seed.
         client_config.seed = config
@@ -352,10 +402,18 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
             std::thread::Builder::new()
                 .name(format!("eugene-loadgen-{worker}"))
                 .spawn(move || match mux {
-                    Some(client) => mux_worker_loop(&client, &classes, &tenants, schedule, started),
-                    None => {
-                        worker_loop(&addr, client_config, &classes, &tenants, schedule, started)
+                    Some(client) => {
+                        mux_worker_loop(&client, &classes, &tenants, schedule, started, wait_grace)
                     }
+                    None => worker_loop(
+                        &addr,
+                        client_config,
+                        &classes,
+                        &tenants,
+                        schedule,
+                        started,
+                        wait_grace,
+                    ),
                 })
                 .expect("spawn loadgen worker"),
         );
@@ -385,6 +443,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
                     completed: row.completed,
                     rejected: row.rejected,
                     expired: row.expired,
+                    degraded: row.degraded,
                     deadline_exhausted: row.deadline_exhausted,
                     errors: row.errors,
                     p50_ms: percentile(&row.latencies_ms, 0.50),
@@ -405,6 +464,8 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         completed: total.completed,
         rejected: total.rejected,
         expired: total.expired,
+        degraded: total.degraded,
+        zero_stage_finals: total.zero_stage_finals,
         deadline_exhausted: total.deadline_exhausted,
         errors: total.errors,
         elapsed_s: elapsed.as_secs_f64(),
@@ -415,16 +476,27 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         reject_rate: total.rejected as f64 / requests.max(1) as f64,
         deadline_miss_rate: (total.expired + total.deadline_exhausted) as f64
             / requests.max(1) as f64,
+        mean_stages: total.stages_sum as f64 / answered.max(1) as f64,
+        aggregate_utility: total.utility_sum,
+        utility_per_s: total.utility_sum / elapsed.as_secs_f64().max(1e-9),
         per_tenant,
     }
 }
 
-/// The wire addressing for one planned request.
-fn submit_options(planned: &PlannedRequest, tenants: &[TenantSpec]) -> SubmitOptions {
+/// The wire addressing for one planned request. With a grace window, the
+/// server's deadline is pinned to the class budget while the client waits
+/// `budget + grace`, so answers produced at the deadline still land.
+fn submit_options(
+    planned: &PlannedRequest,
+    tenants: &[TenantSpec],
+    spec: &ClassSpec,
+    wait_grace: Duration,
+) -> SubmitOptions {
     SubmitOptions {
         routing_key: planned.key,
         model: None,
         tenant: planned.tenant.map(|i| tenants[i].name.clone()),
+        wire_budget: (!wait_grace.is_zero()).then(|| Duration::from_millis(spec.budget_ms)),
     }
 }
 
@@ -435,6 +507,7 @@ fn worker_loop(
     tenants: &[TenantSpec],
     schedule: Vec<PlannedRequest>,
     started: Instant,
+    wait_grace: Duration,
 ) -> WorkerTally {
     let mut tally = WorkerTally::new(tenants.len());
     let mut client = match EugeneClient::new(addr, client_config) {
@@ -453,16 +526,22 @@ fn worker_loop(
             std::thread::sleep(planned.at - now);
         }
         let spec = &classes[planned.class];
-        let options = submit_options(&planned, tenants);
+        let options = submit_options(&planned, tenants, spec, wait_grace);
         let sent = Instant::now();
         let outcome = client
             .infer_with(
                 &spec.name,
                 &planned.payload,
-                Duration::from_millis(spec.budget_ms),
+                Duration::from_millis(spec.budget_ms) + wait_grace,
                 &options,
             )
-            .map(|outcome| (sent.elapsed().as_secs_f64() * 1e3, outcome.expired));
+            .map(|outcome| Answer {
+                latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                expired: outcome.expired,
+                degraded: outcome.degraded,
+                stages: outcome.stages_executed,
+                confidence: outcome.confidence,
+            });
         tally.note(planned.tenant, &outcome);
     }
     tally
@@ -477,6 +556,7 @@ fn mux_worker_loop(
     tenants: &[TenantSpec],
     schedule: Vec<PlannedRequest>,
     started: Instant,
+    wait_grace: Duration,
 ) -> WorkerTally {
     let mut tally = WorkerTally::new(tenants.len());
     for planned in schedule {
@@ -485,16 +565,22 @@ fn mux_worker_loop(
             std::thread::sleep(planned.at - now);
         }
         let spec = &classes[planned.class];
-        let options = submit_options(&planned, tenants);
+        let options = submit_options(&planned, tenants, spec, wait_grace);
         let sent = Instant::now();
         let outcome = client
             .infer_with(
                 &spec.name,
                 &planned.payload,
-                Duration::from_millis(spec.budget_ms),
+                Duration::from_millis(spec.budget_ms) + wait_grace,
                 &options,
             )
-            .map(|outcome| (sent.elapsed().as_secs_f64() * 1e3, outcome.expired));
+            .map(|outcome| Answer {
+                latency_ms: sent.elapsed().as_secs_f64() * 1e3,
+                expired: outcome.expired,
+                degraded: outcome.degraded,
+                stages: outcome.stages_executed,
+                confidence: outcome.confidence,
+            });
         tally.note(planned.tenant, &outcome);
     }
     tally
@@ -565,10 +651,20 @@ mod tests {
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
     }
 
+    fn answer(latency_ms: f64, expired: bool, degraded: bool, stages: u32) -> Answer {
+        Answer {
+            latency_ms,
+            expired,
+            degraded,
+            stages,
+            confidence: (stages > 0).then_some(0.5),
+        }
+    }
+
     #[test]
     fn tenant_rows_book_outcomes_alongside_the_total() {
         let mut tally = WorkerTally::new(2);
-        tally.note(Some(0), &Ok((5.0, false)));
+        tally.note(Some(0), &Ok(answer(5.0, false, false, 3)));
         tally.note(
             Some(1),
             &Err(ClientError::Rejected {
@@ -576,7 +672,7 @@ mod tests {
                 reason: crate::wire::RejectReason::TenantOverQuota,
             }),
         );
-        tally.note(None, &Ok((7.0, true)));
+        tally.note(None, &Ok(answer(7.0, true, false, 0)));
         assert_eq!(tally.total.requests, 3);
         assert_eq!(tally.total.completed, 1);
         assert_eq!(tally.total.rejected, 1);
@@ -585,6 +681,21 @@ mod tests {
         assert_eq!(tally.tenants[0].requests, 1);
         assert_eq!(tally.tenants[1].rejected, 1);
         assert_eq!(tally.tenants[1].completed, 0);
+    }
+
+    #[test]
+    fn tally_books_utility_degradation_and_zero_stage_finals() {
+        let mut tally = Tally::default();
+        tally.note(&Ok(answer(4.0, false, false, 3))); // full answer
+        tally.note(&Ok(answer(2.0, false, true, 1))); // degraded answer
+        tally.note(&Ok(answer(9.0, true, false, 0))); // starvation kill
+        assert_eq!(tally.completed, 2);
+        assert_eq!(tally.degraded, 1);
+        assert_eq!(tally.expired, 1);
+        assert_eq!(tally.zero_stage_finals, 1);
+        assert_eq!(tally.stages_sum, 4);
+        // Utility sums non-expired confidences only: 0.5 + 0.5.
+        assert!((tally.utility_sum - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -425,6 +425,7 @@ impl Reactor {
                     stages_executed: 0,
                     expired: true,
                     latency_us: 0,
+                    degraded: false,
                 },
             };
             self.queue_frame(token, &frame, None);

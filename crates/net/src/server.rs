@@ -865,6 +865,7 @@ fn handle_submit(
                     stages_executed: 0,
                     expired: true,
                     latency_us: 0,
+                    degraded: false,
                 },
             },
         );
@@ -1115,6 +1116,7 @@ pub(crate) fn final_frame(client_tag: u64, response: InferenceResponse) -> Frame
             stages_executed: response.stages_executed as u32,
             expired: response.expired,
             latency_us: response.latency.as_micros() as u64,
+            degraded: response.degraded,
         },
     }
 }
@@ -1282,6 +1284,7 @@ mod tests {
                 confidence: Some(0.9),
                 stages_executed: EVENTS,
                 expired: false,
+                degraded: false,
                 latency: Duration::from_millis(1),
             })
             .expect("respond");

@@ -133,6 +133,11 @@ pub struct WireResponse {
     pub expired: bool,
     /// Server-side latency in microseconds.
     pub latency_us: u64,
+    /// Whether the runtime force-exited the request at an earlier stage
+    /// under overload (anytime degradation): the answer is usable but
+    /// shallower than the confidence threshold asked for. Encoded as a
+    /// trailing optional byte, so pre-degradation peers interoperate.
+    pub degraded: bool,
 }
 
 /// Every message that crosses a gateway connection.
@@ -378,6 +383,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u32(response.stages_executed);
             w.bool(response.expired);
             w.u64(response.latency_us);
+            w.bool(response.degraded);
         }
         Frame::Reject {
             client_tag,
@@ -575,6 +581,10 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
                 stages_executed: r.u32()?,
                 expired: r.bool()?,
                 latency_us: r.u64()?,
+                // Trailing optional field: peers that predate anytime
+                // degradation end the payload here, which decodes as
+                // "not degraded".
+                degraded: if r.remaining() == 0 { false } else { r.bool()? },
             },
         },
         6 => Frame::Reject {
@@ -752,6 +762,7 @@ mod tests {
                     stages_executed: 3,
                     expired: false,
                     latency_us: 1234,
+                    degraded: false,
                 },
             },
             Frame::Final {
@@ -762,6 +773,18 @@ mod tests {
                     stages_executed: 0,
                     expired: true,
                     latency_us: 50_000,
+                    degraded: false,
+                },
+            },
+            Frame::Final {
+                client_tag: 44,
+                response: WireResponse {
+                    predicted: Some(2),
+                    confidence: Some(0.55),
+                    stages_executed: 1,
+                    expired: false,
+                    latency_us: 800,
+                    degraded: true,
                 },
             },
             Frame::Reject {
@@ -967,6 +990,36 @@ mod tests {
         bytes.extend_from_slice(&checksum(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
         bytes
+    }
+
+    #[test]
+    fn legacy_final_without_degraded_flag_decodes_as_not_degraded() {
+        // Pre-degradation builds end the Final payload at latency_us; the
+        // missing trailing byte must decode as `degraded: false`.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&42u64.to_le_bytes()); // client_tag
+        payload.push(1); // predicted: Some
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(1); // confidence: Some
+        payload.extend_from_slice(&0.96f32.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes()); // stages_executed
+        payload.push(0); // expired
+        payload.extend_from_slice(&1234u64.to_le_bytes()); // latency_us
+        let (frame, _) = decode_frame(&frame_bytes(5, &payload)).expect("legacy final decodes");
+        assert_eq!(
+            frame,
+            Frame::Final {
+                client_tag: 42,
+                response: WireResponse {
+                    predicted: Some(7),
+                    confidence: Some(0.96),
+                    stages_executed: 3,
+                    expired: false,
+                    latency_us: 1234,
+                    degraded: false,
+                },
+            }
+        );
     }
 
     #[test]

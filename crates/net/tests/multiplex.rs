@@ -310,6 +310,7 @@ fn permuting_fake_server(n: usize, order: Vec<usize>) -> std::net::SocketAddr {
                         stages_executed: 1,
                         expired: false,
                         latency_us: 1,
+                        degraded: false,
                     },
                 },
             )

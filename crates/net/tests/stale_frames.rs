@@ -68,6 +68,7 @@ fn stale_then_answer_server() -> SocketAddr {
                     stages_executed: 1,
                     expired: false,
                     latency_us: 1,
+                    degraded: false,
                 },
             },
         )
@@ -83,6 +84,7 @@ fn stale_then_answer_server() -> SocketAddr {
                     stages_executed: 1,
                     expired: false,
                     latency_us: 1,
+                    degraded: false,
                 },
             },
         )

@@ -20,7 +20,10 @@
 //! - [`PwlRegressionTree`]: a CART-style regression tree with linear leaf
 //!   models — the piecewise-linear profiler — plus a naive
 //!   linear-in-FLOPs baseline [`FlopsLinearModel`] that demonstrably fails
-//!   on the same data.
+//!   on the same data;
+//! - [`StageCostModel`]: the per-stage cost accessor the serving
+//!   runtime's utility-density scheduler reads — analytic priors (priced
+//!   on a [`DeviceModel`]) refined online by measured stage latencies.
 //!
 //! # Examples
 //!
@@ -37,8 +40,10 @@
 
 mod device;
 mod flops;
+mod stage_cost;
 mod tree;
 
 pub use device::DeviceModel;
 pub use flops::ConvSpec;
+pub use stage_cost::StageCostModel;
 pub use tree::{FlopsLinearModel, PwlRegressionTree, TreeConfig};

@@ -89,7 +89,7 @@ mod tests {
             num_stages: 3,
             observed: &[],
             admitted_at,
-            deadline_at: admitted_at + 10,
+            deadline_remaining_ms: 10,
             remaining_quanta: 10,
         }
     }

@@ -104,7 +104,7 @@ mod tests {
             num_stages: 3,
             observed,
             admitted_at: 0,
-            deadline_at: 100,
+            deadline_remaining_ms: 100,
             remaining_quanta,
         }
     }

@@ -221,7 +221,7 @@ mod tests {
             num_stages: 3,
             observed,
             admitted_at: 0,
-            deadline_at: 10,
+            deadline_remaining_ms: 10,
             remaining_quanta: 10,
         }
     }

@@ -16,9 +16,16 @@ pub struct TaskView<'a> {
     pub observed: &'a [f32],
     /// Quantum at which the task was admitted.
     pub admitted_at: u64,
-    /// Quantum at which the deadline daemon will kill the task.
-    pub deadline_at: u64,
-    /// Quanta left before the deadline daemon kills the task.
+    /// Deadline budget left, in milliseconds for wall-clock runtimes and
+    /// in quanta for the simulator (whose quantum is its time unit).
+    ///
+    /// Historically named `deadline_at` while actually holding a
+    /// remaining-budget *duration*; renamed so no consumer mistakes it
+    /// for a timestamp again.
+    pub deadline_remaining_ms: u64,
+    /// Stage executions' worth of time left before the deadline daemon
+    /// kills the task — the remaining budget divided by the (estimated)
+    /// cost of one stage.
     pub remaining_quanta: u64,
 }
 
@@ -62,7 +69,7 @@ pub struct SimConfig {
 }
 
 /// Outcome of one task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TaskRecord {
     /// Task identity (arrival index).
     pub id: TaskId,
@@ -77,6 +84,47 @@ pub struct TaskRecord {
     pub confidence: Option<f32>,
     /// Residence time in quanta.
     pub residence_quanta: u64,
+    /// Deadline budget the task had left at retirement (0 when the
+    /// daemon killed it). Deserialization also accepts the field's
+    /// misleading pre-rename name `deadline_at`, so old result dumps
+    /// still parse (see the manual impl below — the offline serde
+    /// stand-in has no `#[serde(alias)]`).
+    pub deadline_remaining_ms: u64,
+}
+
+// Hand-written so `deadline_remaining_ms` deserializes from its deprecated
+// pre-rename spelling `deadline_at` too (defaulting to 0 when a very old
+// dump carries neither); everything else mirrors the derive.
+impl serde::Deserialize for TaskRecord {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for `TaskRecord`"))?;
+        fn field<T: serde::Deserialize>(
+            entries: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match serde::obj_get(entries, name) {
+                Some(v) => T::deserialize(v),
+                None => Err(serde::Error::missing_field(name, "TaskRecord")),
+            }
+        }
+        let deadline_remaining_ms = match serde::obj_get(entries, "deadline_remaining_ms")
+            .or_else(|| serde::obj_get(entries, "deadline_at"))
+        {
+            Some(v) => u64::deserialize(v)?,
+            None => 0,
+        };
+        Ok(Self {
+            id: field(entries, "id")?,
+            stages_executed: field(entries, "stages_executed")?,
+            correct: field(entries, "correct")?,
+            expired: field(entries, "expired")?,
+            confidence: field(entries, "confidence")?,
+            residence_quanta: field(entries, "residence_quanta")?,
+            deadline_remaining_ms,
+        })
+    }
 }
 
 /// Aggregate outcome of a simulation run.
@@ -187,7 +235,8 @@ impl Simulation {
                     num_stages: t.profile.num_stages(),
                     observed: &t.observed,
                     admitted_at: t.admitted_at,
-                    deadline_at: t.admitted_at + self.config.deadline_quanta,
+                    deadline_remaining_ms: (t.admitted_at + self.config.deadline_quanta)
+                        .saturating_sub(now),
                     remaining_quanta: (t.admitted_at + self.config.deadline_quanta)
                         .saturating_sub(now),
                 })
@@ -219,7 +268,7 @@ impl Simulation {
                 let expired = !complete && now - task.admitted_at >= deadline;
                 if complete || expired {
                     let task = active.swap_remove(i);
-                    records.push(Self::retire(task, expired, now, num_classes, rng));
+                    records.push(Self::retire(task, expired, now, deadline, num_classes, rng));
                 } else {
                     i += 1;
                 }
@@ -236,6 +285,7 @@ impl Simulation {
         task: TaskState,
         expired: bool,
         now: u64,
+        deadline: u64,
         num_classes: usize,
         rng: &mut impl Rng,
     ) -> TaskRecord {
@@ -251,6 +301,7 @@ impl Simulation {
             expired,
             confidence: task.last_confidence(),
             residence_quanta: now - task.admitted_at,
+            deadline_remaining_ms: (task.admitted_at + deadline).saturating_sub(now),
         }
     }
 }

@@ -146,7 +146,7 @@ proptest! {
                 num_stages: STAGES,
                 observed: &observed[i],
                 admitted_at: (i % 5) as u64,
-                deadline_at: 100,
+                deadline_remaining_ms: 100,
             remaining_quanta: 10,
             })
             .collect();

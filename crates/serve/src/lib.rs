@@ -22,7 +22,10 @@
 //!   into a request/response service;
 //! - [`ServiceClass`]: per-class latency constraints (the paper's §V
 //!   extension: "the scheduler ... needs to be modified to support
-//!   multiple service classes").
+//!   multiple service classes");
+//! - [`OverloadPolicy`]: how deadline pressure resolves — kill (report
+//!   `expired`) or degrade (utility-density scheduling plus anytime
+//!   degradation: force an earlier exit and return the partial answer).
 //!
 //! # Examples
 //!
@@ -43,9 +46,10 @@ mod stats;
 pub use accounting::{ClassUsage, PricingModel, UsageLedger};
 pub use daemon::DeadlineDaemon;
 pub use engine::{EngineSession, InferenceEngine, StageReport};
+pub use eugene_profiler::StageCostModel;
 pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;
 pub use registry::{ModelRegistry, RegistryError, VariantDispatcher, DEFAULT_MODEL};
 pub use request::{InferenceRequest, InferenceResponse, RequestId, ServiceClass};
-pub use runtime::{CompletionWaker, RuntimeConfig, ServingRuntime};
+pub use runtime::{CompletionWaker, OverloadPolicy, RuntimeConfig, ServingRuntime};
 pub use stats::{ModelBreakdown, RuntimeStats, StatsSnapshot, TenantBreakdown};

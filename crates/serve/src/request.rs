@@ -83,6 +83,11 @@ pub struct InferenceResponse {
     pub stages_executed: usize,
     /// Whether the deadline daemon interrupted the task.
     pub expired: bool,
+    /// Whether the runtime force-exited the request at an earlier stage
+    /// than its confidence threshold asked for (anytime degradation under
+    /// overload). A degraded response is still a usable answer:
+    /// `predicted`/`confidence` come from the deepest completed stage.
+    pub degraded: bool,
     /// Wall-clock service latency.
     pub latency: Duration,
 }
@@ -119,6 +124,7 @@ mod tests {
             confidence: Some(0.8),
             stages_executed: 2,
             expired: false,
+            degraded: false,
             latency: Duration::from_millis(5),
         };
         assert!(answered.is_answered());
@@ -128,6 +134,7 @@ mod tests {
             confidence: None,
             stages_executed: 0,
             expired: true,
+            degraded: false,
             latency: Duration::from_millis(50),
         };
         assert!(!starved.is_answered());

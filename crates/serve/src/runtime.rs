@@ -5,6 +5,7 @@ use crate::{
     WorkerPool,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use eugene_profiler::StageCostModel;
 use eugene_sched::{Scheduler, TaskView};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -21,6 +22,36 @@ type WakerCell = Arc<Mutex<Option<CompletionWaker>>>;
 
 fn current_waker(cell: &WakerCell) -> Option<CompletionWaker> {
     cell.lock().ok().and_then(|guard| guard.clone())
+}
+
+/// What the runtime does with a request that cannot finish all the work
+/// its confidence threshold asks for before its deadline.
+///
+/// The paper's anytime-prediction architecture (§II-E) makes every staged
+/// request's partial result usable, which turns overload handling into a
+/// choice:
+///
+/// - [`OverloadPolicy::Kill`] (the historical behavior): the deadline
+///   daemon interrupts the task and the response is flagged `expired` —
+///   the request "missed" even though stages may have completed.
+/// - [`OverloadPolicy::Degrade`]: the runtime schedules ready stage-work
+///   by marginal utility density (estimated Δconfidence of the next
+///   stage, from the online confidence profile, divided by its Δtime,
+///   from the [`StageCostModel`]) and an overload controller force-exits
+///   requests at earlier stages — before the daemon would kill them —
+///   whenever the next stage no longer fits the remaining budget or the
+///   parked queue grows past `queue_high_water`. A deadline kill that
+///   still arrives is converted into an early exit whenever at least one
+///   stage completed: the response carries `degraded: true` and the last
+///   stage's `(predicted, confidence)` instead of `expired: true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Deadline misses are killed and reported `expired` (default).
+    #[default]
+    Kill,
+    /// Utility-density scheduling plus anytime degradation: deadline
+    /// pressure shortens answers instead of voiding them.
+    Degrade,
 }
 
 /// Configuration for [`ServingRuntime`].
@@ -44,6 +75,14 @@ pub struct RuntimeConfig {
     /// `max_batch > 1`. Gathering never delays the deadline daemon: an
     /// expiring request is killed and finalized mid-gather.
     pub gather_window: Duration,
+    /// How deadline pressure resolves: kill (report `expired`) or degrade
+    /// (force an earlier exit and report a usable partial answer).
+    pub overload: OverloadPolicy,
+    /// Parked-queue depth above which the [`OverloadPolicy::Degrade`]
+    /// controller starts shedding the lowest-utility-density requests
+    /// that already hold a partial answer. Ignored under
+    /// [`OverloadPolicy::Kill`].
+    pub queue_high_water: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +93,8 @@ impl Default for RuntimeConfig {
             daemon_poll: Duration::from_millis(1),
             max_batch: 1,
             gather_window: Duration::from_millis(1),
+            overload: OverloadPolicy::Kill,
+            queue_high_water: 64,
         }
     }
 }
@@ -106,6 +147,11 @@ pub struct ServingRuntime {
 impl ServingRuntime {
     /// Starts the runtime over `engine` with the given scheduling policy.
     ///
+    /// The per-stage cost model starts from a flat 1 ms prior and is
+    /// refined online from measured stage latencies; callers with an
+    /// analytic profile should use
+    /// [`ServingRuntime::start_with_cost_model`].
+    ///
     /// # Panics
     ///
     /// Panics if `config.num_workers == 0`.
@@ -113,6 +159,24 @@ impl ServingRuntime {
         engine: Arc<dyn InferenceEngine>,
         scheduler: Box<dyn Scheduler>,
         config: RuntimeConfig,
+    ) -> Self {
+        let cost = StageCostModel::uniform(engine.num_stages().max(1), 1.0);
+        Self::start_with_cost_model(engine, scheduler, config, cost)
+    }
+
+    /// Starts the runtime with an analytic per-stage cost model (e.g.
+    /// priced on the §II-C device profiler) seeding the utility-density
+    /// scheduler's Δtime estimates. Measured stage latencies still refine
+    /// the model online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_workers == 0`.
+    pub fn start_with_cost_model(
+        engine: Arc<dyn InferenceEngine>,
+        scheduler: Box<dyn Scheduler>,
+        config: RuntimeConfig,
+        cost: StageCostModel,
     ) -> Self {
         assert!(config.num_workers > 0, "need at least one worker");
         let (submit_tx, submit_rx) = unbounded::<Submission>();
@@ -129,7 +193,7 @@ impl ServingRuntime {
                 .name("eugene-coordinator".to_owned())
                 .spawn(move || {
                     coordinator_loop(
-                        engine, scheduler, config, submit_rx, pipe, ledger, stats, waker,
+                        engine, scheduler, config, cost, submit_rx, pipe, ledger, stats, waker,
                     )
                 })
                 .expect("spawn coordinator")
@@ -280,7 +344,13 @@ struct ActiveTask {
     last: Option<StageReport>,
     started: Instant,
     deadline: Instant,
+    /// The deadline daemon fired for this task.
     killed: bool,
+    /// A stage panicked inside the engine; always finalizes as expired.
+    panicked: bool,
+    /// The overload controller force-exited this task (or a deadline kill
+    /// was converted): it finalizes with its partial answer, not expired.
+    degraded: bool,
     /// Parked in a gather bucket awaiting a fused dispatch. The session
     /// stays with the task (the bucket holds only the id), so a deadline
     /// kill mid-gather finalizes it like any parked task.
@@ -288,6 +358,9 @@ struct ActiveTask {
     /// Stage index a worker is executing right now (`None` while parked);
     /// lets the gather logic count tasks about to reach a bucket's stage.
     running_stage: Option<usize>,
+    /// When the current stage was handed to a worker; its elapsed time on
+    /// completion feeds the stage cost model's moving average.
+    dispatched_at: Option<Instant>,
     num_stages: usize,
     respond: Sender<InferenceResponse>,
     /// Private stage-progress feed for this request, if the submitter
@@ -300,6 +373,7 @@ fn coordinator_loop(
     engine: Arc<dyn InferenceEngine>,
     mut scheduler: Box<dyn Scheduler>,
     config: RuntimeConfig,
+    mut cost: StageCostModel,
     submit_rx: Receiver<Submission>,
     pipe: ConfidencePipe,
     ledger: UsageLedger,
@@ -312,10 +386,9 @@ fn coordinator_loop(
     let mut tasks: HashMap<RequestId, ActiveTask> = HashMap::new();
     let batching = config.max_batch > 1;
     let mut buckets = GatherBuckets::new(config.max_batch.max(1), config.gather_window);
-    // A gathered request is deadline-urgent once its remaining budget is
-    // within two gather windows: waiting any longer risks the daemon
-    // killing it before its stage even dispatches.
-    let urgent_margin = config.gather_window.saturating_mul(2);
+    // Online per-stage confidence profile: the Δutility half of the
+    // utility-density ordering.
+    let mut profile = ConfidenceProfile::new(engine.num_stages());
     // Outstanding worker jobs (a fused batch occupies one worker).
     let mut busy_jobs = 0usize;
     // Tasks whose stage is executing right now (>= busy_jobs under fusion).
@@ -342,8 +415,11 @@ fn coordinator_loop(
                             started: now,
                             deadline,
                             killed: false,
+                            panicked: false,
+                            degraded: false,
                             gathering: false,
                             running_stage: None,
+                            dispatched_at: None,
                             num_stages: engine.num_stages(),
                             respond,
                             progress,
@@ -358,42 +434,128 @@ fn coordinator_loop(
             }
         }
 
-        // 2. Apply kill signals from the deadline daemon.
-        while let Ok(id) = daemon.kill_signals().try_recv() {
-            if let Some(task) = tasks.get_mut(&id) {
-                task.killed = true;
-            }
-        }
-
-        // 3. Collect finished jobs. A stage that panicked inside the
-        // engine marks its task killed so it finalizes with whatever it
-        // had, rather than deadlocking the runtime.
+        // 2. Collect finished jobs — deliberately *before* draining kill
+        // signals, so a request that completed right at its deadline is
+        // observed as complete and the racing kill is recognized as stale.
+        // A stage that panicked inside the engine marks its task so it
+        // finalizes with whatever it had, rather than deadlocking the
+        // runtime.
         while let Ok(entries) = done_rx.try_recv() {
             busy_jobs -= 1;
             for (id, session, report, panicked) in entries {
                 running_tasks -= 1;
                 if let Some(task) = tasks.get_mut(&id) {
-                    task.running_stage = None;
+                    let stage = task.running_stage.take();
                     if let Some(report) = report {
+                        if let Some(stage) = stage {
+                            profile.observe(stage, report.confidence);
+                            if let Some(at) = task.dispatched_at {
+                                cost.observe_ms(stage, at.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
                         task.observed.push(report.confidence);
                         task.last = Some(report);
                     }
+                    task.dispatched_at = None;
                     if panicked {
-                        task.killed = true;
+                        task.panicked = true;
                     }
                     task.session = Some(session);
                 }
             }
         }
 
-        // 4. Finalize tasks that are done, killed, or confident enough.
-        // Gathered tasks keep their session, so a deadline kill mid-gather
-        // finalizes here like any parked task (the bucket is pruned below).
+        // 3. Apply kill signals from the deadline daemon. A signal whose
+        // task already finished — deregistered a moment ago (absent from
+        // the table), or parked with its answer already complete — raced
+        // the completion and is swallowed rather than counted as a kill.
+        while let Ok(id) = daemon.kill_signals().try_recv() {
+            match tasks.get_mut(&id) {
+                None => stats.note_stale_kill_swallowed(),
+                Some(task) => {
+                    let complete = task.session.is_some()
+                        && (task.observed.len() >= task.num_stages
+                            || task
+                                .last
+                                .is_some_and(|r| r.confidence >= config.confidence_threshold));
+                    if complete || task.degraded {
+                        stats.note_stale_kill_swallowed();
+                    } else {
+                        task.killed = true;
+                    }
+                }
+            }
+        }
+
+        // 3b. Overload controller (Degrade mode): force-exit requests at
+        // an earlier stage *before* the deadline daemon has to kill them —
+        // when the estimated next stage no longer fits the remaining
+        // budget, and, under queue pressure, the lowest-utility-density
+        // parked requests that already hold a partial answer.
+        if config.overload == OverloadPolicy::Degrade {
+            let now = Instant::now();
+            let mut parked_depth = 0usize;
+            for task in tasks.values_mut() {
+                if task.session.is_none() || task.killed || task.panicked || task.degraded {
+                    continue;
+                }
+                // Already complete: it finalizes this very iteration.
+                if task.observed.len() >= task.num_stages
+                    || task
+                        .last
+                        .is_some_and(|r| r.confidence >= config.confidence_threshold)
+                {
+                    continue;
+                }
+                parked_depth += 1;
+                if task.observed.is_empty() {
+                    continue;
+                }
+                let remaining_ms = task.deadline.saturating_duration_since(now).as_secs_f64() * 1e3;
+                if cost.estimate_ms(task.observed.len()) > remaining_ms {
+                    task.degraded = true;
+                    parked_depth -= 1;
+                }
+            }
+            if parked_depth > config.queue_high_water {
+                let mut shedable: Vec<(RequestId, f64)> = tasks
+                    .iter()
+                    .filter(|(_, t)| {
+                        t.session.is_some()
+                            && !t.killed
+                            && !t.panicked
+                            && !t.degraded
+                            && !t.observed.is_empty()
+                    })
+                    .map(|(&id, t)| (id, utility_density(t, &profile, &cost)))
+                    .collect();
+                shedable.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                for (id, _) in shedable
+                    .into_iter()
+                    .take(parked_depth - config.queue_high_water)
+                {
+                    if let Some(task) = tasks.get_mut(&id) {
+                        task.degraded = true;
+                    }
+                }
+            }
+        }
+
+        // 4. Finalize tasks that are done, killed, degraded, or confident
+        // enough. Gathered tasks keep their session, so a deadline kill
+        // mid-gather finalizes here like any parked task (the bucket is
+        // pruned below).
         let finished: Vec<RequestId> = tasks
             .iter()
             .filter(|(_, t)| {
                 t.session.is_some()
                     && (t.killed
+                        || t.panicked
+                        || t.degraded
                         || t.observed.len() >= t.num_stages
                         || t.last
                             .is_some_and(|r| r.confidence >= config.confidence_threshold))
@@ -409,18 +571,52 @@ fn coordinator_loop(
         for id in finished {
             let task = tasks.remove(&id).expect("task present");
             daemon.deregister(id);
+            // Degrade mode turns a deadline kill into an early exit
+            // whenever at least one stage completed: the partial answer is
+            // the paper's imprecise-computation result, not a miss. A
+            // zero-stage kill has nothing to return and stays an expiry,
+            // as does any engine panic; a kill that raced *full*
+            // completion (only visible once the running stage returned)
+            // cut nothing short and is swallowed as stale.
+            let fully_done = task.observed.len() >= task.num_stages
+                || task
+                    .last
+                    .is_some_and(|r| r.confidence >= config.confidence_threshold);
+            let (expired, degraded) = if task.panicked {
+                (true, false)
+            } else if task.degraded || (task.killed && config.overload == OverloadPolicy::Degrade) {
+                if fully_done {
+                    (false, false)
+                } else if task.observed.is_empty() {
+                    (true, false)
+                } else {
+                    (false, true)
+                }
+            } else {
+                (task.killed, false)
+            };
+            if degraded {
+                stats.note_degraded_exit();
+            } else if task.killed && !task.panicked {
+                if expired {
+                    stats.note_deadline_kill();
+                } else {
+                    stats.note_stale_kill_swallowed();
+                }
+            }
             ledger.record(
                 &task.class_name,
                 task.observed.len(),
-                task.killed,
-                !task.killed && task.observed.len() < task.num_stages,
+                expired,
+                !expired && task.observed.len() < task.num_stages,
             );
             let response = InferenceResponse {
                 id,
                 predicted: task.last.map(|r| r.predicted),
                 confidence: task.last.map(|r| r.confidence),
                 stages_executed: task.observed.len(),
-                expired: task.killed,
+                expired,
+                degraded,
                 latency: task.started.elapsed(),
             };
             // Completion is recorded before the send so a submitter that
@@ -437,7 +633,11 @@ fn coordinator_loop(
         // batching is off, through the gather buckets when it is on.
         let free = config.num_workers.saturating_sub(busy_jobs);
         if batching {
-            buckets.prune(|id| tasks.contains_key(&id) && !tasks[&id].killed);
+            buckets.prune(|id| {
+                tasks
+                    .get(&id)
+                    .is_some_and(|t| !t.killed && !t.panicked && !t.degraded)
+            });
             // The scheduler may claim one batch worth of slots per worker
             // — including busy ones, so buckets keep filling while every
             // worker is occupied (that backlog is where fusion under
@@ -446,7 +646,9 @@ fn coordinator_loop(
                 .saturating_sub(buckets.total_gathered() + running_tasks);
             if capacity > 0 {
                 let now = Instant::now();
-                for picked in pick_schedulable(&mut scheduler, &tasks, capacity) {
+                for picked in
+                    pick_schedulable(&mut scheduler, &tasks, capacity, &config, &profile, &cost)
+                {
                     if let Some(task) = tasks.get_mut(&picked) {
                         task.gathering = true;
                         buckets.add(task.observed.len(), picked, now);
@@ -460,7 +662,16 @@ fn coordinator_loop(
                     now,
                     |id| {
                         tasks.get(&id).is_some_and(|t| {
-                            t.deadline.saturating_duration_since(now) <= urgent_margin
+                            // A gathered request is deadline-urgent once
+                            // its remaining budget is within one gather
+                            // window of its estimated next-stage cost:
+                            // waiting longer risks the daemon killing it
+                            // before the stage even dispatches.
+                            let margin = urgent_margin(
+                                cost.estimate_ms(t.observed.len()),
+                                config.gather_window,
+                            );
+                            t.deadline.saturating_duration_since(now) <= margin
                         })
                     },
                     |stage| potential_joiners(&tasks, stage),
@@ -474,13 +685,14 @@ fn coordinator_loop(
                         continue;
                     };
                     task.gathering = false;
-                    if task.killed {
+                    if task.killed || task.panicked || task.degraded {
                         continue;
                     }
                     let Some(session) = task.session.take() else {
                         continue;
                     };
                     task.running_stage = Some(task.observed.len());
+                    task.dispatched_at = Some(now);
                     stats.note_gather_wait(wait);
                     batch.push((id, session, task.progress.clone()));
                 }
@@ -516,7 +728,7 @@ fn coordinator_loop(
             }
         } else if free > 0 {
             let mut dispatched = 0;
-            for picked in pick_schedulable(&mut scheduler, &tasks, free) {
+            for picked in pick_schedulable(&mut scheduler, &tasks, free, &config, &profile, &cost) {
                 if dispatched >= free {
                     break;
                 }
@@ -527,6 +739,7 @@ fn coordinator_loop(
                     continue;
                 };
                 task.running_stage = Some(task.observed.len());
+                task.dispatched_at = Some(Instant::now());
                 busy_jobs += 1;
                 running_tasks += 1;
                 dispatched += 1;
@@ -554,31 +767,128 @@ fn coordinator_loop(
     daemon.shutdown();
 }
 
-/// Runs the scheduler over every parked, live, not-yet-gathered task and
-/// returns its picks (at most `capacity`).
+/// Online per-stage confidence profile: the running mean of the
+/// confidence every completed stage reported, per stage index. This is
+/// the Δutility half of the utility-density ordering — "how much
+/// confidence does one more stage typically buy". Unseen stages fall back
+/// to a linear ramp prior so cold starts still order sensibly.
+struct ConfidenceProfile {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    num_stages: usize,
+}
+
+impl ConfidenceProfile {
+    fn new(num_stages: usize) -> Self {
+        let n = num_stages.max(1);
+        Self {
+            sums: vec![0.0; n],
+            counts: vec![0; n],
+            num_stages: n,
+        }
+    }
+
+    fn observe(&mut self, stage: usize, confidence: f32) {
+        if stage < self.sums.len() && confidence.is_finite() {
+            self.sums[stage] += f64::from(confidence);
+            self.counts[stage] += 1;
+        }
+    }
+
+    /// Expected confidence after executing stage index `stage`.
+    fn expected_after(&self, stage: usize) -> f64 {
+        let stage = stage.min(self.num_stages - 1);
+        if self.counts[stage] > 0 {
+            self.sums[stage] / self.counts[stage] as f64
+        } else {
+            (stage + 1) as f64 / self.num_stages as f64
+        }
+    }
+}
+
+/// Marginal utility density of running `task`'s next stage: estimated
+/// Δconfidence (confidence profile) over estimated Δtime (stage cost
+/// model), in confidence per millisecond. The floor on the gain keeps
+/// fully-plateaued tasks schedulable rather than starved forever.
+fn utility_density(task: &ActiveTask, profile: &ConfidenceProfile, cost: &StageCostModel) -> f64 {
+    let next = task.observed.len();
+    let current = task.last.map_or(0.0, |r| f64::from(r.confidence));
+    let gain = (profile.expected_after(next) - current).max(1e-4);
+    gain / cost.estimate_ms(next).max(1e-6)
+}
+
+/// Remaining-budget threshold below which a gathered request must flush
+/// regardless of batching opportunities: one more gather window of waiting
+/// plus the estimated cost of the stage itself. Deriving the margin from
+/// the request's own next-stage cost fixes both failure modes of the old
+/// fixed `2 x gather_window` margin: a short-deadline request with an
+/// expensive next stage flushed too late (margin ignored the stage cost,
+/// so the stage could no longer finish), and a long-deadline request with
+/// a cheap stage flushed pointlessly early under a wide window.
+fn urgent_margin(est_next_stage_ms: f64, gather_window: Duration) -> Duration {
+    let stage = Duration::from_secs_f64(est_next_stage_ms.max(0.0) / 1e3);
+    gather_window.saturating_add(stage)
+}
+
+/// Picks at most `capacity` parked, live, not-yet-gathered tasks to run
+/// next: by marginal utility density under [`OverloadPolicy::Degrade`],
+/// by the configured scheduling policy otherwise.
 fn pick_schedulable(
     scheduler: &mut Box<dyn Scheduler>,
     tasks: &HashMap<RequestId, ActiveTask>,
     capacity: usize,
+    config: &RuntimeConfig,
+    profile: &ConfidenceProfile,
+    cost: &StageCostModel,
 ) -> Vec<RequestId> {
     let mut entries: Vec<(&RequestId, &ActiveTask)> = tasks
         .iter()
-        .filter(|(_, t)| t.session.is_some() && !t.killed && !t.gathering)
+        .filter(|(_, t)| {
+            t.session.is_some() && !t.killed && !t.panicked && !t.degraded && !t.gathering
+        })
         .collect();
     entries.sort_by_key(|(id, _)| **id);
+    if config.overload == OverloadPolicy::Degrade {
+        // Utility-density order: highest Δconfidence/Δtime first, ties
+        // broken toward the nearer deadline, then by id for determinism.
+        // Under overload this naturally prefers first stages (largest
+        // confidence gain), so every admitted request reaches stage >= 1
+        // before anyone's refinement stages run.
+        let mut ranked: Vec<(f64, Instant, RequestId)> = entries
+            .iter()
+            .map(|(id, t)| (utility_density(t, profile, cost), t.deadline, **id))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        return ranked
+            .into_iter()
+            .take(capacity)
+            .map(|(_, _, id)| id)
+            .collect();
+    }
+    let now = Instant::now();
     let views: Vec<TaskView<'_>> = entries
         .iter()
-        .map(|(id, t)| TaskView {
-            id: **id as usize,
-            stages_done: t.observed.len(),
-            num_stages: t.num_stages,
-            observed: &t.observed,
-            admitted_at: 0,
-            deadline_at: t.deadline.saturating_duration_since(t.started).as_millis() as u64,
-            remaining_quanta: t
-                .deadline
-                .saturating_duration_since(Instant::now())
-                .as_millis() as u64,
+        .map(|(id, t)| {
+            let remaining_ms = t.deadline.saturating_duration_since(now).as_millis() as u64;
+            TaskView {
+                id: **id as usize,
+                stages_done: t.observed.len(),
+                num_stages: t.num_stages,
+                observed: &t.observed,
+                admitted_at: 0,
+                deadline_remaining_ms: remaining_ms,
+                // In stage-execution units, as the schedulers' slack
+                // arithmetic expects (they compare this against counts of
+                // stages left, not milliseconds).
+                remaining_quanta: (remaining_ms as f64
+                    / cost.estimate_ms(t.observed.len()).max(1e-6))
+                    as u64,
+            }
         })
         .collect();
     scheduler
@@ -595,7 +905,7 @@ fn pick_schedulable(
 fn potential_joiners(tasks: &HashMap<RequestId, ActiveTask>, stage: usize) -> usize {
     tasks
         .values()
-        .filter(|t| !t.killed)
+        .filter(|t| !t.killed && !t.panicked && !t.degraded)
         .filter(|t| match (&t.session, t.running_stage) {
             (Some(_), _) => !t.gathering && t.observed.len() == stage,
             (None, Some(running)) => running + 1 == stage,
@@ -1145,6 +1455,182 @@ mod tests {
                 .expect("drained request answered");
             assert_eq!(response.id, id);
             assert_eq!(response.stages_executed, 3);
+        }
+    }
+
+    /// Satellite regression: a request completing exactly at its deadline
+    /// races the daemon's kill signal. Whatever the interleaving — kill
+    /// drained before the completion, after it, or after the task is
+    /// already deregistered — the kill gauge must count exactly the
+    /// responses that actually expired; a racing signal for a completed
+    /// request lands only in the stale-swallow gauge.
+    #[test]
+    fn kill_racing_completion_never_inflates_the_kill_gauge() {
+        let rt = runtime(vec![0.9], 1, RuntimeConfig::default());
+        let mut expired = 0u64;
+        for i in 0..100 {
+            // Deadline == stage time: completion and expiry collide.
+            let (_, rx) = rt.submit(InferenceRequest::new(vec![i as f32], class(1)));
+            let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            if response.expired {
+                expired += 1;
+            } else {
+                assert_eq!(response.stages_executed, 1);
+            }
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.completed(), 100);
+        assert_eq!(
+            stats.deadline_kills(),
+            expired,
+            "every counted kill must correspond to an expired response; \
+             stale signals (swallowed: {}) must not be counted",
+            stats.stale_kills_swallowed()
+        );
+        assert_eq!(stats.degraded_exits(), 0, "Kill policy never degrades");
+        rt.shutdown();
+    }
+
+    /// Satellite regression, direction 1: a request whose next stage is
+    /// expensive must turn urgent while the stage still fits its budget —
+    /// the old fixed `2 x gather_window` margin ignored the stage cost
+    /// and flushed too late whenever the stage outweighed the window.
+    #[test]
+    fn urgent_margin_covers_an_expensive_next_stage() {
+        let window = Duration::from_millis(2);
+        let margin = urgent_margin(50.0, window);
+        assert!(
+            margin >= Duration::from_millis(50),
+            "margin {margin:?} must cover the 50ms stage"
+        );
+        assert!(
+            window.saturating_mul(2) < Duration::from_millis(50),
+            "the old fixed margin would have flushed too late"
+        );
+    }
+
+    /// Satellite regression, direction 2: a cheap next stage under a wide
+    /// gather window must not be flushed pointlessly early — the derived
+    /// margin stays below the old fixed `2 x gather_window`.
+    #[test]
+    fn urgent_margin_does_not_flush_cheap_stages_early() {
+        let window = Duration::from_millis(100);
+        let margin = urgent_margin(0.5, window);
+        assert!(
+            margin < window.saturating_mul(2),
+            "margin {margin:?} must be under the old fixed 200ms"
+        );
+        assert!(margin >= window, "one window of slack is always kept");
+    }
+
+    #[test]
+    fn degrade_mode_converts_deadline_kill_into_partial_answer() {
+        let config = RuntimeConfig {
+            overload: OverloadPolicy::Degrade,
+            ..RuntimeConfig::default()
+        };
+        // 3 stages x 30ms against a 40ms deadline: full execution cannot
+        // fit, but at least one stage always completes.
+        let rt = runtime(vec![0.5, 0.7, 0.9], 30, config);
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![2.0], class(40)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(!response.expired, "degrade mode must not report a miss");
+        assert!(response.degraded, "the early exit is flagged");
+        assert!(response.is_answered(), "partial answer returned");
+        assert!(
+            (1..3).contains(&response.stages_executed),
+            "ran {} stages",
+            response.stages_executed
+        );
+        let stats = rt.stats();
+        assert_eq!(stats.deadline_kills(), 0);
+        assert!(stats.degraded_exits() >= 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn degrade_mode_with_zero_stages_still_expires() {
+        let config = RuntimeConfig {
+            num_workers: 1,
+            overload: OverloadPolicy::Degrade,
+            ..RuntimeConfig::default()
+        };
+        // One worker, one long-running occupant: the starved victim never
+        // executes a stage, so there is nothing to degrade to.
+        let rt = runtime(vec![0.5, 0.9], 60, config);
+        let (_, rx_a) = rt.submit(InferenceRequest::new(vec![0.0], class(10_000)));
+        std::thread::sleep(Duration::from_millis(20));
+        let (_, rx_b) = rt.submit(InferenceRequest::new(vec![1.0], class(25)));
+        let response_b = rx_b.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(response_b.expired, "a zero-stage request has no answer");
+        assert!(!response_b.degraded);
+        assert_eq!(response_b.stages_executed, 0);
+        let response_a = rx_a.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(!response_a.expired);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn degrade_mode_leaves_feasible_requests_alone() {
+        let config = RuntimeConfig {
+            overload: OverloadPolicy::Degrade,
+            ..RuntimeConfig::default()
+        };
+        let rt = runtime(vec![0.5, 0.7, 0.9], 1, config);
+        let (_, rx) = rt.submit(InferenceRequest::new(vec![3.0], class(5_000)));
+        let response = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(!response.degraded && !response.expired);
+        assert_eq!(response.stages_executed, 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn utility_density_prefers_first_stages_and_cheap_work() {
+        let mut profile = ConfidenceProfile::new(3);
+        // Learned concave ramp: stage 0 -> 0.5, stage 1 -> 0.8, stage 2
+        // -> 0.9 (diminishing returns per extra stage).
+        for (stage, conf) in [(0usize, 0.5f32), (1, 0.8), (2, 0.9)] {
+            profile.observe(stage, conf);
+        }
+        let cost = StageCostModel::uniform(3, 1.0);
+        let fresh = task_at_stage(&[], None);
+        let midway = task_at_stage(&[0.5], Some(0.5));
+        let deep = task_at_stage(&[0.5, 0.8], Some(0.8));
+        let d_fresh = utility_density(&fresh, &profile, &cost);
+        let d_mid = utility_density(&midway, &profile, &cost);
+        let d_deep = utility_density(&deep, &profile, &cost);
+        assert!(
+            d_fresh > d_mid && d_mid > d_deep,
+            "first stages buy the most confidence per ms: {d_fresh} {d_mid} {d_deep}"
+        );
+        // A costlier next stage lowers density at equal gain.
+        let mut pricey = StageCostModel::uniform(3, 1.0);
+        pricey.observe_ms(0, 10.0);
+        assert!(utility_density(&fresh, &profile, &pricey) < d_fresh);
+    }
+
+    fn task_at_stage(observed: &[f32], last_conf: Option<f32>) -> ActiveTask {
+        let (tx, _rx) = unbounded();
+        let now = Instant::now();
+        ActiveTask {
+            class_name: "test".to_owned(),
+            session: None,
+            observed: observed.to_vec(),
+            last: last_conf.map(|confidence| StageReport {
+                predicted: 0,
+                confidence,
+            }),
+            started: now,
+            deadline: now + Duration::from_secs(1),
+            killed: false,
+            panicked: false,
+            degraded: false,
+            gathering: false,
+            running_stage: None,
+            dispatched_at: None,
+            num_stages: 3,
+            respond: tx,
+            progress: None,
         }
     }
 

@@ -30,6 +30,10 @@ struct Gauges {
     singleton_dispatches: AtomicU64,
     gather_wait_micros: AtomicU64,
     gather_waits: AtomicU64,
+    // Deadline / degradation gauges.
+    deadline_kills: AtomicU64,
+    degraded_exits: AtomicU64,
+    stale_kills_swallowed: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -101,6 +105,40 @@ impl RuntimeStats {
         std::time::Duration::from_micros(total / waits)
     }
 
+    /// Requests the deadline daemon killed and that were answered
+    /// `expired` with no usable result.
+    pub fn deadline_kills(&self) -> u64 {
+        self.inner.deadline_kills.load(Ordering::Relaxed)
+    }
+
+    /// Requests force-exited early with a usable partial result — by the
+    /// overload controller or by a deadline that would otherwise have
+    /// killed them (anytime degradation).
+    pub fn degraded_exits(&self) -> u64 {
+        self.inner.degraded_exits.load(Ordering::Relaxed)
+    }
+
+    /// Kill signals that raced a just-completed request (the daemon fired
+    /// between completion and `deregister`) and were swallowed. These are
+    /// bookkeeping noise, never user-visible failures.
+    pub fn stale_kills_swallowed(&self) -> u64 {
+        self.inner.stale_kills_swallowed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_deadline_kill(&self) {
+        self.inner.deadline_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_degraded_exit(&self) {
+        self.inner.degraded_exits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stale_kill_swallowed(&self) {
+        self.inner
+            .stale_kills_swallowed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_batch_dispatch(&self, size: usize) {
         if size >= 2 {
             self.inner.fused_batches.fetch_add(1, Ordering::Relaxed);
@@ -148,6 +186,9 @@ impl RuntimeStats {
             batched_stage_executions: self.batched_stage_executions(),
             peak_batch_occupancy: self.peak_batch_occupancy(),
             singleton_dispatches: self.singleton_dispatches(),
+            deadline_kills: self.deadline_kills(),
+            degraded_exits: self.degraded_exits(),
+            stale_kills_swallowed: self.stale_kills_swallowed(),
             per_model: BTreeMap::new(),
             per_tenant: BTreeMap::new(),
         }
@@ -223,6 +264,9 @@ pub struct StatsSnapshot {
     pub batched_stage_executions: u64,
     pub peak_batch_occupancy: usize,
     pub singleton_dispatches: u64,
+    pub deadline_kills: u64,
+    pub degraded_exits: u64,
+    pub stale_kills_swallowed: u64,
     /// One row per registry model (empty for a bare runtime snapshot).
     pub per_model: BTreeMap<String, ModelBreakdown>,
     /// One row per tenant the gateway admission layer has seen (empty
@@ -243,6 +287,9 @@ impl StatsSnapshot {
         self.batched_stage_executions += other.batched_stage_executions;
         self.peak_batch_occupancy = self.peak_batch_occupancy.max(other.peak_batch_occupancy);
         self.singleton_dispatches += other.singleton_dispatches;
+        self.deadline_kills += other.deadline_kills;
+        self.degraded_exits += other.degraded_exits;
+        self.stale_kills_swallowed += other.stale_kills_swallowed;
         for (name, row) in &other.per_model {
             self.per_model.entry(name.clone()).or_default().absorb(row);
         }

@@ -28,11 +28,15 @@ cargo test --workspace -q --offline
 # consistent-hash ring property suite (bounded remap, exact restore,
 # restart determinism), the registry lifecycle suite (load/unload with
 # requests in flight, both backends), and the per-tenant admission suite
-# (hard caps, weighted fair shedding).
-echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test ring_properties --test registry_lifecycle --test tenants -q"
+# (hard caps, weighted fair shedding), and the overload degradation suite
+# (2x saturation in Degrade mode: zero rejects after admission, every
+# Final carries >=1 stage, utility beats the kill baseline, both
+# backends).
+echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test ring_properties --test registry_lifecycle --test tenants --test overload -q"
 cargo test -p eugene-net -q --offline \
   --test churn --test multiplex --test stale_frames --test readiness --test latency \
-  --test shard_faults --test ring_properties --test registry_lifecycle --test tenants
+  --test shard_faults --test ring_properties --test registry_lifecycle --test tenants \
+  --test overload
 
 # Kernel regressions, named explicitly for the same reason: the blocked/
 # parallel matmul paths must stay bitwise-equal to the naive references
@@ -54,6 +58,12 @@ cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quic
 # ShardRouter at N=1 and N=2 shards; asserts two shards beat one.
 echo "==> gateway_throughput --quick --sharded"
 cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --sharded
+
+# Overload-degradation smoke: Degrade vs Kill at rates straddling the
+# saturation knee; asserts anytime degradation wins on utility per second
+# past the knee.
+echo "==> gateway_throughput --quick --overload"
+cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --overload
 
 # Multi-tenant smoke: a rogue tenant at 4x the compliant tenant's rate
 # must shed its own traffic (compliant p99 inside SLO, zero errors), and
