@@ -261,6 +261,10 @@ struct IdlePoint {
 
 #[derive(Serialize)]
 struct GatewayThroughputDoc {
+    /// Actual core count of the machine that produced the numbers.
+    host_cores: usize,
+    /// Kernel tiers and CPU features in effect during the run.
+    isa: eugene_bench::HostIsa,
     stage_time_ms: f64,
     workers: usize,
     /// Fused-batch limit used by the batched sections (`max_batch`).
@@ -1345,6 +1349,8 @@ fn main() {
     write_json(
         "gateway_throughput",
         &GatewayThroughputDoc {
+            host_cores: eugene_bench::host_cores(),
+            isa: eugene_bench::host_isa(),
             stage_time_ms: 1.0,
             workers: 4,
             max_batch: MAX_BATCH,

@@ -1,11 +1,16 @@
-//! Kernel throughput bench: GFLOP/s of the blocked matmul kernels vs the
-//! retained naive reference, across matrix sizes and thread counts.
+//! Kernel throughput bench: GFLOP/s of the kernel tiers — naive
+//! reference, blocked scalar, SIMD f32 (AVX-512F/AVX2+FMA when the host
+//! has them), and the quantized i8 tier — across matrix sizes and thread
+//! counts, with the host's detected ISA recorded alongside the numbers.
 //!
 //! Regenerates `results/kernel_throughput.json`. Run with `--quick` for a
-//! CI smoke pass over tiny sizes (no assertions, sub-second).
+//! CI smoke pass over small sizes; quick mode still asserts a
+//! conservative speedup floor so a silently de-vectorized build fails CI.
 
-use eugene_bench::{has_flag, print_table, write_json};
-use eugene_tensor::{seeded_rng, set_parallelism, standard_normal, Matrix};
+use eugene_bench::{has_flag, host_cores, host_isa, print_table, write_json, HostIsa};
+use eugene_tensor::{
+    seeded_rng, set_parallelism, set_simd_mode, standard_normal, Matrix, SimdMode,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -13,15 +18,24 @@ use std::time::Instant;
 struct KernelPoint {
     size: usize,
     threads: usize,
-    gflops_blocked: f64,
+    /// Naive triple-loop reference (single-thread, measured once per size).
     gflops_reference: f64,
-    speedup_vs_reference: f64,
+    /// Legacy cache-blocked scalar kernel (`EUGENE_SIMD=0` tier).
+    gflops_scalar_blocked: f64,
+    /// Explicit-SIMD f32 tier (portable fused twin off x86_64).
+    gflops_simd: f64,
+    /// Quantized i8 tier, in GFLOP/s-equivalent (same 2n^3 op count).
+    gops_quantized: f64,
+    simd_vs_scalar: f64,
+    quant_vs_simd: f64,
 }
 
 #[derive(Serialize)]
 struct KernelThroughputDoc {
     quick: bool,
+    /// `available_parallelism` of the machine that produced the numbers.
     host_cores: usize,
+    isa: HostIsa,
     sizes: Vec<usize>,
     threads: Vec<usize>,
     points: Vec<KernelPoint>,
@@ -35,8 +49,8 @@ fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_vec(rows, cols, data)
 }
 
-/// Times `op` over enough repetitions to exceed ~80ms and returns GFLOP/s
-/// for an `n^3` product (2*n^3 flops per multiply).
+/// Times `op` over enough repetitions to exceed the measurement target
+/// and returns GFLOP/s for an `n^3` product (2*n^3 flops per multiply).
 fn gflops(n: usize, quick: bool, op: impl Fn() -> Matrix) -> f64 {
     let flops = 2.0 * (n as f64).powi(3);
     // Warm up (page in the pool, fill caches).
@@ -59,71 +73,129 @@ fn gflops(n: usize, quick: bool, op: impl Fn() -> Matrix) -> f64 {
 
 fn main() {
     let quick = has_flag("--quick");
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = host_cores();
     let sizes: Vec<usize> = if quick {
-        vec![32, 64]
+        vec![64, 128]
     } else {
         vec![64, 128, 256, 512]
     };
     let threads: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4] };
+    let isa = host_isa();
 
-    println!("kernel_throughput: host has {host_cores} core(s)");
+    println!(
+        "kernel_throughput: host has {host_cores} core(s), f32 tier {}, i8 tier {}",
+        isa.tier, isa.quant_tier
+    );
     let mut points = Vec::new();
     let mut rows = Vec::new();
     for &n in &sizes {
         let a = random_matrix(n, n, 0xA5 + n as u64);
         let b = random_matrix(n, n, 0x5A + n as u64);
+        // Weights are packed once at deploy time; only the activation
+        // quantization and the i8 kernel are on the serving path.
+        let packed = b.quantized_rhs();
         set_parallelism(1);
+        set_simd_mode(SimdMode::ForceScalar);
         let reference = gflops(n, quick, || a.matmul_reference(&b));
         for &t in &threads {
             set_parallelism(t);
-            let blocked = gflops(n, quick, || a.matmul(&b));
-            let speedup = blocked / reference;
+            set_simd_mode(SimdMode::ForceScalar);
+            let scalar = gflops(n, quick, || a.matmul(&b));
+            set_simd_mode(SimdMode::ForceSimd);
+            let simd = gflops(n, quick, || a.matmul(&b));
+            let quant = gflops(n, quick, || a.matmul_quantized(&packed));
+            let simd_vs_scalar = simd / scalar;
+            let quant_vs_simd = quant / simd;
             rows.push(vec![
                 format!("{n}"),
                 format!("{t}"),
-                format!("{blocked:.2}"),
                 format!("{reference:.2}"),
-                format!("{speedup:.2}x"),
+                format!("{scalar:.2}"),
+                format!("{simd:.2}"),
+                format!("{quant:.2}"),
+                format!("{simd_vs_scalar:.2}x"),
+                format!("{quant_vs_simd:.2}x"),
             ]);
             points.push(KernelPoint {
                 size: n,
                 threads: t,
-                gflops_blocked: blocked,
                 gflops_reference: reference,
-                speedup_vs_reference: speedup,
+                gflops_scalar_blocked: scalar,
+                gflops_simd: simd,
+                gops_quantized: quant,
+                simd_vs_scalar,
+                quant_vs_simd,
             });
         }
     }
+    set_simd_mode(SimdMode::Auto);
     set_parallelism(0);
 
     print_table(
-        "matmul GFLOP/s (blocked vs naive reference)",
-        &["size", "threads", "blocked", "reference", "speedup"],
+        "matmul GFLOP/s by kernel tier",
+        &[
+            "size", "threads", "naive", "scalar", "simd", "quant", "simd/sc", "q/simd",
+        ],
         &rows,
     );
 
-    if !quick {
-        let single_512 = points
-            .iter()
-            .find(|p| p.size == 512 && p.threads == 1)
-            .expect("512x512 single-thread point");
+    if quick {
+        // CI floor: catches a build whose SIMD tier silently fell back
+        // to scalar (or whose quantized tier collapsed), without being
+        // sensitive to small-size timing noise. Only meaningful where
+        // the SIMD tier is actually vectorized.
+        if isa.simd_active {
+            let top = points
+                .iter()
+                .filter(|p| p.threads == 1)
+                .max_by_key(|p| p.size)
+                .expect("at least one single-thread point");
+            assert!(
+                top.simd_vs_scalar >= 1.5,
+                "quick floor: expected SIMD >= 1.5x blocked scalar at {0}x{0}, got {1:.2}x",
+                top.size,
+                top.simd_vs_scalar
+            );
+            assert!(
+                top.quant_vs_simd >= 0.5,
+                "quick floor: quantized tier collapsed at {0}x{0}: {1:.2}x of SIMD",
+                top.size,
+                top.quant_vs_simd
+            );
+        }
+        return;
+    }
+
+    let single_512 = points
+        .iter()
+        .find(|p| p.size == 512 && p.threads == 1)
+        .expect("512x512 single-thread point");
+    assert!(
+        single_512.gflops_scalar_blocked / single_512.gflops_reference >= 2.0,
+        "expected >= 2x blocked-scalar speedup over naive at 512x512, got {:.2}x",
+        single_512.gflops_scalar_blocked / single_512.gflops_reference
+    );
+    if isa.simd_active {
         assert!(
-            single_512.speedup_vs_reference >= 2.0,
-            "expected >= 2x single-thread speedup at 512x512, got {:.2}x",
-            single_512.speedup_vs_reference
+            single_512.simd_vs_scalar >= 3.0,
+            "expected SIMD >= 3x blocked scalar at 512x512 single-thread, got {:.2}x",
+            single_512.simd_vs_scalar
         );
-        write_json(
-            "kernel_throughput",
-            &KernelThroughputDoc {
-                quick,
-                host_cores,
-                sizes,
-                threads,
-                points,
-            },
+        assert!(
+            single_512.quant_vs_simd >= 1.5,
+            "expected quantized >= 1.5x SIMD f32 at 512x512 single-thread, got {:.2}x",
+            single_512.quant_vs_simd
         );
     }
+    write_json(
+        "kernel_throughput",
+        &KernelThroughputDoc {
+            quick,
+            host_cores,
+            isa,
+            sizes,
+            threads,
+            points,
+        },
+    );
 }

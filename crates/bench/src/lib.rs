@@ -125,6 +125,43 @@ impl Workload {
     }
 }
 
+/// Host ISA metadata stamped into results JSON, so a throughput number
+/// can always be traced back to the kernel tier and CPU features that
+/// produced it.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostIsa {
+    /// f32 kernel tier dispatch picks on this host.
+    pub tier: &'static str,
+    /// i8 kernel tier dispatch picks on this host.
+    pub quant_tier: &'static str,
+    /// Whether the SIMD tier is actually vectorized here (false means
+    /// the portable fused twin is standing in).
+    pub simd_active: bool,
+    /// Raw `is_x86_feature_detected!` results, by feature name.
+    pub features: std::collections::BTreeMap<String, bool>,
+}
+
+/// Detects [`HostIsa`] for the current process.
+pub fn host_isa() -> HostIsa {
+    HostIsa {
+        tier: eugene_tensor::isa_tier(),
+        quant_tier: eugene_tensor::quant_tier_name(),
+        simd_active: eugene_tensor::simd_active(),
+        features: eugene_tensor::cpu_features()
+            .entries()
+            .into_iter()
+            .map(|(name, present)| (name.to_owned(), present))
+            .collect(),
+    }
+}
+
+/// Actual core count of the benchmarking host (1 if undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

@@ -12,6 +12,10 @@
 //! 2. **Node pruning** (the DeepIoT approach, the paper's \[5\]) — remove
 //!    whole hidden units, producing a *smaller dense* network.
 //!    [`prune_nodes`] rewrites a [`eugene_nn::StagedNetwork`] this way.
+//! 3. **Quantization** — keep the architecture but shrink each weight to
+//!    a byte and serve the stage on the i8 kernel tier.
+//!    [`quantize_stages`] switches trunk stages over and reports the
+//!    footprint and reconstruction error per stage.
 //!
 //! On top of reduction, §II-B sketches **model caching**: when a device's
 //! inputs concentrate on a few frequent classes, the server retrains a
@@ -37,6 +41,7 @@
 mod cache;
 mod edge_prune;
 mod node_prune;
+mod quantize;
 mod sparse;
 mod tracker;
 
@@ -46,5 +51,6 @@ pub use cache::{
 };
 pub use edge_prune::{prune_edges, EdgePruned};
 pub use node_prune::prune_nodes;
+pub use quantize::{quantize_stages, QuantizationReport, StageQuantization};
 pub use sparse::CsrMatrix;
 pub use tracker::ClassFrequencyTracker;

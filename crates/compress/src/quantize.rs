@@ -1,0 +1,193 @@
+use eugene_nn::{Linear, Precision, StagedNetwork};
+use eugene_tensor::quantize_symmetric;
+use serde::{Deserialize, Serialize};
+
+/// Per-stage outcome of quantizing a staged network (see
+/// [`quantize_stages`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageQuantization {
+    /// Trunk stage index.
+    pub stage: usize,
+    /// Precision the stage now serves at.
+    pub precision: Precision,
+    /// `Linear` layers carrying a quantized pack in this stage.
+    pub quantized_layers: usize,
+    /// Weight bytes of the stage's `Linear` layers at f32.
+    pub f32_bytes: usize,
+    /// Heap bytes of the installed i8 packs (0 for f32 stages). Packs
+    /// keep both a row-major i8 copy and kernel panels, so this is the
+    /// true serving footprint, not just `weights / 4`.
+    pub packed_bytes: usize,
+    /// Largest per-element reconstruction error `max |w - s·q(w)|`
+    /// across the stage's quantized weights.
+    pub max_weight_error: f32,
+    /// Largest per-tensor quantization scale among the stage's layers.
+    /// Symmetric rounding bounds the element error by `scale / 2`.
+    pub max_scale: f32,
+}
+
+/// Summary of a [`quantize_stages`] call: what got packed, how many
+/// bytes the i8 representation holds relative to f32 weights, and how
+/// far the quantized weights sit from the originals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationReport {
+    /// One entry per trunk stage, in stage order.
+    pub stages: Vec<StageQuantization>,
+}
+
+impl QuantizationReport {
+    /// f32 weight bytes across all stages.
+    pub fn total_f32_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.f32_bytes).sum()
+    }
+
+    /// Installed pack bytes across all stages.
+    pub fn total_packed_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.packed_bytes).sum()
+    }
+
+    /// Weight bytes the quantized stages no longer need at serving
+    /// time: their f32 weights stay resident for training, but a
+    /// serving-only deployment ships packs instead of f32 tensors.
+    pub fn serving_bytes_saved(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.precision == Precision::Int8)
+            .map(|s| s.f32_bytes.saturating_sub(s.packed_bytes))
+            .sum()
+    }
+
+    /// Largest reconstruction error across every quantized stage.
+    pub fn max_weight_error(&self) -> f32 {
+        self.stages
+            .iter()
+            .map(|s| s.max_weight_error)
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Switches the listed trunk stages of `network` to quantized (i8)
+/// serving — the §II-B reduction family's third lever, next to edge and
+/// node pruning: instead of removing weights, it shrinks each one to a
+/// byte and runs the i8 kernel tier. Stages not listed revert to f32;
+/// exit heads always stay f32. Returns a [`QuantizationReport`]
+/// describing footprint and reconstruction error per stage.
+///
+/// # Examples
+///
+/// ```
+/// use eugene_compress::quantize_stages;
+/// use eugene_nn::{Precision, StagedNetwork, StagedNetworkConfig};
+/// use eugene_tensor::seeded_rng;
+///
+/// let config = StagedNetworkConfig::three_stage(8, 3);
+/// let mut net = StagedNetwork::new(&config, &mut seeded_rng(0));
+/// let report = quantize_stages(&mut net, &[0, 1]);
+/// assert_eq!(net.stage_precision(0), Precision::Int8);
+/// assert_eq!(net.stage_precision(2), Precision::F32);
+/// // Every element sits within half a quantization step of its original.
+/// for stage in &report.stages {
+///     assert!(stage.max_weight_error <= stage.max_scale / 2.0 + f32::EPSILON);
+/// }
+/// ```
+pub fn quantize_stages(network: &mut StagedNetwork, stages: &[usize]) -> QuantizationReport {
+    network.quantize_stages(stages);
+    let report_stages = (0..network.num_stages())
+        .map(|s| {
+            let mut entry = StageQuantization {
+                stage: s,
+                precision: network.stage_precision(s),
+                quantized_layers: 0,
+                f32_bytes: 0,
+                packed_bytes: 0,
+                max_weight_error: 0.0,
+                max_scale: 0.0,
+            };
+            for layer in network.stages()[s].layers() {
+                let Some(lin) = layer.as_any().downcast_ref::<Linear>() else {
+                    continue;
+                };
+                entry.f32_bytes += lin.weights().len() * 4;
+                let Some(pack) = lin.quantized_pack() else {
+                    continue;
+                };
+                entry.quantized_layers += 1;
+                entry.packed_bytes += pack.packed_bytes();
+                entry.max_scale = entry.max_scale.max(pack.scale());
+                let (q, scale) = quantize_symmetric(lin.weights().as_slice());
+                for (&w, &qv) in lin.weights().as_slice().iter().zip(&q) {
+                    let err = (w - f32::from(qv) * scale).abs();
+                    entry.max_weight_error = entry.max_weight_error.max(err);
+                }
+            }
+            entry
+        })
+        .collect();
+    QuantizationReport {
+        stages: report_stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eugene_nn::StagedNetworkConfig;
+    use eugene_tensor::seeded_rng;
+
+    fn network() -> StagedNetwork {
+        let config = StagedNetworkConfig {
+            input_dim: 12,
+            num_classes: 4,
+            stage_widths: vec![vec![16, 16], vec![16], vec![8]],
+            dropout: 0.0,
+            input_skip: false,
+        };
+        StagedNetwork::new(&config, &mut seeded_rng(9))
+    }
+
+    #[test]
+    fn report_covers_every_stage_with_tagged_precisions() {
+        let mut net = network();
+        let report = quantize_stages(&mut net, &[0, 2]);
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[0].precision, Precision::Int8);
+        assert_eq!(report.stages[1].precision, Precision::F32);
+        assert_eq!(report.stages[2].precision, Precision::Int8);
+        assert_eq!(report.stages[0].quantized_layers, 2);
+        assert_eq!(report.stages[1].quantized_layers, 0);
+        assert_eq!(report.stages[1].packed_bytes, 0);
+        assert!(report.stages[1].f32_bytes > 0, "f32 stages still counted");
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_a_step() {
+        let mut net = network();
+        let report = quantize_stages(&mut net, &[0, 1, 2]);
+        for stage in &report.stages {
+            assert!(stage.max_scale > 0.0);
+            assert!(
+                stage.max_weight_error <= stage.max_scale / 2.0 + f32::EPSILON,
+                "stage {}: error {} vs scale {}",
+                stage.stage,
+                stage.max_weight_error,
+                stage.max_scale
+            );
+        }
+        assert!(report.max_weight_error() > 0.0, "real rounding happened");
+    }
+
+    #[test]
+    fn packs_shrink_the_serving_footprint() {
+        let mut net = network();
+        let report = quantize_stages(&mut net, &[0, 1, 2]);
+        // The pack holds i8 data plus panels and column sums; it must
+        // still be well under the f32 weights it replaces.
+        assert!(report.total_packed_bytes() < report.total_f32_bytes());
+        assert!(report.serving_bytes_saved() > 0);
+
+        let restored = quantize_stages(&mut net, &[]);
+        assert_eq!(restored.total_packed_bytes(), 0);
+        assert_eq!(restored.serving_bytes_saved(), 0);
+        assert_eq!(net.stage_precisions(), vec![Precision::F32; 3]);
+    }
+}

@@ -51,6 +51,10 @@ impl InferenceEngine for StagedNetworkEngine {
         self.network.num_stages()
     }
 
+    fn stage_precision(&self, stage: usize) -> eugene_serve::Precision {
+        self.network.stage_precision(stage)
+    }
+
     fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession> {
         // Payloads arrive from untrusted network clients; a width mismatch
         // must yield an empty session (zero stages, no prediction) rather

@@ -7,8 +7,8 @@ use eugene_data::Dataset;
 use eugene_label::{LabelingOutcome, SemiSupervisedLabeler};
 use eugene_net::{Gateway, GatewayConfig, ShardConfig, ShardRouter};
 use eugene_nn::{
-    evaluate_staged, NetworkSnapshot, StageEval, StageOutput, StagedNetwork, StagedNetworkConfig,
-    TrainConfig, Trainer,
+    evaluate_staged, NetworkSnapshot, Precision, StageEval, StageOutput, StagedNetwork,
+    StagedNetworkConfig, TrainConfig, Trainer,
 };
 use eugene_partition::{EarlyExitProfile, LinkModel, PartitionPlan, PartitionPlanner, StageCost};
 use eugene_profiler::{ConvSpec, DeviceModel};
@@ -359,6 +359,36 @@ impl Eugene {
         })
         .fit(&mut pruned, data, &mut self.rng);
         Ok(self.register(pruned))
+    }
+
+    /// Switches the listed trunk stages of a registered model to
+    /// quantized (i8) serving; stages not listed revert to f32. The
+    /// usual deployment quantizes the *early* stages — they run for
+    /// every request, so that is where the i8 kernel tier's per-core
+    /// speedup buys the most throughput — while late stages and all
+    /// exit heads keep f32 accuracy. Returns the resulting per-stage
+    /// precisions.
+    ///
+    /// Runtimes already serving this model are unaffected (they hold
+    /// their own snapshot); runtimes started afterwards — including
+    /// [`Eugene::serve_multi`] variants — serve the quantized stages
+    /// and track their latencies in per-precision cost-model lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EugeneError::UnknownModel`] for an unissued id.
+    pub fn quantize_model(
+        &mut self,
+        id: ModelId,
+        stages: &[usize],
+    ) -> Result<Vec<Precision>, EugeneError> {
+        let arc = self
+            .models
+            .get_mut(&id.0)
+            .ok_or(EugeneError::UnknownModel { id: id.0 })?;
+        let network = Arc::make_mut(arc);
+        network.quantize_stages(stages);
+        Ok(network.stage_precisions())
     }
 
     /// §II-B *caching*: trains a reduced frequent-classes-plus-other model
@@ -1107,6 +1137,63 @@ mod tests {
         let completed: u64 = snapshot.per_model.values().map(|m| m.completed).sum();
         assert_eq!(completed, 12, "every submission answered by some variant");
         gateway.shutdown();
+    }
+
+    #[test]
+    fn quantized_early_stages_serve_and_stay_accurate() {
+        let data = dataset(41, 300);
+        let mut eugene = Eugene::new(42);
+        let id = eugene.train(TrainRequest::quick(&data)).unwrap();
+        let f32_answers: Vec<_> = (0..20)
+            .map(|i| eugene.classify(id, data.sample(i)).unwrap())
+            .collect();
+
+        // Quantize the first two of three stages; the deepest stage and
+        // all heads stay f32.
+        let precisions = eugene.quantize_model(id, &[0, 1]).unwrap();
+        assert_eq!(
+            precisions,
+            vec![Precision::Int8, Precision::Int8, Precision::F32]
+        );
+        let mut agree = 0usize;
+        for (i, f32_stages) in f32_answers.iter().enumerate() {
+            let q_stages = eugene.classify(id, data.sample(i)).unwrap();
+            assert_eq!(q_stages.len(), f32_stages.len());
+            if q_stages.last().unwrap().predicted == f32_stages.last().unwrap().predicted {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= 18,
+            "i8 trunk flips too many final predictions: {agree}/20"
+        );
+
+        // The quantized model serves through the normal runtime path.
+        let runtime = eugene
+            .serve(
+                id,
+                &ServeOptions {
+                    scheduler: SchedulerKind::Fifo,
+                    ..ServeOptions::default()
+                },
+                None,
+            )
+            .unwrap();
+        let (_, rx) = runtime.submit(eugene_serve::InferenceRequest::new(
+            data.sample(0).to_vec(),
+            eugene_serve::ServiceClass::new("test", Duration::from_secs(30)),
+        ));
+        let response = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(response.predicted.is_some());
+        assert!(!response.expired);
+        runtime.shutdown();
+
+        // And back to f32 restores the original answers exactly.
+        let restored = eugene.quantize_model(id, &[]).unwrap();
+        assert_eq!(restored, vec![Precision::F32; 3]);
+        for (i, f32_stages) in f32_answers.iter().enumerate() {
+            assert_eq!(&eugene.classify(id, data.sample(i)).unwrap(), f32_stages);
+        }
     }
 
     /// Same façade entry point, readiness-driven backend: the event-loop

@@ -56,4 +56,6 @@ pub use facade::{
 pub use eugene_net::{
     Gateway, GatewayBackend, GatewayConfig, ShardConfig, ShardRouter, SubmitOptions, TenantQuota,
 };
-pub use eugene_serve::{ModelRegistry, OverloadPolicy, RegistryError, VariantDispatcher};
+pub use eugene_serve::{
+    ModelRegistry, OverloadPolicy, Precision, RegistryError, VariantDispatcher,
+};

@@ -69,7 +69,7 @@ pub use trainer::{TrainConfig, TrainReport, Trainer};
 
 // The kernel-parallelism knob, re-exported so training and serving code
 // can size the worker pool without depending on `eugene_tensor` directly.
-pub use eugene_tensor::{parallelism, set_parallelism};
+pub use eugene_tensor::{parallelism, set_parallelism, Precision};
 
 #[cfg(test)]
 mod integration_tests;

@@ -1,7 +1,8 @@
 use crate::Layer;
-use eugene_tensor::{xavier_uniform, Matrix};
+use eugene_tensor::{xavier_uniform, Matrix, Precision, QuantizedRhs};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A fully connected layer: `y = x W + b`.
 ///
@@ -18,6 +19,14 @@ use serde::{Deserialize, Serialize};
 /// let out = layer.infer(&Matrix::zeros(4, 3));
 /// assert_eq!(out.shape(), (4, 2));
 /// ```
+/// # Precision
+///
+/// A layer normally runs f32 kernels. [`Linear::set_precision`] with
+/// [`Precision::Int8`] packs the weights into a [`QuantizedRhs`] once;
+/// inference then runs the i8 GEMM tier (activations quantized per row
+/// on the fly). The pack is serving-time state: it is never serialized
+/// (rebuilt via `set_precision` after load) and is invalidated by any
+/// weight mutation. Training always uses the f32 weights.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
     weights: Matrix,
@@ -26,6 +35,10 @@ pub struct Linear {
     grad_bias: Matrix,
     #[serde(skip)]
     cached_input: Option<Matrix>,
+    /// Packed quantized weights when serving at `Precision::Int8`;
+    /// shared so cloning a serving network does not repack.
+    #[serde(skip)]
+    quantized: Option<Arc<QuantizedRhs>>,
 }
 
 impl Linear {
@@ -45,6 +58,7 @@ impl Linear {
             grad_weights: Matrix::zeros(in_dim, out_dim),
             grad_bias: Matrix::zeros(1, out_dim),
             cached_input: None,
+            quantized: None,
         }
     }
 
@@ -69,6 +83,7 @@ impl Linear {
             grad_weights: Matrix::zeros(in_dim, out_dim),
             grad_bias: Matrix::zeros(1, out_dim),
             cached_input: None,
+            quantized: None,
         }
     }
 
@@ -92,14 +107,48 @@ impl Linear {
         &self.bias
     }
 
-    /// Mutable weight access, used by pruning.
+    /// Mutable weight access, used by pruning. Drops any quantized pack:
+    /// a pack built from the old weights would silently serve stale
+    /// parameters.
     pub fn weights_mut(&mut self) -> &mut Matrix {
+        self.quantized = None;
         &mut self.weights
     }
 
     /// Mutable bias access, used by pruning.
     pub fn bias_mut(&mut self) -> &mut Matrix {
         &mut self.bias
+    }
+
+    /// The precision this layer serves at: [`Precision::Int8`] when a
+    /// quantized weight pack is installed, [`Precision::F32`] otherwise.
+    pub fn precision(&self) -> Precision {
+        if self.quantized.is_some() {
+            Precision::Int8
+        } else {
+            Precision::F32
+        }
+    }
+
+    /// The installed quantized weight pack, if serving at i8 — e.g. for
+    /// reporting its packed footprint.
+    pub fn quantized_pack(&self) -> Option<&QuantizedRhs> {
+        self.quantized.as_deref()
+    }
+
+    /// Switches the serving precision. `Int8` packs the current weights
+    /// into the quantized GEMM layout (a no-op if already packed); `F32`
+    /// drops the pack. Training is unaffected either way — gradients
+    /// always flow through the f32 weights.
+    pub fn set_precision(&mut self, precision: Precision) {
+        match precision {
+            Precision::F32 => self.quantized = None,
+            Precision::Int8 => {
+                if self.quantized.is_none() {
+                    self.quantized = Some(Arc::new(self.weights.quantized_rhs()));
+                }
+            }
+        }
     }
 }
 
@@ -121,12 +170,18 @@ impl Layer for Linear {
     }
 
     fn infer(&self, input: &Matrix) -> Matrix {
-        let mut out = input.matmul(&self.weights);
+        let mut out = match &self.quantized {
+            Some(q) => input.matmul_quantized(q),
+            None => input.matmul(&self.weights),
+        };
         out.add_row_broadcast(self.bias.row(0));
         out
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        // The optimizer mutates weights through this hook, so any
+        // quantized pack is stale afterwards.
+        self.quantized = None;
         visitor(&mut self.weights, &mut self.grad_weights);
         visitor(&mut self.bias, &mut self.grad_bias);
     }
@@ -256,5 +311,61 @@ mod tests {
     fn describe_mentions_shape() {
         let layer = Linear::new(8, 16, &mut seeded_rng(5));
         assert_eq!(layer.describe(), "linear 8->16");
+    }
+
+    #[test]
+    fn quantized_inference_tracks_f32() {
+        let mut rng = seeded_rng(6);
+        let mut layer = Linear::new(17, 9, &mut rng);
+        let input = xavier_uniform(5, 17, &mut rng);
+        let f32_out = layer.infer(&input);
+        assert_eq!(layer.precision(), Precision::F32);
+
+        layer.set_precision(Precision::Int8);
+        assert_eq!(layer.precision(), Precision::Int8);
+        let q_out = layer.infer(&input);
+        assert_eq!(q_out.shape(), f32_out.shape());
+        for (q, f) in q_out.as_slice().iter().zip(f32_out.as_slice()) {
+            assert!((q - f).abs() < 0.05, "quantized output drifted: {q} vs {f}");
+        }
+
+        layer.set_precision(Precision::F32);
+        assert_eq!(layer.infer(&input), f32_out, "f32 path restored bitwise");
+    }
+
+    #[test]
+    fn weight_mutation_invalidates_quantized_pack() {
+        let mut rng = seeded_rng(7);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        layer.set_precision(Precision::Int8);
+        layer.weights_mut()[(0, 0)] += 1.0;
+        assert_eq!(
+            layer.precision(),
+            Precision::F32,
+            "stale pack must be dropped on weight mutation"
+        );
+
+        layer.set_precision(Precision::Int8);
+        layer.visit_params(&mut |_p, _g| {});
+        assert_eq!(
+            layer.precision(),
+            Precision::F32,
+            "optimizer access drops the pack too"
+        );
+    }
+
+    #[test]
+    fn training_still_runs_f32_while_quantized() {
+        let mut rng = seeded_rng(8);
+        let mut plain = Linear::new(3, 2, &mut rng);
+        let mut quant = plain.clone();
+        quant.set_precision(Precision::Int8);
+        let input = Matrix::from_rows(&[&[0.2, -0.4, 0.9]]);
+        let g = Matrix::filled(1, 2, 1.0);
+        plain.forward(&input);
+        quant.forward(&input);
+        let gi_plain = plain.backward(&g);
+        let gi_quant = quant.backward(&g);
+        assert_eq!(gi_plain, gi_quant, "backward is precision-independent");
     }
 }

@@ -1,5 +1,5 @@
 use crate::{Activation, Dropout, Layer, Linear, Sequential};
-use eugene_tensor::{argmax, softmax, Matrix};
+use eugene_tensor::{argmax, softmax, Matrix, Precision};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -220,6 +220,57 @@ impl StagedNetwork {
     /// calibration).
     pub fn heads_mut(&mut self) -> &mut [Linear] {
         &mut self.heads
+    }
+
+    /// The serving precision of trunk stage `s`: [`Precision::Int8`]
+    /// when every `Linear` in the block carries a quantized pack,
+    /// [`Precision::F32`] otherwise. Heads always serve f32 — their
+    /// logits feed entropy-based exit decisions, where quantization
+    /// noise would directly perturb confidence thresholds.
+    pub fn stage_precision(&self, s: usize) -> Precision {
+        let mut linears = 0usize;
+        let mut quantized = 0usize;
+        if let Some(block) = self.stages.get(s) {
+            for layer in block.layers() {
+                if let Some(lin) = layer.as_any().downcast_ref::<Linear>() {
+                    linears += 1;
+                    if lin.precision() == Precision::Int8 {
+                        quantized += 1;
+                    }
+                }
+            }
+        }
+        if linears > 0 && linears == quantized {
+            Precision::Int8
+        } else {
+            Precision::F32
+        }
+    }
+
+    /// Per-stage serving precisions, indexable by stage.
+    pub fn stage_precisions(&self) -> Vec<Precision> {
+        (0..self.stages.len())
+            .map(|s| self.stage_precision(s))
+            .collect()
+    }
+
+    /// Switches the listed trunk stages to quantized (i8) serving by
+    /// packing every `Linear` in those blocks; stages not listed are
+    /// reset to f32. Out-of-range indices are ignored. Heads are left
+    /// untouched (see [`StagedNetwork::stage_precision`]).
+    pub fn quantize_stages(&mut self, stages: &[usize]) {
+        for (s, block) in self.stages.iter_mut().enumerate() {
+            let precision = if stages.contains(&s) {
+                Precision::Int8
+            } else {
+                Precision::F32
+            };
+            for layer in block.layers_mut() {
+                if let Some(lin) = layer.as_any_mut().downcast_mut::<Linear>() {
+                    lin.set_precision(precision);
+                }
+            }
+        }
     }
 
     /// The input a stage consumes given the previous stage's output.
@@ -493,6 +544,30 @@ mod tests {
         assert_eq!(net.stage_output_dim(0), 6);
         assert_eq!(net.stage_output_dim(2), 5);
         assert!(!net.input_skip());
+    }
+
+    #[test]
+    fn quantize_stages_tags_precisions_and_tracks_f32() {
+        let mut net = StagedNetwork::new(&tiny_config(), &mut seeded_rng(11));
+        let input = Matrix::from_rows(&[&[0.2, -0.5, 0.8, 0.1], &[0.9, 0.3, -0.2, -0.7]]);
+        let f32_logits = net.predict_all(&input);
+        assert_eq!(net.stage_precisions(), vec![Precision::F32; 3]);
+
+        net.quantize_stages(&[0, 1]);
+        assert_eq!(
+            net.stage_precisions(),
+            vec![Precision::Int8, Precision::Int8, Precision::F32]
+        );
+        let q_logits = net.predict_all(&input);
+        for (ql, fl) in q_logits.iter().zip(&f32_logits) {
+            for (q, f) in ql.as_slice().iter().zip(fl.as_slice()) {
+                assert!((q - f).abs() < 0.1, "quantized logits drifted: {q} vs {f}");
+            }
+        }
+
+        net.quantize_stages(&[]);
+        assert_eq!(net.stage_precisions(), vec![Precision::F32; 3]);
+        assert_eq!(net.predict_all(&input), f32_logits, "f32 path restored");
     }
 
     #[test]

@@ -46,4 +46,7 @@ mod tree;
 pub use device::DeviceModel;
 pub use flops::ConvSpec;
 pub use stage_cost::StageCostModel;
+// Re-exported so cost-model consumers can tag observations without a
+// direct tensor dependency.
+pub use eugene_tensor::Precision;
 pub use tree::{FlopsLinearModel, PwlRegressionTree, TreeConfig};

@@ -1,4 +1,5 @@
 use crate::{ConvSpec, DeviceModel};
+use eugene_tensor::Precision;
 
 /// Per-stage execution-cost model for a staged network: analytic priors
 /// refined online by measured stage latencies.
@@ -26,12 +27,19 @@ use crate::{ConvSpec, DeviceModel};
 /// // Stages beyond the model fall back to the deepest known stage.
 /// assert_eq!(cost.estimate_ms(9), cost.estimate_ms(2));
 /// ```
+/// Measurements are kept in separate lanes per [`Precision`]: a stage
+/// served quantized (i8 kernels) runs several times faster than the
+/// same stage in f32, so folding both into one EMA would poison the
+/// estimate for whichever precision runs less often. The untagged
+/// `observe_ms`/`estimate_ms` are the f32 lane; quantized callers use
+/// the `_precision_` variants.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageCostModel {
     /// Analytic prior per stage, in milliseconds.
     priors_ms: Vec<f64>,
-    /// Measured EMA per stage; `None` until the stage has run once.
-    measured_ms: Vec<Option<f64>>,
+    /// Measured EMA per stage and precision lane; `None` until that
+    /// (stage, precision) pair has run once.
+    measured_ms: Vec<[Option<f64>; Precision::COUNT]>,
     /// EMA smoothing factor in `(0, 1]`: weight of the newest sample.
     alpha: f64,
 }
@@ -48,7 +56,7 @@ impl StageCostModel {
             .into_iter()
             .map(|p| if p.is_finite() && p > 0.0 { p } else { 1e-3 })
             .collect();
-        let measured_ms = vec![None; priors_ms.len()];
+        let measured_ms = vec![[None; Precision::COUNT]; priors_ms.len()];
         Self {
             priors_ms,
             measured_ms,
@@ -83,39 +91,70 @@ impl StageCostModel {
         self
     }
 
-    /// Folds one measured execution of `stage` (in milliseconds) into the
-    /// moving average. Out-of-range stages and junk samples are ignored.
+    /// Folds one measured f32 execution of `stage` (in milliseconds)
+    /// into the moving average. Out-of-range stages and junk samples
+    /// are ignored.
     pub fn observe_ms(&mut self, stage: usize, sample_ms: f64) {
+        self.observe_precision_ms(stage, Precision::F32, sample_ms);
+    }
+
+    /// Folds one measured execution of `stage` at `precision` into that
+    /// precision lane's moving average. Out-of-range stages and junk
+    /// samples are ignored.
+    pub fn observe_precision_ms(&mut self, stage: usize, precision: Precision, sample_ms: f64) {
         if stage >= self.measured_ms.len() || !sample_ms.is_finite() || sample_ms < 0.0 {
             return;
         }
-        let slot = &mut self.measured_ms[stage];
+        let slot = &mut self.measured_ms[stage][precision.index()];
         *slot = Some(match *slot {
             Some(ema) => ema + self.alpha * (sample_ms - ema),
             None => sample_ms,
         });
     }
 
-    /// Best current estimate of one execution of `stage`, in
+    /// Best current estimate of one f32 execution of `stage`, in
     /// milliseconds: the measured EMA when the stage has run, the
     /// analytic prior otherwise. Stages past the end of the model reuse
     /// the deepest known stage (degenerate models fall back to
     /// [`DEFAULT_STAGE_MS`]).
     pub fn estimate_ms(&self, stage: usize) -> f64 {
+        self.estimate_precision_ms(stage, Precision::F32)
+    }
+
+    /// Best current estimate of one execution of `stage` at
+    /// `precision`. Each precision lane prefers its own measured EMA; a
+    /// lane that has never run falls back to the analytic prior (which
+    /// is f32-derived — conservative for quantized stages, and replaced
+    /// by the lane's first real sample).
+    pub fn estimate_precision_ms(&self, stage: usize, precision: Precision) -> f64 {
         if self.priors_ms.is_empty() {
             return DEFAULT_STAGE_MS;
         }
         let stage = stage.min(self.priors_ms.len() - 1);
-        match self.measured_ms[stage] {
+        match self.measured_ms[stage][precision.index()] {
             Some(ema) => ema.max(1e-6),
             None => self.priors_ms[stage],
         }
     }
 
-    /// Estimated cost of running stages `from..until` (exclusive), i.e.
-    /// the remaining work of a request that has finished `from` stages.
+    /// Estimated cost of running stages `from..until` (exclusive) in
+    /// f32, i.e. the remaining work of a request that has finished
+    /// `from` stages.
     pub fn remaining_ms(&self, from: usize, until: usize) -> f64 {
         (from..until).map(|s| self.estimate_ms(s)).sum()
+    }
+
+    /// [`Self::remaining_ms`] with a per-stage precision lookup, for
+    /// engines whose stages run in mixed precision.
+    pub fn remaining_precision_ms(
+        &self,
+        from: usize,
+        until: usize,
+        precision_of: impl Fn(usize) -> Precision,
+    ) -> f64 {
+        (from..until)
+            .map(|s| self.estimate_precision_ms(s, precision_of(s)))
+            .sum()
     }
 }
 
@@ -177,6 +216,26 @@ mod tests {
         assert!((cost.estimate_ms(0) - device.network_latency_ms(&stages[0])).abs() < 1e-9);
         assert!((cost.estimate_ms(1) - device.network_latency_ms(&stages[1])).abs() < 1e-9);
         assert!(cost.estimate_ms(1) > cost.estimate_ms(0));
+    }
+
+    #[test]
+    fn precision_lanes_do_not_poison_each_other() {
+        let mut cost = StageCostModel::from_priors(vec![4.0]);
+        for _ in 0..200 {
+            cost.observe_precision_ms(0, Precision::Int8, 1.0);
+        }
+        assert!((cost.estimate_precision_ms(0, Precision::Int8) - 1.0).abs() < 1e-3);
+        assert_eq!(cost.estimate_ms(0), 4.0, "f32 lane still on its prior");
+        for _ in 0..200 {
+            cost.observe_ms(0, 8.0);
+        }
+        assert!((cost.estimate_ms(0) - 8.0).abs() < 1e-3);
+        assert!(
+            (cost.estimate_precision_ms(0, Precision::Int8) - 1.0).abs() < 1e-3,
+            "int8 lane untouched by f32 samples"
+        );
+        let rem = cost.remaining_precision_ms(0, 1, |_| Precision::Int8);
+        assert!((rem - 1.0).abs() < 1e-3);
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub trait InferenceEngine: Send + Sync {
     /// Number of stages every session will expose.
     fn num_stages(&self) -> usize;
 
+    /// Precision the engine serves `stage` at. The runtime keys its
+    /// latency EMAs by this tag so a quantized stage (several times
+    /// faster than f32) never poisons the f32 estimate or vice versa.
+    /// Defaults to f32; mixed-precision engines override it.
+    fn stage_precision(&self, _stage: usize) -> eugene_profiler::Precision {
+        eugene_profiler::Precision::F32
+    }
+
     /// Starts a new inference session over one input.
     fn begin(&self, payload: &[f32]) -> Box<dyn EngineSession>;
 

@@ -46,7 +46,7 @@ mod stats;
 pub use accounting::{ClassUsage, PricingModel, UsageLedger};
 pub use daemon::DeadlineDaemon;
 pub use engine::{EngineSession, InferenceEngine, StageReport};
-pub use eugene_profiler::StageCostModel;
+pub use eugene_profiler::{Precision, StageCostModel};
 pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;
 pub use registry::{ModelRegistry, RegistryError, VariantDispatcher, DEFAULT_MODEL};

@@ -5,7 +5,7 @@ use crate::{
     WorkerPool,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use eugene_profiler::StageCostModel;
+use eugene_profiler::{Precision, StageCostModel};
 use eugene_sched::{Scheduler, TaskView};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -389,6 +389,13 @@ fn coordinator_loop(
     // Online per-stage confidence profile: the Δutility half of the
     // utility-density ordering.
     let mut profile = ConfidenceProfile::new(engine.num_stages());
+    // Per-stage serving precisions, sampled once: engines are immutable
+    // while serving. Every cost observation and estimate below is keyed
+    // by this tag so quantized stages (several times faster) and f32
+    // stages keep separate latency EMAs.
+    let precisions: Vec<Precision> = (0..engine.num_stages())
+        .map(|s| engine.stage_precision(s))
+        .collect();
     // Outstanding worker jobs (a fused batch occupies one worker).
     let mut busy_jobs = 0usize;
     // Tasks whose stage is executing right now (>= busy_jobs under fusion).
@@ -450,7 +457,11 @@ fn coordinator_loop(
                         if let Some(stage) = stage {
                             profile.observe(stage, report.confidence);
                             if let Some(at) = task.dispatched_at {
-                                cost.observe_ms(stage, at.elapsed().as_secs_f64() * 1e3);
+                                cost.observe_precision_ms(
+                                    stage,
+                                    precision_at(&precisions, stage),
+                                    at.elapsed().as_secs_f64() * 1e3,
+                                );
                             }
                         }
                         task.observed.push(report.confidence);
@@ -512,7 +523,9 @@ fn coordinator_loop(
                     continue;
                 }
                 let remaining_ms = task.deadline.saturating_duration_since(now).as_secs_f64() * 1e3;
-                if cost.estimate_ms(task.observed.len()) > remaining_ms {
+                let next = task.observed.len();
+                if cost.estimate_precision_ms(next, precision_at(&precisions, next)) > remaining_ms
+                {
                     task.degraded = true;
                     parked_depth -= 1;
                 }
@@ -527,7 +540,7 @@ fn coordinator_loop(
                             && !t.degraded
                             && !t.observed.is_empty()
                     })
-                    .map(|(&id, t)| (id, utility_density(t, &profile, &cost)))
+                    .map(|(&id, t)| (id, utility_density(t, &profile, &cost, &precisions)))
                     .collect();
                 shedable.sort_by(|a, b| {
                     a.1.partial_cmp(&b.1)
@@ -646,9 +659,15 @@ fn coordinator_loop(
                 .saturating_sub(buckets.total_gathered() + running_tasks);
             if capacity > 0 {
                 let now = Instant::now();
-                for picked in
-                    pick_schedulable(&mut scheduler, &tasks, capacity, &config, &profile, &cost)
-                {
+                for picked in pick_schedulable(
+                    &mut scheduler,
+                    &tasks,
+                    capacity,
+                    &config,
+                    &profile,
+                    &cost,
+                    &precisions,
+                ) {
                     if let Some(task) = tasks.get_mut(&picked) {
                         task.gathering = true;
                         buckets.add(task.observed.len(), picked, now);
@@ -667,8 +686,9 @@ fn coordinator_loop(
                             // window of its estimated next-stage cost:
                             // waiting longer risks the daemon killing it
                             // before the stage even dispatches.
+                            let next = t.observed.len();
                             let margin = urgent_margin(
-                                cost.estimate_ms(t.observed.len()),
+                                cost.estimate_precision_ms(next, precision_at(&precisions, next)),
                                 config.gather_window,
                             );
                             t.deadline.saturating_duration_since(now) <= margin
@@ -728,7 +748,15 @@ fn coordinator_loop(
             }
         } else if free > 0 {
             let mut dispatched = 0;
-            for picked in pick_schedulable(&mut scheduler, &tasks, free, &config, &profile, &cost) {
+            for picked in pick_schedulable(
+                &mut scheduler,
+                &tasks,
+                free,
+                &config,
+                &profile,
+                &cost,
+                &precisions,
+            ) {
                 if dispatched >= free {
                     break;
                 }
@@ -806,15 +834,30 @@ impl ConfidenceProfile {
     }
 }
 
+/// Serving precision of `stage`, falling back to f32 for stages past the
+/// sampled engine depth (sessions never run stages beyond `num_stages`,
+/// but estimates are occasionally asked about them).
+fn precision_at(precisions: &[Precision], stage: usize) -> Precision {
+    precisions.get(stage).copied().unwrap_or(Precision::F32)
+}
+
 /// Marginal utility density of running `task`'s next stage: estimated
 /// Δconfidence (confidence profile) over estimated Δtime (stage cost
-/// model), in confidence per millisecond. The floor on the gain keeps
-/// fully-plateaued tasks schedulable rather than starved forever.
-fn utility_density(task: &ActiveTask, profile: &ConfidenceProfile, cost: &StageCostModel) -> f64 {
+/// model, at the stage's serving precision), in confidence per
+/// millisecond. The floor on the gain keeps fully-plateaued tasks
+/// schedulable rather than starved forever.
+fn utility_density(
+    task: &ActiveTask,
+    profile: &ConfidenceProfile,
+    cost: &StageCostModel,
+    precisions: &[Precision],
+) -> f64 {
     let next = task.observed.len();
     let current = task.last.map_or(0.0, |r| f64::from(r.confidence));
     let gain = (profile.expected_after(next) - current).max(1e-4);
-    gain / cost.estimate_ms(next).max(1e-6)
+    gain / cost
+        .estimate_precision_ms(next, precision_at(precisions, next))
+        .max(1e-6)
 }
 
 /// Remaining-budget threshold below which a gathered request must flush
@@ -840,6 +883,7 @@ fn pick_schedulable(
     config: &RuntimeConfig,
     profile: &ConfidenceProfile,
     cost: &StageCostModel,
+    precisions: &[Precision],
 ) -> Vec<RequestId> {
     let mut entries: Vec<(&RequestId, &ActiveTask)> = tasks
         .iter()
@@ -856,7 +900,13 @@ fn pick_schedulable(
         // before anyone's refinement stages run.
         let mut ranked: Vec<(f64, Instant, RequestId)> = entries
             .iter()
-            .map(|(id, t)| (utility_density(t, profile, cost), t.deadline, **id))
+            .map(|(id, t)| {
+                (
+                    utility_density(t, profile, cost, precisions),
+                    t.deadline,
+                    **id,
+                )
+            })
             .collect();
         ranked.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
@@ -886,8 +936,12 @@ fn pick_schedulable(
                 // arithmetic expects (they compare this against counts of
                 // stages left, not milliseconds).
                 remaining_quanta: (remaining_ms as f64
-                    / cost.estimate_ms(t.observed.len()).max(1e-6))
-                    as u64,
+                    / cost
+                        .estimate_precision_ms(
+                            t.observed.len(),
+                            precision_at(precisions, t.observed.len()),
+                        )
+                        .max(1e-6)) as u64,
             }
         })
         .collect();
@@ -1596,9 +1650,10 @@ mod tests {
         let fresh = task_at_stage(&[], None);
         let midway = task_at_stage(&[0.5], Some(0.5));
         let deep = task_at_stage(&[0.5, 0.8], Some(0.8));
-        let d_fresh = utility_density(&fresh, &profile, &cost);
-        let d_mid = utility_density(&midway, &profile, &cost);
-        let d_deep = utility_density(&deep, &profile, &cost);
+        let f32s = vec![Precision::F32; 3];
+        let d_fresh = utility_density(&fresh, &profile, &cost, &f32s);
+        let d_mid = utility_density(&midway, &profile, &cost, &f32s);
+        let d_deep = utility_density(&deep, &profile, &cost, &f32s);
         assert!(
             d_fresh > d_mid && d_mid > d_deep,
             "first stages buy the most confidence per ms: {d_fresh} {d_mid} {d_deep}"
@@ -1606,7 +1661,15 @@ mod tests {
         // A costlier next stage lowers density at equal gain.
         let mut pricey = StageCostModel::uniform(3, 1.0);
         pricey.observe_ms(0, 10.0);
-        assert!(utility_density(&fresh, &profile, &pricey) < d_fresh);
+        assert!(utility_density(&fresh, &profile, &pricey, &f32s) < d_fresh);
+        // A quantized stage 0 keeps its own (cheap) lane: the f32 lane's
+        // 10ms samples must not slow the quantized estimate down.
+        let mixed = vec![Precision::Int8, Precision::F32, Precision::F32];
+        pricey.observe_precision_ms(0, Precision::Int8, 0.5);
+        assert!(
+            utility_density(&fresh, &profile, &pricey, &mixed) > d_fresh,
+            "quantized lane is cheaper than the 1ms prior"
+        );
     }
 
     fn task_at_stage(observed: &[f32], last_conf: Option<f32>) -> ActiveTask {

@@ -56,7 +56,33 @@ const MR: usize = 4;
 /// `out += lhs * rhs` where `lhs` is `m x k`, `rhs` is `k x n`, and `out`
 /// is `m x n`, all row-major. `out` is normally freshly zeroed by the
 /// caller; the kernel accumulates into whatever it holds.
+///
+/// Dispatches to the kernel tier resolved by [`crate::simd`]: the
+/// AVX-512F or AVX2/FMA micro-kernel (or their portable fused twin)
+/// when the SIMD tier is active, the legacy blocked scalar kernel
+/// below otherwise.
 pub(crate) fn gemm_rrr(m: usize, k: usize, n: usize, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
+    use crate::simd::{FusedIsa, ResolvedPath};
+    let isa = match crate::simd::resolved_path() {
+        ResolvedPath::ScalarLegacy => return gemm_rrr_scalar(m, k, n, lhs, rhs, out),
+        ResolvedPath::SimdAvx512 => FusedIsa::Avx512,
+        ResolvedPath::SimdAvx2 => FusedIsa::Avx2,
+        ResolvedPath::PortableFused => FusedIsa::Portable,
+    };
+    crate::simd::gemm_fused(m, k, n, lhs, rhs, out, isa, SMALL_FLOPS, PARALLEL_MIN_FLOPS);
+}
+
+/// The legacy scalar tier: bitwise-equal to the `*_reference`
+/// implementations (mul-then-add, ascending k). Kept both as the
+/// portable fallback and as the reference-bitwise contract anchor.
+pub(crate) fn gemm_rrr_scalar(
+    m: usize,
+    k: usize,
+    n: usize,
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+) {
     debug_assert_eq!(lhs.len(), m * k);
     debug_assert_eq!(rhs.len(), k * n);
     debug_assert_eq!(out.len(), m * n);

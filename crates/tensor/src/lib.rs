@@ -19,15 +19,28 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod alloc;
 mod error;
 mod kernels;
 mod matrix;
 mod pool;
+mod precision;
+mod quant;
 mod rng;
+mod simd;
 mod stats;
 
+pub use alloc::{is_panel_aligned, AlignedVec, PANEL_ALIGN};
 pub use error::ShapeError;
 pub use matrix::Matrix;
 pub use pool::{parallelism, set_parallelism};
+pub use precision::Precision;
+pub use quant::{
+    qgemm, quant_tier_name, quantize_symmetric, row_scales, symmetric_scale, QuantizedRhs,
+};
 pub use rng::{seeded_rng, standard_normal, xavier_uniform};
+pub use simd::{
+    avx2_fma_available, avx512_available, cpu_features, isa_tier, set_simd_mode, simd_active,
+    simd_mode, CpuFeatures, SimdMode,
+};
 pub use stats::{argmax, entropy, log_softmax, mean, softmax, softmax_in_place, std_dev, variance};

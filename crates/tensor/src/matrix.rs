@@ -277,6 +277,35 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Quantizes this matrix as GEMM weights: per-tensor symmetric i8
+    /// with panels packed for the current quantized kernel tier. The
+    /// pack is built once and reused across every subsequent
+    /// [`Matrix::matmul_quantized`] call and k-sweep.
+    pub fn quantized_rhs(&self) -> crate::QuantizedRhs {
+        crate::QuantizedRhs::pack(self.rows, self.cols, &self.data)
+    }
+
+    /// Matrix product `self * rhs` on the quantized i8 kernel tier:
+    /// activations are quantized per-row on the fly, accumulation is
+    /// exact i32, and the result is dequantized back to f32. Output
+    /// rows remain bitwise independent of batch shape, like the f32
+    /// kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` was not packed for shape `(self.cols(), n)`.
+    pub fn matmul_quantized(&self, rhs: &crate::QuantizedRhs) -> Matrix {
+        let (k, n) = rhs.shape();
+        assert_eq!(
+            self.cols, k,
+            "matmul_quantized requires lhs cols == packed rhs rows (lhs is {}x{}, rhs packed {}x{})",
+            self.rows, self.cols, k, n
+        );
+        let mut out = Matrix::zeros(self.rows, n);
+        crate::quant::qgemm(self.rows, k, n, &self.data, rhs, &mut out.data);
+        out
+    }
+
     /// Matrix product `self^T * rhs`.
     ///
     /// Packs `self^T` into a row-major buffer and reuses the blocked

@@ -1,0 +1,61 @@
+//! Numeric precision tags for kernel and stage execution.
+
+/// The numeric precision a computation (a layer, a network stage, a
+/// kernel call) executes in.
+///
+/// Threaded from the kernel tier up through `eugene-nn` stage configs
+/// and the serving runtime's cost model: quantized stages and f32
+/// stages have very different latencies, so everything that estimates
+/// or observes stage cost keys on this tag to avoid poisoning one
+/// precision's EMA with the other's samples.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum Precision {
+    /// Full-precision f32 kernels (the default tier).
+    #[default]
+    F32,
+    /// Quantized i8×i8→i32 kernels with f32 dequantization.
+    Int8,
+}
+
+impl Precision {
+    /// Number of distinct precision tags (for per-precision tables).
+    pub const COUNT: usize = 2;
+
+    /// Stable dense index for per-precision lookup tables.
+    pub fn index(self) -> usize {
+        match self {
+            Precision::F32 => 0,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Short stable name (used in results JSON and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        assert_eq!(Precision::F32.index(), 0);
+        assert_eq!(Precision::Int8.index(), 1);
+        assert_eq!(Precision::COUNT, 2);
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+}

@@ -1,22 +1,70 @@
-//! Property tests pinning the blocked/parallel kernels to the retained
-//! naive references across random shapes, including sizes that are not
-//! multiples of the tile widths and `parallelism(1)`.
+//! Property tests pinning every kernel tier to its contract across
+//! random shapes straddling the tile widths (MR = 4, NR = 16), the 4-k
+//! unroll, the small/blocked threshold, and KC (256).
+//!
+//! The parity contract (see `crates/tensor/src/simd.rs`):
+//!
+//! - **Scalar tier** (`SimdMode::ForceScalar`): bitwise-equal to the
+//!   naive `*_reference` kernels — the pre-existing contract.
+//! - **SIMD tier**: the AVX2/FMA kernel is bitwise-equal to the
+//!   portable fused twin (`ForceSimd` vs `ForcePortable`), and both
+//!   stay within accumulated-rounding tolerance of the reference (FMA
+//!   rounds once per step where the reference rounds twice, so the
+//!   tiers cannot be bitwise-equal to *each other*).
+//! - **Quantized tier**: every i8 kernel (VNNI / maddwd / scalar) is
+//!   bitwise-identical (exact i32 accumulation), and the dequantized
+//!   result tracks the exact product within the analytic bound derived
+//!   from the symmetric scales.
+//!
+//! `simd_mode` is process-global, so every test that sets or depends on
+//! it serializes on [`mode_lock`] and restores the ambient mode.
 
-use eugene_tensor::{set_parallelism, Matrix};
+use eugene_tensor::{
+    qgemm, row_scales, set_parallelism, set_simd_mode, simd_mode, Matrix, SimdMode,
+};
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
-/// Random `(m, k, n)` shapes straddling the quad width (4), the 4-k
-/// unroll, and the small/blocked-path threshold.
+/// Serializes tests around the process-global kernel-path override.
+fn mode_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Runs `body` with the kernel path forced to `mode`, restoring the
+/// previous mode afterwards (panic-safe via the poison-tolerant lock).
+fn with_mode<R>(mode: SimdMode, body: impl FnOnce() -> R) -> R {
+    let before = simd_mode();
+    set_simd_mode(mode);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    set_simd_mode(before);
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Random `(m, k, n)` shapes straddling the quad height (MR = 4), the
+/// panel width (NR = 16), and the small/blocked-path threshold.
 fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..48, 1usize..96, 1usize..48)
 }
 
-fn within(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), proptest::CaseError> {
+/// Shapes whose k crosses the KC = 256 k-block boundary.
+fn deep_shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 200usize..320, 1usize..40)
+}
+
+fn assert_bitwise(a: &Matrix, b: &Matrix, what: &str) -> Result<(), proptest::CaseError> {
     prop_assert_eq!(a.shape(), b.shape());
     for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
-        prop_assert!(
-            (x - y).abs() <= tol,
-            "element {} differs: {} vs {}",
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{}: element {} differs: {} vs {}",
+            what,
             i,
             x,
             y
@@ -25,22 +73,99 @@ fn within(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), proptest::CaseError> {
     Ok(())
 }
 
+/// Rounding-aware proximity: the error of k single- vs double-rounded
+/// accumulation steps scales with the *intermediate* partial-sum
+/// magnitudes (bounded by Σ|aᵢ·bᵢ|), not with the possibly-cancelled
+/// final value, so the tolerance is absolute in that bound.
+fn within_rounding(
+    a: &Matrix,
+    b: &Matrix,
+    k: usize,
+    max_abs_product: f32,
+) -> Result<(), proptest::CaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    let tol = 4.0 * f32::EPSILON * (k as f32) * (k as f32) * max_abs_product + 1e-6;
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        prop_assert!(
+            (x - y).abs() <= tol,
+            "element {} differs: {} vs {} (tol {})",
+            i,
+            x,
+            y,
+            tol
+        );
+    }
+    Ok(())
+}
+
 proptest! {
+    /// The scalar tier keeps the original contract: bitwise-equal to
+    /// the naive references for all three product variants.
     #[test]
-    fn kernels_match_references_across_random_shapes(
+    fn scalar_tier_matches_references_bitwise(
         (m, k, n) in shapes(),
         lhs in prop::collection::vec(-10.0f32..10.0, 48 * 96),
         rhs in prop::collection::vec(-10.0f32..10.0, 96 * 48),
     ) {
+        let _guard = mode_lock();
+        with_mode(SimdMode::ForceScalar, || {
+            let a = Matrix::from_vec(m, k, lhs[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, rhs[..k * n].to_vec());
+            assert_bitwise(&a.matmul(&b), &a.matmul_reference(&b), "matmul")?;
+
+            let at = Matrix::from_vec(k, m, lhs[..k * m].to_vec());
+            assert_bitwise(&at.t_matmul(&b), &at.t_matmul_reference(&b), "t_matmul")?;
+
+            let bt = Matrix::from_vec(n, k, rhs[..n * k].to_vec());
+            assert_bitwise(&a.matmul_t(&bt), &a.matmul_t_reference(&bt), "matmul_t")?;
+            Ok(())
+        })?;
+    }
+
+    /// Forced-SIMD == forced-portable bitwise: the AVX2/FMA kernel and
+    /// its portable `mul_add` twin are interchangeable on every shape
+    /// (on hosts without AVX2+FMA both force the portable twin and the
+    /// assertion is trivially true — the tolerance check still bites).
+    #[test]
+    fn simd_tier_matches_portable_twin_bitwise(
+        (m, k, n) in shapes(),
+        lhs in prop::collection::vec(-10.0f32..10.0, 48 * 96),
+        rhs in prop::collection::vec(-10.0f32..10.0, 96 * 48),
+    ) {
+        let _guard = mode_lock();
         let a = Matrix::from_vec(m, k, lhs[..m * k].to_vec());
         let b = Matrix::from_vec(k, n, rhs[..k * n].to_vec());
-        within(&a.matmul(&b), &a.matmul_reference(&b), 1e-6)?;
+        let simd = with_mode(SimdMode::ForceSimd, || a.matmul(&b));
+        let portable = with_mode(SimdMode::ForcePortable, || a.matmul(&b));
+        assert_bitwise(&simd, &portable, "simd vs portable")?;
+        // Both fused results stay near the (twice-rounding) reference:
+        // per-element error is bounded by k rounding steps at partial
+        // sums no larger than k · max|a·b| (inputs are in ±10).
+        let reference = a.matmul_reference(&b);
+        within_rounding(&simd, &reference, k, 100.0)?;
+    }
 
-        let at = Matrix::from_vec(k, m, lhs[..k * m].to_vec());
-        within(&at.t_matmul(&b), &at.t_matmul_reference(&b), 1e-6)?;
-
-        let bt = Matrix::from_vec(n, k, rhs[..n * k].to_vec());
-        within(&a.matmul_t(&bt), &a.matmul_t_reference(&bt), 1e-6)?;
+    /// The SIMD tier crosses the KC k-block boundary without reordering
+    /// accumulation: the packed/blocked kernel equals the unblocked
+    /// portable twin bitwise even for k > KC.
+    #[test]
+    fn simd_blocking_preserves_accumulation_order_past_kc(
+        (m, k, n) in deep_shapes(),
+        seed in any::<u64>(),
+    ) {
+        let _guard = mode_lock();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect());
+        let simd = with_mode(SimdMode::ForceSimd, || a.matmul(&b));
+        let portable = with_mode(SimdMode::ForcePortable, || a.matmul(&b));
+        assert_bitwise(&simd, &portable, "deep simd vs portable")?;
     }
 
     #[test]
@@ -48,8 +173,10 @@ proptest! {
         lhs in prop::collection::vec(-5.0f32..5.0, 40 * 80),
         rhs in prop::collection::vec(-5.0f32..5.0, 80 * 36),
     ) {
+        let _guard = mode_lock();
         // 40 x 80 x 36 is above the parallel threshold, so the two runs
-        // take different dispatch paths yet must agree bitwise.
+        // take different dispatch paths yet must agree bitwise —
+        // whichever tier is ambient.
         let a = Matrix::from_vec(40, 80, lhs);
         let b = Matrix::from_vec(80, 36, rhs);
         set_parallelism(1);
@@ -58,28 +185,125 @@ proptest! {
         let auto = a.matmul(&b);
         prop_assert_eq!(serial.as_slice(), auto.as_slice());
     }
+
+    /// i8 GEMM vs the exact f32 product, within the analytic bound
+    /// derived from the symmetric scales: quantizing a to â = a + δa
+    /// with |δa| ≤ s_A/2 and b likewise gives
+    ///   |Σ âb̂ − Σ ab| ≤ (s_B/2)·Σ|a| + (s_A/2)·Σ|b| + k·(s_A·s_B)/4,
+    /// plus a small slack for the f32 dequant arithmetic itself.
+    #[test]
+    fn quantized_gemm_stays_within_analytic_bound(
+        (m, k, n) in shapes(),
+        lhs in prop::collection::vec(-10.0f32..10.0, 48 * 96),
+        rhs in prop::collection::vec(-10.0f32..10.0, 96 * 48),
+    ) {
+        let _guard = mode_lock();
+        let a = Matrix::from_vec(m, k, lhs[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, rhs[..k * n].to_vec());
+        let packed = b.quantized_rhs();
+        let got = a.matmul_quantized(&packed);
+        let scales = row_scales(m, k, a.as_slice());
+        let sb = packed.scale() as f64;
+        for (i, &sa) in scales.iter().enumerate() {
+            let sa = sa as f64;
+            let abs_a: f64 = (0..k).map(|kk| a.as_slice()[i * k + kk].abs() as f64).sum();
+            for j in 0..n {
+                let exact: f64 = (0..k)
+                    .map(|kk| a.as_slice()[i * k + kk] as f64 * b.as_slice()[kk * n + j] as f64)
+                    .sum();
+                let abs_b: f64 = (0..k).map(|kk| b.as_slice()[kk * n + j].abs() as f64).sum();
+                let bound =
+                    0.5 * sb * abs_a + 0.5 * sa * abs_b + 0.25 * k as f64 * sa * sb + 1e-3;
+                let gotv = got.as_slice()[i * n + j] as f64;
+                prop_assert!(
+                    (gotv - exact).abs() <= bound,
+                    "({}, {}): got {}, exact {}, bound {}",
+                    i, j, gotv, exact, bound
+                );
+            }
+        }
+    }
+
+    /// Forced-scalar i8 == ambient-tier i8 bitwise: integer
+    /// accumulation is exact, so every quantized kernel tier must agree
+    /// to the last bit, including packs built under different tiers.
+    #[test]
+    fn quantized_tiers_agree_bitwise(
+        (m, k, n) in shapes(),
+        lhs in prop::collection::vec(-10.0f32..10.0, 48 * 96),
+        rhs in prop::collection::vec(-10.0f32..10.0, 96 * 48),
+    ) {
+        let _guard = mode_lock();
+        let a = Matrix::from_vec(m, k, lhs[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, rhs[..k * n].to_vec());
+        let fast = with_mode(SimdMode::Auto, || {
+            let packed = b.quantized_rhs();
+            a.matmul_quantized(&packed)
+        });
+        let scalar = with_mode(SimdMode::ForceScalar, || {
+            let packed = b.quantized_rhs();
+            a.matmul_quantized(&packed)
+        });
+        assert_bitwise(&fast, &scalar, "quant auto vs scalar")?;
+    }
 }
 
-/// Large non-multiple-of-tile shape crossing KC (256): the blocked path
-/// must still match the reference exactly (identical accumulation order).
+/// Large non-multiple-of-tile shape crossing KC (256): the scalar
+/// blocked path must still match the reference exactly (identical
+/// accumulation order) — the pre-existing anchor test, pinned to the
+/// scalar tier it has always described.
 #[test]
 fn blocked_path_is_bitwise_equal_to_reference_past_kc() {
-    let m = 37;
-    let k = 301; // crosses the KC = 256 k-block boundary
-    let n = 29;
-    let a = Matrix::from_vec(
-        m,
-        k,
-        (0..m * k)
-            .map(|i| ((i * 31 + 7) % 113) as f32 * 0.125 - 7.0)
-            .collect(),
-    );
-    let b = Matrix::from_vec(
-        k,
-        n,
-        (0..k * n)
-            .map(|i| ((i * 17 + 3) % 127) as f32 * 0.0625 - 4.0)
-            .collect(),
-    );
-    assert_eq!(a.matmul(&b).as_slice(), a.matmul_reference(&b).as_slice());
+    let _guard = mode_lock();
+    with_mode(SimdMode::ForceScalar, || {
+        let m = 37;
+        let k = 301; // crosses the KC = 256 k-block boundary
+        let n = 29;
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k)
+                .map(|i| ((i * 31 + 7) % 113) as f32 * 0.125 - 7.0)
+                .collect(),
+        );
+        let b = Matrix::from_vec(
+            k,
+            n,
+            (0..k * n)
+                .map(|i| ((i * 17 + 3) % 127) as f32 * 0.0625 - 4.0)
+                .collect(),
+        );
+        assert_eq!(a.matmul(&b).as_slice(), a.matmul_reference(&b).as_slice());
+    });
+}
+
+/// The forced-path override round-trips and reports a coherent tier.
+#[test]
+fn simd_mode_override_round_trips() {
+    let _guard = mode_lock();
+    let before = simd_mode();
+    set_simd_mode(SimdMode::ForceScalar);
+    assert_eq!(simd_mode(), SimdMode::ForceScalar);
+    assert!(!eugene_tensor::simd_active());
+    assert_eq!(eugene_tensor::isa_tier(), "scalar");
+    set_simd_mode(SimdMode::ForcePortable);
+    assert!(eugene_tensor::simd_active());
+    assert_eq!(eugene_tensor::isa_tier(), "portable_fused");
+    set_simd_mode(before);
+}
+
+/// Quantized matmul through the raw qgemm entry point accumulates into
+/// (rather than overwrites) its output, matching gemm_rrr semantics.
+#[test]
+fn qgemm_accumulates_into_out() {
+    let _guard = mode_lock();
+    let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 2.0, 0.25]);
+    let b = Matrix::from_vec(3, 2, vec![1.0, -1.0, 0.5, 0.25, 2.0, -0.5]);
+    let packed = b.quantized_rhs();
+    let mut out = vec![10.0f32; 4];
+    qgemm(2, 3, 2, a.as_slice(), &packed, &mut out);
+    let fresh = a.matmul_quantized(&packed);
+    for (o, f) in out.iter().zip(fresh.as_slice()) {
+        assert!((o - (f + 10.0)).abs() < 1e-5, "{o} vs {f} + 10");
+    }
 }

@@ -41,11 +41,18 @@ cargo test -p eugene-net -q --offline \
 # Kernel regressions, named explicitly for the same reason: the blocked/
 # parallel matmul paths must stay bitwise-equal to the naive references
 # at every parallelism setting (what serving micro-batching relies on).
+# Run twice — once with kernel-path auto-detection and once with the
+# SIMD tier forced off — so both the vectorized kernels and the scalar
+# fallback stay under the same parity contract.
 echo "==> cargo test -p eugene-tensor --test kernel_properties -q"
 cargo test -p eugene-tensor -q --offline --test kernel_properties
+echo "==> EUGENE_SIMD=0 cargo test -p eugene-tensor --test kernel_properties -q"
+EUGENE_SIMD=0 cargo test -p eugene-tensor -q --offline --test kernel_properties
 
-# Kernel throughput smoke: exercises the packed/parallel GEMM paths and
-# the worker pool end to end (quick mode skips the timed speedup gate).
+# Kernel throughput smoke: exercises the scalar/SIMD/quantized GEMM
+# tiers and the worker pool end to end. Quick mode asserts a
+# conservative speedup floor (SIMD >= 1.5x blocked scalar, quantized
+# not collapsed) so a silently de-vectorized build fails here.
 echo "==> kernel_throughput --quick"
 cargo run --release --offline -p eugene-bench --bin kernel_throughput -- --quick
 
