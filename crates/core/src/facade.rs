@@ -5,7 +5,7 @@ use eugene_calibrate::{
 use eugene_compress::{prune_nodes, CachedModel, CachedModelConfig};
 use eugene_data::Dataset;
 use eugene_label::{LabelingOutcome, SemiSupervisedLabeler};
-use eugene_net::{Gateway, GatewayConfig, ShardConfig, ShardRouter};
+use eugene_net::{Gateway, GatewayConfig, ReplicaConfig, ShardConfig, ShardRouter};
 use eugene_nn::{
     evaluate_staged, NetworkSnapshot, Precision, StageEval, StageOutput, StagedNetwork,
     StagedNetworkConfig, TrainConfig, Trainer,
@@ -676,9 +676,18 @@ impl Eugene {
     /// keys across them. Clients connect to
     /// [`ShardRouter::local_addr`] with the exact same wire protocol —
     /// nothing changes on the client side except (optionally) supplying a
-    /// routing key for session affinity. Shard failures surface as
-    /// [`eugene_net::RejectReason::ShardLost`] rejects on in-flight
-    /// requests while new sessions re-admit onto survivors.
+    /// routing key for session affinity.
+    ///
+    /// `replica` sets the tier's replication posture: under the default
+    /// [`eugene_net::FailoverPolicy::Replay`], a shard dying mid-flight
+    /// transparently replays its in-flight requests to each key's warm
+    /// standby (the ring successor) and clients see normal answers;
+    /// under [`eugene_net::FailoverPolicy::Reject`], failures surface as
+    /// the legacy [`eugene_net::RejectReason::ShardLost`] rejects while
+    /// new sessions re-admit onto survivors. The router also supports
+    /// live elasticity ([`ShardRouter::add_shard`] /
+    /// [`ShardRouter::remove_shard`]) with a double-routing migration
+    /// window governed by [`ReplicaConfig::migration_window`].
     ///
     /// # Errors
     ///
@@ -691,9 +700,11 @@ impl Eugene {
         options: &ServeOptions,
         predictor_data: Option<&Dataset>,
         shards: usize,
-        config: ShardConfig,
+        replica: ReplicaConfig,
+        mut config: ShardConfig,
     ) -> Result<ShardRouter, EugeneError> {
         assert!(shards > 0, "serve_sharded needs at least one shard");
+        config.replica = replica;
         let runtimes = (0..shards)
             .map(|_| self.serve(id, options, predictor_data))
             .collect::<Result<Vec<_>, _>>()?;
@@ -1041,6 +1052,7 @@ mod tests {
                 },
                 None,
                 2,
+                eugene_net::ReplicaConfig::default(),
                 eugene_net::ShardConfig::default(),
             )
             .unwrap();

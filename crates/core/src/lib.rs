@@ -54,7 +54,8 @@ pub use facade::{
 // connection-handling backend, address models, and set tenant quotas
 // without depending on eugene-net directly.
 pub use eugene_net::{
-    Gateway, GatewayBackend, GatewayConfig, ShardConfig, ShardRouter, SubmitOptions, TenantQuota,
+    FailoverPolicy, Gateway, GatewayBackend, GatewayConfig, RebalanceConfig, ReplicaConfig,
+    ShardConfig, ShardRouter, SubmitOptions, TenantQuota,
 };
 pub use eugene_serve::{
     ModelRegistry, OverloadPolicy, Precision, RegistryError, VariantDispatcher,

@@ -410,6 +410,9 @@ impl EugeneClient {
             routing_key: options.routing_key,
             model: options.model.clone(),
             tenant: options.tenant.clone(),
+            // Stamped by the sharded router when it proxies upstream;
+            // a direct client never sets it.
+            epoch: None,
         });
         let conn = match self.connection(deadline) {
             Ok(conn) => conn,
@@ -448,6 +451,15 @@ impl EugeneClient {
                     confidence,
                     predicted,
                 } if client_tag == tag => {
+                    // Stage-restart dedup: a sharded front tier replaying
+                    // this request onto a standby restarts its stage
+                    // stream; drop the dead attempt's updates.
+                    if stage_updates
+                        .last()
+                        .is_some_and(|last: &StageUpdate| stage <= last.stage)
+                    {
+                        stage_updates.clear();
+                    }
                     stage_updates.push(StageUpdate {
                         stage,
                         confidence,
@@ -674,7 +686,18 @@ impl PendingInference {
                 return Err(AttemptError::Fatal(ClientError::DeadlineExhausted));
             }
             match self.rx.recv_timeout(remaining) {
-                Ok(MuxEvent::Stage(update)) => self.stage_updates.push(update),
+                Ok(MuxEvent::Stage(update)) => {
+                    // A non-advancing stage number means the request was
+                    // transparently replayed on another shard (failover)
+                    // and its stage stream restarted: keep only the
+                    // stream of the attempt that will produce the Final.
+                    if let Some(last) = self.stage_updates.last() {
+                        if update.stage <= last.stage {
+                            self.stage_updates.clear();
+                        }
+                    }
+                    self.stage_updates.push(update);
+                }
                 Ok(MuxEvent::Final(response)) => {
                     self.done = true;
                     return Ok(InferenceOutcome {
@@ -895,6 +918,7 @@ impl MultiplexClient {
             routing_key: options.routing_key,
             model: options.model.clone(),
             tenant: options.tenant.clone(),
+            epoch: None,
         });
         if let Err(e) = wire::write_frame(&mut *conn.writer.lock(), &frame) {
             conn.shared.pending.lock().remove(&tag);

@@ -33,10 +33,15 @@
 //!   one misbehaving tenant sheds its own traffic first;
 //! - [`shard`]: a [`shard::ShardRouter`] front tier that consistently
 //!   hashes routing keys across N gateway shards (each with its own
-//!   runtime), answers in-flight requests on a dead shard with
-//!   [`wire::RejectReason::ShardLost`], and re-admits new sessions onto
-//!   survivors — same wire protocol, so every client above works
-//!   unchanged against it.
+//!   runtime). Every keyspace range has a replica group (primary plus
+//!   warm standby); a dead shard's in-flight requests transparently
+//!   replay to the standby under the default
+//!   [`shard::FailoverPolicy::Replay`] (or are answered
+//!   [`wire::RejectReason::ShardLost`] under the legacy
+//!   [`shard::FailoverPolicy::Reject`] contract), shards can be added
+//!   and removed live with bounded-remap migration, and an optional
+//!   load-aware rebalancer narrows per-shard rps spread — same wire
+//!   protocol, so every client above works unchanged against it.
 //!
 //! Deadlines cross the wire as *remaining budgets* (milliseconds), not
 //! absolute times, so client and server clocks never need to agree: the
@@ -65,6 +70,8 @@ pub use loadgen::{
     ClassSpec, LoadReport, LoadgenConfig, LoadgenMode, TenantLoadReport, TenantSpec,
 };
 pub use server::{Gateway, GatewayBackend, GatewayConfig, GatewayStatus};
-pub use shard::{HashRing, ShardConfig, ShardRouter};
+pub use shard::{
+    FailoverPolicy, HashRing, RebalanceConfig, ReplicaConfig, ShardConfig, ShardRouter,
+};
 pub use tenant::TenantQuota;
 pub use wire::{Frame, RejectReason, SubmitRequest, WireError, WireResponse, PROTOCOL_VERSION};

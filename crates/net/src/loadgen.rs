@@ -18,6 +18,7 @@
 //!   handful of sockets carry the whole offered load.
 
 use crate::client::{ClientConfig, ClientError, EugeneClient, MultiplexClient, SubmitOptions};
+use crate::wire::RejectReason;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -132,6 +133,10 @@ pub struct LoadReport {
     pub completed: u64,
     /// Requests shed by gateway admission control.
     pub rejected: u64,
+    /// Slice of `rejected` carrying `RejectReason::ShardLost`: requests
+    /// the sharded front tier could not place on any shard. Zero under
+    /// transparent failover — the replica-fault suites gate on it.
+    pub rejected_shard_lost: u64,
     /// Requests answered but killed by the server's deadline daemon.
     pub expired: u64,
     /// Requests answered with a degraded (anytime early-exit) result:
@@ -227,6 +232,7 @@ struct Tally {
     requests: u64,
     completed: u64,
     rejected: u64,
+    rejected_shard_lost: u64,
     expired: u64,
     degraded: u64,
     zero_stage_finals: u64,
@@ -259,7 +265,12 @@ impl Tally {
                     }
                 }
             }
-            Err(ClientError::Rejected { .. }) => self.rejected += 1,
+            Err(ClientError::Rejected { reason, .. }) => {
+                self.rejected += 1;
+                if *reason == RejectReason::ShardLost {
+                    self.rejected_shard_lost += 1;
+                }
+            }
             Err(ClientError::DeadlineExhausted) => self.deadline_exhausted += 1,
             Err(ClientError::Wire(_)) => self.errors += 1,
         }
@@ -269,6 +280,7 @@ impl Tally {
         self.requests += other.requests;
         self.completed += other.completed;
         self.rejected += other.rejected;
+        self.rejected_shard_lost += other.rejected_shard_lost;
         self.expired += other.expired;
         self.degraded += other.degraded;
         self.zero_stage_finals += other.zero_stage_finals;
@@ -463,6 +475,7 @@ pub fn run(config: &LoadgenConfig) -> LoadReport {
         requests,
         completed: total.completed,
         rejected: total.rejected,
+        rejected_shard_lost: total.rejected_shard_lost,
         expired: total.expired,
         degraded: total.degraded,
         zero_stage_finals: total.zero_stage_finals,

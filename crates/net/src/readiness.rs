@@ -413,6 +413,9 @@ impl Reactor {
             routing_key: _,
             model,
             tenant,
+            // Ring-epoch stamp is observability for the router tier; a
+            // gateway ignores it.
+            epoch: _,
         } = submit;
         // A zero budget can never be met (and ServiceClass rejects it):
         // answer expired immediately rather than erroring the connection.
@@ -530,6 +533,13 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        // Single choke point every outbound frame passes through, so
+        // terminal answers are counted exactly once per request.
+        match frame {
+            Frame::Final { .. } => self.status.note_final_sent(),
+            Frame::Reject { .. } => self.status.note_reject_sent(),
+            _ => {}
+        }
         conn.write.push_back(WriteEntry {
             bytes: wire::encode_frame(frame),
             _lease: lease,

@@ -171,6 +171,14 @@ struct StatusInner {
     /// startup; the per-request-thread leak regression tests assert this
     /// stays proportional to connections, not requests.
     threads_spawned: AtomicU64,
+    /// Terminal answers written toward clients: `Final` frames and
+    /// `Reject` frames, counted exactly once at the single write (or
+    /// queue) point of each backend. `finals + rejects` is the
+    /// gateway's total answered-request count, which a sharded front
+    /// tier reconciles against client-side accounting to prove no
+    /// request was dropped or double-answered across a failover.
+    finals_sent: AtomicU64,
+    rejects_sent: AtomicU64,
 }
 
 impl GatewayStatus {
@@ -217,7 +225,25 @@ impl GatewayStatus {
         self.inner.threads_spawned.load(Ordering::Relaxed)
     }
 
+    /// `Final` frames written toward clients since startup.
+    pub fn finals_sent(&self) -> u64 {
+        self.inner.finals_sent.load(Ordering::Relaxed)
+    }
+
+    /// `Reject` frames written toward clients since startup.
+    pub fn rejects_sent(&self) -> u64 {
+        self.inner.rejects_sent.load(Ordering::Relaxed)
+    }
+
     // Shared mutation points for both backends.
+    pub(crate) fn note_final_sent(&self) {
+        self.inner.finals_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reject_sent(&self) {
+        self.inner.rejects_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_connection_opened(&self) {
         self.inner
             .connections_opened
@@ -769,9 +795,12 @@ fn serve_connection(
         let (progress_tx, progress_rx) = crossbeam::channel::unbounded();
         let writer = Arc::clone(&writer);
         status.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        let dispatcher_status = status.clone();
         let handle = std::thread::Builder::new()
             .name(format!("eugene-gateway-dispatch-{i}"))
-            .spawn(move || dispatcher_loop(track_rx, respond_rx, progress_rx, writer))
+            .spawn(move || {
+                dispatcher_loop(track_rx, respond_rx, progress_rx, writer, dispatcher_status)
+            })
             .expect("spawn dispatcher thread");
         dispatchers.push(Dispatcher {
             track_tx,
@@ -851,10 +880,14 @@ fn handle_submit(
         routing_key: _,
         model,
         tenant,
+        // Ring-epoch stamp is observability for the router tier; a
+        // gateway ignores it.
+        epoch: _,
     } = submit;
     // A zero budget can never be met (and ServiceClass rejects it):
     // answer expired immediately rather than erroring the connection.
     if budget_ms == 0 {
+        status.note_final_sent();
         let _ = send(
             writer,
             &Frame::Final {
@@ -874,6 +907,7 @@ fn handle_submit(
     let lease = match admit_submit(config, status, governor, &class, tenant.as_deref()) {
         Ok(lease) => lease,
         Err((retry_after_ms, reason)) => {
+            status.note_reject_sent();
             let _ = send(
                 writer,
                 &Frame::Reject {
@@ -897,6 +931,7 @@ fn handle_submit(
         Err(eugene_serve::RegistryError::UnknownModel(_)) => {
             // Not retryable against the current registry state, so the
             // backoff hint is zero; the lease releases here.
+            status.note_reject_sent();
             let _ = send(
                 writer,
                 &Frame::Reject {
@@ -932,6 +967,7 @@ fn dispatcher_loop(
     respond_rx: crossbeam::channel::Receiver<InferenceResponse>,
     progress_rx: crossbeam::channel::Receiver<StageProgress>,
     writer: SharedWriter,
+    status: GatewayStatus,
 ) {
     use crossbeam::channel::{RecvError, TryRecvError};
 
@@ -993,8 +1029,11 @@ fn dispatcher_loop(
                     forward_progress($tag, event, &writer, &mut writer_alive);
                 }
             }
-            if writer_alive && send(&writer, &final_frame($tag, $response)).is_err() {
-                writer_alive = false;
+            if writer_alive {
+                status.note_final_sent();
+                if send(&writer, &final_frame($tag, $response)).is_err() {
+                    writer_alive = false;
+                }
             }
             drop($lease); // release the admission reservation(s)
         }};
@@ -1227,8 +1266,10 @@ mod tests {
         let (track_tx, track_rx) = crossbeam::channel::unbounded();
         let (respond_tx, respond_rx) = crossbeam::channel::unbounded();
         let (progress_tx, progress_rx) = crossbeam::channel::unbounded();
-        let handle =
-            std::thread::spawn(move || dispatcher_loop(track_rx, respond_rx, progress_rx, writer));
+        let dispatcher_status = GatewayStatus::default();
+        let handle = std::thread::spawn(move || {
+            dispatcher_loop(track_rx, respond_rx, progress_rx, writer, dispatcher_status)
+        });
 
         let config = GatewayConfig::default();
         let status = GatewayStatus::default();

@@ -72,6 +72,13 @@ pub struct SubmitRequest {
     /// `None` rides the anonymous legacy admission path. Trailing
     /// optional field after `model`; same lenient decoding.
     pub tenant: Option<String>,
+    /// Replication metadata: the sharded front tier's ring epoch at the
+    /// moment it routed (or failover-replayed) this submit. Purely
+    /// observational below the router — a gateway ignores it — but it
+    /// lets operators correlate a replayed request with the membership
+    /// change that caused the replay. Trailing optional field after
+    /// `tenant`; same lenient decoding, protocol stays v1.
+    pub epoch: Option<u64>,
 }
 
 /// Why a submit was answered with [`Frame::Reject`].
@@ -361,6 +368,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.opt_u64(req.routing_key);
             w.opt_string(req.model.as_deref());
             w.opt_string(req.tenant.as_deref());
+            w.opt_u64(req.epoch);
         }
         Frame::StageUpdate {
             client_tag,
@@ -566,6 +574,14 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             } else {
                 r.opt_string()?
             },
+            // Trailing optional replication metadata (PR 9): peers that
+            // predate replicated shard groups end the payload earlier,
+            // which decodes as "no epoch stamped".
+            epoch: if r.remaining() == 0 {
+                None
+            } else {
+                r.opt_u64()?
+            },
         }),
         4 => Frame::StageUpdate {
             client_tag: r.u64()?,
@@ -737,6 +753,7 @@ mod tests {
                 routing_key: Some(0xFEED_F00D),
                 model: Some("resnet-compressed".to_owned()),
                 tenant: Some("acme".to_owned()),
+                epoch: Some(7),
             }),
             Frame::Submit(SubmitRequest {
                 client_tag: 44,
@@ -747,6 +764,7 @@ mod tests {
                 routing_key: None,
                 model: None,
                 tenant: None,
+                epoch: None,
             }),
             Frame::StageUpdate {
                 client_tag: 42,
@@ -846,6 +864,7 @@ mod tests {
             routing_key: Some(3),
             model: Some("full".to_owned()),
             tenant: Some("t".to_owned()),
+            epoch: Some(12),
         }));
         for cut in 0..bytes.len() {
             let err = decode_frame(&bytes[..cut]).expect_err("truncation detected");
@@ -954,6 +973,7 @@ mod tests {
             routing_key: None,
             model: None,
             tenant: None,
+            epoch: None,
         });
         let mut reader = Dribble {
             bytes: encode_frame(&frame),
@@ -1076,6 +1096,7 @@ mod tests {
                 routing_key: None,
                 model: None,
                 tenant: None,
+                epoch: None,
             })
         );
     }
@@ -1105,6 +1126,7 @@ mod tests {
                 routing_key: Some(99),
                 model: None,
                 tenant: None,
+                epoch: None,
             })
         );
     }
@@ -1129,6 +1151,33 @@ mod tests {
             Frame::Submit(req) => {
                 assert_eq!(req.model.as_deref(), Some("m1"));
                 assert_eq!(req.tenant, None);
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_ending_after_tenant_decodes_epoch_as_none() {
+        // A PR-8-era payload carrying a tenant but stopping before the
+        // ring-epoch field (a peer that predates replicated shard groups)
+        // still decodes, with no epoch stamped.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes()); // client_tag
+        payload.extend_from_slice(&1u32.to_le_bytes()); // class len
+        payload.push(b'x');
+        payload.extend_from_slice(&5u64.to_le_bytes()); // budget_ms
+        payload.push(0); // want_progress
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty vec
+        payload.push(0); // routing key absent
+        payload.push(0); // model absent
+        payload.push(1); // tenant present
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(b"t1");
+        let (frame, _) = decode_frame(&frame_bytes(3, &payload)).expect("tenant-era decodes");
+        match frame {
+            Frame::Submit(req) => {
+                assert_eq!(req.tenant.as_deref(), Some("t1"));
+                assert_eq!(req.epoch, None);
             }
             other => panic!("expected Submit, got {other:?}"),
         }

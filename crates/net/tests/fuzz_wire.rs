@@ -46,6 +46,7 @@ proptest! {
             routing_key: Some(tag ^ 0xABCD),
             model: if tag % 3 == 0 { None } else { Some("variant-b".to_owned()) },
             tenant: if budget % 2 == 0 { Some("acme".to_owned()) } else { None },
+            epoch: if tag % 5 == 0 { Some(tag >> 3) } else { None },
         }));
         let pos = flip_pos as usize % bytes.len();
         bytes[pos] ^= 1 << flip_bit;
@@ -65,6 +66,7 @@ proptest! {
             routing_key: Some(7),
             model: Some("full".to_owned()),
             tenant: Some("tenant-a".to_owned()),
+            epoch: Some(3),
         }));
         let cut = cut as usize % bytes.len();
         prop_assert!(decode_frame(&bytes[..cut]).is_err(), "prefix must not decode");
@@ -80,6 +82,7 @@ proptest! {
         payload in prop::collection::vec(-1000.0f32..1000.0, 0..32),
         model in prop::option::of(name_strategy()),
         tenant in prop::option::of(name_strategy()),
+        epoch in prop::option::of(any::<u64>()),
     ) {
         let frame = Frame::Submit(SubmitRequest {
             client_tag: tag,
@@ -90,6 +93,7 @@ proptest! {
             routing_key: if tag % 2 == 0 { Some(tag) } else { None },
             model,
             tenant,
+            epoch,
         });
         let bytes = encode_frame(&frame);
         let (decoded, used) = decode_frame(&bytes).expect("own encoding decodes");
@@ -118,12 +122,14 @@ proptest! {
             routing_key: if keyed && !drop_routing_key_too { Some(tag) } else { None },
             model: None,
             tenant: None,
+            epoch: None,
         });
         let mut bytes = encode_frame(&full);
         // Strip the trailing absent-field tags a legacy encoder never
-        // writes: model + tenant (2 bytes), optionally routing_key too
-        // (1 more byte when None), then re-seal length + checksum.
-        let strip = if drop_routing_key_too { 3 } else { 2 };
+        // writes: model + tenant + epoch (3 bytes), optionally
+        // routing_key too (1 more byte when None), then re-seal length
+        // + checksum.
+        let strip = if drop_routing_key_too { 4 } else { 3 };
         bytes.truncate(bytes.len() - strip);
         let len = (bytes.len() - 12) as u32;
         bytes[4..8].copy_from_slice(&len.to_le_bytes());

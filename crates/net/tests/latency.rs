@@ -103,6 +103,7 @@ fn stage_updates_stream_during_execution() {
             routing_key: None,
             model: None,
             tenant: None,
+            epoch: None,
         }),
     )
     .expect("submit");

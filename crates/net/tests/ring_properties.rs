@@ -102,6 +102,156 @@ proptest! {
         prop_assert_eq!(assignments(&forward, KEYS), assignments(&reversed, KEYS));
     }
 
+    /// Replica placement: the primary is the ring owner, the standby is
+    /// a *different* shard, and the whole group is duplicate-free — for
+    /// every key, at every replica width the ring can satisfy.
+    #[test]
+    fn replica_groups_are_distinct_and_led_by_the_owner(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=8,
+        replicas in 2usize..=4,
+    ) {
+        let ring = ring_of(seed, virtual_nodes, shards);
+        for key in 0..KEYS {
+            let group = ring.route_replicas(key, replicas);
+            prop_assert_eq!(group.len(), replicas.min(shards));
+            prop_assert_eq!(Some(group[0]), ring.route(key), "primary must be the owner");
+            let mut dedup = group.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), group.len(), "replica group has a duplicate");
+            prop_assert!(group.len() < 2 || group[0] != group[1], "primary == standby");
+        }
+    }
+
+    /// Failover lands on the warm standby: removing a key's primary hands
+    /// the key to exactly the shard `route_replicas` named second. This
+    /// is the property that makes transparent replay correct — the
+    /// standby is the new owner, not an arbitrary survivor.
+    #[test]
+    fn standby_is_the_removal_successor(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=8,
+    ) {
+        let ring = ring_of(seed, virtual_nodes, shards);
+        for key in 0..KEYS {
+            let group = ring.route_replicas(key, 2);
+            prop_assert_eq!(group.len(), 2.min(shards));
+            if group.len() < 2 {
+                continue;
+            }
+            let mut without = ring.clone();
+            without.remove(group[0]);
+            prop_assert_eq!(
+                without.route(key), Some(group[1]),
+                "key {}'s failover owner is not its standby", key
+            );
+        }
+    }
+
+    /// Live migration (scale-out) moves only the bounded-remap ranges:
+    /// every key either keeps its owner or moves TO the new shard, and
+    /// the volume stays near the newcomer's fair share — never a full
+    /// reshuffle.
+    #[test]
+    fn scale_out_moves_only_the_newcomers_ranges(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=7,
+    ) {
+        let mut ring = ring_of(seed, virtual_nodes, shards);
+        let before = assignments(&ring, KEYS);
+        let newcomer = shards;
+        ring.insert(newcomer);
+        let after = assignments(&ring, KEYS);
+        let mut moved = 0u64;
+        for (b, a) in before.iter().zip(&after) {
+            if b == a {
+                continue;
+            }
+            prop_assert_eq!(*a, Some(newcomer), "a migrated key went somewhere else");
+            moved += 1;
+        }
+        let fair_share = KEYS.div_ceil(shards as u64 + 1);
+        let bound = fair_share * 5 / 2 + 8;
+        prop_assert!(
+            moved <= bound,
+            "scale-out remapped {} keys; fair share {} (bound {})",
+            moved, fair_share, bound
+        );
+    }
+
+    /// During the double-routing window every migrating key has >= 1
+    /// serving owner: the newcomer (the post-cutover ring) names it, and
+    /// falling back past the newcomer (the pre-cutover view — what the
+    /// router does when the newcomer is not yet dialable) always names a
+    /// previous owner that is still alive. Both views resolve, for every
+    /// key, mid-migration.
+    #[test]
+    fn double_routing_window_always_has_an_owner(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 2usize..=7,
+    ) {
+        let mut ring = ring_of(seed, virtual_nodes, shards);
+        let before = assignments(&ring, KEYS);
+        let newcomer = shards;
+        ring.insert(newcomer);
+        for key in 0..KEYS {
+            let group = ring.route_replicas(key, 2);
+            prop_assert!(!group.is_empty(), "key {} lost all owners mid-migration", key);
+            if group[0] == newcomer {
+                // The fallback past the newcomer must be the key's
+                // pre-migration owner — the shard still holding its
+                // state during the window.
+                prop_assert_eq!(
+                    Some(group[1]), before[key as usize],
+                    "key {}'s fallback is not its previous owner", key
+                );
+            } else {
+                // Non-migrating keys keep their owner through the window.
+                prop_assert_eq!(Some(group[0]), before[key as usize]);
+            }
+        }
+    }
+
+    /// Rebalancing (vnode reweighting) only exchanges keys between the
+    /// reweighted shards; everyone else's assignment is untouched, and
+    /// the weight survives a remove/insert cycle (a revived shard keeps
+    /// its rebalanced footprint).
+    #[test]
+    fn reweighting_is_local_and_persistent(
+        seed in 0u64..1_000_000,
+        virtual_nodes in 48usize..=128,
+        shards in 3usize..=8,
+        step in 8usize..=32,
+    ) {
+        let mut ring = ring_of(seed, virtual_nodes, shards);
+        let before = assignments(&ring, KEYS);
+        // Move `step` vnodes from shard 0 (hot) to shard 1 (cold).
+        ring.set_vnodes(0, virtual_nodes - step.min(virtual_nodes - 1));
+        ring.set_vnodes(1, virtual_nodes + step);
+        let after = assignments(&ring, KEYS);
+        for (key, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b == a {
+                continue;
+            }
+            prop_assert!(
+                *b == Some(0) || *a == Some(1),
+                "key {} moved {:?} -> {:?} without touching a reweighted shard",
+                key, b, a
+            );
+        }
+        let snapshot = assignments(&ring, KEYS);
+        ring.remove(0);
+        ring.insert(0);
+        ring.remove(1);
+        ring.insert(1);
+        prop_assert_eq!(snapshot, assignments(&ring, KEYS), "weights must persist");
+    }
+
     /// Different seeds genuinely reshuffle (the seed is load-bearing, not
     /// decorative) while each individual seed spreads keys over every
     /// shard.

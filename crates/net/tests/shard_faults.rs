@@ -7,7 +7,7 @@
 mod common;
 
 use common::{shard_runtime, start_router};
-use eugene_net::shard::{ShardConfig, ShardRouter};
+use eugene_net::shard::{FailoverPolicy, ReplicaConfig, ShardConfig, ShardRouter};
 use eugene_net::wire::RejectReason;
 use eugene_net::{
     ClientConfig, ClientError, GatewayBackend, GatewayConfig, LoadgenConfig, LoadgenMode,
@@ -27,6 +27,13 @@ fn runtime_config() -> RuntimeConfig {
 
 fn shard_config(backend: GatewayBackend) -> ShardConfig {
     ShardConfig {
+        // This suite pins the legacy pre-replication contract: shard
+        // death answers in-flight tags with ShardLost (the transparent
+        // Replay policy has its own suite, replica_faults.rs).
+        replica: ReplicaConfig {
+            failover: FailoverPolicy::Reject,
+            ..ReplicaConfig::default()
+        },
         gateway: GatewayConfig {
             high_water: 1_000_000,
             hard_cap: 2_000_000,

@@ -24,19 +24,22 @@ cargo test --workspace -q --offline
 # reaping, >=64 interleaved in-flight tags on one connection, the
 # readiness-backend parity suite, the event-driven latency bounds (no
 # accept sleep, no dispatcher forwarding tick), the shard fault-injection
-# suite (ShardLost on kill, survivors keep serving, both backends), the
-# consistent-hash ring property suite (bounded remap, exact restore,
-# restart determinism), the registry lifecycle suite (load/unload with
-# requests in flight, both backends), and the per-tenant admission suite
-# (hard caps, weighted fair shedding), and the overload degradation suite
-# (2x saturation in Degrade mode: zero rejects after admission, every
-# Final carries >=1 stage, utility beats the kill baseline, both
-# backends).
-echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test ring_properties --test registry_lifecycle --test tenants --test overload -q"
+# suite (ShardLost on kill under the legacy Reject policy, survivors keep
+# serving, both backends), the replica fault suite (transparent replay on
+# kill, exactly-once answers across 100x kill/revive races, revive
+# ordering, generation-keyed upstreams, live add/remove under load, both
+# backends), the consistent-hash ring property suite (bounded remap,
+# exact restore, restart determinism, replica placement, double-routing
+# windows), the registry lifecycle suite (load/unload with requests in
+# flight, both backends), and the per-tenant admission suite (hard caps,
+# weighted fair shedding), and the overload degradation suite (2x
+# saturation in Degrade mode: zero rejects after admission, every Final
+# carries >=1 stage, utility beats the kill baseline, both backends).
+echo "==> cargo test -p eugene-net --test churn --test multiplex --test stale_frames --test readiness --test latency --test shard_faults --test replica_faults --test ring_properties --test registry_lifecycle --test tenants --test overload -q"
 cargo test -p eugene-net -q --offline \
   --test churn --test multiplex --test stale_frames --test readiness --test latency \
-  --test shard_faults --test ring_properties --test registry_lifecycle --test tenants \
-  --test overload
+  --test shard_faults --test replica_faults --test ring_properties --test registry_lifecycle \
+  --test tenants --test overload
 
 # Kernel regressions, named explicitly for the same reason: the blocked/
 # parallel matmul paths must stay bitwise-equal to the naive references
@@ -65,6 +68,13 @@ cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quic
 # ShardRouter at N=1 and N=2 shards; asserts two shards beat one.
 echo "==> gateway_throughput --quick --sharded"
 cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --sharded
+
+# Replicated-resilience smoke: a shard kill plus a live scale-out under
+# single-attempt load must be invisible (zero rejects/errors), and the
+# load-aware rebalancer must narrow a lumpy ring's per-shard rps spread
+# well under the static control's.
+echo "==> gateway_throughput --quick --replicated"
+cargo run --release --offline -p eugene-bench --bin gateway_throughput -- --quick --replicated
 
 # Overload-degradation smoke: Degrade vs Kill at rates straddling the
 # saturation knee; asserts anytime degradation wins on utility per second
