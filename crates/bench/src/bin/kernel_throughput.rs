@@ -6,13 +6,55 @@
 //! Regenerates `results/kernel_throughput.json`. Run with `--quick` for a
 //! CI smoke pass over small sizes; quick mode still asserts a
 //! conservative speedup floor so a silently de-vectorized build fails CI.
+//!
+//! `--fused` measures the compiled-plan serving path instead: one
+//! 512-wide network stage dispatched at the serving micro-batch shape,
+//! layer walk (per-dispatch planning, per-call weight packing, separate
+//! bias/relu passes) vs compiled [`eugene_nn::StagePlan`] (pre-packed
+//! panels, GEMM-epilogue fusion, arena-pooled intermediates). The
+//! process-wide counting allocator additionally proves the f32 plan
+//! path performs **zero allocations** per dispatch after warm-up.
 
 use eugene_bench::{has_flag, host_cores, host_isa, print_table, write_json, HostIsa};
+use eugene_nn::{Layer, StagedNetwork, StagedNetworkConfig};
 use eugene_tensor::{
     seeded_rng, set_parallelism, set_simd_mode, standard_normal, Matrix, SimdMode,
 };
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts heap allocations so the fused bench can assert the
+/// steady-state plan dispatch allocates nothing. Deallocations are
+/// pass-through; only allocation events matter for the claim.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[derive(Serialize)]
 struct KernelPoint {
@@ -30,6 +72,33 @@ struct KernelPoint {
     quant_vs_simd: f64,
 }
 
+/// The fused-serving comparison: per-dispatch stage execution through
+/// the layer walk vs the compiled plan, at the serving micro-batch
+/// shape (single thread — the per-worker view).
+#[derive(Serialize)]
+struct FusedServingPoint {
+    /// Hidden width of the benchmarked stage (weights are `dim x dim`).
+    dim: usize,
+    /// Micro-batch rows per dispatch.
+    rows: usize,
+    /// Layer-walk dispatches per second, f32.
+    unfused_dispatch_hz_f32: f64,
+    /// Compiled-plan dispatches per second, f32.
+    fused_dispatch_hz_f32: f64,
+    /// The headline ratio the CI gate floors.
+    fused_vs_unfused_f32: f64,
+    /// Layer-walk dispatches per second, Int8 trunk.
+    unfused_dispatch_hz_int8: f64,
+    /// Compiled-plan dispatches per second, Int8 trunk.
+    fused_dispatch_hz_int8: f64,
+    fused_vs_unfused_int8: f64,
+    /// Steps in the compiled stage plan (after fusion).
+    plan_steps: usize,
+    /// Heap allocation events during the measured f32 plan dispatches
+    /// (after warm-up) — the arena/pre-pack design pins this to zero.
+    steady_state_allocs: u64,
+}
+
 #[derive(Serialize)]
 struct KernelThroughputDoc {
     quick: bool,
@@ -39,6 +108,10 @@ struct KernelThroughputDoc {
     sizes: Vec<usize>,
     threads: Vec<usize>,
     points: Vec<KernelPoint>,
+    /// Compiled-plan serving path vs the layer walk (see
+    /// [`FusedServingPoint`]); absent in docs written before the stage
+    /// compiler existed.
+    fused: Option<FusedServingPoint>,
 }
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -71,8 +144,169 @@ fn gflops(n: usize, quick: bool, op: impl Fn() -> Matrix) -> f64 {
     flops * f64::from(reps) / secs / 1e9
 }
 
+/// Times a dispatch closure in dispatches/sec. Unlike [`gflops`] the
+/// closure returns nothing, so a non-allocating dispatch path stays
+/// non-allocating through the measurement loop.
+fn dispatch_hz(quick: bool, mut dispatch: impl FnMut()) -> f64 {
+    dispatch(); // warm up
+    let target = if quick { 0.02 } else { 0.15 };
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        dispatch();
+        reps += 1;
+        if start.elapsed().as_secs_f64() >= target {
+            break;
+        }
+    }
+    f64::from(reps) / start.elapsed().as_secs_f64()
+}
+
+fn assert_bitwise(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: fused dispatch diverged from the layer walk: {x} vs {y}"
+        );
+    }
+}
+
+/// Benchmarks one serving dispatch of a 512-wide stage at micro-batch
+/// rows = 8, single thread: layer walk vs compiled plan, f32 and Int8.
+fn fused_serving_bench(quick: bool) -> FusedServingPoint {
+    const DIM: usize = 512;
+    const ROWS: usize = 8;
+    set_parallelism(1);
+    set_simd_mode(SimdMode::Auto);
+    let config = StagedNetworkConfig {
+        input_dim: DIM,
+        num_classes: 10,
+        stage_widths: vec![vec![DIM]],
+        dropout: 0.0,
+        input_skip: false,
+    };
+    let mut net = StagedNetwork::new(&config, &mut seeded_rng(0xF5));
+    let input = random_matrix(ROWS, DIM, 0xBEEF);
+
+    // The layer walk: per-dispatch intermediates, per-call weight
+    // packing, bias and relu as separate passes.
+    let walk = |net: &StagedNetwork| {
+        let h = net.stages()[0].infer(&input);
+        let l = net.heads()[0].infer(&h);
+        (h, l)
+    };
+    let unfused_f32 = dispatch_hz(quick, || {
+        let (h, l) = walk(&net);
+        std::hint::black_box((h.as_slice()[0], l.as_slice()[0]));
+    });
+
+    let plan = net.stage_plan(0, ROWS).expect("bench stage compiles");
+    let plan_steps = plan.num_steps();
+    let mut out_h = Matrix::zeros(0, 0);
+    let mut out_l = Matrix::zeros(0, 0);
+    // Warm the arena and output buffers, and pin the parity contract
+    // right here in the bench: fused == walk, bitwise.
+    plan.execute_into(&net, &input, &input, &mut out_h, &mut out_l);
+    let (walk_h, walk_l) = walk(&net);
+    assert_bitwise(&out_h, &walk_h, "f32 hidden");
+    assert_bitwise(&out_l, &walk_l, "f32 logits");
+
+    let allocs_before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    let fused_f32 = dispatch_hz(quick, || {
+        plan.execute_into(&net, &input, &input, &mut out_h, &mut out_l);
+        std::hint::black_box((out_h.as_slice()[0], out_l.as_slice()[0]));
+    });
+    let steady_state_allocs = ALLOC_EVENTS.load(Ordering::Relaxed) - allocs_before;
+
+    // Int8 trunk: the plan embeds the layer's own quantized pack.
+    drop(plan);
+    net.quantize_stages(&[0]);
+    let unfused_int8 = dispatch_hz(quick, || {
+        let (h, l) = walk(&net);
+        std::hint::black_box((h.as_slice()[0], l.as_slice()[0]));
+    });
+    let qplan = net.stage_plan(0, ROWS).expect("int8 stage compiles");
+    assert_eq!(qplan.precision(), eugene_tensor::Precision::Int8);
+    qplan.execute_into(&net, &input, &input, &mut out_h, &mut out_l);
+    let (walk_h, walk_l) = walk(&net);
+    assert_bitwise(&out_h, &walk_h, "int8 hidden");
+    assert_bitwise(&out_l, &walk_l, "int8 logits");
+    let fused_int8 = dispatch_hz(quick, || {
+        qplan.execute_into(&net, &input, &input, &mut out_h, &mut out_l);
+        std::hint::black_box((out_h.as_slice()[0], out_l.as_slice()[0]));
+    });
+
+    FusedServingPoint {
+        dim: DIM,
+        rows: ROWS,
+        unfused_dispatch_hz_f32: unfused_f32,
+        fused_dispatch_hz_f32: fused_f32,
+        fused_vs_unfused_f32: fused_f32 / unfused_f32,
+        unfused_dispatch_hz_int8: unfused_int8,
+        fused_dispatch_hz_int8: fused_int8,
+        fused_vs_unfused_int8: fused_int8 / unfused_int8,
+        plan_steps,
+        steady_state_allocs,
+    }
+}
+
+/// Prints the fused comparison and enforces the serving-path floors:
+/// fused must beat the layer walk (>= 1.15x in the full run, >= 1.0x
+/// in the timing-noise-prone quick pass) and the steady-state f32 plan
+/// dispatch must not allocate.
+fn report_fused(point: &FusedServingPoint, quick: bool) {
+    print_table(
+        "compiled-plan serving dispatch vs layer walk (single thread)",
+        &[
+            "dim",
+            "rows",
+            "walk f32/s",
+            "plan f32/s",
+            "ratio",
+            "walk i8/s",
+            "plan i8/s",
+            "ratio",
+        ],
+        &[vec![
+            format!("{}", point.dim),
+            format!("{}", point.rows),
+            format!("{:.0}", point.unfused_dispatch_hz_f32),
+            format!("{:.0}", point.fused_dispatch_hz_f32),
+            format!("{:.2}x", point.fused_vs_unfused_f32),
+            format!("{:.0}", point.unfused_dispatch_hz_int8),
+            format!("{:.0}", point.fused_dispatch_hz_int8),
+            format!("{:.2}x", point.fused_vs_unfused_int8),
+        ]],
+    );
+    assert_eq!(
+        point.steady_state_allocs, 0,
+        "compiled f32 plan dispatch must not allocate after warm-up \
+         (counted {} allocation events)",
+        point.steady_state_allocs
+    );
+    let floor = if quick { 1.0 } else { 1.15 };
+    assert!(
+        point.fused_vs_unfused_f32 >= floor,
+        "fused serving floor: expected compiled plan >= {floor:.2}x layer walk \
+         at {0}x{0} rows={1} single-thread f32, got {2:.2}x",
+        point.dim,
+        point.rows,
+        point.fused_vs_unfused_f32
+    );
+}
+
 fn main() {
     let quick = has_flag("--quick");
+    if has_flag("--fused") {
+        // Fused-serving gate only: no tier sweep, no JSON rewrite.
+        let point = fused_serving_bench(quick);
+        report_fused(&point, quick);
+        set_simd_mode(SimdMode::Auto);
+        set_parallelism(0);
+        return;
+    }
     let host_cores = host_cores();
     let sizes: Vec<usize> = if quick {
         vec![64, 128]
@@ -187,6 +421,13 @@ fn main() {
             single_512.quant_vs_simd
         );
     }
+    // The compiled-plan serving path rides along in the full run so
+    // `results/kernel_throughput.json` records the serving-dispatch
+    // speedup next to the raw kernel tiers.
+    let fused = fused_serving_bench(false);
+    report_fused(&fused, false);
+    set_simd_mode(SimdMode::Auto);
+    set_parallelism(0);
     write_json(
         "kernel_throughput",
         &KernelThroughputDoc {
@@ -196,6 +437,7 @@ fn main() {
             sizes,
             threads,
             points,
+            fused: Some(fused),
         },
     );
 }

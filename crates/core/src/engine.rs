@@ -96,28 +96,58 @@ impl InferenceEngine for StagedNetworkEngine {
             reports[i] = batch[i].next_stage();
         }
         for (stage, members) in groups {
-            if members.len() == 1 {
-                let i = members[0];
-                reports[i] = batch[i].next_stage();
-                continue;
-            }
-            // Gather every member's stage input as one row of a fused
-            // matrix. The blocked kernels accumulate each output row in a
-            // fixed k-order independent of the row count, so row `r` of
-            // the fused forward is bitwise-identical to the member running
-            // its stage alone.
-            let mut rows: Vec<f32> = Vec::new();
-            for &i in &members {
-                let s = network_session(&mut batch[i]);
-                rows.extend_from_slice(s.hidden.row(0));
-                if stage > 0 && self.network.input_skip() {
-                    rows.extend_from_slice(s.input.row(0));
+            // Micro-batched dispatches execute through a compiled,
+            // cached stage plan: fused GEMM epilogues, pre-packed
+            // weight panels, pooled intermediates — and bitwise the
+            // same numbers as the layer walk, so scattering row `r`
+            // back to request `r` is exactly as if it had run alone.
+            // Plan compilation can fail only for exotic layer types;
+            // the layer-walk path below stays as the fallback.
+            let plan = self.network.stage_plan(stage, members.len()).ok();
+            let (hidden, logits) = match plan {
+                Some(plan) => {
+                    // Gather members' hidden rows (and raw inputs for
+                    // the shortcut wiring) — the plan performs any
+                    // concat itself.
+                    let mut hidden_rows: Vec<f32> = Vec::new();
+                    let mut raw_rows: Vec<f32> = Vec::new();
+                    for &i in &members {
+                        let s = network_session(&mut batch[i]);
+                        hidden_rows.extend_from_slice(s.hidden.row(0));
+                        raw_rows.extend_from_slice(s.input.row(0));
+                    }
+                    let hcols = hidden_rows.len() / members.len();
+                    let gathered = Matrix::from_vec(members.len(), hcols, hidden_rows);
+                    let raw = Matrix::from_vec(members.len(), self.network.input_dim(), raw_rows);
+                    plan.execute(&self.network, &gathered, &raw)
                 }
-            }
-            let cols = rows.len() / members.len();
-            let stage_in = Matrix::from_vec(members.len(), cols, rows);
-            let hidden = self.network.stages()[stage].infer(&stage_in);
-            let logits = self.network.heads()[stage].infer(&hidden);
+                None => {
+                    if members.len() == 1 {
+                        let i = members[0];
+                        reports[i] = batch[i].next_stage();
+                        continue;
+                    }
+                    // Fallback: gather every member's stage input as one
+                    // row of a fused matrix. The blocked kernels
+                    // accumulate each output row in a fixed k-order
+                    // independent of the row count, so row `r` of the
+                    // fused forward is bitwise-identical to the member
+                    // running its stage alone.
+                    let mut rows: Vec<f32> = Vec::new();
+                    for &i in &members {
+                        let s = network_session(&mut batch[i]);
+                        rows.extend_from_slice(s.hidden.row(0));
+                        if stage > 0 && self.network.input_skip() {
+                            rows.extend_from_slice(s.input.row(0));
+                        }
+                    }
+                    let cols = rows.len() / members.len();
+                    let stage_in = Matrix::from_vec(members.len(), cols, rows);
+                    let hidden = self.network.stages()[stage].infer(&stage_in);
+                    let logits = self.network.heads()[stage].infer(&hidden);
+                    (hidden, logits)
+                }
+            };
             for (r, &i) in members.iter().enumerate() {
                 let s = network_session(&mut batch[i]);
                 s.hidden = Matrix::row_vector(hidden.row(r));
@@ -131,6 +161,17 @@ impl InferenceEngine for StagedNetworkEngine {
             }
         }
         reports
+    }
+
+    fn plan_cache_stats(&self) -> Option<eugene_serve::PlanCacheStats> {
+        let s = self.network.plan_cache().stats();
+        Some(eugene_serve::PlanCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            invalidations: s.invalidations,
+            entries: s.entries,
+            generation: s.generation,
+        })
     }
 }
 

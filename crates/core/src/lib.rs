@@ -58,5 +58,5 @@ pub use eugene_net::{
     ShardConfig, ShardRouter, SubmitOptions, TenantQuota,
 };
 pub use eugene_serve::{
-    ModelRegistry, OverloadPolicy, Precision, RegistryError, VariantDispatcher,
+    ModelRegistry, OverloadPolicy, PlanCacheStats, Precision, RegistryError, VariantDispatcher,
 };

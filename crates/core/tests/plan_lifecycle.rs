@@ -1,0 +1,146 @@
+//! Plan-cache lifecycle at the serving layer: micro-batched engine
+//! dispatches compile each stage plan once and reuse it thereafter,
+//! the runtime surfaces the counters, and a model reload never serves
+//! a stale plan.
+
+use eugene_nn::{Linear, StagedNetwork, StagedNetworkConfig};
+use eugene_sched::Fifo;
+use eugene_serve::{
+    EngineSession, InferenceEngine, InferenceRequest, RuntimeConfig, ServiceClass, ServingRuntime,
+};
+use eugene_service::StagedNetworkEngine;
+use eugene_tensor::seeded_rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn network(seed: u64) -> StagedNetwork {
+    let config = StagedNetworkConfig {
+        input_dim: 5,
+        num_classes: 3,
+        stage_widths: vec![vec![7], vec![6]],
+        dropout: 0.0,
+        input_skip: true,
+    };
+    StagedNetwork::new(&config, &mut seeded_rng(seed))
+}
+
+fn payloads(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| (0..5).map(|c| (i * 5 + c) as f32 * 0.07 - 0.8).collect())
+        .collect()
+}
+
+fn run_batch_to_completion(engine: &StagedNetworkEngine, n: usize) {
+    let mut batch: Vec<Box<dyn EngineSession>> =
+        payloads(n).iter().map(|p| engine.begin(p)).collect();
+    for _ in 0..engine.num_stages() {
+        let reports = engine.next_stage_batch(&mut batch);
+        assert!(reports.iter().all(Option::is_some));
+    }
+}
+
+#[test]
+fn micro_batched_dispatch_compiles_each_stage_once_then_hits() {
+    let engine = StagedNetworkEngine::new(Arc::new(network(1)));
+    assert_eq!(
+        engine.plan_cache_stats().unwrap().misses,
+        0,
+        "no plans before the first dispatch"
+    );
+
+    run_batch_to_completion(&engine, 4);
+    let stats = engine.plan_cache_stats().unwrap();
+    assert_eq!(
+        stats.misses as usize,
+        engine.num_stages(),
+        "first pass compiles one plan per stage"
+    );
+    assert_eq!(stats.entries, engine.num_stages());
+
+    // Same batch shape again: pure hits, zero compiles.
+    run_batch_to_completion(&engine, 4);
+    let stats = engine.plan_cache_stats().unwrap();
+    assert_eq!(stats.misses as usize, engine.num_stages());
+    assert_eq!(stats.hits as usize, engine.num_stages());
+
+    // A different batch shape is a different key.
+    run_batch_to_completion(&engine, 2);
+    let stats = engine.plan_cache_stats().unwrap();
+    assert_eq!(stats.misses as usize, 2 * engine.num_stages());
+}
+
+#[test]
+fn runtime_surfaces_plan_cache_counters() {
+    let engine: Arc<StagedNetworkEngine> = Arc::new(StagedNetworkEngine::new(Arc::new(network(2))));
+    let config = RuntimeConfig {
+        num_workers: 2,
+        max_batch: 4,
+        gather_window: Duration::from_millis(2),
+        ..RuntimeConfig::default()
+    };
+    let runtime = ServingRuntime::start(engine, Box::new(Fifo::new()), config);
+    let class = ServiceClass::new("t", Duration::from_secs(5));
+    let receivers: Vec<_> = payloads(4)
+        .into_iter()
+        .map(|p| runtime.submit(InferenceRequest::new(p, class.clone())).1)
+        .collect();
+    for rx in receivers {
+        let response = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("response arrives");
+        assert!(response.is_answered());
+    }
+    let stats = runtime
+        .plan_cache_stats()
+        .expect("staged-network engines serve through plans");
+    assert!(
+        stats.misses >= 1,
+        "serving dispatches must have compiled at least one plan"
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn model_reload_starts_from_a_fresh_cache_and_new_weights() {
+    let engine_a = StagedNetworkEngine::new(Arc::new(network(3)));
+    run_batch_to_completion(&engine_a, 3);
+    assert!(engine_a.plan_cache_stats().unwrap().entries > 0);
+
+    // "Reload": a retrained copy of the model replaces the old one. The
+    // clone starts with an empty plan cache by construction, so no plan
+    // built from the old weights can survive the swap.
+    let mut retrained = engine_a.network().as_ref().clone();
+    retrained.stages_mut()[0]
+        .layers_mut()
+        .iter_mut()
+        .filter_map(|l| l.as_any_mut().downcast_mut::<Linear>())
+        .for_each(|lin| lin.weights_mut()[(0, 0)] += 1.0);
+    let retrained = Arc::new(retrained);
+    let engine_b = StagedNetworkEngine::new(Arc::clone(&retrained));
+
+    let stats = engine_b.plan_cache_stats().unwrap();
+    assert_eq!(
+        stats.entries, 0,
+        "reloaded model must not inherit compiled plans"
+    );
+
+    // The new engine's fused dispatch matches the new network's own
+    // layer walk bitwise — not the old weights.
+    let inputs = payloads(3);
+    let mut batch: Vec<Box<dyn EngineSession>> = inputs.iter().map(|p| engine_b.begin(p)).collect();
+    let reports = engine_b.next_stage_batch(&mut batch);
+    for (p, report) in inputs.iter().zip(reports) {
+        let want = &retrained.classify(p)[0];
+        let got = report.expect("stage report");
+        assert_eq!(got.predicted, want.predicted);
+        assert_eq!(
+            got.confidence.to_bits(),
+            want.confidence.to_bits(),
+            "reloaded engine must serve the new weights bitwise"
+        );
+    }
+    assert!(engine_b.plan_cache_stats().unwrap().misses >= 1);
+
+    // The old engine's cache is untouched by the reload.
+    assert!(engine_a.plan_cache_stats().unwrap().entries > 0);
+}

@@ -44,6 +44,15 @@ impl Activation {
         }
     }
 
+    /// The op-graph lowering of this activation — the stage compiler
+    /// maps layers onto [`crate::graph::ActKind`] nodes.
+    pub(crate) fn act_kind(&self) -> crate::graph::ActKind {
+        match self.kind {
+            ActivationKind::Relu => crate::graph::ActKind::Relu,
+            ActivationKind::Tanh => crate::graph::ActKind::Tanh,
+        }
+    }
+
     fn apply(&self, x: f32) -> f32 {
         match self.kind {
             ActivationKind::Relu => x.max(0.0),

@@ -1,0 +1,372 @@
+//! A small op-graph IR for one serving stage of a [`crate::StagedNetwork`].
+//!
+//! Stages historically executed as fixed layer walks: each dispatch
+//! re-traversed the `Sequential` block, allocating an intermediate per
+//! layer and leaving the elementwise tail (bias add, relu) as separate
+//! passes over memory the GEMM had just written. Lifting a stage onto an
+//! explicit graph of matmul / bias / activation / residual-add nodes
+//! separates *what* a stage computes from *how* it runs, which is what
+//! lets [`crate::compile`] topo-schedule the nodes, fuse elementwise
+//! chains into the GEMM epilogue, and cache the resulting kernel
+//! sequence per batch shape.
+//!
+//! The IR is deliberately minimal: node payloads reference network
+//! layers by position ([`LayerRef`]), never by snapshot, so a compiled
+//! graph stays valid across weight updates (plan caching layers
+//! generation tags on top — see [`crate::compile::PlanCache`]).
+
+use eugene_tensor::Matrix;
+
+/// Index of a node within its [`OpGraph`].
+pub type NodeId = usize;
+
+/// A position-based reference to a `Linear` layer inside a
+/// [`crate::StagedNetwork`]: resolved against the live network at
+/// execution time, so plans never serve stale weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerRef {
+    /// `network.stages()[stage].layers()[layer]`.
+    Trunk { stage: usize, layer: usize },
+    /// `network.heads()[stage]`.
+    Head { stage: usize },
+}
+
+/// The elementwise activation functions the IR can express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    Relu,
+    Tanh,
+}
+
+impl ActKind {
+    /// Applies the activation to one element — the same scalar ops, in
+    /// the same order, as [`crate::Activation`]'s layer walk.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// Which external value feeds an [`Op::Source`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// The previous stage's hidden activations (or the raw input for
+    /// stage 0).
+    Hidden,
+    /// The raw network input, consumed by the input-skip shortcut.
+    RawInput,
+}
+
+/// What a graph output feeds downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputRole {
+    /// The stage's hidden activations, carried to the next stage.
+    Hidden,
+    /// The stage head's class logits.
+    Logits,
+}
+
+/// One operation node. Inputs are edges to earlier nodes by [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// An external input to the stage.
+    Source(SourceKind),
+    /// Column-wise concatenation `[lhs | rhs]` (the input-skip shortcut).
+    Concat { lhs: NodeId, rhs: NodeId },
+    /// `input · W` for the referenced layer's weights.
+    MatMul { input: NodeId, layer: LayerRef },
+    /// `input + b` (row broadcast) for the referenced layer's bias.
+    BiasAdd { input: NodeId, layer: LayerRef },
+    /// Elementwise activation.
+    Activation { input: NodeId, kind: ActKind },
+    /// Elementwise `lhs + rhs` (shortcut networks that add instead of
+    /// concatenating).
+    ResidualAdd { lhs: NodeId, rhs: NodeId },
+    /// Marks `input` as externally visible.
+    Output { input: NodeId, role: OutputRole },
+}
+
+impl Op {
+    /// The node's input edges, in evaluation order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match *self {
+            Op::Source(_) => Vec::new(),
+            Op::MatMul { input, .. }
+            | Op::BiasAdd { input, .. }
+            | Op::Activation { input, .. }
+            | Op::Output { input, .. } => vec![input],
+            Op::Concat { lhs, rhs } | Op::ResidualAdd { lhs, rhs } => vec![lhs, rhs],
+        }
+    }
+}
+
+/// A node plus its inferred output width (columns); rows are the batch
+/// dimension, fixed at plan-compile time.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub op: Op,
+    pub cols: usize,
+}
+
+/// A directed acyclic op graph describing one stage's computation.
+///
+/// Nodes are appended via [`OpGraph::add`]; edges point backwards to
+/// already-added nodes, so insertion order is *a* valid evaluation
+/// order, but consumers must not rely on it — [`OpGraph::topo_order`]
+/// computes a schedule from the edge structure alone.
+#[derive(Debug, Clone, Default)]
+pub struct OpGraph {
+    nodes: Vec<Node>,
+}
+
+impl OpGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a node with the given output width, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced input id does not exist yet.
+    pub fn add(&mut self, op: Op, cols: usize) -> NodeId {
+        for input in op.inputs() {
+            assert!(
+                input < self.nodes.len(),
+                "op references node {input} before it exists"
+            );
+        }
+        self.nodes.push(Node { op, cols });
+        self.nodes.len() - 1
+    }
+
+    /// The nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The ids of every [`Op::Output`] node, in insertion order.
+    pub fn outputs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Output { .. }))
+            .map(|(id, _)| id)
+    }
+
+    /// Kahn topological sort: returns every node id ordered so each
+    /// node appears after all of its inputs. Ties break on node id, so
+    /// the schedule is deterministic. The graph is acyclic by
+    /// construction ([`OpGraph::add`] only accepts backward edges), so
+    /// this always yields all nodes.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for input in node.op.inputs() {
+                indegree[id] += 1;
+                consumers[input].push(id);
+            }
+        }
+        // A BinaryHeap would also work; with graphs this small a linear
+        // scan for the minimum ready id keeps it allocation-light and
+        // just as deterministic.
+        let mut ready: Vec<NodeId> = (0..n).filter(|&id| indegree[id] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(pos) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &id)| id)
+            .map(|(pos, _)| pos)
+        {
+            let id = ready.swap_remove(pos);
+            order.push(id);
+            for &c in &consumers[id] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "op graph must be acyclic");
+        order
+    }
+
+    /// Per-node consumer counts — the fusion pass only folds a chain
+    /// link whose producer feeds exactly one consumer.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for input in node.op.inputs() {
+                counts[input] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Reference interpreter: evaluates the graph one node at a time
+    /// with no fusion, no arenas, and fresh allocations — the oracle
+    /// the compiled-plan parity tests compare against. `resolve` maps a
+    /// [`LayerRef`] to its live weights/bias.
+    pub fn eval_reference(
+        &self,
+        hidden: &Matrix,
+        raw: &Matrix,
+        resolve: &dyn Fn(LayerRef) -> (Matrix, Vec<f32>),
+    ) -> Vec<Matrix> {
+        let mut values: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        let mut outputs = Vec::new();
+        for id in self.topo_order() {
+            let value = match self.nodes[id].op {
+                Op::Source(SourceKind::Hidden) => hidden.clone(),
+                Op::Source(SourceKind::RawInput) => raw.clone(),
+                Op::Concat { lhs, rhs } => values[lhs]
+                    .as_ref()
+                    .unwrap()
+                    .hconcat(values[rhs].as_ref().unwrap()),
+                Op::MatMul { input, layer } => {
+                    let (weights, _) = resolve(layer);
+                    values[input].as_ref().unwrap().matmul(&weights)
+                }
+                Op::BiasAdd { input, layer } => {
+                    let (_, bias) = resolve(layer);
+                    let mut out = values[input].as_ref().unwrap().clone();
+                    out.add_row_broadcast(&bias);
+                    out
+                }
+                Op::Activation { input, kind } => {
+                    values[input].as_ref().unwrap().map(|x| kind.apply(x))
+                }
+                Op::ResidualAdd { lhs, rhs } => {
+                    values[lhs].as_ref().unwrap() + values[rhs].as_ref().unwrap()
+                }
+                Op::Output { input, .. } => {
+                    let v = values[input].as_ref().unwrap().clone();
+                    outputs.push(v.clone());
+                    v
+                }
+            };
+            values[id] = Some(value);
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> OpGraph {
+        // hidden -> matmul -> (relu, tanh) -> residual-add -> output
+        let mut g = OpGraph::new();
+        let src = g.add(Op::Source(SourceKind::Hidden), 4);
+        let mm = g.add(
+            Op::MatMul {
+                input: src,
+                layer: LayerRef::Trunk { stage: 0, layer: 0 },
+            },
+            4,
+        );
+        let relu = g.add(
+            Op::Activation {
+                input: mm,
+                kind: ActKind::Relu,
+            },
+            4,
+        );
+        let tanh = g.add(
+            Op::Activation {
+                input: mm,
+                kind: ActKind::Tanh,
+            },
+            4,
+        );
+        let add = g.add(
+            Op::ResidualAdd {
+                lhs: relu,
+                rhs: tanh,
+            },
+            4,
+        );
+        g.add(
+            Op::Output {
+                input: add,
+                role: OutputRole::Hidden,
+            },
+            4,
+        );
+        g
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order();
+        assert_eq!(order.len(), g.len());
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.len()];
+            for (i, &id) in order.iter().enumerate() {
+                pos[id] = i;
+            }
+            pos
+        };
+        for (id, node) in g.nodes().iter().enumerate() {
+            for input in node.op.inputs() {
+                assert!(pos[input] < pos[id], "node {id} scheduled before input");
+            }
+        }
+    }
+
+    #[test]
+    fn consumer_counts_see_fanout() {
+        let g = diamond();
+        let counts = g.consumer_counts();
+        assert_eq!(counts[1], 2, "matmul feeds both activations");
+        assert_eq!(counts[4], 1, "residual feeds only the output");
+    }
+
+    #[test]
+    #[should_panic(expected = "before it exists")]
+    fn forward_edges_are_rejected() {
+        let mut g = OpGraph::new();
+        g.add(
+            Op::Activation {
+                input: 3,
+                kind: ActKind::Relu,
+            },
+            4,
+        );
+    }
+
+    #[test]
+    fn reference_interpreter_evaluates_diamond() {
+        let g = diamond();
+        let w = Matrix::identity(4);
+        let resolve = move |_: LayerRef| (w.clone(), vec![0.0; 4]);
+        let hidden = Matrix::from_rows(&[&[1.0, -2.0, 0.5, -0.5]]);
+        let outs = g.eval_reference(&hidden, &hidden, &resolve);
+        assert_eq!(outs.len(), 1);
+        // relu(x) + tanh(x) element-wise through an identity matmul.
+        let expect: Vec<f32> = hidden
+            .as_slice()
+            .iter()
+            .map(|&x| x.max(0.0) + x.tanh())
+            .collect();
+        assert_eq!(outs[0].as_slice(), &expect[..]);
+    }
+}

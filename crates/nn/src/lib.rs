@@ -45,7 +45,9 @@
 //! ```
 
 mod activation;
+pub mod compile;
 mod dropout;
+pub mod graph;
 mod layer;
 mod linear;
 pub mod loss;
@@ -57,7 +59,9 @@ mod staged;
 mod trainer;
 
 pub use activation::Activation;
+pub use compile::{CompileError, PlanCache, PlanCacheStats, PlanKey, StagePlan};
 pub use dropout::Dropout;
+pub use graph::{ActKind, LayerRef, Op, OpGraph, OutputRole, SourceKind};
 pub use layer::Layer;
 pub use linear::Linear;
 pub use metrics::{accuracy, evaluate_staged, StageEval};

@@ -136,6 +136,13 @@ impl Linear {
         self.quantized.as_deref()
     }
 
+    /// A shared handle to the installed pack, if any. The stage
+    /// compiler embeds this in Int8 plans so a compiled dispatch
+    /// multiplies with the byte-identical panels the layer walk uses.
+    pub(crate) fn quantized_arc(&self) -> Option<Arc<QuantizedRhs>> {
+        self.quantized.clone()
+    }
+
     /// Switches the serving precision. `Int8` packs the current weights
     /// into the quantized GEMM layout (a no-op if already packed); `F32`
     /// drops the pack. Training is unaffected either way — gradients

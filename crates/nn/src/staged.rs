@@ -1,8 +1,10 @@
+use crate::compile::{CompileError, PlanCache, PlanKey, StagePlan};
 use crate::{Activation, Dropout, Layer, Linear, Sequential};
 use eugene_tensor::{argmax, softmax, Matrix, Precision};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Architecture description for a [`StagedNetwork`].
 ///
@@ -88,6 +90,11 @@ pub struct StagedNetwork {
     num_classes: usize,
     stage_output_dims: Vec<usize>,
     input_skip: bool,
+    /// Compiled stage plans, keyed by `(stage, rows, precision)`.
+    /// Cloning a network yields a fresh, empty cache (see
+    /// [`PlanCache`]); every parameter-mutation path below calls
+    /// `plans.invalidate()`.
+    plans: PlanCache,
 }
 
 impl StagedNetwork {
@@ -134,6 +141,7 @@ impl StagedNetwork {
             num_classes: config.num_classes,
             stage_output_dims,
             input_skip: config.input_skip,
+            plans: PlanCache::new(),
         }
     }
 
@@ -160,6 +168,7 @@ impl StagedNetwork {
             num_classes,
             stage_output_dims,
             input_skip,
+            plans: PlanCache::new(),
         }
     }
 
@@ -206,8 +215,10 @@ impl StagedNetwork {
         &self.stages
     }
 
-    /// Mutably borrows the trunk blocks (used by pruning).
+    /// Mutably borrows the trunk blocks (used by pruning). Invalidates
+    /// all compiled stage plans — the caller may mutate weights.
     pub fn stages_mut(&mut self) -> &mut [Sequential] {
+        self.plans.invalidate();
         &mut self.stages
     }
 
@@ -217,8 +228,9 @@ impl StagedNetwork {
     }
 
     /// Mutably borrows the per-stage heads (used by pruning and
-    /// calibration).
+    /// calibration). Invalidates all compiled stage plans.
     pub fn heads_mut(&mut self) -> &mut [Linear] {
+        self.plans.invalidate();
         &mut self.heads
     }
 
@@ -259,6 +271,9 @@ impl StagedNetwork {
     /// reset to f32. Out-of-range indices are ignored. Heads are left
     /// untouched (see [`StagedNetwork::stage_precision`]).
     pub fn quantize_stages(&mut self, stages: &[usize]) {
+        // Repacking changes which kernels (and which packs) a stage
+        // serves with, so every compiled plan is stale.
+        self.plans.invalidate();
         for (s, block) in self.stages.iter_mut().enumerate() {
             let precision = if stages.contains(&s) {
                 Precision::Int8
@@ -348,6 +363,8 @@ impl StagedNetwork {
     /// Visits all `(parameter, gradient)` pairs in a stable order:
     /// trunk stages first, then heads.
     pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        // The optimizer mutates weights through this hook.
+        self.plans.invalidate();
         for stage in &mut self.stages {
             stage.visit_params(visitor);
         }
@@ -429,6 +446,32 @@ impl StagedNetwork {
             next_stage: 0,
             last_output: None,
         }
+    }
+
+    /// The compiled, cached execution plan for `stage` at a batch
+    /// shape of `rows`, compiling it on first use. Plans fuse
+    /// elementwise tails into the GEMM epilogue and carry pre-packed
+    /// weight panels plus pooled intermediate buffers, and execute
+    /// **bitwise-identically** to the layer walk — see
+    /// [`crate::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the stage does not exist or holds
+    /// a layer the op IR cannot express; callers fall back to the
+    /// layer-walk path.
+    pub fn stage_plan(&self, stage: usize, rows: usize) -> Result<Arc<StagePlan>, CompileError> {
+        let key = PlanKey {
+            stage,
+            rows,
+            precision: self.stage_precision(stage),
+        };
+        self.plans.get_or_compile(self, key)
+    }
+
+    /// The network's compiled-plan cache (counters, generation tag).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// A short human-readable architecture summary.

@@ -1,0 +1,298 @@
+//! Plan-cache lifecycle tests: hit/miss accounting, invalidation on
+//! every parameter-mutation path, generation tags proving no stale plan
+//! is ever served, the quantize-after-compile regression, and a
+//! concurrency hammer over one shared plan.
+
+use eugene_nn::{Layer, Linear, StagedNetwork, StagedNetworkConfig};
+use eugene_tensor::{seeded_rng, xavier_uniform, Matrix, Precision};
+use std::sync::Arc;
+
+fn tiny_net(seed: u64) -> StagedNetwork {
+    let config = StagedNetworkConfig {
+        input_dim: 6,
+        num_classes: 3,
+        stage_widths: vec![vec![8], vec![10]],
+        dropout: 0.0,
+        input_skip: true,
+    };
+    StagedNetwork::new(&config, &mut seeded_rng(seed))
+}
+
+fn layer_walk_stage(
+    net: &StagedNetwork,
+    stage: usize,
+    hidden: &Matrix,
+    raw: &Matrix,
+) -> (Matrix, Matrix) {
+    let stage_in = if stage > 0 && net.input_skip() {
+        hidden.hconcat(raw)
+    } else {
+        hidden.clone()
+    };
+    let h = net.stages()[stage].infer(&stage_in);
+    let l = net.heads()[stage].infer(&h);
+    (h, l)
+}
+
+fn assert_bitwise(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn hits_and_misses_are_counted_per_key() {
+    let net = tiny_net(1);
+    let stats = net.plan_cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+
+    let p1 = net.stage_plan(0, 4).unwrap();
+    let stats = net.plan_cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+    // Same key: a hit, and the very same plan object.
+    let p2 = net.stage_plan(0, 4).unwrap();
+    assert!(Arc::ptr_eq(&p1, &p2), "same key must reuse the plan");
+    let stats = net.plan_cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+    // Different batch shape and different stage: distinct plans.
+    let _ = net.stage_plan(0, 8).unwrap();
+    let _ = net.stage_plan(1, 4).unwrap();
+    let stats = net.plan_cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 3, 3));
+}
+
+#[test]
+fn stages_mut_invalidates_all_plans() {
+    let mut net = tiny_net(2);
+    let old = net.stage_plan(0, 2).unwrap();
+    let gen_before = net.plan_cache().generation();
+    assert_eq!(old.generation(), gen_before);
+
+    // Mutate a trunk weight through the pruning funnel.
+    net.stages_mut()[0]
+        .layers_mut()
+        .iter_mut()
+        .filter_map(|l| l.as_any_mut().downcast_mut::<Linear>())
+        .for_each(|lin| lin.weights_mut()[(0, 0)] += 0.5);
+
+    let stats = net.plan_cache().stats();
+    assert_eq!(stats.entries, 0, "mutation must drop every cached plan");
+    assert!(stats.invalidations >= 1);
+    assert!(net.plan_cache().generation() > gen_before);
+
+    // The fresh plan carries the new generation and the new weights.
+    let fresh = net.stage_plan(0, 2).unwrap();
+    assert!(!Arc::ptr_eq(&old, &fresh), "stale plan must not be served");
+    assert_eq!(fresh.generation(), net.plan_cache().generation());
+    let input = xavier_uniform(2, 6, &mut seeded_rng(3));
+    let (plan_h, plan_l) = fresh.execute(&net, &input, &input);
+    let (walk_h, walk_l) = layer_walk_stage(&net, 0, &input, &input);
+    assert_bitwise(&plan_h, &walk_h, "post-mutation hidden");
+    assert_bitwise(&plan_l, &walk_l, "post-mutation logits");
+}
+
+#[test]
+fn heads_mut_and_visit_params_invalidate() {
+    let mut net = tiny_net(4);
+    net.stage_plan(0, 1).unwrap();
+    net.stage_plan(1, 1).unwrap();
+    assert_eq!(net.plan_cache().stats().entries, 2);
+
+    net.heads_mut()[0].bias_mut()[(0, 0)] += 1.0;
+    assert_eq!(net.plan_cache().stats().entries, 0, "heads_mut invalidates");
+
+    net.stage_plan(0, 1).unwrap();
+    let gen_before = net.plan_cache().generation();
+    net.visit_params(&mut |_p, _g| {});
+    assert_eq!(
+        net.plan_cache().stats().entries,
+        0,
+        "optimizer access invalidates"
+    );
+    assert!(net.plan_cache().generation() > gen_before);
+}
+
+/// The quantize-after-compile regression: a plan compiled while a stage
+/// served f32 must not survive `quantize_stages` / `set_precision` —
+/// the next dispatch must compile and serve the Int8 plan.
+#[test]
+fn quantize_after_compile_serves_the_int8_plan() {
+    let mut net = tiny_net(5);
+    let f32_plan = net.stage_plan(0, 3).unwrap();
+    assert_eq!(f32_plan.precision(), Precision::F32);
+    let gen_f32 = f32_plan.generation();
+
+    net.quantize_stages(&[0]);
+    assert_eq!(net.stage_precision(0), Precision::Int8);
+    assert_eq!(
+        net.plan_cache().stats().entries,
+        0,
+        "quantize_stages must invalidate compiled plans"
+    );
+
+    let q_plan = net.stage_plan(0, 3).unwrap();
+    assert_eq!(
+        q_plan.precision(),
+        Precision::Int8,
+        "post-quantization dispatch must serve the Int8 plan, not the cached f32 plan"
+    );
+    assert!(q_plan.generation() > gen_f32, "generation tag must advance");
+
+    // And the Int8 plan matches the quantized layer walk bitwise.
+    let input = xavier_uniform(3, 6, &mut seeded_rng(6));
+    let (plan_h, plan_l) = q_plan.execute(&net, &input, &input);
+    let (walk_h, walk_l) = layer_walk_stage(&net, 0, &input, &input);
+    assert_bitwise(&plan_h, &walk_h, "int8 hidden");
+    assert_bitwise(&plan_l, &walk_l, "int8 logits");
+}
+
+/// `set_precision` reached through `stages_mut` (rather than
+/// `quantize_stages`) must equally invalidate.
+#[test]
+fn set_precision_via_stages_mut_invalidates() {
+    let mut net = tiny_net(7);
+    net.stage_plan(0, 2).unwrap();
+    net.stages_mut()[0]
+        .layers_mut()
+        .iter_mut()
+        .filter_map(|l| l.as_any_mut().downcast_mut::<Linear>())
+        .for_each(|lin| lin.set_precision(Precision::Int8));
+    assert_eq!(net.plan_cache().stats().entries, 0);
+    let plan = net.stage_plan(0, 2).unwrap();
+    assert_eq!(plan.precision(), Precision::Int8);
+}
+
+/// Model reload hands out a fresh network object; its plan cache must
+/// start empty — plans never travel between network instances.
+#[test]
+fn cloned_network_starts_with_an_empty_cache() {
+    let net = tiny_net(8);
+    net.stage_plan(0, 2).unwrap();
+    net.stage_plan(1, 2).unwrap();
+    assert_eq!(net.plan_cache().stats().entries, 2);
+
+    let copy = net.clone();
+    let stats = copy.plan_cache().stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries, stats.invalidations),
+        (0, 0, 0, 0),
+        "a reloaded/cloned model must not inherit compiled plans"
+    );
+    // The copy compiles its own plans and serves identically.
+    let input = xavier_uniform(2, 6, &mut seeded_rng(9));
+    let a = net.stage_plan(0, 2).unwrap().execute(&net, &input, &input);
+    let b = copy
+        .stage_plan(0, 2)
+        .unwrap()
+        .execute(&copy, &input, &input);
+    assert_bitwise(&a.0, &b.0, "clone hidden");
+    assert_bitwise(&a.1, &b.1, "clone logits");
+}
+
+/// No stale plan ever executes: every plan handed out carries the
+/// cache's current generation tag, across an interleaving of compiles
+/// and invalidations.
+#[test]
+fn served_plans_always_carry_the_current_generation() {
+    let mut net = tiny_net(10);
+    for round in 0..5 {
+        for stage in 0..net.num_stages() {
+            for rows in [1usize, 3, 7] {
+                let plan = net.stage_plan(stage, rows).unwrap();
+                assert_eq!(
+                    plan.generation(),
+                    net.plan_cache().generation(),
+                    "round {round}: plan generation must match the cache"
+                );
+            }
+        }
+        // Alternate mutation paths between rounds.
+        if round % 2 == 0 {
+            net.heads_mut()[0].bias_mut()[(0, 0)] += 0.1;
+        } else {
+            net.quantize_stages(&[round % 2]);
+        }
+    }
+}
+
+/// Hammer one cached plan from many dispatcher threads: arena buffers
+/// must never alias across concurrent executions, and every output must
+/// be bitwise-stable. Run with high `--test-threads` in CI.
+#[test]
+fn concurrent_dispatchers_share_one_plan_without_aliasing() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 50;
+    const ROWS: usize = 4;
+
+    let net = Arc::new(tiny_net(11));
+    let plan = net.stage_plan(0, ROWS).unwrap();
+
+    // Per-thread distinct inputs with precomputed references.
+    let inputs: Vec<Matrix> = (0..THREADS)
+        .map(|t| xavier_uniform(ROWS, 6, &mut seeded_rng(100 + t as u64)))
+        .collect();
+    let expected: Vec<(Matrix, Matrix)> = inputs
+        .iter()
+        .map(|input| plan.execute(&net, input, input))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let net = Arc::clone(&net);
+            let plan = Arc::clone(&plan);
+            let input = &inputs[t];
+            let want = &expected[t];
+            scope.spawn(move || {
+                let mut out_h = Matrix::zeros(0, 0);
+                let mut out_l = Matrix::zeros(0, 0);
+                for iter in 0..ITERS {
+                    plan.execute_into(&net, input, input, &mut out_h, &mut out_l);
+                    for (a, b) in out_h.as_slice().iter().zip(want.0.as_slice()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "thread {t} iter {iter}: hidden corrupted under concurrency"
+                        );
+                    }
+                    for (a, b) in out_l.as_slice().iter().zip(want.1.as_slice()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "thread {t} iter {iter}: logits corrupted under concurrency"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The hammer went through the shared plan: still exactly one entry,
+    // no extra compiles.
+    let stats = net.plan_cache().stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.misses, 1);
+}
+
+/// Concurrent lookups of the *same key* from many threads compile at
+/// most once (compilation happens under the cache lock) and all see the
+/// same plan object.
+#[test]
+fn concurrent_lookups_compile_once() {
+    let net = Arc::new(tiny_net(12));
+    let plans: Vec<Arc<eugene_nn::StagePlan>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let net = Arc::clone(&net);
+                scope.spawn(move || net.stage_plan(1, 5).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for p in &plans[1..] {
+        assert!(Arc::ptr_eq(&plans[0], p), "all threads share one plan");
+    }
+    assert_eq!(net.plan_cache().stats().misses, 1, "compiled exactly once");
+}

@@ -1,3 +1,23 @@
+/// Point-in-time counters of an engine's compiled-plan cache, surfaced
+/// through [`InferenceEngine::plan_cache_stats`] for observability.
+///
+/// The serving crate is model-agnostic, so this mirrors (rather than
+/// reuses) the plan-cache stats type of the neural-network crate;
+/// `eugene-service` converts between the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Dispatches served by an already-compiled plan.
+    pub hits: u64,
+    /// Dispatches that compiled a new plan.
+    pub misses: u64,
+    /// Times a parameter mutation dropped every cached plan.
+    pub invalidations: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Current cache generation tag.
+    pub generation: u64,
+}
+
 /// Output of one executed stage: the paper's `(predicted value,
 /// confidence)` tuple.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +60,13 @@ pub trait InferenceEngine: Send + Sync {
     /// report back to request `i` as if it had run alone.
     fn next_stage_batch(&self, batch: &mut [Box<dyn EngineSession>]) -> Vec<Option<StageReport>> {
         batch.iter_mut().map(|s| s.next_stage()).collect()
+    }
+
+    /// Counters of the engine's compiled-plan cache, when it serves
+    /// through one (see `eugene-service`'s staged-network engine).
+    /// Engines without plan compilation return `None` (the default).
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        None
     }
 }
 

@@ -45,7 +45,7 @@ mod stats;
 
 pub use accounting::{ClassUsage, PricingModel, UsageLedger};
 pub use daemon::DeadlineDaemon;
-pub use engine::{EngineSession, InferenceEngine, StageReport};
+pub use engine::{EngineSession, InferenceEngine, PlanCacheStats, StageReport};
 pub use eugene_profiler::{Precision, StageCostModel};
 pub use pipe::{ConfidencePipe, StageProgress};
 pub use pool::WorkerPool;

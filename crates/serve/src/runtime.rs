@@ -141,6 +141,10 @@ pub struct ServingRuntime {
     ledger: UsageLedger,
     stats: RuntimeStats,
     waker: WakerCell,
+    /// A handle to the served engine, retained so observability
+    /// surfaces (e.g. plan-cache counters) stay reachable after the
+    /// engine moves into the coordinator thread.
+    engine: Arc<dyn InferenceEngine>,
     coordinator: Option<JoinHandle<()>>,
 }
 
@@ -185,6 +189,7 @@ impl ServingRuntime {
         let ledger = UsageLedger::new();
         let stats = RuntimeStats::new();
         let waker: WakerCell = Arc::new(Mutex::new(None));
+        let engine_handle = Arc::clone(&engine);
         let coordinator = {
             let ledger = ledger.clone();
             let stats = stats.clone();
@@ -204,8 +209,17 @@ impl ServingRuntime {
             ledger,
             stats,
             waker,
+            engine: engine_handle,
             coordinator: Some(coordinator),
         }
+    }
+
+    /// Counters of the engine's compiled-plan cache, when the served
+    /// engine executes through one (`None` for engines without plan
+    /// compilation). Lets operators confirm steady-state serving is
+    /// all cache hits and that weight mutations invalidate plans.
+    pub fn plan_cache_stats(&self) -> Option<crate::PlanCacheStats> {
+        self.engine.plan_cache_stats()
     }
 
     /// Registers a completion waker: a cheap, idempotent nudge the

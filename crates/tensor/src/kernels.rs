@@ -62,14 +62,64 @@ const MR: usize = 4;
 /// when the SIMD tier is active, the legacy blocked scalar kernel
 /// below otherwise.
 pub(crate) fn gemm_rrr(m: usize, k: usize, n: usize, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
+    gemm_rrr_epilogue(
+        m,
+        k,
+        n,
+        lhs,
+        rhs,
+        None,
+        out,
+        crate::simd::Epilogue::default(),
+    );
+}
+
+/// `gemm_rrr` plus an optional pre-packed `rhs` and a fused elementwise
+/// tail (`out = relu(out + bias)`), the stage compiler's entry point.
+///
+/// Every tier applies the identical scalar tail after the identical
+/// accumulation it would have produced unfused, so a fused call is
+/// **bitwise** equal to `gemm_rrr` followed by separate bias/relu
+/// passes — on the scalar tier, the SIMD tiers, and the portable twin
+/// alike. `prepacked` panels built for a different tier are ignored
+/// (the call repacks on the fly), never trusted.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_rrr_epilogue(
+    m: usize,
+    k: usize,
+    n: usize,
+    lhs: &[f32],
+    rhs: &[f32],
+    prepacked: Option<&crate::simd::PackedRhs>,
+    out: &mut [f32],
+    ep: crate::simd::Epilogue<'_>,
+) {
     use crate::simd::{FusedIsa, ResolvedPath};
     let isa = match crate::simd::resolved_path() {
-        ResolvedPath::ScalarLegacy => return gemm_rrr_scalar(m, k, n, lhs, rhs, out),
+        ResolvedPath::ScalarLegacy => {
+            gemm_rrr_scalar(m, k, n, lhs, rhs, out);
+            if m > 0 && n > 0 {
+                ep.apply(out, n, 0, m, 0, n);
+            }
+            return;
+        }
         ResolvedPath::SimdAvx512 => FusedIsa::Avx512,
         ResolvedPath::SimdAvx2 => FusedIsa::Avx2,
         ResolvedPath::PortableFused => FusedIsa::Portable,
     };
-    crate::simd::gemm_fused(m, k, n, lhs, rhs, out, isa, SMALL_FLOPS, PARALLEL_MIN_FLOPS);
+    crate::simd::gemm_fused(
+        m,
+        k,
+        n,
+        lhs,
+        rhs,
+        out,
+        isa,
+        SMALL_FLOPS,
+        PARALLEL_MIN_FLOPS,
+        prepacked,
+        ep,
+    );
 }
 
 /// The legacy scalar tier: bitwise-equal to the `*_reference`

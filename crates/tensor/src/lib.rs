@@ -41,6 +41,6 @@ pub use quant::{
 pub use rng::{seeded_rng, standard_normal, xavier_uniform};
 pub use simd::{
     avx2_fma_available, avx512_available, cpu_features, isa_tier, set_simd_mode, simd_active,
-    simd_mode, CpuFeatures, SimdMode,
+    simd_mode, CpuFeatures, PackedRhs, SimdMode,
 };
 pub use stats::{argmax, entropy, log_softmax, mean, softmax, softmax_in_place, std_dev, variance};

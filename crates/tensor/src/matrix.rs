@@ -306,6 +306,120 @@ impl Matrix {
         out
     }
 
+    /// Resets to a zero-filled `rows x cols` matrix, reusing the
+    /// existing allocation whenever capacity allows. The arena-reuse
+    /// primitive behind compiled-plan buffers: after warm-up, a plan's
+    /// intermediates never touch the allocator again.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Pre-packs this matrix as f32 GEMM weights for the current kernel
+    /// tier (the f32 analog of [`Matrix::quantized_rhs`]): the column
+    /// panels the blocked kernel would rebuild on every product are
+    /// built once and reused by [`Matrix::matmul_epilogue_into`].
+    /// Packing is pure layout, so prepacked products stay bitwise equal
+    /// to per-call-packed ones.
+    pub fn prepacked_rhs(&self) -> crate::PackedRhs {
+        crate::PackedRhs::pack(self.rows, self.cols, &self.data)
+    }
+
+    /// Matrix product with a fused elementwise tail, into a caller-owned
+    /// buffer: `out = relu(self * rhs + bias)` with both the bias add
+    /// and the relu optional, and `rhs` optionally pre-packed
+    /// ([`Matrix::prepacked_rhs`]). `out` is reshaped in place
+    /// ([`Matrix::reset_zeroed`]), so steady-state calls allocate
+    /// nothing.
+    ///
+    /// Bitwise equal to `self.matmul(rhs)` followed by
+    /// [`Matrix::add_row_broadcast`] and a `max(0.0)` map, on every
+    /// kernel tier — the compiled-plan path relies on this to reproduce
+    /// the layer-walk exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`, if `bias` is present with
+    /// length other than `rhs.cols()`, or if `prepacked` was built from
+    /// a different shape.
+    pub fn matmul_epilogue_into(
+        &self,
+        rhs: &Matrix,
+        prepacked: Option<&crate::PackedRhs>,
+        bias: Option<&[f32]>,
+        relu: bool,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_epilogue_into requires lhs cols == rhs rows (lhs is {}x{}, rhs is {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if let Some(b) = bias {
+            assert_eq!(
+                b.len(),
+                rhs.cols,
+                "bias must have length {} (got {})",
+                rhs.cols,
+                b.len()
+            );
+        }
+        if let Some(p) = prepacked {
+            assert_eq!(
+                p.shape(),
+                (rhs.rows, rhs.cols),
+                "prepacked panels were built for another shape"
+            );
+        }
+        out.reset_zeroed(self.rows, rhs.cols);
+        crate::kernels::gemm_rrr_epilogue(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            prepacked,
+            &mut out.data,
+            crate::simd::Epilogue { bias, relu },
+        );
+    }
+
+    /// Quantized-tier sibling of [`Matrix::matmul_epilogue_into`]:
+    /// `out = relu(self * rhs + bias)` over the i8 kernel, with the
+    /// elementwise tail applied after dequantization in the exact
+    /// layer-walk order (bitwise equal to [`Matrix::matmul_quantized`]
+    /// followed by the separate bias/relu passes). The weights are
+    /// already packed per tier inside [`crate::QuantizedRhs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` was not packed for shape `(self.cols(), n)` or
+    /// if `bias` is present with length other than `n`.
+    pub fn matmul_quantized_epilogue_into(
+        &self,
+        rhs: &crate::QuantizedRhs,
+        bias: Option<&[f32]>,
+        relu: bool,
+        out: &mut Matrix,
+    ) {
+        let (k, n) = rhs.shape();
+        assert_eq!(
+            self.cols, k,
+            "matmul_quantized_epilogue_into requires lhs cols == packed rhs rows (lhs is {}x{}, rhs packed {}x{})",
+            self.rows, self.cols, k, n
+        );
+        if let Some(b) = bias {
+            assert_eq!(b.len(), n, "bias must have length {n} (got {})", b.len());
+        }
+        out.reset_zeroed(self.rows, n);
+        crate::quant::qgemm(self.rows, k, n, &self.data, rhs, &mut out.data);
+        if self.rows > 0 && n > 0 {
+            crate::simd::Epilogue { bias, relu }.apply(&mut out.data, n, 0, self.rows, 0, n);
+        }
+    }
+
     /// Matrix product `self^T * rhs`.
     ///
     /// Packs `self^T` into a row-major buffer and reuses the blocked
@@ -900,6 +1014,70 @@ mod tests {
         assert!(approx_eq(&a.matmul(&b), &a.matmul_reference(&b), 1e-6));
         assert!(approx_eq(&a.t_matmul(&a), &a.t_matmul_reference(&a), 1e-6));
         assert!(approx_eq(&b.matmul_t(&b), &b.matmul_t_reference(&b), 1e-6));
+    }
+
+    #[test]
+    fn matmul_epilogue_into_matches_separate_passes_bitwise() {
+        let fill = |seed: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| (((i * 31 + seed * 17 + 5) % 101) as f32) * 0.33 - 16.0)
+                .collect()
+        };
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (8, 512, 512), (5, 300, 37)] {
+            let lhs = Matrix::from_vec(m, k, fill(m, m * k));
+            let rhs = Matrix::from_vec(k, n, fill(n, k * n));
+            let bias = fill(m + n, n);
+            let mut expect = lhs.matmul(&rhs);
+            expect.add_row_broadcast(&bias);
+            let expect = expect.map(|x| x.max(0.0));
+            let pack = rhs.prepacked_rhs();
+            let mut got = Matrix::zeros(0, 0);
+            for prepacked in [None, Some(&pack)] {
+                lhs.matmul_epilogue_into(&rhs, prepacked, Some(&bias), true, &mut got);
+                assert_eq!(got.shape(), (m, n));
+                for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_quantized_epilogue_into_matches_separate_passes_bitwise() {
+        let m = 6;
+        let k = 64;
+        let n = 40;
+        let lhs = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k).map(|i| ((i % 17) as f32) * 0.1 - 0.8).collect(),
+        );
+        let w = Matrix::from_vec(
+            k,
+            n,
+            (0..k * n).map(|i| ((i % 23) as f32) * 0.05 - 0.5).collect(),
+        );
+        let bias: Vec<f32> = (0..n).map(|i| (i as f32) * 0.01 - 0.2).collect();
+        let q = w.quantized_rhs();
+        let mut expect = lhs.matmul_quantized(&q);
+        expect.add_row_broadcast(&bias);
+        let expect = expect.map(|x| x.max(0.0));
+        let mut got = Matrix::zeros(0, 0);
+        lhs.matmul_quantized_epilogue_into(&q, Some(&bias), true, &mut got);
+        assert_eq!(got.shape(), (m, n));
+        for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::filled(4, 8, 3.0);
+        let ptr = m.as_slice().as_ptr();
+        m.reset_zeroed(2, 8);
+        assert_eq!(m.shape(), (2, 8));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrinking must not reallocate");
     }
 
     #[test]

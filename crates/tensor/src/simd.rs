@@ -273,6 +273,174 @@ pub(crate) enum FusedIsa {
     Avx512,
 }
 
+/// Elementwise tail folded into the GEMM: `out = relu(out + bias)`,
+/// applied to each output element exactly once, after its accumulation
+/// completes (the last k block for the blocked kernels).
+///
+/// The ops are the same scalar sequence as the separate layer-walk
+/// passes — `add_row_broadcast` (`*dst += src`) then `f32::max(x, 0.0)`
+/// — in the same order, so a fused dispatch stays **bitwise** equal to
+/// the unfused one on every tier. Deliberately no vector-intrinsic
+/// variant: `_mm256_max_ps` has operand-order semantics for ±0.0/NaN
+/// that `f32::max` does not share.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Epilogue<'a> {
+    /// Per-column bias (length n), added before the activation.
+    pub bias: Option<&'a [f32]>,
+    /// Whether to clamp at zero after the bias add.
+    pub relu: bool,
+}
+
+impl Epilogue<'_> {
+    pub(crate) fn is_noop(&self) -> bool {
+        self.bias.is_none() && !self.relu
+    }
+
+    /// Applies the tail to rows `r0..r0+nrows`, columns `j0..j0+jw` of
+    /// `out`, a slab of rows with stride `n`. Row indices are local to
+    /// the slab; column indices are absolute (they index `bias`).
+    pub(crate) fn apply(
+        &self,
+        out: &mut [f32],
+        n: usize,
+        r0: usize,
+        nrows: usize,
+        j0: usize,
+        jw: usize,
+    ) {
+        if self.is_noop() {
+            return;
+        }
+        for r in r0..r0 + nrows {
+            let row = &mut out[r * n + j0..r * n + j0 + jw];
+            match self.bias {
+                Some(bias) => {
+                    let b = &bias[j0..j0 + jw];
+                    if self.relu {
+                        for (o, &bj) in row.iter_mut().zip(b) {
+                            *o = (*o + bj).max(0.0);
+                        }
+                    } else {
+                        for (o, &bj) in row.iter_mut().zip(b) {
+                            *o += bj;
+                        }
+                    }
+                }
+                None => {
+                    for o in row.iter_mut() {
+                        *o = o.max(0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pre-packed f32 GEMM weights: the column panels
+/// [`gemm_blocked_fused_rows`] would otherwise rebuild from the
+/// row-major weight matrix on **every** dispatch, packed once and
+/// reused. Packing is pure layout (columns past `n` zero-padded, like
+/// the per-call path), so a prepacked product is bitwise identical to
+/// an on-the-fly one.
+///
+/// The panel geometry depends on the resolved kernel path at pack time
+/// (AVX-512 vs AVX2 widths; the scalar/portable tiers use no panels).
+/// A consumer whose resolved path no longer matches simply ignores the
+/// pack and falls back to per-call packing — same result, original
+/// speed — so a mode flip via `EUGENE_SIMD`/[`set_simd_mode`] is safe,
+/// never wrong.
+pub struct PackedRhs {
+    k: usize,
+    n: usize,
+    /// Panel width the pack was built for; 0 when the resolved path at
+    /// pack time keeps no panels (scalar/portable tiers, non-x86 hosts).
+    nr: usize,
+    wide: bool,
+    panels: AlignedVec<f32>,
+}
+
+impl PackedRhs {
+    /// Packs a row-major `k × n` weight slice for the currently
+    /// resolved kernel path.
+    pub fn pack(k: usize, n: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), k * n, "weight slice must be k*n");
+        let inert = Self {
+            k,
+            n,
+            nr: 0,
+            wide: false,
+            panels: AlignedVec::new(),
+        };
+        if k == 0 || n == 0 {
+            return inert;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            inert
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let (wide, nr) = match resolved_path() {
+                ResolvedPath::SimdAvx512 => (true, NR_W),
+                ResolvedPath::SimdAvx2 => (false, NR),
+                ResolvedPath::ScalarLegacy | ResolvedPath::PortableFused => return inert,
+            };
+            let np = n.div_ceil(nr);
+            // One `np * kc * nr` slab per k block, concatenated in
+            // ascending-kb order (only the last block is short of KC).
+            let mut total = 0;
+            let mut kb = 0;
+            while kb < k {
+                total += np * KC.min(k - kb) * nr;
+                kb += KC.min(k - kb);
+            }
+            let mut panels = AlignedVec::new();
+            panels.ensure_len(total);
+            let mut kb = 0;
+            let mut off = 0;
+            while kb < k {
+                let kc = KC.min(k - kb);
+                let block = np * kc * nr;
+                pack_b_fused(
+                    &mut panels.as_mut_slice()[off..off + block],
+                    data,
+                    kb,
+                    kc,
+                    n,
+                    np,
+                    nr,
+                );
+                off += block;
+                kb += kc;
+            }
+            Self {
+                k,
+                n,
+                nr,
+                wide,
+                panels,
+            }
+        }
+    }
+
+    /// `(k, n)` shape the pack was built from.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Heap bytes held by the packed panels (0 on panel-less tiers).
+    pub fn packed_bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Whether this pack can feed a blocked kernel of the given width
+    /// and shape directly.
+    #[cfg(target_arch = "x86_64")]
+    fn matches(&self, wide: bool, k: usize, n: usize) -> bool {
+        self.nr != 0 && self.wide == wide && self.k == k && self.n == n
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 struct PackBufs {
     a: AlignedVec<f32>,
@@ -289,10 +457,13 @@ thread_local! {
     };
 }
 
-/// Fused-tier GEMM: `out[m×n] += lhs[m×k] · rhs[k×n]`, all row-major.
-/// `isa` selects the implementation (caller must have verified feature
-/// availability for the vector ISAs). All three produce
-/// bitwise-identical results.
+/// Fused-tier GEMM: `out[m×n] += lhs[m×k] · rhs[k×n]`, all row-major,
+/// with an optional pre-packed `rhs` (`prepacked`, ignored when its
+/// geometry doesn't match the dispatch) and an optional fused epilogue
+/// (`ep`, applied to every output element exactly once after its
+/// accumulation completes). `isa` selects the implementation (caller
+/// must have verified feature availability for the vector ISAs). All
+/// three produce bitwise-identical results.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_fused(
     m: usize,
@@ -304,11 +475,19 @@ pub(crate) fn gemm_fused(
     isa: FusedIsa,
     small_flops: usize,
     parallel_min_flops: usize,
+    prepacked: Option<&PackedRhs>,
+    ep: Epilogue<'_>,
 ) {
     debug_assert_eq!(lhs.len(), m * k);
     debug_assert_eq!(rhs.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    if m == 0 || n == 0 || k == 0 {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // A k==0 product contributes nothing, but the epilogue still
+        // applies (the layer-walk would add bias/relu to the zeros).
+        ep.apply(out, n, 0, m, 0, n);
         return;
     }
     let flops = m.saturating_mul(k).saturating_mul(n);
@@ -317,12 +496,14 @@ pub(crate) fn gemm_fused(
         // fold of single-rounded mul_adds in ascending k — identical to
         // the vector kernels' per-lane computation for every shape.
         gemm_small_fused_portable(m, k, n, lhs, rhs, out);
+        ep.apply(out, n, 0, m, 0, n);
         return;
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        let _ = (flops, small_flops, parallel_min_flops);
+        let _ = (flops, small_flops, parallel_min_flops, prepacked);
         gemm_small_fused_portable(m, k, n, lhs, rhs, out);
+        ep.apply(out, n, 0, m, 0, n);
     }
     #[cfg(target_arch = "x86_64")]
     gemm_fused_vector(
@@ -336,6 +517,8 @@ pub(crate) fn gemm_fused(
         flops,
         small_flops,
         parallel_min_flops,
+        prepacked,
+        ep,
     );
 }
 
@@ -352,11 +535,18 @@ fn gemm_fused_vector(
     flops: usize,
     small_flops: usize,
     parallel_min_flops: usize,
+    prepacked: Option<&PackedRhs>,
+    ep: Epilogue<'_>,
 ) {
+    // A pack built for another width/shape (e.g. after a mode flip) is
+    // ignored, not trusted: the per-call packing path gives the same
+    // bits at the original speed.
+    let prepacked = prepacked.filter(|p| p.matches(wide, k, n));
     if flops <= small_flops {
         // SAFETY: the caller established AVX2+FMA availability for any
         // vector isa (avx512_available() implies it too).
         unsafe { gemm_small_fused_avx2(m, k, n, lhs, rhs, out) };
+        ep.apply(out, n, 0, m, 0, n);
         return;
     }
     let mr = if wide { MR_W } else { MR };
@@ -368,11 +558,11 @@ fn gemm_fused_vector(
         crate::pool::parallel_chunks_mut(out, chunk_rows * n, threads, |chunk, out_chunk| {
             let row0 = chunk * chunk_rows;
             let rows = out_chunk.len() / n;
-            gemm_blocked_fused_rows(row0, rows, k, n, lhs, rhs, out_chunk, wide);
+            gemm_blocked_fused_rows(row0, rows, k, n, lhs, rhs, out_chunk, wide, prepacked, ep);
         });
         return;
     }
-    gemm_blocked_fused_rows(0, m, k, n, lhs, rhs, out, wide);
+    gemm_blocked_fused_rows(0, m, k, n, lhs, rhs, out, wide, prepacked, ep);
 }
 
 /// Cache-blocked packed vector path over `rows` rows starting at
@@ -389,6 +579,8 @@ fn gemm_blocked_fused_rows(
     rhs: &[f32],
     out: &mut [f32],
     wide: bool,
+    prepacked: Option<&PackedRhs>,
+    ep: Epilogue<'_>,
 ) {
     if rows == 0 {
         return;
@@ -399,11 +591,26 @@ fn gemm_blocked_fused_rows(
         let mut scratch = scratch.borrow_mut();
         let PackBufs { a, b } = &mut *scratch;
         let mut kb = 0;
+        // Byte-for-byte the same panel layout whether read from the
+        // prepack (offset pre_off walks its concatenated k blocks) or
+        // rebuilt per call.
+        let mut pre_off = 0;
         while kb < k {
             let kc = KC.min(k - kb);
-            b.ensure_len(np * kc * nr);
-            pack_b_fused(b.as_mut_slice(), rhs, kb, kc, n, np, nr);
-            let bbase = b.as_ptr();
+            let last = kb + kc == k;
+            let bbase = match prepacked {
+                Some(p) => {
+                    debug_assert!(pre_off + np * kc * nr <= p.panels.len());
+                    // SAFETY: pre_off stays within the pack's panel
+                    // buffer (same block walk as pack time).
+                    unsafe { p.panels.as_ptr().add(pre_off) }
+                }
+                None => {
+                    b.ensure_len(np * kc * nr);
+                    pack_b_fused(b.as_mut_slice(), rhs, kb, kc, n, np, nr);
+                    b.as_ptr()
+                }
+            };
             debug_assert!(is_panel_aligned(bbase));
             let mut i = 0;
             while i < rows {
@@ -436,8 +643,18 @@ fn gemm_blocked_fused_rows(
                             micro_kernel_edge_avx2(abase, kc, bpanel, out, i, j0, tile_rows, jw, n);
                         }
                     }
+                    // The micro-kernel tail: once this tile's
+                    // accumulation is complete (final k block), fold
+                    // the elementwise chain in while the tile is still
+                    // cache-hot.
+                    if last {
+                        ep.apply(out, n, i, tile_rows, j0, jw);
+                    }
                 }
                 i += mr;
+            }
+            if prepacked.is_some() {
+                pre_off += np * kc * nr;
             }
             kb += kc;
         }
@@ -775,10 +992,24 @@ mod tests {
                 FusedIsa::Portable,
                 0,
                 usize::MAX,
+                None,
+                Epilogue::default(),
             );
             for &isa in &isas {
                 let mut simd = vec![0.0f32; m * n];
-                gemm_fused(m, k, n, &lhs, &rhs, &mut simd, isa, 0, usize::MAX);
+                gemm_fused(
+                    m,
+                    k,
+                    n,
+                    &lhs,
+                    &rhs,
+                    &mut simd,
+                    isa,
+                    0,
+                    usize::MAX,
+                    None,
+                    Epilogue::default(),
+                );
                 for (idx, (a, b)) in simd.iter().zip(&portable).enumerate() {
                     assert_eq!(
                         a.to_bits(),
@@ -807,11 +1038,160 @@ mod tests {
                 FusedIsa::Portable
             };
             let mut got = vec![0.0f32; m * n];
-            gemm_fused(m, k, n, &lhs, &rhs, &mut got, isa, 0, usize::MAX);
+            gemm_fused(
+                m,
+                k,
+                n,
+                &lhs,
+                &rhs,
+                &mut got,
+                isa,
+                0,
+                usize::MAX,
+                None,
+                Epilogue::default(),
+            );
             for (idx, (a, b)) in got.iter().zip(&expect).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "({m}x{k}x{n}) idx {idx}");
             }
         }
+    }
+
+    fn host_isa() -> FusedIsa {
+        if avx512_available() {
+            FusedIsa::Avx512
+        } else if avx2_fma_available() {
+            FusedIsa::Avx2
+        } else {
+            FusedIsa::Portable
+        }
+    }
+
+    #[test]
+    fn epilogue_matches_separate_passes_bitwise() {
+        // Fusing bias+relu into the kernel tail must equal "gemm, then
+        // add_row_broadcast, then max(0.0)" element for element — the
+        // layer-walk contract the stage compiler relies on.
+        let isa = host_isa();
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (8, 512, 512), // forces the blocked path
+            (5, 300, 37),  // edge tiles in both dimensions
+            (2, 16, 9),    // small path
+        ] {
+            let lhs = fill(3 + m as u64, m * k);
+            let rhs = fill(5 + n as u64, k * n);
+            let bias = fill(11 + n as u64, n);
+            let mut unfused = vec![0.0f32; m * n];
+            gemm_fused(
+                m,
+                k,
+                n,
+                &lhs,
+                &rhs,
+                &mut unfused,
+                isa,
+                0,
+                usize::MAX,
+                None,
+                Epilogue::default(),
+            );
+            for row in unfused.chunks_exact_mut(n) {
+                for (o, &b) in row.iter_mut().zip(&bias) {
+                    *o += b;
+                }
+                for o in row.iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }
+            let mut fused = vec![0.0f32; m * n];
+            gemm_fused(
+                m,
+                k,
+                n,
+                &lhs,
+                &rhs,
+                &mut fused,
+                isa,
+                0,
+                usize::MAX,
+                None,
+                Epilogue {
+                    bias: Some(&bias),
+                    relu: true,
+                },
+            );
+            for (idx, (a, b)) in fused.iter().zip(&unfused).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "({m}x{k}x{n}) idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_rhs_matches_on_the_fly_packing_bitwise() {
+        let isa = host_isa();
+        for &(m, k, n) in &[(8usize, 512usize, 512usize), (6, 520, 35), (3, 257, 48)] {
+            let lhs = fill(21 + m as u64, m * k);
+            let rhs = fill(23 + n as u64, k * n);
+            let pack = PackedRhs::pack(k, n, &rhs);
+            assert_eq!(pack.shape(), (k, n));
+            let mut plain = vec![0.0f32; m * n];
+            gemm_fused(
+                m,
+                k,
+                n,
+                &lhs,
+                &rhs,
+                &mut plain,
+                isa,
+                0,
+                usize::MAX,
+                None,
+                Epilogue::default(),
+            );
+            let mut pre = vec![0.0f32; m * n];
+            gemm_fused(
+                m,
+                k,
+                n,
+                &lhs,
+                &rhs,
+                &mut pre,
+                isa,
+                0,
+                usize::MAX,
+                Some(&pack),
+                Epilogue::default(),
+            );
+            for (idx, (a, b)) in pre.iter().zip(&plain).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "({m}x{k}x{n}) idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_applies_even_when_k_is_zero() {
+        // A degenerate k==0 product is all zeros, but the layer-walk
+        // would still add bias and clamp — so must the fused path.
+        let bias = [1.5f32, -2.0, 0.25];
+        let mut out = vec![0.0f32; 2 * 3];
+        gemm_fused(
+            2,
+            0,
+            3,
+            &[],
+            &[],
+            &mut out,
+            host_isa(),
+            0,
+            usize::MAX,
+            None,
+            Epilogue {
+                bias: Some(&bias),
+                relu: true,
+            },
+        );
+        assert_eq!(out, vec![1.5, 0.0, 0.25, 1.5, 0.0, 0.25]);
     }
 
     #[test]

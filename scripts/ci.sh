@@ -52,12 +52,41 @@ cargo test -p eugene-tensor -q --offline --test kernel_properties
 echo "==> EUGENE_SIMD=0 cargo test -p eugene-tensor --test kernel_properties -q"
 EUGENE_SIMD=0 cargo test -p eugene-tensor -q --offline --test kernel_properties
 
+# Plan-compiler regressions, named explicitly for the same reason: the
+# op-graph parity proptests (compiled plans bitwise-equal to the layer
+# walk across architectures/batches/precisions/tier flips) and the
+# plan-cache lifecycle suite (hit/miss accounting, invalidation on every
+# parameter-mutation funnel, quantize-after-compile, the concurrency
+# hammer). Run twice — once under kernel-path auto-detection and once
+# with the SIMD tier forced off — so fused epilogues on both the
+# vectorized and scalar tiers stay under the parity contract.
+echo "==> cargo test -p eugene-nn --test plan_parity --test plan_cache -q"
+cargo test -p eugene-nn -q --offline --test plan_parity --test plan_cache
+echo "==> EUGENE_SIMD=0 cargo test -p eugene-nn --test plan_parity --test plan_cache -q"
+EUGENE_SIMD=0 cargo test -p eugene-nn -q --offline --test plan_parity --test plan_cache
+
+# Serving-layer plan lifecycle: micro-batched dispatch compiles each
+# stage once then hits, the runtime surfaces the counters, and a model
+# reload never serves a stale plan.
+echo "==> cargo test -p eugene-service --test plan_lifecycle -q"
+cargo test -p eugene-service -q --offline --test plan_lifecycle
+echo "==> EUGENE_SIMD=0 cargo test -p eugene-service --test plan_lifecycle -q"
+EUGENE_SIMD=0 cargo test -p eugene-service -q --offline --test plan_lifecycle
+
 # Kernel throughput smoke: exercises the scalar/SIMD/quantized GEMM
 # tiers and the worker pool end to end. Quick mode asserts a
 # conservative speedup floor (SIMD >= 1.5x blocked scalar, quantized
 # not collapsed) so a silently de-vectorized build fails here.
 echo "==> kernel_throughput --quick"
 cargo run --release --offline -p eugene-bench --bin kernel_throughput -- --quick
+
+# Fused-serving smoke: compiled-plan dispatch vs the unfused layer walk
+# at 512x512, single thread. Asserts bitwise parity inline, zero
+# steady-state allocations after warm-up (counting global allocator),
+# and that the fused plan is at least as fast as the walk (the full
+# bench holds the 1.15x floor).
+echo "==> kernel_throughput --fused --quick"
+cargo run --release --offline -p eugene-bench --bin kernel_throughput -- --fused --quick
 
 # Idle-connection scaling smoke: both gateway backends hold an idle
 # crowd; asserts the readiness event loop stays on a bounded thread set.
